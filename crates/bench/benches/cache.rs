@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks comparing the RocksMash persistent cache
+//! with the conventional baseline on the operations the read path issues.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mashcache::cache::{CacheConfig, PersistentBlockCache, SLOT_HEADER};
+use mashcache::meta::PackedIndex;
+use mashcache::{BaselineCache, MashCache, MemCacheStorage};
+
+const SLOT: u32 = 4096 + SLOT_HEADER as u32;
+
+fn mash(capacity: usize) -> MashCache {
+    MashCache::new(
+        Arc::new(MemCacheStorage::new(capacity)),
+        CacheConfig { slot_size: SLOT, slots_per_extent: 64, admission: false, ..CacheConfig::default() },
+    )
+}
+
+fn baseline(capacity: usize) -> BaselineCache {
+    BaselineCache::new(Arc::new(MemCacheStorage::new(capacity)), SLOT)
+}
+
+fn warm(cache: &dyn PersistentBlockCache, blocks: u64) {
+    let payload = vec![0u8; 4096];
+    for i in 0..blocks {
+        cache.put(i / 256, (i % 256) * 4096, &payload, 3);
+    }
+}
+
+fn bench_get_hit(c: &mut Criterion) {
+    let capacity = 64 << 20;
+    let m = mash(capacity);
+    let b_cache = baseline(capacity);
+    warm(&m, 10_000);
+    warm(&b_cache, 10_000);
+    let mut g = c.benchmark_group("cache_get_hit");
+    let mut i = 0u64;
+    g.bench_function("mash", |bch| {
+        bch.iter(|| {
+            i = (i + 7919) % 10_000;
+            m.get(i / 256, (i % 256) * 4096).expect("hit")
+        })
+    });
+    let mut j = 0u64;
+    g.bench_function("conventional", |bch| {
+        bch.iter(|| {
+            j = (j + 7919) % 10_000;
+            b_cache.get(j / 256, (j % 256) * 4096).expect("hit")
+        })
+    });
+    g.finish();
+}
+
+fn bench_put(c: &mut Criterion) {
+    let payload = vec![0u8; 4096];
+    let mut g = c.benchmark_group("cache_put_1k_blocks");
+    g.bench_function("mash", |bch| {
+        bch.iter_batched(
+            || mash(64 << 20),
+            |m| {
+                for i in 0..1000u64 {
+                    m.put(i / 256, (i % 256) * 4096, &payload, 3);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("conventional", |bch| {
+        bch.iter_batched(
+            || baseline(64 << 20),
+            |b| {
+                for i in 0..1000u64 {
+                    b.put(i / 256, (i % 256) * 4096, &payload, 3);
+                }
+                b
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_invalidate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_invalidate_file");
+    g.bench_function("mash_extent_granular", |bch| {
+        bch.iter_batched(
+            || {
+                let m = mash(64 << 20);
+                warm(&m, 10_000);
+                m
+            },
+            |m| {
+                for file in 0..40u64 {
+                    m.invalidate_file(file);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("conventional_full_scan", |bch| {
+        bch.iter_batched(
+            || {
+                let b = baseline(64 << 20);
+                warm(&b, 10_000);
+                b
+            },
+            |b| {
+                for file in 0..40u64 {
+                    b.invalidate_file(file);
+                }
+                b
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packed_index");
+    g.bench_function("insert_10k", |bch| {
+        bch.iter_batched(
+            PackedIndex::new,
+            |mut idx| {
+                for i in 0..10_000u64 {
+                    idx.insert(i * 4096, (i % 1_000_000) as u32);
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut idx = PackedIndex::new();
+    for i in 0..10_000u64 {
+        idx.insert(i * 4096, (i % 1_000_000) as u32);
+    }
+    let mut i = 0u64;
+    g.bench_function("get", |bch| {
+        bch.iter(|| {
+            i = (i + 7919) % 10_000;
+            idx.get(i * 4096).expect("present")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_get_hit, bench_put, bench_invalidate, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Criterion micro-benchmarks for the LSM engine primitives: the
+//! components whose constant factors determine write/read amplification
+//! costs in every experiment.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use lsm::memtable::MemTable;
+use lsm::sstable::{Block, BlockBuilder, BloomFilter, Table, TableBuilder};
+use lsm::types::{make_internal_key, make_lookup_key, ValueType};
+use lsm::util::crc32c;
+use lsm::wal::LogWriter;
+use lsm::{Options, WriteBatch};
+use storage::{Env, MemEnv};
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xa5u8; 4096];
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("4k_block", |b| b.iter(|| crc32c(black_box(&data))));
+    g.finish();
+}
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.bench_function("insert_1k_entries", |b| {
+        b.iter_batched(
+            MemTable::new,
+            |m| {
+                for i in 0..1000u64 {
+                    m.insert(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let table = Arc::new(MemTable::new());
+    for i in 0..100_000u64 {
+        table.insert(i + 1, ValueType::Value, format!("key{i:08}").as_bytes(), b"value");
+    }
+    let mut i = 0u64;
+    g.bench_function("get_hot", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            table.get(format!("key{i:08}").as_bytes(), u64::MAX >> 9)
+        })
+    });
+    g.finish();
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block");
+    g.bench_function("build_4k", |b| {
+        b.iter(|| {
+            let mut builder = BlockBuilder::new(16);
+            for i in 0..64u64 {
+                let k = make_internal_key(format!("key{i:08}").as_bytes(), i + 1, ValueType::Value);
+                builder.add(&k, &[0u8; 32]);
+            }
+            builder.finish()
+        })
+    });
+    let mut builder = BlockBuilder::new(16);
+    for i in 0..64u64 {
+        let k = make_internal_key(format!("key{i:08}").as_bytes(), i + 1, ValueType::Value);
+        builder.add(&k, &[0u8; 32]);
+    }
+    let block = Arc::new(Block::new(builder.finish()).unwrap());
+    let mut j = 0u64;
+    g.bench_function("seek", |b| {
+        b.iter(|| {
+            j = (j + 17) % 64;
+            let mut it = block.iter();
+            lsm::iterator::InternalIterator::seek(
+                &mut it,
+                &make_lookup_key(format!("key{j:08}").as_bytes(), u64::MAX >> 9),
+            )
+            .unwrap();
+            assert!(lsm::iterator::InternalIterator::valid(&it));
+        })
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key{i:08}").into_bytes()).collect();
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("build_10k_keys", |b| {
+        b.iter(|| BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10))
+    });
+    let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+    let mut i = 0usize;
+    g.bench_function("probe", |b| {
+        b.iter(|| {
+            i = (i + 31) % keys.len();
+            filter.may_contain(black_box(&keys[i]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    g.throughput(Throughput::Bytes(1024 * 64));
+    g.bench_function("append_64_records_1k", |b| {
+        b.iter_batched(
+            || {
+                let env = MemEnv::new();
+                LogWriter::new(env.new_writable("log").unwrap())
+            },
+            |mut w| {
+                let payload = vec![0u8; 1024];
+                for _ in 0..64 {
+                    w.add_record(&payload).unwrap();
+                }
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let env = MemEnv::new();
+    let options = Options::default();
+    let mut builder = TableBuilder::new(env.new_writable("t").unwrap(), options.clone());
+    for i in 0..10_000u64 {
+        let k = make_internal_key(format!("key{i:08}").as_bytes(), i + 1, ValueType::Value);
+        builder.add(&k, &[7u8; 100]).unwrap();
+    }
+    builder.finish().unwrap();
+    let table =
+        Arc::new(Table::open(env.open_random("t").unwrap(), 1, options, None).unwrap());
+    let mut g = c.benchmark_group("table");
+    let mut i = 0u64;
+    g.bench_function("get_present", |b| {
+        b.iter(|| {
+            i = (i + 4099) % 10_000;
+            table
+                .get(&make_lookup_key(format!("key{i:08}").as_bytes(), u64::MAX >> 9))
+                .unwrap()
+                .expect("present")
+        })
+    });
+    g.bench_function("get_absent_bloom_filtered", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            table.get(&make_lookup_key(format!("nope{i:08}").as_bytes(), u64::MAX >> 9)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_batch");
+    g.bench_function("encode_100_puts", |b| {
+        b.iter(|| {
+            let mut batch = WriteBatch::new();
+            for i in 0..100u64 {
+                batch.put(format!("key{i:08}").as_bytes(), &[0u8; 100]);
+            }
+            batch
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_memtable,
+    bench_block,
+    bench_bloom,
+    bench_wal,
+    bench_table,
+    bench_batch
+);
+criterion_main!(benches);

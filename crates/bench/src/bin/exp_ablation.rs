@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_ablation`.
+
+fn main() {
+    bench::exp_ablation::run(&bench::ExpParams::from_env());
+}

@@ -1,0 +1,19 @@
+//! Run the full experiment suite (every reconstructed table and figure).
+
+fn main() {
+    let params = bench::ExpParams::from_env();
+    println!("RocksMash experiment suite (quick={})", params.quick);
+    bench::exp_metadata::run(&params);
+    bench::exp_recovery::run(&params);
+    bench::exp_micro::run(&params);
+    bench::exp_ycsb::run(&params);
+    bench::exp_cache_size::run(&params);
+    bench::exp_skew::run(&params);
+    bench::exp_cost::run(&params);
+    bench::exp_compaction::run(&params);
+    bench::exp_ablation::run(&params);
+    bench::exp_scan::run(&params);
+    bench::exp_clients::run(&params);
+    bench::exp_compression::run(&params);
+    println!("\nall experiments complete");
+}

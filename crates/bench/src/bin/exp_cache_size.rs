@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_cache_size`.
+
+fn main() {
+    bench::exp_cache_size::run(&bench::ExpParams::from_env());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_clients`.
+
+fn main() {
+    bench::exp_clients::run(&bench::ExpParams::from_env());
+}

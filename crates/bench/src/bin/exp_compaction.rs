@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_compaction`.
+
+fn main() {
+    bench::exp_compaction::run(&bench::ExpParams::from_env());
+}

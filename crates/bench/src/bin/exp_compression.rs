@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_compression`.
+
+fn main() {
+    bench::exp_compression::run(&bench::ExpParams::from_env());
+}

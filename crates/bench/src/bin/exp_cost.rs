@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_cost`.
+
+fn main() {
+    bench::exp_cost::run(&bench::ExpParams::from_env());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_metadata`.
+
+fn main() {
+    bench::exp_metadata::run(&bench::ExpParams::from_env());
+}

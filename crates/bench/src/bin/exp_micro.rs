@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_micro`.
+
+fn main() {
+    bench::exp_micro::run(&bench::ExpParams::from_env());
+}

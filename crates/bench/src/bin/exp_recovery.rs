@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_recovery`.
+
+fn main() {
+    bench::exp_recovery::run(&bench::ExpParams::from_env());
+}

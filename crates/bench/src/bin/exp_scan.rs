@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_scan`.
+
+fn main() {
+    bench::exp_scan::run(&bench::ExpParams::from_env());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_skew`.
+
+fn main() {
+    bench::exp_skew::run(&bench::ExpParams::from_env());
+}

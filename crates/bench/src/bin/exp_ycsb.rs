@@ -1,0 +1,5 @@
+//! Binary wrapper for the E-series experiment in `bench::exp_ycsb`.
+
+fn main() {
+    bench::exp_ycsb::run(&bench::ExpParams::from_env());
+}

@@ -1,0 +1,90 @@
+//! **E9** — design ablation (table): add the RocksMash pillars one at a
+//! time on top of bare tiered placement and measure YCSB-B.
+//!
+//! Expected shape: each pillar contributes — the persistent cache is the
+//! largest read win, the LSM-aware layout + packed metadata beat the
+//! conventional cache, admission filtering helps under scan pollution, and
+//! the eWAL leaves steady-state throughput intact (its win is recovery
+//! time, E6).
+
+use rocksmash::{CacheKind, Scheme, TieredConfig};
+use storage::LocalEnv;
+use workloads::{run_ops, WorkloadSpec};
+
+use crate::{emit_table, kops, ExpDir, ExpParams, Row};
+
+/// Run E9 and print its table.
+pub fn run(params: &ExpParams) {
+    type Variant = (&'static str, Box<dyn Fn(TieredConfig) -> TieredConfig>);
+    let variants: Vec<Variant> = vec![
+        (
+            "placement only",
+            Box::new(|base| TieredConfig {
+                cache: CacheKind::None,
+                ewal: false,
+                ..Scheme::RocksMash.configure(base)
+            }),
+        ),
+        (
+            "+conventional cache",
+            Box::new(|base| TieredConfig {
+                cache: CacheKind::Baseline,
+                ewal: false,
+                ..Scheme::RocksMash.configure(base)
+            }),
+        ),
+        (
+            "+lsm-aware cache",
+            Box::new(|base| TieredConfig {
+                cache: CacheKind::Mash,
+                cache_admission: false,
+                ewal: false,
+                ..Scheme::RocksMash.configure(base)
+            }),
+        ),
+        (
+            "+admission",
+            Box::new(|base| TieredConfig {
+                cache: CacheKind::Mash,
+                cache_admission: true,
+                ewal: false,
+                ..Scheme::RocksMash.configure(base)
+            }),
+        ),
+        (
+            "+ewal (full)",
+            Box::new(|base| Scheme::RocksMash.configure(base)),
+        ),
+    ];
+
+    let spec = WorkloadSpec::b(params.record_count, params.value_size);
+    let mut rows = Vec::new();
+    for (label, make) in variants {
+        let dir = ExpDir::new("ablation");
+        let env = std::sync::Arc::new(LocalEnv::new(dir.path().clone()).expect("env"));
+        let db = rocksmash::TieredDb::open(env, make(params.base_config())).expect("open");
+        run_ops(&db, spec.load_ops()).expect("load");
+        db.flush().expect("flush");
+        db.wait_for_compactions().expect("settle");
+        run_ops(&db, spec.run_ops(params.op_count / 2, 41)).expect("warm");
+        let result = run_ops(&db, spec.run_ops(params.op_count, 42)).expect("run");
+        let report = db.report().expect("report");
+        let hit = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
+        rows.push(Row::new(
+            label,
+            vec![
+                kops(result.throughput()),
+                format!("{:.3}", hit),
+                format!("{}", report.cloud.reads),
+                format!("{}", report.cache_metadata_bytes / 1024),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E9-ablation",
+        "YCSB-B with RocksMash pillars enabled incrementally",
+        &["kops/s", "cache hit", "cloud GETs", "cache meta KiB"],
+        &rows,
+    );
+}

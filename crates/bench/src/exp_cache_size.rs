@@ -1,0 +1,55 @@
+//! **E3** — read performance vs persistent cache size.
+//!
+//! Expected shape: RocksMash's throughput climbs steeply with cache size
+//! and saturates once the hot set fits; the naive cache needs noticeably
+//! more capacity for the same hit ratio (block-scatter + no admission
+//! control), and with no cache at all reads degenerate to cloud latency.
+
+use rocksmash::{Scheme, TieredConfig};
+use storage::LocalEnv;
+use workloads::microbench::readrandom;
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, kops, load_random, us, ExpDir, ExpParams, Row};
+
+/// Run E3 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let sizes: &[u64] = if params.quick {
+        &[256 << 10, 1 << 20, 4 << 20]
+    } else {
+        &[256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20]
+    };
+    let mut rows = Vec::new();
+    for scheme in [Scheme::RocksMash, Scheme::NaiveHybrid] {
+        for &cache_bytes in sizes {
+            let dir = ExpDir::new("cache-size");
+            let env = std::sync::Arc::new(LocalEnv::new(dir.path().clone()).expect("env"));
+            let config = TieredConfig { cache_bytes, ..params.base_config() };
+            let db = scheme.open(env, config).expect("open");
+            load_random(&db, params);
+            // Warm, then measure.
+            let dist = KeyDistribution::zipfian_default();
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 5)).expect("warm");
+            let result = run_ops(&db, readrandom(params.record_count, params.op_count, dist, 5))
+                .expect("measure");
+            let report = db.report().expect("report");
+            let hit_ratio = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
+            rows.push(Row::new(
+                format!("{}/{}KiB", scheme.name(), cache_bytes >> 10),
+                vec![
+                    kops(result.throughput()),
+                    us(result.overall_latency().mean_ns()),
+                    us(result.overall_latency().percentile_ns(99.0) as f64),
+                    format!("{:.3}", hit_ratio),
+                ],
+            ));
+            db.close().expect("close");
+        }
+    }
+    emit_table(
+        "E3-cache-size",
+        "zipfian reads vs persistent cache capacity",
+        &["read kops/s", "mean us", "p99 us", "hit ratio"],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! **E11** — throughput vs concurrent clients.
+//!
+//! The cloud tier is latency-bound, so its schemes scale with client
+//! concurrency until bandwidth or CPU saturates; the local-only scheme is
+//! CPU-bound and flat (or regresses on few cores). Expected shape:
+//! RocksMash needs far fewer clients than the uncached schemes to reach a
+//! given throughput (its hits don't pay the latency), but all cloud-backed
+//! schemes climb with concurrency — the paper's multi-client YCSB setup.
+
+use rocksmash::Scheme;
+use workloads::microbench::readrandom;
+use workloads::{run_ops, run_ops_concurrent, KeyDistribution};
+
+use crate::{emit_table, kops, load_random, open_scheme, ExpParams, Row};
+
+/// Run E11 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let thread_counts: &[usize] = if params.quick { &[1, 8] } else { &[1, 2, 4, 8, 16] };
+    let mut rows = Vec::new();
+    for scheme in [Scheme::LocalOnly, Scheme::CloudOnly, Scheme::NaiveHybrid, Scheme::RocksMash] {
+        let (_dir, db) = open_scheme(scheme, params);
+        load_random(&db, params);
+        let dist = KeyDistribution::zipfian_default();
+        // Warm caches once.
+        run_ops(&db, readrandom(params.record_count, params.op_count, dist, 61)).expect("warm");
+        let mut values = Vec::new();
+        for &threads in thread_counts {
+            let result = run_ops_concurrent(
+                &db,
+                readrandom(params.record_count, params.op_count, dist, 62),
+                threads,
+            )
+            .expect("run");
+            assert_eq!(result.not_found, 0);
+            values.push(kops(result.throughput()));
+        }
+        rows.push(Row::new(scheme.name(), values));
+        db.close().expect("close");
+    }
+    let headers: Vec<String> = thread_counts.iter().map(|t| format!("{t} clients")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    emit_table(
+        "E11-clients",
+        "zipfian read throughput vs concurrent clients (kops/s)",
+        &header_refs,
+        &rows,
+    );
+}

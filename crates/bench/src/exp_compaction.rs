@@ -1,0 +1,95 @@
+//! **E8** — compaction interference on the persistent cache.
+//!
+//! Warms the cache, then injects a write burst that triggers compactions
+//! (obsoleting cloud-resident SSTables and invalidating their cached
+//! blocks), and measures read performance before, during, and after, plus
+//! the bookkeeping cost of invalidation. Expected shape: the
+//! compaction-aware layout invalidates in O(extents) and recovers its hit
+//! ratio quickly; the conventional cache pays O(slots) scans per obsolete
+//! file and loses more ground during the burst.
+
+use rocksmash::{CacheKind, Scheme, TieredConfig};
+use storage::LocalEnv;
+use workloads::microbench::{overwrite, readrandom};
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, kops, load_random, ExpDir, ExpParams, Row};
+
+/// Run E8 and print its table.
+pub fn run(params: &ExpParams) {
+    let mut rows = Vec::new();
+    for cache in [CacheKind::Mash, CacheKind::Baseline] {
+        let dir = ExpDir::new("compaction");
+        let env = std::sync::Arc::new(LocalEnv::new(dir.path().clone()).expect("env"));
+        // RocksMash placement with the cache under test.
+        let config = TieredConfig {
+            cache,
+            ..Scheme::RocksMash.configure(params.base_config())
+        };
+        let db = rocksmash::TieredDb::open(env, config).expect("open");
+        load_random(&db, params);
+        let dist = KeyDistribution::zipfian_default();
+
+        // Phase 1: warm reads.
+        run_ops(&db, readrandom(params.record_count, params.op_count, dist, 31)).expect("warm");
+        let before =
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 32)).expect("pre");
+        let hits_before = db.report().expect("report").cache.expect("cache").hit_ratio();
+
+        // Phase 2: write burst → compactions → cache invalidations.
+        run_ops(
+            &db,
+            overwrite(params.record_count, params.record_count / 2, params.value_size, dist, 33),
+        )
+        .expect("burst");
+        db.flush().expect("flush");
+        db.wait_for_compactions().expect("settle");
+        let during =
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 34)).expect("mid");
+
+        // Phase 3: let the cache re-warm.
+        run_ops(&db, readrandom(params.record_count, params.op_count, dist, 35)).expect("rewarm");
+        let after =
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 36)).expect("post");
+
+        let report = db.report().expect("report");
+        let cache_stats = report.cache.expect("cache");
+        let label = match cache {
+            CacheKind::Mash => "mash(extent)",
+            CacheKind::Baseline => "conventional",
+            CacheKind::None => unreachable!(),
+        };
+        rows.push(Row::new(
+            label,
+            vec![
+                kops(before.throughput()),
+                kops(during.throughput()),
+                kops(after.throughput()),
+                format!("{:.3}", hits_before),
+                format!("{:.3}", cache_stats.hit_ratio()),
+                format!("{}", cache_stats.invalidations),
+                format!("{}", cache_stats.invalidation_steps),
+                format!(
+                    "{:.1}",
+                    cache_stats.invalidation_steps as f64 / cache_stats.invalidations.max(1) as f64
+                ),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E8-compaction",
+        "read throughput through a compaction storm + invalidation cost",
+        &[
+            "pre kops/s",
+            "post-burst kops/s",
+            "rewarmed kops/s",
+            "hit pre",
+            "hit cum",
+            "invalidations",
+            "inval steps",
+            "steps/inval",
+        ],
+        &rows,
+    );
+}

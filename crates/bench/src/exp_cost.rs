@@ -1,0 +1,67 @@
+//! **E7** — storage cost-effectiveness table.
+//!
+//! After identical load + mixed read phases, reports where the bytes sit,
+//! what the month costs (capacity + requests + egress at S3-like list
+//! prices), and throughput per dollar. Expected shape: LocalOnly buys the
+//! most throughput at the highest capacity price; CloudOnly is cheapest
+//! and slowest; RocksMash approaches LocalOnly throughput at close to
+//! CloudOnly capacity cost — the cost-effectiveness argument of the paper.
+
+use rocksmash::Scheme;
+use workloads::microbench::readrandom;
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, kops, load_random, open_scheme, ExpParams, Row};
+
+/// Run E7 and print its table.
+pub fn run(params: &ExpParams) {
+    let mut rows = Vec::new();
+    for scheme in Scheme::all() {
+        let (_dir, db) = open_scheme(scheme, params);
+        load_random(&db, params);
+        db.cloud().cost_tracker().reset();
+        let dist = KeyDistribution::zipfian_default();
+        run_ops(&db, readrandom(params.record_count, params.op_count, dist, 21)).expect("warm");
+        let result =
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 22)).expect("run");
+        let report = db.report().expect("report");
+        // The two independent cost dimensions of the paper's argument,
+        // normalized so they are scale-free:
+        //  * capacity price per GiB-month, blending the tiers by where the
+        //    scheme's bytes actually sit;
+        //  * request+egress dollars per million operations served.
+        let data_bytes = (report.local_bytes + report.cloud_bytes).max(1);
+        let capacity_per_gib = (report.cost.cloud_capacity_cost
+            + report.cost.local_capacity_cost)
+            / (data_bytes as f64 / (1u64 << 30) as f64);
+        let request_cost = report.cost.request_cost + report.cost.egress_cost;
+        // Both warm + measured phases issued cloud requests; bill per op.
+        let billed_ops = 2 * params.op_count;
+        let request_per_mops = request_cost / billed_ops as f64 * 1e6;
+        rows.push(Row::new(
+            scheme.name(),
+            vec![
+                format!("{:.1}", report.local_bytes as f64 / (1 << 20) as f64),
+                format!("{:.1}", report.cloud_bytes as f64 / (1 << 20) as f64),
+                format!("{:.2}", report.local_fraction() * 100.0),
+                format!("{:.4}", capacity_per_gib),
+                format!("{:.3}", request_per_mops),
+                kops(result.throughput()),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E7-cost",
+        "storage cost dimensions and read performance by scheme",
+        &[
+            "local MiB",
+            "cloud MiB",
+            "local %",
+            "capacity $/GiB-mo",
+            "req $/Mops",
+            "read kops/s",
+        ],
+        &rows,
+    );
+}

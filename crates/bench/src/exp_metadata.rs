@@ -1,0 +1,71 @@
+//! **E5** — persistent-cache metadata space overhead (table).
+//!
+//! Feeds the identical block population into the RocksMash cache (packed
+//! 8-byte index entries, extent bookkeeping) and the conventional cache
+//! (string-keyed hash map + LRU links) and reports DRAM per cached block
+//! and per cached GiB. Expected shape: roughly an order of magnitude gap,
+//! widening as blocks shrink.
+
+use std::sync::Arc;
+
+use mashcache::cache::{CacheConfig, PersistentBlockCache, SLOT_HEADER};
+use mashcache::{BaselineCache, MashCache, MemCacheStorage};
+
+use crate::{emit_table, ExpParams, Row};
+
+/// Run E5 and print its table.
+pub fn run(params: &ExpParams) {
+    let block_sizes: &[usize] =
+        if params.quick { &[4096] } else { &[1024, 4096, 16 * 1024] };
+    let mut rows = Vec::new();
+    for &block_size in block_sizes {
+        let blocks: u64 = if params.quick { 5_000 } else { 20_000 };
+        let capacity = (block_size + SLOT_HEADER) as u64 * (blocks + 16);
+        let slot_size = (block_size + SLOT_HEADER) as u32;
+
+        let mash = MashCache::new(
+            Arc::new(MemCacheStorage::new(capacity as usize)),
+            CacheConfig { slot_size, slots_per_extent: 64, admission: false, ..CacheConfig::default() },
+        );
+        let baseline =
+            BaselineCache::new(Arc::new(MemCacheStorage::new(capacity as usize)), slot_size);
+
+        let payload = vec![0xabu8; block_size];
+        // Blocks spread over many files, as a real LSM produces them.
+        let blocks_per_file = 256u64;
+        for i in 0..blocks {
+            let file = i / blocks_per_file;
+            let offset = (i % blocks_per_file) * block_size as u64;
+            mash.put(file, offset, &payload, 3);
+            baseline.put(file, offset, &payload, 3);
+        }
+        assert_eq!(mash.stats().inserts, blocks);
+        assert_eq!(baseline.stats().inserts, blocks);
+
+        let mash_per_block = mash.metadata_bytes() as f64 / blocks as f64;
+        let base_per_block = baseline.metadata_bytes() as f64 / blocks as f64;
+        let per_gib = |per_block: f64| per_block * (1 << 30) as f64 / block_size as f64 / (1 << 20) as f64;
+        rows.push(Row::new(
+            format!("block={block_size}B"),
+            vec![
+                format!("{mash_per_block:.1}"),
+                format!("{base_per_block:.1}"),
+                format!("{:.1}", per_gib(mash_per_block)),
+                format!("{:.1}", per_gib(base_per_block)),
+                format!("{:.1}x", base_per_block / mash_per_block),
+            ],
+        ));
+    }
+    emit_table(
+        "E5-metadata",
+        "cache metadata DRAM overhead (RocksMash vs conventional)",
+        &[
+            "mash B/block",
+            "conv B/block",
+            "mash MiB/GiB",
+            "conv MiB/GiB",
+            "savings",
+        ],
+        &rows,
+    );
+}

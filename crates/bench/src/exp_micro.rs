@@ -1,0 +1,95 @@
+//! **E1** — microbenchmark throughput across schemes (the paper's
+//! db_bench-style figure: fillrandom / readrandom / readseq / seekrandom).
+//!
+//! Expected shape: writes land within a small band of each other (the
+//! write path is local in every scheme); random reads order LocalOnly >
+//! RocksMash > NaiveHybrid > CloudOnly, with RocksMash recovering most of
+//! the local-read performance through its cache — the up-to-1.7×-over-
+//! state-of-the-art headline.
+
+use rocksmash::Scheme;
+use workloads::microbench::{readrandom, readseq, seekrandom};
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, kops, open_scheme, us, ExpParams, Row};
+
+/// Run E1 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let mut rows = Vec::new();
+    for scheme in Scheme::all() {
+        let (_dir, db) = open_scheme(scheme, params);
+
+        let load = run_ops(
+            &db,
+            workloads::microbench::fillrandom(params.record_count, params.value_size, 0x10ad),
+        )
+        .expect("fillrandom");
+        db.flush().expect("flush");
+        db.wait_for_compactions().expect("settle");
+
+        let reads = run_ops(
+            &db,
+            readrandom(
+                params.record_count,
+                params.op_count,
+                KeyDistribution::zipfian_default(),
+                7,
+            ),
+        )
+        .expect("readrandom");
+        // Second pass over the same key stream: the paper's warm-cache read
+        // numbers (caches populated by the first pass).
+        let warm = run_ops(
+            &db,
+            readrandom(
+                params.record_count,
+                params.op_count,
+                KeyDistribution::zipfian_default(),
+                7,
+            ),
+        )
+        .expect("readrandom warm");
+
+        let seq = run_ops(&db, readseq(params.record_count, 100)).expect("readseq");
+        let seeks = run_ops(
+            &db,
+            seekrandom(
+                params.record_count,
+                params.op_count / 4,
+                10,
+                KeyDistribution::zipfian_default(),
+                11,
+            ),
+        )
+        .expect("seekrandom");
+
+        assert_eq!(reads.not_found, 0, "{}: reads missed loaded keys", scheme.name());
+        rows.push(Row::new(
+            scheme.name(),
+            vec![
+                kops(load.throughput()),
+                kops(reads.throughput()),
+                kops(warm.throughput()),
+                format!("{:.2}", seq.scanned_records as f64 / seq.elapsed_secs / 1000.0),
+                kops(seeks.throughput()),
+                us(warm.overall_latency().mean_ns()),
+                us(warm.overall_latency().percentile_ns(99.0) as f64),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E1-micro",
+        "microbenchmark throughput by scheme",
+        &[
+            "fill kops/s",
+            "read kops/s",
+            "warm-read kops/s",
+            "scan krec/s",
+            "seek kops/s",
+            "warm mean us",
+            "warm p99 us",
+        ],
+        &rows,
+    );
+}

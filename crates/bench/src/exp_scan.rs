@@ -1,0 +1,43 @@
+//! **E10** — scan throughput vs scan length across schemes.
+//!
+//! Expected shape: short scans behave like point reads (cloud latency
+//! dominates uncached schemes); long scans amortize the per-request
+//! latency over more records, narrowing the gap — the crossover where
+//! cloud bandwidth, not latency, becomes the limit.
+
+use rocksmash::Scheme;
+use workloads::microbench::seekrandom;
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, load_random, open_scheme, ExpParams, Row};
+
+/// Run E10 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let lengths: &[usize] = if params.quick { &[1, 100] } else { &[1, 10, 100, 1000] };
+    let mut rows = Vec::new();
+    for scheme in Scheme::all() {
+        let (_dir, db) = open_scheme(scheme, params);
+        load_random(&db, params);
+        let mut values = Vec::new();
+        for &len in lengths {
+            let ops = (params.op_count / 8).max(50).min(2_000_000 / len as u64);
+            run_ops(
+                &db,
+                seekrandom(params.record_count, ops / 2, len, KeyDistribution::Uniform, 51),
+            )
+            .expect("warm");
+            let result = run_ops(
+                &db,
+                seekrandom(params.record_count, ops, len, KeyDistribution::Uniform, 52),
+            )
+            .expect("run");
+            let records_per_sec = result.scanned_records as f64 / result.elapsed_secs;
+            values.push(format!("{:.1}", records_per_sec / 1000.0));
+        }
+        rows.push(Row::new(scheme.name(), values));
+        db.close().expect("close");
+    }
+    let headers: Vec<String> = lengths.iter().map(|l| format!("len={l} krec/s")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    emit_table("E10-scan", "scan throughput vs scan length", &header_refs, &rows);
+}

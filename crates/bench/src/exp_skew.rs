@@ -1,0 +1,47 @@
+//! **E4** — cache hit ratio and throughput vs workload skew.
+//!
+//! Expected shape: the LSM-aware cache thrives on skew (hit ratio → 1 as
+//! theta grows); under uniform access the cache barely helps and RocksMash
+//! converges towards the uncached hybrid.
+
+use rocksmash::Scheme;
+use workloads::microbench::readrandom;
+use workloads::{run_ops, KeyDistribution};
+
+use crate::{emit_table, kops, load_random, open_scheme, ExpParams, Row};
+
+/// Run E4 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let thetas: &[f64] = if params.quick { &[0.6, 0.99] } else { &[0.5, 0.7, 0.9, 0.99] };
+    let mut rows = Vec::new();
+    let mut points: Vec<(String, KeyDistribution)> = thetas
+        .iter()
+        .map(|&theta| (format!("zipf({theta})"), KeyDistribution::Zipfian { theta }))
+        .collect();
+    points.push(("uniform".to_string(), KeyDistribution::Uniform));
+
+    for (label, dist) in points {
+        let (_dir, db) = open_scheme(Scheme::RocksMash, params);
+        load_random(&db, params);
+        run_ops(&db, readrandom(params.record_count, params.op_count, dist, 9)).expect("warm");
+        let result =
+            run_ops(&db, readrandom(params.record_count, params.op_count, dist, 10)).expect("run");
+        let report = db.report().expect("report");
+        let cache = report.cache.expect("cache");
+        rows.push(Row::new(
+            label,
+            vec![
+                kops(result.throughput()),
+                format!("{:.3}", cache.hit_ratio()),
+                format!("{}", report.cloud.reads),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E4-skew",
+        "RocksMash reads vs key-popularity skew",
+        &["read kops/s", "cache hit ratio", "cloud GETs"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! **E2** — YCSB A–F throughput across schemes (the paper's macrobenchmark
+//! figure).
+//!
+//! Expected shape: RocksMash tracks LocalOnly closely on skewed
+//! read-dominated mixes (B, C, D — the cache absorbs the hot set), leads
+//! NaiveHybrid everywhere, and CloudOnly trails by a wide margin on every
+//! mix with reads. Scan-heavy E is the hardest mix for every cloud-backed
+//! scheme.
+
+use rocksmash::Scheme;
+use workloads::{run_ops, WorkloadSpec};
+
+use crate::{emit_table, kops, open_scheme, ExpParams, Row};
+
+/// Run E2 and print its figure series.
+pub fn run(params: &ExpParams) {
+    let suite = WorkloadSpec::core_suite(params.record_count, params.value_size);
+    let mut rows = Vec::new();
+    for scheme in Scheme::all() {
+        let mut values = Vec::new();
+        for spec in &suite {
+            let (_dir, db) = open_scheme(scheme, params);
+            run_ops(&db, spec.load_ops()).expect("load");
+            db.flush().expect("flush");
+            db.wait_for_compactions().expect("settle");
+            // Warm pass (half the ops) so caches reach steady state, then
+            // the measured pass.
+            run_ops(&db, spec.run_ops(params.op_count / 2, 3)).expect("warmup");
+            let ops = if spec.name == "ycsb-e" { params.op_count / 4 } else { params.op_count };
+            let result = run_ops(&db, spec.run_ops(ops, 4)).expect("run");
+            values.push(kops(result.throughput()));
+            db.close().expect("close");
+        }
+        rows.push(Row::new(scheme.name(), values));
+    }
+    emit_table(
+        "E2-ycsb",
+        "YCSB core workload throughput (kops/s)",
+        &["A", "B", "C", "D", "E", "F"],
+        &rows,
+    );
+}

@@ -1,0 +1,243 @@
+//! Shared experiment harness.
+//!
+//! Every table and figure of the reconstructed evaluation (DESIGN.md,
+//! EXPERIMENTS.md) has a module here with a `run(&ExpParams)` entry point
+//! and a thin binary wrapper in `src/bin/`. Experiments print their
+//! rows/series as aligned text tables and append machine-readable JSON
+//! lines under `results/`.
+//!
+//! Scales are laptop-sized but preserve the ratios that drive the paper's
+//! conclusions: the cloud tier pays a per-request first-byte latency two
+//! orders of magnitude above local, capacity prices differ ~4×, and the
+//! LSM spills most bytes to the cold tier. Set `RM_QUICK=1` for a fast
+//! smoke pass.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lsm::Options;
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::{CloudConfig, LatencyModel, LocalEnv};
+use workloads::microbench::fillrandom;
+use workloads::run_ops;
+
+pub mod exp_ablation;
+pub mod exp_cache_size;
+pub mod exp_clients;
+pub mod exp_compaction;
+pub mod exp_compression;
+pub mod exp_cost;
+pub mod exp_metadata;
+pub mod exp_micro;
+pub mod exp_recovery;
+pub mod exp_scan;
+pub mod exp_skew;
+pub mod exp_ycsb;
+
+/// Global experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExpParams {
+    /// Records loaded before measured phases.
+    pub record_count: u64,
+    /// Value payload bytes.
+    pub value_size: usize,
+    /// Measured operations per phase.
+    pub op_count: u64,
+    /// Persistent cache capacity for cached schemes.
+    pub cache_bytes: u64,
+    /// Simulated cloud first-byte latency (µs).
+    pub cloud_base_us: u64,
+    /// Quick mode (CI smoke).
+    pub quick: bool,
+}
+
+impl ExpParams {
+    /// Standard scale, honoring `RM_QUICK=1`.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            ExpParams {
+                record_count: 4_000,
+                value_size: 128,
+                op_count: 800,
+                cache_bytes: 1 << 20,
+                cloud_base_us: 150,
+                quick: true,
+            }
+        } else {
+            ExpParams {
+                record_count: 20_000,
+                value_size: 256,
+                op_count: 4_000,
+                cache_bytes: 2 << 20,
+                cloud_base_us: 400,
+                quick: false,
+            }
+        }
+    }
+
+    /// Approximate user-data volume of the loaded key space.
+    pub fn data_bytes(&self) -> u64 {
+        self.record_count * (self.value_size as u64 + 16)
+    }
+
+    /// Engine options shared by every scheme, scaled to the dataset so the
+    /// tree develops 3+ levels (most bytes below the local/cloud split)
+    /// and the in-memory block cache holds only a small fraction — the
+    /// same proportions as the paper's multi-GB runs.
+    pub fn engine_options(&self) -> Options {
+        let data = self.data_bytes();
+        Options {
+            write_buffer_size: (data / 24).clamp(64 << 10, 4 << 20) as usize,
+            target_file_size: (data / 20).clamp(32 << 10, 2 << 20),
+            max_bytes_for_level_base: (data / 5).clamp(128 << 10, 16 << 20),
+            level_size_multiplier: 8,
+            l0_compaction_trigger: 4,
+            block_size: 4096,
+            block_cache_bytes: (data / 10).clamp(64 << 10, 8 << 20) as usize,
+            bloom_bits_per_key: 10,
+            ..Options::default()
+        }
+    }
+
+    /// The shared scheme-independent configuration.
+    pub fn base_config(&self) -> TieredConfig {
+        TieredConfig {
+            options: self.engine_options(),
+            cache_bytes: self.cache_bytes,
+            cloud: CloudConfig {
+                latency: LatencyModel {
+                    base_us: self.cloud_base_us,
+                    bandwidth_mib_s: 400.0,
+                    jitter_frac: 0.05,
+                },
+                ..CloudConfig::default()
+            },
+            ..TieredConfig::rocksmash()
+        }
+    }
+}
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch database directory, removed on drop.
+pub struct ExpDir {
+    path: PathBuf,
+}
+
+impl ExpDir {
+    /// Fresh empty directory under the system temp dir.
+    pub fn new(tag: &str) -> ExpDir {
+        let path = std::env::temp_dir().join(format!(
+            "rocksmash-exp-{tag}-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create experiment dir");
+        ExpDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &PathBuf {
+        &self.path
+    }
+}
+
+impl Drop for ExpDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Open a scheme on a fresh local directory with the shared base config.
+pub fn open_scheme(scheme: Scheme, params: &ExpParams) -> (ExpDir, TieredDb) {
+    let dir = ExpDir::new(scheme.name());
+    let env = Arc::new(LocalEnv::new(dir.path().clone()).expect("local env"));
+    let db = scheme.open(env, params.base_config()).expect("open scheme");
+    (dir, db)
+}
+
+/// Load `record_count` records in random order, flush, and let compaction
+/// settle so every scheme starts from the same shape.
+pub fn load_random(db: &TieredDb, params: &ExpParams) {
+    run_ops(db, fillrandom(params.record_count, params.value_size, 0x10ad)).expect("load");
+    db.flush().expect("flush");
+    db.wait_for_compactions().expect("compactions");
+}
+
+/// One output row: label plus column values.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Row {
+    /// Row label (scheme, parameter point...).
+    pub label: String,
+    /// Column values in header order.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Build a row from anything displayable.
+    pub fn new(label: impl Into<String>, values: Vec<String>) -> Row {
+        Row { label: label.into(), values }
+    }
+}
+
+/// Print an aligned table and persist it as JSON lines under `results/`.
+pub fn emit_table(experiment: &str, title: &str, headers: &[&str], rows: &[Row]) {
+    println!("\n== {experiment}: {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap_or(8);
+    for row in rows {
+        for (i, v) in row.values.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(v.len());
+            }
+        }
+    }
+    print!("{:label_width$}", "");
+    for (h, w) in headers.iter().zip(&widths) {
+        print!("  {h:>w$}");
+    }
+    println!();
+    for row in rows {
+        print!("{:label_width$}", row.label);
+        for (v, w) in row.values.iter().zip(&widths) {
+            print!("  {v:>w$}");
+        }
+        println!();
+    }
+
+    let out_dir = std::env::var("RM_OUT").unwrap_or_else(|_| "results".to_string());
+    if std::fs::create_dir_all(&out_dir).is_ok() {
+        let path = PathBuf::from(out_dir).join(format!("{experiment}.jsonl"));
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write;
+            for row in rows {
+                let record = serde_json::json!({
+                    "experiment": experiment,
+                    "title": title,
+                    "headers": headers,
+                    "label": row.label,
+                    "values": row.values,
+                });
+                let _ = writeln!(file, "{record}");
+            }
+        }
+    }
+}
+
+/// Format ops/sec as kops with two decimals.
+pub fn kops(ops: f64) -> String {
+    format!("{:.2}", ops / 1000.0)
+}
+
+/// Format nanoseconds as microseconds with one decimal.
+pub fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1000.0)
+}

@@ -1,0 +1,259 @@
+//! Atomic write batches.
+//!
+//! A [`WriteBatch`] is the unit of WAL logging and memtable application, in
+//! the exact byte format that goes on the log:
+//!
+//! ```text
+//! sequence: fixed64 | count: fixed32 | records...
+//! record   = kTypeValue    varstring(key) varstring(value)
+//!          | kTypeDeletion varstring(key)
+//! ```
+
+use crate::error::{Error, Result};
+use crate::types::{SequenceNumber, ValueType};
+use crate::util::{get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed};
+
+const HEADER_SIZE: usize = 12;
+
+/// An ordered set of updates applied atomically.
+#[derive(Debug, Clone)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+    count: u32,
+}
+
+impl WriteBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        let mut rep = Vec::with_capacity(64);
+        rep.resize(HEADER_SIZE, 0);
+        WriteBatch { rep, count: 0 }
+    }
+
+    /// Queue a put of `key` → `value`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, value);
+        self.count += 1;
+        self.write_count();
+    }
+
+    /// Queue a deletion of `key`.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed(&mut self.rep, key);
+        self.count += 1;
+        self.write_count();
+    }
+
+    /// Remove all queued updates.
+    pub fn clear(&mut self) {
+        self.rep.truncate(HEADER_SIZE);
+        self.rep[..HEADER_SIZE].fill(0);
+        self.count = 0;
+    }
+
+    /// Number of updates queued.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no updates are queued.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Serialized size in bytes (what will be appended to the WAL).
+    pub fn byte_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Stamp the starting sequence number for this batch.
+    pub fn set_sequence(&mut self, seq: SequenceNumber) {
+        self.rep[..8].copy_from_slice(&seq.to_le_bytes());
+    }
+
+    /// The starting sequence number stamped on this batch.
+    pub fn sequence(&self) -> SequenceNumber {
+        get_fixed64(&self.rep)
+    }
+
+    /// The on-log byte representation.
+    pub fn data(&self) -> &[u8] {
+        &self.rep
+    }
+
+    /// Rebuild a batch from its on-log representation, validating framing.
+    pub fn from_data(data: &[u8]) -> Result<WriteBatch> {
+        if data.len() < HEADER_SIZE {
+            return Err(Error::corruption("write batch shorter than header"));
+        }
+        let batch = WriteBatch { rep: data.to_vec(), count: get_fixed32(&data[8..]) };
+        // Validate by walking all records.
+        let walked = batch.iter().count() as u32;
+        if walked != batch.count {
+            return Err(Error::corruption(format!(
+                "write batch count mismatch: header {} walked {}",
+                batch.count, walked
+            )));
+        }
+        Ok(batch)
+    }
+
+    /// Iterate over the queued updates in insertion order.
+    pub fn iter(&self) -> BatchIter<'_> {
+        BatchIter { rest: &self.rep[HEADER_SIZE..] }
+    }
+
+    /// Append all updates from `other` onto this batch.
+    pub fn append(&mut self, other: &WriteBatch) {
+        self.rep.extend_from_slice(&other.rep[HEADER_SIZE..]);
+        self.count += other.count;
+        self.write_count();
+    }
+
+    fn write_count(&mut self) {
+        let mut header = Vec::with_capacity(4);
+        put_fixed32(&mut header, self.count);
+        self.rep[8..12].copy_from_slice(&header);
+    }
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One update inside a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp<'a> {
+    /// key → value insertion.
+    Put(&'a [u8], &'a [u8]),
+    /// key deletion.
+    Delete(&'a [u8]),
+}
+
+/// Iterator over batch records; stops at the first malformed record.
+pub struct BatchIter<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = BatchOp<'a>;
+
+    fn next(&mut self) -> Option<BatchOp<'a>> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let tag = ValueType::from_u8(self.rest[0])?;
+        self.rest = &self.rest[1..];
+        let (key, n) = get_length_prefixed(self.rest)?;
+        self.rest = &self.rest[n..];
+        match tag {
+            ValueType::Value => {
+                let (value, m) = get_length_prefixed(self.rest)?;
+                self.rest = &self.rest[m..];
+                Some(BatchOp::Put(key, value))
+            }
+            ValueType::Deletion => Some(BatchOp::Delete(key)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_delete_iterate_in_order() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.delete(b"b");
+        b.put(b"c", b"3");
+        let ops: Vec<_> = b.iter().collect();
+        assert_eq!(
+            ops,
+            vec![BatchOp::Put(b"a", b"1"), BatchOp::Delete(b"b"), BatchOp::Put(b"c", b"3")]
+        );
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn sequence_stamp_roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        b.set_sequence(12345);
+        assert_eq!(b.sequence(), 12345);
+        let again = WriteBatch::from_data(b.data()).unwrap();
+        assert_eq!(again.sequence(), 12345);
+        assert_eq!(again.count(), 1);
+    }
+
+    #[test]
+    fn from_data_validates_count() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        let mut data = b.data().to_vec();
+        data[8] = 9; // lie about the count
+        assert!(matches!(WriteBatch::from_data(&data), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn from_data_rejects_truncation() {
+        let mut b = WriteBatch::new();
+        b.put(b"key", b"value");
+        let data = b.data();
+        assert!(WriteBatch::from_data(&data[..data.len() - 2]).is_err());
+        assert!(WriteBatch::from_data(&data[..4]).is_err());
+    }
+
+    #[test]
+    fn append_merges_batches() {
+        let mut a = WriteBatch::new();
+        a.put(b"x", b"1");
+        let mut b = WriteBatch::new();
+        b.delete(b"y");
+        b.put(b"z", b"2");
+        a.append(&b);
+        assert_eq!(a.count(), 3);
+        let ops: Vec<_> = a.iter().collect();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[1], BatchOp::Delete(b"y"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        b.set_sequence(5);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.sequence(), 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn empty_keys_and_values_allowed() {
+        let mut b = WriteBatch::new();
+        b.put(b"", b"");
+        b.delete(b"");
+        let ops: Vec<_> = b.iter().collect();
+        assert_eq!(ops, vec![BatchOp::Put(b"", b""), BatchOp::Delete(b"")]);
+    }
+
+    #[test]
+    fn large_values_roundtrip() {
+        let big = vec![0xabu8; 1 << 16];
+        let mut b = WriteBatch::new();
+        b.put(b"big", &big);
+        match b.iter().next().unwrap() {
+            BatchOp::Put(k, v) => {
+                assert_eq!(k, b"big");
+                assert_eq!(v.len(), big.len());
+            }
+            _ => panic!("expected put"),
+        }
+    }
+}

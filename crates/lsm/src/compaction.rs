@@ -1,0 +1,377 @@
+//! Leveled compaction: picking inputs and iterating them.
+//!
+//! Scoring follows LevelDB: L0 is scored by file count against the trigger,
+//! deeper levels by total bytes against their budget. The compaction with
+//! the highest score ≥ 1 wins. Inputs are the victim file(s) at the level
+//! plus every overlapping file one level down; execution (in `db`) merges
+//! them, drops shadowed/dead entries, and writes fresh tables at the lower
+//! level. Trivial moves are intentionally not implemented: every compaction
+//! rewrites its inputs, which keeps tier placement decisions (crate
+//! `rocksmash`) a pure function of the output level (see DESIGN.md).
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::iterator::InternalIterator;
+use crate::options::Options;
+use crate::sstable::{Table, TableIter};
+use crate::types::{extract_user_key, internal_compare};
+use crate::version::{FileMetaData, Version};
+
+/// Opens tables by metadata; implemented by the DB's table cache.
+pub trait TableProvider: Send + Sync {
+    /// Return an open table for `meta`.
+    fn table(&self, meta: &FileMetaData) -> Result<Arc<Table>>;
+}
+
+/// A picked compaction: merge `inputs[0]` (at `level`) with `inputs[1]`
+/// (at `level + 1`), writing outputs at `level + 1`.
+#[derive(Debug, Clone)]
+pub struct Compaction {
+    /// Input level.
+    pub level: usize,
+    /// Files at `level` and at `level + 1`.
+    pub inputs: [Vec<Arc<FileMetaData>>; 2],
+}
+
+impl Compaction {
+    /// Level compaction outputs land on.
+    pub fn output_level(&self) -> usize {
+        self.level + 1
+    }
+
+    /// All input files with their levels.
+    pub fn all_inputs(&self) -> impl Iterator<Item = (usize, &Arc<FileMetaData>)> {
+        self.inputs[0]
+            .iter()
+            .map(move |f| (self.level, f))
+            .chain(self.inputs[1].iter().map(move |f| (self.level + 1, f)))
+    }
+
+    /// Total bytes of input data.
+    pub fn input_bytes(&self) -> u64 {
+        self.all_inputs().map(|(_, f)| f.file_size).sum()
+    }
+}
+
+/// Compute the compaction score of every level; index 0 is L0.
+pub fn level_scores(version: &Version, options: &Options) -> Vec<f64> {
+    let mut scores = vec![0.0; version.levels.len()];
+    scores[0] = version.levels[0].len() as f64 / options.l0_compaction_trigger as f64;
+    // The last level has no budget: data rests there.
+    #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
+    for level in 1..version.levels.len() - 1 {
+        scores[level] =
+            version.level_bytes(level) as f64 / options.max_bytes_for_level(level) as f64;
+    }
+    scores
+}
+
+/// Pick the most urgent compaction, or `None` when every level is within
+/// budget. `compact_pointer` rotates the victim file per level across calls
+/// so one hot level does not starve the key space.
+pub fn pick_compaction(
+    version: &Version,
+    options: &Options,
+    compact_pointer: &mut [Vec<u8>],
+) -> Option<Compaction> {
+    let scores = level_scores(version, options);
+    let (level, score) = scores
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
+    if score < 1.0 {
+        return None;
+    }
+
+    let base: Vec<Arc<FileMetaData>> = if level == 0 {
+        // Merge every L0 file: they overlap each other anyway, and taking
+        // all of them empties L0 in one shot.
+        version.levels[0].clone()
+    } else {
+        // Rotate through the level by key: first file starting after the
+        // pointer, wrapping to the first file.
+        let files = &version.levels[level];
+        let chosen = files
+            .iter()
+            .find(|f| {
+                compact_pointer[level].is_empty()
+                    || internal_compare(&f.smallest, &compact_pointer[level])
+                        == std::cmp::Ordering::Greater
+            })
+            .or_else(|| files.first())?;
+        vec![Arc::clone(chosen)]
+    };
+    if base.is_empty() {
+        return None;
+    }
+
+    // Key range of the inputs at `level`.
+    let begin = base
+        .iter()
+        .map(|f| extract_user_key(&f.smallest))
+        .min()
+        .expect("non-empty")
+        .to_vec();
+    let end = base
+        .iter()
+        .map(|f| extract_user_key(&f.largest))
+        .max()
+        .expect("non-empty")
+        .to_vec();
+
+    let overlap = version.overlapping_files(level + 1, Some(&begin), Some(&end));
+    if level > 0 {
+        compact_pointer[level] = base
+            .iter()
+            .map(|f| f.largest.clone())
+            .max_by(|a, b| internal_compare(a, b))
+            .expect("non-empty");
+    }
+    Some(Compaction { level, inputs: [base, overlap] })
+}
+
+/// Lazy iterator over the disjoint, sorted files of one level (> 0): opens
+/// at most one table at a time.
+pub struct LevelIterator {
+    files: Vec<Arc<FileMetaData>>,
+    provider: Arc<dyn TableProvider>,
+    index: usize,
+    current: Option<TableIter>,
+}
+
+impl LevelIterator {
+    /// Iterate `files`, which must be range-disjoint and sorted by smallest
+    /// key (i.e. a level > 0 file list, or compaction inputs from one).
+    pub fn new(files: Vec<Arc<FileMetaData>>, provider: Arc<dyn TableProvider>) -> Self {
+        debug_assert!(files
+            .windows(2)
+            .all(|w| internal_compare(&w[0].largest, &w[1].smallest) == std::cmp::Ordering::Less));
+        LevelIterator { files, provider, index: 0, current: None }
+    }
+
+    fn open_index(&mut self, index: usize) -> Result<()> {
+        self.index = index;
+        self.current = if index < self.files.len() {
+            let table = self.provider.table(&self.files[index])?;
+            Some(table.iter())
+        } else {
+            None
+        };
+        Ok(())
+    }
+
+    fn skip_exhausted(&mut self) -> Result<()> {
+        loop {
+            match &self.current {
+                Some(it) if !it.valid() => {
+                    let next = self.index + 1;
+                    self.open_index(next)?;
+                    if let Some(it) = self.current.as_mut() {
+                        it.seek_to_first()?;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+}
+
+impl InternalIterator for LevelIterator {
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.open_index(0)?;
+        if let Some(it) = self.current.as_mut() {
+            it.seek_to_first()?;
+        }
+        self.skip_exhausted()
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        // First file whose largest key is >= target.
+        let idx = self
+            .files
+            .partition_point(|f| internal_compare(&f.largest, target) == std::cmp::Ordering::Less);
+        self.open_index(idx)?;
+        if let Some(it) = self.current.as_mut() {
+            it.seek(target)?;
+        }
+        self.skip_exhausted()
+    }
+
+    fn next(&mut self) -> Result<()> {
+        self.current.as_mut().expect("next on invalid iterator").next()?;
+        self.skip_exhausted()
+    }
+
+    fn valid(&self) -> bool {
+        self.current.as_ref().is_some_and(|it| it.valid())
+    }
+
+    fn key(&self) -> &[u8] {
+        self.current.as_ref().expect("valid").key()
+    }
+
+    fn value(&self) -> &[u8] {
+        self.current.as_ref().expect("valid").value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sstable::TableBuilder;
+    use crate::types::{make_internal_key, make_lookup_key, ValueType};
+    use storage::{Env, MemEnv};
+
+    fn meta(number: u64, small: &str, large: &str, size: u64) -> Arc<FileMetaData> {
+        Arc::new(FileMetaData {
+            number,
+            file_size: size,
+            smallest: make_internal_key(small.as_bytes(), 100, ValueType::Value),
+            largest: make_internal_key(large.as_bytes(), 1, ValueType::Value),
+        })
+    }
+
+    #[test]
+    fn no_compaction_when_within_budget() {
+        let options = Options::default();
+        let mut version = Version::empty(7);
+        version.levels[0] = vec![meta(1, "a", "b", 100)];
+        let mut ptrs = vec![Vec::new(); 7];
+        assert!(pick_compaction(&version, &options, &mut ptrs).is_none());
+    }
+
+    #[test]
+    fn l0_trigger_picks_all_l0_plus_overlap() {
+        let options = Options { l0_compaction_trigger: 2, ..Options::default() };
+        let mut version = Version::empty(7);
+        version.levels[0] = vec![meta(3, "d", "k", 100), meta(2, "a", "f", 100)];
+        version.levels[1] = vec![meta(1, "a", "c", 100), meta(4, "m", "z", 100)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let c = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        assert_eq!(c.level, 0);
+        assert_eq!(c.inputs[0].len(), 2);
+        // Range a..k overlaps only the first L1 file.
+        assert_eq!(c.inputs[1].len(), 1);
+        assert_eq!(c.inputs[1][0].number, 1);
+        assert_eq!(c.output_level(), 1);
+        assert_eq!(c.input_bytes(), 300);
+    }
+
+    #[test]
+    fn size_trigger_picks_deep_level() {
+        let options = Options {
+            max_bytes_for_level_base: 1000,
+            l0_compaction_trigger: 100,
+            ..Options::default()
+        };
+        let mut version = Version::empty(7);
+        version.levels[1] = vec![meta(1, "a", "f", 900), meta(2, "g", "p", 900)];
+        version.levels[2] = vec![meta(3, "a", "e", 100)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let c = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        assert_eq!(c.level, 1);
+        assert_eq!(c.inputs[0].len(), 1);
+        assert_eq!(c.inputs[0][0].number, 1);
+        assert_eq!(c.inputs[1].len(), 1); // a..f overlaps L2's a..e
+    }
+
+    #[test]
+    fn compact_pointer_rotates_victims() {
+        let options = Options {
+            max_bytes_for_level_base: 100,
+            l0_compaction_trigger: 100,
+            ..Options::default()
+        };
+        let mut version = Version::empty(7);
+        version.levels[1] = vec![meta(1, "a", "c", 200), meta(2, "d", "f", 200)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let c1 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        assert_eq!(c1.inputs[0][0].number, 1);
+        let c2 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        assert_eq!(c2.inputs[0][0].number, 2, "pointer must advance past file 1");
+        let c3 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        assert_eq!(c3.inputs[0][0].number, 1, "pointer wraps");
+    }
+
+    #[test]
+    fn last_level_is_never_scored() {
+        let options = Options { max_bytes_for_level_base: 1, num_levels: 3, ..Options::default() };
+        let mut version = Version::empty(3);
+        version.levels[2] = vec![meta(1, "a", "z", u64::MAX / 2)];
+        let scores = level_scores(&version, &options);
+        assert_eq!(scores[2], 0.0);
+    }
+
+    struct EnvProvider {
+        env: MemEnv,
+        options: Options,
+    }
+
+    impl TableProvider for EnvProvider {
+        fn table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+            let file = self.env.open_random(&crate::version::sst_name(meta.number))?;
+            Ok(Arc::new(Table::open(file, meta.number, self.options.clone(), None)?))
+        }
+    }
+
+    fn build_file(env: &MemEnv, options: &Options, number: u64, keys: &[&str]) -> Arc<FileMetaData> {
+        let name = crate::version::sst_name(number);
+        let mut b = TableBuilder::new(env.new_writable(&name).unwrap(), options.clone());
+        for k in keys {
+            let ik = make_internal_key(k.as_bytes(), 50, ValueType::Value);
+            b.add(&ik, format!("v-{k}").as_bytes()).unwrap();
+        }
+        let size = b.finish().unwrap();
+        Arc::new(FileMetaData {
+            number,
+            file_size: size,
+            smallest: make_internal_key(keys[0].as_bytes(), 50, ValueType::Value),
+            largest: make_internal_key(keys[keys.len() - 1].as_bytes(), 50, ValueType::Value),
+        })
+    }
+
+    #[test]
+    fn level_iterator_walks_files_in_order() {
+        let env = MemEnv::new();
+        let options = Options::small_for_tests();
+        let f1 = build_file(&env, &options, 1, &["a", "b", "c"]);
+        let f2 = build_file(&env, &options, 2, &["m", "n"]);
+        let f3 = build_file(&env, &options, 3, &["x", "y", "z"]);
+        let provider = Arc::new(EnvProvider { env, options });
+        let mut it = LevelIterator::new(vec![f1, f2, f3], provider);
+        it.seek_to_first().unwrap();
+        let mut got = Vec::new();
+        while it.valid() {
+            got.push(String::from_utf8(extract_user_key(it.key()).to_vec()).unwrap());
+            it.next().unwrap();
+        }
+        assert_eq!(got, vec!["a", "b", "c", "m", "n", "x", "y", "z"]);
+    }
+
+    #[test]
+    fn level_iterator_seeks_across_file_boundaries() {
+        let env = MemEnv::new();
+        let options = Options::small_for_tests();
+        let f1 = build_file(&env, &options, 1, &["a", "c"]);
+        let f2 = build_file(&env, &options, 2, &["m", "p"]);
+        let provider = Arc::new(EnvProvider { env, options });
+        let mut it = LevelIterator::new(vec![f1, f2], provider);
+        it.seek(&make_lookup_key(b"d", (1 << 55) - 1)).unwrap();
+        assert!(it.valid());
+        assert_eq!(extract_user_key(it.key()), b"m");
+        it.seek(&make_lookup_key(b"q", (1 << 55) - 1)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn level_iterator_empty_file_list() {
+        let env = MemEnv::new();
+        let options = Options::small_for_tests();
+        let provider = Arc::new(EnvProvider { env, options });
+        let mut it = LevelIterator::new(vec![], provider);
+        it.seek_to_first().unwrap();
+        assert!(!it.valid());
+    }
+}

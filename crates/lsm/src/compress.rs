@@ -1,0 +1,243 @@
+//! Block compression: a from-scratch byte-oriented LZ77 codec in the LZ4
+//! family, tuned for SSTable blocks (a few KiB of key/value data with
+//! heavy shared-prefix redundancy).
+//!
+//! Format:
+//!
+//! ```text
+//! varint(decompressed_len) followed by tokens:
+//!   literal run : varint(run_len << 1)      then run_len raw bytes
+//!   match       : varint(len-4 << 1 | 1)    then varint(distance)
+//! ```
+//!
+//! Matches are found with a 4-byte rolling hash table and greedy extension
+//! — LZ4's strategy. Compression never fails; [`compress`] returns `None`
+//! when the input does not shrink by at least 1/16, letting callers store
+//! such blocks raw.
+
+use crate::error::{Error, Result};
+use crate::util::{get_varint64, put_varint64};
+
+const MIN_MATCH: usize = 4;
+const HASH_BITS: u32 = 13;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Upper bound on match distance (window size).
+const MAX_DISTANCE: usize = 64 * 1024;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes(data[..4].try_into().expect("4 bytes"));
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`; returns `None` when compression is not worthwhile
+/// (output would exceed 15/16 of the input).
+pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < 16 {
+        return None;
+    }
+    let budget = input.len() - input.len() / 16;
+    let mut out = Vec::with_capacity(input.len() / 2);
+    put_varint64(&mut out, input.len() as u64);
+
+    let mut table = [0usize; HASH_SIZE]; // position + 1; 0 = empty
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let run = to - from;
+        if run > 0 {
+            put_varint64(out, (run as u64) << 1);
+            out.extend_from_slice(&input[from..to]);
+        }
+    };
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos + 1;
+        let mut matched = 0usize;
+        let mut distance = 0usize;
+        if candidate != 0 {
+            let cand = candidate - 1;
+            distance = pos - cand;
+            if distance > 0
+                && distance <= MAX_DISTANCE
+                && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+            {
+                matched = MIN_MATCH;
+                while pos + matched < input.len()
+                    && input[cand + matched] == input[pos + matched]
+                {
+                    matched += 1;
+                }
+            }
+        }
+        if matched >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, pos, input);
+            put_varint64(&mut out, (((matched - MIN_MATCH) as u64) << 1) | 1);
+            put_varint64(&mut out, distance as u64);
+            // Index a few positions inside the match so later matches can
+            // still be found without paying full per-byte hashing cost.
+            let end = pos + matched;
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= input.len() && p < end {
+                table[hash4(&input[p..])] = p + 1;
+                p += 2;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+        if out.len() + (pos - literal_start) >= budget {
+            return None;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+    if out.len() >= budget {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let bad = || Error::corruption("malformed compressed block");
+    let (expected_len, mut pos) = get_varint64(input).ok_or_else(bad)?;
+    let expected_len = expected_len as usize;
+    if expected_len > 256 << 20 {
+        return Err(Error::corruption("compressed block claims absurd size"));
+    }
+    let mut out = Vec::with_capacity(expected_len);
+    while pos < input.len() {
+        let (token, n) = get_varint64(&input[pos..]).ok_or_else(bad)?;
+        pos += n;
+        if token & 1 == 0 {
+            // Literal run.
+            let run = (token >> 1) as usize;
+            if pos + run > input.len() || out.len() + run > expected_len {
+                return Err(bad());
+            }
+            out.extend_from_slice(&input[pos..pos + run]);
+            pos += run;
+        } else {
+            // Match.
+            let len = (token >> 1) as usize + MIN_MATCH;
+            let (distance, n) = get_varint64(&input[pos..]).ok_or_else(bad)?;
+            pos += n;
+            let distance = distance as usize;
+            if distance == 0 || distance > out.len() || out.len() + len > expected_len {
+                return Err(bad());
+            }
+            // Byte-at-a-time copy: matches may overlap themselves (RLE).
+            let start = out.len() - distance;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != expected_len {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Option<usize> {
+        let compressed = compress(data)?;
+        assert_eq!(decompress(&compressed).unwrap(), data);
+        Some(compressed.len())
+    }
+
+    #[test]
+    fn compresses_repetitive_data_well() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let size = roundtrip(&data).expect("compressible");
+        assert!(size < data.len() / 4, "only got {size} of {}", data.len());
+    }
+
+    #[test]
+    fn compresses_block_like_data() {
+        // Simulate a prefix-compressed block: many similar keys + values.
+        let mut data = Vec::new();
+        for i in 0..200 {
+            data.extend_from_slice(format!("user{i:08}").as_bytes());
+            data.extend_from_slice(b"{\"plan\":\"pro\",\"quota\":100}");
+        }
+        let size = roundtrip(&data).expect("compressible");
+        assert!(size < data.len() / 2);
+    }
+
+    #[test]
+    fn incompressible_data_is_refused() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        assert!(compress(&data).is_none(), "random data must not 'compress'");
+    }
+
+    #[test]
+    fn tiny_inputs_are_refused() {
+        assert!(compress(b"").is_none());
+        assert!(compress(b"short").is_none());
+    }
+
+    #[test]
+    fn rle_style_overlapping_matches() {
+        let data = vec![7u8; 10_000];
+        let size = roundtrip(&data).expect("RLE compressible");
+        assert!(size < 64, "run-length data should collapse, got {size}");
+    }
+
+    #[test]
+    fn alternating_patterns() {
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(if i % 2 == 0 { b"abcdefgh" } else { b"12345678" });
+        }
+        roundtrip(&data).expect("compressible");
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[0xff; 32]).is_err());
+        // Valid header, truncated body.
+        let data = b"hello world hello world hello world ".repeat(10);
+        let mut c = compress(&data).unwrap();
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_bad_distance() {
+        let mut evil = Vec::new();
+        put_varint64(&mut evil, 100); // claims 100 bytes
+        put_varint64(&mut evil, 1);   // match token, len 4
+        put_varint64(&mut evil, 5);   // distance 5 with empty output
+        assert!(decompress(&evil).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_length_mismatch() {
+        let mut evil = Vec::new();
+        put_varint64(&mut evil, 100); // claims 100
+        put_varint64(&mut evil, 3 << 1); // 3 literals only
+        evil.extend_from_slice(b"abc");
+        assert!(decompress(&evil).is_err());
+    }
+
+    #[test]
+    fn exact_content_boundaries() {
+        // Data engineered so the final token ends exactly at the boundary.
+        let mut data = b"x".repeat(64);
+        data.extend_from_slice(b"unique-tail-bytes!");
+        roundtrip(&data).expect("compressible");
+    }
+}

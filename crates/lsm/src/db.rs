@@ -1,0 +1,1274 @@
+//! The `Db` facade: write batches, point reads, range scans, snapshots,
+//! background flush/compaction, and crash recovery.
+//!
+//! ## Tiering hook
+//!
+//! Every table file the engine creates is first built on the local [`Env`];
+//! afterwards the [`FileRouter`] decides where it lives. The default
+//! [`LocalFileRouter`] leaves files where they were built. The `rocksmash`
+//! crate supplies a router that uploads cold-level files to the cloud store
+//! and serves reads through its LSM-aware persistent cache — that router is
+//! the integration point corresponding to the paper's RocksDB changes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use storage::{Env, RandomAccessFile};
+
+use crate::batch::{BatchOp, WriteBatch};
+use crate::cache::BlockCache;
+use crate::compaction::{level_scores, pick_compaction, Compaction, LevelIterator, TableProvider};
+use crate::error::{Error, Result};
+use crate::iterator::{InternalIterator, MergingIterator};
+use crate::memtable::{LookupResult, MemTable};
+use crate::options::Options;
+use crate::sstable::{Table, TableBuilder};
+use crate::types::{
+    make_lookup_key, parse_internal_key, SequenceNumber, ValueType, MAX_SEQUENCE,
+};
+use crate::version::{
+    log_name, sst_name, FileMetaData, Version, VersionEdit, VersionSet,
+};
+use crate::wal::{LogReader, LogWriter};
+
+/// Decides where finished table files live and how they are opened.
+///
+/// The engine always *builds* tables on the local `Env` (compaction needs
+/// cheap sequential writes); the router then publishes, opens, and deletes
+/// them. All methods receive the engine's local `Env`.
+pub trait FileRouter: Send + Sync {
+    /// A finished table `number` was written locally at level `level`.
+    /// Move/copy/upload it as placement policy dictates.
+    fn publish_table(&self, env: &dyn Env, number: u64, level: usize) -> storage::Result<()>;
+
+    /// Open table `number` for reads, wherever it lives.
+    fn open_table(&self, env: &dyn Env, number: u64) -> storage::Result<Arc<dyn RandomAccessFile>>;
+
+    /// Table `number` is obsolete; remove it from every tier.
+    fn delete_table(&self, env: &dyn Env, number: u64) -> storage::Result<()>;
+}
+
+/// Router that keeps every table on the local environment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalFileRouter;
+
+impl FileRouter for LocalFileRouter {
+    fn publish_table(&self, _env: &dyn Env, _number: u64, _level: usize) -> storage::Result<()> {
+        Ok(())
+    }
+
+    fn open_table(&self, env: &dyn Env, number: u64) -> storage::Result<Arc<dyn RandomAccessFile>> {
+        env.open_random(&sst_name(number))
+    }
+
+    fn delete_table(&self, env: &dyn Env, number: u64) -> storage::Result<()> {
+        env.delete(&sst_name(number))
+    }
+}
+
+/// Engine-level counters.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Write batches applied.
+    pub writes: AtomicU64,
+    /// Point lookups served.
+    pub gets: AtomicU64,
+    /// Memtable flushes completed.
+    pub flushes: AtomicU64,
+    /// Compactions completed.
+    pub compactions: AtomicU64,
+    /// Bytes read by compaction inputs.
+    pub compact_bytes_in: AtomicU64,
+    /// Bytes written by compaction outputs.
+    pub compact_bytes_out: AtomicU64,
+    /// Nanoseconds writers spent stalled waiting for room.
+    pub stall_ns: AtomicU64,
+}
+
+impl DbStats {
+    fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A consistent read point. Reads through a snapshot ignore writes with a
+/// higher sequence; compaction keeps versions the snapshot can still see.
+pub struct Snapshot {
+    seq: SequenceNumber,
+    registry: Arc<Mutex<BTreeMap<SequenceNumber, usize>>>,
+}
+
+impl Snapshot {
+    /// The sequence number this snapshot reads at.
+    pub fn sequence(&self) -> SequenceNumber {
+        self.seq
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut reg = self.registry.lock();
+        if let Some(count) = reg.get_mut(&self.seq) {
+            *count -= 1;
+            if *count == 0 {
+                reg.remove(&self.seq);
+            }
+        }
+    }
+}
+
+struct DbState {
+    mem: Arc<MemTable>,
+    imm: Option<Arc<MemTable>>,
+    wal: Option<LogWriter>,
+    wal_number: u64,
+    versions: VersionSet,
+    compact_pointer: Vec<Vec<u8>>,
+    bg_error: Option<String>,
+    /// True while a compaction is executing (the state lock is released
+    /// during the merge, so picking must be mutually exclusive with any
+    /// in-flight execution or two compactions could claim overlapping
+    /// inputs).
+    compacting: bool,
+    /// Superseded versions paired with the files their replacement
+    /// obsoleted. A file is physically deleted only once every version
+    /// that could reference it has been released by readers (the queue is
+    /// age-ordered, so the front gates everything behind it).
+    retired: VecDeque<(Arc<Version>, Vec<u64>)>,
+}
+
+struct TableCacheInner {
+    map: HashMap<u64, Arc<Table>>,
+    fifo: VecDeque<u64>,
+}
+
+const TABLE_CACHE_CAPACITY: usize = 512;
+
+struct DbShared {
+    options: Options,
+    /// Live file numbers and the file-number floor as recovered from the
+    /// MANIFEST, captured before any background activity. Startup garbage
+    /// collection in outer layers must use these, not the current version,
+    /// to avoid racing concurrent compactions.
+    recovered_live: BTreeSet<u64>,
+    recovered_next_file: u64,
+    env: Arc<dyn Env>,
+    router: Arc<dyn FileRouter>,
+    block_cache: Option<Arc<BlockCache>>,
+    state: Mutex<DbState>,
+    /// Signals the background thread that work may be available.
+    work_cv: Condvar,
+    /// Signals writers stalled in `make_room` and `flush` waiters.
+    room_cv: Condvar,
+    tables: Mutex<TableCacheInner>,
+    snapshots: Arc<Mutex<BTreeMap<SequenceNumber, usize>>>,
+    stats: DbStats,
+    shutdown: AtomicBool,
+}
+
+impl DbShared {
+    fn get_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        {
+            let cache = self.tables.lock();
+            if let Some(t) = cache.map.get(&meta.number) {
+                return Ok(Arc::clone(t));
+            }
+        }
+        // Open outside the lock: cloud-backed opens can be slow.
+        let file = self.router.open_table(&*self.env, meta.number)?;
+        let table = Arc::new(Table::open(
+            file,
+            meta.number,
+            self.options.clone(),
+            self.block_cache.clone(),
+        )?);
+        let mut cache = self.tables.lock();
+        if cache.map.insert(meta.number, Arc::clone(&table)).is_none() {
+            cache.fifo.push_back(meta.number);
+            while cache.fifo.len() > TABLE_CACHE_CAPACITY {
+                let victim = cache.fifo.pop_front().expect("non-empty");
+                cache.map.remove(&victim);
+            }
+        }
+        Ok(table)
+    }
+
+    fn evict_table(&self, number: u64) {
+        let mut cache = self.tables.lock();
+        if cache.map.remove(&number).is_some() {
+            cache.fifo.retain(|&n| n != number);
+        }
+    }
+
+    fn smallest_snapshot(&self, last_sequence: SequenceNumber) -> SequenceNumber {
+        self.snapshots
+            .lock()
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(last_sequence)
+    }
+}
+
+impl TableProvider for DbShared {
+    fn table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        self.get_table(meta)
+    }
+}
+
+/// An open LSM database.
+pub struct Db {
+    shared: Arc<DbShared>,
+    bg_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Db {
+    /// Open (creating if necessary) a database on `env` with the default
+    /// local-only file router.
+    pub fn open(env: Arc<dyn Env>, options: Options) -> Result<Db> {
+        Self::open_with_router(env, options, Arc::new(LocalFileRouter))
+    }
+
+    /// Open with a custom [`FileRouter`] (the tiering hook).
+    pub fn open_with_router(
+        env: Arc<dyn Env>,
+        options: Options,
+        router: Arc<dyn FileRouter>,
+    ) -> Result<Db> {
+        let mut versions = VersionSet::open(Arc::clone(&env), options.num_levels)?;
+        let block_cache = if options.block_cache_bytes > 0 {
+            Some(Arc::new(BlockCache::new(options.block_cache_bytes)))
+        } else {
+            None
+        };
+
+        // Recover WAL contents newer than the manifest's log number.
+        let mut recovered = Vec::new();
+        let mut max_seq = versions.last_sequence;
+        for name in env.list("wal/")? {
+            let number: u64 = match name
+                .strip_prefix("wal/")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse().ok())
+            {
+                Some(n) => n,
+                None => continue,
+            };
+            if number >= versions.log_number {
+                recovered.push((number, name));
+            }
+        }
+        recovered.sort();
+
+        let mem = Arc::new(MemTable::new());
+        for (_, name) in &recovered {
+            let mut reader = LogReader::new(env.open_random(name)?);
+            while let Some(record) = reader.read_record()? {
+                let batch = WriteBatch::from_data(&record)?;
+                let base = batch.sequence();
+                let mut last = base;
+                for (seq, op) in (base..).zip(batch.iter()) {
+                    match op {
+                        BatchOp::Put(k, v) => mem.insert(seq, ValueType::Value, k, v),
+                        BatchOp::Delete(k) => mem.insert(seq, ValueType::Deletion, k, &[]),
+                    }
+                    last = seq;
+                }
+                max_seq = max_seq.max(last);
+            }
+        }
+        versions.last_sequence = max_seq;
+        let recovered_live = versions.live_files();
+        let recovered_next_file = versions.next_file_number;
+
+        let shared = Arc::new(DbShared {
+            recovered_live,
+            recovered_next_file,
+            env: Arc::clone(&env),
+            router,
+            block_cache,
+            state: Mutex::new(DbState {
+                mem,
+                imm: None,
+                wal: None,
+                wal_number: 0,
+                versions,
+                compact_pointer: vec![Vec::new(); options.num_levels],
+                bg_error: None,
+                compacting: false,
+                retired: VecDeque::new(),
+            }),
+            work_cv: Condvar::new(),
+            room_cv: Condvar::new(),
+            tables: Mutex::new(TableCacheInner { map: HashMap::new(), fifo: VecDeque::new() }),
+            snapshots: Arc::new(Mutex::new(BTreeMap::new())),
+            stats: DbStats::default(),
+            shutdown: AtomicBool::new(false),
+            options,
+        });
+
+        // Flush whatever the WAL replay recovered, then start from a clean
+        // log. Done synchronously so a crash loop cannot grow the WAL set.
+        {
+            let mut state = shared.state.lock();
+            if !state.mem.is_empty() {
+                let mem = Arc::clone(&state.mem);
+                Self::write_level0_table(&shared, &mut state, &mem)?;
+                state.mem = Arc::new(MemTable::new());
+            }
+            if shared.options.wal_enabled {
+                let number = state.versions.new_file_number();
+                let file = shared.env.new_writable(&log_name(number))?;
+                state.wal = Some(LogWriter::new(file));
+                state.wal_number = number;
+                let edit = VersionEdit { log_number: Some(number), ..Default::default() };
+                state.versions.log_and_apply(edit)?;
+            }
+            Self::gc_obsolete_files(&shared, &mut state)?;
+        }
+
+        let db = Db { shared: Arc::clone(&shared), bg_thread: Mutex::new(None) };
+        let bg_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("lsm-bg".into())
+            .spawn(move || background_main(bg_shared))
+            .expect("spawn background thread");
+        *db.bg_thread.lock() = Some(handle);
+        Ok(db)
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.shared.stats
+    }
+
+    /// Engine options this database was opened with.
+    pub fn options(&self) -> &Options {
+        &self.shared.options
+    }
+
+    /// The block cache, when enabled.
+    pub fn block_cache(&self) -> Option<&Arc<BlockCache>> {
+        self.shared.block_cache.as_ref()
+    }
+
+    /// Insert or overwrite one key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch)
+    }
+
+    /// Delete one key.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch)
+    }
+
+    /// Apply a batch atomically.
+    pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        self.make_room(&mut state)?;
+        let seq = state.versions.last_sequence + 1;
+        batch.set_sequence(seq);
+        state.versions.last_sequence += batch.count() as u64;
+        if let Some(wal) = state.wal.as_mut() {
+            wal.add_record(batch.data())?;
+            if shared.options.sync_writes {
+                wal.sync()?;
+            }
+        }
+        let mem = Arc::clone(&state.mem);
+        for (op_seq, op) in (seq..).zip(batch.iter()) {
+            match op {
+                BatchOp::Put(k, v) => mem.insert(op_seq, ValueType::Value, k, v),
+                BatchOp::Delete(k) => mem.insert(op_seq, ValueType::Deletion, k, &[]),
+            }
+        }
+        shared.stats.add(&shared.stats.writes, 1);
+        Ok(())
+    }
+
+    /// Read the newest visible value of `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let seq = self.shared.state.lock().versions.last_sequence;
+        self.get_at_seq(key, seq)
+    }
+
+    /// Read `key` as of `snapshot`.
+    pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
+        self.get_at_seq(key, snapshot.sequence())
+    }
+
+    fn get_at_seq(&self, key: &[u8], seq: SequenceNumber) -> Result<Option<Vec<u8>>> {
+        let shared = &self.shared;
+        shared.stats.add(&shared.stats.gets, 1);
+        let (mem, imm, version) = {
+            let state = shared.state.lock();
+            (Arc::clone(&state.mem), state.imm.clone(), state.versions.current())
+        };
+        match mem.get(key, seq) {
+            LookupResult::Value(v) => return Ok(Some(v)),
+            LookupResult::Deleted => return Ok(None),
+            LookupResult::NotFound => {}
+        }
+        if let Some(imm) = imm {
+            match imm.get(key, seq) {
+                LookupResult::Value(v) => return Ok(Some(v)),
+                LookupResult::Deleted => return Ok(None),
+                LookupResult::NotFound => {}
+            }
+        }
+        let lookup = make_lookup_key(key, seq);
+        // L0 files may hold overlapping sequence ranges (recovery ingests
+        // partition memtables as parallel L0 tables), so every matching L0
+        // file must be consulted and the highest visible sequence wins.
+        // Deeper levels are disjoint and strictly older, so the first hit
+        // below L0 is final.
+        let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
+        for (level, meta) in version.files_for_get(key) {
+            if level > 0 && best.is_some() {
+                break;
+            }
+            let table = shared.get_table(&meta)?;
+            if let Some((ikey, value)) = table.get(&lookup)? {
+                let parsed = parse_internal_key(&ikey)
+                    .ok_or_else(|| Error::corruption("bad internal key in table"))?;
+                if parsed.user_key == key
+                    && best.as_ref().is_none_or(|(s, _, _)| parsed.sequence > *s)
+                {
+                    best = Some((parsed.sequence, parsed.value_type, value));
+                }
+                if level > 0 && best.is_some() {
+                    break;
+                }
+            }
+        }
+        match best {
+            Some((_, ValueType::Value, value)) => Ok(Some(value)),
+            Some((_, ValueType::Deletion, _)) => Ok(None),
+            None => Ok(None),
+        }
+    }
+
+    /// Take a consistent snapshot for repeatable reads.
+    pub fn snapshot(&self) -> Snapshot {
+        let seq = self.shared.state.lock().versions.last_sequence;
+        let registry = Arc::clone(&self.shared.snapshots);
+        *registry.lock().entry(seq).or_insert(0) += 1;
+        Snapshot { seq, registry }
+    }
+
+    /// Iterator over the live keyspace at the current sequence.
+    pub fn iter(&self) -> Result<DbIterator> {
+        let seq = self.shared.state.lock().versions.last_sequence;
+        self.iter_at_seq(seq)
+    }
+
+    /// Iterator pinned to `snapshot`.
+    pub fn iter_at(&self, snapshot: &Snapshot) -> Result<DbIterator> {
+        self.iter_at_seq(snapshot.sequence())
+    }
+
+    fn iter_at_seq(&self, seq: SequenceNumber) -> Result<DbIterator> {
+        let shared = &self.shared;
+        let (mem, imm, version) = {
+            let state = shared.state.lock();
+            (Arc::clone(&state.mem), state.imm.clone(), state.versions.current())
+        };
+        let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+        children.push(Box::new(mem.iter()));
+        if let Some(imm) = &imm {
+            children.push(Box::new(imm.iter()));
+        }
+        for meta in &version.levels[0] {
+            let table = shared.get_table(meta)?;
+            children.push(Box::new(table.iter()));
+        }
+        let provider: Arc<dyn TableProvider> = shared.clone();
+        for files in version.levels.iter().skip(1) {
+            if !files.is_empty() {
+                children.push(Box::new(LevelIterator::new(files.clone(), Arc::clone(&provider))));
+            }
+        }
+        Ok(DbIterator {
+            inner: MergingIterator::new(children),
+            snapshot: seq,
+            key: Vec::new(),
+            value: Vec::new(),
+            valid: false,
+            _version: version,
+        })
+    }
+
+    /// Ingest a fully built memtable (e.g. rebuilt from an external log by
+    /// parallel recovery) directly as an L0 table. Entries must carry
+    /// their original sequence numbers; `last_sequence` advances to cover
+    /// them. The engine's multi-version read paths resolve any sequence
+    /// overlap between the resulting L0 tables.
+    pub fn ingest_recovered_memtable(
+        &self,
+        mem: &Arc<MemTable>,
+        max_sequence: SequenceNumber,
+    ) -> Result<()> {
+        if mem.is_empty() {
+            return Ok(());
+        }
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        state.versions.last_sequence = state.versions.last_sequence.max(max_sequence);
+        Self::write_level0_table(shared, &mut state, mem)?;
+        Ok(())
+    }
+
+    /// Force the current memtable to disk and wait for it. A no-op on an
+    /// empty database.
+    pub fn flush(&self) -> Result<()> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        if state.mem.is_empty() && state.imm.is_none() {
+            return Ok(());
+        }
+        // Wait until the previous immutable memtable drains.
+        while state.imm.is_some() {
+            Self::check_bg_error(&state)?;
+            shared.room_cv.wait(&mut state);
+        }
+        if !state.mem.is_empty() {
+            self.switch_memtable(&mut state)?;
+            shared.work_cv.notify_all();
+        }
+        while state.imm.is_some() {
+            Self::check_bg_error(&state)?;
+            shared.room_cv.wait(&mut state);
+        }
+        Ok(())
+    }
+
+    /// Wait until no compaction work is pending (levels within budget and
+    /// no immutable memtable). Test and benchmark helper.
+    pub fn wait_for_compactions(&self) -> Result<()> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        loop {
+            Self::check_bg_error(&state)?;
+            let scores = level_scores(&state.versions.current(), &shared.options);
+            let busy = state.imm.is_some()
+                || (shared.options.auto_compaction && scores.iter().any(|&s| s >= 1.0));
+            if !busy {
+                return Ok(());
+            }
+            shared.work_cv.notify_all();
+            shared.room_cv.wait_for(&mut state, std::time::Duration::from_millis(50));
+        }
+    }
+
+    /// Trigger one compaction round synchronously if any level is over
+    /// budget. Returns whether a compaction ran.
+    pub fn compact_once(&self) -> Result<bool> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        run_one_compaction(shared, &mut state)
+    }
+
+    /// Point-read several keys at one consistent sequence number. More
+    /// efficient than a get() loop: the memtable/version snapshot is taken
+    /// once.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        let seq = self.shared.state.lock().versions.last_sequence;
+        keys.iter().map(|key| self.get_at_seq(key, seq)).collect()
+    }
+
+    /// Compact every file overlapping `[begin, end]` (None = unbounded)
+    /// all the way down the tree. Blocks until done. Mirrors RocksDB's
+    /// `CompactRange`: useful to force cold data to its final level (and,
+    /// under RocksMash placement, onto the cloud tier).
+    pub fn compact_range(&self, begin: Option<&[u8]>, end: Option<&[u8]>) -> Result<()> {
+        self.flush()?;
+        let shared = &self.shared;
+        for level in 0..shared.options.num_levels - 1 {
+            loop {
+                let mut state = shared.state.lock();
+                Self::check_bg_error(&state)?;
+                if state.compacting {
+                    // An automatic compaction is mid-flight; wait and
+                    // re-evaluate against the version it produces.
+                    shared.room_cv.wait_for(&mut state, std::time::Duration::from_millis(20));
+                    continue;
+                }
+                let version = state.versions.current();
+                let base: Vec<_> = version.overlapping_files(level, begin, end);
+                if base.is_empty() {
+                    break;
+                }
+                // At L0 take every overlapping file at once (they overlap
+                // each other); deeper levels go file-by-file to bound the
+                // size of any single compaction.
+                let inputs0 = if level == 0 { base } else { vec![base[0].clone()] };
+                let lo = inputs0
+                    .iter()
+                    .map(|f| crate::types::extract_user_key(&f.smallest).to_vec())
+                    .min()
+                    .expect("non-empty");
+                let hi = inputs0
+                    .iter()
+                    .map(|f| crate::types::extract_user_key(&f.largest).to_vec())
+                    .max()
+                    .expect("non-empty");
+                let overlap = version.overlapping_files(level + 1, Some(&lo), Some(&hi));
+                let compaction = Compaction { level, inputs: [inputs0, overlap] };
+                run_compaction(shared, &mut state, version, compaction)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of files at `level`.
+    pub fn num_files_at_level(&self, level: usize) -> usize {
+        self.shared.state.lock().versions.current().levels[level].len()
+    }
+
+    /// Approximate total bytes at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.shared.state.lock().versions.current().level_bytes(level)
+    }
+
+    /// Human-readable summary of the tree shape and engine counters,
+    /// in the spirit of RocksDB's `GetProperty("rocksdb.stats")`.
+    pub fn debug_string(&self) -> String {
+        use std::fmt::Write as _;
+        let (version, last_seq, retired) = {
+            let state = self.shared.state.lock();
+            (
+                state.versions.current(),
+                state.versions.last_sequence,
+                state.retired.len(),
+            )
+        };
+        let stats = self.stats();
+        let mut out = String::new();
+        let _ = writeln!(out, "level  files        bytes");
+        for (level, files) in version.levels.iter().enumerate() {
+            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
+            let _ = writeln!(out, "L{level:<5} {:>5} {:>12}", files.len(), bytes);
+        }
+        let _ = writeln!(out, "last sequence      {last_seq}");
+        let _ = writeln!(out, "pending deletions  {retired} version(s)");
+        let _ = writeln!(
+            out,
+            "writes {} | gets {} | flushes {} | compactions {} ({} MiB in, {} MiB out)",
+            stats.writes.load(Ordering::Relaxed),
+            stats.gets.load(Ordering::Relaxed),
+            stats.flushes.load(Ordering::Relaxed),
+            stats.compactions.load(Ordering::Relaxed),
+            stats.compact_bytes_in.load(Ordering::Relaxed) >> 20,
+            stats.compact_bytes_out.load(Ordering::Relaxed) >> 20,
+        );
+        if let Some(cache) = &self.shared.block_cache {
+            let (hits, misses) = cache.hit_stats();
+            let _ = writeln!(
+                out,
+                "block cache        {} KiB used, {hits} hits / {misses} misses",
+                cache.used_bytes() >> 10
+            );
+        }
+        let stalled = stats.stall_ns.load(Ordering::Relaxed);
+        let _ = writeln!(out, "write stalls       {:.1} ms total", stalled as f64 / 1e6);
+        out
+    }
+
+    /// Copy a consistent point-in-time image of this database into
+    /// `target` (an empty directory/Env): the live table files plus a
+    /// fresh single-snapshot MANIFEST. The checkpoint opens as a normal
+    /// database. Unflushed memtable contents are NOT included — call
+    /// [`Db::flush`] first for a full-state image.
+    pub fn checkpoint(&self, target: &dyn Env) -> Result<u64> {
+        // Pin a version so compaction cannot delete files mid-copy.
+        let (version, last_seq) = {
+            let state = self.shared.state.lock();
+            (state.versions.current(), state.versions.last_sequence)
+        };
+        let mut copied = 0u64;
+        let mut edit = VersionEdit {
+            log_number: Some(0),
+            last_sequence: Some(last_seq),
+            ..VersionEdit::default()
+        };
+        let mut max_number = 1;
+        for (level, files) in version.levels.iter().enumerate() {
+            for meta in files {
+                let name = sst_name(meta.number);
+                // Read through the router: works for cloud-resident tables.
+                let file = self.shared.router.open_table(&*self.shared.env, meta.number)?;
+                let data = file.read_exact_at(0, file.len() as usize)?;
+                target.write_all(&name, &data)?;
+                copied += data.len() as u64;
+                max_number = max_number.max(meta.number);
+                edit.new_files.push((level, (**meta).clone()));
+            }
+        }
+        edit.next_file_number = Some(max_number + 2);
+        let manifest = crate::version::manifest_name(max_number + 1);
+        let mut writer = LogWriter::new(target.new_writable(&manifest)?);
+        writer.add_record(&edit.encode())?;
+        writer.finish()?;
+        target.write_all(crate::version::CURRENT, manifest.as_bytes())?;
+        Ok(copied)
+    }
+
+    /// The last committed sequence number.
+    pub fn last_sequence(&self) -> SequenceNumber {
+        self.shared.state.lock().versions.last_sequence
+    }
+
+    /// The current version (file layout snapshot).
+    pub fn current_version(&self) -> Arc<Version> {
+        self.shared.state.lock().versions.current()
+    }
+
+    /// File numbers that were live in the MANIFEST when this instance
+    /// opened, before any background work ran. The companion floor is
+    /// [`Db::recovered_next_file_number`]; together they let outer layers
+    /// garbage-collect leftovers of a previous incarnation without racing
+    /// this one's compactions.
+    pub fn recovered_live_files(&self) -> &BTreeSet<u64> {
+        &self.shared.recovered_live
+    }
+
+    /// First file number this incarnation may allocate; files numbered at
+    /// or above it were created after recovery.
+    pub fn recovered_next_file_number(&self) -> u64 {
+        self.shared.recovered_next_file
+    }
+
+    fn check_bg_error(state: &DbState) -> Result<()> {
+        match &state.bg_error {
+            Some(msg) => Err(Error::corruption(format!("background error: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
+        debug_assert!(state.imm.is_none());
+        let shared = &self.shared;
+        if shared.options.wal_enabled {
+            if let Some(wal) = state.wal.take() {
+                wal.finish()?;
+            }
+            let number = state.versions.new_file_number();
+            let file = shared.env.new_writable(&log_name(number))?;
+            state.wal = Some(LogWriter::new(file));
+            state.wal_number = number;
+        }
+        state.imm = Some(std::mem::replace(&mut state.mem, Arc::new(MemTable::new())));
+        Ok(())
+    }
+
+    fn make_room(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
+        let shared = &self.shared;
+        loop {
+            Self::check_bg_error(state)?;
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Err(Error::Closed);
+            }
+            if state.mem.approximate_bytes() < shared.options.write_buffer_size {
+                return Ok(());
+            }
+            if !shared.options.auto_compaction {
+                // Caller drives flushes explicitly; admit the write.
+                return Ok(());
+            }
+            let stalled = Instant::now();
+            if state.imm.is_some() {
+                shared.work_cv.notify_all();
+                shared.room_cv.wait(state);
+            } else if state.versions.current().levels[0].len() >= shared.options.l0_stall_trigger {
+                shared.work_cv.notify_all();
+                shared.room_cv.wait_for(state, std::time::Duration::from_millis(10));
+            } else {
+                self.switch_memtable(state)?;
+                shared.work_cv.notify_all();
+                continue;
+            }
+            shared
+                .stats
+                .add(&shared.stats.stall_ns, stalled.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Build an L0 table from `mem` and install it. Called with the state
+    /// lock held; releases it during the build.
+    fn write_level0_table(
+        shared: &Arc<DbShared>,
+        state: &mut parking_lot::MutexGuard<'_, DbState>,
+        mem: &Arc<MemTable>,
+    ) -> Result<()> {
+        let number = state.versions.new_file_number();
+        let wal_floor = state.wal_number;
+        let meta = parking_lot::MutexGuard::unlocked(state, || -> Result<Option<FileMetaData>> {
+            let name = sst_name(number);
+            let mut builder =
+                TableBuilder::new(shared.env.new_writable(&name)?, shared.options.clone());
+            let mut iter = mem.iter();
+            iter.seek_to_first();
+            while iter.valid() {
+                builder.add(iter.key(), iter.value())?;
+                iter.next();
+            }
+            if builder.num_entries() == 0 {
+                drop(builder);
+                let _ = shared.env.delete(&name);
+                return Ok(None);
+            }
+            let smallest = builder.smallest().expect("non-empty").to_vec();
+            let largest = builder.largest().expect("non-empty").to_vec();
+            let file_size = builder.finish()?;
+            shared.router.publish_table(&*shared.env, number, 0)?;
+            Ok(Some(FileMetaData { number, file_size, smallest, largest }))
+        })?;
+        if let Some(meta) = meta {
+            let edit = VersionEdit {
+                log_number: Some(wal_floor),
+                new_files: vec![(0, meta)],
+                ..Default::default()
+            };
+            let prev = state.versions.current();
+            state.versions.log_and_apply(edit)?;
+            // No files were obsoleted, but the superseded version must
+            // still enter the age-ordered queue: readers holding it gate
+            // deletions queued by *later* transitions.
+            state.retired.push_back((prev, Vec::new()));
+        }
+        shared.stats.add(&shared.stats.flushes, 1);
+        Self::gc_obsolete_files(shared, state)?;
+        Ok(())
+    }
+
+    /// Delete files no version references: old WALs, orphaned SSTs, stale
+    /// manifests.
+    fn gc_obsolete_files(
+        shared: &Arc<DbShared>,
+        state: &mut parking_lot::MutexGuard<'_, DbState>,
+    ) -> Result<()> {
+        let mut live = state.versions.live_files();
+        // Files pending deferred deletion are still reachable by readers.
+        for (_, files) in &state.retired {
+            live.extend(files.iter().copied());
+        }
+        let log_floor = state.versions.log_number;
+        // Local SSTs not referenced by the current version. Runtime
+        // deletion is handled by the deferred-deletion queue; this sweep
+        // exists only for crash leftovers, so it must ignore any file
+        // numbered at or above the recovery floor — such a file may be a
+        // compaction output currently under construction on another
+        // thread, not yet committed to any version.
+        for name in shared.env.list("")? {
+            if let Some(number) = name.strip_suffix(".sst").and_then(|s| s.parse::<u64>().ok()) {
+                if number < shared.recovered_next_file && !live.contains(&number) {
+                    shared.evict_table(number);
+                    if let Some(cache) = &shared.block_cache {
+                        cache.erase_file(number);
+                    }
+                    let _ = shared.env.delete(&name);
+                }
+            }
+        }
+        for name in shared.env.list("wal/")? {
+            let number: Option<u64> = name
+                .strip_prefix("wal/")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse().ok());
+            if let Some(number) = number {
+                if number < log_floor {
+                    let _ = shared.env.delete(&name);
+                }
+            }
+        }
+        for name in state.versions.obsolete_manifests()? {
+            let _ = shared.env.delete(&name);
+        }
+        Ok(())
+    }
+
+    /// Close the database: stop background work and sync the WAL.
+    pub fn close(&self) -> Result<()> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        self.shared.room_cv.notify_all();
+        if let Some(handle) = self.bg_thread.lock().take() {
+            let _ = handle.join();
+        }
+        let mut state = self.shared.state.lock();
+        gc_retired_versions(&self.shared, &mut state);
+        if let Some(wal) = state.wal.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+/// Background thread: flush immutable memtables, then run compactions while
+/// any level is over budget.
+fn background_main(shared: Arc<DbShared>) {
+    loop {
+        let mut state = shared.state.lock();
+        loop {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let scores = level_scores(&state.versions.current(), &shared.options);
+            let has_work = state.imm.is_some()
+                || (shared.options.auto_compaction
+                    && state.bg_error.is_none()
+                    && scores.iter().any(|&s| s >= 1.0));
+            if has_work {
+                break;
+            }
+            shared.work_cv.wait_for(&mut state, std::time::Duration::from_millis(100));
+        }
+        let result = step_background(&shared, &mut state);
+        if let Err(e) = result {
+            state.bg_error = Some(e.to_string());
+        }
+        shared.room_cv.notify_all();
+    }
+}
+
+fn step_background(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+) -> Result<()> {
+    gc_retired_versions(shared, state);
+    if let Some(imm) = state.imm.clone() {
+        Db::write_level0_table(shared, state, &imm)?;
+        state.imm = None;
+        return Ok(());
+    }
+    if shared.options.auto_compaction {
+        run_one_compaction(shared, state)?;
+    }
+    Ok(())
+}
+
+/// Pick and execute a single compaction. Returns whether one ran. When a
+/// compaction is already executing on another thread, waits for it and
+/// reports false (the caller re-evaluates the tree shape).
+fn run_one_compaction(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+) -> Result<bool> {
+    if state.compacting {
+        shared.room_cv.wait_for(state, std::time::Duration::from_millis(20));
+        return Ok(false);
+    }
+    let version = state.versions.current();
+    let compaction =
+        match pick_compaction(&version, &shared.options, &mut state.compact_pointer) {
+            Some(c) => c,
+            None => return Ok(false),
+        };
+    run_compaction(shared, state, version, compaction)?;
+    Ok(true)
+}
+
+/// Execute `compaction` against `version` (which must be the current
+/// version, picked with `compacting == false`) and commit the result.
+fn run_compaction(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+    version: Arc<Version>,
+    compaction: Compaction,
+) -> Result<()> {
+    debug_assert!(!state.compacting, "caller must hold the compaction slot");
+    state.compacting = true;
+    let result = run_compaction_locked(shared, state, version, compaction);
+    state.compacting = false;
+    shared.room_cv.notify_all();
+    result
+}
+
+fn run_compaction_locked(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+    version: Arc<Version>,
+    compaction: Compaction,
+) -> Result<()> {
+    let smallest_snapshot = shared.smallest_snapshot(state.versions.last_sequence);
+    // Output count is unknown up front, so reserve a window of file numbers
+    // before dropping the lock; compactions never produce anywhere near
+    // this many outputs (inputs are bounded by level budgets).
+    const NUMBER_WINDOW: u64 = 4096;
+    let first_number = state.versions.next_file_number;
+    state.versions.next_file_number += NUMBER_WINDOW;
+    let outputs = parking_lot::MutexGuard::unlocked(state, || {
+        execute_compaction(shared, &version, &compaction, smallest_snapshot, first_number)
+    })?;
+    debug_assert!((outputs.len() as u64) < NUMBER_WINDOW);
+
+    let mut edit = VersionEdit::default();
+    for (level, f) in compaction.all_inputs() {
+        edit.deleted_files.push((level, f.number));
+    }
+    let out_level = compaction.output_level();
+    let mut out_bytes = 0;
+    for meta in outputs {
+        out_bytes += meta.file_size;
+        edit.new_files.push((out_level, meta));
+    }
+    state.versions.log_and_apply(edit)?;
+    shared.stats.add(&shared.stats.compactions, 1);
+    shared.stats.add(&shared.stats.compact_bytes_in, compaction.input_bytes());
+    shared.stats.add(&shared.stats.compact_bytes_out, out_bytes);
+
+    // Defer physical deletion of the inputs until no reader can hold a
+    // version that references them.
+    let input_numbers: Vec<u64> = compaction.all_inputs().map(|(_, f)| f.number).collect();
+    state.retired.push_back((version, input_numbers));
+    gc_retired_versions(shared, state);
+    Ok(())
+}
+
+/// Physically delete files whose last referencing versions have been
+/// released. The queue is in supersession order; the front entry's version
+/// is older than everything behind it, so it gates the whole queue.
+fn gc_retired_versions(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+) {
+    while let Some((version, _)) = state.retired.front() {
+        // strong_count == 1 means only the queue itself holds the version:
+        // no reader can reach the obsolete files any more.
+        if Arc::strong_count(version) > 1 {
+            return;
+        }
+        let (_, files) = state.retired.pop_front().expect("front exists");
+        for number in files {
+            shared.evict_table(number);
+            if let Some(cache) = &shared.block_cache {
+                cache.erase_file(number);
+            }
+            let _ = shared.router.delete_table(&*shared.env, number);
+        }
+    }
+}
+
+/// Merge compaction inputs into fresh tables at the output level. Runs
+/// without the state lock.
+fn execute_compaction(
+    shared: &Arc<DbShared>,
+    version: &Arc<Version>,
+    compaction: &Compaction,
+    smallest_snapshot: SequenceNumber,
+    first_number: u64,
+) -> Result<Vec<FileMetaData>> {
+    let provider: Arc<dyn TableProvider> = shared.clone();
+    let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
+    if compaction.level == 0 {
+        for meta in &compaction.inputs[0] {
+            let table = shared.get_table(meta)?;
+            children.push(Box::new(table.iter()));
+        }
+    } else {
+        children.push(Box::new(LevelIterator::new(
+            compaction.inputs[0].clone(),
+            Arc::clone(&provider),
+        )));
+    }
+    if !compaction.inputs[1].is_empty() {
+        children.push(Box::new(LevelIterator::new(
+            compaction.inputs[1].clone(),
+            Arc::clone(&provider),
+        )));
+    }
+    let mut iter = MergingIterator::new(children);
+    iter.seek_to_first()?;
+
+    let out_level = compaction.output_level();
+    let bottommost = (out_level + 1..version.levels.len())
+        .all(|lvl| version.levels[lvl].is_empty());
+
+    let mut outputs: Vec<FileMetaData> = Vec::new();
+    let mut builder: Option<(u64, TableBuilder)> = None;
+    let mut next_number = first_number;
+    let mut current_user_key: Option<Vec<u8>> = None;
+    let mut last_seq_for_key = MAX_SEQUENCE;
+
+    while iter.valid() {
+        let ikey = iter.key();
+        let parsed =
+            parse_internal_key(ikey).ok_or_else(|| Error::corruption("bad key in compaction"))?;
+        let first_occurrence = current_user_key.as_deref() != Some(parsed.user_key);
+        if first_occurrence {
+            current_user_key = Some(parsed.user_key.to_vec());
+            last_seq_for_key = MAX_SEQUENCE;
+        }
+        let mut drop = false;
+        if last_seq_for_key <= smallest_snapshot {
+            // A newer entry for this key is already ≤ the oldest snapshot:
+            // nothing can ever read this one.
+            drop = true;
+        } else if parsed.value_type == ValueType::Deletion
+            && parsed.sequence <= smallest_snapshot
+            && bottommost
+        {
+            // Tombstone with nothing underneath it to shadow.
+            drop = true;
+        }
+        last_seq_for_key = parsed.sequence;
+
+        if !drop {
+            // Rotate only at user-key boundaries: all versions of one user
+            // key must land in the same output file, or files at the same
+            // level would overlap by user key (snapshots keep multiple
+            // versions alive through compactions).
+            if first_occurrence {
+                if let Some((_, b)) = &builder {
+                    if b.estimated_size() >= shared.options.target_file_size {
+                        let (number, b) = builder.take().expect("builder present");
+                        outputs.push(finish_output(shared, number, b, out_level)?);
+                    }
+                }
+            }
+            if builder.is_none() {
+                let number = next_number;
+                next_number += 1;
+                let file = shared.env.new_writable(&sst_name(number))?;
+                builder = Some((number, TableBuilder::new(file, shared.options.clone())));
+            }
+            let (_, b) = builder.as_mut().expect("just created");
+            b.add(ikey, iter.value())?;
+        }
+        iter.next()?;
+    }
+    if let Some((number, b)) = builder.take() {
+        if b.num_entries() > 0 {
+            outputs.push(finish_output(shared, number, b, out_level)?);
+        } else {
+            let _ = shared.env.delete(&sst_name(number));
+        }
+    }
+    Ok(outputs)
+}
+
+fn finish_output(
+    shared: &Arc<DbShared>,
+    number: u64,
+    builder: TableBuilder,
+    level: usize,
+) -> Result<FileMetaData> {
+    let smallest = builder.smallest().expect("non-empty output").to_vec();
+    let largest = builder.largest().expect("non-empty output").to_vec();
+    let file_size = builder.finish()?;
+    shared.router.publish_table(&*shared.env, number, level)?;
+    Ok(FileMetaData { number, file_size, smallest, largest })
+}
+
+/// User-facing forward iterator: newest visible version per key, tombstones
+/// elided, pinned at a sequence number.
+pub struct DbIterator {
+    inner: MergingIterator,
+    snapshot: SequenceNumber,
+    key: Vec<u8>,
+    value: Vec<u8>,
+    valid: bool,
+    /// Pins the file layout this iterator walks: obsolete tables are not
+    /// physically deleted while the pin is held.
+    _version: Arc<Version>,
+}
+
+impl DbIterator {
+    /// Position at the first visible key.
+    pub fn seek_to_first(&mut self) -> Result<()> {
+        self.inner.seek_to_first()?;
+        self.find_next_visible(None)
+    }
+
+    /// Position at the first visible key >= `user_key`.
+    pub fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        self.inner.seek(&make_lookup_key(user_key, self.snapshot))?;
+        self.find_next_visible(None)
+    }
+
+    /// Advance to the next visible key.
+    #[allow(clippy::should_implement_trait)] // cursor API, deliberately like LevelDB's
+    pub fn next(&mut self) -> Result<()> {
+        debug_assert!(self.valid);
+        let skip = std::mem::take(&mut self.key);
+        self.find_next_visible(Some(skip))
+    }
+
+    /// Whether the iterator points at a visible entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Current user key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.value
+    }
+
+    /// Scan from the current position, collecting up to `limit` pairs.
+    pub fn collect_forward(&mut self, limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        while self.valid() && out.len() < limit {
+            out.push((self.key.clone(), self.value.clone()));
+            self.next()?;
+        }
+        Ok(out)
+    }
+
+    /// Skip entries until a visible one is found. `skip_key` suppresses all
+    /// versions of the given user key (used by `next`).
+    fn find_next_visible(&mut self, mut skip_key: Option<Vec<u8>>) -> Result<()> {
+        self.valid = false;
+        while self.inner.valid() {
+            let parsed = match parse_internal_key(self.inner.key()) {
+                Some(p) => p,
+                None => return Err(Error::corruption("bad internal key in iterator")),
+            };
+            if parsed.sequence > self.snapshot {
+                self.inner.next()?;
+                continue;
+            }
+            if skip_key.as_deref() == Some(parsed.user_key) {
+                self.inner.next()?;
+                continue;
+            }
+            match parsed.value_type {
+                ValueType::Deletion => {
+                    // Shadow every older version of this key.
+                    skip_key = Some(parsed.user_key.to_vec());
+                    self.inner.next()?;
+                }
+                ValueType::Value => {
+                    self.key = parsed.user_key.to_vec();
+                    self.value = self.inner.value().to_vec();
+                    self.valid = true;
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+}

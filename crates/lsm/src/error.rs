@@ -1,0 +1,76 @@
+//! Engine error type, layered over storage errors.
+
+use std::fmt;
+
+use storage::StorageError;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the LSM engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying storage failed.
+    Storage(StorageError),
+    /// Persistent state failed validation (bad checksum, truncated block,
+    /// malformed manifest...).
+    Corruption(String),
+    /// The database is shutting down or already closed.
+    Closed,
+    /// Caller misuse (e.g. empty key).
+    InvalidArgument(String),
+}
+
+impl Error {
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Corruption(msg) => write!(f, "corruption: {msg}"),
+            Error::Closed => write!(f, "database closed"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::Corruption(msg) => Error::Corruption(msg),
+            other => Error::Storage(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_corruption_becomes_engine_corruption() {
+        let e: Error = StorageError::corruption("bad crc").into();
+        assert!(matches!(e, Error::Corruption(_)));
+    }
+
+    #[test]
+    fn other_storage_errors_wrap() {
+        let e: Error = StorageError::NotFound("f".into()).into();
+        assert!(matches!(e, Error::Storage(_)));
+        assert!(e.to_string().contains("not found"));
+    }
+}

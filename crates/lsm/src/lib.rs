@@ -1,0 +1,66 @@
+//! A from-scratch leveled LSM-tree storage engine.
+//!
+//! This crate is the substrate the RocksMash designs embed into — the role
+//! RocksDB plays in the paper. It implements the complete write and read
+//! paths of a leveled LSM store:
+//!
+//! * [`memtable`] — concurrent skiplist memtable with lock-free readers and
+//!   an externally serialized writer.
+//! * [`wal`] — block-oriented, checksummed write-ahead log (LevelDB record
+//!   format) used for both data logs and the MANIFEST.
+//! * [`sstable`] — block-based immutable tables: prefix-compressed data
+//!   blocks with restart points, bloom filters, index block, CRC32C
+//!   trailers.
+//! * [`version`] — MANIFEST/VersionEdit/VersionSet metadata machinery.
+//! * [`compaction`] — leveled compaction picking and execution.
+//! * [`cache`] — sharded LRU block cache.
+//! * [`db`] — the `Db` facade: write batches, snapshot reads, range scans,
+//!   background flush/compaction, crash recovery.
+//!
+//! The engine is deliberately structured so a tiering layer (crate
+//! `rocksmash`) can interpose on SSTable file placement via [`db::FileRouter`]
+//! and observe compaction lifecycle events, which is exactly the hook set
+//! RocksMash patches into RocksDB.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lsm::{Db, Options, WriteBatch};
+//! use storage::{Env, MemEnv};
+//!
+//! let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests())?;
+//! let mut batch = WriteBatch::new();
+//! batch.put(b"a", b"1");
+//! batch.put(b"b", b"2");
+//! batch.delete(b"a");
+//! db.write(batch)?;
+//! assert_eq!(db.get(b"a")?, None);
+//! assert_eq!(db.get(b"b")?, Some(b"2".to_vec()));
+//!
+//! let mut it = db.iter()?;
+//! it.seek_to_first()?;
+//! assert_eq!(it.collect_forward(10)?.len(), 1);
+//! db.close()?;
+//! # Ok::<(), lsm::Error>(())
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod compaction;
+pub mod compress;
+pub mod db;
+pub mod error;
+pub mod iterator;
+pub mod memtable;
+pub mod options;
+pub mod repair;
+pub mod sstable;
+pub mod types;
+pub mod util;
+pub mod version;
+pub mod wal;
+
+pub use batch::WriteBatch;
+pub use db::{Db, DbStats, FileRouter, LocalFileRouter, Snapshot};
+pub use error::{Error, Result};
+pub use options::Options;
+pub use types::{SequenceNumber, ValueType};

@@ -1,0 +1,478 @@
+//! Skiplist memtable.
+//!
+//! LevelDB-style concurrent skiplist: one writer at a time (serialized by an
+//! internal mutex; the DB write path is single-writer anyway) and any number
+//! of lock-free readers. Nodes are immutable once published and are never
+//! unlinked until the whole table is dropped, so readers need no epochs or
+//! hazard pointers — publication via `Release` stores and traversal via
+//! `Acquire` loads is sufficient (Rust Atomics & Locks ch. 3 "Release and
+//! Acquire Ordering").
+
+use std::ptr;
+use std::sync::Arc;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::types::{
+    extract_user_key, internal_compare, make_internal_key, make_lookup_key, parse_internal_key,
+    SequenceNumber, ValueType,
+};
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u32 = 4;
+
+struct Node {
+    /// Full internal key (user key + sequence/type trailer).
+    key: Box<[u8]>,
+    /// Value bytes; empty for tombstones.
+    value: Box<[u8]>,
+    /// Tower of next pointers; length == node height.
+    next: Vec<AtomicPtr<Node>>,
+}
+
+impl Node {
+    fn alloc(key: Vec<u8>, value: Vec<u8>, height: usize) -> *mut Node {
+        let mut next = Vec::with_capacity(height);
+        for _ in 0..height {
+            next.push(AtomicPtr::new(ptr::null_mut()));
+        }
+        Box::into_raw(Box::new(Node {
+            key: key.into_boxed_slice(),
+            value: value.into_boxed_slice(),
+            next,
+        }))
+    }
+
+    fn next(&self, level: usize) -> *mut Node {
+        self.next[level].load(Ordering::Acquire)
+    }
+
+    fn set_next(&self, level: usize, node: *mut Node) {
+        self.next[level].store(node, Ordering::Release);
+    }
+}
+
+/// Outcome of a point lookup against one memtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Key present with this value.
+    Value(Vec<u8>),
+    /// Key deleted (tombstone shadows older versions).
+    Deleted,
+    /// This memtable holds no visible version of the key.
+    NotFound,
+}
+
+/// In-memory sorted run of recent writes.
+pub struct MemTable {
+    head: *mut Node,
+    max_height: AtomicUsize,
+    writer: Mutex<()>,
+    rnd: AtomicU64,
+    approximate_bytes: AtomicUsize,
+    entries: AtomicUsize,
+}
+
+// SAFETY: all mutation is serialized by `writer`; readers only follow
+// pointers published with Release stores and never observe freed nodes
+// (nodes live until Drop).
+unsafe impl Send for MemTable {}
+unsafe impl Sync for MemTable {}
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> Self {
+        MemTable {
+            head: Node::alloc(Vec::new(), Vec::new(), MAX_HEIGHT),
+            max_height: AtomicUsize::new(1),
+            writer: Mutex::new(()),
+            rnd: AtomicU64::new(0x9e3779b97f4a7c15),
+            approximate_bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Insert one entry. Keys are (user_key, seq, type) triples, so inserts
+    /// never overwrite — newer versions shadow older ones at read time.
+    pub fn insert(&self, seq: SequenceNumber, t: ValueType, user_key: &[u8], value: &[u8]) {
+        let _guard = self.writer.lock();
+        let internal_key = make_internal_key(user_key, seq, t);
+        let height = self.random_height();
+        let node = Node::alloc(internal_key, value.to_vec(), height);
+
+        let mut prev = [self.head; MAX_HEIGHT];
+        self.find_greater_or_equal(unsafe { &(*node).key }, Some(&mut prev));
+
+        if height > self.max_height.load(Ordering::Relaxed) {
+            // Levels above the old max hang off head; readers that see the
+            // old max simply ignore the taller levels.
+            self.max_height.store(height, Ordering::Relaxed);
+        }
+        // SAFETY: nodes in `prev` are reachable and alive; we are the only
+        // writer. Link bottom-up so a reader that sees the node at level i
+        // can always descend.
+        unsafe {
+            for (level, &p) in prev.iter().enumerate().take(height) {
+                (*node).set_next(level, (*p).next(level));
+                (*p).set_next(level, node);
+            }
+        }
+        self.approximate_bytes
+            .fetch_add(user_key.len() + value.len() + 8 + 16 * height, Ordering::Relaxed);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Look up the newest version of `user_key` visible at `snapshot`.
+    pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> LookupResult {
+        let lookup = make_lookup_key(user_key, snapshot);
+        let node = self.find_greater_or_equal(&lookup, None);
+        if node.is_null() {
+            return LookupResult::NotFound;
+        }
+        // SAFETY: non-null nodes remain alive until the memtable drops.
+        let node = unsafe { &*node };
+        let parsed = match parse_internal_key(&node.key) {
+            Some(p) => p,
+            None => return LookupResult::NotFound,
+        };
+        if parsed.user_key != user_key {
+            return LookupResult::NotFound;
+        }
+        match parsed.value_type {
+            ValueType::Value => LookupResult::Value(node.value.to_vec()),
+            ValueType::Deletion => LookupResult::Deleted,
+        }
+    }
+
+    /// Approximate memory footprint in bytes (drives flush decisions).
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries inserted.
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True when no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterator over all entries in internal-key order. The iterator keeps
+    /// the memtable alive, so it can be handed to merging iterators that
+    /// outlive the caller's borrow.
+    pub fn iter(self: &Arc<Self>) -> MemTableIter {
+        MemTableIter { table: Arc::clone(self), node: ptr::null_mut() }
+    }
+
+    /// Find the first node whose key is >= `key`; optionally record the
+    /// predecessor at every level into `prev`.
+    fn find_greater_or_equal(
+        &self,
+        key: &[u8],
+        mut prev: Option<&mut [*mut Node; MAX_HEIGHT]>,
+    ) -> *mut Node {
+        let mut node = self.head;
+        let mut level = self.max_height.load(Ordering::Relaxed) - 1;
+        loop {
+            // SAFETY: `node` is head or a published node; both outlive us.
+            let next = unsafe { (*node).next(level) };
+            let descend = if next.is_null() {
+                true
+            } else {
+                // SAFETY: as above.
+                let next_key = unsafe { &(*next).key };
+                internal_compare(next_key, key) != std::cmp::Ordering::Less
+            };
+            if descend {
+                if let Some(prev) = prev.as_deref_mut() {
+                    prev[level] = node;
+                }
+                if level == 0 {
+                    return next;
+                }
+                level -= 1;
+            } else {
+                node = next;
+            }
+        }
+    }
+
+    fn random_height(&self) -> usize {
+        // xorshift64*; cheap and adequate for skiplist level distribution.
+        let mut x = self.rnd.load(Ordering::Relaxed);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rnd.store(x, Ordering::Relaxed);
+        let mut height = 1;
+        let mut bits = x.wrapping_mul(0x2545F4914F6CDD1D);
+        while height < MAX_HEIGHT && (bits as u32).is_multiple_of(BRANCHING) {
+            height += 1;
+            bits >>= 2;
+        }
+        height
+    }
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for MemTable {
+    fn drop(&mut self) {
+        // Exclusive access: walk level 0 and free every node.
+        let mut node = self.head;
+        while !node.is_null() {
+            // SAFETY: we own all nodes; each was Box::into_raw'd once.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.first().map_or(ptr::null_mut(), |n| n.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// Forward iterator over memtable entries (internal keys). Holds an `Arc`
+/// to the table, so the nodes it points at cannot be freed underneath it.
+pub struct MemTableIter {
+    table: Arc<MemTable>,
+    node: *mut Node,
+}
+
+// SAFETY: the raw node pointer targets memory owned by `table`, which the
+// iterator keeps alive; nodes are immutable once published.
+unsafe impl Send for MemTableIter {}
+
+impl MemTableIter {
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        // SAFETY: head outlives the iterator.
+        self.node = unsafe { (*self.table.head).next(0) };
+    }
+
+    /// Position at the first entry with internal key >= `key`.
+    pub fn seek(&mut self, key: &[u8]) {
+        self.node = self.table.find_greater_or_equal(key, None);
+    }
+
+    /// Whether the iterator points at an entry.
+    pub fn valid(&self) -> bool {
+        !self.node.is_null()
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid());
+        // SAFETY: valid() checked by caller; nodes outlive the iterator.
+        self.node = unsafe { (*self.node).next(0) };
+    }
+
+    /// Internal key at the current position.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        // SAFETY: node is alive while the Arc is held.
+        unsafe { &(*self.node).key }
+    }
+
+    /// Value at the current position.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid());
+        // SAFETY: as for key().
+        unsafe { &(*self.node).value }
+    }
+
+    /// User key at the current position.
+    pub fn user_key(&self) -> &[u8] {
+        extract_user_key(self.key())
+    }
+}
+
+impl crate::iterator::InternalIterator for MemTableIter {
+    fn seek_to_first(&mut self) -> crate::error::Result<()> {
+        MemTableIter::seek_to_first(self);
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8]) -> crate::error::Result<()> {
+        MemTableIter::seek(self, target);
+        Ok(())
+    }
+
+    fn next(&mut self) -> crate::error::Result<()> {
+        MemTableIter::next(self);
+        Ok(())
+    }
+
+    fn valid(&self) -> bool {
+        MemTableIter::valid(self)
+    }
+
+    fn key(&self) -> &[u8] {
+        MemTableIter::key(self)
+    }
+
+    fn value(&self) -> &[u8] {
+        MemTableIter::value(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table() {
+        let m = Arc::new(MemTable::new());
+        assert!(m.is_empty());
+        assert_eq!(m.get(b"k", u64::MAX >> 8), LookupResult::NotFound);
+        let mut it = m.iter();
+        it.seek_to_first();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let m = MemTable::new();
+        m.insert(1, ValueType::Value, b"apple", b"red");
+        m.insert(2, ValueType::Value, b"banana", b"yellow");
+        assert_eq!(m.get(b"apple", 10), LookupResult::Value(b"red".to_vec()));
+        assert_eq!(m.get(b"banana", 10), LookupResult::Value(b"yellow".to_vec()));
+        assert_eq!(m.get(b"cherry", 10), LookupResult::NotFound);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn newer_version_shadows_older() {
+        let m = MemTable::new();
+        m.insert(1, ValueType::Value, b"k", b"v1");
+        m.insert(5, ValueType::Value, b"k", b"v2");
+        assert_eq!(m.get(b"k", 100), LookupResult::Value(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn snapshot_reads_see_old_versions() {
+        let m = MemTable::new();
+        m.insert(1, ValueType::Value, b"k", b"v1");
+        m.insert(5, ValueType::Value, b"k", b"v2");
+        assert_eq!(m.get(b"k", 1), LookupResult::Value(b"v1".to_vec()));
+        assert_eq!(m.get(b"k", 4), LookupResult::Value(b"v1".to_vec()));
+        assert_eq!(m.get(b"k", 5), LookupResult::Value(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn tombstone_reports_deleted() {
+        let m = MemTable::new();
+        m.insert(1, ValueType::Value, b"k", b"v");
+        m.insert(2, ValueType::Deletion, b"k", b"");
+        assert_eq!(m.get(b"k", 10), LookupResult::Deleted);
+        assert_eq!(m.get(b"k", 1), LookupResult::Value(b"v".to_vec()));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_user_key_then_seq_desc() {
+        let m = Arc::new(MemTable::new());
+        m.insert(3, ValueType::Value, b"b", b"3");
+        m.insert(1, ValueType::Value, b"a", b"1");
+        m.insert(2, ValueType::Value, b"b", b"2");
+        let mut it = m.iter();
+        it.seek_to_first();
+        let mut seen = Vec::new();
+        while it.valid() {
+            let p = parse_internal_key(it.key()).unwrap();
+            seen.push((p.user_key.to_vec(), p.sequence));
+            it.next();
+        }
+        assert_eq!(
+            seen,
+            vec![(b"a".to_vec(), 1), (b"b".to_vec(), 3), (b"b".to_vec(), 2)]
+        );
+    }
+
+    #[test]
+    fn seek_positions_at_lower_bound() {
+        let m = Arc::new(MemTable::new());
+        for (i, k) in [b"aa", b"cc", b"ee"].iter().enumerate() {
+            m.insert(i as u64 + 1, ValueType::Value, *k, b"v");
+        }
+        let mut it = m.iter();
+        it.seek(&make_lookup_key(b"bb", u64::MAX >> 9));
+        assert!(it.valid());
+        assert_eq!(it.user_key(), b"cc");
+        it.seek(&make_lookup_key(b"zz", u64::MAX >> 9));
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let m = MemTable::new();
+        let before = m.approximate_bytes();
+        m.insert(1, ValueType::Value, b"key", &[0u8; 100]);
+        assert!(m.approximate_bytes() >= before + 100);
+    }
+
+    #[test]
+    fn many_keys_sorted() {
+        let m = Arc::new(MemTable::new());
+        for i in (0..1000).rev() {
+            let key = format!("key{i:05}");
+            m.insert(1000 - i, ValueType::Value, key.as_bytes(), b"v");
+        }
+        let mut it = m.iter();
+        it.seek_to_first();
+        let mut prev: Option<Vec<u8>> = None;
+        let mut count = 0;
+        while it.valid() {
+            let uk = it.user_key().to_vec();
+            if let Some(p) = &prev {
+                assert!(*p < uk);
+            }
+            prev = Some(uk);
+            count += 1;
+            it.next();
+        }
+        assert_eq!(count, 1000);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let m = Arc::new(MemTable::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in (0..512).step_by(7) {
+                        let key = format!("key{i:05}");
+                        if let LookupResult::Value(v) = m.get(key.as_bytes(), u64::MAX >> 9) {
+                            assert_eq!(v, format!("val{i}").into_bytes());
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            }));
+        }
+        for i in 0..512 {
+            let key = format!("key{i:05}");
+            let val = format!("val{i}");
+            m.insert(i + 1, ValueType::Value, key.as_bytes(), val.as_bytes());
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // After all writes, every key must be visible.
+        for i in 0..512 {
+            let key = format!("key{i:05}");
+            assert!(matches!(m.get(key.as_bytes(), u64::MAX >> 9), LookupResult::Value(_)));
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Engine tuning knobs.
+
+/// Configuration for a [`crate::Db`] instance.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Flush the memtable once it holds about this many bytes.
+    pub write_buffer_size: usize,
+    /// Target uncompressed size of each SSTable data block.
+    pub block_size: usize,
+    /// Restart interval inside blocks.
+    pub block_restart_interval: usize,
+    /// Bloom filter budget; 0 disables filters.
+    pub bloom_bits_per_key: usize,
+    /// Total block cache capacity in bytes; 0 disables the cache.
+    pub block_cache_bytes: usize,
+    /// Number of levels (L0..L{n-1}).
+    pub num_levels: usize,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Number of L0 files at which writes stall until compaction catches up.
+    pub l0_stall_trigger: usize,
+    /// Max total bytes for L1; each deeper level is `level_size_multiplier`×.
+    pub max_bytes_for_level_base: u64,
+    /// Size ratio between adjacent levels.
+    pub level_size_multiplier: u64,
+    /// Target size of one SSTable produced by compaction.
+    pub target_file_size: u64,
+    /// fsync the WAL on every write batch.
+    pub sync_writes: bool,
+    /// Verify block checksums on every read.
+    pub verify_checksums: bool,
+    /// LZ-compress SSTable blocks (skipping blocks that do not shrink).
+    /// Shrinks both tiers and, more importantly, cloud egress bytes, at
+    /// some CPU cost per block read/write.
+    pub compression: bool,
+    /// Log writes to the engine WAL. Disable only when an outer layer (the
+    /// RocksMash extended WAL) provides durability and drives
+    /// [`crate::Db::flush`] itself.
+    pub wal_enabled: bool,
+    /// Run flushes/compactions automatically on the background thread.
+    pub auto_compaction: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            write_buffer_size: 4 << 20,
+            block_size: 4096,
+            block_restart_interval: 16,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 8 << 20,
+            num_levels: 7,
+            l0_compaction_trigger: 4,
+            l0_stall_trigger: 12,
+            max_bytes_for_level_base: 10 << 20,
+            level_size_multiplier: 10,
+            target_file_size: 2 << 20,
+            sync_writes: false,
+            verify_checksums: true,
+            compression: false,
+            wal_enabled: true,
+            auto_compaction: true,
+        }
+    }
+}
+
+impl Options {
+    /// Small-scale options for unit tests: tiny buffers so flush and
+    /// compaction trigger quickly.
+    pub fn small_for_tests() -> Self {
+        Options {
+            write_buffer_size: 64 << 10,
+            block_size: 1024,
+            max_bytes_for_level_base: 256 << 10,
+            target_file_size: 64 << 10,
+            block_cache_bytes: 1 << 20,
+            ..Options::default()
+        }
+    }
+
+    /// Maximum allowed total size of level `level`, in bytes.
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        let mut size = self.max_bytes_for_level_base;
+        for _ in 1..level {
+            size = size.saturating_mul(self.level_size_multiplier);
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_sizes_grow_geometrically() {
+        let o = Options { max_bytes_for_level_base: 10, level_size_multiplier: 10, ..Options::default() };
+        assert_eq!(o.max_bytes_for_level(1), 10);
+        assert_eq!(o.max_bytes_for_level(2), 100);
+        assert_eq!(o.max_bytes_for_level(3), 1000);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = Options::default();
+        assert!(o.l0_stall_trigger > o.l0_compaction_trigger);
+        assert!(o.block_size < o.write_buffer_size);
+        assert!(o.num_levels >= 2);
+    }
+}

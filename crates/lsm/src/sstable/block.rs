@@ -1,0 +1,364 @@
+//! Prefix-compressed key/value blocks with restart points.
+//!
+//! Entry encoding: `shared | non_shared | value_len` as varint32s, then the
+//! non-shared key suffix and the value. Every `restart_interval`-th entry
+//! stores its key in full and its offset is recorded in the restarts array
+//! at the block tail, enabling binary-search seeks.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::iterator::InternalIterator;
+use crate::types::internal_compare;
+use crate::util::{get_fixed32, get_varint32, put_fixed32, put_varint32};
+
+/// Builds one block.
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    restart_interval: usize,
+    counter: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    /// New builder with the given restart interval (LevelDB uses 16).
+    pub fn new(restart_interval: usize) -> Self {
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            restart_interval: restart_interval.max(1),
+            counter: 0,
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Append an entry; keys must arrive in strictly increasing internal-key
+    /// order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        debug_assert!(
+            self.entries == 0 || internal_compare(&self.last_key, key) == Ordering::Less,
+            "keys must be added in order"
+        );
+        let shared = if self.counter < self.restart_interval {
+            common_prefix_len(&self.last_key, key)
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+            0
+        };
+        put_varint32(&mut self.buf, shared as u32);
+        put_varint32(&mut self.buf, (key.len() - shared) as u32);
+        put_varint32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    /// Current encoded size, including the restart array it would emit.
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// True when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Finish the block, returning its full encoding.
+    pub fn finish(mut self) -> Vec<u8> {
+        for &r in &self.restarts {
+            put_fixed32(&mut self.buf, r);
+        }
+        put_fixed32(&mut self.buf, self.restarts.len() as u32);
+        self.buf
+    }
+}
+
+/// (shared_len, non_shared key suffix, value byte range, next entry offset).
+type DecodedEntry<'a> = (usize, &'a [u8], (usize, usize), usize);
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// An immutable, parsed block.
+#[derive(Debug)]
+pub struct Block {
+    data: Vec<u8>,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Parse a finished block encoding.
+    pub fn new(data: Vec<u8>) -> Result<Block> {
+        if data.len() < 4 {
+            return Err(Error::corruption("block too small"));
+        }
+        let num_restarts = get_fixed32(&data[data.len() - 4..]) as usize;
+        let restarts_size = num_restarts
+            .checked_mul(4)
+            .and_then(|s| s.checked_add(4))
+            .ok_or_else(|| Error::corruption("restart count overflow"))?;
+        if restarts_size > data.len() {
+            return Err(Error::corruption("restart array larger than block"));
+        }
+        let restarts_offset = data.len() - restarts_size;
+        Ok(Block { data, restarts_offset, num_restarts })
+    }
+
+    /// Bytes this block occupies in memory (for cache accounting).
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterator over the block's entries.
+    pub fn iter(self: &Arc<Self>) -> BlockIter {
+        BlockIter {
+            block: Arc::clone(self),
+            offset: 0,
+            key: Vec::new(),
+            value_range: (0, 0),
+            valid: false,
+        }
+    }
+
+    fn restart_point(&self, i: usize) -> usize {
+        get_fixed32(&self.data[self.restarts_offset + i * 4..]) as usize
+    }
+
+    /// Decode the entry at `offset`; returns (shared, non_shared_slice,
+    /// value_range, next_offset).
+    fn decode_entry(&self, offset: usize) -> Result<DecodedEntry<'_>> {
+        let limit = self.restarts_offset;
+        let mut p = offset;
+        let (shared, n) =
+            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        p += n;
+        let (non_shared, n) =
+            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        p += n;
+        let (value_len, n) =
+            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        p += n;
+        let key_end = p + non_shared as usize;
+        let value_end = key_end + value_len as usize;
+        if value_end > limit {
+            return Err(Error::corruption("entry overruns block"));
+        }
+        Ok((shared as usize, &self.data[p..key_end], (key_end, value_end), value_end))
+    }
+}
+
+/// Cursor over a [`Block`]'s entries.
+pub struct BlockIter {
+    block: Arc<Block>,
+    /// Offset of the *next* entry to decode.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    valid: bool,
+}
+
+impl BlockIter {
+    fn seek_to_restart(&mut self, restart: usize) {
+        self.offset = self.block.restart_point(restart);
+        self.key.clear();
+        self.valid = false;
+    }
+
+    fn parse_next(&mut self) -> Result<bool> {
+        if self.offset >= self.block.restarts_offset {
+            self.valid = false;
+            return Ok(false);
+        }
+        let (shared, non_shared, value_range, next) = self.block.decode_entry(self.offset)?;
+        if shared > self.key.len() {
+            return Err(Error::corruption("shared prefix longer than previous key"));
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(non_shared);
+        self.value_range = value_range;
+        self.offset = next;
+        self.valid = true;
+        Ok(true)
+    }
+
+    /// Key at a restart point, decoded without moving the iterator.
+    fn restart_key(&self, restart: usize) -> Result<&[u8]> {
+        let off = self.block.restart_point(restart);
+        let (shared, non_shared, _, _) = self.block.decode_entry(off)?;
+        if shared != 0 {
+            return Err(Error::corruption("restart entry has shared bytes"));
+        }
+        Ok(non_shared)
+    }
+}
+
+impl InternalIterator for BlockIter {
+    fn seek_to_first(&mut self) -> Result<()> {
+        self.seek_to_restart(0);
+        self.parse_next()?;
+        Ok(())
+    }
+
+    fn seek(&mut self, target: &[u8]) -> Result<()> {
+        // Binary search restart points for the last restart whose key is
+        // < target, then scan linearly.
+        let mut left = 0usize;
+        let mut right = self.block.num_restarts.saturating_sub(1);
+        while left < right {
+            let mid = (left + right).div_ceil(2);
+            if internal_compare(self.restart_key(mid)?, target) == Ordering::Less {
+                left = mid;
+            } else {
+                right = mid - 1;
+            }
+        }
+        self.seek_to_restart(left);
+        while self.parse_next()? {
+            if internal_compare(&self.key, target) != Ordering::Less {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<()> {
+        debug_assert!(self.valid);
+        self.parse_next()?;
+        Ok(())
+    }
+
+    fn valid(&self) -> bool {
+        self.valid
+    }
+
+    fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, make_lookup_key, ValueType};
+
+    fn ik(k: &str, seq: u64) -> Vec<u8> {
+        make_internal_key(k.as_bytes(), seq, ValueType::Value)
+    }
+
+    fn build_block(keys: &[(&str, u64)]) -> Arc<Block> {
+        let mut b = BlockBuilder::new(4);
+        for (k, s) in keys {
+            b.add(&ik(k, *s), format!("v-{k}").as_bytes());
+        }
+        Arc::new(Block::new(b.finish()).unwrap())
+    }
+
+    #[test]
+    fn iterate_all_entries() {
+        let block = build_block(&[("apple", 1), ("apricot", 1), ("banana", 1), ("berry", 1)]);
+        let mut it = block.iter();
+        it.seek_to_first().unwrap();
+        let mut got = Vec::new();
+        while it.valid() {
+            got.push(String::from_utf8(it.value().to_vec()).unwrap());
+            it.next().unwrap();
+        }
+        assert_eq!(got, vec!["v-apple", "v-apricot", "v-banana", "v-berry"]);
+    }
+
+    #[test]
+    fn prefix_compression_shrinks_blocks() {
+        let mut compressed = BlockBuilder::new(16);
+        let mut uncompressed_len = 0usize;
+        for i in 0..100 {
+            let key = ik(&format!("common-prefix-key-{i:04}"), 1);
+            uncompressed_len += key.len() + 3;
+            compressed.add(&key, b"v");
+        }
+        assert!(compressed.size_estimate() < uncompressed_len);
+    }
+
+    #[test]
+    fn seek_exact_and_between() {
+        let block = build_block(&[("b", 5), ("d", 5), ("f", 5)]);
+        let mut it = block.iter();
+        it.seek(&make_lookup_key(b"d", u64::MAX >> 9)).unwrap();
+        assert!(it.valid());
+        assert_eq!(it.value(), b"v-d");
+        it.seek(&make_lookup_key(b"c", u64::MAX >> 9)).unwrap();
+        assert_eq!(it.value(), b"v-d");
+        it.seek(&make_lookup_key(b"a", u64::MAX >> 9)).unwrap();
+        assert_eq!(it.value(), b"v-b");
+        it.seek(&make_lookup_key(b"g", u64::MAX >> 9)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn seek_across_restart_boundaries() {
+        let keys: Vec<String> = (0..64).map(|i| format!("key{i:03}")).collect();
+        let mut b = BlockBuilder::new(4);
+        for k in &keys {
+            b.add(&ik(k, 1), k.as_bytes());
+        }
+        let block = Arc::new(Block::new(b.finish()).unwrap());
+        for k in &keys {
+            let mut it = block.iter();
+            it.seek(&make_lookup_key(k.as_bytes(), u64::MAX >> 9)).unwrap();
+            assert!(it.valid(), "seek {k}");
+            assert_eq!(it.value(), k.as_bytes());
+        }
+    }
+
+    #[test]
+    fn single_entry_block() {
+        let block = build_block(&[("only", 9)]);
+        let mut it = block.iter();
+        it.seek_to_first().unwrap();
+        assert!(it.valid());
+        assert_eq!(it.value(), b"v-only");
+        it.next().unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn corrupt_block_rejected() {
+        assert!(Block::new(vec![]).is_err());
+        assert!(Block::new(vec![0xff; 3]).is_err());
+        // num_restarts claims more than the block could hold.
+        let mut data = vec![0u8; 8];
+        data[4..].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(Block::new(data).is_err());
+    }
+
+    #[test]
+    fn values_with_binary_content() {
+        let mut b = BlockBuilder::new(16);
+        let val: Vec<u8> = (0..=255).collect();
+        b.add(&ik("k", 1), &val);
+        let block = Arc::new(Block::new(b.finish()).unwrap());
+        let mut it = block.iter();
+        it.seek_to_first().unwrap();
+        assert_eq!(it.value(), val.as_slice());
+    }
+}

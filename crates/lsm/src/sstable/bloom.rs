@@ -1,0 +1,156 @@
+//! Bloom filter over user keys, one per table file.
+//!
+//! Uses double hashing (Kirsch–Mitzenmacher) over a 64-bit FNV-1a base hash,
+//! with `k` derived from bits-per-key as in LevelDB (`k = bits * ln2`).
+
+/// Immutable bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u8,
+}
+
+impl BloomFilter {
+    /// Build a filter for `keys` at the given bits-per-key budget.
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>, bits_per_key: usize) -> Self {
+        let n = keys.len().max(1);
+        // k = bits_per_key * ln(2), clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as usize).clamp(1, 30) as u8;
+        let nbits = (n * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let nbits = nbytes * 8;
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let mut h = fnv64(key);
+            let delta = h.rotate_right(17) | 1;
+            for _ in 0..k {
+                let bit = (h % nbits as u64) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        BloomFilter { bits, k }
+    }
+
+    /// Whether `key` may be in the set (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true;
+        }
+        let nbits = self.bits.len() * 8;
+        let mut h = fnv64(key);
+        let delta = h.rotate_right(17) | 1;
+        for _ in 0..self.k {
+            let bit = (h % nbits as u64) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+
+    /// Serialize: bit array followed by one `k` byte.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.bits.clone();
+        out.push(self.k);
+        out
+    }
+
+    /// Deserialize a filter produced by [`BloomFilter::encode`].
+    pub fn decode(data: &[u8]) -> Option<BloomFilter> {
+        let (&k, bits) = data.split_last()?;
+        if k == 0 || k > 30 {
+            return None;
+        }
+        Some(BloomFilter { bits: bits.to_vec(), k })
+    }
+
+    /// Size of the encoded filter in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.bits.len() + 1
+    }
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key{i:06}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        for k in &ks {
+            assert!(f.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(10_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if f.may_contain(format!("absent{i:06}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key gives ~1% in theory; allow generous slack.
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let enc = f.encode();
+        assert_eq!(enc.len(), f.encoded_len());
+        let g = BloomFilter::decode(&enc).unwrap();
+        assert_eq!(f, g);
+        for k in &ks {
+            assert!(g.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BloomFilter::decode(&[]).is_none());
+        assert!(BloomFilter::decode(&[1, 2, 0]).is_none()); // k == 0
+        assert!(BloomFilter::decode(&[1, 2, 200]).is_none()); // k too large
+    }
+
+    #[test]
+    fn empty_key_set_still_valid() {
+        let f = BloomFilter::build(std::iter::empty(), 10);
+        // No keys inserted: everything should miss (with high probability
+        // the empty bit array rejects), but no panic either way.
+        let _ = f.may_contain(b"anything");
+    }
+
+    #[test]
+    fn higher_bits_per_key_lowers_fp_rate() {
+        let ks = keys(5_000);
+        let f4 = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 4);
+        let f16 = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 16);
+        let count_fp = |f: &BloomFilter| {
+            (0..5_000).filter(|i| f.may_contain(format!("no{i}").as_bytes())).count()
+        };
+        assert!(count_fp(&f16) < count_fp(&f4));
+    }
+}

@@ -1,0 +1,240 @@
+//! SSTable construction.
+
+use storage::WritableFile;
+
+use crate::error::Result;
+use crate::options::Options;
+use crate::sstable::block::BlockBuilder;
+use crate::sstable::bloom::BloomFilter;
+use crate::sstable::{BlockHandle, Footer};
+use crate::types::extract_user_key;
+use crate::util::{crc32c_extend, mask_crc};
+
+/// Builds one table file from entries added in internal-key order.
+pub struct TableBuilder {
+    file: Box<dyn WritableFile>,
+    options: Options,
+    data_block: BlockBuilder,
+    index_block: BlockBuilder,
+    /// Last key added (full internal key); becomes the index entry key when
+    /// the data block is cut.
+    last_key: Vec<u8>,
+    /// User keys for the file's bloom filter.
+    filter_keys: Vec<Vec<u8>>,
+    offset: u64,
+    pending_index: Option<(Vec<u8>, BlockHandle)>,
+    num_entries: u64,
+    smallest: Option<Vec<u8>>,
+}
+
+impl TableBuilder {
+    /// Start building into `file`.
+    pub fn new(file: Box<dyn WritableFile>, options: Options) -> Self {
+        let restart = options.block_restart_interval;
+        TableBuilder {
+            file,
+            options,
+            data_block: BlockBuilder::new(restart),
+            index_block: BlockBuilder::new(1),
+            last_key: Vec::new(),
+            filter_keys: Vec::new(),
+            offset: 0,
+            pending_index: None,
+            num_entries: 0,
+            smallest: None,
+        }
+    }
+
+    /// Append an entry. Keys must arrive in strictly increasing
+    /// internal-key order.
+    pub fn add(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.flush_pending_index();
+        if self.smallest.is_none() {
+            self.smallest = Some(key.to_vec());
+        }
+        self.data_block.add(key, value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        if self.options.bloom_bits_per_key > 0 {
+            let user_key = extract_user_key(key);
+            // Consecutive versions of one user key need only one filter
+            // probe entry.
+            if self.filter_keys.last().map(|k| k.as_slice()) != Some(user_key) {
+                self.filter_keys.push(user_key.to_vec());
+            }
+        }
+        self.num_entries += 1;
+        if self.data_block.size_estimate() >= self.options.block_size {
+            self.cut_data_block()?;
+        }
+        Ok(())
+    }
+
+    /// Number of entries added so far.
+    pub fn num_entries(&self) -> u64 {
+        self.num_entries
+    }
+
+    /// Bytes written to the file so far (excluding buffered block).
+    pub fn file_size(&self) -> u64 {
+        self.offset
+    }
+
+    /// Estimated final size if finished now.
+    pub fn estimated_size(&self) -> u64 {
+        self.offset + self.data_block.size_estimate() as u64
+    }
+
+    /// Smallest internal key added.
+    pub fn smallest(&self) -> Option<&[u8]> {
+        self.smallest.as_deref()
+    }
+
+    /// Largest internal key added.
+    pub fn largest(&self) -> Option<&[u8]> {
+        if self.num_entries == 0 {
+            None
+        } else {
+            Some(&self.last_key)
+        }
+    }
+
+    /// Finish the table: write remaining blocks, filter, index, and footer.
+    /// Returns the final file size.
+    pub fn finish(mut self) -> Result<u64> {
+        self.cut_data_block()?;
+        self.flush_pending_index();
+
+        let compress = self.options.compression;
+        let filter_handle = if self.options.bloom_bits_per_key > 0 && !self.filter_keys.is_empty() {
+            let filter = BloomFilter::build(
+                self.filter_keys.iter().map(|k| k.as_slice()),
+                self.options.bloom_bits_per_key,
+            );
+            write_raw_block(&mut self.file, &mut self.offset, &filter.encode(), compress)?
+        } else {
+            BlockHandle::default()
+        };
+
+        let index_contents = std::mem::replace(&mut self.index_block, BlockBuilder::new(1)).finish();
+        let index_handle =
+            write_raw_block(&mut self.file, &mut self.offset, &index_contents, compress)?;
+
+        let footer = Footer { filter_handle, index_handle };
+        self.file.append(&footer.encode())?;
+        self.offset += super::FOOTER_SIZE as u64;
+        self.file.finish()?;
+        Ok(self.offset)
+    }
+
+    fn cut_data_block(&mut self) -> Result<()> {
+        if self.data_block.is_empty() {
+            return Ok(());
+        }
+        let restart = self.options.block_restart_interval;
+        let contents = std::mem::replace(&mut self.data_block, BlockBuilder::new(restart)).finish();
+        let handle =
+            write_raw_block(&mut self.file, &mut self.offset, &contents, self.options.compression)?;
+        // Index entry is written lazily: LevelDB shortens the separator key
+        // between blocks; we use the block's exact last key, recorded now
+        // and emitted before the next add or at finish.
+        self.pending_index = Some((self.last_key.clone(), handle));
+        Ok(())
+    }
+
+    fn flush_pending_index(&mut self) {
+        if let Some((key, handle)) = self.pending_index.take() {
+            self.index_block.add(&key, &handle.encode());
+        }
+    }
+}
+
+/// Write block contents plus the 5-byte trailer; returns its handle.
+/// With `compress`, blocks that shrink are stored LZ-compressed (trailer
+/// type byte 1); others fall back to raw (type byte 0).
+fn write_raw_block(
+    file: &mut Box<dyn WritableFile>,
+    offset: &mut u64,
+    contents: &[u8],
+    compress: bool,
+) -> Result<BlockHandle> {
+    let (stored, type_byte): (std::borrow::Cow<'_, [u8]>, u8) = if compress {
+        match crate::compress::compress(contents) {
+            Some(c) => (std::borrow::Cow::Owned(c), 1),
+            None => (std::borrow::Cow::Borrowed(contents), 0),
+        }
+    } else {
+        (std::borrow::Cow::Borrowed(contents), 0)
+    };
+    let handle = BlockHandle { offset: *offset, size: stored.len() as u64 };
+    file.append(&stored)?;
+    // Trailer: compression type byte + masked CRC over the stored bytes
+    // and the type byte.
+    let crc = mask_crc(crc32c_extend(crate::util::crc32c(&stored), &[type_byte]));
+    let mut trailer = [0u8; super::BLOCK_TRAILER_SIZE];
+    trailer[0] = type_byte;
+    trailer[1..].copy_from_slice(&crc.to_le_bytes());
+    file.append(&trailer)?;
+    *offset += stored.len() as u64 + super::BLOCK_TRAILER_SIZE as u64;
+    Ok(handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, ValueType};
+    use storage::{Env, MemEnv};
+
+    #[test]
+    fn builder_tracks_bounds_and_count() {
+        let env = MemEnv::new();
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), Options::small_for_tests());
+        assert!(b.smallest().is_none());
+        for i in 0..10 {
+            let k = make_internal_key(format!("k{i:02}").as_bytes(), i + 1, ValueType::Value);
+            b.add(&k, b"v").unwrap();
+        }
+        assert_eq!(b.num_entries(), 10);
+        assert_eq!(extract_user_key(b.smallest().unwrap()), b"k00");
+        assert_eq!(extract_user_key(b.largest().unwrap()), b"k09");
+        let size = b.finish().unwrap();
+        assert_eq!(env.size("t").unwrap(), size);
+        assert!(size > super::super::FOOTER_SIZE as u64);
+    }
+
+    #[test]
+    fn footer_of_finished_table_parses() {
+        let env = MemEnv::new();
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), Options::small_for_tests());
+        let k = make_internal_key(b"a", 1, ValueType::Value);
+        b.add(&k, b"v").unwrap();
+        b.finish().unwrap();
+        let data = env.read_all("t").unwrap();
+        let footer = Footer::decode(&data[data.len() - super::super::FOOTER_SIZE..]).unwrap();
+        assert!(footer.index_handle.size > 0);
+        assert!(footer.filter_handle.size > 0);
+    }
+
+    #[test]
+    fn multiple_blocks_are_cut() {
+        let env = MemEnv::new();
+        let opts = Options { block_size: 256, ..Options::small_for_tests() };
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), opts);
+        for i in 0..200 {
+            let k = make_internal_key(format!("key{i:05}").as_bytes(), i + 1, ValueType::Value);
+            b.add(&k, &[b'x'; 32]).unwrap();
+        }
+        // Many blocks worth of data should have been written already.
+        assert!(b.file_size() > 1024);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn empty_table_still_finishes() {
+        let env = MemEnv::new();
+        let b = TableBuilder::new(env.new_writable("t").unwrap(), Options::small_for_tests());
+        let size = b.finish().unwrap();
+        // Index (possibly empty block) + footer.
+        assert!(size >= super::super::FOOTER_SIZE as u64);
+    }
+}

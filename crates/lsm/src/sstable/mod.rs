@@ -1,0 +1,148 @@
+//! Block-based immutable sorted tables (SSTables).
+//!
+//! File layout (LevelDB-compatible in spirit):
+//!
+//! ```text
+//! [data block 0][trailer] [data block 1][trailer] ...
+//! [filter block][trailer]
+//! [index block][trailer]
+//! [footer: filter handle | index handle | padding | magic]
+//! ```
+//!
+//! Every block is followed by a 5-byte trailer: a compression byte (0 =
+//! none) and a masked CRC32C over the block contents plus the compression
+//! byte. The index block maps each data block's last key to its
+//! [`BlockHandle`]; the filter block holds one bloom filter over all user
+//! keys in the file.
+
+pub mod block;
+pub mod bloom;
+pub mod builder;
+pub mod reader;
+
+pub use block::{Block, BlockBuilder, BlockIter};
+pub use bloom::BloomFilter;
+pub use builder::TableBuilder;
+pub use reader::{Table, TableIter};
+
+use crate::error::{Error, Result};
+use crate::util::{get_varint64, put_varint64};
+
+/// Magic number terminating every table file.
+pub const TABLE_MAGIC: u64 = 0x8773_6d61_6b63_6f72; // "rocksmas" little-endian-ish
+
+/// Fixed footer size in bytes.
+pub const FOOTER_SIZE: usize = 48;
+
+/// Per-block trailer: compression byte + masked CRC32C.
+pub const BLOCK_TRAILER_SIZE: usize = 5;
+
+/// Location of a block within a table file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockHandle {
+    /// Byte offset of the block's first byte.
+    pub offset: u64,
+    /// Length of the block contents, excluding the trailer.
+    pub size: u64,
+}
+
+impl BlockHandle {
+    /// Encode as two varints.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint64(dst, self.offset);
+        put_varint64(dst, self.size);
+    }
+
+    /// Encoded representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        self.encode_to(&mut out);
+        out
+    }
+
+    /// Decode from the front of `src`, returning the handle and bytes used.
+    pub fn decode_from(src: &[u8]) -> Result<(BlockHandle, usize)> {
+        let (offset, n) = get_varint64(src).ok_or_else(|| Error::corruption("bad block handle"))?;
+        let (size, m) =
+            get_varint64(&src[n..]).ok_or_else(|| Error::corruption("bad block handle"))?;
+        Ok((BlockHandle { offset, size }, n + m))
+    }
+}
+
+/// Footer: filter handle, index handle, zero padding, magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Handle of the filter block; `size == 0` means no filter.
+    pub filter_handle: BlockHandle,
+    /// Handle of the index block.
+    pub index_handle: BlockHandle,
+}
+
+impl Footer {
+    /// Serialize to exactly [`FOOTER_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FOOTER_SIZE);
+        self.filter_handle.encode_to(&mut out);
+        self.index_handle.encode_to(&mut out);
+        out.resize(FOOTER_SIZE - 8, 0);
+        out.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        out
+    }
+
+    /// Parse a footer, validating length and magic.
+    pub fn decode(src: &[u8]) -> Result<Footer> {
+        if src.len() != FOOTER_SIZE {
+            return Err(Error::corruption("footer size mismatch"));
+        }
+        let magic = u64::from_le_bytes(src[FOOTER_SIZE - 8..].try_into().expect("8 bytes"));
+        if magic != TABLE_MAGIC {
+            return Err(Error::corruption("bad table magic"));
+        }
+        let (filter_handle, n) = BlockHandle::decode_from(src)?;
+        let (index_handle, _) = BlockHandle::decode_from(&src[n..])?;
+        Ok(Footer { filter_handle, index_handle })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip() {
+        for h in [
+            BlockHandle { offset: 0, size: 0 },
+            BlockHandle { offset: 12345, size: 4096 },
+            BlockHandle { offset: u64::MAX, size: u64::MAX },
+        ] {
+            let enc = h.encode();
+            let (dec, n) = BlockHandle::decode_from(&enc).unwrap();
+            assert_eq!(dec, h);
+            assert_eq!(n, enc.len());
+        }
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let f = Footer {
+            filter_handle: BlockHandle { offset: 100, size: 200 },
+            index_handle: BlockHandle { offset: 300, size: 400 },
+        };
+        let enc = f.encode();
+        assert_eq!(enc.len(), FOOTER_SIZE);
+        assert_eq!(Footer::decode(&enc).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_rejects_bad_magic() {
+        let f = Footer { filter_handle: BlockHandle::default(), index_handle: BlockHandle::default() };
+        let mut enc = f.encode();
+        enc[FOOTER_SIZE - 1] ^= 0xff;
+        assert!(Footer::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_bad_length() {
+        assert!(Footer::decode(&[0u8; FOOTER_SIZE - 1]).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Internal key encoding and ordering.
+//!
+//! Every entry the engine stores is keyed by an *internal key*:
+//!
+//! ```text
+//! user_key | 8-byte trailer: (sequence << 8) | value_type
+//! ```
+//!
+//! Internal keys sort by user key ascending, then sequence descending, then
+//! type descending — so the newest visible version of a user key is the
+//! first entry at-or-after its lookup key.
+
+use std::cmp::Ordering;
+
+/// Monotonically increasing global write sequence number (56 usable bits).
+pub type SequenceNumber = u64;
+
+/// Largest representable sequence number.
+pub const MAX_SEQUENCE: SequenceNumber = (1 << 56) - 1;
+
+/// Kind of a stored entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ValueType {
+    /// Tombstone: the key was deleted at this sequence.
+    Deletion = 0,
+    /// Ordinary value.
+    Value = 1,
+}
+
+impl ValueType {
+    /// Decode from the low trailer byte.
+    pub fn from_u8(v: u8) -> Option<ValueType> {
+        match v {
+            0 => Some(ValueType::Deletion),
+            1 => Some(ValueType::Value),
+            _ => None,
+        }
+    }
+}
+
+/// Type used when constructing lookup keys: sorts before all real types at
+/// the same sequence, so a seek finds entries with seq <= snapshot.
+pub const TYPE_FOR_SEEK: ValueType = ValueType::Value;
+
+/// Pack a sequence number and type into the 8-byte trailer.
+pub fn pack_trailer(seq: SequenceNumber, t: ValueType) -> u64 {
+    debug_assert!(seq <= MAX_SEQUENCE);
+    (seq << 8) | t as u64
+}
+
+/// Build an internal key from parts.
+pub fn make_internal_key(user_key: &[u8], seq: SequenceNumber, t: ValueType) -> Vec<u8> {
+    let mut out = Vec::with_capacity(user_key.len() + 8);
+    out.extend_from_slice(user_key);
+    out.extend_from_slice(&pack_trailer(seq, t).to_le_bytes());
+    out
+}
+
+/// View of a decoded internal key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedInternalKey<'a> {
+    /// The application key.
+    pub user_key: &'a [u8],
+    /// Write sequence of this entry.
+    pub sequence: SequenceNumber,
+    /// Entry kind.
+    pub value_type: ValueType,
+}
+
+/// Split an internal key into its parts; `None` when malformed.
+pub fn parse_internal_key(key: &[u8]) -> Option<ParsedInternalKey<'_>> {
+    if key.len() < 8 {
+        return None;
+    }
+    let (user_key, trailer) = key.split_at(key.len() - 8);
+    let packed = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let value_type = ValueType::from_u8((packed & 0xff) as u8)?;
+    Some(ParsedInternalKey { user_key, sequence: packed >> 8, value_type })
+}
+
+/// The user-key prefix of an internal key.
+pub fn extract_user_key(key: &[u8]) -> &[u8] {
+    debug_assert!(key.len() >= 8);
+    &key[..key.len() - 8]
+}
+
+/// Total order over internal keys: user key ascending, then trailer
+/// (sequence, type) descending so newer entries come first.
+pub fn internal_compare(a: &[u8], b: &[u8]) -> Ordering {
+    let ua = extract_user_key(a);
+    let ub = extract_user_key(b);
+    match ua.cmp(ub) {
+        Ordering::Equal => {
+            let ta = u64::from_le_bytes(a[a.len() - 8..].try_into().expect("8 bytes"));
+            let tb = u64::from_le_bytes(b[b.len() - 8..].try_into().expect("8 bytes"));
+            tb.cmp(&ta)
+        }
+        other => other,
+    }
+}
+
+/// Lookup key for reading `user_key` as of snapshot `seq`: the internal key
+/// that sorts at-or-before every entry of that user key visible at `seq`.
+pub fn make_lookup_key(user_key: &[u8], seq: SequenceNumber) -> Vec<u8> {
+    make_internal_key(user_key, seq, TYPE_FOR_SEEK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailer_roundtrip() {
+        let key = make_internal_key(b"user", 42, ValueType::Value);
+        let parsed = parse_internal_key(&key).unwrap();
+        assert_eq!(parsed.user_key, b"user");
+        assert_eq!(parsed.sequence, 42);
+        assert_eq!(parsed.value_type, ValueType::Value);
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let key = make_internal_key(b"k", MAX_SEQUENCE, ValueType::Deletion);
+        let parsed = parse_internal_key(&key).unwrap();
+        assert_eq!(parsed.sequence, MAX_SEQUENCE);
+        assert_eq!(parsed.value_type, ValueType::Deletion);
+    }
+
+    #[test]
+    fn malformed_keys_rejected() {
+        assert!(parse_internal_key(b"short").is_none());
+        let mut key = make_internal_key(b"k", 1, ValueType::Value);
+        let n = key.len();
+        key[n - 8] = 99; // invalid type byte
+        assert!(parse_internal_key(&key).is_none());
+    }
+
+    #[test]
+    fn order_by_user_key_first() {
+        let a = make_internal_key(b"aaa", 1, ValueType::Value);
+        let b = make_internal_key(b"bbb", 100, ValueType::Value);
+        assert_eq!(internal_compare(&a, &b), Ordering::Less);
+    }
+
+    #[test]
+    fn newer_sequence_sorts_first_within_user_key() {
+        let newer = make_internal_key(b"k", 10, ValueType::Value);
+        let older = make_internal_key(b"k", 5, ValueType::Value);
+        assert_eq!(internal_compare(&newer, &older), Ordering::Less);
+    }
+
+    #[test]
+    fn deletion_sorts_after_value_at_same_sequence() {
+        // type Value(1) > Deletion(0); descending trailer order means the
+        // Value entry comes first.
+        let val = make_internal_key(b"k", 7, ValueType::Value);
+        let del = make_internal_key(b"k", 7, ValueType::Deletion);
+        assert_eq!(internal_compare(&val, &del), Ordering::Less);
+    }
+
+    #[test]
+    fn lookup_key_finds_visible_versions() {
+        // Entries at seq <= snapshot must sort at-or-after the lookup key.
+        let lookup = make_lookup_key(b"k", 10);
+        let visible = make_internal_key(b"k", 10, ValueType::Value);
+        let older = make_internal_key(b"k", 3, ValueType::Value);
+        let invisible = make_internal_key(b"k", 11, ValueType::Value);
+        assert_eq!(internal_compare(&lookup, &visible), Ordering::Equal);
+        assert_eq!(internal_compare(&lookup, &older), Ordering::Less);
+        assert_eq!(internal_compare(&lookup, &invisible), Ordering::Greater);
+    }
+
+    #[test]
+    fn user_keys_with_embedded_trailer_bytes_still_ordered() {
+        // User keys containing 0xff / 0x00 bytes must not confuse ordering.
+        let a = make_internal_key(&[0x00, 0xff], 1, ValueType::Value);
+        let b = make_internal_key(&[0x01], 1, ValueType::Value);
+        assert_eq!(internal_compare(&a, &b), Ordering::Less);
+    }
+}

@@ -1,0 +1,226 @@
+//! Low-level encoding utilities: varints, fixed-width integers, and CRC32C.
+
+/// Append a little-endian u32.
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian u64.
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a little-endian u32 at the start of `src`.
+pub fn get_fixed32(src: &[u8]) -> u32 {
+    u32::from_le_bytes(src[..4].try_into().expect("4 bytes"))
+}
+
+/// Decode a little-endian u64 at the start of `src`.
+pub fn get_fixed64(src: &[u8]) -> u64 {
+    u64::from_le_bytes(src[..8].try_into().expect("8 bytes"))
+}
+
+/// Append a LEB128 varint-encoded u64.
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Append a LEB128 varint-encoded u32.
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64);
+}
+
+/// Decode a varint u64 from the front of `src`, returning the value and the
+/// number of bytes consumed, or `None` on truncated/overlong input.
+pub fn get_varint64(src: &[u8]) -> Option<(u64, usize)> {
+    let mut result: u64 = 0;
+    for (i, &byte) in src.iter().enumerate().take(10) {
+        result |= ((byte & 0x7f) as u64) << (7 * i);
+        if byte < 0x80 {
+            return Some((result, i + 1));
+        }
+    }
+    None
+}
+
+/// Decode a varint u32 from the front of `src`.
+pub fn get_varint32(src: &[u8]) -> Option<(u32, usize)> {
+    let (v, n) = get_varint64(src)?;
+    if v > u32::MAX as u64 {
+        return None;
+    }
+    Some((v as u32, n))
+}
+
+/// Decode a length-prefixed byte slice (varint length + bytes), returning the
+/// slice and the total bytes consumed.
+pub fn get_length_prefixed(src: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint64(src)?;
+    let len = len as usize;
+    if src.len() < n + len {
+        return None;
+    }
+    Some((&src[n..n + len], n + len))
+}
+
+/// Append a length-prefixed byte slice.
+pub fn put_length_prefixed(dst: &mut Vec<u8>, data: &[u8]) {
+    put_varint64(dst, data.len() as u64);
+    dst.extend_from_slice(data);
+}
+
+/// CRC32C (Castagnoli) — the checksum LevelDB/RocksDB use for blocks and
+/// log records. Table-driven, one table, byte-at-a-time; fast enough for the
+/// simulator scales this repo targets.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_extend(0, data)
+}
+
+/// Extend a running CRC32C with more data.
+pub fn crc32c_extend(init: u32, data: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc = !init;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// LevelDB "masked" CRC: rotated and offset so that CRCs stored alongside
+/// data that itself contains CRCs do not degenerate.
+pub fn crc32c_masked(data: &[u8]) -> u32 {
+    mask_crc(crc32c(data))
+}
+
+const MASK_DELTA: u32 = 0xa282ead8;
+
+/// Mask a raw CRC value.
+pub fn mask_crc(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Invert [`mask_crc`].
+pub fn unmask_crc(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        const POLY: u32 = 0x82f63b78; // reflected Castagnoli polynomial
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                j += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdeadbeef);
+        put_fixed64(&mut buf, u64::MAX - 7);
+        assert_eq!(get_fixed32(&buf), 0xdeadbeef);
+        assert_eq!(get_fixed64(&buf[4..]), u64::MAX - 7);
+    }
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 14, (1 << 21) - 1, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (decoded, n) = get_varint64(&buf).unwrap();
+            assert_eq!(decoded, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_varint64(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        put_varint64(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn truncated_varint_is_none() {
+        assert_eq!(get_varint64(&[0x80]), None);
+        assert_eq!(get_varint64(&[]), None);
+    }
+
+    #[test]
+    fn varint32_rejects_out_of_range() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u32::MAX as u64 + 1);
+        assert_eq!(get_varint32(&buf), None);
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        let (a, n) = get_length_prefixed(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, m) = get_length_prefixed(&buf[n..]).unwrap();
+        assert_eq!(b, b"");
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn length_prefixed_truncated() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        assert!(get_length_prefixed(&buf[..3]).is_none());
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 test vectors for CRC32C.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a9136aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8ab43);
+        let ascending: Vec<u8> = (0..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd794e);
+        assert_eq!(crc32c(b"123456789"), 0xe3069283);
+    }
+
+    #[test]
+    fn crc_extend_equals_whole() {
+        let data = b"the quick brown fox";
+        let whole = crc32c(data);
+        let part = crc32c_extend(crc32c(&data[..7]), &data[7..]);
+        assert_eq!(whole, part);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        for v in [0u32, 1, 0xffffffff, 0x12345678] {
+            assert_eq!(unmask_crc(mask_crc(v)), v);
+            assert_ne!(mask_crc(v), v, "mask must change the value");
+        }
+    }
+}

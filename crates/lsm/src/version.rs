@@ -1,0 +1,590 @@
+//! Versions, version edits, and the MANIFEST.
+//!
+//! A *version* is an immutable snapshot of the table files at every level.
+//! Mutations (flushes, compactions) are described by [`VersionEdit`]s,
+//! logged to the MANIFEST (same record format as the WAL), and applied to
+//! produce the next version. Recovery replays the MANIFEST named by the
+//! `CURRENT` file. This is the metadata the paper keeps on *local* storage
+//! in all configurations.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use storage::Env;
+
+use crate::error::{Error, Result};
+use crate::types::{extract_user_key, internal_compare};
+use crate::util::{get_length_prefixed, get_varint64, put_length_prefixed, put_varint64};
+use crate::wal::{LogReader, LogWriter};
+
+/// Name of the SSTable file with this number.
+pub fn sst_name(number: u64) -> String {
+    format!("{number:06}.sst")
+}
+
+/// Name of the WAL file with this number.
+pub fn log_name(number: u64) -> String {
+    format!("wal/{number:06}.log")
+}
+
+/// Name of the MANIFEST file with this number.
+pub fn manifest_name(number: u64) -> String {
+    format!("MANIFEST-{number:06}")
+}
+
+/// Name of the CURRENT pointer file.
+pub const CURRENT: &str = "CURRENT";
+
+/// Metadata for one table file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMetaData {
+    /// File number (names the file on either tier).
+    pub number: u64,
+    /// Size in bytes.
+    pub file_size: u64,
+    /// Smallest internal key in the file.
+    pub smallest: Vec<u8>,
+    /// Largest internal key in the file.
+    pub largest: Vec<u8>,
+}
+
+impl FileMetaData {
+    /// Whether this file's user-key range overlaps `[begin, end]` (both
+    /// inclusive; `None` means unbounded).
+    pub fn overlaps_user_range(&self, begin: Option<&[u8]>, end: Option<&[u8]>) -> bool {
+        let file_begin = extract_user_key(&self.smallest);
+        let file_end = extract_user_key(&self.largest);
+        if let Some(end) = end {
+            if file_begin > end {
+                return false;
+            }
+        }
+        if let Some(begin) = begin {
+            if file_end < begin {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A record of changes between two versions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionEdit {
+    /// New WAL number: logs older than this are obsolete.
+    pub log_number: Option<u64>,
+    /// High-water mark for file numbers.
+    pub next_file_number: Option<u64>,
+    /// Last sequence number made durable.
+    pub last_sequence: Option<u64>,
+    /// Files added, with their level.
+    pub new_files: Vec<(usize, FileMetaData)>,
+    /// Files removed, as (level, file number).
+    pub deleted_files: Vec<(usize, u64)>,
+}
+
+// Field tags for the on-disk encoding.
+const TAG_LOG_NUMBER: u64 = 1;
+const TAG_NEXT_FILE: u64 = 2;
+const TAG_LAST_SEQUENCE: u64 = 3;
+const TAG_NEW_FILE: u64 = 4;
+const TAG_DELETED_FILE: u64 = 5;
+
+impl VersionEdit {
+    /// Serialize to the MANIFEST record format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(v) = self.log_number {
+            put_varint64(&mut out, TAG_LOG_NUMBER);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.next_file_number {
+            put_varint64(&mut out, TAG_NEXT_FILE);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.last_sequence {
+            put_varint64(&mut out, TAG_LAST_SEQUENCE);
+            put_varint64(&mut out, v);
+        }
+        for (level, f) in &self.new_files {
+            put_varint64(&mut out, TAG_NEW_FILE);
+            put_varint64(&mut out, *level as u64);
+            put_varint64(&mut out, f.number);
+            put_varint64(&mut out, f.file_size);
+            put_length_prefixed(&mut out, &f.smallest);
+            put_length_prefixed(&mut out, &f.largest);
+        }
+        for (level, number) in &self.deleted_files {
+            put_varint64(&mut out, TAG_DELETED_FILE);
+            put_varint64(&mut out, *level as u64);
+            put_varint64(&mut out, *number);
+        }
+        out
+    }
+
+    /// Parse a MANIFEST record.
+    pub fn decode(mut src: &[u8]) -> Result<VersionEdit> {
+        let mut edit = VersionEdit::default();
+        let bad = || Error::corruption("malformed version edit");
+        while !src.is_empty() {
+            let (tag, n) = get_varint64(src).ok_or_else(bad)?;
+            src = &src[n..];
+            match tag {
+                TAG_LOG_NUMBER | TAG_NEXT_FILE | TAG_LAST_SEQUENCE => {
+                    let (v, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    match tag {
+                        TAG_LOG_NUMBER => edit.log_number = Some(v),
+                        TAG_NEXT_FILE => edit.next_file_number = Some(v),
+                        _ => edit.last_sequence = Some(v),
+                    }
+                }
+                TAG_NEW_FILE => {
+                    let (level, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    let (number, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    let (file_size, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    let (smallest, n) = get_length_prefixed(src).ok_or_else(bad)?;
+                    let smallest = smallest.to_vec();
+                    src = &src[n..];
+                    let (largest, n) = get_length_prefixed(src).ok_or_else(bad)?;
+                    let largest = largest.to_vec();
+                    src = &src[n..];
+                    edit.new_files.push((
+                        level as usize,
+                        FileMetaData { number, file_size, smallest, largest },
+                    ));
+                }
+                TAG_DELETED_FILE => {
+                    let (level, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    let (number, n) = get_varint64(src).ok_or_else(bad)?;
+                    src = &src[n..];
+                    edit.deleted_files.push((level as usize, number));
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(edit)
+    }
+}
+
+/// Immutable snapshot of the file layout across levels.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// `levels[0]` is unsorted-by-range (files may overlap; newest first);
+    /// deeper levels hold disjoint files sorted by smallest key.
+    pub levels: Vec<Vec<Arc<FileMetaData>>>,
+}
+
+impl Version {
+    /// Empty version with `num_levels` levels.
+    pub fn empty(num_levels: usize) -> Self {
+        Version { levels: vec![Vec::new(); num_levels] }
+    }
+
+    /// Total file count.
+    pub fn file_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Total bytes at `level`.
+    pub fn level_bytes(&self, level: usize) -> u64 {
+        self.levels[level].iter().map(|f| f.file_size).sum()
+    }
+
+    /// Files at `level` whose user-key range overlaps `[begin, end]`.
+    pub fn overlapping_files(
+        &self,
+        level: usize,
+        begin: Option<&[u8]>,
+        end: Option<&[u8]>,
+    ) -> Vec<Arc<FileMetaData>> {
+        self.levels[level]
+            .iter()
+            .filter(|f| f.overlaps_user_range(begin, end))
+            .cloned()
+            .collect()
+    }
+
+    /// Files that could contain `user_key`, in the order a read must probe
+    /// them: all overlapping L0 files newest-first, then at most one file
+    /// per deeper level.
+    pub fn files_for_get(&self, user_key: &[u8]) -> Vec<(usize, Arc<FileMetaData>)> {
+        let mut out = Vec::new();
+        for f in &self.levels[0] {
+            if f.overlaps_user_range(Some(user_key), Some(user_key)) {
+                out.push((0, Arc::clone(f)));
+            }
+        }
+        // L0 files must be probed newest-first; levels[0] keeps newest
+        // first already (see Builder), but enforce by file number.
+        out.sort_by_key(|(_, f)| std::cmp::Reverse(f.number));
+        for (level, files) in self.levels.iter().enumerate().skip(1) {
+            // Binary search: files are disjoint and sorted by smallest.
+            let idx = files.partition_point(|f| extract_user_key(&f.largest) < user_key);
+            if idx < files.len()
+                && files[idx].overlaps_user_range(Some(user_key), Some(user_key))
+            {
+                out.push((level, Arc::clone(&files[idx])));
+            }
+        }
+        out
+    }
+}
+
+/// Applies edits to versions and persists them to the MANIFEST.
+pub struct VersionSet {
+    env: Arc<dyn Env>,
+    current: Arc<Version>,
+    manifest: Option<LogWriter>,
+    manifest_number: u64,
+    /// Next file number to hand out (SSTs, WALs, MANIFESTs share the space).
+    pub next_file_number: u64,
+    /// Last durable write sequence.
+    pub last_sequence: u64,
+    /// Oldest WAL still needed for recovery.
+    pub log_number: u64,
+}
+
+impl VersionSet {
+    /// Create a brand-new database or recover an existing one, depending on
+    /// whether `CURRENT` exists.
+    pub fn open(env: Arc<dyn Env>, num_levels: usize) -> Result<VersionSet> {
+        if env.exists(CURRENT)? {
+            Self::recover(env, num_levels)
+        } else {
+            let mut vs = VersionSet {
+                env,
+                current: Arc::new(Version::empty(num_levels)),
+                manifest: None,
+                manifest_number: 0,
+                next_file_number: 2,
+                last_sequence: 0,
+                log_number: 0,
+            };
+            // Write an initial manifest so a crash right after creation
+            // still recovers to an empty database.
+            vs.write_snapshot_manifest()?;
+            Ok(vs)
+        }
+    }
+
+    fn recover(env: Arc<dyn Env>, num_levels: usize) -> Result<VersionSet> {
+        let current = env.read_all(CURRENT)?;
+        let manifest_file = String::from_utf8(current)
+            .map_err(|_| Error::corruption("CURRENT is not utf-8"))?
+            .trim()
+            .to_string();
+        let manifest_number: u64 = manifest_file
+            .strip_prefix("MANIFEST-")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::corruption("CURRENT does not name a manifest"))?;
+        let mut reader = LogReader::new(env.open_random(&manifest_file)?);
+        let mut builder = Builder::new(Version::empty(num_levels));
+        let mut next_file_number = 2;
+        let mut last_sequence = 0;
+        let mut log_number = 0;
+        let mut saw_any = false;
+        while let Some(record) = reader.read_record()? {
+            let edit = VersionEdit::decode(&record)?;
+            if let Some(v) = edit.next_file_number {
+                next_file_number = v;
+            }
+            if let Some(v) = edit.last_sequence {
+                last_sequence = v;
+            }
+            if let Some(v) = edit.log_number {
+                log_number = v;
+            }
+            builder.apply(&edit);
+            saw_any = true;
+        }
+        if !saw_any {
+            return Err(Error::corruption("manifest holds no edits"));
+        }
+        let version = builder.finish()?;
+        let mut vs = VersionSet {
+            env,
+            current: Arc::new(version),
+            manifest: None,
+            manifest_number,
+            next_file_number: next_file_number.max(manifest_number + 1),
+            last_sequence,
+            log_number,
+        };
+        // Start a fresh manifest on every open (simpler than appending and
+        // bounds manifest growth across restarts).
+        vs.write_snapshot_manifest()?;
+        Ok(vs)
+    }
+
+    /// The current version.
+    pub fn current(&self) -> Arc<Version> {
+        Arc::clone(&self.current)
+    }
+
+    /// Allocate a fresh file number.
+    pub fn new_file_number(&mut self) -> u64 {
+        let n = self.next_file_number;
+        self.next_file_number += 1;
+        n
+    }
+
+    /// Apply `edit` to the current version, persist it to the MANIFEST, and
+    /// install the result as current.
+    pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<()> {
+        // Never hand out a number at or below one referenced by the edit
+        // (files may have been numbered by an outer layer).
+        for (_, f) in &edit.new_files {
+            self.next_file_number = self.next_file_number.max(f.number + 1);
+        }
+        edit.next_file_number = Some(self.next_file_number);
+        edit.last_sequence = Some(self.last_sequence);
+        match edit.log_number {
+            Some(n) => self.log_number = n,
+            None => edit.log_number = Some(self.log_number),
+        }
+        let mut builder = Builder::new((*self.current).clone());
+        builder.apply(&edit);
+        let next = builder.finish()?;
+        let manifest = self.manifest.as_mut().expect("manifest open");
+        manifest.add_record(&edit.encode())?;
+        manifest.sync()?;
+        self.current = Arc::new(next);
+        Ok(())
+    }
+
+    /// All file numbers referenced by the current version.
+    pub fn live_files(&self) -> BTreeSet<u64> {
+        self.current
+            .levels
+            .iter()
+            .flat_map(|files| files.iter().map(|f| f.number))
+            .collect()
+    }
+
+    /// Write a full-state manifest and repoint CURRENT at it.
+    fn write_snapshot_manifest(&mut self) -> Result<()> {
+        self.manifest_number = self.next_file_number;
+        self.next_file_number += 1;
+        let name = manifest_name(self.manifest_number);
+        let mut writer = LogWriter::new(self.env.new_writable(&name)?);
+        let mut snapshot = VersionEdit {
+            log_number: Some(self.log_number),
+            next_file_number: Some(self.next_file_number),
+            last_sequence: Some(self.last_sequence),
+            ..VersionEdit::default()
+        };
+        for (level, files) in self.current.levels.iter().enumerate() {
+            for f in files {
+                snapshot.new_files.push((level, (**f).clone()));
+            }
+        }
+        writer.add_record(&snapshot.encode())?;
+        writer.sync()?;
+        self.manifest = Some(writer);
+        self.env.write_all(CURRENT, name.as_bytes())?;
+        Ok(())
+    }
+
+    /// Delete manifests other than the live one (startup garbage
+    /// collection).
+    pub fn obsolete_manifests(&self) -> Result<Vec<String>> {
+        let live = manifest_name(self.manifest_number);
+        Ok(self
+            .env
+            .list("MANIFEST-")?
+            .into_iter()
+            .filter(|name| *name != live)
+            .collect())
+    }
+}
+
+/// Applies edits to a version under construction.
+struct Builder {
+    levels: Vec<Vec<Arc<FileMetaData>>>,
+    deleted: BTreeSet<(usize, u64)>,
+}
+
+impl Builder {
+    fn new(base: Version) -> Self {
+        Builder { levels: base.levels, deleted: BTreeSet::new() }
+    }
+
+    fn apply(&mut self, edit: &VersionEdit) {
+        for (level, number) in &edit.deleted_files {
+            self.deleted.insert((*level, *number));
+            self.levels[*level].retain(|f| f.number != *number);
+        }
+        for (level, f) in &edit.new_files {
+            self.deleted.remove(&(*level, f.number));
+            self.levels[*level].push(Arc::new(f.clone()));
+        }
+    }
+
+    fn finish(mut self) -> Result<Version> {
+        // L0: newest (highest number) first. Deeper levels: by smallest key,
+        // and ranges must be disjoint.
+        if let Some(l0) = self.levels.first_mut() {
+            l0.sort_by_key(|f| std::cmp::Reverse(f.number));
+        }
+        for (level, files) in self.levels.iter_mut().enumerate().skip(1) {
+            files.sort_by(|a, b| internal_compare(&a.smallest, &b.smallest));
+            for w in files.windows(2) {
+                if extract_user_key(&w[0].largest) >= extract_user_key(&w[1].smallest) {
+                    return Err(Error::corruption(format!(
+                        "overlapping files {} and {} at level {level}",
+                        w[0].number, w[1].number
+                    )));
+                }
+            }
+        }
+        Ok(Version { levels: self.levels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{make_internal_key, ValueType};
+    use storage::MemEnv;
+
+    fn meta(number: u64, small: &str, large: &str) -> FileMetaData {
+        FileMetaData {
+            number,
+            file_size: 1000,
+            smallest: make_internal_key(small.as_bytes(), 100, ValueType::Value),
+            largest: make_internal_key(large.as_bytes(), 1, ValueType::Value),
+        }
+    }
+
+    #[test]
+    fn edit_encode_decode_roundtrip() {
+        let edit = VersionEdit {
+            log_number: Some(7),
+            next_file_number: Some(99),
+            last_sequence: Some(123456),
+            new_files: vec![(0, meta(12, "a", "m")), (3, meta(13, "n", "z"))],
+            deleted_files: vec![(1, 4), (2, 8)],
+        };
+        let decoded = VersionEdit::decode(&edit.encode()).unwrap();
+        assert_eq!(decoded, edit);
+    }
+
+    #[test]
+    fn edit_decode_rejects_garbage() {
+        assert!(VersionEdit::decode(&[99]).is_err());
+        let edit = VersionEdit { log_number: Some(7), ..Default::default() };
+        let mut enc = edit.encode();
+        enc.truncate(1);
+        assert!(VersionEdit::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn fresh_open_then_recover_empty() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let vs = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
+            assert_eq!(vs.current().file_count(), 0);
+        }
+        let vs = VersionSet::open(env as Arc<dyn Env>, 7).unwrap();
+        assert_eq!(vs.current().file_count(), 0);
+        assert_eq!(vs.last_sequence, 0);
+    }
+
+    #[test]
+    fn apply_and_recover_files() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let mut vs = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
+            vs.last_sequence = 500;
+            let edit = VersionEdit {
+                new_files: vec![(0, meta(10, "a", "k")), (1, meta(11, "a", "f")), (1, meta(12, "g", "p"))],
+                ..Default::default()
+            };
+            vs.log_and_apply(edit).unwrap();
+            let edit2 = VersionEdit {
+                deleted_files: vec![(0, 10)],
+                new_files: vec![(1, meta(14, "q", "z"))],
+                ..Default::default()
+            };
+            vs.log_and_apply(edit2).unwrap();
+        }
+        let vs = VersionSet::open(env as Arc<dyn Env>, 7).unwrap();
+        let v = vs.current();
+        assert_eq!(v.levels[0].len(), 0);
+        assert_eq!(v.levels[1].len(), 3);
+        assert_eq!(vs.last_sequence, 500);
+        assert!(vs.next_file_number > 14);
+        let live = vs.live_files();
+        assert!(live.contains(&11) && live.contains(&12) && live.contains(&14));
+        assert!(!live.contains(&10));
+    }
+
+    #[test]
+    fn builder_rejects_overlap_in_deep_levels() {
+        let env = Arc::new(MemEnv::new());
+        let mut vs = VersionSet::open(env as Arc<dyn Env>, 7).unwrap();
+        let edit = VersionEdit {
+            new_files: vec![(1, meta(10, "a", "m")), (1, meta(11, "k", "z"))],
+            ..Default::default()
+        };
+        assert!(vs.log_and_apply(edit).is_err());
+    }
+
+    #[test]
+    fn files_for_get_order() {
+        let mut v = Version::empty(7);
+        // Two overlapping L0 files + one L1 file covering the key.
+        v.levels[0] = vec![Arc::new(meta(20, "a", "z")), Arc::new(meta(22, "a", "z"))];
+        v.levels[1] = vec![Arc::new(meta(5, "a", "h")), Arc::new(meta(6, "i", "z"))];
+        let files = v.files_for_get(b"g");
+        let numbers: Vec<u64> = files.iter().map(|(_, f)| f.number).collect();
+        // L0 newest-first, then the single overlapping L1 file.
+        assert_eq!(numbers, vec![22, 20, 5]);
+    }
+
+    #[test]
+    fn files_for_get_misses_disjoint_ranges() {
+        let mut v = Version::empty(7);
+        v.levels[1] = vec![Arc::new(meta(5, "a", "c")), Arc::new(meta(6, "x", "z"))];
+        assert!(v.files_for_get(b"m").is_empty());
+        assert_eq!(v.files_for_get(b"b").len(), 1);
+        assert_eq!(v.files_for_get(b"y").len(), 1);
+    }
+
+    #[test]
+    fn overlapping_files_boundaries_inclusive() {
+        let mut v = Version::empty(7);
+        v.levels[1] = vec![Arc::new(meta(5, "f", "m"))];
+        assert_eq!(v.overlapping_files(1, Some(b"a"), Some(b"f")).len(), 1);
+        assert_eq!(v.overlapping_files(1, Some(b"m"), Some(b"z")).len(), 1);
+        assert_eq!(v.overlapping_files(1, Some(b"a"), Some(b"e")).len(), 0);
+        assert_eq!(v.overlapping_files(1, Some(b"n"), None).len(), 0);
+        assert_eq!(v.overlapping_files(1, None, None).len(), 1);
+    }
+
+    #[test]
+    fn recovery_starts_fresh_manifest_and_reports_obsolete() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let _vs = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
+        }
+        let vs = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
+        let obsolete = vs.obsolete_manifests().unwrap();
+        assert_eq!(obsolete.len(), 1, "old manifest should be reported");
+    }
+
+    #[test]
+    fn corrupt_current_fails_recovery() {
+        let env = Arc::new(MemEnv::new());
+        {
+            let _ = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
+        }
+        env.write_all(CURRENT, b"NONSENSE").unwrap();
+        assert!(VersionSet::open(env as Arc<dyn Env>, 7).is_err());
+    }
+}

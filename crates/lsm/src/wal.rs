@@ -1,0 +1,372 @@
+//! Write-ahead log in the LevelDB record format.
+//!
+//! The log is a sequence of 32 KiB blocks. Each record carries a 7-byte
+//! header — masked CRC32C (4), length (2), type (1) — and records that do
+//! not fit in the remainder of a block are split into FIRST/MIDDLE/LAST
+//! fragments. This framing bounds the blast radius of torn writes: recovery
+//! skips to the next block boundary on corruption instead of losing the
+//! whole log. The MANIFEST reuses the same format.
+
+use storage::{RandomAccessFile, WritableFile};
+
+use crate::error::{Error, Result};
+use crate::util::{crc32c, mask_crc, unmask_crc};
+
+/// Size of one log block.
+pub const BLOCK_SIZE: usize = 32 * 1024;
+/// Bytes of framing per fragment.
+pub const HEADER_SIZE: usize = 7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum RecordType {
+    Full = 1,
+    First = 2,
+    Middle = 3,
+    Last = 4,
+}
+
+impl RecordType {
+    fn from_u8(v: u8) -> Option<RecordType> {
+        match v {
+            1 => Some(RecordType::Full),
+            2 => Some(RecordType::First),
+            3 => Some(RecordType::Middle),
+            4 => Some(RecordType::Last),
+            _ => None,
+        }
+    }
+}
+
+/// Appends framed records to a [`WritableFile`].
+pub struct LogWriter {
+    file: Box<dyn WritableFile>,
+    block_offset: usize,
+}
+
+impl LogWriter {
+    /// Start a writer on a fresh file.
+    pub fn new(file: Box<dyn WritableFile>) -> Self {
+        let block_offset = (file.len() % BLOCK_SIZE as u64) as usize;
+        LogWriter { file, block_offset }
+    }
+
+    /// Append one record (any size); it will be fragmented across blocks as
+    /// needed.
+    pub fn add_record(&mut self, data: &[u8]) -> Result<()> {
+        let mut left = data;
+        let mut begin = true;
+        loop {
+            let leftover = BLOCK_SIZE - self.block_offset;
+            if leftover < HEADER_SIZE {
+                // Pad the tail of the block with zeros and start a new one.
+                if leftover > 0 {
+                    self.file.append(&[0u8; HEADER_SIZE][..leftover])?;
+                }
+                self.block_offset = 0;
+            }
+            let avail = BLOCK_SIZE - self.block_offset - HEADER_SIZE;
+            let fragment_len = left.len().min(avail);
+            let end = fragment_len == left.len();
+            let record_type = match (begin, end) {
+                (true, true) => RecordType::Full,
+                (true, false) => RecordType::First,
+                (false, true) => RecordType::Last,
+                (false, false) => RecordType::Middle,
+            };
+            self.emit(record_type, &left[..fragment_len])?;
+            left = &left[fragment_len..];
+            begin = false;
+            if end {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Durably sync all appended records.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync()?;
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> u64 {
+        self.file.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sync and close the log.
+    pub fn finish(mut self) -> Result<u64> {
+        let n = self.file.finish()?;
+        Ok(n)
+    }
+
+    fn emit(&mut self, t: RecordType, data: &[u8]) -> Result<()> {
+        debug_assert!(self.block_offset + HEADER_SIZE + data.len() <= BLOCK_SIZE);
+        let mut header = [0u8; HEADER_SIZE];
+        // CRC covers the type byte and the payload, like LevelDB.
+        let mut crc_input = Vec::with_capacity(1 + data.len());
+        crc_input.push(t as u8);
+        crc_input.extend_from_slice(data);
+        let crc = mask_crc(crc32c(&crc_input));
+        header[..4].copy_from_slice(&crc.to_le_bytes());
+        header[4..6].copy_from_slice(&(data.len() as u16).to_le_bytes());
+        header[6] = t as u8;
+        self.file.append(&header)?;
+        self.file.append(data)?;
+        self.block_offset += HEADER_SIZE + data.len();
+        Ok(())
+    }
+}
+
+/// Reads framed records back, tolerating tail corruption.
+pub struct LogReader {
+    file: std::sync::Arc<dyn RandomAccessFile>,
+    offset: u64,
+    buffer: Vec<u8>,
+    buffer_pos: usize,
+    eof: bool,
+    /// Count of bytes dropped due to corruption (reported to callers).
+    corrupted_bytes: u64,
+}
+
+impl LogReader {
+    /// Start reading `file` from offset zero.
+    pub fn new(file: std::sync::Arc<dyn RandomAccessFile>) -> Self {
+        LogReader { file, offset: 0, buffer: Vec::new(), buffer_pos: 0, eof: false, corrupted_bytes: 0 }
+    }
+
+    /// Bytes skipped because of checksum or framing failures.
+    pub fn corrupted_bytes(&self) -> u64 {
+        self.corrupted_bytes
+    }
+
+    /// Read the next complete record; `Ok(None)` at clean end of log.
+    pub fn read_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut assembled: Option<Vec<u8>> = None;
+        loop {
+            let fragment = match self.read_fragment()? {
+                Some(f) => f,
+                None => {
+                    if assembled.is_some() {
+                        // Log ended mid-record: a torn write at crash time.
+                        self.corrupted_bytes += 1;
+                    }
+                    return Ok(None);
+                }
+            };
+            match fragment.0 {
+                RecordType::Full => {
+                    if assembled.is_some() {
+                        self.corrupted_bytes += 1;
+                    }
+                    return Ok(Some(fragment.1));
+                }
+                RecordType::First => {
+                    if assembled.is_some() {
+                        self.corrupted_bytes += 1;
+                    }
+                    assembled = Some(fragment.1);
+                }
+                RecordType::Middle => match assembled.as_mut() {
+                    Some(buf) => buf.extend_from_slice(&fragment.1),
+                    None => self.corrupted_bytes += fragment.1.len() as u64,
+                },
+                RecordType::Last => match assembled.take() {
+                    Some(mut buf) => {
+                        buf.extend_from_slice(&fragment.1);
+                        return Ok(Some(buf));
+                    }
+                    None => self.corrupted_bytes += fragment.1.len() as u64,
+                },
+            }
+        }
+    }
+
+    /// Read every remaining record.
+    pub fn read_all(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.read_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    fn refill(&mut self) -> Result<bool> {
+        if self.eof {
+            return Ok(false);
+        }
+        let mut block = vec![0u8; BLOCK_SIZE];
+        let n = self.file.read_at(self.offset, &mut block).map_err(Error::from)?;
+        self.offset += n as u64;
+        block.truncate(n);
+        if n < BLOCK_SIZE {
+            self.eof = true;
+        }
+        if block.is_empty() {
+            return Ok(false);
+        }
+        self.buffer = block;
+        self.buffer_pos = 0;
+        Ok(true)
+    }
+
+    fn read_fragment(&mut self) -> Result<Option<(RecordType, Vec<u8>)>> {
+        loop {
+            if self.buffer.len() - self.buffer_pos < HEADER_SIZE {
+                // Remainder of the block is padding.
+                self.buffer_pos = self.buffer.len();
+                if !self.refill()? {
+                    return Ok(None);
+                }
+                continue;
+            }
+            let header = &self.buffer[self.buffer_pos..self.buffer_pos + HEADER_SIZE];
+            let expected_crc = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+            let len = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes")) as usize;
+            let type_byte = header[6];
+            if type_byte == 0 && len == 0 && expected_crc == 0 {
+                // Zero padding at the block tail.
+                self.buffer_pos = self.buffer.len();
+                continue;
+            }
+            let record_type = RecordType::from_u8(type_byte);
+            let start = self.buffer_pos + HEADER_SIZE;
+            if record_type.is_none() || start + len > self.buffer.len() {
+                // Corrupt header: skip the rest of this block.
+                self.corrupted_bytes += (self.buffer.len() - self.buffer_pos) as u64;
+                self.buffer_pos = self.buffer.len();
+                continue;
+            }
+            let record_type = record_type.expect("checked above");
+            let payload = &self.buffer[start..start + len];
+            let mut crc_input = Vec::with_capacity(1 + len);
+            crc_input.push(type_byte);
+            crc_input.extend_from_slice(payload);
+            if unmask_crc(expected_crc) != crc32c(&crc_input) {
+                self.corrupted_bytes += (HEADER_SIZE + len) as u64;
+                self.buffer_pos = self.buffer.len();
+                continue;
+            }
+            let out = payload.to_vec();
+            self.buffer_pos = start + len;
+            return Ok(Some((record_type, out)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::{Env, MemEnv};
+
+    fn write_records(records: &[Vec<u8>]) -> (MemEnv, String) {
+        let env = MemEnv::new();
+        let mut writer = LogWriter::new(env.new_writable("log").unwrap());
+        for r in records {
+            writer.add_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        (env, "log".to_string())
+    }
+
+    fn read_records(env: &MemEnv, name: &str) -> Vec<Vec<u8>> {
+        let mut reader = LogReader::new(env.open_random(name).unwrap());
+        reader.read_all().unwrap()
+    }
+
+    #[test]
+    fn small_records_roundtrip() {
+        let records = vec![b"one".to_vec(), b"two".to_vec(), b"".to_vec(), b"three".to_vec()];
+        let (env, name) = write_records(&records);
+        assert_eq!(read_records(&env, &name), records);
+    }
+
+    #[test]
+    fn record_spanning_blocks_roundtrips() {
+        let records = vec![
+            vec![1u8; BLOCK_SIZE / 2],
+            vec![2u8; BLOCK_SIZE * 3], // FIRST + MIDDLEs + LAST
+            vec![3u8; 17],
+        ];
+        let (env, name) = write_records(&records);
+        let got = read_records(&env, &name);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].len(), BLOCK_SIZE / 2);
+        assert_eq!(got[1], records[1]);
+        assert_eq!(got[2], records[2]);
+    }
+
+    #[test]
+    fn record_exactly_filling_block_tail() {
+        // Leave exactly HEADER_SIZE bytes at the end of the block: next
+        // record gets a zero-length fragment there or pads.
+        let first_len = BLOCK_SIZE - 2 * HEADER_SIZE;
+        let records = vec![vec![9u8; first_len], b"next".to_vec()];
+        let (env, name) = write_records(&records);
+        assert_eq!(read_records(&env, &name), records);
+    }
+
+    #[test]
+    fn corrupted_payload_is_skipped_but_later_blocks_survive() {
+        let records = vec![vec![1u8; 100], vec![2u8; 100], vec![3u8; BLOCK_SIZE * 2]];
+        let (env, name) = write_records(&records);
+        let mut data = env.read_all(&name).unwrap();
+        data[HEADER_SIZE + 10] ^= 0xff; // corrupt first record's payload
+        env.write_all(&name, &data).unwrap();
+        let mut reader = LogReader::new(env.open_random(&name).unwrap());
+        let got = reader.read_all().unwrap();
+        // First block is skipped entirely (both small records lost), the
+        // spanning record beginning in block 2 is lost too (its FIRST
+        // fragment lived in block 1)... actually records 1 and 2 fit in
+        // block 1 along with record 3's FIRST fragment, so everything in
+        // block 1 is dropped and the MIDDLE/LAST fragments are orphaned.
+        assert!(got.is_empty());
+        assert!(reader.corrupted_bytes() > 0);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let records = vec![b"keep".to_vec(), vec![7u8; 2000]];
+        let (env, name) = write_records(&records);
+        let data = env.read_all(&name).unwrap();
+        env.write_all(&name, &data[..data.len() - 1000]).unwrap();
+        let got = read_records(&env, &name);
+        assert_eq!(got, vec![b"keep".to_vec()]);
+    }
+
+    #[test]
+    fn append_to_existing_log_resumes_block_offset() {
+        let env = MemEnv::new();
+        {
+            let mut w = LogWriter::new(env.new_writable("log").unwrap());
+            w.add_record(b"first").unwrap();
+            w.finish().unwrap();
+        }
+        {
+            let mut w = LogWriter::new(env.open_appendable("log").unwrap());
+            w.add_record(b"second").unwrap();
+            w.finish().unwrap();
+        }
+        assert_eq!(read_records(&env, "log"), vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn many_records_roundtrip() {
+        let records: Vec<Vec<u8>> =
+            (0..500).map(|i| format!("record-{i}-{}", "x".repeat(i % 200)).into_bytes()).collect();
+        let (env, name) = write_records(&records);
+        assert_eq!(read_records(&env, &name), records);
+    }
+
+    #[test]
+    fn empty_log_reads_empty() {
+        let env = MemEnv::new();
+        env.write_all("log", b"").unwrap();
+        assert!(read_records(&env, "log").is_empty());
+    }
+}

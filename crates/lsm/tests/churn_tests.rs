@@ -1,0 +1,215 @@
+//! Churn tests: readers, scanners, and snapshot holders racing flushes and
+//! compactions. These target the engine's trickiest invariants — version
+//! pinning, deferred file deletion, and sequence visibility.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use lsm::{Db, Options};
+use storage::{Env, MemEnv};
+
+fn churn_options() -> Options {
+    Options {
+        write_buffer_size: 8 << 10,
+        target_file_size: 8 << 10,
+        max_bytes_for_level_base: 24 << 10,
+        l0_compaction_trigger: 2,
+        ..Options::small_for_tests()
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("churn{i:05}").into_bytes()
+}
+
+#[test]
+fn point_reads_never_fail_during_compaction_storm() {
+    let db = Arc::new(Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap());
+    for i in 0..300 {
+        db.put(&key(i), format!("seed{i}").as_bytes()).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for t in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for i in ((t * 7)..300).step_by(13) {
+                    let got = db.get(&key(i)).unwrap();
+                    assert!(got.is_some(), "key {i} vanished");
+                    reads += 1;
+                }
+            }
+            reads
+        }));
+    }
+    // Writer drives flush + compaction churn.
+    for round in 0..30 {
+        for i in 0..300 {
+            db.put(&key(i), format!("round{round}-{i}-{}", "x".repeat(64)).as_bytes()).unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total > 0);
+    db.close().unwrap();
+}
+
+#[test]
+fn scans_stay_sorted_and_complete_during_writes() {
+    let db = Arc::new(Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap());
+    for i in 0..400 {
+        db.put(&key(i), b"seed").unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let scanner = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scans = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let mut it = db.iter().unwrap();
+                it.seek_to_first().unwrap();
+                let rows = it.collect_forward(usize::MAX).unwrap();
+                // Keys never deleted in this test: a scan snapshot must see
+                // all 400 keys, in order.
+                assert_eq!(rows.len(), 400, "scan lost keys");
+                assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+                scans += 1;
+            }
+            scans
+        })
+    };
+    for round in 0..20 {
+        for i in 0..400 {
+            db.put(&key(i), format!("r{round}{}", "y".repeat(80)).as_bytes()).unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let scans = scanner.join().unwrap();
+    assert!(scans > 0, "scanner made no progress");
+    db.close().unwrap();
+}
+
+#[test]
+fn old_snapshots_stay_readable_through_heavy_churn() {
+    let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap();
+    for i in 0..200 {
+        db.put(&key(i), format!("epoch0-{i}").as_bytes()).unwrap();
+    }
+    let snap = db.snapshot();
+    // Heavy churn: many epochs of overwrites, flushes, compactions.
+    for epoch in 1..=10 {
+        for i in 0..200 {
+            db.put(&key(i), format!("epoch{epoch}-{i}-{}", "z".repeat(100)).as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    db.wait_for_compactions().unwrap();
+    // The snapshot still reads epoch-0 values for every key.
+    for i in (0..200).step_by(7) {
+        assert_eq!(
+            db.get_at(&key(i), &snap).unwrap(),
+            Some(format!("epoch0-{i}").into_bytes()),
+            "snapshot read {i}"
+        );
+    }
+    drop(snap);
+    // After the snapshot is released, compaction may reclaim old versions.
+    while db.compact_once().unwrap() {}
+    for i in (0..200).step_by(7) {
+        let v = db.get(&key(i)).unwrap().unwrap();
+        assert!(v.starts_with(format!("epoch10-{i}").as_bytes()));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn iterators_pin_files_across_compactions() {
+    let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap();
+    for i in 0..500 {
+        db.put(&key(i), format!("pin-{i}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    // Open an iterator, then churn the tree underneath it.
+    let mut it = db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    for i in 0..500 {
+        db.put(&key(i), format!("new-{i}-{}", "w".repeat(60)).as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    // The iterator still walks the pinned view without errors.
+    let rows = it.collect_forward(usize::MAX).unwrap();
+    assert_eq!(rows.len(), 500);
+    for (i, (_, v)) in rows.iter().enumerate() {
+        assert_eq!(v, format!("pin-{i}").as_bytes(), "pinned value {i}");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn mixed_delete_write_churn_converges() {
+    let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap();
+    // Interleave writes and deletes across flush boundaries, ending with a
+    // known final state.
+    for wave in 0..6 {
+        for i in 0..300 {
+            if (i + wave) % 3 == 0 {
+                db.delete(&key(i)).unwrap();
+            } else {
+                db.put(&key(i), format!("w{wave}-{i}").as_bytes()).unwrap();
+            }
+        }
+        db.flush().unwrap();
+    }
+    db.wait_for_compactions().unwrap();
+    while db.compact_once().unwrap() {}
+    for i in 0..300 {
+        let expect_deleted = (i + 5) % 3 == 0;
+        let got = db.get(&key(i)).unwrap();
+        if expect_deleted {
+            assert_eq!(got, None, "key {i} should be deleted");
+        } else {
+            assert_eq!(got, Some(format!("w5-{i}").into_bytes()), "key {i}");
+        }
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn compact_range_races_background_compaction_safely() {
+    let db = Arc::new(Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, churn_options()).unwrap());
+    for i in 0..400 {
+        db.put(&key(i), b"seed").unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 0;
+            while !stop.load(Ordering::Relaxed) {
+                for i in 0..400 {
+                    db.put(&key(i), format!("w{round}-{}", "q".repeat(50)).as_bytes()).unwrap();
+                }
+                round += 1;
+            }
+            round
+        })
+    };
+    // Manual range compactions racing automatic ones and the writer.
+    for _ in 0..5 {
+        db.compact_range(Some(&key(100)), Some(&key(300))).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let rounds = writer.join().unwrap();
+    assert!(rounds > 0);
+    // Everything still readable and newest-wins.
+    for i in (0..400).step_by(41) {
+        assert!(db.get(&key(i)).unwrap().is_some(), "key {i}");
+    }
+    db.close().unwrap();
+}

@@ -1,0 +1,603 @@
+//! End-to-end tests of the LSM engine: write/read paths, flush, compaction,
+//! snapshots, iterators, and crash recovery.
+
+use std::sync::Arc;
+
+use lsm::{Db, Options, WriteBatch};
+use storage::{Env, MemEnv};
+
+fn mem_db(options: Options) -> (Arc<MemEnv>, Db) {
+    let env = Arc::new(MemEnv::new());
+    let db = Db::open(env.clone() as Arc<dyn Env>, options).unwrap();
+    (env, db)
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key{i:06}").into_bytes()
+}
+
+fn val(i: usize, tag: &str) -> Vec<u8> {
+    format!("value{i:06}-{tag}").into_bytes()
+}
+
+#[test]
+fn put_get_delete() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    db.put(b"a", b"1").unwrap();
+    db.put(b"b", b"2").unwrap();
+    assert_eq!(db.get(b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(db.get(b"b").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(db.get(b"c").unwrap(), None);
+    db.delete(b"a").unwrap();
+    assert_eq!(db.get(b"a").unwrap(), None);
+    db.put(b"a", b"3").unwrap();
+    assert_eq!(db.get(b"a").unwrap(), Some(b"3".to_vec()));
+}
+
+#[test]
+fn overwrites_return_newest() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for round in 0..5 {
+        for i in 0..100 {
+            db.put(&key(i), &val(i, &round.to_string())).unwrap();
+        }
+    }
+    for i in 0..100 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "4")));
+    }
+}
+
+#[test]
+fn batch_is_atomic_and_ordered() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    db.put(b"x", b"old").unwrap();
+    let mut batch = WriteBatch::new();
+    batch.put(b"x", b"mid");
+    batch.delete(b"x");
+    batch.put(b"x", b"new");
+    batch.put(b"y", b"why");
+    db.write(batch).unwrap();
+    assert_eq!(db.get(b"x").unwrap(), Some(b"new".to_vec()));
+    assert_eq!(db.get(b"y").unwrap(), Some(b"why".to_vec()));
+}
+
+#[test]
+fn reads_after_flush_hit_sstables() {
+    let (env, db) = mem_db(Options::small_for_tests());
+    for i in 0..200 {
+        db.put(&key(i), &val(i, "flushed")).unwrap();
+    }
+    db.flush().unwrap();
+    assert!(db.num_files_at_level(0) >= 1);
+    // SSTs exist on the env.
+    assert!(!env.list("").unwrap().iter().filter(|n| n.ends_with(".sst")).collect::<Vec<_>>().is_empty());
+    for i in (0..200).step_by(7) {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "flushed")));
+    }
+    assert_eq!(db.get(b"missing").unwrap(), None);
+}
+
+#[test]
+fn deletes_survive_flush() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..50 {
+        db.put(&key(i), &val(i, "v")).unwrap();
+    }
+    db.flush().unwrap();
+    for i in 0..50 {
+        if i % 2 == 0 {
+            db.delete(&key(i)).unwrap();
+        }
+    }
+    db.flush().unwrap();
+    for i in 0..50 {
+        let got = db.get(&key(i)).unwrap();
+        if i % 2 == 0 {
+            assert_eq!(got, None, "key {i} should be deleted");
+        } else {
+            assert_eq!(got, Some(val(i, "v")));
+        }
+    }
+}
+
+#[test]
+fn heavy_writes_trigger_compaction_and_stay_correct() {
+    let options = Options {
+        write_buffer_size: 16 << 10,
+        target_file_size: 16 << 10,
+        max_bytes_for_level_base: 64 << 10,
+        l0_compaction_trigger: 2,
+        ..Options::small_for_tests()
+    };
+    let (_env, db) = mem_db(options);
+    let n = 2000;
+    for i in 0..n {
+        db.put(&key(i % 500), &val(i, "latest")).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    assert!(db.stats().compactions.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    // Values are the newest write of each key slot.
+    for slot in 0..500 {
+        let latest = (0..n).filter(|i| i % 500 == slot).max().unwrap();
+        assert_eq!(db.get(&key(slot)).unwrap(), Some(val(latest, "latest")), "slot {slot}");
+    }
+    // Deep levels got populated.
+    let deep_files: usize = (1..7).map(|l| db.num_files_at_level(l)).sum();
+    assert!(deep_files > 0, "expected files below L0");
+}
+
+#[test]
+fn iterator_scans_in_order_across_memtable_and_ssts() {
+    let options = Options { write_buffer_size: 8 << 10, ..Options::small_for_tests() };
+    let (_env, db) = mem_db(options);
+    for i in (0..300).rev() {
+        db.put(&key(i), &val(i, "s")).unwrap();
+    }
+    db.flush().unwrap();
+    for i in 300..350 {
+        db.put(&key(i), &val(i, "s")).unwrap(); // still in memtable
+    }
+    let mut it = db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    let mut count = 0;
+    let mut prev: Option<Vec<u8>> = None;
+    while it.valid() {
+        if let Some(p) = &prev {
+            assert!(p < &it.key().to_vec());
+        }
+        prev = Some(it.key().to_vec());
+        count += 1;
+        it.next().unwrap();
+    }
+    assert_eq!(count, 350);
+}
+
+#[test]
+fn iterator_seek_and_collect() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..100 {
+        db.put(&key(i), &val(i, "x")).unwrap();
+    }
+    let mut it = db.iter().unwrap();
+    it.seek(&key(90)).unwrap();
+    let rest = it.collect_forward(100).unwrap();
+    assert_eq!(rest.len(), 10);
+    assert_eq!(rest[0].0, key(90));
+    assert_eq!(rest[9].0, key(99));
+}
+
+#[test]
+fn iterator_hides_deleted_keys() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..20 {
+        db.put(&key(i), &val(i, "x")).unwrap();
+    }
+    db.flush().unwrap();
+    for i in (0..20).step_by(2) {
+        db.delete(&key(i)).unwrap();
+    }
+    let mut it = db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    let all = it.collect_forward(100).unwrap();
+    assert_eq!(all.len(), 10);
+    for (k, _) in &all {
+        let i: usize = String::from_utf8_lossy(&k[3..]).parse().unwrap();
+        assert_eq!(i % 2, 1);
+    }
+}
+
+#[test]
+fn snapshot_isolates_reads() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    db.put(b"k", b"v1").unwrap();
+    let snap = db.snapshot();
+    db.put(b"k", b"v2").unwrap();
+    db.delete(b"k").unwrap();
+    assert_eq!(db.get(b"k").unwrap(), None);
+    assert_eq!(db.get_at(b"k", &snap).unwrap(), Some(b"v1".to_vec()));
+    // Snapshot survives a flush.
+    db.flush().unwrap();
+    assert_eq!(db.get_at(b"k", &snap).unwrap(), Some(b"v1".to_vec()));
+}
+
+#[test]
+fn snapshot_iterator_sees_frozen_state() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..10 {
+        db.put(&key(i), &val(i, "old")).unwrap();
+    }
+    let snap = db.snapshot();
+    for i in 0..10 {
+        db.put(&key(i), &val(i, "new")).unwrap();
+    }
+    for i in 10..20 {
+        db.put(&key(i), &val(i, "new")).unwrap();
+    }
+    let mut it = db.iter_at(&snap).unwrap();
+    it.seek_to_first().unwrap();
+    let all = it.collect_forward(100).unwrap();
+    assert_eq!(all.len(), 10);
+    for (i, (_, v)) in all.iter().enumerate() {
+        assert_eq!(v, &val(i, "old"));
+    }
+}
+
+#[test]
+fn recovery_replays_wal() {
+    let env = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(env.clone() as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+        for i in 0..100 {
+            db.put(&key(i), &val(i, "walled")).unwrap();
+        }
+        // Drop without flush: data only in WAL + memtable.
+    }
+    let db = Db::open(env as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+    for i in 0..100 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "walled")), "key {i}");
+    }
+}
+
+#[test]
+fn recovery_preserves_flushed_and_walled_data() {
+    let env = Arc::new(MemEnv::new());
+    {
+        let db = Db::open(env.clone() as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+        for i in 0..100 {
+            db.put(&key(i), &val(i, "a")).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 50..150 {
+            db.put(&key(i), &val(i, "b")).unwrap();
+        }
+    }
+    let db = Db::open(env as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+    for i in 0..50 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "a")));
+    }
+    for i in 50..150 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "b")));
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_across_many_restarts() {
+    let env = Arc::new(MemEnv::new());
+    for round in 0..5usize {
+        let db = Db::open(env.clone() as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+        // All earlier rounds' data must still be there.
+        for r in 0..round {
+            for i in 0..40 {
+                assert_eq!(
+                    db.get(&key(r * 40 + i)).unwrap(),
+                    Some(val(r * 40 + i, "r")),
+                    "round {round} reading {r}"
+                );
+            }
+        }
+        for i in 0..40 {
+            db.put(&key(round * 40 + i), &val(round * 40 + i, "r")).unwrap();
+        }
+    }
+}
+
+#[test]
+fn sequence_numbers_advance_per_operation() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    let s0 = db.last_sequence();
+    db.put(b"a", b"1").unwrap();
+    assert_eq!(db.last_sequence(), s0 + 1);
+    let mut batch = WriteBatch::new();
+    batch.put(b"b", b"2");
+    batch.put(b"c", b"3");
+    batch.delete(b"a");
+    db.write(batch).unwrap();
+    assert_eq!(db.last_sequence(), s0 + 4);
+}
+
+#[test]
+fn empty_batch_is_a_noop() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    let s0 = db.last_sequence();
+    db.write(WriteBatch::new()).unwrap();
+    assert_eq!(db.last_sequence(), s0);
+}
+
+#[test]
+fn compaction_reclaims_deleted_space() {
+    let options = Options {
+        write_buffer_size: 16 << 10,
+        target_file_size: 16 << 10,
+        max_bytes_for_level_base: 32 << 10,
+        l0_compaction_trigger: 2,
+        ..Options::small_for_tests()
+    };
+    let (_env, db) = mem_db(options);
+    let big = vec![b'x'; 512];
+    for i in 0..500 {
+        db.put(&key(i), &big).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for i in 0..500 {
+        db.delete(&key(i)).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    // Keep compacting until tombstones reach the bottom.
+    while db.compact_once().unwrap() {}
+    for i in (0..500).step_by(13) {
+        assert_eq!(db.get(&key(i)).unwrap(), None);
+    }
+    let mut it = db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    assert!(!it.valid(), "all keys deleted; iterator must be empty");
+}
+
+#[test]
+fn close_is_idempotent_and_rejects_writes() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    db.put(b"a", b"1").unwrap();
+    db.close().unwrap();
+    db.close().unwrap();
+    assert!(db.put(b"b", b"2").is_err());
+}
+
+#[test]
+fn get_with_bloom_disabled_still_correct() {
+    let options = Options { bloom_bits_per_key: 0, ..Options::small_for_tests() };
+    let (_env, db) = mem_db(options);
+    for i in 0..100 {
+        db.put(&key(i), &val(i, "nb")).unwrap();
+    }
+    db.flush().unwrap();
+    for i in 0..100 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "nb")));
+    }
+    assert_eq!(db.get(b"absent").unwrap(), None);
+}
+
+#[test]
+fn concurrent_readers_and_writer() {
+    let options = Options { write_buffer_size: 32 << 10, ..Options::small_for_tests() };
+    let (_env, db) = mem_db(options);
+    let db = Arc::new(db);
+    for i in 0..200 {
+        db.put(&key(i), &val(i, "seed")).unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let db = db.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for i in (0..200).step_by(11) {
+                    let got = db.get(&key(i)).unwrap().expect("key must exist");
+                    assert!(got.starts_with(format!("value{i:06}").as_bytes()));
+                }
+            }
+        }));
+    }
+    for round in 0..20 {
+        for i in 0..200 {
+            db.put(&key(i), &val(i, &format!("round{round}"))).unwrap();
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn wal_disabled_mode_with_manual_flush() {
+    let env = Arc::new(MemEnv::new());
+    let options = Options {
+        wal_enabled: false,
+        write_buffer_size: usize::MAX,
+        auto_compaction: false,
+        ..Options::small_for_tests()
+    };
+    {
+        let db = Db::open(env.clone() as Arc<dyn Env>, options.clone()).unwrap();
+        for i in 0..100 {
+            db.put(&key(i), &val(i, "nowal")).unwrap();
+        }
+        db.flush().unwrap();
+        for i in 100..120 {
+            db.put(&key(i), &val(i, "lost")).unwrap();
+        }
+        // No WAL: unflushed writes are lost on crash by design (the outer
+        // RocksMash eWAL provides durability in that configuration).
+    }
+    let db = Db::open(env as Arc<dyn Env>, options).unwrap();
+    for i in 0..100 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "nowal")));
+    }
+    for i in 100..120 {
+        assert_eq!(db.get(&key(i)).unwrap(), None, "unflushed write must be gone");
+    }
+    // And no WAL files were ever created.
+}
+
+#[test]
+fn multi_get_is_consistent() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..50 {
+        db.put(&key(i), &val(i, "mg")).unwrap();
+    }
+    db.delete(&key(7)).unwrap();
+    let keys: Vec<Vec<u8>> = (0..10).map(key).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let got = db.multi_get(&refs).unwrap();
+    assert_eq!(got.len(), 10);
+    for (i, v) in got.iter().enumerate() {
+        if i == 7 {
+            assert_eq!(*v, None);
+        } else {
+            assert_eq!(*v, Some(val(i, "mg")));
+        }
+    }
+}
+
+#[test]
+fn compact_range_pushes_data_to_the_bottom() {
+    let options = Options {
+        write_buffer_size: 16 << 10,
+        target_file_size: 16 << 10,
+        max_bytes_for_level_base: 32 << 10,
+        l0_compaction_trigger: 2,
+        auto_compaction: false,
+        ..Options::small_for_tests()
+    };
+    let (_env, db) = mem_db(options);
+    for round in 0..4 {
+        for i in 0..300 {
+            db.put(&key(i), &val(i, &format!("r{round}"))).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    assert!(db.num_files_at_level(0) >= 2, "several L0 files before compaction");
+    db.compact_range(None, None).unwrap();
+    // Everything overlapping was pushed off the upper levels.
+    assert_eq!(db.num_files_at_level(0), 0);
+    assert_eq!(db.num_files_at_level(1), 0);
+    let deep: usize = (2..7).map(|l| db.num_files_at_level(l)).sum();
+    assert!(deep > 0);
+    for i in (0..300).step_by(17) {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "r3")), "key {i}");
+    }
+}
+
+#[test]
+fn compact_range_partial_range_only_touches_overlap() {
+    let options = Options { auto_compaction: false, ..Options::small_for_tests() };
+    let (_env, db) = mem_db(options);
+    for i in 0..200 {
+        db.put(&key(i), &val(i, "p")).unwrap();
+    }
+    db.flush().unwrap();
+    db.compact_range(Some(&key(0)), Some(&key(50))).unwrap();
+    // Data still correct after a bounded compaction.
+    for i in (0..200).step_by(11) {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "p")));
+    }
+}
+
+#[test]
+fn compression_roundtrips_and_shrinks_tables() {
+    let plain_opts = Options { compression: false, ..Options::small_for_tests() };
+    let comp_opts = Options { compression: true, ..Options::small_for_tests() };
+    let value = |i: usize| format!("{{\"user\":{i},\"plan\":\"professional\",\"active\":true}}").repeat(4);
+
+    let (plain_env, plain_db) = mem_db(plain_opts);
+    let (comp_env, comp_db) = mem_db(comp_opts);
+    for i in 0..500 {
+        plain_db.put(&key(i), value(i).as_bytes()).unwrap();
+        comp_db.put(&key(i), value(i).as_bytes()).unwrap();
+    }
+    plain_db.flush().unwrap();
+    comp_db.flush().unwrap();
+    plain_db.wait_for_compactions().unwrap();
+    comp_db.wait_for_compactions().unwrap();
+
+    for i in (0..500).step_by(7) {
+        assert_eq!(comp_db.get(&key(i)).unwrap(), Some(value(i).into_bytes()), "key {i}");
+    }
+    let mut it = comp_db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    assert_eq!(it.collect_forward(usize::MAX).unwrap().len(), 500);
+
+    let sst_bytes = |env: &Arc<MemEnv>| -> u64 {
+        env.list("")
+            .unwrap()
+            .iter()
+            .filter(|n| n.ends_with(".sst"))
+            .map(|n| env.size(n).unwrap())
+            .sum()
+    };
+    let plain = sst_bytes(&plain_env);
+    let compressed = sst_bytes(&comp_env);
+    assert!(
+        compressed * 2 < plain,
+        "compressed tables ({compressed}) should be <50% of plain ({plain})"
+    );
+}
+
+#[test]
+fn compressed_db_recovers_after_restart() {
+    let env = Arc::new(MemEnv::new());
+    let options = Options { compression: true, ..Options::small_for_tests() };
+    {
+        let db = Db::open(env.clone() as Arc<dyn Env>, options.clone()).unwrap();
+        for i in 0..200 {
+            db.put(&key(i), format!("compress-me-{i}").repeat(8).as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    let db = Db::open(env as Arc<dyn Env>, options).unwrap();
+    for i in (0..200).step_by(13) {
+        assert_eq!(
+            db.get(&key(i)).unwrap(),
+            Some(format!("compress-me-{i}").repeat(8).into_bytes())
+        );
+    }
+}
+
+#[test]
+fn debug_string_reports_tree_shape() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..100 {
+        db.put(&key(i), &val(i, "d")).unwrap();
+    }
+    db.flush().unwrap();
+    let s = db.debug_string();
+    assert!(s.contains("L0"), "{s}");
+    assert!(s.contains("flushes 1"), "{s}");
+    assert!(s.contains("last sequence      100"), "{s}");
+}
+
+#[test]
+fn checkpoint_opens_as_an_independent_database() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..300 {
+        db.put(&key(i), &val(i, "cp")).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+
+    let target = Arc::new(MemEnv::new());
+    let copied = db.checkpoint(&*target).unwrap();
+    assert!(copied > 0);
+
+    // Mutate the source after the checkpoint.
+    for i in 0..300 {
+        db.put(&key(i), &val(i, "post")).unwrap();
+    }
+
+    let restored = Db::open(target as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+    for i in (0..300).step_by(19) {
+        assert_eq!(restored.get(&key(i)).unwrap(), Some(val(i, "cp")), "key {i}");
+    }
+    restored.close().unwrap();
+}
+
+#[test]
+fn checkpoint_excludes_unflushed_writes() {
+    let (_env, db) = mem_db(Options::small_for_tests());
+    for i in 0..50 {
+        db.put(&key(i), &val(i, "flushed")).unwrap();
+    }
+    db.flush().unwrap();
+    for i in 50..80 {
+        db.put(&key(i), &val(i, "memonly")).unwrap();
+    }
+    let target = Arc::new(MemEnv::new());
+    db.checkpoint(&*target).unwrap();
+    let restored = Db::open(target as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+    assert_eq!(restored.get(&key(10)).unwrap(), Some(val(10, "flushed")));
+    assert_eq!(restored.get(&key(60)).unwrap(), None);
+    restored.close().unwrap();
+}

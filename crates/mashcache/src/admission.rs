@@ -1,0 +1,140 @@
+//! Frequency-based admission.
+//!
+//! A 4-bit count-min sketch (TinyLFU style) estimates how often each block
+//! has been requested. The cache only admits blocks on their second touch
+//! within an aging window, so large one-pass scans cannot evict the working
+//! set — important for the paper's mixed scan/point-read workloads.
+
+/// 4-bit count-min sketch with periodic halving.
+pub struct FrequencySketch {
+    counters: Vec<u64>, // 16 counters of 4 bits per u64
+    mask: usize,
+    additions: usize,
+    reset_at: usize,
+}
+
+impl FrequencySketch {
+    /// Sketch sized for roughly `expected_items` tracked blocks.
+    pub fn new(expected_items: usize) -> Self {
+        let slots = expected_items.max(64).next_power_of_two();
+        let words = slots / 16 + 1;
+        FrequencySketch {
+            counters: vec![0; words.next_power_of_two()],
+            mask: words.next_power_of_two() - 1,
+            additions: 0,
+            reset_at: slots * 8,
+        }
+    }
+
+    /// Record one access to `key`.
+    pub fn touch(&mut self, key: u64) {
+        for i in 0..4 {
+            let (word, shift) = self.position(key, i);
+            let counter = (self.counters[word] >> shift) & 0xf;
+            if counter < 15 {
+                self.counters[word] += 1 << shift;
+            }
+        }
+        self.additions += 1;
+        if self.additions >= self.reset_at {
+            self.age();
+        }
+    }
+
+    /// Estimated access count of `key` (min over the hash rows).
+    pub fn estimate(&self, key: u64) -> u8 {
+        (0..4)
+            .map(|i| {
+                let (word, shift) = self.position(key, i);
+                ((self.counters[word] >> shift) & 0xf) as u8
+            })
+            .min()
+            .expect("four rows")
+    }
+
+    /// Whether a block with this key should be admitted: it has been seen
+    /// before within the aging window.
+    pub fn admit(&self, key: u64) -> bool {
+        self.estimate(key) >= 1
+    }
+
+    fn position(&self, key: u64, row: u64) -> (usize, u32) {
+        let h = key
+            .wrapping_add(row.wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_mul(0xff51afd7ed558ccd);
+        let counter_index = (h >> 32) as usize & (self.mask * 16 + 15);
+        (counter_index / 16, (counter_index % 16) as u32 * 4)
+    }
+
+    fn age(&mut self) {
+        for word in &mut self.counters {
+            // Halve every 4-bit counter in the word.
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.additions /= 2;
+    }
+}
+
+/// Stable 64-bit identity for a (file, offset) block.
+pub fn block_key(file_number: u64, offset: u64) -> u64 {
+    file_number
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(offset.wrapping_mul(0xc2b2ae3d27d4eb4f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_key_is_not_admitted() {
+        let sketch = FrequencySketch::new(1024);
+        assert!(!sketch.admit(42));
+        assert_eq!(sketch.estimate(42), 0);
+    }
+
+    #[test]
+    fn touched_key_is_admitted() {
+        let mut sketch = FrequencySketch::new(1024);
+        sketch.touch(42);
+        assert!(sketch.admit(42));
+        assert!(sketch.estimate(42) >= 1);
+    }
+
+    #[test]
+    fn estimates_track_relative_frequency() {
+        let mut sketch = FrequencySketch::new(4096);
+        for _ in 0..10 {
+            sketch.touch(1);
+        }
+        sketch.touch(2);
+        assert!(sketch.estimate(1) > sketch.estimate(2));
+    }
+
+    #[test]
+    fn counters_saturate_at_15() {
+        let mut sketch = FrequencySketch::new(64);
+        for _ in 0..100 {
+            sketch.touch(7);
+        }
+        assert!(sketch.estimate(7) <= 15);
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let mut sketch = FrequencySketch::new(64);
+        for _ in 0..8 {
+            sketch.touch(7);
+        }
+        let before = sketch.estimate(7);
+        sketch.age();
+        let after = sketch.estimate(7);
+        assert!(after <= before / 2 + 1, "{before} -> {after}");
+    }
+
+    #[test]
+    fn block_keys_distinguish_files_and_offsets() {
+        assert_ne!(block_key(1, 0), block_key(2, 0));
+        assert_ne!(block_key(1, 4096), block_key(1, 8192));
+    }
+}

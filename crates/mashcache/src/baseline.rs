@@ -1,0 +1,315 @@
+//! Conventional persistent block cache — the comparator.
+//!
+//! Models the RocksDB persistent-cache / RocksDB-Cloud file-cache design
+//! the paper compares against:
+//!
+//! * **Block-granular global LRU** over individual slots, no notion of
+//!   which SSTable a block belongs to, so blocks of one table scatter
+//!   across the cache space.
+//! * **Full metadata**: the index is a `HashMap` keyed by heap-allocated
+//!   string block keys (`"<file>-<offset>"`, as RocksDB's persistent cache
+//!   keys blocks), each entry carrying LRU linkage. This is the metadata
+//!   overhead experiment E5 quantifies.
+//! * **O(blocks) invalidation**: dropping a compacted SSTable's blocks
+//!   requires scanning every key (experiment E8).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cache::{CacheStats, PersistentBlockCache, SLOT_HEADER};
+use crate::storage::CacheStorage;
+
+const NIL: u32 = u32::MAX;
+
+struct Entry {
+    key: String,
+    file: u64,
+    len: u32,
+    prev: u32,
+    next: u32,
+}
+
+struct Inner {
+    map: HashMap<String, u32>, // key -> slot
+    entries: Vec<Option<Entry>>, // indexed by slot
+    free_slots: Vec<u32>,
+    lru_head: u32,
+    lru_tail: u32,
+    stats: CacheStats,
+}
+
+/// Conventional block-LRU persistent cache with string-keyed metadata.
+pub struct BaselineCache {
+    storage: Arc<dyn CacheStorage>,
+    slot_size: u32,
+    inner: Mutex<Inner>,
+}
+
+impl BaselineCache {
+    /// Build over `storage` with the given slot size (header included).
+    pub fn new(storage: Arc<dyn CacheStorage>, slot_size: u32) -> Self {
+        let num_slots = (storage.capacity() / slot_size as u64) as u32;
+        let mut entries = Vec::with_capacity(num_slots as usize);
+        entries.resize_with(num_slots as usize, || None);
+        BaselineCache {
+            storage,
+            slot_size,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                entries,
+                free_slots: (0..num_slots).rev().collect(),
+                lru_head: NIL,
+                lru_tail: NIL,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn block_key(file: u64, offset: u64) -> String {
+        format!("{file:016x}-{offset:016x}")
+    }
+
+    fn unlink(inner: &mut Inner, slot: u32) {
+        let (prev, next) = {
+            let e = inner.entries[slot as usize].as_ref().expect("linked entry");
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            inner.entries[prev as usize].as_mut().expect("prev").next = next;
+        } else {
+            inner.lru_head = next;
+        }
+        if next != NIL {
+            inner.entries[next as usize].as_mut().expect("next").prev = prev;
+        } else {
+            inner.lru_tail = prev;
+        }
+    }
+
+    fn push_front(inner: &mut Inner, slot: u32) {
+        let old_head = inner.lru_head;
+        {
+            let e = inner.entries[slot as usize].as_mut().expect("entry");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            inner.entries[old_head as usize].as_mut().expect("head").prev = slot;
+        }
+        inner.lru_head = slot;
+        if inner.lru_tail == NIL {
+            inner.lru_tail = slot;
+        }
+    }
+
+    fn remove_slot(inner: &mut Inner, slot: u32) {
+        Self::unlink(inner, slot);
+        let entry = inner.entries[slot as usize].take().expect("entry");
+        inner.map.remove(&entry.key);
+        inner.free_slots.push(slot);
+    }
+}
+
+impl PersistentBlockCache for BaselineCache {
+    fn get(&self, file: u64, offset: u64) -> Option<Vec<u8>> {
+        let key = Self::block_key(file, offset);
+        let (slot, len) = {
+            let mut inner = self.inner.lock();
+            match inner.map.get(&key).copied() {
+                Some(slot) => {
+                    Self::unlink(&mut inner, slot);
+                    Self::push_front(&mut inner, slot);
+                    inner.stats.hits += 1;
+                    let len = inner.entries[slot as usize].as_ref().expect("entry").len;
+                    (slot, len as usize)
+                }
+                None => {
+                    inner.stats.misses += 1;
+                    return None;
+                }
+            }
+        };
+        let mut buf = vec![0u8; SLOT_HEADER + len];
+        self.storage
+            .read_at(slot as u64 * self.slot_size as u64, &mut buf)
+            .ok()?;
+        let h_file = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
+        let h_offset = u64::from_le_bytes(buf[8..16].try_into().expect("8"));
+        if h_file != file || h_offset != offset {
+            return None;
+        }
+        Some(buf[SLOT_HEADER..].to_vec())
+    }
+
+    fn put(&self, file: u64, offset: u64, data: &[u8], _level: usize) {
+        // Conventional cache: no admission policy, no level awareness.
+        let key = Self::block_key(file, offset);
+        if data.len() + SLOT_HEADER > self.slot_size as usize {
+            self.inner.lock().stats.oversize_rejects += 1;
+            return;
+        }
+        let slot = {
+            let mut inner = self.inner.lock();
+            if inner.map.contains_key(&key) {
+                return;
+            }
+            let slot = loop {
+                if let Some(slot) = inner.free_slots.pop() {
+                    break slot;
+                }
+                let victim = inner.lru_tail;
+                if victim == NIL {
+                    return;
+                }
+                Self::remove_slot(&mut inner, victim);
+            };
+            inner.entries[slot as usize] = Some(Entry {
+                key: key.clone(),
+                file,
+                len: data.len() as u32,
+                prev: NIL,
+                next: NIL,
+            });
+            inner.map.insert(key, slot);
+            Self::push_front(&mut inner, slot);
+            inner.stats.inserts += 1;
+            slot
+        };
+        let mut buf = Vec::with_capacity(SLOT_HEADER + data.len());
+        buf.extend_from_slice(&file.to_le_bytes());
+        buf.extend_from_slice(&offset.to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(data);
+        let _ = self.storage.write_at(slot as u64 * self.slot_size as u64, &buf);
+    }
+
+    fn invalidate_file(&self, file: u64) {
+        let mut inner = self.inner.lock();
+        // No per-file grouping: scan every entry (this is the cost the
+        // compaction-aware layout removes).
+        let victims: Vec<u32> = inner
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| {
+                e.as_ref().filter(|e| e.file == file).map(|_| slot as u32)
+            })
+            .collect();
+        inner.stats.invalidation_steps += inner.entries.len() as u64;
+        for slot in victims {
+            Self::remove_slot(&mut inner, slot);
+        }
+        inner.stats.invalidations += 1;
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        let per_entry: usize = inner
+            .entries
+            .iter()
+            .flatten()
+            .map(|e| {
+                // String key stored twice (map key + entry), hash bucket,
+                // and the entry struct with LRU links.
+                2 * (e.key.capacity() + std::mem::size_of::<String>())
+                    + std::mem::size_of::<Entry>()
+                    + std::mem::size_of::<u32>()
+            })
+            .sum();
+        per_entry
+            + inner.map.capacity() * std::mem::size_of::<usize>()
+            + inner.entries.capacity() * std::mem::size_of::<Option<Entry>>()
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemCacheStorage;
+
+    fn cache(slots: u32) -> BaselineCache {
+        let slot_size = 256 + SLOT_HEADER as u32;
+        BaselineCache::new(
+            Arc::new(MemCacheStorage::new((slots * slot_size) as usize)),
+            slot_size,
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c = cache(16);
+        c.put(1, 4096, b"hello", 0);
+        assert_eq!(c.get(1, 4096), Some(b"hello".to_vec()));
+        assert_eq!(c.get(1, 0), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = cache(4);
+        for i in 0..4u64 {
+            c.put(1, i, &[i as u8; 16], 0);
+        }
+        // Touch 0 so it is most recent; inserting a 5th evicts 1.
+        assert!(c.get(1, 0).is_some());
+        c.put(1, 100, b"new", 0);
+        assert!(c.get(1, 0).is_some());
+        assert_eq!(c.get(1, 1), None, "LRU victim must be block 1");
+        assert!(c.get(1, 100).is_some());
+    }
+
+    #[test]
+    fn invalidate_scans_all_entries() {
+        let c = cache(32);
+        for i in 0..10u64 {
+            c.put(7, i, &[0u8; 16], 0);
+        }
+        for i in 0..5u64 {
+            c.put(8, i, &[0u8; 16], 0);
+        }
+        c.invalidate_file(7);
+        for i in 0..10u64 {
+            assert_eq!(c.get(7, i), None);
+        }
+        for i in 0..5u64 {
+            assert!(c.get(8, i).is_some());
+        }
+        // Scan cost is the full slot table, not the victim count.
+        assert_eq!(c.stats().invalidation_steps, 32);
+    }
+
+    #[test]
+    fn metadata_costs_dwarf_packed_index() {
+        let c = cache(1024);
+        for i in 0..1000u64 {
+            c.put(1, i * 4096, &[0u8; 64], 0);
+        }
+        let per_entry = c.metadata_bytes() as f64 / 1000.0;
+        assert!(per_entry > 100.0, "baseline metadata {per_entry} bytes/entry");
+    }
+
+    #[test]
+    fn full_cache_keeps_working() {
+        let c = cache(8);
+        for i in 0..100u64 {
+            c.put(1, i, &[i as u8; 32], 0);
+        }
+        // Most recent blocks present.
+        assert!(c.get(1, 99).is_some());
+        assert_eq!(c.get(1, 0), None);
+    }
+
+    #[test]
+    fn oversize_rejected() {
+        let c = cache(8);
+        c.put(1, 0, &[0u8; 1024], 0);
+        assert_eq!(c.get(1, 0), None);
+        assert_eq!(c.stats().oversize_rejects, 1);
+    }
+}

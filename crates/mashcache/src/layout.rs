@@ -1,0 +1,223 @@
+//! Compaction-aware extent layout.
+//!
+//! Cache space = `num_extents` extents × `slots_per_extent` slots ×
+//! `slot_size` bytes. An extent belongs to at most one SSTable at a time,
+//! so the blocks of one table are physically clustered and the table's
+//! entire cache footprint can be reclaimed by pushing its extents back on
+//! the free list — the O(1)-per-extent invalidation the paper's
+//! compaction experiments rely on.
+
+/// Allocates and frees extents; pure bookkeeping, no I/O.
+#[derive(Debug)]
+pub struct ExtentAllocator {
+    free: Vec<u32>,
+    num_extents: u32,
+    slots_per_extent: u32,
+    slot_size: u32,
+}
+
+impl ExtentAllocator {
+    /// Carve `capacity_bytes` into extents.
+    pub fn new(capacity_bytes: u64, slot_size: u32, slots_per_extent: u32) -> Self {
+        assert!(slot_size > 0 && slots_per_extent > 0);
+        let extent_bytes = slot_size as u64 * slots_per_extent as u64;
+        let num_extents = (capacity_bytes / extent_bytes) as u32;
+        // LIFO free list: reuse recently-freed extents first (warm pages).
+        let free: Vec<u32> = (0..num_extents).rev().collect();
+        ExtentAllocator { free, num_extents, slots_per_extent, slot_size }
+    }
+
+    /// Total extents in the cache space.
+    pub fn num_extents(&self) -> u32 {
+        self.num_extents
+    }
+
+    /// Extents currently unallocated.
+    pub fn free_extents(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Slots in one extent.
+    pub fn slots_per_extent(&self) -> u32 {
+        self.slots_per_extent
+    }
+
+    /// Bytes in one slot.
+    pub fn slot_size(&self) -> u32 {
+        self.slot_size
+    }
+
+    /// Take one extent, or `None` when the cache space is exhausted.
+    pub fn allocate(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    /// Return an extent to the free list.
+    pub fn free(&mut self, extent: u32) {
+        debug_assert!(extent < self.num_extents);
+        debug_assert!(!self.free.contains(&extent), "double free of extent {extent}");
+        self.free.push(extent);
+    }
+
+    /// Global slot number of `slot_in_extent` within `extent`.
+    pub fn global_slot(&self, extent: u32, slot_in_extent: u32) -> u32 {
+        debug_assert!(slot_in_extent < self.slots_per_extent);
+        extent * self.slots_per_extent + slot_in_extent
+    }
+
+    /// Extent that owns a global slot.
+    pub fn extent_of_slot(&self, global_slot: u32) -> u32 {
+        global_slot / self.slots_per_extent
+    }
+
+    /// Byte offset of a global slot in the cache space.
+    pub fn slot_offset(&self, global_slot: u32) -> u64 {
+        global_slot as u64 * self.slot_size as u64
+    }
+}
+
+/// Per-SSTable cache residency: the extents it owns and the write cursor.
+#[derive(Debug, Default)]
+pub struct FileExtents {
+    /// Extents owned, in allocation order; blocks fill them sequentially.
+    pub extents: Vec<u32>,
+    /// Next free slot index within the last extent.
+    pub cursor: u32,
+}
+
+impl FileExtents {
+    /// Allocate the next slot for this file, grabbing a new extent from
+    /// `alloc` when the current one is full. Returns the global slot.
+    pub fn next_slot(&mut self, alloc: &mut ExtentAllocator) -> Option<u32> {
+        if self.extents.is_empty() || self.cursor == alloc.slots_per_extent() {
+            let extent = alloc.allocate()?;
+            self.extents.push(extent);
+            self.cursor = 0;
+        }
+        let extent = *self.extents.last().expect("just ensured");
+        let slot = alloc.global_slot(extent, self.cursor);
+        self.cursor += 1;
+        Some(slot)
+    }
+
+    /// Drop the file's oldest extent (its coldest blocks), returning it to
+    /// the allocator. Returns the freed extent.
+    pub fn evict_oldest_extent(&mut self, alloc: &mut ExtentAllocator) -> Option<u32> {
+        if self.extents.is_empty() {
+            return None;
+        }
+        let extent = self.extents.remove(0);
+        if self.extents.is_empty() {
+            self.cursor = 0;
+        }
+        alloc.free(extent);
+        Some(extent)
+    }
+
+    /// Release every extent (compaction invalidated the file).
+    pub fn release_all(&mut self, alloc: &mut ExtentAllocator) -> usize {
+        let n = self.extents.len();
+        for extent in self.extents.drain(..) {
+            alloc.free(extent);
+        }
+        self.cursor = 0;
+        n
+    }
+
+    /// Number of slots this file currently occupies.
+    pub fn used_slots(&self, alloc: &ExtentAllocator) -> u32 {
+        match self.extents.len() {
+            0 => 0,
+            n => (n as u32 - 1) * alloc.slots_per_extent() + self.cursor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_capacity_into_extents() {
+        let a = ExtentAllocator::new(1 << 20, 4096, 16);
+        assert_eq!(a.num_extents(), 16); // 1 MiB / 64 KiB
+        assert_eq!(a.free_extents(), 16);
+    }
+
+    #[test]
+    fn allocate_until_exhaustion() {
+        let mut a = ExtentAllocator::new(64 * 1024, 4096, 4);
+        let mut got = Vec::new();
+        while let Some(e) = a.allocate() {
+            got.push(e);
+        }
+        assert_eq!(got.len(), 4);
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        a.free(2);
+        assert_eq!(a.allocate(), Some(2));
+    }
+
+    #[test]
+    fn slot_arithmetic_roundtrips() {
+        let a = ExtentAllocator::new(1 << 20, 1024, 8);
+        let slot = a.global_slot(5, 3);
+        assert_eq!(slot, 43);
+        assert_eq!(a.extent_of_slot(slot), 5);
+        assert_eq!(a.slot_offset(slot), 43 * 1024);
+    }
+
+    #[test]
+    fn file_extents_fill_sequentially() {
+        let mut a = ExtentAllocator::new(1 << 20, 1024, 4);
+        let mut f = FileExtents::default();
+        let slots: Vec<u32> = (0..10).map(|_| f.next_slot(&mut a).unwrap()).collect();
+        // 10 slots over 3 extents (4+4+2).
+        assert_eq!(f.extents.len(), 3);
+        assert_eq!(f.used_slots(&a), 10);
+        // Slots within one extent are contiguous.
+        for w in slots.windows(2) {
+            let same_extent = a.extent_of_slot(w[0]) == a.extent_of_slot(w[1]);
+            if same_extent {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn release_all_returns_extents() {
+        let mut a = ExtentAllocator::new(64 * 1024, 4096, 4); // 4 extents
+        let mut f = FileExtents::default();
+        for _ in 0..12 {
+            f.next_slot(&mut a).unwrap();
+        }
+        assert_eq!(a.free_extents(), 1);
+        let released = f.release_all(&mut a);
+        assert_eq!(released, 3);
+        assert_eq!(a.free_extents(), 4);
+        assert_eq!(f.used_slots(&a), 0);
+    }
+
+    #[test]
+    fn evict_oldest_extent_frees_coldest_blocks() {
+        let mut a = ExtentAllocator::new(64 * 1024, 4096, 4);
+        let mut f = FileExtents::default();
+        for _ in 0..8 {
+            f.next_slot(&mut a).unwrap();
+        }
+        let first_extent = f.extents[0];
+        assert_eq!(f.evict_oldest_extent(&mut a), Some(first_extent));
+        assert_eq!(f.extents.len(), 1);
+        assert_eq!(a.free_extents(), 3);
+    }
+
+    #[test]
+    fn exhausted_allocator_returns_none() {
+        let mut a = ExtentAllocator::new(16 * 1024, 4096, 4); // exactly 1 extent
+        let mut f = FileExtents::default();
+        for _ in 0..4 {
+            assert!(f.next_slot(&mut a).is_some());
+        }
+        assert_eq!(f.next_slot(&mut a), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! The LSM-aware persistent cache from the RocksMash paper (pillar 2).
+//!
+//! Cloud-resident SSTables are slow to read: every block fetch is a billed,
+//! high-latency range GET. RocksMash therefore keeps popular data blocks in
+//! a persistent cache on local storage. Two properties distinguish it from
+//! a conventional persistent block cache:
+//!
+//! * **Compaction-aware layout** ([`layout`]): cache space is carved into
+//!   fixed-size *extents*, and every extent belongs to exactly one SSTable.
+//!   When compaction obsoletes an SSTable, the cache invalidates all of its
+//!   blocks by returning its extents to the free list — O(extents), not
+//!   O(blocks), and with no fragmentation. Blocks of one table are also
+//!   physically clustered, so re-reads have locality.
+//!
+//! * **Space-efficient metadata** ([`meta`]): each cached block costs one
+//!   packed 8-byte index entry (block offset + slot, open-addressed). The
+//!   conventional design ([`baseline`]) keys a hash map with full string
+//!   block keys and per-entry LRU nodes, costing an order of magnitude more
+//!   DRAM per cached block — the overhead the paper's metadata experiment
+//!   (E5) measures.
+//!
+//! Admission ([`admission`]) is frequency-based so one-touch scans do not
+//! wash the cache out.
+
+pub mod admission;
+pub mod baseline;
+pub mod cache;
+pub mod layout;
+pub mod meta;
+pub mod storage;
+
+pub use admission::FrequencySketch;
+pub use baseline::BaselineCache;
+pub use cache::{CacheConfig, CacheStats, MashCache};
+pub use storage::{CacheStorage, FileCacheStorage, MemCacheStorage};

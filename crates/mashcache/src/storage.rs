@@ -1,0 +1,148 @@
+//! Raw cache-space storage: a fixed-size area supporting random-access
+//! reads and writes at slot granularity.
+//!
+//! The persistent cache needs in-place overwrites, which the append-only
+//! `storage::Env` abstraction deliberately does not offer, so it gets its
+//! own minimal trait with a file-backed and an in-memory implementation.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+/// Fixed-size random-access byte array.
+pub trait CacheStorage: Send + Sync {
+    /// Write `data` at `offset`; the range must lie inside the capacity.
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Read `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Total capacity in bytes.
+    fn capacity(&self) -> u64;
+}
+
+/// Heap-backed cache space (tests, benchmarks).
+pub struct MemCacheStorage {
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemCacheStorage {
+    /// Allocate `capacity` zeroed bytes.
+    pub fn new(capacity: usize) -> Self {
+        MemCacheStorage { data: Mutex::new(vec![0u8; capacity]) }
+    }
+}
+
+impl CacheStorage for MemCacheStorage {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut store = self.data.lock();
+        let off = offset as usize;
+        if off + data.len() > store.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "write past capacity"));
+        }
+        store[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let store = self.data.lock();
+        let off = offset as usize;
+        if off + buf.len() > store.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "read past capacity"));
+        }
+        buf.copy_from_slice(&store[off..off + buf.len()]);
+        Ok(())
+    }
+
+    fn capacity(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+}
+
+/// File-backed cache space on the local tier.
+pub struct FileCacheStorage {
+    file: Mutex<File>,
+    capacity: u64,
+}
+
+impl FileCacheStorage {
+    /// Create (or reuse) a cache file of exactly `capacity` bytes.
+    pub fn create(path: &Path, capacity: u64) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Deliberately no truncate: recovery reuses existing cache space.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(capacity)?;
+        Ok(FileCacheStorage { file: Mutex::new(file), capacity })
+    }
+}
+
+impl CacheStorage for FileCacheStorage {
+    fn write_at(&self, offset: u64, data: &[u8]) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        if offset + data.len() as u64 > self.capacity {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "write past capacity"));
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        if offset + buf.len() as u64 > self.capacity {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "read past capacity"));
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(storage: &dyn CacheStorage) {
+        storage.write_at(100, b"hello world").unwrap();
+        let mut buf = [0u8; 11];
+        storage.read_at(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+        // Overwrite in place.
+        storage.write_at(100, b"HELLO").unwrap();
+        storage.read_at(100, &mut buf).unwrap();
+        assert_eq!(&buf, b"HELLO world");
+    }
+
+    #[test]
+    fn mem_roundtrip_and_bounds() {
+        let s = MemCacheStorage::new(1024);
+        roundtrip(&s);
+        assert_eq!(s.capacity(), 1024);
+        assert!(s.write_at(1020, b"12345").is_err());
+        let mut buf = [0u8; 8];
+        assert!(s.read_at(1020, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_bounds() {
+        let dir = std::env::temp_dir().join(format!("mashcache-st-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = FileCacheStorage::create(&dir.join("cache.dat"), 4096).unwrap();
+        roundtrip(&s);
+        assert_eq!(s.capacity(), 4096);
+        assert!(s.write_at(4090, b"12345678").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! `rocksmash` — command-line client for a RocksMash store.
+//!
+//! The store directory holds both tiers: `<dir>/local` is the local tier
+//! (WAL, metadata, hot tables, persistent cache file) and `<dir>/cloud`
+//! backs the simulated object store, so a database survives across CLI
+//! invocations exactly like a deployment would.
+//!
+//! ```text
+//! rocksmash <dir> put <key> <value>
+//! rocksmash <dir> get <key>
+//! rocksmash <dir> del <key>
+//! rocksmash <dir> scan <from> [limit]
+//! rocksmash <dir> fill <n> [value-size]
+//! rocksmash <dir> compact
+//! rocksmash <dir> stats
+//! rocksmash <dir> recovery
+//! rocksmash <dir> repair          # rebuild metadata from table files
+//! ```
+//!
+//! Flags (before the command): `--scheme <rocksmash|local-only|cloud-only|
+//! naive-hybrid>`, `--cloud-latency-us <n>`, `--sync`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::{CloudConfig, CloudStore, Env, LatencyModel, LocalEnv};
+
+struct Cli {
+    dir: PathBuf,
+    scheme: Scheme,
+    cloud_latency_us: u64,
+    sync: bool,
+    command: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rocksmash [--scheme S] [--cloud-latency-us N] [--sync] <dir> <command> [args]\n\
+         commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
+         \u{20}         fill <n> [value-size] | compact | stats | recovery | repair"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Cli, ExitCode> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scheme = Scheme::RocksMash;
+    let mut cloud_latency_us = 1500;
+    let mut sync = false;
+    let mut dir: Option<PathBuf> = None;
+    let mut command = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let v = args.next().ok_or_else(usage)?;
+                scheme = match v.as_str() {
+                    "rocksmash" => Scheme::RocksMash,
+                    "local-only" => Scheme::LocalOnly,
+                    "cloud-only" => Scheme::CloudOnly,
+                    "naive-hybrid" => Scheme::NaiveHybrid,
+                    other => {
+                        eprintln!("unknown scheme: {other}");
+                        return Err(usage());
+                    }
+                };
+            }
+            "--cloud-latency-us" => {
+                cloud_latency_us = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(usage)?;
+            }
+            "--sync" => sync = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if dir.is_none() => dir = Some(PathBuf::from(arg)),
+            _ => command.push(arg),
+        }
+    }
+    let dir = dir.ok_or_else(usage)?;
+    if command.is_empty() {
+        return Err(usage());
+    }
+    Ok(Cli { dir, scheme, cloud_latency_us, sync, command })
+}
+
+fn open(cli: &Cli) -> Result<TieredDb, Box<dyn std::error::Error>> {
+    let env: Arc<dyn Env> = Arc::new(LocalEnv::new(cli.dir.join("local"))?);
+    let mut config = cli.scheme.configure(TieredConfig {
+        cloud: CloudConfig {
+            latency: LatencyModel {
+                base_us: cli.cloud_latency_us,
+                bandwidth_mib_s: 200.0,
+                jitter_frac: 0.10,
+            },
+            backing_dir: Some(cli.dir.join("cloud")),
+            ..CloudConfig::default()
+        },
+        ..TieredConfig::rocksmash()
+    });
+    config.options.sync_writes = cli.sync;
+    config.cache_file = Some(cli.dir.join("local/cache.dat"));
+    // The cache file counts against the local tier footprint; keep the
+    // CLI default modest (tune per deployment).
+    config.cache_bytes = 8 << 20;
+    // Keep level sizes CLI-friendly so modest datasets still tier.
+    config.options.write_buffer_size = 1 << 20;
+    config.options.target_file_size = 1 << 20;
+    config.options.max_bytes_for_level_base = 4 << 20;
+    let cloud = CloudStore::new(config.cloud.clone());
+    Ok(TieredDb::open_with_cloud(env, cloud, config)?)
+}
+
+fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    if cli.command.first().map(|s| s.as_str()) == Some("repair") {
+        // Repair must run before (instead of) opening the database.
+        let env: Arc<dyn Env> = Arc::new(LocalEnv::new(cli.dir.join("local"))?);
+        let report = lsm::repair::repair(&env, &lsm::Options::default())?;
+        println!(
+            "repair: {} tables recovered, {} dropped, {} entries, max seq {}",
+            report.tables_recovered, report.tables_dropped, report.entries, report.max_sequence
+        );
+        return Ok(());
+    }
+    let db = open(cli)?;
+    let cmd: Vec<&str> = cli.command.iter().map(|s| s.as_str()).collect();
+    match cmd.as_slice() {
+        ["put", key, value] => {
+            db.put(key.as_bytes(), value.as_bytes())?;
+            db.flush()?; // CLI invocations are one-shot: make it durable
+            println!("OK");
+        }
+        ["get", key] => match db.get(key.as_bytes())? {
+            Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+            None => println!("(not found)"),
+        },
+        ["del", key] => {
+            db.delete(key.as_bytes())?;
+            db.flush()?;
+            println!("OK");
+        }
+        ["scan", from] => scan(&db, from, 25)?,
+        ["scan", from, limit] => scan(&db, from, limit.parse()?)?,
+        ["fill", n] => fill(&db, n.parse()?, 128)?,
+        ["fill", n, size] => fill(&db, n.parse()?, size.parse()?)?,
+        ["compact"] => {
+            db.engine().compact_range(None, None)?;
+            db.wait_for_compactions()?;
+            println!("compaction complete");
+            stats(&db)?;
+        }
+        ["stats"] => stats(&db)?,
+        ["recovery"] => match db.recovery_report() {
+            Some(r) => println!(
+                "recovered {} ops from {} partition files ({} KiB) in {:.1} ms \
+                 (rebuild {:.1} ms, ingest {:.1} ms)",
+                r.ops(),
+                r.files,
+                r.bytes / 1024,
+                r.total_time().as_secs_f64() * 1000.0,
+                r.decode_time.as_secs_f64() * 1000.0,
+                r.apply_time.as_secs_f64() * 1000.0,
+            ),
+            None => println!("engine WAL mode: recovery handled inside lsm::Db"),
+        },
+        _ => {
+            drop(db);
+            usage();
+            std::process::exit(2);
+        }
+    }
+    db.close()?;
+    Ok(())
+}
+
+fn scan(db: &TieredDb, from: &str, limit: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let rows = db.scan(from.as_bytes(), limit)?;
+    for (k, v) in &rows {
+        println!("{} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
+    }
+    println!("({} rows)", rows.len());
+    Ok(())
+}
+
+fn fill(db: &TieredDb, n: u64, value_size: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let started = std::time::Instant::now();
+    for i in 0..n {
+        let value: Vec<u8> = (0..value_size).map(|j| b'a' + ((i as usize + j) % 26) as u8).collect();
+        db.put(format!("key{i:012}").as_bytes(), &value)?;
+    }
+    db.flush()?;
+    db.wait_for_compactions()?;
+    let secs = started.elapsed().as_secs_f64();
+    println!("loaded {n} records ({value_size} B values) in {secs:.2}s ({:.1} kops/s)", n as f64 / secs / 1000.0);
+    stats(db)?;
+    Ok(())
+}
+
+fn stats(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
+    let report = db.report()?;
+    print!("{}", db.engine().debug_string());
+    println!("tiers:    {:.2} MiB local ({:.1}%) / {:.2} MiB cloud",
+        report.local_bytes as f64 / (1 << 20) as f64,
+        report.local_fraction() * 100.0,
+        report.cloud_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "engine:   {} writes, {} gets, {} flushes, {} compactions",
+        report.engine_writes, report.engine_gets, report.engine_flushes, report.engine_compactions
+    );
+    println!(
+        "cloud:    {} GETs, {} PUTs, {:.2} MiB egress, {} uploads",
+        report.cloud.reads,
+        report.cloud.writes,
+        report.cost.egress_bytes as f64 / (1 << 20) as f64,
+        report.uploads
+    );
+    println!(
+        "cost:     ${:.6}/month capacity, ${:.6} requests+egress this session",
+        report.cost.cloud_capacity_cost + report.cost.local_capacity_cost,
+        report.cost.request_cost + report.cost.egress_cost
+    );
+    if let Some(cache) = report.cache {
+        println!(
+            "cache:    {:.1}% hit ratio ({} hits / {} misses), {} KiB metadata, {} invalidations",
+            cache.hit_ratio() * 100.0,
+            cache.hits,
+            cache.misses,
+            report.cache_metadata_bytes / 1024,
+            cache.invalidations
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(code) => return code,
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

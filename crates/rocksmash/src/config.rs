@@ -1,0 +1,111 @@
+//! Configuration for a tiered store instance.
+
+use lsm::Options;
+use storage::{CloudConfig, LatencyModel};
+
+use crate::placement::PlacementPolicy;
+
+/// Which persistent cache implementation fronts the cloud tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// No persistent cache: every cloud block read is a range GET.
+    None,
+    /// RocksMash's LSM-aware cache (compaction-aware layout, packed
+    /// metadata, frequency admission).
+    Mash,
+    /// Conventional block-LRU persistent cache with full metadata (the
+    /// RocksDB-Cloud-style comparator).
+    Baseline,
+}
+
+/// Everything needed to open a [`crate::TieredDb`].
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    /// Engine tuning (block size, buffers, compaction triggers...).
+    pub options: Options,
+    /// Level→tier mapping.
+    pub placement: PlacementPolicy,
+    /// Persistent cache implementation.
+    pub cache: CacheKind,
+    /// Persistent cache capacity in bytes (0 disables regardless of kind).
+    pub cache_bytes: u64,
+    /// Back the Mash cache with this file and recover its contents across
+    /// restarts (None keeps cache space in memory, losing it on restart).
+    pub cache_file: Option<std::path::PathBuf>,
+    /// Slots per cache extent (invalidation granule of the Mash cache).
+    pub cache_slots_per_extent: u32,
+    /// Frequency-based admission in the Mash cache.
+    pub cache_admission: bool,
+    /// Use the extended WAL (partitioned, parallel recovery) instead of the
+    /// engine's single-stream WAL.
+    pub ewal: bool,
+    /// Number of eWAL partitions (ignored unless `ewal`).
+    pub ewal_partitions: usize,
+    /// Replay eWAL partitions in parallel on open.
+    pub parallel_recovery: bool,
+    /// Simulated cloud behaviour (latency, pricing, failures).
+    pub cloud: CloudConfig,
+    /// Optional latency model charged on local reads/writes.
+    pub local_latency: Option<LatencyModel>,
+}
+
+impl TieredConfig {
+    /// The full RocksMash configuration.
+    pub fn rocksmash() -> Self {
+        TieredConfig {
+            options: Options::default(),
+            placement: PlacementPolicy::rocksmash_default(),
+            cache: CacheKind::Mash,
+            cache_bytes: 64 << 20,
+            cache_file: None,
+            cache_slots_per_extent: 64,
+            cache_admission: true,
+            ewal: true,
+            ewal_partitions: 4,
+            parallel_recovery: true,
+            cloud: CloudConfig::default(),
+            local_latency: None,
+        }
+    }
+
+    /// Small-scale variant for tests: tiny buffers, instant cloud.
+    pub fn small_for_tests() -> Self {
+        TieredConfig {
+            options: Options::small_for_tests(),
+            cache_bytes: 4 << 20,
+            cloud: CloudConfig::instant(),
+            ..Self::rocksmash()
+        }
+    }
+
+    /// Derived engine options honoring the eWAL decision: with the eWAL on,
+    /// the engine WAL is disabled and flushes are driven by the tiered
+    /// layer.
+    pub(crate) fn engine_options(&self) -> Options {
+        let mut options = self.options.clone();
+        if self.ewal {
+            options.wal_enabled = false;
+        }
+        options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rocksmash_preset_is_coherent() {
+        let c = TieredConfig::rocksmash();
+        assert_eq!(c.cache, CacheKind::Mash);
+        assert!(c.ewal);
+        assert!(c.placement.uses_cloud());
+        assert!(!c.engine_options().wal_enabled);
+    }
+
+    #[test]
+    fn engine_wal_enabled_without_ewal() {
+        let c = TieredConfig { ewal: false, ..TieredConfig::rocksmash() };
+        assert!(c.engine_options().wal_enabled);
+    }
+}

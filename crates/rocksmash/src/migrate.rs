@@ -1,0 +1,239 @@
+//! Live tier migration: re-place existing table files when the placement
+//! policy changes.
+//!
+//! The abstract names *data reorganization* as one of the challenges of
+//! integrating local with cloud storage. RocksMash's steady-state answer
+//! is that compaction re-places data continuously — but when an operator
+//! changes the split level (say, to shrink the local footprint), the
+//! already-existing files must move. [`migrate_placement`] walks the live
+//! version and moves every file whose tier disagrees with the new policy:
+//!
+//! * **local → cloud**: upload, then delete the local copy. New opens see
+//!   the cloud object; already-open handles keep their file descriptor.
+//! * **cloud → local**: download and install the local copy, which takes
+//!   priority on every future open. The cloud object is left in place as
+//!   a harmless duplicate — in-flight readers may still be issuing range
+//!   GETs against it — and is garbage-collected on the next database open
+//!   (a local copy is authoritative).
+//!
+//! Files that disappear mid-migration (compaction rewrote them) are
+//! skipped: the new policy already governed their rewrite.
+
+use lsm::version::sst_name;
+use lsm::Result;
+use storage::{ObjectStore, StorageError};
+
+use crate::placement::{PlacementPolicy, Tier};
+use crate::router::cloud_sst_key;
+use crate::tiered::TieredDb;
+
+/// Outcome of a placement migration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Files uploaded to the cloud tier.
+    pub uploaded: usize,
+    /// Files downloaded to the local tier.
+    pub downloaded: usize,
+    /// Files already on their desired tier.
+    pub already_placed: usize,
+    /// Files that vanished mid-migration (rewritten by compaction).
+    pub skipped: usize,
+    /// Total bytes moved between tiers.
+    pub bytes_moved: u64,
+}
+
+/// Switch `db` to `new_placement` and move existing files accordingly.
+/// Future flushes/compactions follow the new policy immediately; this
+/// call additionally reorganizes everything already on disk.
+pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Result<MigrationReport> {
+    db.router().set_placement(new_placement);
+    let env = db.local_env();
+    let cloud = db.cloud();
+    let version = db.engine().current_version();
+    let mut report = MigrationReport::default();
+
+    for (level, files) in version.levels.iter().enumerate() {
+        for meta in files {
+            let name = sst_name(meta.number);
+            let key = cloud_sst_key(meta.number);
+            let desired = new_placement.tier_for_level(level);
+            let local = env.exists(&name)?;
+            match (desired, local) {
+                (Tier::Local, true) | (Tier::Cloud, false) => report.already_placed += 1,
+                (Tier::Cloud, false) if false => unreachable!(),
+                (Tier::Cloud, true) => {
+                    // Upload, then drop the local copy.
+                    let data = env.read_all(&name)?;
+                    storage::failure::with_retries(5, || cloud.put(&key, &data))?;
+                    env.delete(&name)?;
+                    report.uploaded += 1;
+                    report.bytes_moved += data.len() as u64;
+                }
+                (Tier::Local, false) => {
+                    // Download and install; keep the cloud object for any
+                    // in-flight readers (GC'd on next open).
+                    match cloud.get(&key) {
+                        Ok(data) => {
+                            env.write_all(&name, &data)?;
+                            report.downloaded += 1;
+                            report.bytes_moved += data.len() as u64;
+                        }
+                        Err(StorageError::NotFound(_)) => report.skipped += 1,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TieredConfig;
+    use crate::Scheme;
+    use lsm::Options;
+    use std::sync::Arc;
+    use storage::{Env, MemEnv};
+
+    fn tiny() -> TieredConfig {
+        TieredConfig {
+            options: Options {
+                write_buffer_size: 16 << 10,
+                target_file_size: 16 << 10,
+                max_bytes_for_level_base: 32 << 10,
+                l0_compaction_trigger: 2,
+                ..Options::small_for_tests()
+            },
+            cache_admission: false,
+            ..TieredConfig::small_for_tests()
+        }
+    }
+
+    fn key(i: usize) -> Vec<u8> {
+        format!("mig{i:05}").into_bytes()
+    }
+
+    fn fill(db: &TieredDb) {
+        for i in 0..1000usize {
+            db.put(&key(i), format!("v{i}-{}", "m".repeat(64)).as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+    }
+
+    #[test]
+    fn migrate_everything_to_local() {
+        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        fill(&db);
+        assert!(db.cloud_bytes().unwrap() > 0, "precondition: some files on cloud");
+        let report = migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
+        assert!(report.downloaded > 0, "{report:?}");
+        // Every live file now has a local copy.
+        let version = db.engine().current_version();
+        for files in &version.levels {
+            for meta in files {
+                assert!(
+                    db.local_env().exists(&sst_name(meta.number)).unwrap(),
+                    "file {} not local after migration",
+                    meta.number
+                );
+            }
+        }
+        // Data fully readable.
+        for i in (0..1000).step_by(37) {
+            assert!(db.get(&key(i)).unwrap().is_some(), "key {i}");
+        }
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn migrate_everything_to_cloud() {
+        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        fill(&db);
+        let report = migrate_placement(&db, PlacementPolicy::all_cloud()).unwrap();
+        assert!(report.uploaded > 0, "{report:?}");
+        // No live table remains local.
+        let version = db.engine().current_version();
+        for files in &version.levels {
+            for meta in files {
+                assert!(
+                    !db.local_env().exists(&sst_name(meta.number)).unwrap(),
+                    "file {} still local",
+                    meta.number
+                );
+            }
+        }
+        for i in (0..1000).step_by(41) {
+            assert!(db.get(&key(i)).unwrap().is_some(), "key {i}");
+        }
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn future_writes_follow_the_new_policy() {
+        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        fill(&db);
+        migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
+        let cloud_puts_before = db.cloud().cost_tracker().puts();
+        for i in 1000..2000usize {
+            db.put(&key(i), format!("v{i}-{}", "m".repeat(64)).as_bytes()).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        assert_eq!(
+            db.cloud().cost_tracker().puts(),
+            cloud_puts_before,
+            "all-local policy must stop cloud uploads"
+        );
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn migration_is_idempotent() {
+        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        fill(&db);
+        migrate_placement(&db, PlacementPolicy::all_cloud()).unwrap();
+        let second = migrate_placement(&db, PlacementPolicy::all_cloud()).unwrap();
+        assert_eq!(second.uploaded, 0);
+        assert_eq!(second.downloaded, 0);
+        assert!(second.already_placed > 0);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn stale_cloud_duplicates_are_swept_on_reopen() {
+        let env = Arc::new(MemEnv::new());
+        let cloud = storage::CloudStore::instant();
+        {
+            let db = TieredDb::open_with_cloud(
+                env.clone() as Arc<dyn Env>,
+                cloud.clone(),
+                tiny(),
+            )
+            .unwrap();
+            fill(&db);
+            migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
+            // Duplicates: files live locally AND as cloud objects.
+            assert!(!cloud.list("sst/").unwrap().is_empty());
+            db.close().unwrap();
+        }
+        let db =
+            TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud.clone(), tiny()).unwrap();
+        // Reopen sweeps cloud objects shadowed by local copies.
+        for key in cloud.list("sst/").unwrap() {
+            let number: u64 = key
+                .strip_prefix("sst/")
+                .and_then(|s| s.strip_suffix(".sst"))
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(
+                !db.local_env().exists(&sst_name(number)).unwrap(),
+                "cloud duplicate of local file {number} survived reopen"
+            );
+        }
+        db.close().unwrap();
+    }
+}

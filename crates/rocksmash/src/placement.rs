@@ -1,0 +1,88 @@
+//! Tier placement policy: which LSM levels live on which storage tier.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage tier for a table file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Fast, expensive, small: local NVMe.
+    Local,
+    /// Slow, cheap, elastic: cloud object storage.
+    Cloud,
+}
+
+/// Level-based placement: levels `0..cloud_from_level` (plus the WAL and
+/// all metadata) stay local; deeper levels go to the cloud.
+///
+/// Because leveled compaction pushes data down as it ages and the upper
+/// levels are a geometrically small fraction of the total, this keeps the
+/// frequently accessed data local — the paper's pillar 1 — while the bulk
+/// of capacity rides the cheap tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPolicy {
+    /// First level that is stored on the cloud tier.
+    pub cloud_from_level: usize,
+}
+
+impl PlacementPolicy {
+    /// Everything local (the local-only baseline).
+    pub fn all_local() -> Self {
+        PlacementPolicy { cloud_from_level: usize::MAX }
+    }
+
+    /// Everything on the cloud (the cloud-only / RocksDB-Cloud-style
+    /// baselines).
+    pub fn all_cloud() -> Self {
+        PlacementPolicy { cloud_from_level: 0 }
+    }
+
+    /// The RocksMash default: L0 and L1 local, L2+ on the cloud.
+    pub fn rocksmash_default() -> Self {
+        PlacementPolicy { cloud_from_level: 2 }
+    }
+
+    /// Tier for a file created at `level`.
+    pub fn tier_for_level(&self, level: usize) -> Tier {
+        if level >= self.cloud_from_level {
+            Tier::Cloud
+        } else {
+            Tier::Local
+        }
+    }
+
+    /// Whether any level at all is cloud-resident.
+    pub fn uses_cloud(&self) -> bool {
+        self.cloud_from_level != usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_splits_at_l2() {
+        let p = PlacementPolicy::rocksmash_default();
+        assert_eq!(p.tier_for_level(0), Tier::Local);
+        assert_eq!(p.tier_for_level(1), Tier::Local);
+        assert_eq!(p.tier_for_level(2), Tier::Cloud);
+        assert_eq!(p.tier_for_level(6), Tier::Cloud);
+        assert!(p.uses_cloud());
+    }
+
+    #[test]
+    fn all_local_never_clouds() {
+        let p = PlacementPolicy::all_local();
+        for level in 0..64 {
+            assert_eq!(p.tier_for_level(level), Tier::Local);
+        }
+        assert!(!p.uses_cloud());
+    }
+
+    #[test]
+    fn all_cloud_always_clouds() {
+        let p = PlacementPolicy::all_cloud();
+        assert_eq!(p.tier_for_level(0), Tier::Cloud);
+        assert!(p.uses_cloud());
+    }
+}

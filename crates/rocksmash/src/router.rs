@@ -1,0 +1,313 @@
+//! The tiered [`FileRouter`]: places finished SSTables on their tier and
+//! serves reads back through the persistent cache.
+//!
+//! This is the integration point that corresponds to the paper's changes
+//! inside RocksDB: the engine builds every table locally; `publish_table`
+//! uploads cold-level tables to the object store and drops the local copy;
+//! `open_table` returns either the local file or a cache-fronted view of
+//! the cloud object; `delete_table` removes the file from its tier and
+//! invalidates its cache extents in O(extents).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lsm::db::FileRouter;
+use lsm::version::sst_name;
+use mashcache::cache::PersistentBlockCache;
+use parking_lot::Mutex;
+use storage::{CloudStore, Env, ObjectStore, RandomAccessFile, Result, StorageError};
+
+use crate::placement::{PlacementPolicy, Tier};
+
+/// Object-store key for a table file.
+pub fn cloud_sst_key(number: u64) -> String {
+    format!("sst/{number:06}.sst")
+}
+
+/// Counters for tier traffic.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Tables uploaded to the cloud tier.
+    pub uploads: AtomicU64,
+    /// Bytes uploaded.
+    pub upload_bytes: AtomicU64,
+    /// Block reads served from the persistent cache.
+    pub cache_hits: AtomicU64,
+    /// Block reads that had to touch the cloud.
+    pub cloud_reads: AtomicU64,
+}
+
+/// Router implementing level-based tier placement with a persistent cache
+/// in front of the cloud tier.
+pub struct TieredRouter {
+    cloud: CloudStore,
+    placement: parking_lot::RwLock<PlacementPolicy>,
+    cache: Option<Arc<dyn PersistentBlockCache>>,
+    /// Level each file was placed at (for cache eviction priority).
+    levels: Mutex<HashMap<u64, usize>>,
+    stats: Arc<RouterStats>,
+}
+
+impl TieredRouter {
+    /// Build a router over the given cloud store and policy.
+    pub fn new(
+        cloud: CloudStore,
+        placement: PlacementPolicy,
+        cache: Option<Arc<dyn PersistentBlockCache>>,
+    ) -> Self {
+        TieredRouter {
+            cloud,
+            placement: parking_lot::RwLock::new(placement),
+            cache,
+            levels: Mutex::new(HashMap::new()),
+            stats: Arc::new(RouterStats::default()),
+        }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &Arc<RouterStats> {
+        &self.stats
+    }
+
+    /// The persistent cache, if one is configured.
+    pub fn cache(&self) -> Option<&Arc<dyn PersistentBlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The cloud store this router uploads to.
+    pub fn cloud(&self) -> &CloudStore {
+        &self.cloud
+    }
+
+    /// The placement policy currently in force.
+    pub fn placement(&self) -> PlacementPolicy {
+        *self.placement.read()
+    }
+
+    /// Swap the placement policy; governs every future publish/open.
+    pub fn set_placement(&self, placement: PlacementPolicy) {
+        *self.placement.write() = placement;
+    }
+
+    /// Delete cloud objects left behind by a previous incarnation: objects
+    /// numbered below `floor` (i.e. created before this recovery) that the
+    /// recovered MANIFEST does not reference. Objects at or above `floor`
+    /// belong to the current incarnation and are governed by the engine's
+    /// deferred-deletion machinery, so a concurrently running compaction
+    /// can never lose a freshly uploaded table to this sweep. Returns the
+    /// number of objects removed.
+    pub fn gc_cloud(&self, live: &std::collections::BTreeSet<u64>, floor: u64) -> Result<usize> {
+        let mut removed = 0;
+        for key in self.cloud.list("sst/")? {
+            let number: Option<u64> = key
+                .strip_prefix("sst/")
+                .and_then(|s| s.strip_suffix(".sst"))
+                .and_then(|s| s.parse().ok());
+            if let Some(number) = number {
+                if number < floor && !live.contains(&number) {
+                    let _ = self.cloud.delete(&key);
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+impl FileRouter for TieredRouter {
+    fn publish_table(&self, env: &dyn Env, number: u64, level: usize) -> Result<()> {
+        self.levels.lock().insert(number, level);
+        match self.placement.read().tier_for_level(level) {
+            Tier::Local => Ok(()),
+            Tier::Cloud => {
+                let name = sst_name(number);
+                let data = env.read_all(&name)?;
+                storage::failure::with_retries(5, || self.cloud.put(&cloud_sst_key(number), &data))?;
+                env.delete(&name)?;
+                self.stats.uploads.fetch_add(1, Ordering::Relaxed);
+                self.stats.upload_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    fn open_table(&self, env: &dyn Env, number: u64) -> Result<Arc<dyn RandomAccessFile>> {
+        let name = sst_name(number);
+        if env.exists(&name)? {
+            return env.open_random(&name);
+        }
+        let object = storage::failure::with_retries(5, || {
+            self.cloud.open_object(&cloud_sst_key(number))
+        })?;
+        let level = self
+            .levels
+            .lock()
+            .get(&number)
+            .copied()
+            .unwrap_or(self.placement.read().cloud_from_level);
+        Ok(Arc::new(CachedCloudFile {
+            file: number,
+            level,
+            inner: object,
+            cache: self.cache.clone(),
+            stats: Arc::clone(&self.stats),
+        }))
+    }
+
+    fn delete_table(&self, env: &dyn Env, number: u64) -> Result<()> {
+        self.levels.lock().remove(&number);
+        if let Some(cache) = &self.cache {
+            cache.invalidate_file(number);
+        }
+        let name = sst_name(number);
+        if env.exists(&name)? {
+            env.delete(&name)
+        } else {
+            match self.cloud.delete(&cloud_sst_key(number)) {
+                Ok(()) | Err(StorageError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// Random-access view of a cloud object with the persistent cache in the
+/// read path. Each `read_at` is one block fetch: the table reader always
+/// requests whole blocks (contents + trailer), so the block's file offset
+/// is a stable cache key.
+struct CachedCloudFile {
+    file: u64,
+    level: usize,
+    inner: Arc<dyn RandomAccessFile>,
+    cache: Option<Arc<dyn PersistentBlockCache>>,
+    stats: Arc<RouterStats>,
+}
+
+impl RandomAccessFile for CachedCloudFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(self.file, offset) {
+                if data.len() >= buf.len() {
+                    buf.copy_from_slice(&data[..buf.len()]);
+                    self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(buf.len());
+                }
+                // Cached block shorter than the request (e.g. the caller
+                // asks past EOF): fall through to the authoritative copy.
+            }
+        }
+        let n = storage::failure::with_retries(5, || -> Result<usize> {
+            self.inner.read_at(offset, buf)
+        })?;
+        self.stats.cloud_reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.put(self.file, offset, &buf[..n], self.level);
+        }
+        Ok(n)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mashcache::{CacheConfig, MashCache, MemCacheStorage};
+    use storage::MemEnv;
+
+    fn setup(cache: bool) -> (MemEnv, CloudStore, TieredRouter) {
+        let env = MemEnv::new();
+        let cloud = CloudStore::instant();
+        let cache: Option<Arc<dyn PersistentBlockCache>> = if cache {
+            Some(Arc::new(MashCache::new(
+                Arc::new(MemCacheStorage::new(1 << 20)),
+                CacheConfig { admission: false, ..CacheConfig::default() },
+            )))
+        } else {
+            None
+        };
+        let router =
+            TieredRouter::new(cloud.clone(), PlacementPolicy::rocksmash_default(), cache);
+        (env, cloud, router)
+    }
+
+    #[test]
+    fn hot_level_tables_stay_local() {
+        let (env, cloud, router) = setup(false);
+        env.write_all(&sst_name(7), b"table-bytes").unwrap();
+        router.publish_table(&env, 7, 0).unwrap();
+        assert!(env.exists(&sst_name(7)).unwrap());
+        assert!(cloud.list("sst/").unwrap().is_empty());
+        let f = router.open_table(&env, 7).unwrap();
+        assert_eq!(f.read_exact_at(0, 11).unwrap(), b"table-bytes");
+    }
+
+    #[test]
+    fn cold_level_tables_move_to_cloud() {
+        let (env, cloud, router) = setup(false);
+        env.write_all(&sst_name(9), b"cold-table").unwrap();
+        router.publish_table(&env, 9, 3).unwrap();
+        assert!(!env.exists(&sst_name(9)).unwrap(), "local copy must be dropped");
+        assert_eq!(cloud.get(&cloud_sst_key(9)).unwrap(), b"cold-table");
+        let f = router.open_table(&env, 9).unwrap();
+        assert_eq!(f.read_exact_at(5, 5).unwrap(), b"table");
+        assert_eq!(router.stats().uploads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cloud_reads_fill_and_hit_the_cache() {
+        let (env, cloud, router) = setup(true);
+        env.write_all(&sst_name(5), &vec![7u8; 4096]).unwrap();
+        router.publish_table(&env, 5, 4).unwrap();
+        let f = router.open_table(&env, 5).unwrap();
+        let before = cloud.stats().snapshot().reads;
+        let _ = f.read_exact_at(0, 1024).unwrap();
+        assert_eq!(cloud.stats().snapshot().reads, before + 1);
+        // Second read of the same block: served by the cache.
+        let _ = f.read_exact_at(0, 1024).unwrap();
+        assert_eq!(cloud.stats().snapshot().reads, before + 1);
+        assert_eq!(router.stats().cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn delete_removes_from_the_right_tier_and_cache() {
+        let (env, cloud, router) = setup(true);
+        env.write_all(&sst_name(1), b"local").unwrap();
+        router.publish_table(&env, 1, 0).unwrap();
+        env.write_all(&sst_name(2), &vec![1u8; 2048]).unwrap();
+        router.publish_table(&env, 2, 5).unwrap();
+        // Warm the cache for file 2.
+        let f = router.open_table(&env, 2).unwrap();
+        let _ = f.read_exact_at(0, 512).unwrap();
+
+        router.delete_table(&env, 1).unwrap();
+        assert!(!env.exists(&sst_name(1)).unwrap());
+        router.delete_table(&env, 2).unwrap();
+        assert!(cloud.list("sst/").unwrap().is_empty());
+        let cache = router.cache().unwrap();
+        assert!(cache.get(2, 0).is_none(), "cache must be invalidated");
+        assert!(cache.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn gc_cloud_removes_orphans() {
+        let (env, cloud, router) = setup(false);
+        env.write_all(&sst_name(3), b"live").unwrap();
+        router.publish_table(&env, 3, 3).unwrap();
+        env.write_all(&sst_name(4), b"orphan").unwrap();
+        router.publish_table(&env, 4, 3).unwrap();
+        let live: std::collections::BTreeSet<u64> = [3u64].into_iter().collect();
+        let removed = router.gc_cloud(&live, 1000).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(cloud.list("sst/").unwrap(), vec![cloud_sst_key(3)]);
+    }
+
+    #[test]
+    fn open_missing_table_errors() {
+        let (env, _cloud, router) = setup(false);
+        assert!(router.open_table(&env, 404).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Aggregate reporting across the engine, tiers, cache, and cost model.
+
+use std::sync::atomic::Ordering;
+
+use lsm::Result;
+use mashcache::CacheStats;
+use storage::{CostReport, StatsSnapshot};
+
+use crate::tiered::TieredDb;
+
+/// One scheme's full measurement snapshot (a row in most experiment
+/// tables).
+#[derive(Debug, Clone)]
+pub struct SchemeReport {
+    /// Engine write batches applied.
+    pub engine_writes: u64,
+    /// Engine point lookups served.
+    pub engine_gets: u64,
+    /// Memtable flushes.
+    pub engine_flushes: u64,
+    /// Compactions run.
+    pub engine_compactions: u64,
+    /// Compaction bytes read.
+    pub compact_bytes_in: u64,
+    /// Compaction bytes written.
+    pub compact_bytes_out: u64,
+    /// Writer stall time, nanoseconds.
+    pub stall_ns: u64,
+    /// Cloud request statistics.
+    pub cloud: StatsSnapshot,
+    /// Billing summary.
+    pub cost: CostReport,
+    /// Bytes on the local tier.
+    pub local_bytes: u64,
+    /// Bytes on the cloud tier.
+    pub cloud_bytes: u64,
+    /// SSTables uploaded to the cloud.
+    pub uploads: u64,
+    /// Persistent cache counters, when a cache is configured.
+    pub cache: Option<CacheStats>,
+    /// Persistent cache metadata footprint in bytes.
+    pub cache_metadata_bytes: usize,
+}
+
+impl SchemeReport {
+    /// Gather a report from a live store.
+    pub fn collect(db: &TieredDb) -> Result<SchemeReport> {
+        let stats = db.engine().stats();
+        let router = db.router();
+        let local_bytes = db.local_bytes()?;
+        let cloud_bytes = db.cloud_bytes()?;
+        let cost = db.cloud().cost_tracker().report(
+            db.cloud().cost_model(),
+            cloud_bytes,
+            local_bytes,
+        );
+        let (cache, cache_metadata_bytes) = match router.cache() {
+            Some(cache) => (Some(cache.stats()), cache.metadata_bytes()),
+            None => (None, 0),
+        };
+        Ok(SchemeReport {
+            engine_writes: stats.writes.load(Ordering::Relaxed),
+            engine_gets: stats.gets.load(Ordering::Relaxed),
+            engine_flushes: stats.flushes.load(Ordering::Relaxed),
+            engine_compactions: stats.compactions.load(Ordering::Relaxed),
+            compact_bytes_in: stats.compact_bytes_in.load(Ordering::Relaxed),
+            compact_bytes_out: stats.compact_bytes_out.load(Ordering::Relaxed),
+            stall_ns: stats.stall_ns.load(Ordering::Relaxed),
+            cloud: db.cloud().stats().snapshot(),
+            cost,
+            local_bytes,
+            cloud_bytes,
+            uploads: router.stats().uploads.load(Ordering::Relaxed),
+            cache,
+            cache_metadata_bytes,
+        })
+    }
+
+    /// Fraction of capacity on the local tier.
+    pub fn local_fraction(&self) -> f64 {
+        let total = self.local_bytes + self.cloud_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_bytes as f64 / total as f64
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! [`TieredDb`]: the user-facing RocksMash store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lsm::db::DbIterator;
+use lsm::{Db, Result, Snapshot, WriteBatch};
+use mashcache::cache::PersistentBlockCache;
+use mashcache::{BaselineCache, CacheConfig, MashCache, MemCacheStorage};
+use parking_lot::Mutex;
+use storage::{CloudStore, Env, ObjectStore};
+
+use crate::config::{CacheKind, TieredConfig};
+use crate::ewal::{delete_generation, list_generations, EWalWriter};
+use crate::recovery::{recover_into, RecoveryReport};
+use crate::router::TieredRouter;
+use crate::stats::SchemeReport;
+
+struct EWalState {
+    writer: EWalWriter,
+    bytes_since_flush: u64,
+}
+
+/// An LSM store spanning local and cloud storage.
+///
+/// All metadata (MANIFEST, CURRENT), the write-ahead log, and the hot upper
+/// levels live on the local [`Env`]; deeper levels live on the
+/// [`CloudStore`], read through the configured persistent cache.
+pub struct TieredDb {
+    db: Db,
+    env: Arc<dyn Env>,
+    cloud: CloudStore,
+    router: Arc<TieredRouter>,
+    config: TieredConfig,
+    ewal: Option<Mutex<EWalState>>,
+    next_seq: AtomicU64,
+    /// Report of the eWAL recovery performed at open, if any.
+    recovery: Option<RecoveryReport>,
+}
+
+impl TieredDb {
+    /// Open a tiered store on `env` (local tier), creating it if absent.
+    pub fn open(env: Arc<dyn Env>, config: TieredConfig) -> Result<TieredDb> {
+        let cloud = CloudStore::new(config.cloud.clone());
+        Self::open_with_cloud(env, cloud, config)
+    }
+
+    /// Open against an existing cloud store (shared across restarts in
+    /// crash-recovery tests, or across schemes in cost experiments).
+    pub fn open_with_cloud(
+        env: Arc<dyn Env>,
+        cloud: CloudStore,
+        config: TieredConfig,
+    ) -> Result<TieredDb> {
+        let mut recovered_mash: Option<Arc<MashCache>> = None;
+        let cache: Option<Arc<dyn PersistentBlockCache>> = match (config.cache, config.cache_bytes)
+        {
+            (CacheKind::None, _) | (_, 0) => None,
+            (CacheKind::Mash, bytes) => {
+                // Blocks are cut at ~block_size plus prefix-compression
+                // slack and the 5-byte trailer; a quarter of headroom
+                // covers that without wasting half of every slot.
+                let slot_size = (config.options.block_size + config.options.block_size / 4 + 128)
+                    as u32;
+                // Cap extent size so the cache always has enough extents to
+                // spread over the working set of SSTables; a cache with a
+                // handful of huge extents thrashes on allocation.
+                let total_slots = (bytes / slot_size as u64).max(1) as u32;
+                let slots_per_extent =
+                    config.cache_slots_per_extent.clamp(2, (total_slots / 64).max(2));
+                let cache_config = CacheConfig {
+                    slot_size,
+                    slots_per_extent,
+                    admission: config.cache_admission,
+                    verify_read_checksums: false,
+                };
+                let mash = match &config.cache_file {
+                    // File-backed: the cache and its warmed working set
+                    // survive restarts; metadata is rebuilt from slot
+                    // headers (paper pillar 2's persistence).
+                    Some(path) => {
+                        let storage = Arc::new(
+                            mashcache::FileCacheStorage::create(path, bytes)
+                                .map_err(storage::StorageError::Io)?,
+                        );
+                        Arc::new(
+                            MashCache::recover(storage, cache_config)
+                                .map_err(storage::StorageError::Io)?,
+                        )
+                    }
+                    None => {
+                        let storage = Arc::new(MemCacheStorage::new(bytes as usize));
+                        Arc::new(MashCache::new(storage, cache_config))
+                    }
+                };
+                recovered_mash = Some(Arc::clone(&mash));
+                Some(mash as Arc<dyn PersistentBlockCache>)
+            }
+            (CacheKind::Baseline, bytes) => {
+                let storage = Arc::new(MemCacheStorage::new(bytes as usize));
+                let slot_size = (config.options.block_size + config.options.block_size / 4 + 128)
+                    as u32;
+                Some(Arc::new(BaselineCache::new(storage, slot_size)))
+            }
+        };
+        let router = Arc::new(TieredRouter::new(cloud.clone(), config.placement, cache));
+        let db = Db::open_with_router(
+            Arc::clone(&env),
+            config.engine_options(),
+            Arc::clone(&router) as Arc<dyn lsm::db::FileRouter>,
+        )?;
+
+        let (ewal, recovery) = if config.ewal {
+            // Rebuild whatever the previous incarnation left behind. The
+            // recovered memtables are ingested directly as L0 tables, so
+            // the data is table-durable and the logs can be dropped.
+            let report = recover_into(&env, &db, config.parallel_recovery)?;
+            for generation in list_generations(&env)? {
+                delete_generation(&env, generation)?;
+            }
+            let writer = EWalWriter::create(&env, 1, config.ewal_partitions.max(1))?;
+            (
+                Some(Mutex::new(EWalState { writer, bytes_since_flush: 0 })),
+                Some(report),
+            )
+        } else {
+            (None, None)
+        };
+
+        // Remove cloud objects orphaned by a crash between upload and
+        // manifest commit. Uses the recovery-time live set and file-number
+        // floor, never the current version — the engine's background
+        // compactions are already running and may be uploading new tables.
+        let live = db.recovered_live_files().clone();
+        router.gc_cloud(&live, db.recovered_next_file_number())?;
+        // Cloud objects shadowed by a local copy are stale duplicates left
+        // by a tier migration: the local file is authoritative and no
+        // reader exists yet, so they can be swept.
+        for cloud_key in cloud.list("sst/")? {
+            if let Some(number) = cloud_key
+                .strip_prefix("sst/")
+                .and_then(|k| k.strip_suffix(".sst"))
+                .and_then(|k| k.parse::<u64>().ok())
+            {
+                if env.exists(&lsm::version::sst_name(number))? {
+                    let _ = cloud.delete(&cloud_key);
+                }
+            }
+        }
+        // Cached blocks of tables that no longer exist are dead space.
+        // (Blocks of tables created after recovery cannot be in a cache
+        // that was recovered before them, so the recovery-time set is the
+        // right filter here too.)
+        if let Some(mash) = &recovered_mash {
+            mash.retain_files(&live);
+        }
+
+        let next_seq = AtomicU64::new(db.last_sequence() + 1);
+        Ok(TieredDb { db, env, cloud, router, config, ewal, next_seq, recovery })
+    }
+
+    /// The eWAL recovery report from this open, when the eWAL is enabled.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Insert or overwrite one key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(batch)
+    }
+
+    /// Delete one key.
+    pub fn delete(&self, key: &[u8]) -> Result<()> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(batch)
+    }
+
+    /// Apply a batch atomically; durability comes from the eWAL (RocksMash
+    /// mode) or the engine WAL (baseline modes).
+    pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        match &self.ewal {
+            Some(ewal) => {
+                let mut need_flush = false;
+                {
+                    // Hold the eWAL lock across the engine apply so the
+                    // sequence stamps in the log match the true apply
+                    // order — replay depends on it.
+                    let mut state = ewal.lock();
+                    let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
+                    batch.set_sequence(seq);
+                    state.writer.append(&batch)?;
+                    if self.config.options.sync_writes {
+                        state.writer.sync()?;
+                    }
+                    state.bytes_since_flush += batch.byte_size() as u64;
+                    self.db.write(batch)?;
+                    if state.bytes_since_flush >= self.config.options.write_buffer_size as u64 {
+                        need_flush = true;
+                    }
+                }
+                if need_flush {
+                    self.flush()?;
+                }
+                Ok(())
+            }
+            None => self.db.write(batch),
+        }
+    }
+
+    /// Read the newest visible value of `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.db.get(key)
+    }
+
+    /// Read `key` as of `snapshot`.
+    pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
+        self.db.get_at(key, snapshot)
+    }
+
+    /// Take a consistent snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        self.db.snapshot()
+    }
+
+    /// Iterator over the live keyspace.
+    pub fn iter(&self) -> Result<DbIterator> {
+        self.db.iter()
+    }
+
+    /// Scan up to `limit` pairs starting at `from`.
+    pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut it = self.db.iter()?;
+        it.seek(from)?;
+        it.collect_forward(limit)
+    }
+
+    /// Persist the memtable to tables; with the eWAL enabled this also
+    /// rotates and truncates the log generations.
+    pub fn flush(&self) -> Result<()> {
+        match &self.ewal {
+            Some(ewal) => {
+                let old_generation = {
+                    let mut state = ewal.lock();
+                    let old = state.writer.generation();
+                    let fresh = EWalWriter::create(
+                        &self.env,
+                        old + 1,
+                        self.config.ewal_partitions.max(1),
+                    )?;
+                    let retired = std::mem::replace(&mut state.writer, fresh);
+                    retired.finish()?;
+                    state.bytes_since_flush = 0;
+                    old
+                };
+                self.db.flush()?;
+                // Everything in generations ≤ old_generation is now table-
+                // durable.
+                for generation in list_generations(&self.env)? {
+                    if generation <= old_generation {
+                        delete_generation(&self.env, generation)?;
+                    }
+                }
+                Ok(())
+            }
+            None => self.db.flush(),
+        }
+    }
+
+    /// Block until background compactions drain.
+    pub fn wait_for_compactions(&self) -> Result<()> {
+        self.db.wait_for_compactions()
+    }
+
+    /// The underlying engine (benchmark/introspection use).
+    pub fn engine(&self) -> &Db {
+        &self.db
+    }
+
+    /// The simulated cloud store backing the cold tier.
+    pub fn cloud(&self) -> &CloudStore {
+        &self.cloud
+    }
+
+    /// The tier router (placement + cache wiring).
+    pub fn router(&self) -> &Arc<TieredRouter> {
+        &self.router
+    }
+
+    /// The local-tier environment this store lives on.
+    pub fn local_env(&self) -> &Arc<dyn Env> {
+        &self.env
+    }
+
+    /// The configuration this store was opened with.
+    pub fn config(&self) -> &TieredConfig {
+        &self.config
+    }
+
+    /// Bytes currently resident on the local tier (tables + logs +
+    /// metadata).
+    pub fn local_bytes(&self) -> Result<u64> {
+        Ok(self.env.total_bytes()?)
+    }
+
+    /// Bytes currently resident on the cloud tier.
+    pub fn cloud_bytes(&self) -> Result<u64> {
+        Ok(self.cloud.total_bytes()?)
+    }
+
+    /// Aggregate scheme report: engine, tiers, cache, cost.
+    pub fn report(&self) -> Result<SchemeReport> {
+        SchemeReport::collect(self)
+    }
+
+    /// Shut down background work and sync logs.
+    pub fn close(&self) -> Result<()> {
+        if let Some(ewal) = &self.ewal {
+            ewal.lock().writer.sync()?;
+        }
+        self.db.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm::Options;
+    use storage::MemEnv;
+
+    fn key(i: usize) -> Vec<u8> {
+        format!("key{i:06}").into_bytes()
+    }
+
+    fn tiny_config() -> TieredConfig {
+        TieredConfig {
+            options: Options {
+                write_buffer_size: 16 << 10,
+                target_file_size: 16 << 10,
+                max_bytes_for_level_base: 32 << 10,
+                l0_compaction_trigger: 2,
+                ..Options::small_for_tests()
+            },
+            cache_admission: false,
+            ..TieredConfig::small_for_tests()
+        }
+    }
+
+    fn fill(db: &TieredDb, n: usize, tag: &str) {
+        for i in 0..n {
+            db.put(&key(i), format!("value{i:06}-{tag}-{}", "x".repeat(64)).as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn basic_read_write_through_tiers() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env, tiny_config()).unwrap();
+        fill(&db, 1000, "a");
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        // Data should have reached the cloud tier.
+        assert!(db.cloud_bytes().unwrap() > 0, "cold levels must be cloud-resident");
+        for i in (0..1000).step_by(37) {
+            let got = db.get(&key(i)).unwrap().expect("present");
+            assert!(got.starts_with(format!("value{i:06}-a").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn scan_spans_both_tiers() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env, tiny_config()).unwrap();
+        fill(&db, 500, "s");
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        let rows = db.scan(&key(100), 50).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[0].0, key(100));
+        assert_eq!(rows[49].0, key(149));
+    }
+
+    #[test]
+    fn ewal_crash_recovery_restores_unflushed_writes() {
+        let env = Arc::new(MemEnv::new());
+        let cloud = CloudStore::instant();
+        {
+            let db = TieredDb::open_with_cloud(
+                env.clone() as Arc<dyn Env>,
+                cloud.clone(),
+                tiny_config(),
+            )
+            .unwrap();
+            fill(&db, 200, "pre");
+            db.flush().unwrap();
+            // These stay only in the eWAL + memtable.
+            for i in 200..260 {
+                db.put(&key(i), b"unflushed").unwrap();
+            }
+            // Simulate crash: drop without close/flush. MemEnv keeps the
+            // "disk" contents alive through the shared Arc.
+            db.engine().close().unwrap();
+        }
+        let db =
+            TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, tiny_config()).unwrap();
+        let report = db.recovery_report().expect("ewal recovery ran");
+        assert!(report.ops() >= 60, "unflushed tail must be replayed, got {}", report.ops());
+        for i in 200..260 {
+            assert_eq!(db.get(&key(i)).unwrap(), Some(b"unflushed".to_vec()), "key {i}");
+        }
+        for i in (0..200).step_by(17) {
+            assert!(db.get(&key(i)).unwrap().is_some(), "flushed key {i}");
+        }
+    }
+
+    #[test]
+    fn ewal_generations_are_truncated_on_flush() {
+        let env = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env.clone() as Arc<dyn Env>, tiny_config()).unwrap();
+        fill(&db, 100, "g");
+        db.flush().unwrap();
+        let gens = list_generations(&(env.clone() as Arc<dyn Env>)).unwrap();
+        // Only the fresh generation survives.
+        assert_eq!(gens.len(), 1);
+    }
+
+    #[test]
+    fn cache_absorbs_repeated_cloud_reads() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env, tiny_config()).unwrap();
+        fill(&db, 2000, "c");
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        // Read the same keys twice; second pass should mostly hit cache.
+        for i in (0..2000).step_by(10) {
+            let _ = db.get(&key(i)).unwrap();
+        }
+        let cloud_reads_warm = db.cloud().stats().snapshot().reads;
+        for i in (0..2000).step_by(10) {
+            let _ = db.get(&key(i)).unwrap();
+        }
+        let second_pass = db.cloud().stats().snapshot().reads - cloud_reads_warm;
+        assert!(
+            second_pass < cloud_reads_warm / 2,
+            "second pass cloud reads {second_pass} vs first {cloud_reads_warm}"
+        );
+    }
+
+    #[test]
+    fn report_collects_all_dimensions() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env, tiny_config()).unwrap();
+        fill(&db, 500, "r");
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        for i in (0..500).step_by(5) {
+            let _ = db.get(&key(i)).unwrap();
+        }
+        let report = db.report().unwrap();
+        assert!(report.engine_flushes >= 1);
+        assert!(report.local_bytes > 0);
+        assert!(report.cloud_bytes > 0);
+        assert!(report.cost.monthly_total() > 0.0);
+        let cache = report.cache.expect("mash cache present");
+        assert!(cache.hits + cache.misses > 0);
+    }
+
+    #[test]
+    fn file_backed_cache_survives_restart_warm() {
+        let tmp = std::env::temp_dir().join(format!(
+            "rocksmash-cachefile-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+        let cache_path = tmp.join("cache.dat");
+        let env = Arc::new(MemEnv::new());
+        let cloud = CloudStore::instant();
+        let config = TieredConfig { cache_file: Some(cache_path), ..tiny_config() };
+        {
+            let db = TieredDb::open_with_cloud(
+                env.clone() as Arc<dyn Env>,
+                cloud.clone(),
+                config.clone(),
+            )
+            .unwrap();
+            fill(&db, 1500, "w");
+            db.flush().unwrap();
+            db.wait_for_compactions().unwrap();
+            // Warm the cache.
+            for i in (0..1500).step_by(3) {
+                let _ = db.get(&key(i)).unwrap();
+            }
+            db.close().unwrap();
+        }
+        // Restart: the file-backed cache must come back warm, so reads
+        // need far fewer cloud requests than the cold warm-up did.
+        let db = TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, config).unwrap();
+        let cold_reads = db.cloud().stats().snapshot().reads;
+        for i in (0..1500).step_by(3) {
+            assert!(db.get(&key(i)).unwrap().is_some(), "key {i}");
+        }
+        let warm_pass_reads = db.cloud().stats().snapshot().reads - cold_reads;
+        let report = db.report().unwrap();
+        let cache = report.cache.expect("cache");
+        assert!(cache.hits > 0, "recovered cache must serve hits");
+        assert!(
+            warm_pass_reads < cache.hits,
+            "cloud reads ({warm_pass_reads}) should be fewer than cache hits ({})",
+            cache.hits
+        );
+        db.close().unwrap();
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn deletes_propagate_through_tiers() {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = TieredDb::open(env, tiny_config()).unwrap();
+        fill(&db, 300, "d");
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        for i in 0..300 {
+            db.delete(&key(i)).unwrap();
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        for i in (0..300).step_by(23) {
+            assert_eq!(db.get(&key(i)).unwrap(), None);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Backend abstractions: file-oriented [`Env`] for the local tier and
+//! object-oriented [`ObjectStore`] for the cloud tier.
+//!
+//! The LSM engine (crate `lsm`) is written entirely against [`Env`], exactly
+//! as RocksDB is written against its `Env`. RocksMash's tiering layer then
+//! moves finished SSTables between an `Env` (local) and an [`ObjectStore`]
+//! (cloud) and serves reads from either through [`RandomAccessFile`].
+
+use std::sync::Arc;
+
+use crate::error::Result;
+
+/// A file being written sequentially (WAL, MANIFEST, or an SSTable under
+/// construction). Mirrors RocksDB's `WritableFile`.
+pub trait WritableFile: Send {
+    /// Append `data` at the current end of the file.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+
+    /// Durably persist all appended data (fsync for filesystem backends).
+    fn sync(&mut self) -> Result<()>;
+
+    /// Flush, sync and close the file, returning its final length in bytes.
+    fn finish(&mut self) -> Result<u64>;
+
+    /// Bytes appended so far.
+    fn len(&self) -> u64;
+
+    /// True when nothing has been appended yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A finished immutable file readable at arbitrary offsets (SSTables).
+pub trait RandomAccessFile: Send + Sync {
+    /// Read up to `buf.len()` bytes starting at `offset`; returns the number
+    /// of bytes read (short only at end of file).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Total length of the file in bytes.
+    fn len(&self) -> u64;
+
+    /// True when the file holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read exactly `len` bytes at `offset` into a fresh buffer, failing on
+    /// a short read.
+    fn read_exact_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        let n = self.read_at(offset, &mut buf)?;
+        if n != len {
+            return Err(crate::StorageError::corruption(format!(
+                "short read: wanted {len} bytes at {offset}, got {n}"
+            )));
+        }
+        Ok(buf)
+    }
+}
+
+/// A file-system-like environment: the local storage tier.
+///
+/// Names are relative, `/`-separated paths; implementations create parent
+/// directories implicitly.
+pub trait Env: Send + Sync {
+    /// Create (truncate) a file for sequential writing.
+    fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>>;
+
+    /// Open an existing file for appending; creates it when absent.
+    fn open_appendable(&self, name: &str) -> Result<Box<dyn WritableFile>>;
+
+    /// Open an existing file for random-access reads.
+    fn open_random(&self, name: &str) -> Result<Arc<dyn RandomAccessFile>>;
+
+    /// Read the whole file into memory.
+    fn read_all(&self, name: &str) -> Result<Vec<u8>> {
+        let f = self.open_random(name)?;
+        f.read_exact_at(0, f.len() as usize)
+    }
+
+    /// Write an entire file atomically-enough for crash tests (write then
+    /// rename for filesystem backends).
+    fn write_all(&self, name: &str, data: &[u8]) -> Result<()>;
+
+    /// Delete a file. Deleting a missing file is an error.
+    fn delete(&self, name: &str) -> Result<()>;
+
+    /// Atomically rename a file, replacing any existing target.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Whether the file exists.
+    fn exists(&self, name: &str) -> Result<bool>;
+
+    /// Size of the file in bytes.
+    fn size(&self, name: &str) -> Result<u64>;
+
+    /// All file names (relative paths) that start with `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Total bytes currently stored under this environment.
+    fn total_bytes(&self) -> Result<u64> {
+        let mut sum = 0;
+        for name in self.list("")? {
+            sum += self.size(&name)?;
+        }
+        Ok(sum)
+    }
+}
+
+/// An object store: the cloud storage tier.
+///
+/// Objects are immutable blobs written in one shot (like S3 `PUT`) and read
+/// either fully or by byte range (like S3 range `GET`). There is no append.
+pub trait ObjectStore: Send + Sync {
+    /// Upload a complete object, replacing any existing object of that key.
+    fn put(&self, key: &str, data: &[u8]) -> Result<()>;
+
+    /// Download a complete object.
+    fn get(&self, key: &str) -> Result<Vec<u8>>;
+
+    /// Download `len` bytes of the object starting at `offset` (range GET).
+    fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Delete an object. Deleting a missing object is an error.
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Whether the object exists (HEAD request).
+    fn exists(&self, key: &str) -> Result<bool>;
+
+    /// Object size in bytes (HEAD request).
+    fn size(&self, key: &str) -> Result<u64>;
+
+    /// Keys with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Open an object as a random-access file. Every `read_at` call pays the
+    /// store's request latency, exactly like issuing range GETs.
+    fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>>;
+
+    /// Total bytes stored across all objects.
+    fn total_bytes(&self) -> Result<u64>;
+}

@@ -1,0 +1,465 @@
+//! Simulated cloud object store (the paper's S3/OSS substitute).
+//!
+//! Objects live in a sharded in-memory map; every request pays the
+//! configured [`LatencyModel`], is accounted by the [`CostTracker`], counted
+//! in [`StoreStats`], and may be failed by the [`FailurePolicy`]. The
+//! simulator therefore reproduces the three properties the paper's design
+//! exploits: high per-request latency, per-request billing, and transient
+//! unreliability — while staying deterministic and laptop-runnable.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::{ObjectStore, RandomAccessFile};
+use crate::cost::{CostModel, CostTracker};
+use crate::error::{Result, StorageError};
+use crate::failure::FailurePolicy;
+use crate::latency::LatencyModel;
+use crate::metrics::StoreStats;
+
+const SHARDS: usize = 16;
+
+/// Configuration for a [`CloudStore`].
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Latency charged per request.
+    pub latency: LatencyModel,
+    /// Unit prices used for cost reports.
+    pub cost: CostModel,
+    /// Probability of a transient failure per request (0 disables).
+    pub failure_prob: f64,
+    /// Seed for latency jitter and fault injection.
+    pub seed: u64,
+    /// Mirror every object to files under this directory and reload them
+    /// at construction, so the simulated cloud survives process restarts
+    /// (used by the CLI and long-lived deployments of the simulator).
+    pub backing_dir: Option<std::path::PathBuf>,
+    /// Throttle requests to this many per second (S3-style rate ceiling);
+    /// None disables throttling. Excess load turns into queueing delay.
+    pub max_requests_per_sec: Option<f64>,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            latency: LatencyModel::cloud_default(),
+            cost: CostModel::aws_like(),
+            failure_prob: 0.0,
+            seed: 0xc10d,
+            backing_dir: None,
+            max_requests_per_sec: None,
+        }
+    }
+}
+
+impl CloudConfig {
+    /// Zero-latency, zero-failure config for unit tests.
+    pub fn instant() -> Self {
+        CloudConfig {
+            latency: LatencyModel::zero(),
+            cost: CostModel::aws_like(),
+            failure_prob: 0.0,
+            seed: 1,
+            backing_dir: None,
+            max_requests_per_sec: None,
+        }
+    }
+}
+
+struct Shard {
+    objects: BTreeMap<String, Arc<Vec<u8>>>,
+}
+
+/// The simulated object store. Cheap to clone (`Arc` internals shared).
+#[derive(Clone)]
+pub struct CloudStore {
+    shards: Arc<[RwLock<Shard>; SHARDS]>,
+    latency: LatencyModel,
+    cost_model: CostModel,
+    cost: Arc<CostTracker>,
+    stats: Arc<StoreStats>,
+    failure: Arc<FailurePolicy>,
+    rng: Arc<Mutex<StdRng>>,
+    backing: Option<Arc<std::path::PathBuf>>,
+    limiter: Option<Arc<crate::limiter::RateLimiter>>,
+}
+
+impl CloudStore {
+    /// Build a store from `config`, reloading persisted objects when a
+    /// backing directory is configured.
+    pub fn new(config: CloudConfig) -> Self {
+        let shards: [RwLock<Shard>; SHARDS] =
+            std::array::from_fn(|_| RwLock::new(Shard { objects: BTreeMap::new() }));
+        let store = CloudStore {
+            shards: Arc::new(shards),
+            latency: config.latency,
+            cost_model: config.cost,
+            cost: Arc::new(CostTracker::new()),
+            stats: Arc::new(StoreStats::new()),
+            failure: Arc::new(FailurePolicy::with_probability(config.failure_prob, config.seed)),
+            rng: Arc::new(Mutex::new(StdRng::seed_from_u64(config.seed))),
+            backing: config.backing_dir.map(Arc::new),
+            limiter: config
+                .max_requests_per_sec
+                .map(|rate| Arc::new(crate::limiter::RateLimiter::new(rate, rate / 10.0))),
+        };
+        if let Some(dir) = store.backing.clone() {
+            let _ = std::fs::create_dir_all(&*dir);
+            store.reload_backing(&dir);
+        }
+        store
+    }
+
+    /// Load every object file under `dir` into the in-memory shards.
+    fn reload_backing(&self, dir: &std::path::Path) {
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&d) else { continue };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(data) = std::fs::read(&path) {
+                    let key = path
+                        .strip_prefix(dir)
+                        .expect("under backing dir")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    self.shard_for(&key)
+                        .write()
+                        .objects
+                        .insert(key, Arc::new(data));
+                }
+            }
+        }
+    }
+
+    fn backing_write(&self, key: &str, data: &[u8]) {
+        if let Some(dir) = &self.backing {
+            let path = dir.join(key);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let _ = std::fs::write(path, data);
+        }
+    }
+
+    fn backing_delete(&self, key: &str) {
+        if let Some(dir) = &self.backing {
+            let _ = std::fs::remove_file(dir.join(key));
+        }
+    }
+
+    /// Zero-latency store for tests.
+    pub fn instant() -> Self {
+        Self::new(CloudConfig::instant())
+    }
+
+    /// Cost accounting for this store.
+    pub fn cost_tracker(&self) -> &Arc<CostTracker> {
+        &self.cost
+    }
+
+    /// Unit prices this store was configured with.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Request statistics for this store.
+    pub fn stats(&self) -> &Arc<StoreStats> {
+        &self.stats
+    }
+
+    /// Fault-injection policy for this store.
+    pub fn failure_policy(&self) -> &Arc<FailurePolicy> {
+        &self.failure
+    }
+
+    fn shard_for(&self, key: &str) -> &RwLock<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn pay(&self, bytes: usize) {
+        if let Some(limiter) = &self.limiter {
+            limiter.acquire();
+        }
+        // Sample under the lock, sleep outside it: requests from different
+        // client threads must overlap their simulated service times, or the
+        // simulator would serialize the whole cloud behind one mutex.
+        let wait = {
+            let mut rng = self.rng.lock();
+            self.latency.sample(bytes, &mut *rng)
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        self.stats.record_wait(wait);
+    }
+
+    fn lookup(&self, key: &str) -> Result<Arc<Vec<u8>>> {
+        self.shard_for(key)
+            .read()
+            .objects
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+}
+
+impl ObjectStore for CloudStore {
+    fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.failure.check("put")?;
+        self.pay(data.len());
+        self.cost.record_put();
+        self.stats.record_write(data.len() as u64);
+        self.shard_for(key)
+            .write()
+            .objects
+            .insert(key.to_string(), Arc::new(data.to_vec()));
+        self.backing_write(key, data);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Vec<u8>> {
+        self.failure.check("get")?;
+        let obj = self.lookup(key)?;
+        self.pay(obj.len());
+        self.cost.record_get(obj.len() as u64);
+        self.stats.record_read(obj.len() as u64);
+        Ok(obj.as_ref().clone())
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        self.failure.check("get_range")?;
+        let obj = self.lookup(key)?;
+        let off = offset.min(obj.len() as u64) as usize;
+        let n = len.min(obj.len() - off);
+        self.pay(n);
+        self.cost.record_get(n as u64);
+        self.stats.record_read(n as u64);
+        Ok(obj[off..off + n].to_vec())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.failure.check("delete")?;
+        self.pay(0);
+        self.cost.record_put();
+        self.stats.record_delete();
+        self.shard_for(key)
+            .write()
+            .objects
+            .remove(key)
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+        self.backing_delete(key);
+        Ok(())
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.failure.check("head")?;
+        self.pay(0);
+        self.cost.record_get(0);
+        Ok(self.shard_for(key).read().objects.contains_key(key))
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.failure.check("head")?;
+        self.pay(0);
+        self.cost.record_get(0);
+        Ok(self.lookup(key)?.len() as u64)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.failure.check("list")?;
+        self.pay(0);
+        self.cost.record_get(0);
+        let mut out: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(
+                shard
+                    .read()
+                    .objects
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned(),
+            );
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        // HEAD-like validation; each subsequent read_at is a range GET.
+        let obj = self.lookup(key)?;
+        Ok(Arc::new(CloudObjectFile { store: self.clone(), key: key.to_string(), len: obj.len() as u64 }))
+    }
+
+    fn total_bytes(&self) -> Result<u64> {
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            sum += shard.read().objects.values().map(|v| v.len() as u64).sum::<u64>();
+        }
+        Ok(sum)
+    }
+}
+
+/// Random-access view over a cloud object; every `read_at` issues a billed,
+/// latency-charged range GET, which is what makes uncached cloud reads slow.
+struct CloudObjectFile {
+    store: CloudStore,
+    key: String,
+    len: u64,
+}
+
+impl RandomAccessFile for CloudObjectFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let data = self.store.get_range(&self.key, offset, buf.len())?;
+        buf[..data.len()].copy_from_slice(&data);
+        Ok(data.len())
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = CloudStore::instant();
+        s.put("a/b", b"payload").unwrap();
+        assert_eq!(s.get("a/b").unwrap(), b"payload");
+        assert_eq!(s.size("a/b").unwrap(), 7);
+        assert!(s.exists("a/b").unwrap());
+        assert!(!s.exists("a/c").unwrap());
+    }
+
+    #[test]
+    fn range_get_clamps_to_object() {
+        let s = CloudStore::instant();
+        s.put("k", b"0123456789").unwrap();
+        assert_eq!(s.get_range("k", 3, 4).unwrap(), b"3456");
+        assert_eq!(s.get_range("k", 8, 100).unwrap(), b"89");
+        assert_eq!(s.get_range("k", 100, 4).unwrap(), b"");
+    }
+
+    #[test]
+    fn delete_then_get_is_not_found() {
+        let s = CloudStore::instant();
+        s.put("k", b"x").unwrap();
+        s.delete("k").unwrap();
+        assert!(matches!(s.get("k"), Err(StorageError::NotFound(_))));
+        assert!(matches!(s.delete("k"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_is_sorted_across_shards() {
+        let s = CloudStore::instant();
+        for k in ["sst/9", "sst/1", "sst/5", "wal/2"] {
+            s.put(k, b"").unwrap();
+        }
+        assert_eq!(
+            s.list("sst/").unwrap(),
+            vec!["sst/1".to_string(), "sst/5".to_string(), "sst/9".to_string()]
+        );
+    }
+
+    #[test]
+    fn object_file_reads_like_range_gets() {
+        let s = CloudStore::instant();
+        s.put("obj", b"abcdefgh").unwrap();
+        let f = s.open_object("obj").unwrap();
+        assert_eq!(f.len(), 8);
+        assert_eq!(f.read_exact_at(2, 3).unwrap(), b"cde");
+        // Each read_at was billed as a GET.
+        assert!(s.cost_tracker().gets() >= 1);
+    }
+
+    #[test]
+    fn costs_and_stats_are_recorded() {
+        let s = CloudStore::instant();
+        s.put("k", &[0u8; 1000]).unwrap();
+        let _ = s.get("k").unwrap();
+        assert_eq!(s.cost_tracker().puts(), 1);
+        assert_eq!(s.cost_tracker().gets(), 1);
+        assert_eq!(s.cost_tracker().egress_bytes(), 1000);
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.bytes_written, 1000);
+        assert_eq!(snap.bytes_read, 1000);
+    }
+
+    #[test]
+    fn injected_failures_surface_as_transient_errors() {
+        let s = CloudStore::new(CloudConfig {
+            latency: LatencyModel::zero(),
+            failure_prob: 1.0,
+            ..CloudConfig::instant()
+        });
+        let err = s.put("k", b"x").unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CloudStore::instant();
+        let b = a.clone();
+        a.put("k", b"v").unwrap();
+        assert_eq!(b.get("k").unwrap(), b"v");
+        assert_eq!(a.total_bytes().unwrap(), 1);
+    }
+
+    #[test]
+    fn request_rate_ceiling_throttles() {
+        let s = CloudStore::new(CloudConfig {
+            max_requests_per_sec: Some(500.0),
+            ..CloudConfig::instant()
+        });
+        s.put("k", b"v").unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..100 {
+            let _ = s.get("k").unwrap();
+        }
+        // ~100 requests at 500/s with a 50-token burst ≈ ≥100 ms.
+        assert!(start.elapsed().as_millis() >= 80, "throttling had no effect");
+    }
+
+    #[test]
+    fn backing_dir_persists_objects_across_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "rocksmash-cloudback-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CloudConfig { backing_dir: Some(dir.clone()), ..CloudConfig::instant() };
+        {
+            let s = CloudStore::new(config.clone());
+            s.put("sst/000001.sst", b"persisted").unwrap();
+            s.put("sst/000002.sst", b"deleted").unwrap();
+            s.delete("sst/000002.sst").unwrap();
+        }
+        let s = CloudStore::new(config);
+        assert_eq!(s.get("sst/000001.sst").unwrap(), b"persisted");
+        assert!(matches!(s.get("sst/000002.sst"), Err(StorageError::NotFound(_))));
+        assert_eq!(s.list("sst/").unwrap(), vec!["sst/000001.sst".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_object() {
+        let s = CloudStore::instant();
+        s.put("k", b"old").unwrap();
+        s.put("k", b"newer").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"newer");
+        assert_eq!(s.total_bytes().unwrap(), 5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Cloud-storage cost model and accounting.
+//!
+//! The paper's motivation is *cost-effectiveness*: cloud capacity is ~an
+//! order of magnitude cheaper per GB than local NVMe, but every request and
+//! every egressed byte is billed. [`CostModel`] carries the unit prices,
+//! [`CostTracker`] accumulates billable events, and [`CostReport`]
+//! summarizes a run for experiment E7 (cost-effectiveness table).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Unit prices, modeled on public S3 Standard + EBS gp3 list prices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cloud capacity price, $ per GiB-month.
+    pub cloud_gb_month: f64,
+    /// Local (NVMe/EBS-class) capacity price, $ per GiB-month.
+    pub local_gb_month: f64,
+    /// $ per 1000 PUT/DELETE/LIST class requests.
+    pub put_per_1k: f64,
+    /// $ per 1000 GET/HEAD class requests.
+    pub get_per_1k: f64,
+    /// $ per GiB transferred out of the cloud store.
+    pub egress_per_gb: f64,
+}
+
+impl CostModel {
+    /// S3 Standard + gp3-like defaults (2021-era list prices).
+    pub fn aws_like() -> Self {
+        CostModel {
+            cloud_gb_month: 0.023,
+            local_gb_month: 0.08,
+            put_per_1k: 0.005,
+            get_per_1k: 0.0004,
+            egress_per_gb: 0.09,
+        }
+    }
+
+    /// A model with all prices zero (tests).
+    pub fn free() -> Self {
+        CostModel {
+            cloud_gb_month: 0.0,
+            local_gb_month: 0.0,
+            put_per_1k: 0.0,
+            get_per_1k: 0.0,
+            egress_per_gb: 0.0,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::aws_like()
+    }
+}
+
+/// Thread-safe accumulator of billable cloud events.
+#[derive(Debug, Default)]
+pub struct CostTracker {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    egress_bytes: AtomicU64,
+}
+
+impl CostTracker {
+    /// New tracker with all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one PUT/DELETE-class request.
+    pub fn record_put(&self) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one GET/HEAD-class request and the bytes it egressed.
+    pub fn record_get(&self, bytes: u64) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.egress_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of PUT-class requests so far.
+    pub fn puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Number of GET-class requests so far.
+    pub fn gets(&self) -> u64 {
+        self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Bytes egressed so far.
+    pub fn egress_bytes(&self) -> u64 {
+        self.egress_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters (between experiment phases).
+    pub fn reset(&self) {
+        self.puts.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.egress_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Produce a billing summary given the capacity resident on each tier.
+    pub fn report(&self, model: &CostModel, cloud_bytes: u64, local_bytes: u64) -> CostReport {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let request_cost = self.puts() as f64 / 1000.0 * model.put_per_1k
+            + self.gets() as f64 / 1000.0 * model.get_per_1k;
+        let egress_cost = self.egress_bytes() as f64 / GIB * model.egress_per_gb;
+        let cloud_capacity_cost = cloud_bytes as f64 / GIB * model.cloud_gb_month;
+        let local_capacity_cost = local_bytes as f64 / GIB * model.local_gb_month;
+        CostReport {
+            puts: self.puts(),
+            gets: self.gets(),
+            egress_bytes: self.egress_bytes(),
+            request_cost,
+            egress_cost,
+            cloud_capacity_cost,
+            local_capacity_cost,
+        }
+    }
+}
+
+/// Billing summary for one run; capacity terms are $/month, request and
+/// egress terms are $ for the run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CostReport {
+    /// PUT-class requests issued.
+    pub puts: u64,
+    /// GET-class requests issued.
+    pub gets: u64,
+    /// Bytes egressed from the cloud store.
+    pub egress_bytes: u64,
+    /// $ for requests.
+    pub request_cost: f64,
+    /// $ for egress.
+    pub egress_cost: f64,
+    /// $/month for cloud-resident capacity.
+    pub cloud_capacity_cost: f64,
+    /// $/month for local-resident capacity.
+    pub local_capacity_cost: f64,
+}
+
+impl CostReport {
+    /// Total $ assuming the run's request/egress charges recur monthly.
+    pub fn monthly_total(&self) -> f64 {
+        self.request_cost + self.egress_cost + self.cloud_capacity_cost + self.local_capacity_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1024 * 1024 * 1024;
+
+    #[test]
+    fn free_model_costs_nothing() {
+        let t = CostTracker::new();
+        t.record_put();
+        t.record_get(GIB);
+        let r = t.report(&CostModel::free(), GIB, GIB);
+        assert_eq!(r.monthly_total(), 0.0);
+    }
+
+    #[test]
+    fn request_costs_accumulate() {
+        let model = CostModel {
+            put_per_1k: 5.0,
+            get_per_1k: 1.0,
+            ..CostModel::free()
+        };
+        let t = CostTracker::new();
+        for _ in 0..1000 {
+            t.record_put();
+        }
+        for _ in 0..2000 {
+            t.record_get(0);
+        }
+        let r = t.report(&model, 0, 0);
+        assert!((r.request_cost - (5.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_split_between_tiers() {
+        let model = CostModel {
+            cloud_gb_month: 0.02,
+            local_gb_month: 0.10,
+            ..CostModel::free()
+        };
+        let t = CostTracker::new();
+        let r = t.report(&model, 100 * GIB, 10 * GIB);
+        assert!((r.cloud_capacity_cost - 2.0).abs() < 1e-9);
+        assert!((r.local_capacity_cost - 1.0).abs() < 1e-9);
+        // 100 GiB cloud is still cheaper than 10× less local at these prices? No:
+        // the point is the per-GiB price gap.
+        assert!(model.cloud_gb_month < model.local_gb_month);
+    }
+
+    #[test]
+    fn egress_billed_per_gib() {
+        let model = CostModel { egress_per_gb: 0.09, ..CostModel::free() };
+        let t = CostTracker::new();
+        t.record_get(2 * GIB);
+        let r = t.report(&model, 0, 0);
+        assert!((r.egress_cost - 0.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let t = CostTracker::new();
+        t.record_put();
+        t.record_get(42);
+        t.reset();
+        assert_eq!(t.puts(), 0);
+        assert_eq!(t.gets(), 0);
+        assert_eq!(t.egress_bytes(), 0);
+    }
+}

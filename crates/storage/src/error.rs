@@ -1,0 +1,103 @@
+//! Error types shared by every storage backend.
+
+use std::fmt;
+
+/// Result alias used across the storage crate and its consumers.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Unified error for local-file and cloud-object operations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The named file or object does not exist.
+    NotFound(String),
+    /// An underlying I/O failure from the operating system.
+    Io(std::io::Error),
+    /// Stored bytes failed a checksum or structural validation.
+    Corruption(String),
+    /// A fault injected by a [`crate::FailurePolicy`] (used by reliability
+    /// tests to emulate transient cloud request failures).
+    Injected(String),
+    /// The operation is not supported by this backend (e.g. appending to a
+    /// cloud object).
+    Unsupported(&'static str),
+    /// A caller-supplied argument was invalid.
+    InvalidArgument(String),
+}
+
+impl StorageError {
+    /// True when retrying the same request may succeed (transient faults).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Injected(_))
+    }
+
+    /// Convenience constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        StorageError::Corruption(msg.into())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(name) => write!(f, "not found: {name}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            StorageError::Injected(msg) => write!(f, "injected fault: {msg}"),
+            StorageError::Unsupported(op) => write!(f, "unsupported operation: {op}"),
+            StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            StorageError::NotFound(e.to_string())
+        } else {
+            StorageError::Io(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_found_from_io() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: StorageError = io.into();
+        assert!(matches!(err, StorageError::NotFound(_)));
+    }
+
+    #[test]
+    fn other_io_maps_to_io() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope");
+        let err: StorageError = io.into();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(StorageError::Injected("x".into()).is_transient());
+        assert!(!StorageError::NotFound("x".into()).is_transient());
+        assert!(!StorageError::corruption("bad crc").is_transient());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let s = StorageError::corruption("bad block").to_string();
+        assert!(s.contains("bad block"));
+        let s = StorageError::Unsupported("append").to_string();
+        assert!(s.contains("append"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Probabilistic fault injection for reliability experiments.
+//!
+//! Cloud object stores exhibit transient request failures; the paper claims
+//! RocksMash "delivers high reliability", which our integration tests
+//! validate by driving the store through injected faults and crash points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Result, StorageError};
+
+/// Injects transient errors into a configurable fraction of requests.
+#[derive(Debug)]
+pub struct FailurePolicy {
+    error_prob: f64,
+    rng: Mutex<StdRng>,
+    injected: AtomicU64,
+}
+
+impl FailurePolicy {
+    /// Policy that fails each request independently with `error_prob`.
+    pub fn with_probability(error_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_prob), "probability out of range");
+        FailurePolicy {
+            error_prob,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Policy that never fails.
+    pub fn none() -> Self {
+        Self::with_probability(0.0, 0)
+    }
+
+    /// Roll the dice for one request named `op`.
+    pub fn check(&self, op: &str) -> Result<()> {
+        if self.error_prob > 0.0 && self.rng.lock().gen_bool(self.error_prob) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Injected(format!("transient failure during {op}")));
+        }
+        Ok(())
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Retry `f` up to `attempts` times, retrying only transient errors.
+///
+/// This is the client-side policy real cloud SDKs apply; RocksMash's tiering
+/// layer wraps cloud requests with it.
+pub fn with_retries<T>(attempts: u32, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let p = FailurePolicy::none();
+        for _ in 0..1000 {
+            p.check("get").unwrap();
+        }
+        assert_eq!(p.injected_count(), 0);
+    }
+
+    #[test]
+    fn always_fails_at_probability_one() {
+        let p = FailurePolicy::with_probability(1.0, 1);
+        assert!(p.check("put").is_err());
+        assert_eq!(p.injected_count(), 1);
+    }
+
+    #[test]
+    fn rate_roughly_matches_probability() {
+        let p = FailurePolicy::with_probability(0.25, 42);
+        let mut failures = 0;
+        for _ in 0..10_000 {
+            if p.check("get").is_err() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_faults() {
+        let mut remaining_failures = 2;
+        let out = with_retries(5, || {
+            if remaining_failures > 0 {
+                remaining_failures -= 1;
+                Err(StorageError::Injected("boom".into()))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+    }
+
+    #[test]
+    fn retries_do_not_mask_permanent_errors() {
+        let mut calls = 0;
+        let out: Result<()> = with_retries(5, || {
+            calls += 1;
+            Err(StorageError::NotFound("x".into()))
+        });
+        assert!(matches!(out, Err(StorageError::NotFound(_))));
+        assert_eq!(calls, 1, "permanent errors must not be retried");
+    }
+
+    #[test]
+    fn retries_exhausted_returns_last_error() {
+        let out: Result<()> = with_retries(3, || Err(StorageError::Injected("x".into())));
+        assert!(matches!(out, Err(StorageError::Injected(_))));
+    }
+}

@@ -1,0 +1,127 @@
+//! Request latency simulation for the cloud tier.
+//!
+//! The paper's cloud tier (S3-class object storage) is dominated by
+//! per-request first-byte latency plus a bandwidth term. We model each
+//! request's service time as
+//!
+//! ```text
+//! t = base + bytes / bandwidth, jittered uniformly by ±jitter_frac
+//! ```
+//!
+//! and realize it with a real `thread::sleep`, so wall-clock benchmark
+//! results reflect the tier gap. Defaults are scaled down ~10× from public
+//! S3 numbers so experiment sweeps finish in minutes while preserving the
+//! local/cloud *ratio* that drives the paper's conclusions.
+
+use std::time::Duration;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Latency model applied to every simulated cloud request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed per-request latency (first byte), in microseconds.
+    pub base_us: u64,
+    /// Sustained transfer bandwidth in MiB/s (0 disables the byte term).
+    pub bandwidth_mib_s: f64,
+    /// Uniform jitter as a fraction of the nominal latency (0.0..1.0).
+    pub jitter_frac: f64,
+}
+
+impl LatencyModel {
+    /// No latency at all; useful for unit tests.
+    pub fn zero() -> Self {
+        LatencyModel { base_us: 0, bandwidth_mib_s: 0.0, jitter_frac: 0.0 }
+    }
+
+    /// Scaled-down S3-like profile: ~1.5 ms first byte, ~200 MiB/s.
+    pub fn cloud_default() -> Self {
+        LatencyModel { base_us: 1500, bandwidth_mib_s: 200.0, jitter_frac: 0.10 }
+    }
+
+    /// Scaled-down local-NVMe-like profile: ~40 µs, ~2 GiB/s. Used when the
+    /// benches want the *local* tier to also pay realistic device time.
+    pub fn local_nvme() -> Self {
+        LatencyModel { base_us: 40, bandwidth_mib_s: 2048.0, jitter_frac: 0.05 }
+    }
+
+    /// Nominal (un-jittered) service time for a request moving `bytes`.
+    pub fn nominal(&self, bytes: usize) -> Duration {
+        let mut us = self.base_us as f64;
+        if self.bandwidth_mib_s > 0.0 {
+            us += bytes as f64 / (self.bandwidth_mib_s * 1024.0 * 1024.0) * 1e6;
+        }
+        Duration::from_nanos((us * 1000.0) as u64)
+    }
+
+    /// Sampled service time including jitter.
+    pub fn sample(&self, bytes: usize, rng: &mut impl Rng) -> Duration {
+        let nominal = self.nominal(bytes);
+        if self.jitter_frac <= 0.0 || nominal.is_zero() {
+            return nominal;
+        }
+        let f = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+        nominal.mul_f64(f.max(0.0))
+    }
+
+    /// Sleep for a sampled service time, returning the duration slept.
+    pub fn pay(&self, bytes: usize, rng: &mut impl Rng) -> Duration {
+        let d = self.sample(bytes, rng);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::cloud_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.nominal(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn base_term_applies_to_empty_request() {
+        let m = LatencyModel { base_us: 100, bandwidth_mib_s: 0.0, jitter_frac: 0.0 };
+        assert_eq!(m.nominal(0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let m = LatencyModel { base_us: 0, bandwidth_mib_s: 1.0, jitter_frac: 0.0 };
+        // 1 MiB at 1 MiB/s == 1 s.
+        assert_eq!(m.nominal(1024 * 1024), Duration::from_secs(1));
+        // Half the bytes, half the time.
+        assert_eq!(m.nominal(512 * 1024), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel { base_us: 1000, bandwidth_mib_s: 0.0, jitter_frac: 0.2 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let d = m.sample(0, &mut rng);
+            assert!(d >= Duration::from_micros(800), "{d:?}");
+            assert!(d <= Duration::from_micros(1200), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn cloud_slower_than_local_profile() {
+        let cloud = LatencyModel::cloud_default();
+        let local = LatencyModel::local_nvme();
+        assert!(cloud.nominal(4096) > local.nominal(4096) * 10);
+    }
+}

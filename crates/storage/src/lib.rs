@@ -1,0 +1,37 @@
+//! Storage substrate for the RocksMash reproduction.
+//!
+//! This crate provides the two storage tiers the paper integrates:
+//!
+//! * **Local storage** — fast, small, expensive: [`LocalEnv`] (filesystem)
+//!   and [`MemEnv`] (in-memory, for tests), both implementing the [`Env`]
+//!   file abstraction the LSM engine is written against.
+//! * **Cloud storage** — slow, large, cheap: [`CloudStore`], a simulated
+//!   object store with a configurable [`LatencyModel`], a [`CostModel`]
+//!   with request/egress/capacity pricing, request statistics, and
+//!   probabilistic [`FailurePolicy`] fault injection.
+//!
+//! The paper evaluates on Amazon-S3-class object storage; we substitute a
+//! simulator so experiments are reproducible on a laptop while preserving
+//! the *relative* latency and cost gap between tiers (see DESIGN.md).
+
+pub mod backend;
+pub mod cloud;
+pub mod cost;
+pub mod error;
+pub mod failure;
+pub mod latency;
+pub mod limiter;
+pub mod local;
+pub mod memory;
+pub mod metrics;
+
+pub use backend::{Env, ObjectStore, RandomAccessFile, WritableFile};
+pub use cloud::{CloudConfig, CloudStore};
+pub use cost::{CostModel, CostReport, CostTracker};
+pub use error::{Result, StorageError};
+pub use failure::FailurePolicy;
+pub use latency::LatencyModel;
+pub use limiter::RateLimiter;
+pub use local::LocalEnv;
+pub use memory::MemEnv;
+pub use metrics::{StatsSnapshot, StoreStats};

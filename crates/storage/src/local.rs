@@ -1,0 +1,401 @@
+//! Local filesystem environment: the paper's fast local tier.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::{Env, RandomAccessFile, WritableFile};
+use crate::error::{Result, StorageError};
+use crate::latency::LatencyModel;
+use crate::metrics::StoreStats;
+
+/// Filesystem-backed [`Env`], rooted at a directory.
+///
+/// An optional [`LatencyModel`] lets benchmarks charge local reads/writes a
+/// device-like service time even when the OS page cache would otherwise make
+/// them free, keeping the local/cloud gap realistic.
+pub struct LocalEnv {
+    root: PathBuf,
+    stats: Arc<StoreStats>,
+    latency: Option<LatencyModel>,
+    rng: Mutex<StdRng>,
+}
+
+impl LocalEnv {
+    /// Create an environment rooted at `root`, creating the directory.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalEnv {
+            root,
+            stats: Arc::new(StoreStats::new()),
+            latency: None,
+            rng: Mutex::new(StdRng::seed_from_u64(0x10ca1)),
+        })
+    }
+
+    /// Attach a latency model charged on every read/write.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Request statistics for this environment.
+    pub fn stats(&self) -> &Arc<StoreStats> {
+        &self.stats
+    }
+
+    /// Root directory of this environment.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn full(&self, name: &str) -> Result<PathBuf> {
+        if name.starts_with('/') || name.split('/').any(|c| c == "..") {
+            return Err(StorageError::InvalidArgument(format!("bad path: {name}")));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn pay(&self, bytes: usize) {
+        if let Some(model) = &self.latency {
+            let wait = {
+                let mut rng = self.rng.lock();
+                model.sample(bytes, &mut *rng)
+            };
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            self.stats.record_wait(wait);
+        }
+    }
+}
+
+impl Env for LocalEnv {
+    fn new_writable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        let path = self.full(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Box::new(LocalWritable {
+            file,
+            len: 0,
+            stats: self.stats.clone(),
+            latency: self.latency.clone(),
+        }))
+    }
+
+    fn open_appendable(&self, name: &str) -> Result<Box<dyn WritableFile>> {
+        let path = self.full(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Box::new(LocalWritable {
+            file,
+            len,
+            stats: self.stats.clone(),
+            latency: self.latency.clone(),
+        }))
+    }
+
+    fn open_random(&self, name: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let path = self.full(name)?;
+        let file = File::open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(Arc::new(LocalRandom {
+            file: Mutex::new(file),
+            len,
+            stats: self.stats.clone(),
+            latency: self.latency.clone(),
+            rng: Mutex::new(StdRng::seed_from_u64(0xacce55)),
+        }))
+    }
+
+    fn write_all(&self, name: &str, data: &[u8]) -> Result<()> {
+        let path = self.full(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_extension("tmp~");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.pay(data.len());
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        let path = self.full(name)?;
+        fs::remove_file(&path)?;
+        self.stats.record_delete();
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let from = self.full(from)?;
+        let to = self.full(to)?;
+        if let Some(parent) = to.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> Result<bool> {
+        Ok(self.full(name)?.exists())
+    }
+
+    fn size(&self, name: &str) -> Result<u64> {
+        Ok(fs::metadata(self.full(name)?)?.len())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    let rel = path
+                        .strip_prefix(&self.root)
+                        .expect("entry under root")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    if rel.starts_with(prefix) && !rel.ends_with(".tmp~") {
+                        out.push(rel);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+struct LocalWritable {
+    file: File,
+    len: u64,
+    stats: Arc<StoreStats>,
+    latency: Option<LatencyModel>,
+}
+
+impl WritableFile for LocalWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        self.stats.record_write(data.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if let Some(model) = &self.latency {
+            // Charge the device latency at sync time: that is when a real
+            // device's write latency becomes visible to the caller.
+            let mut rng = StdRng::seed_from_u64(self.len);
+            let waited = model.pay(0, &mut rng);
+            self.stats.record_wait(waited);
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<u64> {
+        self.sync()?;
+        Ok(self.len)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+struct LocalRandom {
+    file: Mutex<File>,
+    len: u64,
+    stats: Arc<StoreStats>,
+    latency: Option<LatencyModel>,
+    rng: Mutex<StdRng>,
+}
+
+impl RandomAccessFile for LocalRandom {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let n = {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            let mut read = 0;
+            while read < buf.len() {
+                match file.read(&mut buf[read..])? {
+                    0 => break,
+                    n => read += n,
+                }
+            }
+            read
+        };
+        if let Some(model) = &self.latency {
+            let wait = {
+                let mut rng = self.rng.lock();
+                model.sample(n, &mut *rng)
+            };
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            self.stats.record_wait(wait);
+        }
+        self.stats.record_read(n as u64);
+        Ok(n)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_env(tag: &str) -> LocalEnv {
+        let dir = std::env::temp_dir().join(format!(
+            "rocksmash-localenv-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        LocalEnv::new(dir).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let env = temp_env("roundtrip");
+        let mut w = env.new_writable("a/b/file.dat").unwrap();
+        w.append(b"hello ").unwrap();
+        w.append(b"world").unwrap();
+        assert_eq!(w.finish().unwrap(), 11);
+        let r = env.open_random("a/b/file.dat").unwrap();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.read_exact_at(0, 11).unwrap(), b"hello world");
+        assert_eq!(r.read_exact_at(6, 5).unwrap(), b"world");
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let env = temp_env("short");
+        env.write_all("f", b"abc").unwrap();
+        let r = env.open_random("f").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(r.read_at(1, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"bc");
+        assert_eq!(r.read_at(10, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_mode_preserves_existing_content() {
+        let env = temp_env("append");
+        env.write_all("log", b"one").unwrap();
+        let mut w = env.open_appendable("log").unwrap();
+        assert_eq!(w.len(), 3);
+        w.append(b"two").unwrap();
+        w.finish().unwrap();
+        assert_eq!(env.read_all("log").unwrap(), b"onetwo");
+    }
+
+    #[test]
+    fn list_is_recursive_sorted_and_prefix_filtered() {
+        let env = temp_env("list");
+        env.write_all("x/2", b"").unwrap();
+        env.write_all("x/1", b"").unwrap();
+        env.write_all("y/1", b"").unwrap();
+        assert_eq!(env.list("x/").unwrap(), vec!["x/1".to_string(), "x/2".to_string()]);
+        assert_eq!(env.list("").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rename_replaces_target() {
+        let env = temp_env("rename");
+        env.write_all("a", b"new").unwrap();
+        env.write_all("b", b"old").unwrap();
+        env.rename("a", "b").unwrap();
+        assert!(!env.exists("a").unwrap());
+        assert_eq!(env.read_all("b").unwrap(), b"new");
+    }
+
+    #[test]
+    fn delete_missing_is_not_found() {
+        let env = temp_env("delmiss");
+        assert!(matches!(env.delete("nope"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn path_escape_rejected() {
+        let env = temp_env("escape");
+        assert!(env.write_all("../evil", b"x").is_err());
+        assert!(env.write_all("/abs", b"x").is_err());
+        assert!(env.write_all("a/../../evil", b"x").is_err());
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let env = temp_env("stats");
+        env.write_all("f", &[7u8; 100]).unwrap();
+        let r = env.open_random("f").unwrap();
+        let _ = r.read_exact_at(0, 100).unwrap();
+        let snap = env.stats().snapshot();
+        assert_eq!(snap.bytes_written, 100);
+        assert_eq!(snap.bytes_read, 100);
+    }
+
+    #[test]
+    fn total_bytes_sums_files() {
+        let env = temp_env("total");
+        env.write_all("a", &[0u8; 10]).unwrap();
+        env.write_all("b", &[0u8; 32]).unwrap();
+        assert_eq!(env.total_bytes().unwrap(), 42);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_charges_reads_and_syncs() {
+        let dir = std::env::temp_dir().join(format!(
+            "rocksmash-latency-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let env = LocalEnv::new(dir)
+            .unwrap()
+            .with_latency(LatencyModel { base_us: 200, bandwidth_mib_s: 0.0, jitter_frac: 0.0 });
+        let mut w = env.new_writable("f").unwrap();
+        w.append(&[0u8; 4096]).unwrap();
+        w.finish().unwrap(); // one sync => one base charge
+        let r = env.open_random("f").unwrap();
+        let _ = r.read_exact_at(0, 4096).unwrap();
+        let _ = r.read_exact_at(0, 4096).unwrap();
+        let waited = env.stats().snapshot().simulated_wait_ns;
+        // 1 sync + 2 reads at 200 µs each.
+        assert!(waited >= 3 * 200_000, "waited only {waited} ns");
+    }
+}

@@ -1,0 +1,164 @@
+//! Request-level statistics shared by all backends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Lock-free counters describing the traffic a backend has served.
+///
+/// All counters use relaxed ordering: they are monotonic statistics with no
+/// cross-thread happens-before requirements (Rust Atomics & Locks ch. 2,
+/// "Example: Statistics").
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    deletes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    simulated_wait_ns: AtomicU64,
+}
+
+impl StoreStats {
+    /// New zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read request of `bytes`.
+    pub fn record_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a write request of `bytes`.
+    pub fn record_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a delete request.
+    pub fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record time spent sleeping in the latency simulator.
+    pub fn record_wait(&self, d: Duration) {
+        self.simulated_wait_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            simulated_wait_ns: self.simulated_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.deletes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.simulated_wait_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a [`StoreStats`] block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Read requests served.
+    pub reads: u64,
+    /// Write requests served.
+    pub writes: u64,
+    /// Delete requests served.
+    pub deletes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Nanoseconds spent in simulated latency sleeps.
+    pub simulated_wait_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference since an earlier snapshot (for per-phase accounting).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            deletes: self.deletes - earlier.deletes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            simulated_wait_ns: self.simulated_wait_ns - earlier.simulated_wait_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StoreStats::new();
+        s.record_read(10);
+        s.record_read(20);
+        s.record_write(5);
+        s.record_delete();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.bytes_read, 30);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 5);
+        assert_eq!(snap.deletes, 1);
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let s = StoreStats::new();
+        s.record_read(100);
+        let a = s.snapshot();
+        s.record_read(50);
+        s.record_write(7);
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes_read, 50);
+        assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = std::sync::Arc::new(StoreStats::new());
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.record_read(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().reads, 80_000);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = StoreStats::new();
+        s.record_write(9);
+        s.record_wait(Duration::from_millis(1));
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,269 @@
+//! Key-popularity distributions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How keys are chosen from a keyspace of `n` records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// YCSB zipfian with the given theta (0.99 is the YCSB default),
+    /// scrambled so hot keys spread over the keyspace.
+    Zipfian {
+        /// Skew parameter; higher is more skewed. Must be in (0, 1).
+        theta: f64,
+    },
+    /// Skewed towards recently inserted records (YCSB-D style).
+    Latest {
+        /// Skew of the recency preference.
+        theta: f64,
+    },
+    /// 0, 1, 2, ... in order, wrapping.
+    Sequential,
+}
+
+impl KeyDistribution {
+    /// YCSB default zipfian.
+    pub fn zipfian_default() -> Self {
+        KeyDistribution::Zipfian { theta: 0.99 }
+    }
+
+    /// Build a stateful sampler over `[0, n)`.
+    pub fn sampler(self, n: u64, rng: StdRng) -> KeySampler {
+        let zipf = match self {
+            KeyDistribution::Zipfian { theta } | KeyDistribution::Latest { theta } => {
+                Some(ZipfianGenerator::new(n, theta))
+            }
+            _ => None,
+        };
+        KeySampler { dist: self, n, rng, zipf, next_seq: 0 }
+    }
+}
+
+/// Stateful sampler for one distribution.
+pub struct KeySampler {
+    dist: KeyDistribution,
+    n: u64,
+    rng: StdRng,
+    zipf: Option<ZipfianGenerator>,
+    next_seq: u64,
+}
+
+impl KeySampler {
+    /// Draw the next key index in `[0, current_n)`.
+    pub fn next_key(&mut self) -> u64 {
+        match self.dist {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.n.max(1)),
+            KeyDistribution::Zipfian { .. } => {
+                let rank = self.zipf.as_mut().expect("zipf").next(&mut self.rng);
+                // Scramble so the popular ranks are not clustered at the
+                // low end of the keyspace (YCSB ScrambledZipfian).
+                fnv_scramble(rank) % self.n.max(1)
+            }
+            KeyDistribution::Latest { .. } => {
+                let rank = self.zipf.as_mut().expect("zipf").next(&mut self.rng);
+                // Rank 0 = newest record.
+                self.n.saturating_sub(1).saturating_sub(rank % self.n.max(1))
+            }
+            KeyDistribution::Sequential => {
+                let k = self.next_seq % self.n.max(1);
+                self.next_seq += 1;
+                k
+            }
+        }
+    }
+
+    /// Record that the keyspace grew (inserts); Latest adapts to it.
+    pub fn grow(&mut self, new_n: u64) {
+        if new_n > self.n {
+            self.n = new_n;
+            // Zipf ranks need not be recomputed exactly for Latest: ranks
+            // are taken modulo n. For Zipfian we keep the original n,
+            // matching YCSB's insert-aware generators approximately.
+        }
+    }
+
+    /// Current keyspace size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+fn fnv_scramble(v: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The YCSB zipfian generator (Gray et al.'s rejection-free algorithm):
+/// draws ranks in `[0, n)` where rank r has probability ∝ 1/(r+1)^theta.
+pub struct ZipfianGenerator {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl ZipfianGenerator {
+    /// Generator over `[0, n)` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over empty keyspace");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        ZipfianGenerator { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cutoff, then the Euler–Maclaurin integral
+        // approximation: keeps construction O(1)-ish for huge n.
+        const EXACT: u64 = 1_000_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draw the next rank.
+    pub fn next(&mut self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability mass of rank 0 (the hottest key).
+    pub fn hottest_mass(&self) -> f64 {
+        let _ = self.zeta2theta;
+        1.0 / self.zetan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_covers_keyspace() {
+        let mut s = KeyDistribution::Uniform.sampler(100, rng());
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            seen[s.next_key() as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&b| b).count() > 95);
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = KeyDistribution::Sequential.sampler(3, rng());
+        let keys: Vec<u64> = (0..7).map(|_| s.next_key()).collect();
+        assert_eq!(keys, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipfian_ranks_are_skewed() {
+        let mut z = ZipfianGenerator::new(1000, 0.99);
+        let mut rng = rng();
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must dominate; top-10 ranks take a large share.
+        assert!(counts[0] > counts[100] * 10, "rank0={} rank100={}", counts[0], counts[100]);
+        let top10: u64 = counts[..10].iter().sum();
+        let total: u64 = counts.iter().sum();
+        assert!(top10 as f64 / total as f64 > 0.3, "top10 share too small");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let mut z = ZipfianGenerator::new(50, 0.7);
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng1 = rng();
+        let mut rng2 = rng();
+        let mut lo = ZipfianGenerator::new(10_000, 0.5);
+        let mut hi = ZipfianGenerator::new(10_000, 0.99);
+        let head_share = |g: &mut ZipfianGenerator, rng: &mut StdRng| {
+            let mut head = 0;
+            for _ in 0..20_000 {
+                if g.next(rng) < 100 {
+                    head += 1;
+                }
+            }
+            head as f64 / 20_000.0
+        };
+        assert!(head_share(&mut hi, &mut rng1) > head_share(&mut lo, &mut rng2));
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut s = KeyDistribution::zipfian_default().sampler(10_000, rng());
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(s.next_key()).or_insert(0u64) += 1;
+        }
+        // The two hottest keys should not be adjacent (scrambling).
+        let mut by_count: Vec<(u64, u64)> = counts.into_iter().map(|(k, c)| (c, k)).collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let hottest = by_count[0].1;
+        let second = by_count[1].1;
+        assert!(hottest.abs_diff(second) > 1, "hot keys clustered: {hottest} {second}");
+    }
+
+    #[test]
+    fn latest_prefers_high_indices() {
+        let mut s = KeyDistribution::Latest { theta: 0.99 }.sampler(1000, rng());
+        let mut high = 0;
+        for _ in 0..10_000 {
+            if s.next_key() >= 900 {
+                high += 1;
+            }
+        }
+        assert!(high > 5_000, "latest distribution not recent-skewed: {high}");
+    }
+
+    #[test]
+    fn zeta_approximation_continuous_at_cutoff() {
+        // The approximate zeta just above the exact cutoff should be close
+        // to an exact computation on a smaller scale ratio.
+        let z1 = ZipfianGenerator::zeta(1_000_000, 0.99);
+        let z2 = ZipfianGenerator::zeta(1_000_001, 0.99);
+        assert!(z2 > z1);
+        assert!(z2 - z1 < 1e-4);
+    }
+}

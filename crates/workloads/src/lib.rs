@@ -1,0 +1,23 @@
+//! Workload generation and measurement for the RocksMash evaluation.
+//!
+//! * [`dist`] — key-popularity distributions (uniform, YCSB zipfian with
+//!   scrambling, latest, sequential).
+//! * [`keys`] — deterministic key/value materialization.
+//! * [`ycsb`] — the YCSB core workloads A–F as operation streams.
+//! * [`microbench`] — db_bench-style fill/read/seek microbenchmarks.
+//! * [`hist`] — log-bucketed latency histograms (p50/p95/p99...).
+//! * [`runner`] — drives an operation stream against a store and reports
+//!   throughput and latency.
+
+pub mod dist;
+pub mod hist;
+pub mod keys;
+pub mod microbench;
+pub mod runner;
+pub mod trace;
+pub mod ycsb;
+
+pub use dist::KeyDistribution;
+pub use hist::LatencyHistogram;
+pub use runner::{run_ops, run_ops_concurrent, KvStore, RunResult};
+pub use ycsb::{Op, WorkloadSpec};

@@ -1,0 +1,131 @@
+//! db_bench-style microbenchmark operation streams.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dist::KeyDistribution;
+use crate::keys::{user_key, value_for};
+use crate::ycsb::Op;
+
+/// Sequential load: keys 0..n in order (fastest possible ingest; builds a
+/// perfectly sorted tree).
+pub fn fillseq(n: u64, value_size: usize) -> Vec<Op> {
+    (0..n).map(|i| Op::Insert(user_key(i), value_for(i, 0, value_size))).collect()
+}
+
+/// Random-order load of the same keyspace (compaction-heavy ingest).
+pub fn fillrandom(n: u64, value_size: usize, seed: u64) -> Vec<Op> {
+    let mut indices: Vec<u64> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    indices
+        .into_iter()
+        .map(|i| Op::Insert(user_key(i), value_for(i, 0, value_size)))
+        .collect()
+}
+
+/// Point reads with the given distribution over an `n`-record keyspace.
+pub fn readrandom(n: u64, ops: u64, dist: KeyDistribution, seed: u64) -> Vec<Op> {
+    let mut sampler = dist.sampler(n, StdRng::seed_from_u64(seed));
+    (0..ops).map(|_| Op::Read(user_key(sampler.next_key()))).collect()
+}
+
+/// Sequential full scan as `ops` chunks of `chunk` records each.
+pub fn readseq(n: u64, chunk: usize) -> Vec<Op> {
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    while i < n {
+        out.push(Op::Scan(user_key(i), chunk));
+        i += chunk as u64;
+    }
+    out
+}
+
+/// Random seeks each followed by a short scan.
+pub fn seekrandom(n: u64, ops: u64, scan_len: usize, dist: KeyDistribution, seed: u64) -> Vec<Op> {
+    let mut sampler = dist.sampler(n, StdRng::seed_from_u64(seed));
+    (0..ops).map(|_| Op::Scan(user_key(sampler.next_key()), scan_len)).collect()
+}
+
+/// Overwrites of existing keys (update-in-place pattern).
+pub fn overwrite(n: u64, ops: u64, value_size: usize, dist: KeyDistribution, seed: u64) -> Vec<Op> {
+    let mut sampler = dist.sampler(n, StdRng::seed_from_u64(seed));
+    (0..ops)
+        .map(|v| {
+            let i = sampler.next_key();
+            Op::Update(user_key(i), value_for(i, v + 1, value_size))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fillseq_is_ordered_and_complete() {
+        let ops = fillseq(100, 16);
+        assert_eq!(ops.len(), 100);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k, _) => assert_eq!(k, &user_key(i as u64)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fillrandom_is_a_permutation() {
+        let ops = fillrandom(1000, 16, 5);
+        let mut keys: Vec<Vec<u8>> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Insert(k, _) => k.clone(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        // Not already sorted (overwhelmingly likely for a real shuffle).
+        assert!(keys.windows(2).any(|w| w[0] > w[1]));
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn readrandom_respects_keyspace() {
+        for op in readrandom(50, 1000, KeyDistribution::zipfian_default(), 1) {
+            match op {
+                Op::Read(k) => assert!(crate::keys::parse_user_key(&k).unwrap() < 50),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn readseq_covers_keyspace_in_chunks() {
+        let ops = readseq(100, 30);
+        assert_eq!(ops.len(), 4); // 30+30+30+10
+        match &ops[3] {
+            Op::Scan(k, len) => {
+                assert_eq!(crate::keys::parse_user_key(k).unwrap(), 90);
+                assert_eq!(*len, 30);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overwrite_versions_differ() {
+        let ops = overwrite(10, 20, 32, KeyDistribution::Uniform, 2);
+        let mut values = std::collections::HashSet::new();
+        for op in ops {
+            match op {
+                Op::Update(_, v) => {
+                    values.insert(v);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(values.len() > 15, "updates should carry distinct payloads");
+    }
+}

@@ -1,0 +1,253 @@
+//! Drives operation streams against a store and measures them.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use lsm::Result;
+use rocksmash::TieredDb;
+
+use crate::hist::LatencyHistogram;
+use crate::ycsb::Op;
+
+/// Anything the workloads can be run against.
+pub trait KvStore {
+    /// Point read.
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+    /// Insert or overwrite.
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+    /// Delete.
+    fn kv_delete(&self, key: &[u8]) -> Result<()>;
+    /// Range scan of up to `limit` records from `from`.
+    fn kv_scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+}
+
+impl KvStore for TieredDb {
+    fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get(key)
+    }
+
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.put(key, value)
+    }
+
+    fn kv_delete(&self, key: &[u8]) -> Result<()> {
+        self.delete(key)
+    }
+
+    fn kv_scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan(from, limit)
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Operations executed.
+    pub ops: u64,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Latency histogram per operation kind.
+    pub latency: HashMap<&'static str, LatencyHistogram>,
+    /// Records touched by scans (scan ops count once in `ops`).
+    pub scanned_records: u64,
+    /// Reads that found no value (sanity signal: should be ~0 after load).
+    pub not_found: u64,
+}
+
+impl RunResult {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Merged histogram over all operation kinds.
+    pub fn overall_latency(&self) -> LatencyHistogram {
+        let mut all = LatencyHistogram::new();
+        for h in self.latency.values() {
+            all.merge(h);
+        }
+        all
+    }
+}
+
+/// Execute `ops` against `store`, timing each operation.
+pub fn run_ops(store: &impl KvStore, ops: impl IntoIterator<Item = Op>) -> Result<RunResult> {
+    let mut latency: HashMap<&'static str, LatencyHistogram> = HashMap::new();
+    let mut count = 0u64;
+    let mut scanned = 0u64;
+    let mut not_found = 0u64;
+    let started = Instant::now();
+    for op in ops {
+        let kind = op.kind();
+        let t0 = Instant::now();
+        match op {
+            Op::Read(key) => {
+                if store.kv_get(&key)?.is_none() {
+                    not_found += 1;
+                }
+            }
+            Op::Update(key, value) | Op::Insert(key, value) => {
+                store.kv_put(&key, &value)?;
+            }
+            Op::Scan(from, limit) => {
+                scanned += store.kv_scan(&from, limit)?.len() as u64;
+            }
+            Op::ReadModifyWrite(key, new_value) => {
+                let _ = store.kv_get(&key)?;
+                store.kv_put(&key, &new_value)?;
+            }
+        }
+        latency.entry(kind).or_default().record_duration(t0.elapsed());
+        count += 1;
+    }
+    Ok(RunResult {
+        ops: count,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+        latency,
+        scanned_records: scanned,
+        not_found,
+    })
+}
+
+/// Execute `ops` against `store` from `threads` concurrent clients.
+///
+/// Operations are dealt round-robin to the clients, so each client sees an
+/// unbiased sample of the mix. Results are merged; throughput is measured
+/// over the whole wall-clock window. With a latency-bound store (cloud
+/// tiers), concurrency overlaps request waits exactly as multi-client YCSB
+/// does in the paper's testbed.
+pub fn run_ops_concurrent<S: KvStore + Sync>(
+    store: &S,
+    ops: impl IntoIterator<Item = Op>,
+    threads: usize,
+) -> Result<RunResult> {
+    let threads = threads.max(1);
+    let mut lanes: Vec<Vec<Op>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, op) in ops.into_iter().enumerate() {
+        lanes[i % threads].push(op);
+    }
+    let started = Instant::now();
+    let results: Vec<Result<RunResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| scope.spawn(move || run_ops(store, lane)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let mut merged = RunResult {
+        ops: 0,
+        elapsed_secs,
+        latency: HashMap::new(),
+        scanned_records: 0,
+        not_found: 0,
+    };
+    for result in results {
+        let r = result?;
+        merged.ops += r.ops;
+        merged.scanned_records += r.scanned_records;
+        merged.not_found += r.not_found;
+        for (kind, hist) in r.latency {
+            merged.latency.entry(kind).or_default().merge(&hist);
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::{fillrandom, readrandom, readseq};
+    use crate::ycsb::WorkloadSpec;
+    use crate::KeyDistribution;
+    use lsm::Options;
+    use rocksmash::{Scheme, TieredConfig};
+    use std::sync::Arc;
+    use storage::MemEnv;
+
+    fn test_db(scheme: Scheme) -> TieredDb {
+        let base = TieredConfig {
+            options: Options {
+                write_buffer_size: 32 << 10,
+                target_file_size: 16 << 10,
+                max_bytes_for_level_base: 64 << 10,
+                l0_compaction_trigger: 2,
+                ..Options::small_for_tests()
+            },
+            cache_admission: false,
+            ..TieredConfig::small_for_tests()
+        };
+        scheme.open(Arc::new(MemEnv::new()), base).unwrap()
+    }
+
+    #[test]
+    fn microbench_load_and_read() {
+        let db = test_db(Scheme::RocksMash);
+        let load = run_ops(&db, fillrandom(500, 64, 1)).unwrap();
+        assert_eq!(load.ops, 500);
+        db.flush().unwrap();
+        let reads =
+            run_ops(&db, readrandom(500, 300, KeyDistribution::zipfian_default(), 2)).unwrap();
+        assert_eq!(reads.ops, 300);
+        assert_eq!(reads.not_found, 0, "all loaded keys must be found");
+        assert!(reads.throughput() > 0.0);
+        assert!(reads.latency.contains_key("read"));
+    }
+
+    #[test]
+    fn scans_count_records() {
+        let db = test_db(Scheme::LocalOnly);
+        run_ops(&db, fillrandom(200, 32, 3)).unwrap();
+        db.flush().unwrap();
+        let result = run_ops(&db, readseq(200, 50)).unwrap();
+        assert_eq!(result.ops, 4);
+        assert_eq!(result.scanned_records, 200);
+    }
+
+    #[test]
+    fn concurrent_runner_matches_serial_semantics() {
+        let db = test_db(Scheme::RocksMash);
+        run_ops(&db, fillrandom(400, 64, 5)).unwrap();
+        db.flush().unwrap();
+        let result = run_ops_concurrent(
+            &db,
+            readrandom(400, 600, KeyDistribution::zipfian_default(), 6),
+            4,
+        )
+        .unwrap();
+        assert_eq!(result.ops, 600);
+        assert_eq!(result.not_found, 0);
+        assert_eq!(result.overall_latency().count(), 600);
+        assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_runner_single_thread_degenerates() {
+        let db = test_db(Scheme::LocalOnly);
+        run_ops(&db, fillrandom(100, 32, 7)).unwrap();
+        let r = run_ops_concurrent(
+            &db,
+            readrandom(100, 50, KeyDistribution::Uniform, 8),
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.ops, 50);
+    }
+
+    #[test]
+    fn ycsb_a_runs_clean() {
+        let db = test_db(Scheme::NaiveHybrid);
+        let spec = WorkloadSpec::a(300, 64);
+        run_ops(&db, spec.load_ops()).unwrap();
+        db.flush().unwrap();
+        let result = run_ops(&db, spec.run_ops(1000, 11)).unwrap();
+        assert_eq!(result.ops, 1000);
+        assert_eq!(result.not_found, 0);
+        let overall = result.overall_latency();
+        assert_eq!(overall.count(), 1000);
+    }
+}

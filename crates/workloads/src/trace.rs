@@ -1,0 +1,225 @@
+//! Operation trace record/replay.
+//!
+//! Traces make benchmark runs portable and exactly repeatable: record any
+//! operation stream to a compact binary file, then replay it against any
+//! scheme. The format is length-framed and versioned:
+//!
+//! ```text
+//! header : magic "RMTRACE1"
+//! record : tag u8
+//!          tag 0 Read   : varstring(key)
+//!          tag 1 Update : varstring(key) varstring(value)
+//!          tag 2 Insert : varstring(key) varstring(value)
+//!          tag 3 Scan   : varstring(key) varint(limit)
+//!          tag 4 RMW    : varstring(key) varstring(value)
+//! ```
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::ycsb::Op;
+
+const MAGIC: &[u8; 8] = b"RMTRACE1";
+
+/// Errors from trace files.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the trace file.
+    Malformed(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io: {e}"),
+            TraceError::Malformed(msg) => write!(f, "malformed trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn write_varint(w: &mut impl Write, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> Result<u64, TraceError> {
+    let mut out = 0u64;
+    for shift in (0..70).step_by(7) {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        out |= ((byte[0] & 0x7f) as u64) << shift;
+        if byte[0] < 0x80 {
+            return Ok(out);
+        }
+    }
+    Err(TraceError::Malformed("varint too long".into()))
+}
+
+fn write_bytes(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    write_varint(w, data.len() as u64)?;
+    w.write_all(data)
+}
+
+fn read_bytes(r: &mut impl Read) -> Result<Vec<u8>, TraceError> {
+    let len = read_varint(r)? as usize;
+    if len > 64 << 20 {
+        return Err(TraceError::Malformed("record too large".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Record `ops` to a trace file at `path`. Returns the operation count.
+pub fn record(path: &Path, ops: impl IntoIterator<Item = Op>) -> Result<u64, TraceError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    let mut count = 0u64;
+    for op in ops {
+        match &op {
+            Op::Read(k) => {
+                w.write_all(&[0])?;
+                write_bytes(&mut w, k)?;
+            }
+            Op::Update(k, v) => {
+                w.write_all(&[1])?;
+                write_bytes(&mut w, k)?;
+                write_bytes(&mut w, v)?;
+            }
+            Op::Insert(k, v) => {
+                w.write_all(&[2])?;
+                write_bytes(&mut w, k)?;
+                write_bytes(&mut w, v)?;
+            }
+            Op::Scan(k, limit) => {
+                w.write_all(&[3])?;
+                write_bytes(&mut w, k)?;
+                write_varint(&mut w, *limit as u64)?;
+            }
+            Op::ReadModifyWrite(k, v) => {
+                w.write_all(&[4])?;
+                write_bytes(&mut w, k)?;
+                write_bytes(&mut w, v)?;
+            }
+        }
+        count += 1;
+    }
+    w.flush()?;
+    Ok(count)
+}
+
+/// Load every operation from a trace file.
+pub fn replay(path: &Path) -> Result<Vec<Op>, TraceError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::Malformed("bad magic".into()));
+    }
+    let mut ops = Vec::new();
+    loop {
+        let mut tag = [0u8; 1];
+        match r.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let op = match tag[0] {
+            0 => Op::Read(read_bytes(&mut r)?),
+            1 => Op::Update(read_bytes(&mut r)?, read_bytes(&mut r)?),
+            2 => Op::Insert(read_bytes(&mut r)?, read_bytes(&mut r)?),
+            3 => {
+                let key = read_bytes(&mut r)?;
+                let limit = read_varint(&mut r)? as usize;
+                Op::Scan(key, limit)
+            }
+            4 => Op::ReadModifyWrite(read_bytes(&mut r)?, read_bytes(&mut r)?),
+            other => return Err(TraceError::Malformed(format!("unknown tag {other}"))),
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::WorkloadSpec;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "rocksmash-trace-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let ops = vec![
+            Op::Read(b"k1".to_vec()),
+            Op::Update(b"k2".to_vec(), b"v2".to_vec()),
+            Op::Insert(b"k3".to_vec(), vec![0u8; 1000]),
+            Op::Scan(b"k4".to_vec(), 57),
+            Op::ReadModifyWrite(b"k5".to_vec(), b"".to_vec()),
+        ];
+        let path = temp_path("kinds");
+        assert_eq!(record(&path, ops.clone()).unwrap(), 5);
+        assert_eq!(replay(&path).unwrap(), ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ycsb_stream_roundtrips() {
+        let spec = WorkloadSpec::a(500, 64);
+        let ops: Vec<Op> = spec.run_ops(2_000, 9).collect();
+        let path = temp_path("ycsb");
+        record(&path, ops.clone()).unwrap();
+        assert_eq!(replay(&path).unwrap(), ops);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTATRACE").unwrap();
+        assert!(matches!(replay(&path), Err(TraceError::Malformed(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_truncation_mid_record() {
+        let path = temp_path("trunc");
+        record(&path, vec![Op::Update(b"key".to_vec(), vec![7u8; 500])]).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 10]).unwrap();
+        assert!(replay(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let path = temp_path("empty");
+        record(&path, Vec::new()).unwrap();
+        assert!(replay(&path).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,276 @@
+//! The YCSB core workloads as operation streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{KeyDistribution, KeySampler};
+use crate::keys::{user_key, value_for};
+
+/// One operation of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Point read.
+    Read(Vec<u8>),
+    /// Overwrite an existing record.
+    Update(Vec<u8>, Vec<u8>),
+    /// Insert a new record.
+    Insert(Vec<u8>, Vec<u8>),
+    /// Range scan of up to `usize` records.
+    Scan(Vec<u8>, usize),
+    /// Read, then write back a modified value.
+    ReadModifyWrite(Vec<u8>, Vec<u8>),
+}
+
+impl Op {
+    /// Short label for stats tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Read(_) => "read",
+            Op::Update(..) => "update",
+            Op::Insert(..) => "insert",
+            Op::Scan(..) => "scan",
+            Op::ReadModifyWrite(..) => "rmw",
+        }
+    }
+}
+
+/// A YCSB-style workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name ("ycsb-a", ...).
+    pub name: &'static str,
+    /// Proportion of reads (0..=1).
+    pub read: f64,
+    /// Proportion of updates.
+    pub update: f64,
+    /// Proportion of inserts.
+    pub insert: f64,
+    /// Proportion of scans.
+    pub scan: f64,
+    /// Proportion of read-modify-writes.
+    pub rmw: f64,
+    /// Key popularity distribution.
+    pub dist: KeyDistribution,
+    /// Records loaded before the run.
+    pub record_count: u64,
+    /// Value payload size in bytes.
+    pub value_size: usize,
+    /// Maximum scan length.
+    pub max_scan_len: usize,
+}
+
+impl WorkloadSpec {
+    /// YCSB-A: 50% read / 50% update, zipfian.
+    pub fn a(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec {
+            name: "ycsb-a",
+            read: 0.5,
+            update: 0.5,
+            insert: 0.0,
+            scan: 0.0,
+            rmw: 0.0,
+            dist: KeyDistribution::zipfian_default(),
+            record_count,
+            value_size,
+            max_scan_len: 100,
+        }
+    }
+
+    /// YCSB-B: 95% read / 5% update, zipfian.
+    pub fn b(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec { name: "ycsb-b", read: 0.95, update: 0.05, ..Self::a(record_count, value_size) }
+    }
+
+    /// YCSB-C: 100% read, zipfian.
+    pub fn c(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec { name: "ycsb-c", read: 1.0, update: 0.0, ..Self::a(record_count, value_size) }
+    }
+
+    /// YCSB-D: 95% read of recent records / 5% insert.
+    pub fn d(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec {
+            name: "ycsb-d",
+            read: 0.95,
+            update: 0.0,
+            insert: 0.05,
+            dist: KeyDistribution::Latest { theta: 0.99 },
+            ..Self::a(record_count, value_size)
+        }
+    }
+
+    /// YCSB-E: 95% scan / 5% insert.
+    pub fn e(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec {
+            name: "ycsb-e",
+            read: 0.0,
+            update: 0.0,
+            insert: 0.05,
+            scan: 0.95,
+            ..Self::a(record_count, value_size)
+        }
+    }
+
+    /// YCSB-F: 50% read / 50% read-modify-write.
+    pub fn f(record_count: u64, value_size: usize) -> Self {
+        WorkloadSpec {
+            name: "ycsb-f",
+            read: 0.5,
+            update: 0.0,
+            rmw: 0.5,
+            ..Self::a(record_count, value_size)
+        }
+    }
+
+    /// All six core workloads.
+    pub fn core_suite(record_count: u64, value_size: usize) -> Vec<WorkloadSpec> {
+        vec![
+            Self::a(record_count, value_size),
+            Self::b(record_count, value_size),
+            Self::c(record_count, value_size),
+            Self::d(record_count, value_size),
+            Self::e(record_count, value_size),
+            Self::f(record_count, value_size),
+        ]
+    }
+
+    /// The load phase: insert every record once, in order.
+    pub fn load_ops(&self) -> impl Iterator<Item = Op> + '_ {
+        (0..self.record_count)
+            .map(move |i| Op::Insert(user_key(i), value_for(i, 0, self.value_size)))
+    }
+
+    /// The transaction phase: `op_count` operations drawn from the mix.
+    pub fn run_ops(&self, op_count: u64, seed: u64) -> OpStream {
+        let total = self.read + self.update + self.insert + self.scan + self.rmw;
+        assert!((total - 1.0).abs() < 1e-6, "{}: proportions sum to {total}", self.name);
+        OpStream {
+            spec: self.clone(),
+            remaining: op_count,
+            sampler: self.dist.sampler(self.record_count, StdRng::seed_from_u64(seed)),
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed),
+            next_insert: self.record_count,
+            version: 1,
+        }
+    }
+}
+
+/// Iterator producing the transaction phase operations.
+pub struct OpStream {
+    spec: WorkloadSpec,
+    remaining: u64,
+    sampler: KeySampler,
+    rng: StdRng,
+    next_insert: u64,
+    version: u64,
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let spec = &self.spec;
+        let roll: f64 = self.rng.gen();
+        let key_index = self.sampler.next_key();
+        let key = user_key(key_index);
+        self.version += 1;
+        let op = if roll < spec.read {
+            Op::Read(key)
+        } else if roll < spec.read + spec.update {
+            Op::Update(key, value_for(key_index, self.version, spec.value_size))
+        } else if roll < spec.read + spec.update + spec.insert {
+            let i = self.next_insert;
+            self.next_insert += 1;
+            self.sampler.grow(self.next_insert);
+            Op::Insert(user_key(i), value_for(i, 0, spec.value_size))
+        } else if roll < spec.read + spec.update + spec.insert + spec.scan {
+            let len = self.rng.gen_range(1..=spec.max_scan_len.max(1));
+            Op::Scan(key, len)
+        } else {
+            Op::ReadModifyWrite(key, value_for(key_index, self.version, spec.value_size))
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_of(spec: &WorkloadSpec, n: u64) -> std::collections::HashMap<&'static str, u64> {
+        let mut counts = std::collections::HashMap::new();
+        for op in spec.run_ops(n, 7) {
+            *counts.entry(op.kind()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn workload_a_is_half_read_half_update() {
+        let counts = mix_of(&WorkloadSpec::a(1000, 64), 20_000);
+        let reads = counts["read"] as f64;
+        let updates = counts["update"] as f64;
+        assert!((reads / 20_000.0 - 0.5).abs() < 0.02);
+        assert!((updates / 20_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let counts = mix_of(&WorkloadSpec::c(1000, 64), 5_000);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts["read"], 5_000);
+    }
+
+    #[test]
+    fn workload_e_scans_dominate() {
+        let counts = mix_of(&WorkloadSpec::e(1000, 64), 10_000);
+        assert!(counts["scan"] > 9_000);
+        assert!(counts.contains_key("insert"));
+    }
+
+    #[test]
+    fn load_phase_covers_every_record_once() {
+        let spec = WorkloadSpec::a(500, 32);
+        let ops: Vec<Op> = spec.load_ops().collect();
+        assert_eq!(ops.len(), 500);
+        match &ops[499] {
+            Op::Insert(k, v) => {
+                assert_eq!(k, &user_key(499));
+                assert_eq!(v.len(), 32);
+            }
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace_without_collisions() {
+        let spec = WorkloadSpec::d(100, 16);
+        let mut inserted = std::collections::HashSet::new();
+        for op in spec.run_ops(5_000, 3) {
+            if let Op::Insert(k, _) = op {
+                assert!(inserted.insert(k), "duplicate insert key");
+            }
+        }
+        assert!(!inserted.is_empty());
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let spec = WorkloadSpec::b(1000, 64);
+        let a: Vec<Op> = spec.run_ops(100, 9).collect();
+        let b: Vec<Op> = spec.run_ops(100, 9).collect();
+        let c: Vec<Op> = spec.run_ops(100, 10).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn suite_has_six_distinct_workloads() {
+        let suite = WorkloadSpec::core_suite(10, 8);
+        let names: std::collections::HashSet<_> = suite.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

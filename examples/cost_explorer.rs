@@ -1,0 +1,72 @@
+//! Cost explorer: sweep the local/cloud split level and chart the
+//! cost-performance trade-off RocksMash navigates.
+//!
+//! For each placement policy (everything local ... everything cloud) the
+//! same dataset and read mix run, and the example prints capacity split,
+//! estimated monthly bill, and read throughput — the knob a deployment
+//! would tune against its budget.
+//!
+//! ```sh
+//! cargo run --release -p rocksmash-examples --bin cost_explorer
+//! ```
+
+use std::sync::Arc;
+
+use rocksmash::{PlacementPolicy, TieredConfig, TieredDb};
+use storage::{Env, LocalEnv};
+use workloads::microbench::{fillrandom, readrandom};
+use workloads::{run_ops, KeyDistribution};
+
+const RECORDS: u64 = 12_000;
+const VALUE: usize = 256;
+const OPS: u64 = 2_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("placement sweep: cloud_from_level = 0 (all cloud) .. 7 (all local)\n");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>8}  {:>12}  {:>12}",
+        "split", "local MiB", "cloud MiB", "local %", "$ / month", "read kops/s"
+    );
+    for cloud_from_level in [0usize, 1, 2, 3, 7] {
+        let dir = std::env::temp_dir()
+            .join(format!("rocksmash-cost-{cloud_from_level}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env: Arc<dyn Env> = Arc::new(LocalEnv::new(&dir)?);
+        let mut config = TieredConfig {
+            placement: PlacementPolicy { cloud_from_level },
+            ..TieredConfig::rocksmash()
+        };
+        // Shrink engine buffers so this demo dataset develops deep levels.
+        config.options.write_buffer_size = 128 << 10;
+        config.options.target_file_size = 128 << 10;
+        config.options.max_bytes_for_level_base = 256 << 10;
+        config.options.level_size_multiplier = 4;
+        config.options.block_cache_bytes = 256 << 10;
+        config.cache_bytes = 1 << 20;
+        let db = TieredDb::open(env, config)?;
+
+        run_ops(&db, fillrandom(RECORDS, VALUE, 7))?;
+        db.flush()?;
+        db.wait_for_compactions()?;
+        db.cloud().cost_tracker().reset();
+
+        let dist = KeyDistribution::zipfian_default();
+        run_ops(&db, readrandom(RECORDS, OPS, dist, 1))?; // warm
+        let result = run_ops(&db, readrandom(RECORDS, OPS, dist, 2))?;
+        let report = db.report()?;
+        println!(
+            "{:>6}  {:>10.1}  {:>10.1}  {:>7.1}%  {:>12.5}  {:>12.1}",
+            if cloud_from_level >= 7 { "local".to_string() } else { format!("L{cloud_from_level}+") },
+            report.local_bytes as f64 / (1 << 20) as f64,
+            report.cloud_bytes as f64 / (1 << 20) as f64,
+            report.local_fraction() * 100.0,
+            report.cost.monthly_total(),
+            result.throughput() / 1000.0,
+        );
+        db.close()?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("\nRocksMash's default (L2+) keeps the hot ~20% local: most of the");
+    println!("throughput of all-local at close to the capacity bill of all-cloud.");
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! IoT ingest + crash recovery: a write-heavy time-series workload that
+//! exercises the extended WAL.
+//!
+//! Simulates devices appending readings, "crashes" the process state
+//! mid-ingest (drops the store without flushing), then reopens and shows
+//! the eWAL's parallel recovery restoring the unflushed tail.
+//!
+//! ```sh
+//! cargo run --release -p rocksmash-examples --bin iot_ingest
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rocksmash::{TieredConfig, TieredDb};
+use storage::{Env, LocalEnv};
+
+const DEVICES: u64 = 64;
+const READINGS_PER_DEVICE: u64 = 400;
+
+fn reading_key(device: u64, t: u64) -> Vec<u8> {
+    format!("dev{device:04}/t{t:010}").into_bytes()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("rocksmash-iot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let env: Arc<dyn Env> = Arc::new(LocalEnv::new(&dir)?);
+
+    let mut config = TieredConfig::rocksmash();
+    config.ewal_partitions = 4;
+
+    // Phase 1: ingest until a simulated crash.
+    {
+        let db = TieredDb::open(Arc::clone(&env), config.clone())?;
+        let t0 = Instant::now();
+        for t in 0..READINGS_PER_DEVICE {
+            for device in 0..DEVICES {
+                db.put(
+                    &reading_key(device, t),
+                    format!("{{\"temp\":{:.2},\"seq\":{t}}}", 20.0 + (t % 17) as f64 / 3.0)
+                        .as_bytes(),
+                )?;
+            }
+            if t == READINGS_PER_DEVICE / 2 {
+                // Half the data is made table-durable...
+                db.flush()?;
+            }
+        }
+        let total = DEVICES * READINGS_PER_DEVICE;
+        println!(
+            "ingested {} readings at {:.1} kops/s, then CRASH (no flush, no close)",
+            total,
+            total as f64 / t0.elapsed().as_secs_f64() / 1000.0
+        );
+        // Simulated crash: stop background work without flushing the
+        // memtable. The second half of the data exists only in the eWAL.
+        db.engine().close()?;
+    }
+
+    // Phase 2: reopen; the eWAL replays the unflushed tail in parallel.
+    let db = TieredDb::open(Arc::clone(&env), config)?;
+    let report = db.recovery_report().expect("eWAL recovery ran");
+    println!(
+        "recovery: {} ops from {} partition files ({} KiB) in {:.1} ms (decode {:.1} ms parallel, apply {:.1} ms)",
+        report.ops(),
+        report.files,
+        report.bytes / 1024,
+        report.total_time().as_secs_f64() * 1000.0,
+        report.decode_time.as_secs_f64() * 1000.0,
+        report.apply_time.as_secs_f64() * 1000.0,
+    );
+
+    // Every reading — flushed or not — must be present.
+    let mut missing = 0;
+    for device in 0..DEVICES {
+        for t in 0..READINGS_PER_DEVICE {
+            if db.get(&reading_key(device, t))?.is_none() {
+                missing += 1;
+            }
+        }
+    }
+    assert_eq!(missing, 0, "recovery lost {missing} readings");
+    println!("verified all {} readings survived the crash", DEVICES * READINGS_PER_DEVICE);
+
+    // Time-range query for one device (scans are tier-transparent).
+    let rows = db.scan(&reading_key(7, 100), 5)?;
+    println!("device 7 from t=100:");
+    for (k, v) in rows {
+        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+    }
+
+    db.close()?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: open a RocksMash store, write, read, scan, snapshot, and
+//! inspect where the bytes live.
+//!
+//! ```sh
+//! cargo run --release -p rocksmash-examples --bin quickstart
+//! ```
+
+use std::sync::Arc;
+
+use rocksmash::{TieredConfig, TieredDb};
+use storage::{Env, LocalEnv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("rocksmash-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The local tier is a directory; the cloud tier is simulated with
+    // S3-like latency and pricing (see storage::CloudConfig to customize).
+    // Engine buffers are shrunk so this small demo dataset still develops
+    // the deep (cloud-resident) levels a production store would.
+    let env: Arc<dyn Env> = Arc::new(LocalEnv::new(&dir)?);
+    let mut config = TieredConfig::rocksmash();
+    config.options.write_buffer_size = 64 << 10;
+    config.options.target_file_size = 64 << 10;
+    config.options.max_bytes_for_level_base = 128 << 10;
+    let db = TieredDb::open(env, config)?;
+
+    // Point writes and reads.
+    db.put(b"user:alice", b"{\"plan\":\"pro\"}")?;
+    db.put(b"user:bob", b"{\"plan\":\"free\"}")?;
+    println!("alice -> {:?}", String::from_utf8_lossy(&db.get(b"user:alice")?.unwrap()));
+
+    // Atomic batches.
+    let mut batch = lsm::WriteBatch::new();
+    batch.put(b"user:carol", b"{\"plan\":\"pro\"}");
+    batch.delete(b"user:bob");
+    db.write(batch)?;
+    assert!(db.get(b"user:bob")?.is_none());
+
+    // Snapshots give repeatable reads.
+    let snap = db.snapshot();
+    db.put(b"user:alice", b"{\"plan\":\"enterprise\"}")?;
+    println!(
+        "alice now   -> {}",
+        String::from_utf8_lossy(&db.get(b"user:alice")?.unwrap())
+    );
+    println!(
+        "alice @snap -> {}",
+        String::from_utf8_lossy(&db.get_at(b"user:alice", &snap)?.unwrap())
+    );
+
+    // Bulk-load enough data that compaction pushes cold bytes to the
+    // cloud tier, then scan a range.
+    for i in 0..20_000u64 {
+        db.put(format!("event:{i:08}").as_bytes(), format!("payload-{i}").as_bytes())?;
+    }
+    db.flush()?;
+    db.wait_for_compactions()?;
+
+    let rows = db.scan(b"event:00000100", 5)?;
+    println!("scan from event:00000100:");
+    for (k, v) in rows {
+        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+    }
+
+    // Where did the bytes go, and what would a month cost?
+    let report = db.report()?;
+    println!(
+        "local tier: {:.1} MiB ({:.0}% of data), cloud tier: {:.1} MiB",
+        report.local_bytes as f64 / (1 << 20) as f64,
+        report.local_fraction() * 100.0,
+        report.cloud_bytes as f64 / (1 << 20) as f64,
+    );
+    println!(
+        "monthly cost estimate: ${:.4} (capacity ${:.4}, requests+egress ${:.4})",
+        report.cost.monthly_total(),
+        report.cost.cloud_capacity_cost + report.cost.local_capacity_cost,
+        report.cost.request_cost + report.cost.egress_cost,
+    );
+    if let Some(cache) = report.cache {
+        println!(
+            "persistent cache: {:.1}% hit ratio, {} KiB metadata",
+            cache.hit_ratio() * 100.0,
+            report.cache_metadata_bytes / 1024
+        );
+    }
+
+    db.close()?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Host crate for the workspace-level integration tests (see `tests/`).
+//!
+//! The library itself is intentionally empty: the value is in the
+//! `tests/*.rs` integration binaries, which exercise the public APIs of
+//! every crate together.

@@ -1,0 +1,261 @@
+//! End-to-end integration: the full RocksMash stack under realistic mixed
+//! workloads, verified against an in-memory model database.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm::Options;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::{Env, MemEnv};
+
+fn small_base() -> TieredConfig {
+    TieredConfig {
+        options: Options {
+            write_buffer_size: 16 << 10,
+            target_file_size: 16 << 10,
+            max_bytes_for_level_base: 32 << 10,
+            l0_compaction_trigger: 2,
+            ..Options::small_for_tests()
+        },
+        cache_admission: false,
+        cache_bytes: 1 << 20,
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+/// Drive random puts/deletes/gets/scans against the store and a BTreeMap
+/// model; every read must agree with the model.
+fn model_check(db: &TieredDb, seed: u64, ops: usize) {
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..ops {
+        let key = format!("mk{:05}", rng.gen_range(0..500u32)).into_bytes();
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let value = format!("v{step}-{}", "p".repeat(rng.gen_range(0..200))).into_bytes();
+                db.put(&key, &value).unwrap();
+                model.insert(key, value);
+            }
+            5 => {
+                db.delete(&key).unwrap();
+                model.remove(&key);
+            }
+            6..=8 => {
+                assert_eq!(db.get(&key).unwrap(), model.get(&key).cloned(), "step {step}");
+            }
+            _ => {
+                let got = db.scan(&key, 10).unwrap();
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(key.clone()..)
+                    .take(10)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan at step {step}");
+            }
+        }
+        if step % 1000 == 999 {
+            db.flush().unwrap();
+        }
+    }
+    // Final full comparison.
+    let mut it = db.iter().unwrap();
+    it.seek_to_first().unwrap();
+    let all = it.collect_forward(usize::MAX).unwrap();
+    let want: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(all, want, "final state diverged from model");
+}
+
+#[test]
+fn rocksmash_matches_model_database() {
+    let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+    model_check(&db, 0xabcd, 5_000);
+    db.close().unwrap();
+}
+
+#[test]
+fn naive_hybrid_matches_model_database() {
+    let db = Scheme::NaiveHybrid.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+    model_check(&db, 0x1234, 4_000);
+    db.close().unwrap();
+}
+
+#[test]
+fn local_only_matches_model_database() {
+    let db = Scheme::LocalOnly.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+    model_check(&db, 0x9999, 4_000);
+    db.close().unwrap();
+}
+
+#[test]
+fn repeated_crash_recovery_preserves_model_state() {
+    let env = Arc::new(MemEnv::new());
+    let cloud = storage::CloudStore::instant();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    for round in 0..4 {
+        let db = TieredDb::open_with_cloud(
+            env.clone() as Arc<dyn Env>,
+            cloud.clone(),
+            small_base(),
+        )
+        .unwrap();
+        // Everything from earlier rounds must have survived the "crash".
+        for (k, v) in &model {
+            assert_eq!(db.get(k).unwrap().as_ref(), Some(v), "round {round}");
+        }
+        for i in 0..800 {
+            let key = format!("ck{:05}", rng.gen_range(0..300u32)).into_bytes();
+            if rng.gen_bool(0.8) {
+                let value = format!("r{round}-{i}").into_bytes();
+                db.put(&key, &value).unwrap();
+                model.insert(key, value);
+            } else {
+                db.delete(&key).unwrap();
+                model.remove(&key);
+            }
+        }
+        // Crash without flushing: the eWAL carries the tail.
+        db.engine().close().unwrap();
+    }
+    let db =
+        TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, small_base()).unwrap();
+    for (k, v) in &model {
+        assert_eq!(db.get(k).unwrap().as_ref(), Some(v));
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn concurrent_clients_on_tiered_store() {
+    let db = Arc::new(Scheme::RocksMash.open(Arc::new(MemEnv::new()), small_base()).unwrap());
+    // Seed data.
+    for i in 0..400 {
+        db.put(format!("shared{i:04}").as_bytes(), b"seed").unwrap();
+    }
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(t as u64);
+            for i in 0..2_000u32 {
+                let key = format!("shared{:04}", rng.gen_range(0..400));
+                if rng.gen_bool(0.3) {
+                    db.put(key.as_bytes(), format!("t{t}-{i}").as_bytes()).unwrap();
+                } else {
+                    // Any committed value (or the seed) is acceptable; the
+                    // point is no errors, no torn reads.
+                    let got = db.get(key.as_bytes()).unwrap().expect("never deleted");
+                    assert!(got == b"seed".to_vec() || got.starts_with(b"t"));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn snapshot_consistency_across_flush_and_compaction() {
+    let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+    for i in 0..500 {
+        db.put(format!("sn{i:04}").as_bytes(), format!("before-{i}").as_bytes()).unwrap();
+    }
+    let snap = db.snapshot();
+    for i in 0..500 {
+        db.put(format!("sn{i:04}").as_bytes(), format!("after-{i}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for i in (0..500).step_by(29) {
+        let key = format!("sn{i:04}");
+        assert_eq!(
+            db.get_at(key.as_bytes(), &snap).unwrap(),
+            Some(format!("before-{i}").into_bytes()),
+            "snapshot read for {key}"
+        );
+        assert_eq!(
+            db.get(key.as_bytes()).unwrap(),
+            Some(format!("after-{i}").into_bytes()),
+            "live read for {key}"
+        );
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn cloud_failures_are_retried_transparently() {
+    // 10% of cloud requests fail transiently; the router's retry layer
+    // must hide every one of them.
+    let config = TieredConfig {
+        cloud: storage::CloudConfig {
+            latency: storage::LatencyModel::zero(),
+            failure_prob: 0.10,
+            ..storage::CloudConfig::instant()
+        },
+        ..small_base()
+    };
+    let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), config).unwrap();
+    for i in 0..1_500 {
+        db.put(format!("f{i:05}").as_bytes(), &[b'x'; 128]).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    assert!(
+        db.cloud().failure_policy().injected_count() > 0,
+        "faults must actually have been injected"
+    );
+    for i in (0..1_500).step_by(13) {
+        assert!(db.get(format!("f{i:05}").as_bytes()).unwrap().is_some(), "key {i}");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn recorded_trace_replays_identically_across_schemes() {
+    // Record one YCSB-B stream to a trace file, then drive two different
+    // schemes with the identical trace; the visible data must agree.
+    let trace_path = std::env::temp_dir().join(format!(
+        "rocksmash-trace-e2e-{}.bin",
+        std::process::id()
+    ));
+    let spec = workloads::WorkloadSpec::b(300, 64);
+    let ops: Vec<workloads::Op> = spec.load_ops().chain(spec.run_ops(1_500, 9)).collect();
+    workloads::trace::record(&trace_path, ops).unwrap();
+
+    let mut finals: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::new();
+    for scheme in [Scheme::RocksMash, Scheme::LocalOnly] {
+        let db = scheme.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+        let replayed = workloads::trace::replay(&trace_path).unwrap();
+        workloads::run_ops(&db, replayed).unwrap();
+        db.flush().unwrap();
+        let mut it = db.iter().unwrap();
+        it.seek_to_first().unwrap();
+        finals.push(it.collect_forward(usize::MAX).unwrap());
+        db.close().unwrap();
+    }
+    assert_eq!(finals[0], finals[1], "schemes diverged on an identical trace");
+    assert!(!finals[0].is_empty());
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn multi_get_spans_tiers() {
+    let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), small_base()).unwrap();
+    for i in 0..600usize {
+        db.put(format!("mgt{i:05}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    let keys: Vec<Vec<u8>> = (0..600).step_by(60).map(|i| format!("mgt{i:05}").into_bytes()).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let got = db.engine().multi_get(&refs).unwrap();
+    for (j, v) in got.iter().enumerate() {
+        assert_eq!(*v, Some(format!("v{}", j * 60).into_bytes()));
+    }
+    db.close().unwrap();
+}

@@ -1,0 +1,344 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the system's correctness rests on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lsm::memtable::{LookupResult, MemTable};
+use lsm::sstable::{Block, BlockBuilder, BloomFilter, Table, TableBuilder};
+use lsm::types::{internal_compare, make_internal_key, make_lookup_key, ValueType};
+use lsm::util::{crc32c, get_varint64, put_varint64};
+use lsm::{Options, WriteBatch};
+use mashcache::meta::PackedIndex;
+use proptest::prelude::*;
+use storage::{Env, MemEnv};
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, v);
+        let (decoded, n) = get_varint64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_never_reads_past_encoding(v in any::<u64>(), tail in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, v);
+        let len = buf.len();
+        buf.extend_from_slice(&tail);
+        let (decoded, n) = get_varint64(&buf).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(n, len);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..512), bit in any::<u16>()) {
+        let crc = crc32c(&data);
+        let mut corrupted = data.clone();
+        let pos = (bit as usize) % (corrupted.len() * 8);
+        corrupted[pos / 8] ^= 1 << (pos % 8);
+        prop_assert_ne!(crc, crc32c(&corrupted));
+    }
+
+    #[test]
+    fn internal_key_order_extends_user_key_order(
+        a in proptest::collection::vec(any::<u8>(), 0..24),
+        b in proptest::collection::vec(any::<u8>(), 0..24),
+        sa in 0u64..1 << 40,
+        sb in 0u64..1 << 40,
+    ) {
+        let ka = make_internal_key(&a, sa, ValueType::Value);
+        let kb = make_internal_key(&b, sb, ValueType::Value);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert_eq!(internal_compare(&ka, &kb), std::cmp::Ordering::Less),
+            std::cmp::Ordering::Greater => prop_assert_eq!(internal_compare(&ka, &kb), std::cmp::Ordering::Greater),
+            std::cmp::Ordering::Equal => {
+                // Same user key: higher sequence sorts first.
+                prop_assert_eq!(internal_compare(&ka, &kb), sb.cmp(&sa));
+            }
+        }
+    }
+
+    #[test]
+    fn write_batch_roundtrips(ops in proptest::collection::vec(
+        (any::<bool>(), proptest::collection::vec(any::<u8>(), 0..32), proptest::collection::vec(any::<u8>(), 0..64)),
+        0..20,
+    ), seq in any::<u32>()) {
+        let mut batch = WriteBatch::new();
+        for (is_put, key, value) in &ops {
+            if *is_put {
+                batch.put(key, value);
+            } else {
+                batch.delete(key);
+            }
+        }
+        batch.set_sequence(seq as u64);
+        let decoded = WriteBatch::from_data(batch.data()).unwrap();
+        prop_assert_eq!(decoded.count(), ops.len() as u32);
+        prop_assert_eq!(decoded.sequence(), seq as u64);
+        prop_assert_eq!(decoded.iter().count(), ops.len());
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(keys in proptest::collection::hash_set(
+        proptest::collection::vec(any::<u8>(), 1..24), 1..200,
+    )) {
+        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+        let filter = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+        for key in &keys {
+            prop_assert!(filter.may_contain(key));
+        }
+        let decoded = BloomFilter::decode(&filter.encode()).unwrap();
+        for key in &keys {
+            prop_assert!(decoded.may_contain(key));
+        }
+    }
+
+    #[test]
+    fn packed_index_matches_hashmap(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..256, 0u32..10_000), 1..400,
+    )) {
+        let mut idx = PackedIndex::new();
+        let mut model = std::collections::HashMap::new();
+        for (insert, offset_slot, slot) in ops {
+            let offset = offset_slot * 4096;
+            if insert {
+                idx.insert(offset, slot);
+                model.insert(offset, slot);
+            } else {
+                prop_assert_eq!(idx.remove(offset), model.remove(&offset));
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len());
+        for (offset, slot) in model {
+            prop_assert_eq!(idx.get(offset), Some(slot));
+        }
+    }
+
+    #[test]
+    fn memtable_agrees_with_model(ops in proptest::collection::vec(
+        (any::<bool>(), 0u8..32, proptest::collection::vec(any::<u8>(), 0..16)), 1..200,
+    )) {
+        let mem = Arc::new(MemTable::new());
+        let mut model: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        let mut seq = 0u64;
+        for (is_put, key_id, value) in ops {
+            seq += 1;
+            let key = vec![b'k', key_id];
+            if is_put {
+                mem.insert(seq, ValueType::Value, &key, &value);
+                model.insert(key, Some(value));
+            } else {
+                mem.insert(seq, ValueType::Deletion, &key, &[]);
+                model.insert(key, None);
+            }
+        }
+        for (key, expect) in model {
+            let got = mem.get(&key, u64::MAX >> 9);
+            match expect {
+                Some(v) => prop_assert_eq!(got, LookupResult::Value(v)),
+                None => prop_assert_eq!(got, LookupResult::Deleted),
+            }
+        }
+    }
+
+    #[test]
+    fn block_iteration_returns_exactly_what_was_built(
+        entries in proptest::collection::btree_map(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            1..64,
+        ),
+        restart_interval in 1usize..20,
+    ) {
+        let mut builder = BlockBuilder::new(restart_interval);
+        let mut expected = Vec::new();
+        for (i, (key, value)) in entries.iter().enumerate() {
+            let ikey = make_internal_key(key, i as u64 + 1, ValueType::Value);
+            builder.add(&ikey, value);
+            expected.push((ikey, value.clone()));
+        }
+        let block = Arc::new(Block::new(builder.finish()).unwrap());
+        let mut iter = block.iter();
+        use lsm::iterator::InternalIterator;
+        iter.seek_to_first().unwrap();
+        for (ikey, value) in &expected {
+            prop_assert!(iter.valid());
+            prop_assert_eq!(iter.key(), ikey.as_slice());
+            prop_assert_eq!(iter.value(), value.as_slice());
+            iter.next().unwrap();
+        }
+        prop_assert!(!iter.valid());
+        // Seeking any built key finds it.
+        for (ikey, value) in &expected {
+            iter.seek(ikey).unwrap();
+            prop_assert!(iter.valid());
+            prop_assert_eq!(iter.value(), value.as_slice());
+        }
+    }
+
+    #[test]
+    fn table_get_finds_every_entry(keys in proptest::collection::btree_set(
+        proptest::collection::vec(b'a'..=b'z', 1..12), 1..100,
+    )) {
+        let env = MemEnv::new();
+        let options = Options { block_size: 256, ..Options::small_for_tests() };
+        let mut builder = TableBuilder::new(env.new_writable("t").unwrap(), options.clone());
+        let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+        for (i, key) in keys.iter().enumerate() {
+            let ikey = make_internal_key(key, i as u64 + 1, ValueType::Value);
+            builder.add(&ikey, format!("val{i}").as_bytes()).unwrap();
+        }
+        builder.finish().unwrap();
+        let table = Arc::new(
+            Table::open(env.open_random("t").unwrap(), 1, options, None).unwrap(),
+        );
+        for (i, key) in keys.iter().enumerate() {
+            let lookup = make_lookup_key(key, u64::MAX >> 9);
+            let (_, v) = table.get(&lookup).unwrap().expect("present");
+            prop_assert_eq!(v, format!("val{i}").into_bytes());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Whole-database property: random op sequences against a model. Few
+    // cases (each opens a full engine) but deep ones.
+    #[test]
+    fn db_matches_model_under_random_ops(ops in proptest::collection::vec(
+        (0u8..3, 0u16..200, proptest::collection::vec(any::<u8>(), 0..48)), 1..300,
+    )) {
+        let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+        let db = lsm::Db::open(env, Options {
+            write_buffer_size: 8 << 10,
+            l0_compaction_trigger: 2,
+            max_bytes_for_level_base: 32 << 10,
+            ..Options::small_for_tests()
+        }).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (kind, key_id, value) in ops {
+            let key = format!("p{key_id:05}").into_bytes();
+            match kind {
+                0 => {
+                    db.put(&key, &value).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    db.delete(&key).unwrap();
+                    model.remove(&key);
+                }
+                _ => {
+                    prop_assert_eq!(db.get(&key).unwrap(), model.get(&key).cloned());
+                }
+            }
+        }
+        db.flush().unwrap();
+        for (key, value) in &model {
+            let got = db.get(key).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(value));
+        }
+        db.close().unwrap();
+    }
+}
+
+proptest! {
+    // Robustness: feeding arbitrary or corrupted bytes to the decoders
+    // must yield clean errors, never panics or hangs.
+
+    #[test]
+    fn log_reader_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let env = MemEnv::new();
+        env.write_all("log", &data).unwrap();
+        let mut reader = lsm::wal::LogReader::new(env.open_random("log").unwrap());
+        // Either records come out or corruption is counted; no panic.
+        let _ = reader.read_all();
+    }
+
+    #[test]
+    fn log_reader_survives_bit_flips_in_valid_logs(
+        records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..8),
+        flip in any::<u32>(),
+    ) {
+        let env = MemEnv::new();
+        let mut writer = lsm::wal::LogWriter::new(env.new_writable("log").unwrap());
+        for r in &records {
+            writer.add_record(r).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut data = env.read_all("log").unwrap();
+        let bit = flip as usize % (data.len() * 8);
+        data[bit / 8] ^= 1 << (bit % 8);
+        env.write_all("log", &data).unwrap();
+        let mut reader = lsm::wal::LogReader::new(env.open_random("log").unwrap());
+        let recovered = reader.read_all().unwrap();
+        // Every recovered record must be one of the originals, in order.
+        let mut cursor = 0;
+        for rec in &recovered {
+            let pos = records[cursor..].iter().position(|r| r == rec);
+            prop_assert!(pos.is_some(), "reader fabricated a record");
+            cursor += pos.unwrap() + 1;
+        }
+    }
+
+    #[test]
+    fn table_open_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let env = MemEnv::new();
+        env.write_all("t", &data).unwrap();
+        let _ = Table::open(env.open_random("t").unwrap(), 1, Options::small_for_tests(), None);
+    }
+
+    #[test]
+    fn table_reads_never_panic_on_corrupted_valid_tables(
+        n in 1usize..50,
+        flip in any::<u32>(),
+    ) {
+        let env = MemEnv::new();
+        let options = Options { block_size: 256, ..Options::small_for_tests() };
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), options.clone());
+        for i in 0..n {
+            let k = make_internal_key(format!("k{i:04}").as_bytes(), i as u64 + 1, ValueType::Value);
+            b.add(&k, b"value-bytes").unwrap();
+        }
+        b.finish().unwrap();
+        let mut data = env.read_all("t").unwrap();
+        let bit = flip as usize % (data.len() * 8);
+        data[bit / 8] ^= 1 << (bit % 8);
+        env.write_all("t", &data).unwrap();
+        if let Ok(table) = Table::open(env.open_random("t").unwrap(), 1, options, None) {
+            let table = Arc::new(table);
+            for i in 0..n.min(10) {
+                // Result may be Ok or a corruption error; never a panic,
+                // and never a wrong value for an intact read path.
+                if let Ok(Some((k, v))) =
+                    table.get(&make_lookup_key(format!("k{i:04}").as_bytes(), 1 << 40))
+                {
+                    if lsm::types::extract_user_key(&k) == format!("k{i:04}").as_bytes() {
+                        let _ = v;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_edit_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lsm::version::VersionEdit::decode(&data);
+    }
+
+    #[test]
+    fn write_batch_from_data_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = WriteBatch::from_data(&data);
+    }
+
+    #[test]
+    fn bloom_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Some(f) = BloomFilter::decode(&data) {
+            let _ = f.may_contain(b"probe");
+        }
+    }
+}
