@@ -13,7 +13,12 @@ const SLOT: u32 = 4096 + SLOT_HEADER as u32;
 fn mash(capacity: usize) -> MashCache {
     MashCache::new(
         Arc::new(MemCacheStorage::new(capacity)),
-        CacheConfig { slot_size: SLOT, slots_per_extent: 64, admission: false, ..CacheConfig::default() },
+        CacheConfig {
+            slot_size: SLOT,
+            slots_per_extent: 64,
+            admission: false,
+            ..CacheConfig::default()
+        },
     )
 }
 

@@ -11,6 +11,7 @@ use lsm::types::{make_internal_key, make_lookup_key, ValueType};
 use lsm::util::crc32c;
 use lsm::wal::LogWriter;
 use lsm::{Options, WriteBatch};
+use rocksmash::{Scheme, TieredConfig, TieredDb};
 use storage::{Env, MemEnv};
 
 fn bench_crc(c: &mut Criterion) {
@@ -131,8 +132,7 @@ fn bench_table(c: &mut Criterion) {
         builder.add(&k, &[7u8; 100]).unwrap();
     }
     builder.finish().unwrap();
-    let table =
-        Arc::new(Table::open(env.open_random("t").unwrap(), 1, options, None).unwrap());
+    let table = Arc::new(Table::open(env.open_random("t").unwrap(), 1, options, None).unwrap());
     let mut g = c.benchmark_group("table");
     let mut i = 0u64;
     g.bench_function("get_present", |b| {
@@ -151,6 +151,57 @@ fn bench_table(c: &mut Criterion) {
         })
     });
     g.finish();
+}
+
+/// A tiered store with the data compacted onto either the local or the
+/// cloud tier, ready for read benchmarks.
+fn multi_get_db(scheme: Scheme) -> TieredDb {
+    let config = TieredConfig {
+        options: Options {
+            write_buffer_size: 32 << 10,
+            target_file_size: 16 << 10,
+            max_bytes_for_level_base: 64 << 10,
+            l0_compaction_trigger: 2,
+            ..Options::small_for_tests()
+        },
+        cache_admission: false,
+        ..TieredConfig::small_for_tests()
+    };
+    let db = scheme.open(Arc::new(MemEnv::new()), config).expect("open");
+    for i in 0..4_000u64 {
+        db.put(format!("key{i:06}").as_bytes(), &[0x5au8; 64]).expect("put");
+    }
+    db.flush().expect("flush");
+    db.wait_for_compactions().expect("compactions");
+    db
+}
+
+fn bench_multi_get(c: &mut Criterion) {
+    // Local vs cloud-resident data: same tree shape, different tier. The
+    // cloud arm uses the instant latency model so criterion measures the
+    // batched read path's constant factors, not simulated sleeps.
+    for (tier, scheme) in [("local", Scheme::LocalOnly), ("cloud", Scheme::CloudOnly)] {
+        let db = multi_get_db(scheme);
+        let mut g = c.benchmark_group(format!("multi_get_{tier}"));
+        for &batch in &[1usize, 8, 64, 256] {
+            // Stride the batch across the keyspace so it touches many
+            // blocks, as a real point-lookup batch would.
+            let keys: Vec<Vec<u8>> = (0..batch)
+                .map(|i| format!("key{:06}", (i * 4_000 / batch) % 4_000).into_bytes())
+                .collect();
+            let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            g.throughput(Throughput::Elements(batch as u64));
+            g.bench_function(format!("batch{batch}"), |b| {
+                b.iter(|| {
+                    let values = db.multi_get(black_box(&key_refs)).expect("multi_get");
+                    assert_eq!(values.len(), batch);
+                    values
+                })
+            });
+        }
+        g.finish();
+        db.close().expect("close");
+    }
 }
 
 fn bench_batch(c: &mut Criterion) {
@@ -175,6 +226,7 @@ criterion_group!(
     bench_bloom,
     bench_wal,
     bench_table,
+    bench_multi_get,
     bench_batch
 );
 criterion_main!(benches);

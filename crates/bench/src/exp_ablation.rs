@@ -51,10 +51,7 @@ pub fn run(params: &ExpParams) {
                 ..Scheme::RocksMash.configure(base)
             }),
         ),
-        (
-            "+ewal (full)",
-            Box::new(|base| Scheme::RocksMash.configure(base)),
-        ),
+        ("+ewal (full)", Box::new(|base| Scheme::RocksMash.configure(base))),
     ];
 
     let spec = WorkloadSpec::b(params.record_count, params.value_size);

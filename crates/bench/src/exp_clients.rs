@@ -8,10 +8,11 @@
 //! schemes climb with concurrency — the paper's multi-client YCSB setup.
 
 use rocksmash::Scheme;
-use workloads::microbench::readrandom;
+use workloads::microbench::{readrandom, seekrandom};
 use workloads::{run_ops, run_ops_concurrent, KeyDistribution};
 
-use crate::{emit_table, kops, load_random, open_scheme, ExpParams, Row};
+use crate::exp_scan::READAHEAD_BLOCKS;
+use crate::{emit_table, kops, load_random, open_scheme, open_scheme_with, ExpParams, Row};
 
 /// Run E11 and print its figure series.
 pub fn run(params: &ExpParams) {
@@ -44,5 +45,49 @@ pub fn run(params: &ExpParams) {
         "zipfian read throughput vs concurrent clients (kops/s)",
         &header_refs,
         &rows,
+    );
+
+    // Readahead sweep: the same client scaling but for range scans, with
+    // cloud-block readahead off vs on. Readahead overlaps the next blocks'
+    // cloud RTTs with iteration, so the "on" arm reaches a given scan
+    // throughput with fewer clients — concurrency and prefetching are two
+    // routes to the same latency-hiding.
+    let scan_len = 100usize;
+    let mut scan_rows = Vec::new();
+    for scheme in [Scheme::CloudOnly, Scheme::NaiveHybrid, Scheme::RocksMash] {
+        for ra in [0, READAHEAD_BLOCKS] {
+            let (_dir, db) = open_scheme_with(scheme, params, |cfg| cfg.readahead_blocks = ra);
+            load_random(&db, params);
+            let scans = (params.op_count / 8).max(50);
+            run_ops(
+                &db,
+                seekrandom(params.record_count, scans / 2, scan_len, KeyDistribution::Uniform, 63),
+            )
+            .expect("warm");
+            let mut values = Vec::new();
+            for &threads in thread_counts {
+                let result = run_ops_concurrent(
+                    &db,
+                    seekrandom(params.record_count, scans, scan_len, KeyDistribution::Uniform, 64),
+                    threads,
+                )
+                .expect("run");
+                let records_per_sec = result.scanned_records as f64 / result.elapsed_secs;
+                values.push(format!("{:.1}", records_per_sec / 1000.0));
+            }
+            let label = if ra == 0 {
+                scheme.name().to_string()
+            } else {
+                format!("{} ra={ra}", scheme.name())
+            };
+            scan_rows.push(Row::new(label, values));
+            db.close().expect("close");
+        }
+    }
+    emit_table(
+        "E11-clients-scan",
+        "concurrent scan throughput vs clients, readahead off/on (krec/s)",
+        &header_refs,
+        &scan_rows,
     );
 }

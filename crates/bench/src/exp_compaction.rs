@@ -22,10 +22,7 @@ pub fn run(params: &ExpParams) {
         let dir = ExpDir::new("compaction");
         let env = std::sync::Arc::new(LocalEnv::new(dir.path().clone()).expect("env"));
         // RocksMash placement with the cache under test.
-        let config = TieredConfig {
-            cache,
-            ..Scheme::RocksMash.configure(params.base_config())
-        };
+        let config = TieredConfig { cache, ..Scheme::RocksMash.configure(params.base_config()) };
         let db = rocksmash::TieredDb::open(env, config).expect("open");
         load_random(&db, params);
         let dist = KeyDistribution::zipfian_default();

@@ -21,8 +21,8 @@ use crate::{emit_table, kops, ExpDir, ExpParams, Row};
 /// which is unrepresentative of production values).
 fn dictionary_value(i: u64, len: usize) -> Vec<u8> {
     const WORDS: [&str; 12] = [
-        "status", "active", "region", "west", "plan", "premium", "quota", "limit", "owner",
-        "team", "billing", "cycle",
+        "status", "active", "region", "west", "plan", "premium", "quota", "limit", "owner", "team",
+        "billing", "cycle",
     ];
     let mut out = Vec::with_capacity(len + 16);
     let mut state = i.wrapping_mul(0x9e3779b97f4a7c15) | 1;
@@ -80,14 +80,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E12-compression",
         "block compression ablation (RocksMash scheme)",
-        &[
-            "load kops/s",
-            "read kops/s",
-            "local MiB",
-            "cloud MiB",
-            "egress MiB",
-            "cache hit",
-        ],
+        &["load kops/s", "read kops/s", "local MiB", "cloud MiB", "egress MiB", "cache hit"],
         &rows,
     );
 }

@@ -31,8 +31,7 @@ pub fn run(params: &ExpParams) {
         //    scheme's bytes actually sit;
         //  * request+egress dollars per million operations served.
         let data_bytes = (report.local_bytes + report.cloud_bytes).max(1);
-        let capacity_per_gib = (report.cost.cloud_capacity_cost
-            + report.cost.local_capacity_cost)
+        let capacity_per_gib = (report.cost.cloud_capacity_cost + report.cost.local_capacity_cost)
             / (data_bytes as f64 / (1u64 << 30) as f64);
         let request_cost = report.cost.request_cost + report.cost.egress_cost;
         // Both warm + measured phases issued cloud requests; bill per op.
@@ -54,14 +53,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E7-cost",
         "storage cost dimensions and read performance by scheme",
-        &[
-            "local MiB",
-            "cloud MiB",
-            "local %",
-            "capacity $/GiB-mo",
-            "req $/Mops",
-            "read kops/s",
-        ],
+        &["local MiB", "cloud MiB", "local %", "capacity $/GiB-mo", "req $/Mops", "read kops/s"],
         &rows,
     );
 }

@@ -15,8 +15,7 @@ use crate::{emit_table, ExpParams, Row};
 
 /// Run E5 and print its table.
 pub fn run(params: &ExpParams) {
-    let block_sizes: &[usize] =
-        if params.quick { &[4096] } else { &[1024, 4096, 16 * 1024] };
+    let block_sizes: &[usize] = if params.quick { &[4096] } else { &[1024, 4096, 16 * 1024] };
     let mut rows = Vec::new();
     for &block_size in block_sizes {
         let blocks: u64 = if params.quick { 5_000 } else { 20_000 };
@@ -25,7 +24,12 @@ pub fn run(params: &ExpParams) {
 
         let mash = MashCache::new(
             Arc::new(MemCacheStorage::new(capacity as usize)),
-            CacheConfig { slot_size, slots_per_extent: 64, admission: false, ..CacheConfig::default() },
+            CacheConfig {
+                slot_size,
+                slots_per_extent: 64,
+                admission: false,
+                ..CacheConfig::default()
+            },
         );
         let baseline =
             BaselineCache::new(Arc::new(MemCacheStorage::new(capacity as usize)), slot_size);
@@ -44,7 +48,8 @@ pub fn run(params: &ExpParams) {
 
         let mash_per_block = mash.metadata_bytes() as f64 / blocks as f64;
         let base_per_block = baseline.metadata_bytes() as f64 / blocks as f64;
-        let per_gib = |per_block: f64| per_block * (1 << 30) as f64 / block_size as f64 / (1 << 20) as f64;
+        let per_gib =
+            |per_block: f64| per_block * (1 << 30) as f64 / block_size as f64 / (1 << 20) as f64;
         rows.push(Row::new(
             format!("block={block_size}B"),
             vec![
@@ -59,13 +64,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E5-metadata",
         "cache metadata DRAM overhead (RocksMash vs conventional)",
-        &[
-            "mash B/block",
-            "conv B/block",
-            "mash MiB/GiB",
-            "conv MiB/GiB",
-            "savings",
-        ],
+        &["mash B/block", "conv B/block", "mash MiB/GiB", "conv MiB/GiB", "savings"],
         &rows,
     );
 }

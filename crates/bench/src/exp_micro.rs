@@ -29,24 +29,14 @@ pub fn run(params: &ExpParams) {
 
         let reads = run_ops(
             &db,
-            readrandom(
-                params.record_count,
-                params.op_count,
-                KeyDistribution::zipfian_default(),
-                7,
-            ),
+            readrandom(params.record_count, params.op_count, KeyDistribution::zipfian_default(), 7),
         )
         .expect("readrandom");
         // Second pass over the same key stream: the paper's warm-cache read
         // numbers (caches populated by the first pass).
         let warm = run_ops(
             &db,
-            readrandom(
-                params.record_count,
-                params.op_count,
-                KeyDistribution::zipfian_default(),
-                7,
-            ),
+            readrandom(params.record_count, params.op_count, KeyDistribution::zipfian_default(), 7),
         )
         .expect("readrandom warm");
 

@@ -66,11 +66,8 @@ fn timed_recovery(
 
 /// Run E6 and print its figure series.
 pub fn run(params: &ExpParams) {
-    let volumes: &[u64] = if params.quick {
-        &[4 << 20, 16 << 20]
-    } else {
-        &[16 << 20, 64 << 20, 128 << 20]
-    };
+    let volumes: &[u64] =
+        if params.quick { &[4 << 20, 16 << 20] } else { &[16 << 20, 64 << 20, 128 << 20] };
     let partition_counts: &[usize] = &[1, 2, 4, 8];
     let mut rows = Vec::new();
     for &volume in volumes {
@@ -81,10 +78,10 @@ pub fn run(params: &ExpParams) {
             // readers overlap their waits. (CPU-side decode additionally
             // parallelizes with physical cores; this harness may run on a
             // single-core container, where the I/O overlap is the signal.)
-            let log_device = LatencyModel { base_us: 100, bandwidth_mib_s: 150.0, jitter_frac: 0.02 };
-            let env: Arc<dyn Env> = Arc::new(
-                LocalEnv::new(dir.path().clone()).expect("env").with_latency(log_device),
-            );
+            let log_device =
+                LatencyModel { base_us: 100, bandwidth_mib_s: 150.0, jitter_frac: 0.02 };
+            let env: Arc<dyn Env> =
+                Arc::new(LocalEnv::new(dir.path().clone()).expect("env").with_latency(log_device));
             let bytes = build_ewal(&env, partitions, volume, params.value_size);
 
             let (serial, serial_total) = timed_recovery(params, &env, false);

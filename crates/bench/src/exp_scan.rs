@@ -1,43 +1,82 @@
-//! **E10** — scan throughput vs scan length across schemes.
+//! **E10** — scan throughput vs scan length across schemes, with a
+//! readahead on/off sweep on the cloud-backed schemes.
 //!
 //! Expected shape: short scans behave like point reads (cloud latency
 //! dominates uncached schemes); long scans amortize the per-request
 //! latency over more records, narrowing the gap — the crossover where
-//! cloud bandwidth, not latency, becomes the limit.
+//! cloud bandwidth, not latency, becomes the limit. With
+//! `readahead_blocks > 0` the iterator schedules the next N cloud blocks
+//! as one coalesced ranged GET on the prefetch pool, so sequential scans
+//! pay ~1/N of the per-request latency and request count; the companion
+//! counter table shows the mechanism (blocks prefetched, prefetch hits,
+//! coalesced GETs, billed requests saved).
 
-use rocksmash::Scheme;
+use rocksmash::{Scheme, SchemeReport};
 use workloads::microbench::seekrandom;
 use workloads::{run_ops, KeyDistribution};
 
-use crate::{emit_table, load_random, open_scheme, ExpParams, Row};
+use crate::{emit_table, load_random, open_scheme_with, ExpParams, Row};
+
+/// Readahead depth used for the "on" arm of the sweep.
+pub const READAHEAD_BLOCKS: usize = 8;
 
 /// Run E10 and print its figure series.
 pub fn run(params: &ExpParams) {
     let lengths: &[usize] = if params.quick { &[1, 100] } else { &[1, 10, 100, 1000] };
     let mut rows = Vec::new();
+    let mut counter_rows = Vec::new();
     for scheme in Scheme::all() {
-        let (_dir, db) = open_scheme(scheme, params);
-        load_random(&db, params);
-        let mut values = Vec::new();
-        for &len in lengths {
-            let ops = (params.op_count / 8).max(50).min(2_000_000 / len as u64);
-            run_ops(
-                &db,
-                seekrandom(params.record_count, ops / 2, len, KeyDistribution::Uniform, 51),
-            )
-            .expect("warm");
-            let result = run_ops(
-                &db,
-                seekrandom(params.record_count, ops, len, KeyDistribution::Uniform, 52),
-            )
-            .expect("run");
-            let records_per_sec = result.scanned_records as f64 / result.elapsed_secs;
-            values.push(format!("{:.1}", records_per_sec / 1000.0));
+        // Readahead only changes behaviour when blocks live on the cloud
+        // tier; sweep it there and keep local-only as the single ceiling
+        // row.
+        let sweeps: &[usize] =
+            if scheme == Scheme::LocalOnly { &[0] } else { &[0, READAHEAD_BLOCKS] };
+        for &ra in sweeps {
+            let (_dir, db) = open_scheme_with(scheme, params, |cfg| cfg.readahead_blocks = ra);
+            load_random(&db, params);
+            let label = if ra == 0 {
+                scheme.name().to_string()
+            } else {
+                format!("{} ra={ra}", scheme.name())
+            };
+            let before = SchemeReport::collect(&db).expect("report");
+            let mut values = Vec::new();
+            for &len in lengths {
+                let ops = (params.op_count / 8).max(50).min(2_000_000 / len as u64);
+                run_ops(
+                    &db,
+                    seekrandom(params.record_count, ops / 2, len, KeyDistribution::Uniform, 51),
+                )
+                .expect("warm");
+                let result = run_ops(
+                    &db,
+                    seekrandom(params.record_count, ops, len, KeyDistribution::Uniform, 52),
+                )
+                .expect("run");
+                let records_per_sec = result.scanned_records as f64 / result.elapsed_secs;
+                values.push(format!("{:.1}", records_per_sec / 1000.0));
+            }
+            let after = SchemeReport::collect(&db).expect("report");
+            rows.push(Row::new(label.clone(), values));
+            counter_rows.push(Row::new(
+                label,
+                vec![
+                    (after.prefetch_issued - before.prefetch_issued).to_string(),
+                    (after.prefetch_useful - before.prefetch_useful).to_string(),
+                    (after.coalesced_gets - before.coalesced_gets).to_string(),
+                    (after.requests_saved - before.requests_saved).to_string(),
+                ],
+            ));
+            db.close().expect("close");
         }
-        rows.push(Row::new(scheme.name(), values));
-        db.close().expect("close");
     }
     let headers: Vec<String> = lengths.iter().map(|l| format!("len={l} krec/s")).collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     emit_table("E10-scan", "scan throughput vs scan length", &header_refs, &rows);
+    emit_table(
+        "E10-scan-readahead",
+        "readahead & coalescing counters over the scan phases",
+        &["prefetched", "useful", "coalesced GETs", "reqs saved"],
+        &counter_rows,
+    );
 }

@@ -153,9 +153,21 @@ impl Drop for ExpDir {
 
 /// Open a scheme on a fresh local directory with the shared base config.
 pub fn open_scheme(scheme: Scheme, params: &ExpParams) -> (ExpDir, TieredDb) {
+    open_scheme_with(scheme, params, |_| {})
+}
+
+/// Open a scheme with an experiment-specific tweak applied to the shared
+/// base config (e.g. a readahead sweep point).
+pub fn open_scheme_with(
+    scheme: Scheme,
+    params: &ExpParams,
+    tweak: impl FnOnce(&mut TieredConfig),
+) -> (ExpDir, TieredDb) {
     let dir = ExpDir::new(scheme.name());
     let env = Arc::new(LocalEnv::new(dir.path().clone()).expect("local env"));
-    let db = scheme.open(env, params.base_config()).expect("open scheme");
+    let mut config = params.base_config();
+    tweak(&mut config);
+    let db = scheme.open(env, config).expect("open scheme");
     (dir, db)
 }
 
@@ -187,12 +199,8 @@ impl Row {
 pub fn emit_table(experiment: &str, title: &str, headers: &[&str], rows: &[Row]) {
     println!("\n== {experiment}: {title} ==");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    let label_width = rows
-        .iter()
-        .map(|r| r.label.len())
-        .chain(std::iter::once(8))
-        .max()
-        .unwrap_or(8);
+    let label_width =
+        rows.iter().map(|r| r.label.len()).chain(std::iter::once(8)).max().unwrap_or(8);
     for row in rows {
         for (i, v) in row.values.iter().enumerate() {
             if i < widths.len() {

@@ -11,7 +11,9 @@
 
 use crate::error::{Error, Result};
 use crate::types::{SequenceNumber, ValueType};
-use crate::util::{get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed};
+use crate::util::{
+    get_fixed32, get_fixed64, get_length_prefixed, put_fixed32, put_length_prefixed,
+};
 
 const HEADER_SIZE: usize = 12;
 

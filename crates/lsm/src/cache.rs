@@ -5,7 +5,7 @@
 //! readers; each shard runs an exact LRU implemented as a slab-backed
 //! intrusive doubly-linked list (no allocation per touch).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,6 +23,12 @@ struct Entry {
     key: BlockKey,
     block: Arc<Block>,
     charge: usize,
+    /// Staged by the readahead pipeline and not yet demanded; the flag
+    /// clears on first demand hit. The total footprint of such entries is
+    /// capped at half the shard so a scan's readahead can never claim the
+    /// whole cache, and the oldest unconsumed one is evicted first when
+    /// the cap is reached.
+    prefetched: bool,
     prev: usize,
     next: usize,
 }
@@ -35,6 +41,12 @@ struct Shard {
     tail: usize, // least recently used
     used: usize,
     capacity: usize,
+    /// Bytes held by prefetched-but-not-yet-demanded entries.
+    prefetched_bytes: usize,
+    /// Insertion order of prefetched entries, oldest first. Entries whose
+    /// block has since been demanded (flag cleared) or evicted are stale
+    /// and skipped on pop.
+    prefetch_fifo: VecDeque<(usize, BlockKey)>,
 }
 
 impl Shard {
@@ -47,6 +59,8 @@ impl Shard {
             tail: NIL,
             used: 0,
             capacity,
+            prefetched_bytes: 0,
+            prefetch_fifo: VecDeque::new(),
         }
     }
 
@@ -76,17 +90,29 @@ impl Shard {
         }
     }
 
-    fn get(&mut self, key: &BlockKey) -> Option<Arc<Block>> {
+    /// Returns the block and whether this was the first demand hit on a
+    /// prefetched entry.
+    fn get(&mut self, key: &BlockKey) -> Option<(Arc<Block>, bool)> {
         let idx = *self.map.get(key)?;
         self.unlink(idx);
         self.push_front(idx);
-        Some(Arc::clone(&self.slab[idx].block))
+        let was_prefetched = self.slab[idx].prefetched;
+        if was_prefetched {
+            // Promoted to a demand entry: no longer counts against the
+            // readahead footprint cap.
+            self.slab[idx].prefetched = false;
+            self.prefetched_bytes -= self.slab[idx].charge;
+        }
+        Some((Arc::clone(&self.slab[idx].block), was_prefetched))
     }
 
     fn remove_index(&mut self, idx: usize) {
         self.unlink(idx);
         let entry = &mut self.slab[idx];
         self.used -= entry.charge;
+        if entry.prefetched {
+            self.prefetched_bytes -= entry.charge;
+        }
         self.map.remove(&entry.key);
         // Drop the Arc eagerly; slot is recycled via the free list.
         entry.block = Arc::new(Block::empty());
@@ -104,8 +130,50 @@ impl Shard {
         if charge > self.capacity {
             return; // larger than the entire shard: never admit
         }
-        let entry = Entry { key, block, charge, prev: NIL, next: NIL };
-        let idx = match self.free.pop() {
+        let idx = self.alloc(Entry { key, block, charge, prefetched: false, prev: NIL, next: NIL });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.used += charge;
+    }
+
+    /// Admit a prefetched block. Readahead may displace LRU-cold data —
+    /// during a scan the tail is blocks the iterator already consumed —
+    /// but its total footprint is capped at half the shard and the oldest
+    /// unconsumed prefetched block goes first, so demand-hot data keeps
+    /// at least half the cache no matter how aggressive the readahead.
+    fn insert_prefetched(&mut self, key: BlockKey, block: Arc<Block>, charge: usize) {
+        let cap = self.capacity / 2;
+        if self.map.contains_key(&key) || charge > cap {
+            return;
+        }
+        // Drop stale fifo entries (promoted or evicted) so the queue stays
+        // bounded by the live prefetched footprint.
+        while let Some(&(idx, k)) = self.prefetch_fifo.front() {
+            if self.map.get(&k) == Some(&idx) && self.slab[idx].prefetched {
+                break;
+            }
+            self.prefetch_fifo.pop_front();
+        }
+        while self.prefetched_bytes + charge > cap {
+            let Some((idx, k)) = self.prefetch_fifo.pop_front() else { return };
+            if self.map.get(&k) == Some(&idx) && self.slab[idx].prefetched {
+                self.remove_index(idx);
+            }
+        }
+        while self.used + charge > self.capacity && self.tail != NIL {
+            let victim = self.tail;
+            self.remove_index(victim);
+        }
+        let idx = self.alloc(Entry { key, block, charge, prefetched: true, prev: NIL, next: NIL });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.used += charge;
+        self.prefetched_bytes += charge;
+        self.prefetch_fifo.push_back((idx, key));
+    }
+
+    fn alloc(&mut self, entry: Entry) -> usize {
+        match self.free.pop() {
             Some(i) => {
                 self.slab[i] = entry;
                 i
@@ -114,10 +182,7 @@ impl Shard {
                 self.slab.push(entry);
                 self.slab.len() - 1
             }
-        };
-        self.map.insert(key, idx);
-        self.push_front(idx);
-        self.used += charge;
+        }
     }
 
     fn erase_file(&mut self, file_number: u64) {
@@ -134,6 +199,7 @@ pub struct BlockCache {
     shards: [Mutex<Shard>; NUM_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    prefetch_useful: AtomicU64,
 }
 
 impl BlockCache {
@@ -144,6 +210,7 @@ impl BlockCache {
             shards: std::array::from_fn(|_| Mutex::new(Shard::new(per_shard))),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            prefetch_useful: AtomicU64::new(0),
         }
     }
 
@@ -161,10 +228,24 @@ impl BlockCache {
         let key = (file_number, offset);
         let got = self.shard(&key).lock().get(&key);
         match &got {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some((_, was_prefetched)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if *was_prefetched {
+                    self.prefetch_useful.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
-        got
+        got.map(|(block, _)| block)
+    }
+
+    /// Whether a block is cached, without touching recency or hit stats
+    /// (used by the prefetch pool to skip already-resident blocks).
+    pub fn contains(&self, file_number: u64, offset: u64) -> bool {
+        let key = (file_number, offset);
+        self.shard(&key).lock().map.contains_key(&key)
     }
 
     /// Insert a block, charging its in-memory size.
@@ -172,6 +253,20 @@ impl BlockCache {
         let key = (file_number, offset);
         let charge = block.size().max(1);
         self.shard(&key).lock().insert(key, block, charge);
+    }
+
+    /// Insert a block staged by readahead: may displace LRU-cold data but
+    /// the readahead footprint is capped at half of each shard, with the
+    /// oldest unconsumed prefetched block evicted first.
+    pub fn insert_prefetched(&self, file_number: u64, offset: u64, block: Arc<Block>) {
+        let key = (file_number, offset);
+        let charge = block.size().max(1);
+        self.shard(&key).lock().insert_prefetched(key, block, charge);
+    }
+
+    /// Demand hits on blocks that were staged by readahead.
+    pub fn prefetch_useful(&self) -> u64 {
+        self.prefetch_useful.load(Ordering::Relaxed)
     }
 
     /// Drop every cached block belonging to `file_number` (called when a
@@ -283,6 +378,98 @@ mod tests {
             cache.erase_file(round);
         }
         assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn prefetched_entries_promote_on_first_hit() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert_prefetched(1, 0, block_of_size(1, 100));
+        assert!(cache.contains(1, 0));
+        assert_eq!(cache.prefetch_useful(), 0);
+        assert!(cache.get(1, 0).is_some());
+        assert_eq!(cache.prefetch_useful(), 1);
+        // Flag cleared: a second hit is an ordinary hit.
+        assert!(cache.get(1, 0).is_some());
+        assert_eq!(cache.prefetch_useful(), 1);
+    }
+
+    #[test]
+    fn prefetch_footprint_is_capped_at_half_capacity() {
+        // Flooding an empty cache with readahead must leave at least half
+        // of every shard free for demand data.
+        let cap = NUM_SHARDS * 4096;
+        let cache = BlockCache::new(cap);
+        for off in 0..512u64 {
+            cache.insert_prefetched(1, off, block_of_size((off % 251) as u8, 400));
+        }
+        assert!(
+            cache.used_bytes() <= cap / 2 + 1024,
+            "prefetch flood claimed {} of {} bytes",
+            cache.used_bytes(),
+            cap
+        );
+    }
+
+    #[test]
+    fn prefetched_inserts_preserve_demand_majority() {
+        // Prefetch may evict LRU-cold blocks but never more than the
+        // capped footprint's worth: most demanded data stays resident
+        // through an aggressive readahead flood.
+        let cache = BlockCache::new(NUM_SHARDS * 2400);
+        for off in 0..16u64 {
+            cache.insert(1, off, block_of_size(1, 400));
+        }
+        let resident: Vec<u64> = (0..16).filter(|&off| cache.contains(1, off)).collect();
+        assert!(!resident.is_empty());
+        for off in 1000..1256u64 {
+            cache.insert_prefetched(1, off, block_of_size(2, 400));
+        }
+        let survivors = resident.iter().filter(|&&off| cache.contains(1, off)).count();
+        assert!(
+            survivors * 2 >= resident.len(),
+            "readahead flood displaced {} of {} demand blocks",
+            resident.len() - survivors,
+            resident.len()
+        );
+    }
+
+    #[test]
+    fn unused_prefetched_entries_age_out_under_demand_pressure() {
+        let cache = BlockCache::new(NUM_SHARDS * 600);
+        cache.insert_prefetched(1, 0, block_of_size(1, 400));
+        // Demand inserts push the unconsumed prefetched entry down the LRU
+        // list until it is evicted like any cold block.
+        for off in 0..2048u64 {
+            cache.insert(2, off, block_of_size(2, 400));
+            if !cache.contains(1, 0) {
+                return;
+            }
+        }
+        panic!("unused prefetched block survived 2048 demand inserts");
+    }
+
+    #[test]
+    fn oldest_prefetched_block_is_evicted_first() {
+        // Single-shard-sized flood: with a 4 KiB shard (2 KiB prefetch
+        // cap) and ~400 B blocks, sustained readahead keeps only the most
+        // recent handful; the very first block must be long gone while the
+        // latest one is resident.
+        let cache = BlockCache::new(NUM_SHARDS * 4096);
+        for off in 0..256u64 {
+            cache.insert_prefetched(9, off, block_of_size((off % 251) as u8, 400));
+        }
+        assert!(!cache.contains(9, 0), "oldest prefetched block outlived the footprint cap");
+        assert!(cache.contains(9, 255), "most recent prefetched block was evicted");
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert(5, 0, block_of_size(1, 64));
+        let before = cache.hit_stats();
+        assert!(cache.contains(5, 0));
+        assert!(!cache.contains(5, 1));
+        assert_eq!(cache.hit_stats(), before);
     }
 
     #[test]

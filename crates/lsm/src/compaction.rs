@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crate::error::Result;
 use crate::iterator::InternalIterator;
-use crate::options::Options;
+use crate::options::{Options, ReadOptions};
 use crate::sstable::{Table, TableIter};
 use crate::types::{extract_user_key, internal_compare};
 use crate::version::{FileMetaData, Version};
@@ -108,18 +108,9 @@ pub fn pick_compaction(
     }
 
     // Key range of the inputs at `level`.
-    let begin = base
-        .iter()
-        .map(|f| extract_user_key(&f.smallest))
-        .min()
-        .expect("non-empty")
-        .to_vec();
-    let end = base
-        .iter()
-        .map(|f| extract_user_key(&f.largest))
-        .max()
-        .expect("non-empty")
-        .to_vec();
+    let begin =
+        base.iter().map(|f| extract_user_key(&f.smallest)).min().expect("non-empty").to_vec();
+    let end = base.iter().map(|f| extract_user_key(&f.largest)).max().expect("non-empty").to_vec();
 
     let overlap = version.overlapping_files(level + 1, Some(&begin), Some(&end));
     if level > 0 {
@@ -139,23 +130,34 @@ pub struct LevelIterator {
     provider: Arc<dyn TableProvider>,
     index: usize,
     current: Option<TableIter>,
+    read_opts: ReadOptions,
 }
 
 impl LevelIterator {
     /// Iterate `files`, which must be range-disjoint and sorted by smallest
     /// key (i.e. a level > 0 file list, or compaction inputs from one).
     pub fn new(files: Vec<Arc<FileMetaData>>, provider: Arc<dyn TableProvider>) -> Self {
+        Self::with_options(files, provider, ReadOptions::default())
+    }
+
+    /// Like [`LevelIterator::new`] with per-read tuning passed down to each
+    /// table iterator (readahead for sequential scans).
+    pub fn with_options(
+        files: Vec<Arc<FileMetaData>>,
+        provider: Arc<dyn TableProvider>,
+        read_opts: ReadOptions,
+    ) -> Self {
         debug_assert!(files
             .windows(2)
             .all(|w| internal_compare(&w[0].largest, &w[1].smallest) == std::cmp::Ordering::Less));
-        LevelIterator { files, provider, index: 0, current: None }
+        LevelIterator { files, provider, index: 0, current: None, read_opts }
     }
 
     fn open_index(&mut self, index: usize) -> Result<()> {
         self.index = index;
         self.current = if index < self.files.len() {
             let table = self.provider.table(&self.files[index])?;
-            Some(table.iter())
+            Some(table.iter_with(self.read_opts))
         } else {
             None
         };
@@ -316,7 +318,12 @@ mod tests {
         }
     }
 
-    fn build_file(env: &MemEnv, options: &Options, number: u64, keys: &[&str]) -> Arc<FileMetaData> {
+    fn build_file(
+        env: &MemEnv,
+        options: &Options,
+        number: u64,
+        keys: &[&str],
+    ) -> Arc<FileMetaData> {
         let name = crate::version::sst_name(number);
         let mut b = TableBuilder::new(env.new_writable(&name).unwrap(), options.clone());
         for k in keys {

@@ -66,9 +66,7 @@ pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
                 && input[cand..cand + MIN_MATCH] == input[pos..pos + MIN_MATCH]
             {
                 matched = MIN_MATCH;
-                while pos + matched < input.len()
-                    && input[cand + matched] == input[pos + matched]
-                {
+                while pos + matched < input.len() && input[cand + matched] == input[pos + matched] {
                     matched += 1;
                 }
             }
@@ -219,8 +217,8 @@ mod tests {
     fn decompress_rejects_bad_distance() {
         let mut evil = Vec::new();
         put_varint64(&mut evil, 100); // claims 100 bytes
-        put_varint64(&mut evil, 1);   // match token, len 4
-        put_varint64(&mut evil, 5);   // distance 5 with empty output
+        put_varint64(&mut evil, 1); // match token, len 4
+        put_varint64(&mut evil, 5); // distance 5 with empty output
         assert!(decompress(&evil).is_err());
     }
 

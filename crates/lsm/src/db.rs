@@ -12,10 +12,11 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use rayon::prelude::*;
 use storage::{Env, RandomAccessFile};
 
 use crate::batch::{BatchOp, WriteBatch};
@@ -24,14 +25,11 @@ use crate::compaction::{level_scores, pick_compaction, Compaction, LevelIterator
 use crate::error::{Error, Result};
 use crate::iterator::{InternalIterator, MergingIterator};
 use crate::memtable::{LookupResult, MemTable};
-use crate::options::Options;
+use crate::options::{Options, ReadOptions};
+use crate::prefetch::Prefetcher;
 use crate::sstable::{Table, TableBuilder};
-use crate::types::{
-    make_lookup_key, parse_internal_key, SequenceNumber, ValueType, MAX_SEQUENCE,
-};
-use crate::version::{
-    log_name, sst_name, FileMetaData, Version, VersionEdit, VersionSet,
-};
+use crate::types::{make_lookup_key, parse_internal_key, SequenceNumber, ValueType, MAX_SEQUENCE};
+use crate::version::{log_name, sst_name, FileMetaData, Version, VersionEdit, VersionSet};
 use crate::wal::{LogReader, LogWriter};
 
 /// Decides where finished table files live and how they are opened.
@@ -147,6 +145,40 @@ struct TableCacheInner {
 
 const TABLE_CACHE_CAPACITY: usize = 512;
 
+/// Background readahead workers per database.
+const PREFETCH_WORKERS: usize = 2;
+
+/// Below this many keys, `multi_get` stays serial: the rayon dispatch
+/// overhead exceeds what fan-out saves on local (sub-µs) reads.
+const MULTI_GET_PARALLEL_THRESHOLD: usize = 8;
+
+/// Shared fan-out pool for `multi_get`. One process-wide pool bounds the
+/// total thread count no matter how many `Db` instances exist (benchmarks
+/// open several side by side); keys from concurrent callers interleave
+/// fairly because rayon work-steals per item.
+fn multi_get_pool() -> &'static rayon::ThreadPool {
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(4, 16);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("lsm-multiget-{i}"))
+            .build()
+            .expect("build multi_get pool")
+    })
+}
+
+/// Everything one consistent read needs, captured under a single state-lock
+/// acquisition: the sequence number and the memtable/version set that were
+/// current together at that instant.
+struct ReadSnapshot {
+    seq: SequenceNumber,
+    mem: Arc<MemTable>,
+    imm: Option<Arc<MemTable>>,
+    version: Arc<Version>,
+}
+
 struct DbShared {
     options: Options,
     /// Live file numbers and the file-number floor as recovered from the
@@ -158,6 +190,10 @@ struct DbShared {
     env: Arc<dyn Env>,
     router: Arc<dyn FileRouter>,
     block_cache: Option<Arc<BlockCache>>,
+    /// Readahead pool; present whenever the block cache is (prefetched
+    /// blocks are staged there, so without a cache there is nowhere to put
+    /// them).
+    prefetcher: Option<Arc<Prefetcher>>,
     state: Mutex<DbState>,
     /// Signals the background thread that work may be available.
     work_cv: Condvar,
@@ -179,12 +215,12 @@ impl DbShared {
         }
         // Open outside the lock: cloud-backed opens can be slow.
         let file = self.router.open_table(&*self.env, meta.number)?;
-        let table = Arc::new(Table::open(
-            file,
-            meta.number,
-            self.options.clone(),
-            self.block_cache.clone(),
-        )?);
+        let mut table =
+            Table::open(file, meta.number, self.options.clone(), self.block_cache.clone())?;
+        if let Some(prefetcher) = &self.prefetcher {
+            table.set_prefetcher(Arc::clone(prefetcher));
+        }
+        let table = Arc::new(table);
         let mut cache = self.tables.lock();
         if cache.map.insert(meta.number, Arc::clone(&table)).is_none() {
             cache.fifo.push_back(meta.number);
@@ -204,12 +240,22 @@ impl DbShared {
     }
 
     fn smallest_snapshot(&self, last_sequence: SequenceNumber) -> SequenceNumber {
-        self.snapshots
-            .lock()
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or(last_sequence)
+        self.snapshots.lock().keys().next().copied().unwrap_or(last_sequence)
+    }
+
+    /// Capture a consistent read point: sequence number, memtables, and
+    /// version all under ONE lock acquisition. Reading the sequence and the
+    /// structures in separate acquisitions would let a write slip between
+    /// them, yielding a sequence that the captured memtable has already
+    /// superseded.
+    fn read_snapshot(&self, seq_override: Option<SequenceNumber>) -> ReadSnapshot {
+        let state = self.state.lock();
+        ReadSnapshot {
+            seq: seq_override.unwrap_or(state.versions.last_sequence),
+            mem: Arc::clone(&state.mem),
+            imm: state.imm.clone(),
+            version: state.versions.current(),
+        }
     }
 }
 
@@ -244,6 +290,7 @@ impl Db {
         } else {
             None
         };
+        let prefetcher = block_cache.as_ref().map(|_| Prefetcher::new(PREFETCH_WORKERS));
 
         // Recover WAL contents newer than the manifest's log number.
         let mut recovered = Vec::new();
@@ -290,6 +337,7 @@ impl Db {
             env: Arc::clone(&env),
             router,
             block_cache,
+            prefetcher,
             state: Mutex::new(DbState {
                 mem,
                 imm: None,
@@ -355,6 +403,11 @@ impl Db {
         self.shared.block_cache.as_ref()
     }
 
+    /// The background readahead pool, when enabled (requires a block cache).
+    pub fn prefetcher(&self) -> Option<&Arc<Prefetcher>> {
+        self.shared.prefetcher.as_ref()
+    }
+
     /// Insert or overwrite one key.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         let mut batch = WriteBatch::new();
@@ -399,64 +452,14 @@ impl Db {
 
     /// Read the newest visible value of `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let seq = self.shared.state.lock().versions.last_sequence;
-        self.get_at_seq(key, seq)
+        let snap = self.shared.read_snapshot(None);
+        get_with_snapshot(&self.shared, &snap, key)
     }
 
     /// Read `key` as of `snapshot`.
     pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
-        self.get_at_seq(key, snapshot.sequence())
-    }
-
-    fn get_at_seq(&self, key: &[u8], seq: SequenceNumber) -> Result<Option<Vec<u8>>> {
-        let shared = &self.shared;
-        shared.stats.add(&shared.stats.gets, 1);
-        let (mem, imm, version) = {
-            let state = shared.state.lock();
-            (Arc::clone(&state.mem), state.imm.clone(), state.versions.current())
-        };
-        match mem.get(key, seq) {
-            LookupResult::Value(v) => return Ok(Some(v)),
-            LookupResult::Deleted => return Ok(None),
-            LookupResult::NotFound => {}
-        }
-        if let Some(imm) = imm {
-            match imm.get(key, seq) {
-                LookupResult::Value(v) => return Ok(Some(v)),
-                LookupResult::Deleted => return Ok(None),
-                LookupResult::NotFound => {}
-            }
-        }
-        let lookup = make_lookup_key(key, seq);
-        // L0 files may hold overlapping sequence ranges (recovery ingests
-        // partition memtables as parallel L0 tables), so every matching L0
-        // file must be consulted and the highest visible sequence wins.
-        // Deeper levels are disjoint and strictly older, so the first hit
-        // below L0 is final.
-        let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
-        for (level, meta) in version.files_for_get(key) {
-            if level > 0 && best.is_some() {
-                break;
-            }
-            let table = shared.get_table(&meta)?;
-            if let Some((ikey, value)) = table.get(&lookup)? {
-                let parsed = parse_internal_key(&ikey)
-                    .ok_or_else(|| Error::corruption("bad internal key in table"))?;
-                if parsed.user_key == key
-                    && best.as_ref().is_none_or(|(s, _, _)| parsed.sequence > *s)
-                {
-                    best = Some((parsed.sequence, parsed.value_type, value));
-                }
-                if level > 0 && best.is_some() {
-                    break;
-                }
-            }
-        }
-        match best {
-            Some((_, ValueType::Value, value)) => Ok(Some(value)),
-            Some((_, ValueType::Deletion, _)) => Ok(None),
-            None => Ok(None),
-        }
+        let snap = self.shared.read_snapshot(Some(snapshot.sequence()));
+        get_with_snapshot(&self.shared, &snap, key)
     }
 
     /// Take a consistent snapshot for repeatable reads.
@@ -469,43 +472,57 @@ impl Db {
 
     /// Iterator over the live keyspace at the current sequence.
     pub fn iter(&self) -> Result<DbIterator> {
-        let seq = self.shared.state.lock().versions.last_sequence;
-        self.iter_at_seq(seq)
+        self.iter_internal(None, ReadOptions::default())
+    }
+
+    /// Iterator over the live keyspace with per-read tuning (readahead).
+    pub fn iter_with(&self, read_opts: ReadOptions) -> Result<DbIterator> {
+        self.iter_internal(None, read_opts)
     }
 
     /// Iterator pinned to `snapshot`.
     pub fn iter_at(&self, snapshot: &Snapshot) -> Result<DbIterator> {
-        self.iter_at_seq(snapshot.sequence())
+        self.iter_internal(Some(snapshot.sequence()), ReadOptions::default())
     }
 
-    fn iter_at_seq(&self, seq: SequenceNumber) -> Result<DbIterator> {
+    /// Iterator pinned to `snapshot`, with per-read tuning.
+    pub fn iter_at_with(&self, snapshot: &Snapshot, read_opts: ReadOptions) -> Result<DbIterator> {
+        self.iter_internal(Some(snapshot.sequence()), read_opts)
+    }
+
+    fn iter_internal(
+        &self,
+        seq_override: Option<SequenceNumber>,
+        read_opts: ReadOptions,
+    ) -> Result<DbIterator> {
         let shared = &self.shared;
-        let (mem, imm, version) = {
-            let state = shared.state.lock();
-            (Arc::clone(&state.mem), state.imm.clone(), state.versions.current())
-        };
+        let snap = shared.read_snapshot(seq_override);
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
-        children.push(Box::new(mem.iter()));
-        if let Some(imm) = &imm {
+        children.push(Box::new(snap.mem.iter()));
+        if let Some(imm) = &snap.imm {
             children.push(Box::new(imm.iter()));
         }
-        for meta in &version.levels[0] {
+        for meta in &snap.version.levels[0] {
             let table = shared.get_table(meta)?;
-            children.push(Box::new(table.iter()));
+            children.push(Box::new(table.iter_with(read_opts)));
         }
         let provider: Arc<dyn TableProvider> = shared.clone();
-        for files in version.levels.iter().skip(1) {
+        for files in snap.version.levels.iter().skip(1) {
             if !files.is_empty() {
-                children.push(Box::new(LevelIterator::new(files.clone(), Arc::clone(&provider))));
+                children.push(Box::new(LevelIterator::with_options(
+                    files.clone(),
+                    Arc::clone(&provider),
+                    read_opts,
+                )));
             }
         }
         Ok(DbIterator {
             inner: MergingIterator::new(children),
-            snapshot: seq,
+            snapshot: snap.seq,
             key: Vec::new(),
             value: Vec::new(),
             valid: false,
-            _version: version,
+            _version: snap.version,
         })
     }
 
@@ -579,12 +596,19 @@ impl Db {
         run_one_compaction(shared, &mut state)
     }
 
-    /// Point-read several keys at one consistent sequence number. More
-    /// efficient than a get() loop: the memtable/version snapshot is taken
-    /// once.
+    /// Point-read several keys at one consistent read point. The
+    /// memtable/version snapshot is taken once (a `get()` loop re-snapshots
+    /// per key, so concurrent writes can land between keys); large batches
+    /// additionally fan out across a bounded thread pool so per-key cloud
+    /// latencies overlap instead of adding up.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
-        let seq = self.shared.state.lock().versions.last_sequence;
-        keys.iter().map(|key| self.get_at_seq(key, seq)).collect()
+        let snap = self.shared.read_snapshot(None);
+        let shared = &self.shared;
+        if keys.len() < MULTI_GET_PARALLEL_THRESHOLD {
+            return keys.iter().map(|key| get_with_snapshot(shared, &snap, key)).collect();
+        }
+        multi_get_pool()
+            .install(|| keys.par_iter().map(|key| get_with_snapshot(shared, &snap, key)).collect())
     }
 
     /// Compact every file overlapping `[begin, end]` (None = unbounded)
@@ -647,11 +671,7 @@ impl Db {
         use std::fmt::Write as _;
         let (version, last_seq, retired) = {
             let state = self.shared.state.lock();
-            (
-                state.versions.current(),
-                state.versions.last_sequence,
-                state.retired.len(),
-            )
+            (state.versions.current(), state.versions.last_sequence, state.retired.len())
         };
         let stats = self.stats();
         let mut out = String::new();
@@ -798,9 +818,7 @@ impl Db {
                 shared.work_cv.notify_all();
                 continue;
             }
-            shared
-                .stats
-                .add(&shared.stats.stall_ns, stalled.elapsed().as_nanos() as u64);
+            shared.stats.add(&shared.stats.stall_ns, stalled.elapsed().as_nanos() as u64);
         }
     }
 
@@ -906,6 +924,9 @@ impl Db {
         if let Some(handle) = self.bg_thread.lock().take() {
             let _ = handle.join();
         }
+        if let Some(prefetcher) = &self.shared.prefetcher {
+            prefetcher.shutdown();
+        }
         let mut state = self.shared.state.lock();
         gc_retired_versions(&self.shared, &mut state);
         if let Some(wal) = state.wal.as_mut() {
@@ -918,6 +939,58 @@ impl Db {
 impl Drop for Db {
     fn drop(&mut self) {
         let _ = self.close();
+    }
+}
+
+/// Point-read `key` against an already captured [`ReadSnapshot`]. Shared by
+/// `get`, `get_at`, and every `multi_get` worker: the snapshot is immutable,
+/// so any number of threads can read through it concurrently.
+fn get_with_snapshot(
+    shared: &DbShared,
+    snap: &ReadSnapshot,
+    key: &[u8],
+) -> Result<Option<Vec<u8>>> {
+    shared.stats.add(&shared.stats.gets, 1);
+    match snap.mem.get(key, snap.seq) {
+        LookupResult::Value(v) => return Ok(Some(v)),
+        LookupResult::Deleted => return Ok(None),
+        LookupResult::NotFound => {}
+    }
+    if let Some(imm) = &snap.imm {
+        match imm.get(key, snap.seq) {
+            LookupResult::Value(v) => return Ok(Some(v)),
+            LookupResult::Deleted => return Ok(None),
+            LookupResult::NotFound => {}
+        }
+    }
+    let lookup = make_lookup_key(key, snap.seq);
+    // L0 files may hold overlapping sequence ranges (recovery ingests
+    // partition memtables as parallel L0 tables), so every matching L0
+    // file must be consulted and the highest visible sequence wins.
+    // Deeper levels are disjoint and strictly older, so the first hit
+    // below L0 is final.
+    let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
+    for (level, meta) in snap.version.files_for_get(key) {
+        if level > 0 && best.is_some() {
+            break;
+        }
+        let table = shared.get_table(&meta)?;
+        if let Some((ikey, value)) = table.get(&lookup)? {
+            let parsed = parse_internal_key(&ikey)
+                .ok_or_else(|| Error::corruption("bad internal key in table"))?;
+            if parsed.user_key == key && best.as_ref().is_none_or(|(s, _, _)| parsed.sequence > *s)
+            {
+                best = Some((parsed.sequence, parsed.value_type, value));
+            }
+            if level > 0 && best.is_some() {
+                break;
+            }
+        }
+    }
+    match best {
+        Some((_, ValueType::Value, value)) => Ok(Some(value)),
+        Some((_, ValueType::Deletion, _)) => Ok(None),
+        None => Ok(None),
     }
 }
 
@@ -976,11 +1049,10 @@ fn run_one_compaction(
         return Ok(false);
     }
     let version = state.versions.current();
-    let compaction =
-        match pick_compaction(&version, &shared.options, &mut state.compact_pointer) {
-            Some(c) => c,
-            None => return Ok(false),
-        };
+    let compaction = match pick_compaction(&version, &shared.options, &mut state.compact_pointer) {
+        Some(c) => c,
+        None => return Ok(false),
+    };
     run_compaction(shared, state, version, compaction)?;
     Ok(true)
 }
@@ -1045,10 +1117,7 @@ fn run_compaction_locked(
 /// Physically delete files whose last referencing versions have been
 /// released. The queue is in supersession order; the front entry's version
 /// is older than everything behind it, so it gates the whole queue.
-fn gc_retired_versions(
-    shared: &Arc<DbShared>,
-    state: &mut parking_lot::MutexGuard<'_, DbState>,
-) {
+fn gc_retired_versions(shared: &Arc<DbShared>, state: &mut parking_lot::MutexGuard<'_, DbState>) {
     while let Some((version, _)) = state.retired.front() {
         // strong_count == 1 means only the queue itself holds the version:
         // no reader can reach the obsolete files any more.
@@ -1098,8 +1167,8 @@ fn execute_compaction(
     iter.seek_to_first()?;
 
     let out_level = compaction.output_level();
-    let bottommost = (out_level + 1..version.levels.len())
-        .all(|lvl| version.levels[lvl].is_empty());
+    let bottommost =
+        (out_level + 1..version.levels.len()).all(|lvl| version.levels[lvl].is_empty());
 
     let mut outputs: Vec<FileMetaData> = Vec::new();
     let mut builder: Option<(u64, TableBuilder)> = None;

@@ -116,7 +116,9 @@ pub struct VecIterator {
 impl VecIterator {
     /// Build from entries that must already be sorted by internal key.
     pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
-        debug_assert!(entries.windows(2).all(|w| internal_compare(&w[0].0, &w[1].0) == Ordering::Less));
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| internal_compare(&w[0].0, &w[1].0) == Ordering::Less));
         VecIterator { entries, pos: 0, started: false }
     }
 }
@@ -129,9 +131,8 @@ impl InternalIterator for VecIterator {
     }
 
     fn seek(&mut self, target: &[u8]) -> Result<()> {
-        self.pos = self
-            .entries
-            .partition_point(|(k, _)| internal_compare(k, target) == Ordering::Less);
+        self.pos =
+            self.entries.partition_point(|(k, _)| internal_compare(k, target) == Ordering::Less);
         self.started = true;
         Ok(())
     }

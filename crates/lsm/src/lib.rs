@@ -52,6 +52,7 @@ pub mod error;
 pub mod iterator;
 pub mod memtable;
 pub mod options;
+pub mod prefetch;
 pub mod repair;
 pub mod sstable;
 pub mod types;
@@ -62,5 +63,6 @@ pub mod wal;
 pub use batch::WriteBatch;
 pub use db::{Db, DbStats, FileRouter, LocalFileRouter, Snapshot};
 pub use error::{Error, Result};
-pub use options::Options;
+pub use options::{Options, ReadOptions};
+pub use prefetch::Prefetcher;
 pub use types::{SequenceNumber, ValueType};

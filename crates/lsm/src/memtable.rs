@@ -9,8 +9,8 @@
 //! Acquire Ordering").
 
 use std::ptr;
-use std::sync::Arc;
 use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -385,10 +385,7 @@ mod tests {
             seen.push((p.user_key.to_vec(), p.sequence));
             it.next();
         }
-        assert_eq!(
-            seen,
-            vec![(b"a".to_vec(), 1), (b"b".to_vec(), 3), (b"b".to_vec(), 2)]
-        );
+        assert_eq!(seen, vec![(b"a".to_vec(), 1), (b"b".to_vec(), 3), (b"b".to_vec(), 2)]);
     }
 
     #[test]

@@ -1,5 +1,23 @@
 //! Engine tuning knobs.
 
+/// Per-read tuning knobs for iterators and scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// When > 0, a table iterator that advances sequentially schedules up
+    /// to this many upcoming data blocks on the background prefetch pool,
+    /// fetched via one coalesced ranged read and staged in the block
+    /// cache. 0 disables readahead. Only worthwhile for latency-bound
+    /// (cloud-resident) tables; local scans gain nothing.
+    pub readahead_blocks: usize,
+}
+
+impl ReadOptions {
+    /// Readahead of `n` blocks; `ReadOptions::default()` disables it.
+    pub fn with_readahead(n: usize) -> Self {
+        ReadOptions { readahead_blocks: n }
+    }
+}
+
 /// Configuration for a [`crate::Db`] instance.
 #[derive(Debug, Clone)]
 pub struct Options {
@@ -95,7 +113,11 @@ mod tests {
 
     #[test]
     fn level_sizes_grow_geometrically() {
-        let o = Options { max_bytes_for_level_base: 10, level_size_multiplier: 10, ..Options::default() };
+        let o = Options {
+            max_bytes_for_level_base: 10,
+            level_size_multiplier: 10,
+            ..Options::default()
+        };
         assert_eq!(o.max_bytes_for_level(1), 10);
         assert_eq!(o.max_bytes_for_level(2), 100);
         assert_eq!(o.max_bytes_for_level(3), 1000);

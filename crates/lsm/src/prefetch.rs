@@ -1,0 +1,188 @@
+//! Background block readahead pool.
+//!
+//! Table iterators over latency-bound (cloud-resident) files schedule the
+//! next few data blocks here; workers fetch them with one coalesced ranged
+//! read (`RandomAccessFile::prefetch_ranges`) and stage the decoded blocks
+//! in the [`BlockCache`] so the iterator's demand reads become cache hits.
+//! The pool mirrors the flush/compaction threads' structure: a
+//! `crossbeam::channel` work queue drained by dedicated workers, shut down
+//! by closing the channel and joining.
+//!
+//! Prefetch is strictly advisory: failures are dropped (the demand path
+//! re-reads and surfaces real errors) and staged blocks are admitted under
+//! a capped footprint so readahead can never claim more than half the
+//! cache from demand-fetched data.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use storage::RandomAccessFile;
+
+use crate::cache::BlockCache;
+use crate::sstable::reader::decode_block_contents;
+use crate::sstable::{Block, BlockHandle, BLOCK_TRAILER_SIZE};
+
+/// One readahead request: a run of data blocks of a single table file.
+pub(crate) struct PrefetchJob {
+    pub file: Arc<dyn RandomAccessFile>,
+    pub file_number: u64,
+    pub handles: Vec<BlockHandle>,
+    pub verify: bool,
+    pub cache: Arc<BlockCache>,
+}
+
+/// Blocks owned by in-flight jobs, keyed by `(file_number, offset)`.
+/// The demand path consults this so a reader that catches up with the
+/// readahead window waits for the in-flight coalesced read instead of
+/// issuing a duplicate GET for the same block.
+struct Pending {
+    set: Mutex<HashSet<(u64, u64)>>,
+    done: Condvar,
+}
+
+/// Fixed pool of readahead workers owned by the database.
+pub struct Prefetcher {
+    tx: Mutex<Option<Sender<PrefetchJob>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    pending: Arc<Pending>,
+    issued: AtomicU64,
+}
+
+impl Prefetcher {
+    /// Start `workers` readahead threads.
+    pub fn new(workers: usize) -> Arc<Prefetcher> {
+        let (tx, rx) = crossbeam::channel::unbounded::<PrefetchJob>();
+        let pending = Arc::new(Pending { set: Mutex::new(HashSet::new()), done: Condvar::new() });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers.max(1) {
+            let rx: Receiver<PrefetchJob> = rx.clone();
+            let pending = Arc::clone(&pending);
+            let handle = std::thread::Builder::new()
+                .name(format!("lsm-prefetch-{i}"))
+                .spawn(move || worker_loop(rx, pending))
+                .expect("spawn prefetch worker");
+            handles.push(handle);
+        }
+        Arc::new(Prefetcher {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            pending,
+            issued: AtomicU64::new(0),
+        })
+    }
+
+    /// Enqueue a job; a no-op after shutdown or for an empty handle list.
+    pub(crate) fn schedule(&self, job: PrefetchJob) {
+        if job.handles.is_empty() {
+            return;
+        }
+        let tx = self.tx.lock();
+        let Some(tx) = tx.as_ref() else { return };
+        let file_number = job.file_number;
+        let offsets: Vec<u64> = job.handles.iter().map(|h| h.offset).collect();
+        {
+            let mut set = self.pending.set.lock();
+            for offset in &offsets {
+                set.insert((file_number, *offset));
+            }
+        }
+        self.issued.fetch_add(job.handles.len() as u64, Ordering::Relaxed);
+        if tx.send(job).is_err() {
+            let mut set = self.pending.set.lock();
+            for offset in &offsets {
+                set.remove(&(file_number, *offset));
+            }
+            drop(set);
+            self.pending.done.notify_all();
+        }
+    }
+
+    /// If the block at `offset` is owned by an in-flight job, wait
+    /// (bounded) for that job to complete so the caller can re-check the
+    /// block cache instead of duplicating the read. Returns whether the
+    /// block was pending at all; the caller must still handle a cache
+    /// miss afterwards — completion is not a delivery guarantee.
+    pub(crate) fn wait_if_pending(&self, file_number: u64, offset: u64) -> bool {
+        let key = (file_number, offset);
+        let mut set = self.pending.set.lock();
+        if !set.contains(&key) {
+            return false;
+        }
+        // Bounded so a stalled worker cannot wedge the demand path; on
+        // timeout the caller falls back to its own read.
+        let mut budget = 4u32;
+        while set.contains(&key) && budget > 0 {
+            if self.pending.done.wait_for(&mut set, Duration::from_millis(500)).timed_out() {
+                budget -= 1;
+            }
+        }
+        true
+    }
+
+    /// Blocks scheduled for readahead so far.
+    pub fn issued(&self) -> u64 {
+        self.issued.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue and join every worker. Idempotent.
+    pub fn shutdown(&self) {
+        *self.tx.lock() = None;
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Jobs still queued when the channel closed never ran; clear their
+        // pending marks so any waiter unblocks immediately.
+        self.pending.set.lock().clear();
+        self.pending.done.notify_all();
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: Receiver<PrefetchJob>, pending: Arc<Pending>) {
+    while let Ok(job) = rx.recv() {
+        run_job(&job);
+        let mut set = pending.set.lock();
+        for handle in &job.handles {
+            set.remove(&(job.file_number, handle.offset));
+        }
+        drop(set);
+        pending.done.notify_all();
+    }
+}
+
+fn run_job(job: &PrefetchJob) {
+    // Skip blocks that landed in the cache since scheduling.
+    let todo: Vec<BlockHandle> = job
+        .handles
+        .iter()
+        .copied()
+        .filter(|h| !job.cache.contains(job.file_number, h.offset))
+        .collect();
+    if todo.is_empty() {
+        return;
+    }
+    let ranges: Vec<(u64, usize)> =
+        todo.iter().map(|h| (h.offset, h.size as usize + BLOCK_TRAILER_SIZE)).collect();
+    let Ok(buffers) = job.file.prefetch_ranges(&ranges) else {
+        return;
+    };
+    for (handle, raw) in todo.iter().zip(buffers) {
+        let Ok(contents) = decode_block_contents(&raw, handle, job.verify) else {
+            continue;
+        };
+        let Ok(block) = Block::new(contents) else {
+            continue;
+        };
+        job.cache.insert_prefetched(job.file_number, handle.offset, Arc::new(block));
+    }
+}

@@ -42,12 +42,8 @@ pub struct RepairReport {
 /// Destructive only to the old metadata: data files are never modified.
 /// Returns the report; open the database normally afterwards.
 pub fn repair(env: &Arc<dyn Env>, options: &Options) -> Result<RepairReport> {
-    let mut report = RepairReport {
-        tables_recovered: 0,
-        tables_dropped: 0,
-        entries: 0,
-        max_sequence: 0,
-    };
+    let mut report =
+        RepairReport { tables_recovered: 0, tables_dropped: 0, entries: 0, max_sequence: 0 };
     let mut files: Vec<FileMetaData> = Vec::new();
     let mut max_number = 1u64;
 
@@ -212,12 +208,8 @@ mod tests {
         let env = Arc::new(MemEnv::new());
         build_db(&env, 300);
         // Corrupt one table file wholesale.
-        let ssts: Vec<String> = env
-            .list("")
-            .unwrap()
-            .into_iter()
-            .filter(|n| n.ends_with(".sst"))
-            .collect();
+        let ssts: Vec<String> =
+            env.list("").unwrap().into_iter().filter(|n| n.ends_with(".sst")).collect();
         assert!(ssts.len() >= 2, "need multiple tables");
         // Corrupt the newest table (the tombstone run from build_db's
         // delete pass); the base data table must survive repair.

@@ -144,14 +144,14 @@ impl Block {
     fn decode_entry(&self, offset: usize) -> Result<DecodedEntry<'_>> {
         let limit = self.restarts_offset;
         let mut p = offset;
-        let (shared, n) =
-            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        let (shared, n) = get_varint32(&self.data[p..limit])
+            .ok_or_else(|| Error::corruption("bad entry header"))?;
         p += n;
-        let (non_shared, n) =
-            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        let (non_shared, n) = get_varint32(&self.data[p..limit])
+            .ok_or_else(|| Error::corruption("bad entry header"))?;
         p += n;
-        let (value_len, n) =
-            get_varint32(&self.data[p..limit]).ok_or_else(|| Error::corruption("bad entry header"))?;
+        let (value_len, n) = get_varint32(&self.data[p..limit])
+            .ok_or_else(|| Error::corruption("bad entry header"))?;
         p += n;
         let key_end = p + non_shared as usize;
         let value_end = key_end + value_len as usize;
@@ -162,7 +162,10 @@ impl Block {
     }
 }
 
-/// Cursor over a [`Block`]'s entries.
+/// Cursor over a [`Block`]'s entries. Cloning is cheap (shared `Arc` block
+/// plus the current key buffer) and yields an independent cursor, used by
+/// table iterators to peek ahead in the index without losing position.
+#[derive(Clone)]
 pub struct BlockIter {
     block: Arc<Block>,
     /// Offset of the *next* entry to decode.

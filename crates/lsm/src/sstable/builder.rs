@@ -116,7 +116,8 @@ impl TableBuilder {
             BlockHandle::default()
         };
 
-        let index_contents = std::mem::replace(&mut self.index_block, BlockBuilder::new(1)).finish();
+        let index_contents =
+            std::mem::replace(&mut self.index_block, BlockBuilder::new(1)).finish();
         let index_handle =
             write_raw_block(&mut self.file, &mut self.offset, &index_contents, compress)?;
 

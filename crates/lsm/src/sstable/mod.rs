@@ -135,7 +135,8 @@ mod tests {
 
     #[test]
     fn footer_rejects_bad_magic() {
-        let f = Footer { filter_handle: BlockHandle::default(), index_handle: BlockHandle::default() };
+        let f =
+            Footer { filter_handle: BlockHandle::default(), index_handle: BlockHandle::default() };
         let mut enc = f.encode();
         enc[FOOTER_SIZE - 1] ^= 0xff;
         assert!(Footer::decode(&enc).is_err());

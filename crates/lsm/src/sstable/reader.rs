@@ -7,7 +7,8 @@ use storage::RandomAccessFile;
 use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 use crate::iterator::InternalIterator;
-use crate::options::Options;
+use crate::options::{Options, ReadOptions};
+use crate::prefetch::{PrefetchJob, Prefetcher};
 use crate::sstable::block::{Block, BlockIter};
 use crate::sstable::bloom::BloomFilter;
 use crate::sstable::{BlockHandle, Footer, BLOCK_TRAILER_SIZE, FOOTER_SIZE};
@@ -22,6 +23,7 @@ pub struct Table {
     index: Arc<Block>,
     filter: Option<BloomFilter>,
     cache: Option<Arc<BlockCache>>,
+    prefetcher: Option<Arc<Prefetcher>>,
 }
 
 impl Table {
@@ -38,7 +40,8 @@ impl Table {
         }
         let footer_bytes = file.read_exact_at(len - FOOTER_SIZE as u64, FOOTER_SIZE)?;
         let footer = Footer::decode(&footer_bytes)?;
-        let index_contents = read_block_contents(&*file, &footer.index_handle, options.verify_checksums)?;
+        let index_contents =
+            read_block_contents(&*file, &footer.index_handle, options.verify_checksums)?;
         let index = Arc::new(Block::new(index_contents)?);
         let filter = if footer.filter_handle.size > 0 {
             let raw = read_block_contents(&*file, &footer.filter_handle, options.verify_checksums)?;
@@ -46,12 +49,20 @@ impl Table {
         } else {
             None
         };
-        Ok(Table { file, file_number, options, index, filter, cache })
+        Ok(Table { file, file_number, options, index, filter, cache, prefetcher: None })
     }
 
     /// The file number this table was opened under.
     pub fn file_number(&self) -> u64 {
         self.file_number
+    }
+
+    /// Attach the background readahead pool. Iterators opened with a
+    /// non-zero [`ReadOptions::readahead_blocks`] schedule upcoming data
+    /// blocks on it; without a pool (or a block cache to stage into)
+    /// readahead is silently disabled.
+    pub fn set_prefetcher(&mut self, prefetcher: Arc<Prefetcher>) {
+        self.prefetcher = Some(prefetcher);
     }
 
     /// Point lookup: position at the first entry with internal key >=
@@ -80,7 +91,18 @@ impl Table {
 
     /// Iterator over the whole table.
     pub fn iter(self: &Arc<Self>) -> TableIter {
-        TableIter { table: Arc::clone(self), index_iter: self.index.iter(), data_iter: None }
+        self.iter_with(ReadOptions::default())
+    }
+
+    /// Iterator over the whole table with per-read tuning.
+    pub fn iter_with(self: &Arc<Self>, read_opts: ReadOptions) -> TableIter {
+        TableIter {
+            table: Arc::clone(self),
+            index_iter: self.index.iter(),
+            data_iter: None,
+            read_opts,
+            prefetch_watermark: 0,
+        }
     }
 
     /// Read one data block, via the block cache when configured.
@@ -88,6 +110,16 @@ impl Table {
         if let Some(cache) = &self.cache {
             if let Some(block) = cache.get(self.file_number, handle.offset) {
                 return Ok(block);
+            }
+            // An in-flight readahead job may already own this block; wait
+            // for its coalesced read to land rather than duplicating the
+            // GET, then fall through to a demand read if it never does.
+            if let Some(prefetcher) = &self.prefetcher {
+                if prefetcher.wait_if_pending(self.file_number, handle.offset) {
+                    if let Some(block) = cache.get(self.file_number, handle.offset) {
+                        return Ok(block);
+                    }
+                }
             }
         }
         let contents = read_block_contents(&*self.file, handle, self.options.verify_checksums)?;
@@ -107,6 +139,14 @@ pub fn read_block_contents(
 ) -> Result<Vec<u8>> {
     let total = handle.size as usize + BLOCK_TRAILER_SIZE;
     let raw = file.read_exact_at(handle.offset, total)?;
+    decode_block_contents(&raw, handle, verify)
+}
+
+/// Validate and decompress an already-fetched block + trailer buffer.
+pub fn decode_block_contents(raw: &[u8], handle: &BlockHandle, verify: bool) -> Result<Vec<u8>> {
+    if raw.len() != handle.size as usize + BLOCK_TRAILER_SIZE {
+        return Err(Error::corruption("short block read"));
+    }
     let (contents, trailer) = raw.split_at(handle.size as usize);
     let type_byte = trailer[0];
     if type_byte > 1 {
@@ -133,6 +173,11 @@ pub struct TableIter {
     table: Arc<Table>,
     index_iter: BlockIter,
     data_iter: Option<BlockIter>,
+    read_opts: ReadOptions,
+    /// File offset below which readahead has already been scheduled; keeps
+    /// the steady-state cost at ~one newly scheduled block per block
+    /// consumed instead of re-submitting the whole window.
+    prefetch_watermark: u64,
 }
 
 impl TableIter {
@@ -141,10 +186,56 @@ impl TableIter {
             self.data_iter = None;
             return Ok(());
         }
+        self.maybe_schedule_readahead();
         let (handle, _) = BlockHandle::decode_from(self.index_iter.value())?;
         let block = self.table.read_data_block(&handle)?;
         self.data_iter = Some(block.iter());
         Ok(())
+    }
+
+    /// Schedule up to `readahead_blocks` upcoming data blocks on the
+    /// prefetch pool, skipping any already covered by a previous window.
+    /// Runs before the demand read of the current block so the background
+    /// fetch overlaps with it.
+    fn maybe_schedule_readahead(&mut self) {
+        let n = self.read_opts.readahead_blocks;
+        if n == 0 {
+            return;
+        }
+        let (Some(prefetcher), Some(cache)) = (&self.table.prefetcher, &self.table.cache) else {
+            return;
+        };
+        let mut peek = self.index_iter.clone();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            if peek.next().is_err() || !peek.valid() {
+                break;
+            }
+            let Ok((handle, _)) = BlockHandle::decode_from(peek.value()) else {
+                break;
+            };
+            if handle.offset >= self.prefetch_watermark {
+                handles.push(handle);
+            }
+        }
+        // Refill hysteresis: only dispatch once at least half the window is
+        // unscheduled. Scheduling on every block would degenerate to
+        // one-block jobs past the initial batch, and a one-range job cannot
+        // coalesce; waiting for n/2 keeps each ranged GET at least n/2
+        // blocks wide while the pipeline stays at least half full.
+        if handles.len() < (n / 2).max(1) {
+            return;
+        }
+        if let Some(last) = handles.last() {
+            self.prefetch_watermark = last.offset + last.size + BLOCK_TRAILER_SIZE as u64;
+            prefetcher.schedule(PrefetchJob {
+                file: Arc::clone(&self.table.file),
+                file_number: self.table.file_number,
+                handles,
+                verify: self.table.options.verify_checksums,
+                cache: Arc::clone(cache),
+            });
+        }
     }
 
     /// Move forward until the data iterator is valid or the table ends.
@@ -169,6 +260,7 @@ impl TableIter {
 impl InternalIterator for TableIter {
     fn seek_to_first(&mut self) -> Result<()> {
         self.index_iter.seek_to_first()?;
+        self.prefetch_watermark = 0;
         self.load_data_block()?;
         if let Some(it) = self.data_iter.as_mut() {
             it.seek_to_first()?;
@@ -178,6 +270,7 @@ impl InternalIterator for TableIter {
 
     fn seek(&mut self, target: &[u8]) -> Result<()> {
         self.index_iter.seek(target)?;
+        self.prefetch_watermark = 0;
         self.load_data_block()?;
         if let Some(it) = self.data_iter.as_mut() {
             it.seek(target)?;
@@ -237,7 +330,8 @@ mod tests {
         let env = MemEnv::new();
         let mut b = TableBuilder::new(env.new_writable("t").unwrap(), opts.clone());
         for i in 0..n {
-            let k = make_internal_key(format!("key{i:05}").as_bytes(), i as u64 + 1, ValueType::Value);
+            let k =
+                make_internal_key(format!("key{i:05}").as_bytes(), i as u64 + 1, ValueType::Value);
             b.add(&k, format!("value{i}").as_bytes()).unwrap();
         }
         b.finish().unwrap();
@@ -275,12 +369,11 @@ mod tests {
     fn bloom_filter_short_circuits() {
         let opts = Options::small_for_tests();
         let (_env, table) = build_table(100, &opts);
-        // Absent keys mostly return None without touching data blocks; we
-        // can only observe the result here, not the I/O, but it must be
-        // correct.
+        // Absent keys mostly return None without touching data blocks. A
+        // bloom false positive legitimately positions at a neighbouring
+        // key, so only the absence of errors is asserted here.
         for i in 0..100 {
-            assert!(table.get(&make_lookup_key(format!("nope{i}").as_bytes(), SNAP)).unwrap().is_none()
-                || true);
+            table.get(&make_lookup_key(format!("nope{i}").as_bytes(), SNAP)).unwrap();
         }
     }
 
@@ -316,8 +409,7 @@ mod tests {
         let mut data = env.read_all("t").unwrap();
         data[40] ^= 0xff; // inside the first data block
         env.write_all("t", &data).unwrap();
-        let table =
-            Arc::new(Table::open(env.open_random("t").unwrap(), 1, opts, None).unwrap());
+        let table = Arc::new(Table::open(env.open_random("t").unwrap(), 1, opts, None).unwrap());
         let err = table.get(&make_lookup_key(b"key00000", SNAP)).unwrap_err();
         assert!(matches!(err, Error::Corruption(_)));
     }

@@ -202,11 +202,7 @@ impl Version {
         begin: Option<&[u8]>,
         end: Option<&[u8]>,
     ) -> Vec<Arc<FileMetaData>> {
-        self.levels[level]
-            .iter()
-            .filter(|f| f.overlaps_user_range(begin, end))
-            .cloned()
-            .collect()
+        self.levels[level].iter().filter(|f| f.overlaps_user_range(begin, end)).cloned().collect()
     }
 
     /// Files that could contain `user_key`, in the order a read must probe
@@ -225,9 +221,7 @@ impl Version {
         for (level, files) in self.levels.iter().enumerate().skip(1) {
             // Binary search: files are disjoint and sorted by smallest.
             let idx = files.partition_point(|f| extract_user_key(&f.largest) < user_key);
-            if idx < files.len()
-                && files[idx].overlaps_user_range(Some(user_key), Some(user_key))
-            {
+            if idx < files.len() && files[idx].overlaps_user_range(Some(user_key), Some(user_key)) {
                 out.push((level, Arc::clone(&files[idx])));
             }
         }
@@ -359,11 +353,7 @@ impl VersionSet {
 
     /// All file numbers referenced by the current version.
     pub fn live_files(&self) -> BTreeSet<u64> {
-        self.current
-            .levels
-            .iter()
-            .flat_map(|files| files.iter().map(|f| f.number))
-            .collect()
+        self.current.levels.iter().flat_map(|files| files.iter().map(|f| f.number)).collect()
     }
 
     /// Write a full-state manifest and repoint CURRENT at it.
@@ -394,12 +384,7 @@ impl VersionSet {
     /// collection).
     pub fn obsolete_manifests(&self) -> Result<Vec<String>> {
         let live = manifest_name(self.manifest_number);
-        Ok(self
-            .env
-            .list("MANIFEST-")?
-            .into_iter()
-            .filter(|name| *name != live)
-            .collect())
+        Ok(self.env.list("MANIFEST-")?.into_iter().filter(|name| *name != live).collect())
     }
 }
 
@@ -502,7 +487,11 @@ mod tests {
             let mut vs = VersionSet::open(env.clone() as Arc<dyn Env>, 7).unwrap();
             vs.last_sequence = 500;
             let edit = VersionEdit {
-                new_files: vec![(0, meta(10, "a", "k")), (1, meta(11, "a", "f")), (1, meta(12, "g", "p"))],
+                new_files: vec![
+                    (0, meta(10, "a", "k")),
+                    (1, meta(11, "a", "f")),
+                    (1, meta(12, "g", "p")),
+                ],
                 ..Default::default()
             };
             vs.log_and_apply(edit).unwrap();

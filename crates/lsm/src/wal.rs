@@ -137,7 +137,14 @@ pub struct LogReader {
 impl LogReader {
     /// Start reading `file` from offset zero.
     pub fn new(file: std::sync::Arc<dyn RandomAccessFile>) -> Self {
-        LogReader { file, offset: 0, buffer: Vec::new(), buffer_pos: 0, eof: false, corrupted_bytes: 0 }
+        LogReader {
+            file,
+            offset: 0,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            eof: false,
+            corrupted_bytes: 0,
+        }
     }
 
     /// Bytes skipped because of checksum or framing failures.

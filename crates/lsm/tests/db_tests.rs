@@ -70,7 +70,13 @@ fn reads_after_flush_hit_sstables() {
     db.flush().unwrap();
     assert!(db.num_files_at_level(0) >= 1);
     // SSTs exist on the env.
-    assert!(!env.list("").unwrap().iter().filter(|n| n.ends_with(".sst")).collect::<Vec<_>>().is_empty());
+    assert!(!env
+        .list("")
+        .unwrap()
+        .iter()
+        .filter(|n| n.ends_with(".sst"))
+        .collect::<Vec<_>>()
+        .is_empty());
     for i in (0..200).step_by(7) {
         assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, "flushed")));
     }
@@ -490,7 +496,8 @@ fn compact_range_partial_range_only_touches_overlap() {
 fn compression_roundtrips_and_shrinks_tables() {
     let plain_opts = Options { compression: false, ..Options::small_for_tests() };
     let comp_opts = Options { compression: true, ..Options::small_for_tests() };
-    let value = |i: usize| format!("{{\"user\":{i},\"plan\":\"professional\",\"active\":true}}").repeat(4);
+    let value =
+        |i: usize| format!("{{\"user\":{i},\"plan\":\"professional\",\"active\":true}}").repeat(4);
 
     let (plain_env, plain_db) = mem_db(plain_opts);
     let (comp_env, comp_db) = mem_db(comp_opts);

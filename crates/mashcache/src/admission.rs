@@ -59,9 +59,8 @@ impl FrequencySketch {
     }
 
     fn position(&self, key: u64, row: u64) -> (usize, u32) {
-        let h = key
-            .wrapping_add(row.wrapping_mul(0x9e3779b97f4a7c15))
-            .wrapping_mul(0xff51afd7ed558ccd);
+        let h =
+            key.wrapping_add(row.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_mul(0xff51afd7ed558ccd);
         let counter_index = (h >> 32) as usize & (self.mask * 16 + 15);
         (counter_index / 16, (counter_index % 16) as u32 * 4)
     }

@@ -32,7 +32,7 @@ struct Entry {
 }
 
 struct Inner {
-    map: HashMap<String, u32>, // key -> slot
+    map: HashMap<String, u32>,   // key -> slot
     entries: Vec<Option<Entry>>, // indexed by slot
     free_slots: Vec<u32>,
     lru_head: u32,
@@ -132,9 +132,7 @@ impl PersistentBlockCache for BaselineCache {
             }
         };
         let mut buf = vec![0u8; SLOT_HEADER + len];
-        self.storage
-            .read_at(slot as u64 * self.slot_size as u64, &mut buf)
-            .ok()?;
+        self.storage.read_at(slot as u64 * self.slot_size as u64, &mut buf).ok()?;
         let h_file = u64::from_le_bytes(buf[0..8].try_into().expect("8"));
         let h_offset = u64::from_le_bytes(buf[8..16].try_into().expect("8"));
         if h_file != file || h_offset != offset {
@@ -194,9 +192,7 @@ impl PersistentBlockCache for BaselineCache {
             .entries
             .iter()
             .enumerate()
-            .filter_map(|(slot, e)| {
-                e.as_ref().filter(|e| e.file == file).map(|_| slot as u32)
-            })
+            .filter_map(|(slot, e)| e.as_ref().filter(|e| e.file == file).map(|_| slot as u32))
             .collect();
         inner.stats.invalidation_steps += inner.entries.len() as u64;
         for slot in victims {
@@ -236,10 +232,7 @@ mod tests {
 
     fn cache(slots: u32) -> BaselineCache {
         let slot_size = 256 + SLOT_HEADER as u32;
-        BaselineCache::new(
-            Arc::new(MemCacheStorage::new((slots * slot_size) as usize)),
-            slot_size,
-        )
+        BaselineCache::new(Arc::new(MemCacheStorage::new((slots * slot_size) as usize)), slot_size)
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub trait PersistentBlockCache: Send + Sync {
     /// level the file currently resides at (colder levels evict first).
     fn put(&self, file: u64, offset: u64, data: &[u8], level: usize);
 
+    /// Insert a block fetched by speculative readahead rather than a demand
+    /// read. Implementations may admit it at a lower priority — in
+    /// particular, without displacing demand-fetched data. The default
+    /// treats it as an ordinary [`put`](Self::put).
+    fn put_prefetched(&self, file: u64, offset: u64, data: &[u8], level: usize) {
+        self.put(file, offset, data, level);
+    }
+
     /// Drop every cached block of `file` (compaction obsoleted it).
     fn invalidate_file(&self, file: u64);
 
@@ -178,9 +186,9 @@ impl MashCache {
                 .collect::<Vec<_>>();
             let owner = slots.iter().find_map(|(_, o)| o.map(|(f, _, _)| f));
             let consistent = match owner {
-                Some(file) => slots
-                    .iter()
-                    .all(|(_, o)| o.map(|(f, _, _)| f == file).unwrap_or(true)),
+                Some(file) => {
+                    slots.iter().all(|(_, o)| o.map(|(f, _, _)| f == file).unwrap_or(true))
+                }
                 None => false,
             };
             if let (Some(file), true) = (owner, consistent) {
@@ -224,8 +232,7 @@ impl MashCache {
     /// to discard blocks of SSTables that no longer exist).
     pub fn retain_files(&self, live: &std::collections::BTreeSet<u64>) {
         let mut inner = self.inner.lock();
-        let dead: Vec<u64> =
-            inner.files.keys().copied().filter(|f| !live.contains(f)).collect();
+        let dead: Vec<u64> = inner.files.keys().copied().filter(|f| !live.contains(f)).collect();
         for file in dead {
             if let Some(mut entry) = inner.files.remove(&file) {
                 entry.extents.release_all(&mut inner.alloc);
@@ -335,65 +342,11 @@ impl PersistentBlockCache for MashCache {
     }
 
     fn put(&self, file: u64, offset: u64, data: &[u8], level: usize) {
-        let key = block_key(file, offset);
-        let payload_max = self.config.slot_size as usize - SLOT_HEADER;
-        let slot = {
-            let mut inner = self.inner.lock();
-            if data.len() > payload_max {
-                inner.stats.oversize_rejects += 1;
-                return;
-            }
-            if self.config.admission && !inner.sketch.admit(key) {
-                // First touch: remember it, admit on the next one.
-                inner.sketch.touch(key);
-                inner.stats.admission_rejects += 1;
-                return;
-            }
-            inner.tick += 1;
-            let tick = inner.tick;
-            let entry = inner.files.entry(file).or_insert_with(|| FileEntry {
-                extents: FileExtents::default(),
-                index: PackedIndex::new(),
-                level,
-                last_access: tick,
-            });
-            entry.level = level;
-            entry.last_access = tick;
-            if entry.index.get(offset).is_some() {
-                return; // already cached
-            }
-            let slot = loop {
-                // Borrow dance: try allocation, else evict and retry.
-                let attempt = {
-                    let Inner { files, alloc, .. } = &mut *inner;
-                    files.get_mut(&file).expect("just inserted").extents.next_slot(alloc)
-                };
-                match attempt {
-                    Some(slot) => break slot,
-                    None => {
-                        if !Self::evict_one_extent(&mut inner) {
-                            return; // cache smaller than one extent
-                        }
-                    }
-                }
-            };
-            inner.files.get_mut(&file).expect("exists").index.insert(offset, slot);
-            inner.stats.inserts += 1;
-            slot
-        };
-        // Write outside the lock. A racing reader of a previous tenant of
-        // this slot is rejected by its header check.
-        let mut buf = Vec::with_capacity(SLOT_HEADER + data.len());
-        buf.extend_from_slice(&file.to_le_bytes());
-        buf.extend_from_slice(&offset.to_le_bytes());
-        buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&Self::checksum(data).to_le_bytes());
-        buf.extend_from_slice(data);
-        let slot_offset = {
-            let inner = self.inner.lock();
-            inner.alloc.slot_offset(slot)
-        };
-        let _ = self.storage.write_at(slot_offset, &buf);
+        self.put_inner(file, offset, data, level, false);
+    }
+
+    fn put_prefetched(&self, file: u64, offset: u64, data: &[u8], level: usize) {
+        self.put_inner(file, offset, data, level, true);
     }
 
     fn invalidate_file(&self, file: u64) {
@@ -426,6 +379,76 @@ impl PersistentBlockCache for MashCache {
     }
 }
 
+impl MashCache {
+    /// Shared insert path. Prefetched blocks are strictly lower priority:
+    /// they skip the frequency sketch (one speculative fetch is no evidence
+    /// of reuse, and polluting the sketch would skew later admission
+    /// decisions) and only occupy extents that are already free — they
+    /// never evict resident data.
+    fn put_inner(&self, file: u64, offset: u64, data: &[u8], level: usize, prefetched: bool) {
+        let key = block_key(file, offset);
+        let payload_max = self.config.slot_size as usize - SLOT_HEADER;
+        let slot = {
+            let mut inner = self.inner.lock();
+            if data.len() > payload_max {
+                inner.stats.oversize_rejects += 1;
+                return;
+            }
+            if !prefetched && self.config.admission && !inner.sketch.admit(key) {
+                // First touch: remember it, admit on the next one.
+                inner.sketch.touch(key);
+                inner.stats.admission_rejects += 1;
+                return;
+            }
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner.files.entry(file).or_insert_with(|| FileEntry {
+                extents: FileExtents::default(),
+                index: PackedIndex::new(),
+                level,
+                last_access: tick,
+            });
+            entry.level = level;
+            entry.last_access = tick;
+            if entry.index.get(offset).is_some() {
+                return; // already cached
+            }
+            let slot = loop {
+                // Borrow dance: try allocation, else evict and retry.
+                let attempt = {
+                    let Inner { files, alloc, .. } = &mut *inner;
+                    files.get_mut(&file).expect("just inserted").extents.next_slot(alloc)
+                };
+                match attempt {
+                    Some(slot) => break slot,
+                    None if prefetched => return, // never evict for readahead
+                    None => {
+                        if !Self::evict_one_extent(&mut inner) {
+                            return; // cache smaller than one extent
+                        }
+                    }
+                }
+            };
+            inner.files.get_mut(&file).expect("exists").index.insert(offset, slot);
+            inner.stats.inserts += 1;
+            slot
+        };
+        // Write outside the lock. A racing reader of a previous tenant of
+        // this slot is rejected by its header check.
+        let mut buf = Vec::with_capacity(SLOT_HEADER + data.len());
+        buf.extend_from_slice(&file.to_le_bytes());
+        buf.extend_from_slice(&offset.to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&Self::checksum(data).to_le_bytes());
+        buf.extend_from_slice(data);
+        let slot_offset = {
+            let inner = self.inner.lock();
+            inner.alloc.slot_offset(slot)
+        };
+        let _ = self.storage.write_at(slot_offset, &buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +475,35 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
         assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn prefetched_put_bypasses_admission_sketch() {
+        let c = cache(64 * 1024, true);
+        c.put_prefetched(1, 0, b"ra-block", 3);
+        assert_eq!(c.get(1, 0), Some(b"ra-block".to_vec()));
+        assert_eq!(c.stats().admission_rejects, 0);
+    }
+
+    #[test]
+    fn prefetched_puts_never_evict_resident_data() {
+        // Exactly 16 slots (4 extents) of capacity.
+        let c = cache(16 * (256 + SLOT_HEADER), false);
+        for i in 0..16u64 {
+            c.put(1, i * 4096, b"demand", 2);
+        }
+        // Cache is full: readahead for another file must be refused rather
+        // than displace anything.
+        for i in 0..8u64 {
+            c.put_prefetched(2, i * 4096, b"spec", 6);
+        }
+        assert_eq!(c.stats().evicted_extents, 0);
+        for i in 0..16u64 {
+            assert!(c.get(1, i * 4096).is_some(), "demand block {i} was evicted");
+        }
+        // A demand put under the same pressure DOES evict (control).
+        c.put(3, 0, b"demand2", 6);
+        assert!(c.stats().evicted_extents >= 1);
     }
 
     #[test]

@@ -74,12 +74,8 @@ impl FileCacheStorage {
             std::fs::create_dir_all(parent)?;
         }
         // Deliberately no truncate: recovery reuses existing cache space.
-        let file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .read(true)
-            .write(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().create(true).truncate(false).read(true).write(true).open(path)?;
         file.set_len(capacity)?;
         Ok(FileCacheStorage { file: Mutex::new(file), capacity })
     }

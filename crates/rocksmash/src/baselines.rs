@@ -186,9 +186,8 @@ mod tests {
             }
             db.flush().unwrap();
             db.wait_for_compactions().unwrap();
-            let reads: Vec<Option<Vec<u8>>> = (0..300usize)
-                .map(|i| db.get(format!("k{i:05}").as_bytes()).unwrap())
-                .collect();
+            let reads: Vec<Option<Vec<u8>>> =
+                (0..300usize).map(|i| db.get(format!("k{i:05}").as_bytes()).unwrap()).collect();
             answers.push(reads);
         }
         for window in answers.windows(2) {

@@ -18,7 +18,8 @@
 //! ```
 //!
 //! Flags (before the command): `--scheme <rocksmash|local-only|cloud-only|
-//! naive-hybrid>`, `--cloud-latency-us <n>`, `--sync`.
+//! naive-hybrid>`, `--cloud-latency-us <n>`, `--readahead <blocks>`,
+//! `--sync`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,13 +32,15 @@ struct Cli {
     dir: PathBuf,
     scheme: Scheme,
     cloud_latency_us: u64,
+    readahead: usize,
     sync: bool,
     command: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rocksmash [--scheme S] [--cloud-latency-us N] [--sync] <dir> <command> [args]\n\
+        "usage: rocksmash [--scheme S] [--cloud-latency-us N] [--readahead B] [--sync] \
+         <dir> <command> [args]\n\
          commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
          \u{20}         fill <n> [value-size] | compact | stats | recovery | repair"
     );
@@ -48,6 +51,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
     let mut args = std::env::args().skip(1).peekable();
     let mut scheme = Scheme::RocksMash;
     let mut cloud_latency_us = 1500;
+    let mut readahead = 0;
     let mut sync = false;
     let mut dir: Option<PathBuf> = None;
     let mut command = Vec::new();
@@ -67,10 +71,10 @@ fn parse_args() -> Result<Cli, ExitCode> {
                 };
             }
             "--cloud-latency-us" => {
-                cloud_latency_us = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(usage)?;
+                cloud_latency_us = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
+            }
+            "--readahead" => {
+                readahead = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
             "--sync" => sync = true,
             "--help" | "-h" => return Err(usage()),
@@ -82,7 +86,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
     if command.is_empty() {
         return Err(usage());
     }
-    Ok(Cli { dir, scheme, cloud_latency_us, sync, command })
+    Ok(Cli { dir, scheme, cloud_latency_us, readahead, sync, command })
 }
 
 fn open(cli: &Cli) -> Result<TieredDb, Box<dyn std::error::Error>> {
@@ -100,6 +104,7 @@ fn open(cli: &Cli) -> Result<TieredDb, Box<dyn std::error::Error>> {
         ..TieredConfig::rocksmash()
     });
     config.options.sync_writes = cli.sync;
+    config.readahead_blocks = cli.readahead;
     config.cache_file = Some(cli.dir.join("local/cache.dat"));
     // The cache file counts against the local tier footprint; keep the
     // CLI default modest (tune per deployment).
@@ -180,19 +185,33 @@ fn scan(db: &TieredDb, from: &str, limit: usize) -> Result<(), Box<dyn std::erro
         println!("{} = {}", String::from_utf8_lossy(k), String::from_utf8_lossy(v));
     }
     println!("({} rows)", rows.len());
+    let report = db.report()?;
+    if report.prefetch_issued > 0 || report.coalesced_gets > 0 {
+        println!(
+            "readahead: {} blocks prefetched ({} useful), {} coalesced GETs saved {} requests",
+            report.prefetch_issued,
+            report.prefetch_useful,
+            report.coalesced_gets,
+            report.requests_saved
+        );
+    }
     Ok(())
 }
 
 fn fill(db: &TieredDb, n: u64, value_size: usize) -> Result<(), Box<dyn std::error::Error>> {
     let started = std::time::Instant::now();
     for i in 0..n {
-        let value: Vec<u8> = (0..value_size).map(|j| b'a' + ((i as usize + j) % 26) as u8).collect();
+        let value: Vec<u8> =
+            (0..value_size).map(|j| b'a' + ((i as usize + j) % 26) as u8).collect();
         db.put(format!("key{i:012}").as_bytes(), &value)?;
     }
     db.flush()?;
     db.wait_for_compactions()?;
     let secs = started.elapsed().as_secs_f64();
-    println!("loaded {n} records ({value_size} B values) in {secs:.2}s ({:.1} kops/s)", n as f64 / secs / 1000.0);
+    println!(
+        "loaded {n} records ({value_size} B values) in {secs:.2}s ({:.1} kops/s)",
+        n as f64 / secs / 1000.0
+    );
     stats(db)?;
     Ok(())
 }
@@ -200,10 +219,12 @@ fn fill(db: &TieredDb, n: u64, value_size: usize) -> Result<(), Box<dyn std::err
 fn stats(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
     let report = db.report()?;
     print!("{}", db.engine().debug_string());
-    println!("tiers:    {:.2} MiB local ({:.1}%) / {:.2} MiB cloud",
+    println!(
+        "tiers:    {:.2} MiB local ({:.1}%) / {:.2} MiB cloud",
         report.local_bytes as f64 / (1 << 20) as f64,
         report.local_fraction() * 100.0,
-        report.cloud_bytes as f64 / (1 << 20) as f64);
+        report.cloud_bytes as f64 / (1 << 20) as f64
+    );
     println!(
         "engine:   {} writes, {} gets, {} flushes, {} compactions",
         report.engine_writes, report.engine_gets, report.engine_flushes, report.engine_compactions
@@ -220,6 +241,15 @@ fn stats(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
         report.cost.cloud_capacity_cost + report.cost.local_capacity_cost,
         report.cost.request_cost + report.cost.egress_cost
     );
+    if report.prefetch_issued > 0 || report.coalesced_gets > 0 {
+        println!(
+            "readahead: {} blocks prefetched ({} useful), {} coalesced GETs saved {} requests",
+            report.prefetch_issued,
+            report.prefetch_useful,
+            report.coalesced_gets,
+            report.requests_saved
+        );
+    }
     if let Some(cache) = report.cache {
         println!(
             "cache:    {:.1}% hit ratio ({} hits / {} misses), {} KiB metadata, {} invalidations",

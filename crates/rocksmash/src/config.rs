@@ -47,6 +47,11 @@ pub struct TieredConfig {
     pub cloud: CloudConfig,
     /// Optional latency model charged on local reads/writes.
     pub local_latency: Option<LatencyModel>,
+    /// Data blocks of readahead scheduled during sequential scans
+    /// ([`lsm::ReadOptions::readahead_blocks`] for `TieredDb::scan`).
+    /// 0 disables readahead; per-call overrides are available via
+    /// `TieredDb::scan_with`.
+    pub readahead_blocks: usize,
 }
 
 impl TieredConfig {
@@ -65,6 +70,7 @@ impl TieredConfig {
             parallel_recovery: true,
             cloud: CloudConfig::default(),
             local_latency: None,
+            readahead_blocks: 0,
         }
     }
 

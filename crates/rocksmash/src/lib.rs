@@ -56,7 +56,7 @@ pub mod tiered;
 
 pub use baselines::Scheme;
 pub use config::{CacheKind, TieredConfig};
-pub use placement::PlacementPolicy;
 pub use migrate::{migrate_placement, MigrationReport};
+pub use placement::PlacementPolicy;
 pub use stats::SchemeReport;
 pub use tiered::TieredDb;

@@ -60,7 +60,6 @@ pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Resul
             let local = env.exists(&name)?;
             match (desired, local) {
                 (Tier::Local, true) | (Tier::Cloud, false) => report.already_placed += 1,
-                (Tier::Cloud, false) if false => unreachable!(),
                 (Tier::Cloud, true) => {
                     // Upload, then drop the local copy.
                     let data = env.read_all(&name)?;
@@ -207,20 +206,15 @@ mod tests {
         let env = Arc::new(MemEnv::new());
         let cloud = storage::CloudStore::instant();
         {
-            let db = TieredDb::open_with_cloud(
-                env.clone() as Arc<dyn Env>,
-                cloud.clone(),
-                tiny(),
-            )
-            .unwrap();
+            let db = TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), tiny())
+                .unwrap();
             fill(&db);
             migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
             // Duplicates: files live locally AND as cloud objects.
             assert!(!cloud.list("sst/").unwrap().is_empty());
             db.close().unwrap();
         }
-        let db =
-            TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud.clone(), tiny()).unwrap();
+        let db = TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud.clone(), tiny()).unwrap();
         // Reopen sweeps cloud objects shadowed by local copies.
         for key in cloud.list("sst/").unwrap() {
             let number: u64 = key

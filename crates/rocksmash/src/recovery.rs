@@ -227,8 +227,8 @@ mod tests {
         w.append(&stamped(3, "j".into(), "x".into())).unwrap();
         w.append(&stamped(4, "k".into(), "newest".into())).unwrap();
         w.finish().unwrap();
-        let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests())
-            .unwrap();
+        let db =
+            Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests()).unwrap();
         recover_into(&env, &db, true).unwrap();
         assert_eq!(db.get(b"k").unwrap(), Some(b"newest".to_vec()));
         assert_eq!(db.get(b"j").unwrap(), Some(b"x".to_vec()));
@@ -248,8 +248,8 @@ mod tests {
         del.set_sequence(2);
         w.append(&del).unwrap();
         w.finish().unwrap();
-        let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests())
-            .unwrap();
+        let db =
+            Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests()).unwrap();
         recover_into(&env, &db, true).unwrap();
         assert_eq!(db.get(b"k").unwrap(), None);
         db.close().unwrap();
@@ -258,8 +258,8 @@ mod tests {
     #[test]
     fn empty_ewal_recovers_nothing() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests())
-            .unwrap();
+        let db =
+            Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests()).unwrap();
         let report = recover_into(&env, &db, true).unwrap();
         assert_eq!(report.ops(), 0);
         assert_eq!(report.files, 0);
@@ -276,8 +276,8 @@ mod tests {
         w2.append(&stamped(2, "b".into(), "2".into())).unwrap();
         w2.append(&stamped(3, "a".into(), "3".into())).unwrap();
         w2.finish().unwrap();
-        let db = Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests())
-            .unwrap();
+        let db =
+            Db::open(Arc::new(MemEnv::new()) as Arc<dyn Env>, Options::small_for_tests()).unwrap();
         let report = recover_into(&env, &db, false).unwrap();
         assert_eq!(report.ops(), 3);
         assert_eq!(db.get(b"a").unwrap(), Some(b"3".to_vec()));

@@ -123,7 +123,9 @@ impl FileRouter for TieredRouter {
             Tier::Cloud => {
                 let name = sst_name(number);
                 let data = env.read_all(&name)?;
-                storage::failure::with_retries(5, || self.cloud.put(&cloud_sst_key(number), &data))?;
+                storage::failure::with_retries(5, || {
+                    self.cloud.put(&cloud_sst_key(number), &data)
+                })?;
                 env.delete(&name)?;
                 self.stats.uploads.fetch_add(1, Ordering::Relaxed);
                 self.stats.upload_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -137,9 +139,8 @@ impl FileRouter for TieredRouter {
         if env.exists(&name)? {
             return env.open_random(&name);
         }
-        let object = storage::failure::with_retries(5, || {
-            self.cloud.open_object(&cloud_sst_key(number))
-        })?;
+        let object =
+            storage::failure::with_retries(5, || self.cloud.open_object(&cloud_sst_key(number)))?;
         let level = self
             .levels
             .lock()
@@ -184,6 +185,54 @@ struct CachedCloudFile {
     stats: Arc<RouterStats>,
 }
 
+impl CachedCloudFile {
+    /// Vectored read with the persistent cache in the path: hits are
+    /// answered locally, misses are fetched together through the inner
+    /// file's coalescing `read_ranges`, and the fetched blocks are admitted
+    /// — at low priority when `prefetched` (speculative readahead must not
+    /// displace demand-hot blocks).
+    fn ranged_read(&self, ranges: &[(u64, usize)], prefetched: bool) -> Result<Vec<Vec<u8>>> {
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; ranges.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for (i, &(offset, len)) in ranges.iter().enumerate() {
+                match cache.get(self.file, offset) {
+                    Some(data) if data.len() >= len => {
+                        out[i] = Some(data[..len].to_vec());
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => miss_idx.push(i),
+                }
+            }
+        } else {
+            miss_idx.extend(0..ranges.len());
+        }
+        if !miss_idx.is_empty() {
+            let miss_ranges: Vec<(u64, usize)> = miss_idx.iter().map(|&i| ranges[i]).collect();
+            let fetched = storage::failure::with_retries(5, || {
+                if prefetched {
+                    self.inner.prefetch_ranges(&miss_ranges)
+                } else {
+                    self.inner.read_ranges(&miss_ranges)
+                }
+            })?;
+            self.stats.cloud_reads.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            for (&i, data) in miss_idx.iter().zip(fetched) {
+                if let Some(cache) = &self.cache {
+                    let offset = ranges[i].0;
+                    if prefetched {
+                        cache.put_prefetched(self.file, offset, &data, self.level);
+                    } else {
+                        cache.put(self.file, offset, &data, self.level);
+                    }
+                }
+                out[i] = Some(data);
+            }
+        }
+        Ok(out.into_iter().map(|o| o.expect("every range filled")).collect())
+    }
+}
+
 impl RandomAccessFile for CachedCloudFile {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
         if let Some(cache) = &self.cache {
@@ -205,6 +254,14 @@ impl RandomAccessFile for CachedCloudFile {
             cache.put(self.file, offset, &buf[..n], self.level);
         }
         Ok(n)
+    }
+
+    fn read_ranges(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        self.ranged_read(ranges, false)
+    }
+
+    fn prefetch_ranges(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        self.ranged_read(ranges, true)
     }
 
     fn len(&self) -> u64 {
@@ -229,8 +286,7 @@ mod tests {
         } else {
             None
         };
-        let router =
-            TieredRouter::new(cloud.clone(), PlacementPolicy::rocksmash_default(), cache);
+        let router = TieredRouter::new(cloud.clone(), PlacementPolicy::rocksmash_default(), cache);
         (env, cloud, router)
     }
 
@@ -270,6 +326,40 @@ mod tests {
         let _ = f.read_exact_at(0, 1024).unwrap();
         assert_eq!(cloud.stats().snapshot().reads, before + 1);
         assert_eq!(router.stats().cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn vectored_cloud_read_coalesces_and_fills_cache() {
+        let (env, cloud, router) = setup(true);
+        env.write_all(&sst_name(6), &vec![9u8; 8192]).unwrap();
+        router.publish_table(&env, 6, 4).unwrap();
+        let f = router.open_table(&env, 6).unwrap();
+        let ranges: Vec<(u64, usize)> = (0..4u64).map(|i| (i * 1024, 1024)).collect();
+        let before = cloud.stats().snapshot();
+        let got = f.read_ranges(&ranges).unwrap();
+        assert!(got.iter().all(|b| b.len() == 1024 && b.iter().all(|&x| x == 9)));
+        let after = cloud.stats().snapshot();
+        assert_eq!(after.reads - before.reads, 1, "4 adjacent ranges must be one billed GET");
+        assert_eq!(after.requests_saved - before.requests_saved, 3);
+        // Second pass: every range now comes out of the persistent cache.
+        let again = f.read_ranges(&ranges).unwrap();
+        assert_eq!(again, got);
+        assert_eq!(cloud.stats().snapshot().reads, after.reads);
+    }
+
+    #[test]
+    fn prefetch_ranges_fills_cache_for_later_demand_reads() {
+        let (env, cloud, router) = setup(true);
+        env.write_all(&sst_name(8), &vec![3u8; 4096]).unwrap();
+        router.publish_table(&env, 8, 5).unwrap();
+        let f = router.open_table(&env, 8).unwrap();
+        let ranges = [(0u64, 1024usize), (1024, 1024)];
+        f.prefetch_ranges(&ranges).unwrap();
+        let after_prefetch = cloud.stats().snapshot().reads;
+        // Demand reads of the prefetched blocks stay local.
+        assert_eq!(f.read_exact_at(0, 1024).unwrap(), vec![3u8; 1024]);
+        assert_eq!(f.read_exact_at(1024, 1024).unwrap(), vec![3u8; 1024]);
+        assert_eq!(cloud.stats().snapshot().reads, after_prefetch);
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct SchemeReport {
     pub cache: Option<CacheStats>,
     /// Persistent cache metadata footprint in bytes.
     pub cache_metadata_bytes: usize,
+    /// Data blocks scheduled for background readahead.
+    pub prefetch_issued: u64,
+    /// Prefetched blocks later served to a demand read (block cache hits
+    /// on readahead-staged entries).
+    pub prefetch_useful: u64,
+    /// Coalesced vectored GETs issued against the cloud tier.
+    pub coalesced_gets: u64,
+    /// Cloud requests avoided by coalescing (caller ranges − billed GETs).
+    pub requests_saved: u64,
 }
 
 impl SchemeReport {
@@ -49,15 +58,15 @@ impl SchemeReport {
         let router = db.router();
         let local_bytes = db.local_bytes()?;
         let cloud_bytes = db.cloud_bytes()?;
-        let cost = db.cloud().cost_tracker().report(
-            db.cloud().cost_model(),
-            cloud_bytes,
-            local_bytes,
-        );
+        let cost =
+            db.cloud().cost_tracker().report(db.cloud().cost_model(), cloud_bytes, local_bytes);
         let (cache, cache_metadata_bytes) = match router.cache() {
             Some(cache) => (Some(cache.stats()), cache.metadata_bytes()),
             None => (None, 0),
         };
+        let cloud_snapshot = db.cloud().stats().snapshot();
+        let prefetch_issued = db.engine().prefetcher().map(|p| p.issued()).unwrap_or(0);
+        let prefetch_useful = db.engine().block_cache().map(|c| c.prefetch_useful()).unwrap_or(0);
         Ok(SchemeReport {
             engine_writes: stats.writes.load(Ordering::Relaxed),
             engine_gets: stats.gets.load(Ordering::Relaxed),
@@ -66,13 +75,17 @@ impl SchemeReport {
             compact_bytes_in: stats.compact_bytes_in.load(Ordering::Relaxed),
             compact_bytes_out: stats.compact_bytes_out.load(Ordering::Relaxed),
             stall_ns: stats.stall_ns.load(Ordering::Relaxed),
-            cloud: db.cloud().stats().snapshot(),
+            coalesced_gets: cloud_snapshot.coalesced_gets,
+            requests_saved: cloud_snapshot.requests_saved,
+            cloud: cloud_snapshot,
             cost,
             local_bytes,
             cloud_bytes,
             uploads: router.stats().uploads.load(Ordering::Relaxed),
             cache,
             cache_metadata_bytes,
+            prefetch_issued,
+            prefetch_useful,
         })
     }
 

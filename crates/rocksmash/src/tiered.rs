@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lsm::db::DbIterator;
-use lsm::{Db, Result, Snapshot, WriteBatch};
+use lsm::{Db, ReadOptions, Result, Snapshot, WriteBatch};
 use mashcache::cache::PersistentBlockCache;
 use mashcache::{BaselineCache, CacheConfig, MashCache, MemCacheStorage};
 use parking_lot::Mutex;
@@ -60,8 +60,8 @@ impl TieredDb {
                 // Blocks are cut at ~block_size plus prefix-compression
                 // slack and the 5-byte trailer; a quarter of headroom
                 // covers that without wasting half of every slot.
-                let slot_size = (config.options.block_size + config.options.block_size / 4 + 128)
-                    as u32;
+                let slot_size =
+                    (config.options.block_size + config.options.block_size / 4 + 128) as u32;
                 // Cap extent size so the cache always has enough extents to
                 // spread over the working set of SSTables; a cache with a
                 // handful of huge extents thrashes on allocation.
@@ -98,8 +98,8 @@ impl TieredDb {
             }
             (CacheKind::Baseline, bytes) => {
                 let storage = Arc::new(MemCacheStorage::new(bytes as usize));
-                let slot_size = (config.options.block_size + config.options.block_size / 4 + 128)
-                    as u32;
+                let slot_size =
+                    (config.options.block_size + config.options.block_size / 4 + 128) as u32;
                 Some(Arc::new(BaselineCache::new(storage, slot_size)))
             }
         };
@@ -119,10 +119,7 @@ impl TieredDb {
                 delete_generation(&env, generation)?;
             }
             let writer = EWalWriter::create(&env, 1, config.ewal_partitions.max(1))?;
-            (
-                Some(Mutex::new(EWalState { writer, bytes_since_flush: 0 })),
-                Some(report),
-            )
+            (Some(Mutex::new(EWalState { writer, bytes_since_flush: 0 })), Some(report))
         } else {
             (None, None)
         };
@@ -223,6 +220,12 @@ impl TieredDb {
         self.db.get_at(key, snapshot)
     }
 
+    /// Point-read several keys at one consistent read point; large batches
+    /// fan out across the engine's read pool so cloud latencies overlap.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.db.multi_get(keys)
+    }
+
     /// Take a consistent snapshot.
     pub fn snapshot(&self) -> Snapshot {
         self.db.snapshot()
@@ -233,9 +236,26 @@ impl TieredDb {
         self.db.iter()
     }
 
-    /// Scan up to `limit` pairs starting at `from`.
+    /// Iterator with explicit per-read tuning.
+    pub fn iter_with(&self, read_opts: ReadOptions) -> Result<DbIterator> {
+        self.db.iter_with(read_opts)
+    }
+
+    /// Scan up to `limit` pairs starting at `from`, with the configured
+    /// readahead ([`TieredConfig::readahead_blocks`]).
     pub fn scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let mut it = self.db.iter()?;
+        self.scan_with(from, limit, ReadOptions::with_readahead(self.config.readahead_blocks))
+    }
+
+    /// Scan with explicit per-read tuning, overriding the configured
+    /// readahead.
+    pub fn scan_with(
+        &self,
+        from: &[u8],
+        limit: usize,
+        read_opts: ReadOptions,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut it = self.db.iter_with(read_opts)?;
         it.seek(from)?;
         it.collect_forward(limit)
     }
@@ -248,11 +268,8 @@ impl TieredDb {
                 let old_generation = {
                     let mut state = ewal.lock();
                     let old = state.writer.generation();
-                    let fresh = EWalWriter::create(
-                        &self.env,
-                        old + 1,
-                        self.config.ewal_partitions.max(1),
-                    )?;
+                    let fresh =
+                        EWalWriter::create(&self.env, old + 1, self.config.ewal_partitions.max(1))?;
                     let retired = std::mem::replace(&mut state.writer, fresh);
                     retired.finish()?;
                     state.bytes_since_flush = 0;
@@ -406,8 +423,7 @@ mod tests {
             // "disk" contents alive through the shared Arc.
             db.engine().close().unwrap();
         }
-        let db =
-            TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, tiny_config()).unwrap();
+        let db = TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, tiny_config()).unwrap();
         let report = db.recovery_report().expect("ewal recovery ran");
         assert!(report.ops() >= 60, "unflushed tail must be replayed, got {}", report.ops());
         for i in 200..260 {

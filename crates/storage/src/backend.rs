@@ -57,6 +57,22 @@ pub trait RandomAccessFile: Send + Sync {
         }
         Ok(buf)
     }
+
+    /// Vectored read: fetch every `(offset, len)` range, returning the
+    /// buffers in request order. The default issues one `read_exact_at` per
+    /// range; latency-bound backends (the cloud tier) override this to
+    /// coalesce adjacent ranges into fewer billed requests.
+    fn read_ranges(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        ranges.iter().map(|&(offset, len)| self.read_exact_at(offset, len)).collect()
+    }
+
+    /// [`read_ranges`](Self::read_ranges) issued on behalf of speculative
+    /// readahead rather than a demand read. Caching wrappers use the
+    /// distinction to admit the fetched bytes at a lower cache priority;
+    /// plain backends treat both identically.
+    fn prefetch_ranges(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        self.read_ranges(ranges)
+    }
 }
 
 /// A file-system-like environment: the local storage tier.
@@ -121,6 +137,14 @@ pub trait ObjectStore: Send + Sync {
 
     /// Download `len` bytes of the object starting at `offset` (range GET).
     fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Vectored range GET: fetch every `(offset, len)` range of one object,
+    /// returning buffers in request order. The default issues one
+    /// `get_range` per range; the simulated cloud overrides this to merge
+    /// adjacent/near-adjacent ranges into one billed GET per run.
+    fn get_ranges(&self, key: &str, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        ranges.iter().map(|&(offset, len)| self.get_range(key, offset, len)).collect()
+    }
 
     /// Delete an object. Deleting a missing object is an error.
     fn delete(&self, key: &str) -> Result<()>;

@@ -42,6 +42,10 @@ pub struct CloudConfig {
     /// Throttle requests to this many per second (S3-style rate ceiling);
     /// None disables throttling. Excess load turns into queueing delay.
     pub max_requests_per_sec: Option<f64>,
+    /// Vectored `get_ranges` merges ranges whose gap is at most this many
+    /// bytes into one billed GET (the over-read is cheaper than a second
+    /// first-byte RTT). 0 merges only exactly-adjacent ranges.
+    pub coalesce_gap_bytes: u64,
 }
 
 impl Default for CloudConfig {
@@ -53,6 +57,7 @@ impl Default for CloudConfig {
             seed: 0xc10d,
             backing_dir: None,
             max_requests_per_sec: None,
+            coalesce_gap_bytes: 32 * 1024,
         }
     }
 }
@@ -67,6 +72,7 @@ impl CloudConfig {
             seed: 1,
             backing_dir: None,
             max_requests_per_sec: None,
+            coalesce_gap_bytes: 32 * 1024,
         }
     }
 }
@@ -87,6 +93,7 @@ pub struct CloudStore {
     rng: Arc<Mutex<StdRng>>,
     backing: Option<Arc<std::path::PathBuf>>,
     limiter: Option<Arc<crate::limiter::RateLimiter>>,
+    coalesce_gap: u64,
 }
 
 impl CloudStore {
@@ -107,6 +114,7 @@ impl CloudStore {
             limiter: config
                 .max_requests_per_sec
                 .map(|rate| Arc::new(crate::limiter::RateLimiter::new(rate, rate / 10.0))),
+            coalesce_gap: config.coalesce_gap_bytes,
         };
         if let Some(dir) = store.backing.clone() {
             let _ = std::fs::create_dir_all(&*dir);
@@ -130,10 +138,7 @@ impl CloudStore {
                         .expect("under backing dir")
                         .to_string_lossy()
                         .replace('\\', "/");
-                    self.shard_for(&key)
-                        .write()
-                        .objects
-                        .insert(key, Arc::new(data));
+                    self.shard_for(&key).write().objects.insert(key, Arc::new(data));
                 }
             }
         }
@@ -219,10 +224,7 @@ impl ObjectStore for CloudStore {
         self.pay(data.len());
         self.cost.record_put();
         self.stats.record_write(data.len() as u64);
-        self.shard_for(key)
-            .write()
-            .objects
-            .insert(key.to_string(), Arc::new(data.to_vec()));
+        self.shard_for(key).write().objects.insert(key.to_string(), Arc::new(data.to_vec()));
         self.backing_write(key, data);
         Ok(())
     }
@@ -245,6 +247,52 @@ impl ObjectStore for CloudStore {
         self.cost.record_get(n as u64);
         self.stats.record_read(n as u64);
         Ok(obj[off..off + n].to_vec())
+    }
+
+    fn get_ranges(&self, key: &str, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        if ranges.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.failure.check("get_ranges")?;
+        let obj = self.lookup(key)?;
+        // Clamp each range to the object, as get_range does.
+        let clamped: Vec<(u64, usize)> = ranges
+            .iter()
+            .map(|&(offset, len)| {
+                let off = offset.min(obj.len() as u64);
+                (off, len.min(obj.len() - off as usize))
+            })
+            .collect();
+        // Sort by offset (remembering caller order) and walk runs whose gap
+        // fits under the coalescing threshold: one billed GET per run.
+        let mut order: Vec<usize> = (0..clamped.len()).collect();
+        order.sort_by_key(|&i| clamped[i]);
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); clamped.len()];
+        let mut run_start = 0;
+        while run_start < order.len() {
+            let (first_off, first_len) = clamped[order[run_start]];
+            let mut run_end = run_start + 1;
+            let mut end = first_off + first_len as u64;
+            while run_end < order.len() {
+                let (off, len) = clamped[order[run_end]];
+                if off > end + self.coalesce_gap {
+                    break;
+                }
+                end = end.max(off + len as u64);
+                run_end += 1;
+            }
+            let span = (end - first_off) as usize;
+            self.pay(span);
+            self.cost.record_get(span as u64);
+            self.stats.record_read(span as u64);
+            self.stats.record_coalesced_get((run_end - run_start) as u64);
+            for &i in &order[run_start..run_end] {
+                let (off, len) = clamped[i];
+                out[i] = obj[off as usize..off as usize + len].to_vec();
+            }
+            run_start = run_end;
+        }
+        Ok(out)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -281,14 +329,7 @@ impl ObjectStore for CloudStore {
         self.cost.record_get(0);
         let mut out: Vec<String> = Vec::new();
         for shard in self.shards.iter() {
-            out.extend(
-                shard
-                    .read()
-                    .objects
-                    .keys()
-                    .filter(|k| k.starts_with(prefix))
-                    .cloned(),
-            );
+            out.extend(shard.read().objects.keys().filter(|k| k.starts_with(prefix)).cloned());
         }
         out.sort();
         Ok(out)
@@ -297,7 +338,11 @@ impl ObjectStore for CloudStore {
     fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>> {
         // HEAD-like validation; each subsequent read_at is a range GET.
         let obj = self.lookup(key)?;
-        Ok(Arc::new(CloudObjectFile { store: self.clone(), key: key.to_string(), len: obj.len() as u64 }))
+        Ok(Arc::new(CloudObjectFile {
+            store: self.clone(),
+            key: key.to_string(),
+            len: obj.len() as u64,
+        }))
     }
 
     fn total_bytes(&self) -> Result<u64> {
@@ -326,6 +371,19 @@ impl RandomAccessFile for CloudObjectFile {
 
     fn len(&self) -> u64 {
         self.len
+    }
+
+    fn read_ranges(&self, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        let out = self.store.get_ranges(&self.key, ranges)?;
+        for (buf, &(offset, len)) in out.iter().zip(ranges) {
+            if buf.len() != len {
+                return Err(StorageError::corruption(format!(
+                    "short ranged read: wanted {len} bytes at {offset}, got {}",
+                    buf.len()
+                )));
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -452,6 +510,57 @@ mod tests {
         assert!(matches!(s.get("sst/000002.sst"), Err(StorageError::NotFound(_))));
         assert_eq!(s.list("sst/").unwrap(), vec!["sst/000001.sst".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_ranges_coalesces_adjacent_into_one_billed_get() {
+        let s = CloudStore::instant();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        s.put("k", &data).unwrap();
+        let gets_before = s.cost_tracker().gets();
+        // Eight contiguous 512-byte ranges: one coalesced GET.
+        let ranges: Vec<(u64, usize)> = (0..8).map(|i| (i * 512, 512)).collect();
+        let out = s.get_ranges("k", &ranges).unwrap();
+        for (i, buf) in out.iter().enumerate() {
+            assert_eq!(buf.as_slice(), &data[i * 512..(i + 1) * 512]);
+        }
+        assert_eq!(s.cost_tracker().gets() - gets_before, 1);
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.coalesced_gets, 1);
+        assert_eq!(snap.requests_saved, 7);
+    }
+
+    #[test]
+    fn get_ranges_splits_runs_beyond_gap_threshold() {
+        let s = CloudStore::new(CloudConfig { coalesce_gap_bytes: 16, ..CloudConfig::instant() });
+        s.put("k", &vec![7u8; 10_000]).unwrap();
+        let gets_before = s.cost_tracker().gets();
+        // Two clusters separated by a gap far over the threshold.
+        let out = s.get_ranges("k", &[(0, 100), (110, 100), (5000, 100), (5105, 100)]).unwrap();
+        assert!(out.iter().all(|b| b.len() == 100));
+        assert_eq!(s.cost_tracker().gets() - gets_before, 2);
+        assert_eq!(s.stats().snapshot().requests_saved, 2);
+    }
+
+    #[test]
+    fn get_ranges_preserves_caller_order_for_unsorted_input() {
+        let s = CloudStore::instant();
+        s.put("k", b"abcdefghij").unwrap();
+        let out = s.get_ranges("k", &[(6, 2), (0, 2), (3, 2)]).unwrap();
+        assert_eq!(out, vec![b"gh".to_vec(), b"ab".to_vec(), b"de".to_vec()]);
+    }
+
+    #[test]
+    fn object_file_vectored_read_matches_serial_reads() {
+        let s = CloudStore::instant();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 256) as u8).collect();
+        s.put("obj", &data).unwrap();
+        let f = s.open_object("obj").unwrap();
+        let ranges = [(10u64, 20usize), (100, 50), (900, 100)];
+        let vectored = f.read_ranges(&ranges).unwrap();
+        for (buf, &(off, len)) in vectored.iter().zip(&ranges) {
+            assert_eq!(buf, &f.read_exact_at(off, len).unwrap());
+        }
     }
 
     #[test]

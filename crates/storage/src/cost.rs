@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn request_costs_accumulate() {
-        let model = CostModel {
-            put_per_1k: 5.0,
-            get_per_1k: 1.0,
-            ..CostModel::free()
-        };
+        let model = CostModel { put_per_1k: 5.0, get_per_1k: 1.0, ..CostModel::free() };
         let t = CostTracker::new();
         for _ in 0..1000 {
             t.record_put();
@@ -184,11 +180,7 @@ mod tests {
 
     #[test]
     fn capacity_split_between_tiers() {
-        let model = CostModel {
-            cloud_gb_month: 0.02,
-            local_gb_month: 0.10,
-            ..CostModel::free()
-        };
+        let model = CostModel { cloud_gb_month: 0.02, local_gb_month: 0.10, ..CostModel::free() };
         let t = CostTracker::new();
         let r = t.report(&model, 100 * GIB, 10 * GIB);
         assert!((r.cloud_capacity_cost - 2.0).abs() < 1e-9);

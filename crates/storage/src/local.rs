@@ -385,9 +385,11 @@ mod latency_tests {
             std::thread::current().id()
         ));
         let _ = fs::remove_dir_all(&dir);
-        let env = LocalEnv::new(dir)
-            .unwrap()
-            .with_latency(LatencyModel { base_us: 200, bandwidth_mib_s: 0.0, jitter_frac: 0.0 });
+        let env = LocalEnv::new(dir).unwrap().with_latency(LatencyModel {
+            base_us: 200,
+            bandwidth_mib_s: 0.0,
+            jitter_frac: 0.0,
+        });
         let mut w = env.new_writable("f").unwrap();
         w.append(&[0u8; 4096]).unwrap();
         w.finish().unwrap(); // one sync => one base charge

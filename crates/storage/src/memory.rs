@@ -31,11 +31,7 @@ impl MemEnv {
     }
 
     fn get(&self, name: &str) -> Result<Arc<RwLock<Vec<u8>>>> {
-        self.files
-            .read()
-            .get(name)
-            .cloned()
-            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+        self.files.read().get(name).cloned().ok_or_else(|| StorageError::NotFound(name.to_string()))
     }
 }
 
@@ -60,27 +56,20 @@ impl Env for MemEnv {
     }
 
     fn write_all(&self, name: &str, data: &[u8]) -> Result<()> {
-        self.files
-            .write()
-            .insert(name.to_string(), Arc::new(RwLock::new(data.to_vec())));
+        self.files.write().insert(name.to_string(), Arc::new(RwLock::new(data.to_vec())));
         self.stats.record_write(data.len() as u64);
         Ok(())
     }
 
     fn delete(&self, name: &str) -> Result<()> {
-        self.files
-            .write()
-            .remove(name)
-            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        self.files.write().remove(name).ok_or_else(|| StorageError::NotFound(name.to_string()))?;
         self.stats.record_delete();
         Ok(())
     }
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         let mut files = self.files.write();
-        let buf = files
-            .remove(from)
-            .ok_or_else(|| StorageError::NotFound(from.to_string()))?;
+        let buf = files.remove(from).ok_or_else(|| StorageError::NotFound(from.to_string()))?;
         files.insert(to.to_string(), buf);
         Ok(())
     }
@@ -94,13 +83,7 @@ impl Env for MemEnv {
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        Ok(self
-            .files
-            .read()
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect())
+        Ok(self.files.read().keys().filter(|k| k.starts_with(prefix)).cloned().collect())
     }
 }
 

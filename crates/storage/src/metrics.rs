@@ -18,6 +18,8 @@ pub struct StoreStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     simulated_wait_ns: AtomicU64,
+    coalesced_gets: AtomicU64,
+    requests_saved: AtomicU64,
 }
 
 impl StoreStats {
@@ -48,6 +50,12 @@ impl StoreStats {
         self.simulated_wait_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record that `merged` caller ranges were served by one coalesced GET.
+    pub fn record_coalesced_get(&self, merged: u64) {
+        self.coalesced_gets.fetch_add(1, Ordering::Relaxed);
+        self.requests_saved.fetch_add(merged.saturating_sub(1), Ordering::Relaxed);
+    }
+
     /// Immutable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -57,6 +65,8 @@ impl StoreStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             simulated_wait_ns: self.simulated_wait_ns.load(Ordering::Relaxed),
+            coalesced_gets: self.coalesced_gets.load(Ordering::Relaxed),
+            requests_saved: self.requests_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +78,8 @@ impl StoreStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.simulated_wait_ns.store(0, Ordering::Relaxed);
+        self.coalesced_gets.store(0, Ordering::Relaxed);
+        self.requests_saved.store(0, Ordering::Relaxed);
     }
 }
 
@@ -86,6 +98,12 @@ pub struct StatsSnapshot {
     pub bytes_written: u64,
     /// Nanoseconds spent in simulated latency sleeps.
     pub simulated_wait_ns: u64,
+    /// Coalesced vectored GETs issued (each covers ≥1 caller ranges).
+    #[serde(default)]
+    pub coalesced_gets: u64,
+    /// Requests avoided by coalescing (caller ranges − billed GETs).
+    #[serde(default)]
+    pub requests_saved: u64,
 }
 
 impl StatsSnapshot {
@@ -98,6 +116,8 @@ impl StatsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             simulated_wait_ns: self.simulated_wait_ns - earlier.simulated_wait_ns,
+            coalesced_gets: self.coalesced_gets - earlier.coalesced_gets,
+            requests_saved: self.requests_saved - earlier.requests_saved,
         }
     }
 }

@@ -130,8 +130,8 @@ impl ZipfianGenerator {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }

@@ -15,10 +15,9 @@ pub fn parse_user_key(key: &[u8]) -> Option<u64> {
 /// like YCSB field payloads.
 pub fn value_for(i: u64, version: u64, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
-    let mut state = i
-        .wrapping_mul(0x9e3779b97f4a7c15)
-        .wrapping_add(version.wrapping_mul(0xc2b2ae3d27d4eb4f))
-        | 1;
+    let mut state =
+        i.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(version.wrapping_mul(0xc2b2ae3d27d4eb4f))
+            | 1;
     while out.len() < len {
         state ^= state >> 12;
         state ^= state << 25;

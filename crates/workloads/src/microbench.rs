@@ -18,10 +18,7 @@ pub fn fillseq(n: u64, value_size: usize) -> Vec<Op> {
 pub fn fillrandom(n: u64, value_size: usize, seed: u64) -> Vec<Op> {
     let mut indices: Vec<u64> = (0..n).collect();
     indices.shuffle(&mut StdRng::seed_from_u64(seed));
-    indices
-        .into_iter()
-        .map(|i| Op::Insert(user_key(i), value_for(i, 0, value_size)))
-        .collect()
+    indices.into_iter().map(|i| Op::Insert(user_key(i), value_for(i, 0, value_size))).collect()
 }
 
 /// Point reads with the given distribution over an `n`-record keyspace.

@@ -132,10 +132,8 @@ pub fn run_ops_concurrent<S: KvStore + Sync>(
     }
     let started = Instant::now();
     let results: Vec<Result<RunResult>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = lanes
-            .into_iter()
-            .map(|lane| scope.spawn(move || run_ops(store, lane)))
-            .collect();
+        let handles: Vec<_> =
+            lanes.into_iter().map(|lane| scope.spawn(move || run_ops(store, lane))).collect();
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
@@ -213,12 +211,9 @@ mod tests {
         let db = test_db(Scheme::RocksMash);
         run_ops(&db, fillrandom(400, 64, 5)).unwrap();
         db.flush().unwrap();
-        let result = run_ops_concurrent(
-            &db,
-            readrandom(400, 600, KeyDistribution::zipfian_default(), 6),
-            4,
-        )
-        .unwrap();
+        let result =
+            run_ops_concurrent(&db, readrandom(400, 600, KeyDistribution::zipfian_default(), 6), 4)
+                .unwrap();
         assert_eq!(result.ops, 600);
         assert_eq!(result.not_found, 0);
         assert_eq!(result.overall_latency().count(), 600);
@@ -229,12 +224,8 @@ mod tests {
     fn concurrent_runner_single_thread_degenerates() {
         let db = test_db(Scheme::LocalOnly);
         run_ops(&db, fillrandom(100, 32, 7)).unwrap();
-        let r = run_ops_concurrent(
-            &db,
-            readrandom(100, 50, KeyDistribution::Uniform, 8),
-            1,
-        )
-        .unwrap();
+        let r =
+            run_ops_concurrent(&db, readrandom(100, 50, KeyDistribution::Uniform, 8), 1).unwrap();
         assert_eq!(r.ops, 50);
     }
 

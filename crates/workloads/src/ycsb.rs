@@ -78,7 +78,12 @@ impl WorkloadSpec {
 
     /// YCSB-B: 95% read / 5% update, zipfian.
     pub fn b(record_count: u64, value_size: usize) -> Self {
-        WorkloadSpec { name: "ycsb-b", read: 0.95, update: 0.05, ..Self::a(record_count, value_size) }
+        WorkloadSpec {
+            name: "ycsb-b",
+            read: 0.95,
+            update: 0.05,
+            ..Self::a(record_count, value_size)
+        }
     }
 
     /// YCSB-C: 100% read, zipfian.

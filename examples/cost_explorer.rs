@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = db.report()?;
         println!(
             "{:>6}  {:>10.1}  {:>10.1}  {:>7.1}%  {:>12.5}  {:>12.1}",
-            if cloud_from_level >= 7 { "local".to_string() } else { format!("L{cloud_from_level}+") },
+            if cloud_from_level >= 7 {
+                "local".to_string()
+            } else {
+                format!("L{cloud_from_level}+")
+            },
             report.local_bytes as f64 / (1 << 20) as f64,
             report.cloud_bytes as f64 / (1 << 20) as f64,
             report.local_fraction() * 100.0,

@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Snapshots give repeatable reads.
     let snap = db.snapshot();
     db.put(b"user:alice", b"{\"plan\":\"enterprise\"}")?;
-    println!(
-        "alice now   -> {}",
-        String::from_utf8_lossy(&db.get(b"user:alice")?.unwrap())
-    );
+    println!("alice now   -> {}", String::from_utf8_lossy(&db.get(b"user:alice")?.unwrap()));
     println!(
         "alice @snap -> {}",
         String::from_utf8_lossy(&db.get_at(b"user:alice", &snap)?.unwrap())

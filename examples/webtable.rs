@@ -22,8 +22,11 @@ const VALUE: usize = 512; // rendered document fragment
 const OPS: u64 = 3_000;
 
 fn serve(scheme: Scheme) -> Result<(), Box<dyn std::error::Error>> {
-    let dir =
-        std::env::temp_dir().join(format!("rocksmash-webtable-{}-{}", scheme.name(), std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "rocksmash-webtable-{}-{}",
+        scheme.name(),
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     let env: Arc<dyn Env> = Arc::new(LocalEnv::new(&dir)?);
     // Shrink engine buffers so this demo dataset develops deep (cloud)

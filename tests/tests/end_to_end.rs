@@ -63,8 +63,7 @@ fn model_check(db: &TieredDb, seed: u64, ops: usize) {
     let mut it = db.iter().unwrap();
     it.seek_to_first().unwrap();
     let all = it.collect_forward(usize::MAX).unwrap();
-    let want: Vec<(Vec<u8>, Vec<u8>)> =
-        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    let want: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     assert_eq!(all, want, "final state diverged from model");
 }
 
@@ -96,12 +95,9 @@ fn repeated_crash_recovery_preserves_model_state() {
     let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
     let mut rng = StdRng::seed_from_u64(77);
     for round in 0..4 {
-        let db = TieredDb::open_with_cloud(
-            env.clone() as Arc<dyn Env>,
-            cloud.clone(),
-            small_base(),
-        )
-        .unwrap();
+        let db =
+            TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), small_base())
+                .unwrap();
         // Everything from earlier rounds must have survived the "crash".
         for (k, v) in &model {
             assert_eq!(db.get(k).unwrap().as_ref(), Some(v), "round {round}");
@@ -120,8 +116,7 @@ fn repeated_crash_recovery_preserves_model_state() {
         // Crash without flushing: the eWAL carries the tail.
         db.engine().close().unwrap();
     }
-    let db =
-        TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, small_base()).unwrap();
+    let db = TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, small_base()).unwrap();
     for (k, v) in &model {
         assert_eq!(db.get(k).unwrap().as_ref(), Some(v));
     }
@@ -219,10 +214,8 @@ fn cloud_failures_are_retried_transparently() {
 fn recorded_trace_replays_identically_across_schemes() {
     // Record one YCSB-B stream to a trace file, then drive two different
     // schemes with the identical trace; the visible data must agree.
-    let trace_path = std::env::temp_dir().join(format!(
-        "rocksmash-trace-e2e-{}.bin",
-        std::process::id()
-    ));
+    let trace_path =
+        std::env::temp_dir().join(format!("rocksmash-trace-e2e-{}.bin", std::process::id()));
     let spec = workloads::WorkloadSpec::b(300, 64);
     let ops: Vec<workloads::Op> = spec.load_ops().chain(spec.run_ops(1_500, 9)).collect();
     workloads::trace::record(&trace_path, ops).unwrap();
@@ -251,7 +244,8 @@ fn multi_get_spans_tiers() {
     }
     db.flush().unwrap();
     db.wait_for_compactions().unwrap();
-    let keys: Vec<Vec<u8>> = (0..600).step_by(60).map(|i| format!("mgt{i:05}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> =
+        (0..600).step_by(60).map(|i| format!("mgt{i:05}").into_bytes()).collect();
     let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
     let got = db.engine().multi_get(&refs).unwrap();
     for (j, v) in got.iter().enumerate() {
