@@ -1,0 +1,46 @@
+//! Criterion check that observability instrumentation is effectively
+//! free: point reads against the same store with the observer enabled
+//! vs disabled. The acceptance bar is < 5% regression with it on.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rocksmash::{TieredConfig, TieredDb};
+use storage::{Env, MemEnv};
+
+const RECORDS: u64 = 10_000;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key{i:08}").into_bytes()
+}
+
+fn open_db(observability: bool) -> TieredDb {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { observability, ..TieredConfig::small_for_tests() };
+    let db = TieredDb::open(env, config).expect("open");
+    for i in 0..RECORDS {
+        db.put(&key(i), format!("value{i:08}").as_bytes()).expect("put");
+    }
+    db.flush().expect("flush");
+    db.wait_for_compactions().expect("settle");
+    db
+}
+
+fn bench_get_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    for (name, observability) in [("get_obs_off", false), ("get_obs_on", true)] {
+        let db = open_db(observability);
+        let mut i = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 7919) % RECORDS;
+                db.get(black_box(&key(i))).expect("get")
+            })
+        });
+        db.close().expect("close");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_get_overhead);
+criterion_main!(benches);

@@ -64,6 +64,11 @@ pub fn run(params: &ExpParams) {
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 72)).expect("run");
         let report = db.report().expect("report");
         let hit = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
+        crate::emit_scheme_report(
+            "E12-compression",
+            if compression { "compressed" } else { "raw" },
+            &report,
+        );
         rows.push(Row::new(
             if compression { "compressed" } else { "raw" },
             vec![

@@ -25,6 +25,7 @@ pub fn run(params: &ExpParams) {
         let result =
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 22)).expect("run");
         let report = db.report().expect("report");
+        crate::emit_scheme_report("E7-cost", scheme.name(), &report);
         // The two independent cost dimensions of the paper's argument,
         // normalized so they are scale-free:
         //  * capacity price per GiB-month, blending the tiers by where the

@@ -28,6 +28,7 @@ pub fn run(params: &ExpParams) {
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 10)).expect("run");
         let report = db.report().expect("report");
         let cache = report.cache.expect("cache");
+        crate::emit_scheme_report("E4-skew", &label, &report);
         rows.push(Row::new(
             label,
             vec![

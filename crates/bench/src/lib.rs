@@ -240,6 +240,27 @@ pub fn emit_table(experiment: &str, title: &str, headers: &[&str], rows: &[Row])
     }
 }
 
+/// Persist a full [`rocksmash::SchemeReport`] for one experiment point as
+/// a JSON line under `results/BENCH_<experiment>.json`, so figure scripts
+/// get every counter — not just the columns the printed table selects.
+pub fn emit_scheme_report(experiment: &str, label: &str, report: &rocksmash::SchemeReport) {
+    let out_dir = std::env::var("RM_OUT").unwrap_or_else(|_| "results".to_string());
+    if std::fs::create_dir_all(&out_dir).is_err() {
+        return;
+    }
+    let path = PathBuf::from(out_dir).join(format!("BENCH_{experiment}.json"));
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        use std::io::Write;
+        let _ = writeln!(
+            file,
+            "{{\"experiment\":\"{}\",\"label\":\"{}\",\"report\":{}}}",
+            obs::json::escape(experiment),
+            obs::json::escape(label),
+            report.to_json()
+        );
+    }
+}
+
 /// Format ops/sec as kops with two decimals.
 pub fn kops(ops: f64) -> String {
     format!("{:.2}", ops / 1000.0)

@@ -72,7 +72,9 @@ impl FileRouter for LocalFileRouter {
 pub struct DbStats {
     /// Write batches applied.
     pub writes: AtomicU64,
-    /// Point lookups served.
+    /// Point lookups served. Each key resolved through [`Db::multi_get`]
+    /// also counts once here, even though the whole batch shares a single
+    /// memtable/version snapshot (see `multi_get` for those semantics).
     pub gets: AtomicU64,
     /// Memtable flushes completed.
     pub flushes: AtomicU64,
@@ -202,6 +204,10 @@ struct DbShared {
     tables: Mutex<TableCacheInner>,
     snapshots: Arc<Mutex<BTreeMap<SequenceNumber, usize>>>,
     stats: DbStats,
+    /// Latency histograms plus the structured event journal. Always
+    /// present; when no observer was supplied via [`Options::observer`]
+    /// this is a disabled one, so every hot-path hook costs one branch.
+    obs: Arc<obs::Observer>,
     shutdown: AtomicBool,
 }
 
@@ -290,7 +296,10 @@ impl Db {
         } else {
             None
         };
-        let prefetcher = block_cache.as_ref().map(|_| Prefetcher::new(PREFETCH_WORKERS));
+        let observer =
+            options.observer.clone().unwrap_or_else(|| Arc::new(obs::Observer::disabled()));
+        let prefetcher =
+            block_cache.as_ref().map(|_| Prefetcher::new(PREFETCH_WORKERS, Arc::clone(&observer)));
 
         // Recover WAL contents newer than the manifest's log number.
         let mut recovered = Vec::new();
@@ -354,6 +363,7 @@ impl Db {
             tables: Mutex::new(TableCacheInner { map: HashMap::new(), fifo: VecDeque::new() }),
             snapshots: Arc::new(Mutex::new(BTreeMap::new())),
             stats: DbStats::default(),
+            obs: observer,
             shutdown: AtomicBool::new(false),
             options,
         });
@@ -393,6 +403,13 @@ impl Db {
         &self.shared.stats
     }
 
+    /// The observability handle this engine records into: per-op latency
+    /// histograms and the event journal. A disabled observer unless one was
+    /// supplied via [`Options::observer`].
+    pub fn observer(&self) -> &Arc<obs::Observer> {
+        &self.shared.obs
+    }
+
     /// Engine options this database was opened with.
     pub fn options(&self) -> &Options {
         &self.shared.options
@@ -428,6 +445,7 @@ impl Db {
             return Ok(());
         }
         let shared = &self.shared;
+        let timer = shared.obs.start();
         let mut state = shared.state.lock();
         self.make_room(&mut state)?;
         let seq = state.versions.last_sequence + 1;
@@ -447,19 +465,26 @@ impl Db {
             }
         }
         shared.stats.add(&shared.stats.writes, 1);
+        shared.obs.finish(obs::Op::Write, timer);
         Ok(())
     }
 
     /// Read the newest visible value of `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let timer = self.shared.obs.start();
         let snap = self.shared.read_snapshot(None);
-        get_with_snapshot(&self.shared, &snap, key)
+        let result = get_with_snapshot(&self.shared, &snap, key);
+        self.shared.obs.finish(obs::Op::Get, timer);
+        result
     }
 
     /// Read `key` as of `snapshot`.
     pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
+        let timer = self.shared.obs.start();
         let snap = self.shared.read_snapshot(Some(snapshot.sequence()));
-        get_with_snapshot(&self.shared, &snap, key)
+        let result = get_with_snapshot(&self.shared, &snap, key);
+        self.shared.obs.finish(obs::Op::Get, timer);
+        result
     }
 
     /// Take a consistent snapshot for repeatable reads.
@@ -522,6 +547,7 @@ impl Db {
             key: Vec::new(),
             value: Vec::new(),
             valid: false,
+            obs: Arc::clone(&shared.obs),
             _version: snap.version,
         })
     }
@@ -602,13 +628,18 @@ impl Db {
     /// additionally fan out across a bounded thread pool so per-key cloud
     /// latencies overlap instead of adding up.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
-        let snap = self.shared.read_snapshot(None);
         let shared = &self.shared;
-        if keys.len() < MULTI_GET_PARALLEL_THRESHOLD {
-            return keys.iter().map(|key| get_with_snapshot(shared, &snap, key)).collect();
-        }
-        multi_get_pool()
-            .install(|| keys.par_iter().map(|key| get_with_snapshot(shared, &snap, key)).collect())
+        let timer = shared.obs.start();
+        let snap = shared.read_snapshot(None);
+        let result = if keys.len() < MULTI_GET_PARALLEL_THRESHOLD {
+            keys.iter().map(|key| get_with_snapshot(shared, &snap, key)).collect()
+        } else {
+            multi_get_pool().install(|| {
+                keys.par_iter().map(|key| get_with_snapshot(shared, &snap, key)).collect()
+            })
+        };
+        shared.obs.finish(obs::Op::MultiGet, timer);
+        result
     }
 
     /// Compact every file overlapping `[begin, end]` (None = unbounded)
@@ -818,7 +849,9 @@ impl Db {
                 shared.work_cv.notify_all();
                 continue;
             }
-            shared.stats.add(&shared.stats.stall_ns, stalled.elapsed().as_nanos() as u64);
+            let stall_ns = stalled.elapsed().as_nanos() as u64;
+            shared.stats.add(&shared.stats.stall_ns, stall_ns);
+            shared.obs.event(obs::EventKind::WriterStall { dur_ns: stall_ns });
         }
     }
 
@@ -831,6 +864,8 @@ impl Db {
     ) -> Result<()> {
         let number = state.versions.new_file_number();
         let wal_floor = state.wal_number;
+        let timer = shared.obs.start();
+        shared.obs.event(obs::EventKind::FlushStart);
         let meta = parking_lot::MutexGuard::unlocked(state, || -> Result<Option<FileMetaData>> {
             let name = sst_name(number);
             let mut builder =
@@ -852,6 +887,7 @@ impl Db {
             shared.router.publish_table(&*shared.env, number, 0)?;
             Ok(Some(FileMetaData { number, file_size, smallest, largest }))
         })?;
+        let flushed_bytes = meta.as_ref().map_or(0, |m| m.file_size);
         if let Some(meta) = meta {
             let edit = VersionEdit {
                 log_number: Some(wal_floor),
@@ -866,6 +902,11 @@ impl Db {
             state.retired.push_back((prev, Vec::new()));
         }
         shared.stats.add(&shared.stats.flushes, 1);
+        shared.obs.finish(obs::Op::Flush, timer);
+        shared.obs.event(obs::EventKind::FlushEnd {
+            bytes: flushed_bytes,
+            dur_ns: timer.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        });
         Self::gc_obsolete_files(shared, state)?;
         Ok(())
     }
@@ -1079,6 +1120,8 @@ fn run_compaction_locked(
     version: Arc<Version>,
     compaction: Compaction,
 ) -> Result<()> {
+    let timer = shared.obs.start();
+    shared.obs.event(obs::EventKind::CompactionStart { level: compaction.level as u32 });
     let smallest_snapshot = shared.smallest_snapshot(state.versions.last_sequence);
     // Output count is unknown up front, so reserve a window of file numbers
     // before dropping the lock; compactions never produce anywhere near
@@ -1105,6 +1148,13 @@ fn run_compaction_locked(
     shared.stats.add(&shared.stats.compactions, 1);
     shared.stats.add(&shared.stats.compact_bytes_in, compaction.input_bytes());
     shared.stats.add(&shared.stats.compact_bytes_out, out_bytes);
+    shared.obs.finish(obs::Op::Compaction, timer);
+    shared.obs.event(obs::EventKind::CompactionEnd {
+        level: compaction.level as u32,
+        bytes_in: compaction.input_bytes(),
+        bytes_out: out_bytes,
+        dur_ns: timer.map_or(0, |t| t.elapsed().as_nanos() as u64),
+    });
 
     // Defer physical deletion of the inputs until no reader can hold a
     // version that references them.
@@ -1254,6 +1304,7 @@ pub struct DbIterator {
     key: Vec<u8>,
     value: Vec<u8>,
     valid: bool,
+    obs: Arc<obs::Observer>,
     /// Pins the file layout this iterator walks: obsolete tables are not
     /// physically deleted while the pin is held.
     _version: Arc<Version>,
@@ -1276,8 +1327,11 @@ impl DbIterator {
     #[allow(clippy::should_implement_trait)] // cursor API, deliberately like LevelDB's
     pub fn next(&mut self) -> Result<()> {
         debug_assert!(self.valid);
+        let timer = self.obs.start();
         let skip = std::mem::take(&mut self.key);
-        self.find_next_visible(Some(skip))
+        let result = self.find_next_visible(Some(skip));
+        self.obs.finish(obs::Op::IterNext, timer);
+        result
     }
 
     /// Whether the iterator points at a visible entry.

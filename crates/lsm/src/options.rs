@@ -57,6 +57,12 @@ pub struct Options {
     pub wal_enabled: bool,
     /// Run flushes/compactions automatically on the background thread.
     pub auto_compaction: bool,
+    /// Observability handle recording per-op latency histograms and the
+    /// event journal. `None` makes the engine create a disabled observer:
+    /// hot paths then pay a single branch and record nothing. Outer layers
+    /// (the tiered store) pass a shared enabled observer here so engine,
+    /// cloud, and cache metrics land in one place.
+    pub observer: Option<std::sync::Arc<obs::Observer>>,
 }
 
 impl Default for Options {
@@ -78,6 +84,7 @@ impl Default for Options {
             compression: false,
             wal_enabled: true,
             auto_compaction: true,
+            observer: None,
         }
     }
 }

@@ -50,20 +50,24 @@ pub struct Prefetcher {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     pending: Arc<Pending>,
     issued: AtomicU64,
+    obs: Arc<obs::Observer>,
 }
 
 impl Prefetcher {
-    /// Start `workers` readahead threads.
-    pub fn new(workers: usize) -> Arc<Prefetcher> {
+    /// Start `workers` readahead threads. Dropped blocks (fetch or decode
+    /// failures, jobs racing shutdown) surface as `PrefetchDrop` events on
+    /// `obs`; prefetch stays advisory so nothing else is reported.
+    pub fn new(workers: usize, obs: Arc<obs::Observer>) -> Arc<Prefetcher> {
         let (tx, rx) = crossbeam::channel::unbounded::<PrefetchJob>();
         let pending = Arc::new(Pending { set: Mutex::new(HashSet::new()), done: Condvar::new() });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers.max(1) {
             let rx: Receiver<PrefetchJob> = rx.clone();
             let pending = Arc::clone(&pending);
+            let obs = Arc::clone(&obs);
             let handle = std::thread::Builder::new()
                 .name(format!("lsm-prefetch-{i}"))
-                .spawn(move || worker_loop(rx, pending))
+                .spawn(move || worker_loop(rx, pending, obs))
                 .expect("spawn prefetch worker");
             handles.push(handle);
         }
@@ -72,6 +76,7 @@ impl Prefetcher {
             workers: Mutex::new(handles),
             pending,
             issued: AtomicU64::new(0),
+            obs,
         })
     }
 
@@ -98,6 +103,7 @@ impl Prefetcher {
             }
             drop(set);
             self.pending.done.notify_all();
+            self.obs.event(obs::EventKind::PrefetchDrop { blocks: offsets.len() as u64 });
         }
     }
 
@@ -148,9 +154,12 @@ impl Drop for Prefetcher {
     }
 }
 
-fn worker_loop(rx: Receiver<PrefetchJob>, pending: Arc<Pending>) {
+fn worker_loop(rx: Receiver<PrefetchJob>, pending: Arc<Pending>, obs: Arc<obs::Observer>) {
     while let Ok(job) = rx.recv() {
-        run_job(&job);
+        let dropped = run_job(&job);
+        if dropped > 0 {
+            obs.event(obs::EventKind::PrefetchDrop { blocks: dropped });
+        }
         let mut set = pending.set.lock();
         for handle in &job.handles {
             set.remove(&(job.file_number, handle.offset));
@@ -160,7 +169,8 @@ fn worker_loop(rx: Receiver<PrefetchJob>, pending: Arc<Pending>) {
     }
 }
 
-fn run_job(job: &PrefetchJob) {
+/// Returns how many scheduled blocks were dropped instead of staged.
+fn run_job(job: &PrefetchJob) -> u64 {
     // Skip blocks that landed in the cache since scheduling.
     let todo: Vec<BlockHandle> = job
         .handles
@@ -169,20 +179,24 @@ fn run_job(job: &PrefetchJob) {
         .filter(|h| !job.cache.contains(job.file_number, h.offset))
         .collect();
     if todo.is_empty() {
-        return;
+        return 0;
     }
     let ranges: Vec<(u64, usize)> =
         todo.iter().map(|h| (h.offset, h.size as usize + BLOCK_TRAILER_SIZE)).collect();
     let Ok(buffers) = job.file.prefetch_ranges(&ranges) else {
-        return;
+        return todo.len() as u64;
     };
+    let mut dropped = 0;
     for (handle, raw) in todo.iter().zip(buffers) {
         let Ok(contents) = decode_block_contents(&raw, handle, job.verify) else {
+            dropped += 1;
             continue;
         };
         let Ok(block) = Block::new(contents) else {
+            dropped += 1;
             continue;
         };
         job.cache.insert_prefetched(job.file_number, handle.offset, Arc::new(block));
     }
+    dropped
 }

@@ -70,7 +70,7 @@ impl Default for CacheConfig {
 }
 
 /// Counter snapshot for a persistent cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Lookups that returned data.
     pub hits: u64,
@@ -123,6 +123,7 @@ pub struct MashCache {
     storage: Arc<dyn CacheStorage>,
     inner: Mutex<Inner>,
     config: CacheConfig,
+    observer: std::sync::OnceLock<Arc<obs::Observer>>,
 }
 
 impl MashCache {
@@ -141,6 +142,24 @@ impl MashCache {
                 stats: CacheStats::default(),
             }),
             config,
+            observer: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Attach a latency observer: hits and fills are then timed into its
+    /// `cache_hit` / `cache_fill` histograms and evictions surface as
+    /// `CacheEvict` journal events. The first attach wins.
+    pub fn attach_observer(&self, obs: Arc<obs::Observer>) {
+        let _ = self.observer.set(obs);
+    }
+
+    fn obs_start(&self) -> Option<std::time::Instant> {
+        self.observer.get().and_then(|o| o.start())
+    }
+
+    fn obs_finish(&self, op: obs::Op, timer: Option<std::time::Instant>) {
+        if let Some(o) = self.observer.get() {
+            o.finish(op, timer);
         }
     }
 
@@ -258,24 +277,23 @@ impl MashCache {
 
     /// Evict one extent to make room. Victim selection is LSM-aware:
     /// deepest level first (coldest data), breaking ties by least recent
-    /// access. Returns false when nothing can be evicted.
-    fn evict_one_extent(inner: &mut Inner) -> bool {
+    /// access. Returns the victim file and the slots freed, or `None` when
+    /// nothing can be evicted.
+    fn evict_one_extent(inner: &mut Inner) -> Option<(u64, u64)> {
         let victim = inner
             .files
             .iter()
             .filter(|(_, f)| !f.extents.extents.is_empty())
             .max_by_key(|(_, f)| (f.level, u64::MAX - f.last_access))
             .map(|(&file, _)| file);
-        let Some(file) = victim else { return false };
+        let file = victim?;
         let entry = inner.files.get_mut(&file).expect("victim exists");
-        let Some(extent) = entry.extents.evict_oldest_extent(&mut inner.alloc) else {
-            return false;
-        };
+        let extent = entry.extents.evict_oldest_extent(&mut inner.alloc)?;
         let lo = extent * inner.alloc.slots_per_extent();
         let hi = lo + inner.alloc.slots_per_extent();
         entry.index.remove_slots_if(|slot| (lo..hi).contains(&slot));
         inner.stats.evicted_extents += 1;
-        true
+        Some((file, (hi - lo) as u64))
     }
 
     /// Word-at-a-time mixing checksum: the slot is read on every cache hit,
@@ -299,6 +317,7 @@ impl MashCache {
 
 impl PersistentBlockCache for MashCache {
     fn get(&self, file: u64, offset: u64) -> Option<Vec<u8>> {
+        let timer = self.obs_start();
         let key = block_key(file, offset);
         let (slot_offset, slot_size) = {
             let mut inner = self.inner.lock();
@@ -338,6 +357,7 @@ impl PersistentBlockCache for MashCache {
         if self.config.verify_read_checksums && Self::checksum(data) != h_check {
             return None;
         }
+        self.obs_finish(obs::Op::CacheHit, timer);
         Some(data.to_vec())
     }
 
@@ -386,8 +406,10 @@ impl MashCache {
     /// decisions) and only occupy extents that are already free — they
     /// never evict resident data.
     fn put_inner(&self, file: u64, offset: u64, data: &[u8], level: usize, prefetched: bool) {
+        let timer = self.obs_start();
         let key = block_key(file, offset);
         let payload_max = self.config.slot_size as usize - SLOT_HEADER;
+        let mut evicted: Vec<(u64, u64)> = Vec::new();
         let slot = {
             let mut inner = self.inner.lock();
             if data.len() > payload_max {
@@ -422,11 +444,10 @@ impl MashCache {
                 match attempt {
                     Some(slot) => break slot,
                     None if prefetched => return, // never evict for readahead
-                    None => {
-                        if !Self::evict_one_extent(&mut inner) {
-                            return; // cache smaller than one extent
-                        }
-                    }
+                    None => match Self::evict_one_extent(&mut inner) {
+                        Some(victim) => evicted.push(victim),
+                        None => return, // cache smaller than one extent
+                    },
                 }
             };
             inner.files.get_mut(&file).expect("exists").index.insert(offset, slot);
@@ -446,6 +467,12 @@ impl MashCache {
             inner.alloc.slot_offset(slot)
         };
         let _ = self.storage.write_at(slot_offset, &buf);
+        if let Some(o) = self.observer.get() {
+            for (victim, slots) in evicted {
+                o.event(obs::EventKind::CacheEvict { file: victim, slots });
+            }
+            o.finish(obs::Op::CacheFill, timer);
+        }
     }
 }
 

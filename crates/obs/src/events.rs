@@ -1,0 +1,367 @@
+//! Bounded structured event journal.
+//!
+//! Background activity in an LSM store — flushes, compactions, uploads,
+//! stalls, evictions — is invisible in counters: a counter says *how many*
+//! compactions ran, not *when*, at what level, or how long each took. The
+//! journal keeps the last `capacity` events in a fixed ring so a stats dump
+//! or a post-mortem can reconstruct the recent timeline.
+//!
+//! Publishing is cheap and never blocks behind readers: a single
+//! `fetch_add` on the head reserves a slot, then the event is stored under
+//! that slot's own tiny mutex (uncontended unless the ring wraps a full
+//! lap onto an in-flight writer, which at realistic event rates it never
+//! does). Draining snapshots the slots and returns events sorted by
+//! timestamp.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::{escape, Json};
+
+/// Default ring capacity: enough to hold hours of background activity at
+/// realistic flush/compaction rates.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// A typed engine event. `dur_ns` fields are wall-clock durations of the
+/// completed phase; byte fields are on-disk sizes.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "type")]
+pub enum EventKind {
+    /// A memtable flush began.
+    FlushStart,
+    /// A memtable flush finished, producing a level-0 table.
+    FlushEnd { bytes: u64, dur_ns: u64 },
+    /// A compaction at `level` (its input level) began.
+    CompactionStart { level: u32 },
+    /// A compaction finished.
+    CompactionEnd { level: u32, bytes_in: u64, bytes_out: u64, dur_ns: u64 },
+    /// A table file migrated from the local tier to cloud storage.
+    Upload { file: u64, bytes: u64, dur_ns: u64 },
+    /// A writer stalled waiting for flush/compaction to make room.
+    WriterStall { dur_ns: u64 },
+    /// The persistent block cache evicted an extent to make room.
+    CacheEvict { file: u64, slots: u64 },
+    /// A readahead prefetch was dropped (queue full or fetch failed).
+    PrefetchDrop { blocks: u64 },
+    /// A foreground operation exceeded the configured slow-op threshold.
+    SlowOp { op: String, dur_ns: u64 },
+}
+
+impl EventKind {
+    /// The `"type"` tag used in the JSON encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::FlushStart => "FlushStart",
+            EventKind::FlushEnd { .. } => "FlushEnd",
+            EventKind::CompactionStart { .. } => "CompactionStart",
+            EventKind::CompactionEnd { .. } => "CompactionEnd",
+            EventKind::Upload { .. } => "Upload",
+            EventKind::WriterStall { .. } => "WriterStall",
+            EventKind::CacheEvict { .. } => "CacheEvict",
+            EventKind::PrefetchDrop { .. } => "PrefetchDrop",
+            EventKind::SlowOp { .. } => "SlowOp",
+        }
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            EventKind::FlushStart => {}
+            EventKind::FlushEnd { bytes, dur_ns } => {
+                out.push_str(&format!(",\"bytes\":{bytes},\"dur_ns\":{dur_ns}"));
+            }
+            EventKind::CompactionStart { level } => {
+                out.push_str(&format!(",\"level\":{level}"));
+            }
+            EventKind::CompactionEnd { level, bytes_in, bytes_out, dur_ns } => {
+                out.push_str(&format!(
+                    ",\"level\":{level},\"bytes_in\":{bytes_in},\"bytes_out\":{bytes_out},\"dur_ns\":{dur_ns}"
+                ));
+            }
+            EventKind::Upload { file, bytes, dur_ns } => {
+                out.push_str(&format!(",\"file\":{file},\"bytes\":{bytes},\"dur_ns\":{dur_ns}"));
+            }
+            EventKind::WriterStall { dur_ns } => {
+                out.push_str(&format!(",\"dur_ns\":{dur_ns}"));
+            }
+            EventKind::CacheEvict { file, slots } => {
+                out.push_str(&format!(",\"file\":{file},\"slots\":{slots}"));
+            }
+            EventKind::PrefetchDrop { blocks } => {
+                out.push_str(&format!(",\"blocks\":{blocks}"));
+            }
+            EventKind::SlowOp { op, dur_ns } => {
+                out.push_str(&format!(",\"op\":\"{}\",\"dur_ns\":{dur_ns}", escape(op)));
+            }
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<EventKind, String> {
+        let tag = v.get("type").and_then(Json::as_str).ok_or("event missing type tag")?;
+        let u64_field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("{tag} missing {name}"))
+        };
+        let u32_field = |name: &str| {
+            v.get(name).and_then(Json::as_u32).ok_or_else(|| format!("{tag} missing {name}"))
+        };
+        Ok(match tag {
+            "FlushStart" => EventKind::FlushStart,
+            "FlushEnd" => {
+                EventKind::FlushEnd { bytes: u64_field("bytes")?, dur_ns: u64_field("dur_ns")? }
+            }
+            "CompactionStart" => EventKind::CompactionStart { level: u32_field("level")? },
+            "CompactionEnd" => EventKind::CompactionEnd {
+                level: u32_field("level")?,
+                bytes_in: u64_field("bytes_in")?,
+                bytes_out: u64_field("bytes_out")?,
+                dur_ns: u64_field("dur_ns")?,
+            },
+            "Upload" => EventKind::Upload {
+                file: u64_field("file")?,
+                bytes: u64_field("bytes")?,
+                dur_ns: u64_field("dur_ns")?,
+            },
+            "WriterStall" => EventKind::WriterStall { dur_ns: u64_field("dur_ns")? },
+            "CacheEvict" => {
+                EventKind::CacheEvict { file: u64_field("file")?, slots: u64_field("slots")? }
+            }
+            "PrefetchDrop" => EventKind::PrefetchDrop { blocks: u64_field("blocks")? },
+            "SlowOp" => EventKind::SlowOp {
+                op: v.get("op").and_then(Json::as_str).ok_or("SlowOp missing op")?.to_string(),
+                dur_ns: u64_field("dur_ns")?,
+            },
+            other => return Err(format!("unknown event type {other:?}")),
+        })
+    }
+}
+
+/// A journal entry: a monotonically increasing sequence number, a
+/// timestamp in nanoseconds since the journal was created, and the event.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    pub seq: u64,
+    pub ts_ns: u64,
+    #[serde(flatten)]
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Encode as one JSON object, e.g.
+    /// `{"seq":3,"ts_ns":812345,"type":"FlushEnd","bytes":4096,"dur_ns":91}`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"ts_ns\":{},\"type\":\"{}\"",
+            self.seq,
+            self.ts_ns,
+            self.kind.tag()
+        );
+        self.kind.write_fields(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Decode an event from its JSON form.
+    pub fn from_json(text: &str) -> Result<Event, String> {
+        let v = Json::parse(text)?;
+        Event::from_json_value(&v)
+    }
+
+    pub(crate) fn from_json_value(v: &Json) -> Result<Event, String> {
+        Ok(Event {
+            seq: v.get("seq").and_then(Json::as_u64).ok_or("event missing seq")?,
+            ts_ns: v.get("ts_ns").and_then(Json::as_u64).ok_or("event missing ts_ns")?,
+            kind: EventKind::from_json(v)?,
+        })
+    }
+}
+
+/// Bounded ring of recent [`Event`]s.
+pub struct EventJournal {
+    epoch: Instant,
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<Event>>>,
+}
+
+impl EventJournal {
+    /// Journal holding the most recent `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventJournal {
+            epoch: Instant::now(),
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Journal with [`DEFAULT_JOURNAL_CAPACITY`] slots.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// Nanoseconds since the journal was created.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Publish an event, stamped with the current time.
+    pub fn publish(&self, kind: EventKind) {
+        self.publish_at(self.now_ns(), kind);
+    }
+
+    /// Publish an event with an explicit timestamp (e.g. the *start* time
+    /// of a phase whose duration was measured separately).
+    pub fn publish_at(&self, ts_ns: u64, kind: EventKind) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock() = Some(Event { seq, ts_ns, kind });
+    }
+
+    /// Total events ever published (including ones the ring has dropped).
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained events, sorted by `(ts_ns, seq)`.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.slots.iter().filter_map(|s| s.lock().clone()).collect();
+        out.sort_by_key(|e| (e.ts_ns, e.seq));
+        out
+    }
+
+    /// Remove and return the retained events, sorted by `(ts_ns, seq)`.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.slots.iter().filter_map(|s| s.lock().take()).collect();
+        out.sort_by_key(|e| (e.ts_ns, e.seq));
+        out
+    }
+
+    /// Render the retained events as JSON lines (one event per line),
+    /// without consuming them.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("capacity", &self.slots.len())
+            .field("published", &self.published())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_in_timestamp_order() {
+        let j = EventJournal::with_capacity(16);
+        j.publish(EventKind::FlushStart);
+        j.publish(EventKind::FlushEnd { bytes: 1024, dur_ns: 5000 });
+        j.publish(EventKind::CompactionStart { level: 0 });
+        let events = j.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| (w[0].ts_ns, w[0].seq) <= (w[1].ts_ns, w[1].seq)));
+        assert_eq!(events[0].kind, EventKind::FlushStart);
+        assert_eq!(events[2].kind, EventKind::CompactionStart { level: 0 });
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let j = EventJournal::with_capacity(4);
+        for i in 0..10u64 {
+            j.publish(EventKind::CacheEvict { file: i, slots: 1 });
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(j.published(), 10);
+        // The survivors are the last four published.
+        let files: Vec<u64> = events
+            .iter()
+            .map(|e| match &e.kind {
+                EventKind::CacheEvict { file, .. } => *file,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(files, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let j = EventJournal::with_capacity(8);
+        j.publish(EventKind::WriterStall { dur_ns: 123 });
+        assert_eq!(j.drain().len(), 1);
+        assert!(j.events().is_empty());
+        assert_eq!(j.published(), 1);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        let kinds = vec![
+            EventKind::FlushStart,
+            EventKind::FlushEnd { bytes: 4096, dur_ns: 91 },
+            EventKind::CompactionStart { level: 2 },
+            EventKind::CompactionEnd { level: 1, bytes_in: 10, bytes_out: 7, dur_ns: 55 },
+            EventKind::Upload { file: 12, bytes: 1 << 20, dur_ns: 777 },
+            EventKind::WriterStall { dur_ns: 5 },
+            EventKind::CacheEvict { file: 3, slots: 8 },
+            EventKind::PrefetchDrop { blocks: 64 },
+            EventKind::SlowOp { op: "get \"quoted\"".into(), dur_ns: u64::MAX },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let event = Event { seq: i as u64, ts_ns: 1000 + i as u64, kind };
+            let back = Event::from_json(&event.to_json()).expect("round trip");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let j = EventJournal::with_capacity(8);
+        j.publish(EventKind::CompactionEnd {
+            level: 1,
+            bytes_in: 4096,
+            bytes_out: 2048,
+            dur_ns: 7_000,
+        });
+        j.publish(EventKind::SlowOp { op: "get".into(), dur_ns: 2_000_000 });
+        let lines = j.to_json_lines();
+        let parsed: Vec<Event> = lines.lines().map(|l| Event::from_json(l).unwrap()).collect();
+        assert_eq!(parsed, j.events());
+        assert!(lines.contains("\"type\":\"CompactionEnd\""));
+        assert!(lines.contains("\"type\":\"SlowOp\""));
+    }
+
+    #[test]
+    fn concurrent_publish_is_safe() {
+        let j = std::sync::Arc::new(EventJournal::with_capacity(128));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let j = std::sync::Arc::clone(&j);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    j.publish(EventKind::PrefetchDrop { blocks: i });
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(j.published(), 4000);
+        assert_eq!(j.events().len(), 128);
+    }
+}

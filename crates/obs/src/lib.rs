@@ -1,0 +1,32 @@
+//! Engine-wide observability for RocksMash.
+//!
+//! Three pillars, shared by every crate in the workspace:
+//!
+//! * [`LatencyHistogram`] — a lock-free log-bucketed histogram (≤ ~6%
+//!   relative error) recording per-operation latency; the engine itself
+//!   now measures p50/p95/p99/max for gets, writes, flushes, compactions,
+//!   cloud GET/PUT, cache hits/fills, and eWAL appends/syncs.
+//! * [`EventJournal`] — a bounded ring of timestamped typed events
+//!   ([`EventKind`]) recording *when* background work happened: flushes,
+//!   compactions, uploads, writer stalls, cache evictions, prefetch
+//!   drops, and slow foreground ops.
+//! * [`MetricsRegistry`] / [`MetricsSnapshot`] — one aggregated snapshot
+//!   rendered as a RocksDB-style human report, serde JSON, or Prometheus
+//!   text exposition (lintable with [`validate_prometheus`]).
+//!
+//! The engine-facing handle is [`Observer`]; construct one per database
+//! ([`Observer::new`] or [`Observer::disabled`]) and share it as an
+//! `Arc`. Timers are `Option<Instant>` so a disabled observer costs a
+//! single branch on the hot path.
+
+mod events;
+mod hist;
+pub mod json;
+mod registry;
+
+pub use events::{Event, EventJournal, EventKind, DEFAULT_JOURNAL_CAPACITY};
+pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use registry::{
+    validate_prometheus, MetricsRegistry, MetricsSnapshot, Observer, Op, OpStats, ALL_OPS,
+    DEFAULT_SLOW_OP,
+};

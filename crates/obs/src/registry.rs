@@ -1,0 +1,686 @@
+//! Observer, metrics registry, and export surfaces.
+//!
+//! The [`Observer`] is the engine-facing handle: one per database, shared
+//! as an `Arc` by every crate in the stack. Hot paths ask it for a timer
+//! ([`Observer::start`], a no-op returning `None` when disabled), stop it
+//! with [`Observer::finish`], and publish journal events with
+//! [`Observer::event`]. The [`MetricsRegistry`] folds the observer's
+//! histograms together with caller-supplied counters and gauges into a
+//! [`MetricsSnapshot`] that renders three ways: a RocksDB-style human
+//! string, JSON, and Prometheus text exposition.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::events::{Event, EventJournal, EventKind};
+use crate::hist::LatencyHistogram;
+use crate::json::{escape, fmt_f64, Json};
+
+/// Instrumented operations, one histogram each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Op {
+    /// Point lookup (`Db::get`).
+    Get,
+    /// Batch/point write (`Db::write`).
+    Write,
+    /// Whole `multi_get` batch (all keys, one sample).
+    MultiGet,
+    /// One iterator `next()` step.
+    IterNext,
+    /// Memtable flush to a level-0 table.
+    Flush,
+    /// One compaction job.
+    Compaction,
+    /// A billed cloud GET (single object or range).
+    CloudGet,
+    /// A coalesced ranged cloud GET covering several block reads.
+    CloudCoalescedGet,
+    /// A cloud PUT.
+    CloudPut,
+    /// Persistent-cache hit (read served from the cache file).
+    CacheHit,
+    /// Persistent-cache miss fill (cloud fetch + cache insert).
+    CacheFill,
+    /// eWAL record append (buffered).
+    EwalAppend,
+    /// eWAL fsync.
+    EwalSync,
+}
+
+/// Every operation, in display order.
+pub const ALL_OPS: [Op; 13] = [
+    Op::Get,
+    Op::Write,
+    Op::MultiGet,
+    Op::IterNext,
+    Op::Flush,
+    Op::Compaction,
+    Op::CloudGet,
+    Op::CloudCoalescedGet,
+    Op::CloudPut,
+    Op::CacheHit,
+    Op::CacheFill,
+    Op::EwalAppend,
+    Op::EwalSync,
+];
+
+impl Op {
+    /// Stable snake_case name used in JSON keys and Prometheus labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::Write => "write",
+            Op::MultiGet => "multi_get",
+            Op::IterNext => "iter_next",
+            Op::Flush => "flush",
+            Op::Compaction => "compaction",
+            Op::CloudGet => "cloud_get",
+            Op::CloudCoalescedGet => "cloud_coalesced_get",
+            Op::CloudPut => "cloud_put",
+            Op::CacheHit => "cache_hit",
+            Op::CacheFill => "cache_fill",
+            Op::EwalAppend => "ewal_append",
+            Op::EwalSync => "ewal_sync",
+        }
+    }
+
+    fn index(self) -> usize {
+        ALL_OPS.iter().position(|&o| o == self).expect("op listed in ALL_OPS")
+    }
+}
+
+/// Default threshold above which a foreground op logs a `SlowOp` event.
+pub const DEFAULT_SLOW_OP: Duration = Duration::from_millis(100);
+
+/// Engine-wide observability handle: per-op latency histograms plus the
+/// event journal. Cheap to share (`Arc<Observer>`) and safe to call from
+/// any thread.
+pub struct Observer {
+    enabled: bool,
+    hists: [LatencyHistogram; ALL_OPS.len()],
+    journal: EventJournal,
+    slow_op_ns: u64,
+}
+
+impl Observer {
+    /// Enabled observer with the default journal capacity and slow-op
+    /// threshold.
+    pub fn new() -> Self {
+        Observer {
+            enabled: true,
+            hists: std::array::from_fn(|_| LatencyHistogram::new()),
+            journal: EventJournal::new(),
+            slow_op_ns: DEFAULT_SLOW_OP.as_nanos() as u64,
+        }
+    }
+
+    /// Disabled observer: `start()` returns `None`, `record`/`event` are
+    /// no-ops. Lets callers keep unconditional `Arc<Observer>` plumbing
+    /// while paying only a branch on the hot path.
+    pub fn disabled() -> Self {
+        Observer { enabled: false, ..Observer::new() }
+    }
+
+    /// Set the slow-op threshold; foreground ops slower than this publish
+    /// a [`EventKind::SlowOp`] journal event.
+    pub fn with_slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_op_ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+        self
+    }
+
+    /// Whether this observer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begin timing an operation. Returns `None` when disabled so the
+    /// disabled path costs a single branch and no clock read.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish a timer from [`Observer::start`], recording the elapsed
+    /// time under `op`. Accepts `None` so call sites stay branch-free.
+    #[inline]
+    pub fn finish(&self, op: Op, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.hists[op.index()].record(ns);
+            if ns >= self.slow_op_ns && is_foreground(op) {
+                self.journal.publish(EventKind::SlowOp { op: op.name().to_string(), dur_ns: ns });
+            }
+        }
+    }
+
+    /// Record a pre-measured duration under `op`.
+    pub fn record(&self, op: Op, d: Duration) {
+        if self.enabled {
+            self.hists[op.index()].record_duration(d);
+        }
+    }
+
+    /// Publish an event to the journal.
+    pub fn event(&self, kind: EventKind) {
+        if self.enabled {
+            self.journal.publish(kind);
+        }
+    }
+
+    /// Publish an event with an explicit journal-relative timestamp.
+    pub fn event_at(&self, ts_ns: u64, kind: EventKind) {
+        if self.enabled {
+            self.journal.publish_at(ts_ns, kind);
+        }
+    }
+
+    /// Journal-relative clock, for stamping start times of timed phases.
+    pub fn now_ns(&self) -> u64 {
+        self.journal.now_ns()
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// The histogram for `op`.
+    pub fn histogram(&self, op: Op) -> &LatencyHistogram {
+        &self.hists[op.index()]
+    }
+
+    /// Snapshot all per-op latency stats (empty ops omitted).
+    pub fn latency_stats(&self) -> BTreeMap<String, OpStats> {
+        let mut out = BTreeMap::new();
+        for op in ALL_OPS {
+            let snap = self.hists[op.index()].snapshot();
+            if snap.count() > 0 {
+                out.insert(op.name().to_string(), OpStats::from_snapshot(&snap));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("enabled", &self.enabled)
+            .field("slow_op_ns", &self.slow_op_ns)
+            .field("journal", &self.journal)
+            .finish()
+    }
+}
+
+/// Background work never logs SlowOp — flushes and compactions are
+/// *expected* to take long; the journal already records them explicitly.
+fn is_foreground(op: Op) -> bool {
+    !matches!(op, Op::Flush | Op::Compaction)
+}
+
+/// Summary statistics for one operation's latency distribution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OpStats {
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl OpStats {
+    fn from_snapshot(snap: &crate::hist::HistogramSnapshot) -> OpStats {
+        OpStats {
+            count: snap.count(),
+            mean_ns: snap.mean_ns(),
+            p50_ns: snap.percentile_ns(50.0),
+            p95_ns: snap.percentile_ns(95.0),
+            p99_ns: snap.percentile_ns(99.0),
+            max_ns: snap.max_ns(),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.count,
+            fmt_f64(self.mean_ns),
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns,
+        ));
+    }
+
+    fn from_json(v: &Json) -> Result<OpStats, String> {
+        let u64_field = |name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("op stats missing {name}"))
+        };
+        Ok(OpStats {
+            count: u64_field("count")?,
+            mean_ns: v.get("mean_ns").and_then(Json::as_f64).ok_or("op stats missing mean_ns")?,
+            p50_ns: u64_field("p50_ns")?,
+            p95_ns: u64_field("p95_ns")?,
+            p99_ns: u64_field("p99_ns")?,
+            max_ns: u64_field("max_ns")?,
+        })
+    }
+}
+
+/// Aggregates an [`Observer`] with caller-supplied counters and gauges
+/// into one exportable snapshot.
+///
+/// Counters are monotonically increasing totals (`_total` in Prometheus);
+/// gauges are point-in-time values (byte footprints, costs, ratios).
+pub struct MetricsRegistry {
+    observer: Arc<Observer>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// Registry over `observer` with no counters or gauges yet.
+    pub fn new(observer: Arc<Observer>) -> Self {
+        MetricsRegistry { observer, counters: BTreeMap::new(), gauges: BTreeMap::new() }
+    }
+
+    /// Set a monotonically increasing counter (snake_case name).
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
+        self.counters.insert(name.to_string(), value);
+        self
+    }
+
+    /// Set a point-in-time gauge (snake_case name).
+    pub fn gauge(&mut self, name: &str, value: f64) -> &mut Self {
+        self.gauges.insert(name.to_string(), value);
+        self
+    }
+
+    /// Build the snapshot: observer latency stats + journal events +
+    /// registered counters and gauges.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            latency: self.observer.latency_stats(),
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            events: self.observer.journal().events(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.len())
+            .field("gauges", &self.gauges.len())
+            .finish()
+    }
+}
+
+/// One point-in-time view of every metric, exportable as human text
+/// ([`MetricsSnapshot::stats_string`]), JSON ([`MetricsSnapshot::to_json`]
+/// / [`MetricsSnapshot::from_json`]), or Prometheus exposition
+/// ([`MetricsSnapshot::to_prometheus`]).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-op latency summaries, keyed by [`Op::name`].
+    pub latency: BTreeMap<String, OpStats>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Recent journal events.
+    pub events: Vec<Event>,
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+impl MetricsSnapshot {
+    /// RocksDB-style human-readable report.
+    pub fn stats_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str("** Latency (us) **\n");
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "op", "count", "mean", "p50", "p95", "p99", "max"
+        ));
+        for op in ALL_OPS {
+            if let Some(s) = self.latency.get(op.name()) {
+                out.push_str(&format!(
+                    "{:<20} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                    op.name(),
+                    s.count,
+                    s.mean_ns / 1000.0,
+                    us(s.p50_ns),
+                    us(s.p95_ns),
+                    us(s.p99_ns),
+                    us(s.max_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("** Counters **\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("** Gauges **\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<40} {v:.6}\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str(&format!("** Events ({} recent) **\n", self.events.len()));
+            for e in self.events.iter().rev().take(10).rev() {
+                out.push_str(&format!("  [{:>12.3} ms] {:?}\n", e.ts_ns as f64 / 1e6, e.kind));
+            }
+        }
+        out
+    }
+
+    /// Encode as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"latency\":{");
+        for (i, (name, s)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", escape(name)));
+            s.write_json(&mut out);
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(name), fmt_f64(*v)));
+        }
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decode a snapshot from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let v = Json::parse(text)?;
+        let mut latency = BTreeMap::new();
+        for (name, stats) in
+            v.get("latency").and_then(Json::entries).ok_or("missing latency object")?
+        {
+            latency.insert(name.clone(), OpStats::from_json(stats)?);
+        }
+        let mut counters = BTreeMap::new();
+        for (name, value) in
+            v.get("counters").and_then(Json::entries).ok_or("missing counters object")?
+        {
+            counters.insert(
+                name.clone(),
+                value.as_u64().ok_or_else(|| format!("counter {name} not a u64"))?,
+            );
+        }
+        let mut gauges = BTreeMap::new();
+        for (name, value) in
+            v.get("gauges").and_then(Json::entries).ok_or("missing gauges object")?
+        {
+            gauges.insert(
+                name.clone(),
+                value.as_f64().ok_or_else(|| format!("gauge {name} not a number"))?,
+            );
+        }
+        let events = v
+            .get("events")
+            .and_then(Json::elements)
+            .ok_or("missing events array")?
+            .iter()
+            .map(Event::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MetricsSnapshot { latency, counters, gauges, events })
+    }
+
+    /// Prometheus text exposition (version 0.0.4). Latency renders as
+    /// summary metrics with `quantile` labels plus `_count`/`_sum`;
+    /// counters as `rocksmash_<name>_total`; gauges as
+    /// `rocksmash_<name>`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        if !self.latency.is_empty() {
+            out.push_str("# HELP rocksmash_op_latency_seconds Operation latency quantiles.\n");
+            out.push_str("# TYPE rocksmash_op_latency_seconds summary\n");
+            for (name, s) in &self.latency {
+                for (q, ns) in [("0.5", s.p50_ns), ("0.95", s.p95_ns), ("0.99", s.p99_ns)] {
+                    out.push_str(&format!(
+                        "rocksmash_op_latency_seconds{{op=\"{name}\",quantile=\"{q}\"}} {}\n",
+                        fmt_f64(ns as f64 / 1e9)
+                    ));
+                }
+                out.push_str(&format!(
+                    "rocksmash_op_latency_seconds_count{{op=\"{name}\"}} {}\n",
+                    s.count
+                ));
+                out.push_str(&format!(
+                    "rocksmash_op_latency_seconds_sum{{op=\"{name}\"}} {}\n",
+                    fmt_f64(s.mean_ns * s.count as f64 / 1e9)
+                ));
+            }
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE rocksmash_{name}_total counter\n"));
+            out.push_str(&format!("rocksmash_{name}_total {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE rocksmash_{name} gauge\n"));
+            out.push_str(&format!("rocksmash_{name} {}\n", fmt_f64(*v)));
+        }
+        out
+    }
+}
+
+/// Lint a Prometheus text exposition body. Checks every non-comment line
+/// is `name{labels} value` with a valid metric name, parseable value, and
+/// balanced quoted labels. Returns the number of samples, or a
+/// description of the first malformed line.
+pub fn validate_prometheus(body: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut samples = 0;
+    for (no, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", no + 1);
+        let (name_part, value_part) = if let Some(open) = line.find('{') {
+            let close = line.rfind('}').ok_or_else(|| err("unbalanced braces"))?;
+            if close < open {
+                return Err(err("unbalanced braces"));
+            }
+            let labels = &line[open + 1..close];
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or_else(|| err("label missing '='"))?;
+                if !valid_name(k.trim()) {
+                    return Err(err("bad label name"));
+                }
+                let v = v.trim();
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(err("label value not quoted"));
+                }
+            }
+            (&line[..open], line[close + 1..].trim())
+        } else {
+            let mut it = line.split_whitespace();
+            let name = it.next().ok_or_else(|| err("missing name"))?;
+            let value = it.next().ok_or_else(|| err("missing value"))?;
+            (name, value)
+        };
+        if !valid_name(name_part.trim()) {
+            return Err(err("bad metric name"));
+        }
+        // Value may be followed by an optional timestamp.
+        let value = value_part.split_whitespace().next().ok_or_else(|| err("missing value"))?;
+        match value {
+            "+Inf" | "-Inf" | "NaN" => {}
+            v => {
+                v.parse::<f64>().map_err(|_| err("unparseable value"))?;
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let o = Observer::disabled();
+        assert!(o.start().is_none());
+        o.finish(Op::Get, o.start());
+        o.record(Op::Get, Duration::from_millis(1));
+        o.event(EventKind::FlushStart);
+        assert!(o.latency_stats().is_empty());
+        assert!(o.journal().events().is_empty());
+    }
+
+    #[test]
+    fn observer_records_latency_and_events() {
+        let o = Observer::new();
+        let t = o.start();
+        assert!(t.is_some());
+        o.finish(Op::Get, t);
+        o.record(Op::Flush, Duration::from_micros(500));
+        o.event(EventKind::FlushStart);
+        let stats = o.latency_stats();
+        assert_eq!(stats["get"].count, 1);
+        assert_eq!(stats["flush"].count, 1);
+        assert_eq!(o.journal().events().len(), 1);
+    }
+
+    #[test]
+    fn slow_foreground_ops_hit_the_journal() {
+        let o = Observer::new().with_slow_op_threshold(Duration::from_nanos(1));
+        o.finish(Op::Get, Some(Instant::now()));
+        let events = o.journal().events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0].kind, EventKind::SlowOp { op, .. } if op == "get"));
+        // Background ops never log SlowOp.
+        o.finish(Op::Compaction, Some(Instant::now()));
+        assert_eq!(o.journal().events().len(), 1);
+    }
+
+    #[test]
+    fn op_names_are_unique_and_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in ALL_OPS {
+            assert!(seen.insert(op.name()), "duplicate name {}", op.name());
+            assert!(op
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c.is_ascii_digit()));
+        }
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let observer = Arc::new(Observer::new());
+        observer.record(Op::Get, Duration::from_micros(120));
+        observer.record(Op::Get, Duration::from_micros(80));
+        observer.record(Op::CloudGet, Duration::from_millis(2));
+        observer.event(EventKind::Upload { file: 7, bytes: 4096, dur_ns: 1_000_000 });
+        let mut reg = MetricsRegistry::new(observer);
+        reg.counter("cloud_reads", 42).counter("uploads", 3);
+        reg.gauge("local_bytes", 1048576.0).gauge("cache_hit_ratio", 0.93);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn stats_string_mentions_every_section() {
+        let s = sample_snapshot().stats_string();
+        assert!(s.contains("** Latency (us) **"));
+        assert!(s.contains("get"));
+        assert!(s.contains("cloud_get"));
+        assert!(s.contains("** Counters **"));
+        assert!(s.contains("cloud_reads"));
+        assert!(s.contains("** Gauges **"));
+        assert!(s.contains("** Events"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_ops_are_omitted_from_json() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"get\""));
+        assert!(!json.contains("\"ewal_sync\""));
+    }
+
+    #[test]
+    fn prometheus_output_passes_lint() {
+        let snap = sample_snapshot();
+        let body = snap.to_prometheus();
+        let samples = validate_prometheus(&body).expect("exposition parses");
+        // 2 ops × 5 lines + 2 counters + 2 gauges.
+        assert_eq!(samples, 2 * 5 + 2 + 2);
+        assert!(body.contains("rocksmash_op_latency_seconds{op=\"get\",quantile=\"0.5\"}"));
+        assert!(body.contains("rocksmash_cloud_reads_total 42"));
+        assert!(body.contains("rocksmash_local_bytes 1048576"));
+    }
+
+    #[test]
+    fn prometheus_lint_rejects_garbage() {
+        assert!(validate_prometheus("9metric 1\n").is_err());
+        assert!(validate_prometheus("metric{a=b} 1\n").is_err());
+        assert!(validate_prometheus("metric nope\n").is_err());
+        assert!(validate_prometheus("metric{a=\"b\" 1\n").is_err());
+        assert_eq!(validate_prometheus("# just a comment\n").unwrap(), 0);
+        assert_eq!(validate_prometheus("m{l=\"x\"} 1.5 1234\n").unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_everywhere() {
+        let reg = MetricsRegistry::new(Arc::new(Observer::disabled()));
+        let snap = reg.snapshot();
+        assert_eq!(validate_prometheus(&snap.to_prometheus()).unwrap(), 0);
+        assert!(snap.stats_string().contains("** Latency"));
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+    }
+}

@@ -12,7 +12,9 @@
 //! rocksmash <dir> scan <from> [limit]
 //! rocksmash <dir> fill <n> [value-size]
 //! rocksmash <dir> compact
-//! rocksmash <dir> stats
+//! rocksmash <dir> stats [--json | --prometheus]
+//! rocksmash <dir> watch [--interval <secs>]
+//! rocksmash <dir> events          # drain journal as JSON lines
 //! rocksmash <dir> recovery
 //! rocksmash <dir> repair          # rebuild metadata from table files
 //! ```
@@ -42,7 +44,8 @@ fn usage() -> ExitCode {
         "usage: rocksmash [--scheme S] [--cloud-latency-us N] [--readahead B] [--sync] \
          <dir> <command> [args]\n\
          commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
-         \u{20}         fill <n> [value-size] | compact | stats | recovery | repair"
+         \u{20}         fill <n> [value-size] | compact | recovery | repair\n\
+         \u{20}         stats [--json | --prometheus] | watch [--interval <secs>] | events"
     );
     ExitCode::from(2)
 }
@@ -156,6 +159,15 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             stats(&db)?;
         }
         ["stats"] => stats(&db)?,
+        ["stats", "--json"] => println!("{}", db.metrics()?.snapshot().to_json()),
+        ["stats", "--prometheus"] => print!("{}", db.metrics()?.snapshot().to_prometheus()),
+        ["watch"] => watch(&db, 2)?,
+        ["watch", "--interval", secs] => watch(&db, secs.parse()?)?,
+        ["events"] => {
+            for event in db.observer().journal().events() {
+                println!("{}", event.to_json());
+            }
+        }
         ["recovery"] => match db.recovery_report() {
             Some(r) => println!(
                 "recovered {} ops from {} partition files ({} KiB) in {:.1} ms \
@@ -216,6 +228,22 @@ fn fill(db: &TieredDb, n: u64, value_size: usize) -> Result<(), Box<dyn std::err
     Ok(())
 }
 
+/// Print the live stats dump every `interval_secs` until interrupted.
+fn watch(db: &TieredDb, interval_secs: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let interval = std::time::Duration::from_secs(interval_secs.max(1));
+    loop {
+        println!("--- {} ---", chrono_less_timestamp(db));
+        print!("{}", db.stats_string()?);
+        std::thread::sleep(interval);
+    }
+}
+
+/// Journal-relative uptime stamp for the watch header (no wall-clock
+/// formatting machinery in the dependency set).
+fn chrono_less_timestamp(db: &TieredDb) -> String {
+    format!("t+{:.1}s", db.observer().now_ns() as f64 / 1e9)
+}
+
 fn stats(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
     let report = db.report()?;
     print!("{}", db.engine().debug_string());
@@ -259,6 +287,12 @@ fn stats(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
             report.cache_metadata_bytes / 1024,
             cache.invalidations
         );
+    }
+    // Latency histograms + recent events, without repeating the counters
+    // and gauges the lines above already cover.
+    let latency = obs::MetricsRegistry::new(Arc::clone(db.observer())).snapshot();
+    if !latency.latency.is_empty() {
+        print!("{}", latency.stats_string());
     }
     Ok(())
 }

@@ -52,6 +52,17 @@ pub struct TieredConfig {
     /// 0 disables readahead; per-call overrides are available via
     /// `TieredDb::scan_with`.
     pub readahead_blocks: usize,
+    /// Record latency histograms and journal events across the whole stack
+    /// (engine, cloud store, persistent cache, eWAL). Off, every hook
+    /// degenerates to a single branch.
+    pub observability: bool,
+    /// Foreground operations slower than this publish a `SlowOp` journal
+    /// event (ignored unless `observability`).
+    pub slow_op_threshold: std::time::Duration,
+    /// Print [`crate::TieredDb::stats_string`] to stderr at this interval
+    /// from a background thread (RocksDB's `stats_dump_period_sec`); None
+    /// disables the dump.
+    pub stats_dump_interval: Option<std::time::Duration>,
 }
 
 impl TieredConfig {
@@ -71,6 +82,9 @@ impl TieredConfig {
             cloud: CloudConfig::default(),
             local_latency: None,
             readahead_blocks: 0,
+            observability: true,
+            slow_op_threshold: obs::DEFAULT_SLOW_OP,
+            stats_dump_interval: None,
         }
     }
 

@@ -47,6 +47,9 @@ pub struct TieredRouter {
     /// Level each file was placed at (for cache eviction priority).
     levels: Mutex<HashMap<u64, usize>>,
     stats: Arc<RouterStats>,
+    /// Set once by the tiered store; uploads then surface as `Upload`
+    /// journal events with their duration.
+    observer: std::sync::OnceLock<Arc<obs::Observer>>,
 }
 
 impl TieredRouter {
@@ -62,7 +65,14 @@ impl TieredRouter {
             cache,
             levels: Mutex::new(HashMap::new()),
             stats: Arc::new(RouterStats::default()),
+            observer: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach a latency observer; table migrations to the cloud tier then
+    /// publish `Upload` journal events. The first attach wins.
+    pub fn attach_observer(&self, obs: Arc<obs::Observer>) {
+        let _ = self.observer.set(obs);
     }
 
     /// Traffic counters.
@@ -123,12 +133,20 @@ impl FileRouter for TieredRouter {
             Tier::Cloud => {
                 let name = sst_name(number);
                 let data = env.read_all(&name)?;
+                let started = std::time::Instant::now();
                 storage::failure::with_retries(5, || {
                     self.cloud.put(&cloud_sst_key(number), &data)
                 })?;
                 env.delete(&name)?;
                 self.stats.uploads.fetch_add(1, Ordering::Relaxed);
                 self.stats.upload_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                if let Some(o) = self.observer.get() {
+                    o.event(obs::EventKind::Upload {
+                        file: number,
+                        bytes: data.len() as u64,
+                        dur_ns: started.elapsed().as_nanos() as u64,
+                    });
+                }
                 Ok(())
             }
         }

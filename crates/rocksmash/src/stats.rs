@@ -10,11 +10,13 @@ use crate::tiered::TieredDb;
 
 /// One scheme's full measurement snapshot (a row in most experiment
 /// tables).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SchemeReport {
     /// Engine write batches applied.
     pub engine_writes: u64,
-    /// Engine point lookups served.
+    /// Engine point lookups served. Each key resolved through
+    /// [`lsm::Db::multi_get`] also counts once here, even though the whole
+    /// batch shares a single memtable/version snapshot.
     pub engine_gets: u64,
     /// Memtable flushes.
     pub engine_flushes: u64,
@@ -96,6 +98,135 @@ impl SchemeReport {
             0.0
         } else {
             self.local_bytes as f64 / total as f64
+        }
+    }
+
+    /// Serialize the report for the benchmark result files
+    /// (hand-rolled JSON; see [`obs::json`] for why serde's runtime is
+    /// not in the dependency set).
+    pub fn to_json(&self) -> String {
+        use obs::json::fmt_f64;
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"engine_writes\":{},\"engine_gets\":{},\"engine_flushes\":{},\
+             \"engine_compactions\":{},\"compact_bytes_in\":{},\"compact_bytes_out\":{},\
+             \"stall_ns\":{}",
+            self.engine_writes,
+            self.engine_gets,
+            self.engine_flushes,
+            self.engine_compactions,
+            self.compact_bytes_in,
+            self.compact_bytes_out,
+            self.stall_ns,
+        );
+        let _ = write!(
+            out,
+            ",\"cloud\":{{\"reads\":{},\"writes\":{},\"deletes\":{},\"bytes_read\":{},\
+             \"bytes_written\":{},\"simulated_wait_ns\":{},\"coalesced_gets\":{},\
+             \"requests_saved\":{}}}",
+            self.cloud.reads,
+            self.cloud.writes,
+            self.cloud.deletes,
+            self.cloud.bytes_read,
+            self.cloud.bytes_written,
+            self.cloud.simulated_wait_ns,
+            self.cloud.coalesced_gets,
+            self.cloud.requests_saved,
+        );
+        let _ = write!(
+            out,
+            ",\"cost\":{{\"puts\":{},\"gets\":{},\"egress_bytes\":{},\"request_cost\":{},\
+             \"egress_cost\":{},\"cloud_capacity_cost\":{},\"local_capacity_cost\":{},\
+             \"monthly_total\":{}}}",
+            self.cost.puts,
+            self.cost.gets,
+            self.cost.egress_bytes,
+            fmt_f64(self.cost.request_cost),
+            fmt_f64(self.cost.egress_cost),
+            fmt_f64(self.cost.cloud_capacity_cost),
+            fmt_f64(self.cost.local_capacity_cost),
+            fmt_f64(self.cost.monthly_total()),
+        );
+        let _ = write!(
+            out,
+            ",\"local_bytes\":{},\"cloud_bytes\":{},\"local_fraction\":{},\"uploads\":{}",
+            self.local_bytes,
+            self.cloud_bytes,
+            fmt_f64(self.local_fraction()),
+            self.uploads,
+        );
+        match &self.cache {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    ",\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\
+                     \"admission_rejects\":{},\"oversize_rejects\":{},\"evicted_extents\":{},\
+                     \"invalidations\":{},\"invalidation_steps\":{}}}",
+                    c.hits,
+                    c.misses,
+                    c.inserts,
+                    c.admission_rejects,
+                    c.oversize_rejects,
+                    c.evicted_extents,
+                    c.invalidations,
+                    c.invalidation_steps,
+                );
+            }
+            None => out.push_str(",\"cache\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"cache_metadata_bytes\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\
+             \"coalesced_gets\":{},\"requests_saved\":{}}}",
+            self.cache_metadata_bytes,
+            self.prefetch_issued,
+            self.prefetch_useful,
+            self.coalesced_gets,
+            self.requests_saved,
+        );
+        out
+    }
+
+    /// Fold the report into `registry` as counters and gauges, so every
+    /// export surface (stats string, JSON, Prometheus) carries the
+    /// scheme-level context next to the latency histograms.
+    pub fn fold_into(&self, registry: &mut obs::MetricsRegistry) {
+        registry
+            .counter("engine_writes", self.engine_writes)
+            .counter("engine_gets", self.engine_gets)
+            .counter("engine_flushes", self.engine_flushes)
+            .counter("engine_compactions", self.engine_compactions)
+            .counter("compact_bytes_in", self.compact_bytes_in)
+            .counter("compact_bytes_out", self.compact_bytes_out)
+            .counter("stall_ns", self.stall_ns)
+            .counter("cloud_reads", self.cloud.reads)
+            .counter("cloud_writes", self.cloud.writes)
+            .counter("cloud_bytes_read", self.cloud.bytes_read)
+            .counter("cloud_bytes_written", self.cloud.bytes_written)
+            .counter("cloud_coalesced_gets", self.coalesced_gets)
+            .counter("cloud_requests_saved", self.requests_saved)
+            .counter("uploads", self.uploads)
+            .counter("prefetch_issued", self.prefetch_issued)
+            .counter("prefetch_useful", self.prefetch_useful)
+            .gauge("local_bytes", self.local_bytes as f64)
+            .gauge("cloud_bytes", self.cloud_bytes as f64)
+            .gauge("local_fraction", self.local_fraction())
+            .gauge("cache_metadata_bytes", self.cache_metadata_bytes as f64)
+            .gauge("monthly_cost_dollars", self.cost.monthly_total());
+        if let Some(cache) = &self.cache {
+            registry
+                .counter("cache_hits", cache.hits)
+                .counter("cache_misses", cache.misses)
+                .counter("cache_inserts", cache.inserts)
+                .counter("cache_evicted_extents", cache.evicted_extents)
+                .counter("cache_invalidations", cache.invalidations);
+            let lookups = cache.hits + cache.misses;
+            registry.gauge(
+                "cache_hit_ratio",
+                if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 },
+            );
         }
     }
 }

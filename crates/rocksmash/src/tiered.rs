@@ -1,6 +1,6 @@
 //! [`TieredDb`]: the user-facing RocksMash store.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lsm::db::DbIterator;
@@ -21,6 +21,13 @@ struct EWalState {
     bytes_since_flush: u64,
 }
 
+/// Background thread periodically printing the stats dump
+/// ([`TieredConfig::stats_dump_interval`]).
+struct StatsDump {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
 /// An LSM store spanning local and cloud storage.
 ///
 /// All metadata (MANIFEST, CURRENT), the write-ahead log, and the hot upper
@@ -36,6 +43,11 @@ pub struct TieredDb {
     next_seq: AtomicU64,
     /// Report of the eWAL recovery performed at open, if any.
     recovery: Option<RecoveryReport>,
+    /// Latency histograms + event journal shared by every layer of this
+    /// store (engine, cloud store, persistent cache, eWAL). Disabled —
+    /// one branch per hook — unless [`TieredConfig::observability`].
+    observer: Arc<obs::Observer>,
+    stats_dump: Option<StatsDump>,
 }
 
 impl TieredDb {
@@ -52,6 +64,12 @@ impl TieredDb {
         cloud: CloudStore,
         config: TieredConfig,
     ) -> Result<TieredDb> {
+        let observer = if config.observability {
+            Arc::new(obs::Observer::new().with_slow_op_threshold(config.slow_op_threshold))
+        } else {
+            Arc::new(obs::Observer::disabled())
+        };
+        cloud.attach_observer(Arc::clone(&observer));
         let mut recovered_mash: Option<Arc<MashCache>> = None;
         let cache: Option<Arc<dyn PersistentBlockCache>> = match (config.cache, config.cache_bytes)
         {
@@ -103,10 +121,16 @@ impl TieredDb {
                 Some(Arc::new(BaselineCache::new(storage, slot_size)))
             }
         };
+        if let Some(mash) = &recovered_mash {
+            mash.attach_observer(Arc::clone(&observer));
+        }
         let router = Arc::new(TieredRouter::new(cloud.clone(), config.placement, cache));
+        router.attach_observer(Arc::clone(&observer));
+        let mut engine_options = config.engine_options();
+        engine_options.observer = Some(Arc::clone(&observer));
         let db = Db::open_with_router(
             Arc::clone(&env),
-            config.engine_options(),
+            engine_options,
             Arc::clone(&router) as Arc<dyn lsm::db::FileRouter>,
         )?;
 
@@ -152,8 +176,42 @@ impl TieredDb {
             mash.retain_files(&live);
         }
 
+        // The periodic dump covers what the observer alone knows — latency
+        // histograms and recent events; the full scheme report needs the
+        // store itself, which a detached thread must not borrow.
+        let stats_dump = config.stats_dump_interval.map(|interval| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let obs = Arc::clone(&observer);
+            let handle = std::thread::Builder::new()
+                .name("rocksmash-stats-dump".into())
+                .spawn(move || {
+                    while !flag.load(Ordering::Relaxed) {
+                        std::thread::park_timeout(interval);
+                        if flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let snapshot = obs::MetricsRegistry::new(Arc::clone(&obs)).snapshot();
+                        eprintln!("{}", snapshot.stats_string());
+                    }
+                })
+                .expect("spawn stats-dump thread");
+            StatsDump { stop, handle: Mutex::new(Some(handle)) }
+        });
+
         let next_seq = AtomicU64::new(db.last_sequence() + 1);
-        Ok(TieredDb { db, env, cloud, router, config, ewal, next_seq, recovery })
+        Ok(TieredDb {
+            db,
+            env,
+            cloud,
+            router,
+            config,
+            ewal,
+            next_seq,
+            recovery,
+            observer,
+            stats_dump,
+        })
     }
 
     /// The eWAL recovery report from this open, when the eWAL is enabled.
@@ -191,9 +249,13 @@ impl TieredDb {
                     let mut state = ewal.lock();
                     let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
                     batch.set_sequence(seq);
+                    let timer = self.observer.start();
                     state.writer.append(&batch)?;
+                    self.observer.finish(obs::Op::EwalAppend, timer);
                     if self.config.options.sync_writes {
+                        let timer = self.observer.start();
                         state.writer.sync()?;
+                        self.observer.finish(obs::Op::EwalSync, timer);
                     }
                     state.bytes_since_flush += batch.byte_size() as u64;
                     self.db.write(batch)?;
@@ -335,8 +397,35 @@ impl TieredDb {
         SchemeReport::collect(self)
     }
 
+    /// The store-wide latency/event observer (disabled unless
+    /// [`TieredConfig::observability`]).
+    pub fn observer(&self) -> &Arc<obs::Observer> {
+        &self.observer
+    }
+
+    /// Metrics registry combining the observer's latency histograms and
+    /// event journal with the [`SchemeReport`] folded in as counters and
+    /// gauges. Snapshot it for the text/JSON/Prometheus exports.
+    pub fn metrics(&self) -> Result<obs::MetricsRegistry> {
+        let mut registry = obs::MetricsRegistry::new(Arc::clone(&self.observer));
+        self.report()?.fold_into(&mut registry);
+        Ok(registry)
+    }
+
+    /// RocksDB-style human-readable statistics dump.
+    pub fn stats_string(&self) -> Result<String> {
+        Ok(self.metrics()?.snapshot().stats_string())
+    }
+
     /// Shut down background work and sync logs.
     pub fn close(&self) -> Result<()> {
+        if let Some(dump) = &self.stats_dump {
+            dump.stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = dump.handle.lock().take() {
+                handle.thread().unpark();
+                let _ = handle.join();
+            }
+        }
         if let Some(ewal) = &self.ewal {
             ewal.lock().writer.sync()?;
         }

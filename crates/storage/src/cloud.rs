@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -94,6 +94,9 @@ pub struct CloudStore {
     backing: Option<Arc<std::path::PathBuf>>,
     limiter: Option<Arc<crate::limiter::RateLimiter>>,
     coalesce_gap: u64,
+    /// Set once by the embedding store (after it builds its observer);
+    /// clones share the slot, so attaching through any handle covers all.
+    observer: Arc<OnceLock<Arc<obs::Observer>>>,
 }
 
 impl CloudStore {
@@ -115,6 +118,7 @@ impl CloudStore {
                 .max_requests_per_sec
                 .map(|rate| Arc::new(crate::limiter::RateLimiter::new(rate, rate / 10.0))),
             coalesce_gap: config.coalesce_gap_bytes,
+            observer: Arc::new(OnceLock::new()),
         };
         if let Some(dir) = store.backing.clone() {
             let _ = std::fs::create_dir_all(&*dir);
@@ -185,6 +189,23 @@ impl CloudStore {
         &self.failure
     }
 
+    /// Attach a latency observer: every billed GET/PUT is then timed into
+    /// its `cloud_get` / `cloud_coalesced_get` / `cloud_put` histograms.
+    /// The first attach wins; later calls are no-ops.
+    pub fn attach_observer(&self, obs: Arc<obs::Observer>) {
+        let _ = self.observer.set(obs);
+    }
+
+    fn obs_start(&self) -> Option<std::time::Instant> {
+        self.observer.get().and_then(|o| o.start())
+    }
+
+    fn obs_finish(&self, op: obs::Op, timer: Option<std::time::Instant>) {
+        if let Some(o) = self.observer.get() {
+            o.finish(op, timer);
+        }
+    }
+
     fn shard_for(&self, key: &str) -> &RwLock<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
@@ -221,31 +242,37 @@ impl CloudStore {
 impl ObjectStore for CloudStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<()> {
         self.failure.check("put")?;
+        let timer = self.obs_start();
         self.pay(data.len());
         self.cost.record_put();
         self.stats.record_write(data.len() as u64);
         self.shard_for(key).write().objects.insert(key.to_string(), Arc::new(data.to_vec()));
         self.backing_write(key, data);
+        self.obs_finish(obs::Op::CloudPut, timer);
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
         self.failure.check("get")?;
+        let timer = self.obs_start();
         let obj = self.lookup(key)?;
         self.pay(obj.len());
         self.cost.record_get(obj.len() as u64);
         self.stats.record_read(obj.len() as u64);
+        self.obs_finish(obs::Op::CloudGet, timer);
         Ok(obj.as_ref().clone())
     }
 
     fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         self.failure.check("get_range")?;
+        let timer = self.obs_start();
         let obj = self.lookup(key)?;
         let off = offset.min(obj.len() as u64) as usize;
         let n = len.min(obj.len() - off);
         self.pay(n);
         self.cost.record_get(n as u64);
         self.stats.record_read(n as u64);
+        self.obs_finish(obs::Op::CloudGet, timer);
         Ok(obj[off..off + n].to_vec())
     }
 
@@ -282,7 +309,16 @@ impl ObjectStore for CloudStore {
                 run_end += 1;
             }
             let span = (end - first_off) as usize;
+            let timer = self.obs_start();
             self.pay(span);
+            // A run covering several caller ranges is a coalesced GET;
+            // a single-range run is billed and timed like a plain GET.
+            let op = if run_end - run_start > 1 {
+                obs::Op::CloudCoalescedGet
+            } else {
+                obs::Op::CloudGet
+            };
+            self.obs_finish(op, timer);
             self.cost.record_get(span as u64);
             self.stats.record_read(span as u64);
             self.stats.record_coalesced_get((run_end - run_start) as u64);

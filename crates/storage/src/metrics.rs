@@ -108,16 +108,20 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Difference since an earlier snapshot (for per-phase accounting).
+    ///
+    /// Saturating: if the counters were [`StoreStats::reset`] between the
+    /// two snapshots, `earlier` can exceed `self`; clamping to zero beats
+    /// a debug-build overflow panic for a statistics accessor.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            deletes: self.deletes - earlier.deletes,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            simulated_wait_ns: self.simulated_wait_ns - earlier.simulated_wait_ns,
-            coalesced_gets: self.coalesced_gets - earlier.coalesced_gets,
-            requests_saved: self.requests_saved - earlier.requests_saved,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            simulated_wait_ns: self.simulated_wait_ns.saturating_sub(earlier.simulated_wait_ns),
+            coalesced_gets: self.coalesced_gets.saturating_sub(earlier.coalesced_gets),
+            requests_saved: self.requests_saved.saturating_sub(earlier.requests_saved),
         }
     }
 }
@@ -171,6 +175,26 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().reads, 80_000);
+    }
+
+    #[test]
+    fn delta_after_reset_saturates_instead_of_panicking() {
+        let s = StoreStats::new();
+        s.record_read(100);
+        s.record_write(7);
+        s.record_coalesced_get(4);
+        let before = s.snapshot();
+        s.reset();
+        s.record_read(1);
+        let after = s.snapshot();
+        // `after` is behind `before` on most counters; the delta must clamp
+        // to zero, not underflow.
+        let d = after.delta_since(&before);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.bytes_read, 0);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.coalesced_gets, 0);
+        assert_eq!(d.requests_saved, 0);
     }
 
     #[test]

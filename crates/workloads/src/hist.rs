@@ -1,213 +1,34 @@
-//! Log-bucketed latency histogram (HdrHistogram-lite).
+//! Latency histograms — now provided by the engine-wide [`obs`] crate.
 //!
-//! Buckets are powers of two of nanoseconds with 16 linear sub-buckets
-//! each, giving ≤ ~6% relative error on percentile reads — plenty for the
-//! p50/p95/p99 rows the evaluation reports.
+//! The log-bucketed histogram originally lived here, measuring workloads
+//! from the outside. It moved to `obs` (gaining lock-free sharded-atomic
+//! recording) so the engine itself records the same distributions from
+//! the inside; this module re-exports it for existing callers.
 
-const SUB: usize = 16;
-const BUCKETS: usize = 40; // up to ~2^40 ns ≈ 18 minutes
-
-/// Latency histogram over nanosecond samples.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-    min_ns: u64,
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS * SUB],
-            total: 0,
-            sum_ns: 0,
-            max_ns: 0,
-            min_ns: u64::MAX,
-        }
-    }
-
-    fn index(ns: u64) -> usize {
-        let ns = ns.max(1);
-        let bucket = (63 - ns.leading_zeros()) as usize;
-        let bucket = bucket.min(BUCKETS - 1);
-        let base = 1u64 << bucket;
-        let sub = if bucket == 0 {
-            0
-        } else {
-            ((ns - base) as u128 * SUB as u128 / base as u128) as usize
-        };
-        bucket * SUB + sub.min(SUB - 1)
-    }
-
-    fn bucket_value(index: usize) -> u64 {
-        let bucket = index / SUB;
-        let sub = (index % SUB) as u64;
-        let base = 1u64 << bucket;
-        // Midpoint of the sub-bucket.
-        base + base * sub / SUB as u64 + base / (2 * SUB as u64)
-    }
-
-    /// Record one sample in nanoseconds.
-    pub fn record(&mut self, ns: u64) {
-        self.counts[Self::index(ns)] += 1;
-        self.total += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
-        self.min_ns = self.min_ns.min(ns);
-    }
-
-    /// Record a `std::time::Duration` sample.
-    pub fn record_duration(&mut self, d: std::time::Duration) {
-        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean in nanoseconds.
-    pub fn mean_ns(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_ns as f64 / self.total as f64
-        }
-    }
-
-    /// Largest sample seen (exact).
-    pub fn max_ns(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.max_ns
-        }
-    }
-
-    /// Smallest sample seen (exact).
-    pub fn min_ns(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min_ns
-        }
-    }
-
-    /// Approximate `p`-th percentile in nanoseconds, `p` in [0, 100].
-    pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_value(i);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Compact one-line summary (microseconds).
-    pub fn summary(&self) -> String {
-        format!(
-            "n={} mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
-            self.total,
-            self.mean_ns() / 1000.0,
-            self.percentile_ns(50.0) as f64 / 1000.0,
-            self.percentile_ns(95.0) as f64 / 1000.0,
-            self.percentile_ns(99.0) as f64 / 1000.0,
-            self.max_ns() as f64 / 1000.0,
-        )
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+pub use obs::{HistogramSnapshot, LatencyHistogram};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The harness-facing behaviours the runner depends on; the full edge
+    // case suite (0-ns, u64::MAX, error bounds, merge) lives in `obs`.
+
     #[test]
-    fn empty_histogram() {
+    fn record_through_shared_reference() {
         let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-        assert_eq!(h.percentile_ns(99.0), 0);
-    }
-
-    #[test]
-    fn single_sample() {
-        let mut h = LatencyHistogram::new();
         h.record(1000);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.max_ns(), 1000);
-        assert_eq!(h.min_ns(), 1000);
-        let p50 = h.percentile_ns(50.0);
-        assert!((900..=1100).contains(&p50), "p50 {p50}");
-    }
-
-    #[test]
-    fn percentiles_are_monotonic_and_bounded() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..=10_000u64 {
-            h.record(i * 100);
-        }
-        let p50 = h.percentile_ns(50.0);
-        let p95 = h.percentile_ns(95.0);
-        let p99 = h.percentile_ns(99.0);
-        assert!(p50 <= p95 && p95 <= p99);
-        // Within ~7% of the true values.
-        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.08, "p50 {p50}");
-        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.08, "p99 {p99}");
-    }
-
-    #[test]
-    fn mean_is_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in [100u64, 200, 300] {
-            h.record(v);
-        }
-        assert!((h.mean_ns() - 200.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(100);
-        b.record(10_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_ns(), 10_000);
-        assert_eq!(a.min_ns(), 100);
-    }
-
-    #[test]
-    fn huge_and_tiny_samples_do_not_panic() {
-        let mut h = LatencyHistogram::new();
-        h.record(0);
-        h.record(u64::MAX);
+        h.record_duration(std::time::Duration::from_micros(2));
         assert_eq!(h.count(), 2);
-        assert!(h.percentile_ns(100.0) > 0);
+        assert_eq!(h.max_ns(), 2000);
+    }
+
+    #[test]
+    fn merge_for_per_thread_aggregation() {
+        let overall = LatencyHistogram::new();
+        let worker = LatencyHistogram::new();
+        worker.record(500);
+        overall.merge(&worker);
+        assert_eq!(overall.count(), 1);
     }
 }

@@ -5,7 +5,8 @@
 //! * [`keys`] — deterministic key/value materialization.
 //! * [`ycsb`] — the YCSB core workloads A–F as operation streams.
 //! * [`microbench`] — db_bench-style fill/read/seek microbenchmarks.
-//! * [`hist`] — log-bucketed latency histograms (p50/p95/p99...).
+//! * [`hist`] — latency histograms (p50/p95/p99...), re-exported from
+//!   the engine-wide `obs` crate.
 //! * [`runner`] — drives an operation stream against a store and reports
 //!   throughput and latency.
 

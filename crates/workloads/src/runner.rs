@@ -66,7 +66,7 @@ impl RunResult {
 
     /// Merged histogram over all operation kinds.
     pub fn overall_latency(&self) -> LatencyHistogram {
-        let mut all = LatencyHistogram::new();
+        let all = LatencyHistogram::new();
         for h in self.latency.values() {
             all.merge(h);
         }

@@ -1,0 +1,154 @@
+//! Cross-crate observability: the event journal must narrate a real
+//! flush → upload → compaction lifecycle, and the stats snapshot must
+//! round-trip through every export surface on a live tiered store.
+
+use std::sync::Arc;
+
+use lsm::Options;
+use obs::{EventKind, MetricsSnapshot};
+use rocksmash::{TieredConfig, TieredDb};
+use storage::{Env, MemEnv};
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key{i:06}").into_bytes()
+}
+
+fn tiny_config() -> TieredConfig {
+    TieredConfig {
+        options: Options {
+            write_buffer_size: 16 << 10,
+            target_file_size: 16 << 10,
+            max_bytes_for_level_base: 32 << 10,
+            l0_compaction_trigger: 2,
+            ..Options::small_for_tests()
+        },
+        cache_admission: false,
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+/// Open, load enough to flush + compact + upload, and return the store.
+fn worked_db() -> TieredDb {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = TieredDb::open(env, tiny_config()).unwrap();
+    for i in 0..2000 {
+        db.put(&key(i), format!("value{i:06}-{}", "x".repeat(64)).as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for i in (0..2000).step_by(7) {
+        assert!(db.get(&key(i)).unwrap().is_some());
+    }
+    db
+}
+
+#[test]
+fn journal_captures_flush_upload_compaction_lifecycle() {
+    let db = worked_db();
+    let events = db.observer().journal().events();
+
+    // Timestamps are journal-relative and must be ordered as returned.
+    for pair in events.windows(2) {
+        assert!(pair[0].ts_ns <= pair[1].ts_ns, "journal out of order: {pair:?}");
+    }
+
+    let pos = |pred: &dyn Fn(&EventKind) -> bool| events.iter().position(|e| pred(&e.kind));
+    let flush_start = pos(&|k| matches!(k, EventKind::FlushStart)).expect("FlushStart in journal");
+    let flush_end = events
+        .iter()
+        .position(|e| match &e.kind {
+            EventKind::FlushEnd { bytes, dur_ns } => {
+                assert!(*dur_ns > 0, "flush duration must be measured");
+                *bytes > 0
+            }
+            _ => false,
+        })
+        .expect("non-empty FlushEnd in journal");
+    assert!(flush_start < flush_end, "flush must start before it ends");
+
+    let upload = events
+        .iter()
+        .position(|e| match &e.kind {
+            EventKind::Upload { bytes, dur_ns, .. } => {
+                assert!(*bytes > 0, "upload must carry bytes");
+                assert!(*dur_ns > 0, "upload duration must be measured");
+                true
+            }
+            _ => false,
+        })
+        .expect("Upload in journal (deep levels are cloud-resident)");
+    assert!(flush_end <= upload, "tables flush before they migrate to the cloud");
+
+    let compaction_start =
+        pos(&|k| matches!(k, EventKind::CompactionStart { .. })).expect("CompactionStart");
+    let compaction_end = events
+        .iter()
+        .position(|e| match &e.kind {
+            EventKind::CompactionEnd { bytes_in, dur_ns, .. } => {
+                assert!(*bytes_in > 0, "compaction must read input bytes");
+                assert!(*dur_ns > 0, "compaction duration must be measured");
+                true
+            }
+            _ => false,
+        })
+        .expect("CompactionEnd");
+    assert!(compaction_start < compaction_end);
+
+    // The journal drains as parseable JSON lines.
+    let lines = db.observer().journal().to_json_lines();
+    assert!(!lines.is_empty());
+    for line in lines.lines() {
+        let v = obs::json::Json::parse(line).expect("journal line parses as JSON");
+        assert!(v.get("type").is_some(), "journal line missing type: {line}");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn stats_snapshot_round_trips_all_export_surfaces() {
+    let db = worked_db();
+    let snapshot = db.metrics().unwrap().snapshot();
+
+    // The engine-level and cloud-level histograms all saw traffic.
+    for op in ["get", "write", "flush", "compaction", "cloud_put"] {
+        let stats = snapshot.latency.get(op).unwrap_or_else(|| panic!("{op} histogram empty"));
+        assert!(stats.count > 0);
+        assert!(stats.p50_ns <= stats.p95_ns && stats.p95_ns <= stats.p99_ns);
+    }
+    assert!(snapshot.counters.get("engine_writes").copied().unwrap_or(0) > 0);
+    assert!(snapshot.gauges.contains_key("local_fraction"));
+
+    // Human dump names the ops and the percentile columns.
+    let text = snapshot.stats_string();
+    assert!(text.contains("** Latency (us) **"));
+    assert!(text.contains("p50") && text.contains("p95") && text.contains("p99"));
+    assert!(text.contains("get") && text.contains("compaction"));
+
+    // JSON round-trip is lossless.
+    let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).expect("snapshot JSON parses");
+    assert_eq!(parsed, snapshot);
+
+    // Prometheus exposition passes the lint and exposes the quantiles.
+    let prom = snapshot.to_prometheus();
+    let samples = obs::validate_prometheus(&prom).expect("valid exposition");
+    assert!(samples > 0);
+    assert!(prom.contains("rocksmash_op_latency_seconds{op=\"get\",quantile=\"0.99\"}"));
+    assert!(prom.contains("rocksmash_engine_writes_total"));
+    db.close().unwrap();
+}
+
+#[test]
+fn observability_off_records_nothing() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { observability: false, ..tiny_config() };
+    let db = TieredDb::open(env, config).unwrap();
+    for i in 0..500 {
+        db.put(&key(i), b"v").unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    assert!(!db.observer().is_enabled());
+    assert!(db.observer().latency_stats().is_empty());
+    assert!(db.observer().journal().events().is_empty());
+    db.close().unwrap();
+}
