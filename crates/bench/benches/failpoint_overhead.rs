@@ -1,0 +1,39 @@
+//! Criterion check that failpoints cost nothing when unarmed: the hot
+//! path is one relaxed atomic load and a predicted branch, so evaluating
+//! a site with nothing armed anywhere must be indistinguishable from a
+//! bare atomic read — no lock, no registry lookup, no allocation. A third
+//! case arms an unrelated site to confirm the slow path only engages for
+//! the named site's own registry entry, not for every call in the process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use storage::failpoint::{self, FailAction};
+
+fn bench_failpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failpoint_overhead");
+
+    // Reference: the cheapest conceivable guard, a bare atomic load.
+    let flag = AtomicUsize::new(0);
+    g.bench_function("atomic_load_baseline", |b| {
+        b.iter(|| black_box(flag.load(Ordering::Acquire)))
+    });
+
+    failpoint::disarm_all();
+    g.bench_function("unarmed", |b| {
+        b.iter(|| failpoint::fail_point(black_box("bench_site")).is_ok())
+    });
+
+    // Another site armed: calls for *this* site now take the registry
+    // lock, but must still pass and stay cheap.
+    failpoint::arm("some_other_site", FailAction::CrashAfter(u64::MAX));
+    g.bench_function("different_site_armed", |b| {
+        b.iter(|| failpoint::fail_point(black_box("bench_site")).is_ok())
+    });
+    failpoint::disarm_all();
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_failpoint);
+criterion_main!(benches);

@@ -862,6 +862,9 @@ impl Db {
         state: &mut parking_lot::MutexGuard<'_, DbState>,
         mem: &Arc<MemTable>,
     ) -> Result<()> {
+        // Crash site: dying at flush start must lose nothing — every
+        // flushed-from record is still replayable from the WAL/eWAL.
+        storage::failpoint::fail_point("flush_begin")?;
         let number = state.versions.new_file_number();
         let wal_floor = state.wal_number;
         let timer = shared.obs.start();
@@ -895,6 +898,10 @@ impl Db {
                 ..Default::default()
             };
             let prev = state.versions.current();
+            // Crash site: the L0 table is fully written but not yet
+            // referenced by the manifest — recovery must treat it as an
+            // orphan and replay the log instead.
+            storage::failpoint::fail_point("flush_manifest")?;
             state.versions.log_and_apply(edit)?;
             // No files were obsoleted, but the superseded version must
             // still enter the age-ordered queue: readers holding it gate

@@ -345,6 +345,9 @@ impl VersionSet {
         builder.apply(&edit);
         let next = builder.finish()?;
         let manifest = self.manifest.as_mut().expect("manifest open");
+        // Crash site: before the edit record lands in the MANIFEST, so the
+        // version transition either happens durably or not at all.
+        storage::failpoint::fail_point("manifest_apply")?;
         manifest.add_record(&edit.encode())?;
         manifest.sync()?;
         self.current = Arc::new(next);

@@ -280,6 +280,12 @@ impl MashCache {
     /// access. Returns the victim file and the slots freed, or `None` when
     /// nothing can be evicted.
     fn evict_one_extent(inner: &mut Inner) -> Option<(u64, u64)> {
+        // Crash site: dying mid-eviction must never corrupt surviving
+        // entries; refusing to evict leaves the cache full but consistent
+        // (the triggering fill is then skipped, which is always legal).
+        if storage::failpoint::fail_point("mashcache_evict").is_err() {
+            return None;
+        }
         let victim = inner
             .files
             .iter()
@@ -406,6 +412,12 @@ impl MashCache {
     /// decisions) and only occupy extents that are already free — they
     /// never evict resident data.
     fn put_inner(&self, file: u64, offset: u64, data: &[u8], level: usize, prefetched: bool) {
+        // Crash site: cache fills are best-effort — a fill that dies here
+        // simply skips admission; the authoritative copy is unaffected and
+        // the next miss refetches.
+        if storage::failpoint::fail_point("mashcache_fill").is_err() {
+            return;
+        }
         let timer = self.obs_start();
         let key = block_key(file, offset);
         let payload_max = self.config.slot_size as usize - SLOT_HEADER;

@@ -47,6 +47,12 @@ pub enum EventKind {
     PrefetchDrop { blocks: u64 },
     /// A foreground operation exceeded the configured slow-op threshold.
     SlowOp { op: String, dur_ns: u64 },
+    /// A cloud request failed transiently and is about to be retried
+    /// (`attempt` is the try that just failed, 1-based).
+    RetryAttempt { op: String, attempt: u64, backoff_us: u64 },
+    /// A cloud request gave up after `attempts` tries (attempts, deadline,
+    /// or retry budget exhausted).
+    RetryExhausted { op: String, attempts: u64 },
 }
 
 impl EventKind {
@@ -62,6 +68,8 @@ impl EventKind {
             EventKind::CacheEvict { .. } => "CacheEvict",
             EventKind::PrefetchDrop { .. } => "PrefetchDrop",
             EventKind::SlowOp { .. } => "SlowOp",
+            EventKind::RetryAttempt { .. } => "RetryAttempt",
+            EventKind::RetryExhausted { .. } => "RetryExhausted",
         }
     }
 
@@ -93,6 +101,15 @@ impl EventKind {
             }
             EventKind::SlowOp { op, dur_ns } => {
                 out.push_str(&format!(",\"op\":\"{}\",\"dur_ns\":{dur_ns}", escape(op)));
+            }
+            EventKind::RetryAttempt { op, attempt, backoff_us } => {
+                out.push_str(&format!(
+                    ",\"op\":\"{}\",\"attempt\":{attempt},\"backoff_us\":{backoff_us}",
+                    escape(op)
+                ));
+            }
+            EventKind::RetryExhausted { op, attempts } => {
+                out.push_str(&format!(",\"op\":\"{}\",\"attempts\":{attempts}", escape(op)));
             }
         }
     }
@@ -130,6 +147,23 @@ impl EventKind {
             "SlowOp" => EventKind::SlowOp {
                 op: v.get("op").and_then(Json::as_str).ok_or("SlowOp missing op")?.to_string(),
                 dur_ns: u64_field("dur_ns")?,
+            },
+            "RetryAttempt" => EventKind::RetryAttempt {
+                op: v
+                    .get("op")
+                    .and_then(Json::as_str)
+                    .ok_or("RetryAttempt missing op")?
+                    .to_string(),
+                attempt: u64_field("attempt")?,
+                backoff_us: u64_field("backoff_us")?,
+            },
+            "RetryExhausted" => EventKind::RetryExhausted {
+                op: v
+                    .get("op")
+                    .and_then(Json::as_str)
+                    .ok_or("RetryExhausted missing op")?
+                    .to_string(),
+                attempts: u64_field("attempts")?,
             },
             other => return Err(format!("unknown event type {other:?}")),
         })
@@ -321,6 +355,8 @@ mod tests {
             EventKind::CacheEvict { file: 3, slots: 8 },
             EventKind::PrefetchDrop { blocks: 64 },
             EventKind::SlowOp { op: "get \"quoted\"".into(), dur_ns: u64::MAX },
+            EventKind::RetryAttempt { op: "put".into(), attempt: 2, backoff_us: 1500 },
+            EventKind::RetryExhausted { op: "get".into(), attempts: 5 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let event = Event { seq: i as u64, ts_ns: 1000 + i as u64, kind };

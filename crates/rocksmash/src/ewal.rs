@@ -48,6 +48,9 @@ impl EWalWriter {
     /// Create the partition logs of `generation`.
     pub fn create(env: &Arc<dyn Env>, generation: u64, partitions: usize) -> Result<EWalWriter> {
         assert!(partitions >= 1, "at least one partition");
+        // Crash site: dying here (mid-rotation) must leave the previous
+        // generation's writer and files untouched.
+        storage::failpoint::fail_point("ewal_rotate").map_err(Error::from)?;
         let mut logs = Vec::with_capacity(partitions);
         for p in 0..partitions {
             logs.push(LogWriter::new(env.new_writable(&ewal_name(generation, p))?));
@@ -68,6 +71,9 @@ impl EWalWriter {
     /// Append one batch; the caller must already have stamped its sequence.
     pub fn append(&mut self, batch: &WriteBatch) -> Result<()> {
         debug_assert!(batch.sequence() > 0, "eWAL batches must be sequence-stamped");
+        // Crash site: before any byte of the record lands, so a failed
+        // append means the (unacknowledged) write is simply absent.
+        storage::failpoint::fail_point("ewal_append").map_err(Error::from)?;
         self.partitions[self.next].add_record(batch.data())?;
         self.next = (self.next + 1) % self.partitions.len();
         self.bytes += batch.byte_size() as u64;
@@ -76,6 +82,9 @@ impl EWalWriter {
 
     /// Durably sync every partition.
     pub fn sync(&mut self) -> Result<()> {
+        // Crash site: the record is appended but not acknowledged; recovery
+        // may legitimately surface either outcome for the in-flight write.
+        storage::failpoint::fail_point("ewal_sync").map_err(Error::from)?;
         for p in &mut self.partitions {
             p.sync()?;
         }

@@ -61,14 +61,22 @@ pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Resul
             match (desired, local) {
                 (Tier::Local, true) | (Tier::Cloud, false) => report.already_placed += 1,
                 (Tier::Cloud, true) => {
-                    // Upload, then drop the local copy.
+                    // Crash site: dying mid-migration leaves the file on its
+                    // old tier with the new policy in force — re-running the
+                    // migration finishes the move (idempotence test below).
+                    storage::failpoint::fail_point("migrate_upload")?;
+                    // Upload, then drop the local copy. Transient cloud
+                    // faults are absorbed by the store's RetryPolicy.
                     let data = env.read_all(&name)?;
-                    storage::failure::with_retries(5, || cloud.put(&key, &data))?;
+                    cloud.put(&key, &data)?;
                     env.delete(&name)?;
                     report.uploaded += 1;
                     report.bytes_moved += data.len() as u64;
                 }
                 (Tier::Local, false) => {
+                    // Crash site: the cloud object stays authoritative until
+                    // the local copy is fully installed.
+                    storage::failpoint::fail_point("migrate_download")?;
                     // Download and install; keep the cloud object for any
                     // in-flight readers (GC'd on next open).
                     match cloud.get(&key) {

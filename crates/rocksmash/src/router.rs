@@ -134,9 +134,13 @@ impl FileRouter for TieredRouter {
                 let name = sst_name(number);
                 let data = env.read_all(&name)?;
                 let started = std::time::Instant::now();
-                storage::failure::with_retries(5, || {
-                    self.cloud.put(&cloud_sst_key(number), &data)
-                })?;
+                // Crash site: before the upload, so a "crash" leaves the
+                // table local-only and the version edit unapplied — the
+                // flush/compaction fails as a unit and recovery rebuilds it.
+                // Transient cloud faults below this point are absorbed by
+                // the store's RetryPolicy.
+                storage::failpoint::fail_point("sst_upload")?;
+                self.cloud.put(&cloud_sst_key(number), &data)?;
                 env.delete(&name)?;
                 self.stats.uploads.fetch_add(1, Ordering::Relaxed);
                 self.stats.upload_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -157,8 +161,7 @@ impl FileRouter for TieredRouter {
         if env.exists(&name)? {
             return env.open_random(&name);
         }
-        let object =
-            storage::failure::with_retries(5, || self.cloud.open_object(&cloud_sst_key(number)))?;
+        let object = self.cloud.open_object(&cloud_sst_key(number))?;
         let level = self
             .levels
             .lock()
@@ -227,13 +230,11 @@ impl CachedCloudFile {
         }
         if !miss_idx.is_empty() {
             let miss_ranges: Vec<(u64, usize)> = miss_idx.iter().map(|&i| ranges[i]).collect();
-            let fetched = storage::failure::with_retries(5, || {
-                if prefetched {
-                    self.inner.prefetch_ranges(&miss_ranges)
-                } else {
-                    self.inner.read_ranges(&miss_ranges)
-                }
-            })?;
+            let fetched = if prefetched {
+                self.inner.prefetch_ranges(&miss_ranges)?
+            } else {
+                self.inner.read_ranges(&miss_ranges)?
+            };
             self.stats.cloud_reads.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
             for (&i, data) in miss_idx.iter().zip(fetched) {
                 if let Some(cache) = &self.cache {
@@ -264,9 +265,7 @@ impl RandomAccessFile for CachedCloudFile {
                 // asks past EOF): fall through to the authoritative copy.
             }
         }
-        let n = storage::failure::with_retries(5, || -> Result<usize> {
-            self.inner.read_at(offset, buf)
-        })?;
+        let n = self.inner.read_at(offset, buf)?;
         self.stats.cloud_reads.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
             cache.put(self.file, offset, &buf[..n], self.level);

@@ -51,6 +51,14 @@ pub struct SchemeReport {
     pub coalesced_gets: u64,
     /// Cloud requests avoided by coalescing (caller ranges − billed GETs).
     pub requests_saved: u64,
+    /// Cloud operations retried after a transient fault.
+    pub retry_attempts: u64,
+    /// Cloud operations that exhausted their retry policy and surfaced the
+    /// last error to the caller.
+    pub retry_exhausted: u64,
+    /// Cloud operations that failed at least once but ultimately succeeded
+    /// within the policy.
+    pub retry_recovered: u64,
 }
 
 impl SchemeReport {
@@ -67,6 +75,7 @@ impl SchemeReport {
             None => (None, 0),
         };
         let cloud_snapshot = db.cloud().stats().snapshot();
+        let retry = db.cloud().retrier().snapshot();
         let prefetch_issued = db.engine().prefetcher().map(|p| p.issued()).unwrap_or(0);
         let prefetch_useful = db.engine().block_cache().map(|c| c.prefetch_useful()).unwrap_or(0);
         Ok(SchemeReport {
@@ -88,6 +97,9 @@ impl SchemeReport {
             cache_metadata_bytes,
             prefetch_issued,
             prefetch_useful,
+            retry_attempts: retry.attempts,
+            retry_exhausted: retry.exhausted,
+            retry_recovered: retry.recovered,
         })
     }
 
@@ -179,12 +191,16 @@ impl SchemeReport {
         let _ = write!(
             out,
             ",\"cache_metadata_bytes\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\
-             \"coalesced_gets\":{},\"requests_saved\":{}}}",
+             \"coalesced_gets\":{},\"requests_saved\":{},\"retry_attempts\":{},\
+             \"retry_exhausted\":{},\"retry_recovered\":{}}}",
             self.cache_metadata_bytes,
             self.prefetch_issued,
             self.prefetch_useful,
             self.coalesced_gets,
             self.requests_saved,
+            self.retry_attempts,
+            self.retry_exhausted,
+            self.retry_recovered,
         );
         out
     }
@@ -210,6 +226,9 @@ impl SchemeReport {
             .counter("uploads", self.uploads)
             .counter("prefetch_issued", self.prefetch_issued)
             .counter("prefetch_useful", self.prefetch_useful)
+            .counter("retry_attempts", self.retry_attempts)
+            .counter("retry_exhausted", self.retry_exhausted)
+            .counter("retry_recovered", self.retry_recovered)
             .gauge("local_bytes", self.local_bytes as f64)
             .gauge("cloud_bytes", self.cloud_bytes as f64)
             .gauge("local_fraction", self.local_fraction())

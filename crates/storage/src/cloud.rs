@@ -18,9 +18,11 @@ use rand::SeedableRng;
 use crate::backend::{ObjectStore, RandomAccessFile};
 use crate::cost::{CostModel, CostTracker};
 use crate::error::{Result, StorageError};
+use crate::failpoint;
 use crate::failure::FailurePolicy;
 use crate::latency::LatencyModel;
 use crate::metrics::StoreStats;
+use crate::retry::{Retrier, RetryPolicy};
 
 const SHARDS: usize = 16;
 
@@ -46,6 +48,9 @@ pub struct CloudConfig {
     /// bytes into one billed GET (the over-read is cheaper than a second
     /// first-byte RTT). 0 merges only exactly-adjacent ranges.
     pub coalesce_gap_bytes: u64,
+    /// Client-side retry policy every request runs under (capped
+    /// exponential backoff + jitter + deadline + retry budget).
+    pub retry: RetryPolicy,
 }
 
 impl Default for CloudConfig {
@@ -58,12 +63,15 @@ impl Default for CloudConfig {
             backing_dir: None,
             max_requests_per_sec: None,
             coalesce_gap_bytes: 32 * 1024,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 impl CloudConfig {
-    /// Zero-latency, zero-failure config for unit tests.
+    /// Zero-latency, zero-failure config for unit tests. Retries stay on
+    /// (they are part of the client every path should exercise) but with
+    /// zero backoff, so injected-fault tests never sleep.
     pub fn instant() -> Self {
         CloudConfig {
             latency: LatencyModel::zero(),
@@ -73,6 +81,7 @@ impl CloudConfig {
             backing_dir: None,
             max_requests_per_sec: None,
             coalesce_gap_bytes: 32 * 1024,
+            retry: RetryPolicy::fast_for_tests(),
         }
     }
 }
@@ -94,6 +103,7 @@ pub struct CloudStore {
     backing: Option<Arc<std::path::PathBuf>>,
     limiter: Option<Arc<crate::limiter::RateLimiter>>,
     coalesce_gap: u64,
+    retrier: Arc<Retrier>,
     /// Set once by the embedding store (after it builds its observer);
     /// clones share the slot, so attaching through any handle covers all.
     observer: Arc<OnceLock<Arc<obs::Observer>>>,
@@ -118,6 +128,7 @@ impl CloudStore {
                 .max_requests_per_sec
                 .map(|rate| Arc::new(crate::limiter::RateLimiter::new(rate, rate / 10.0))),
             coalesce_gap: config.coalesce_gap_bytes,
+            retrier: Arc::new(Retrier::new(config.retry)),
             observer: Arc::new(OnceLock::new()),
         };
         if let Some(dir) = store.backing.clone() {
@@ -189,10 +200,17 @@ impl CloudStore {
         &self.failure
     }
 
+    /// Retry executor every request runs through.
+    pub fn retrier(&self) -> &Arc<Retrier> {
+        &self.retrier
+    }
+
     /// Attach a latency observer: every billed GET/PUT is then timed into
-    /// its `cloud_get` / `cloud_coalesced_get` / `cloud_put` histograms.
+    /// its `cloud_get` / `cloud_coalesced_get` / `cloud_put` histograms,
+    /// and retry attempts/exhaustions surface as journal events.
     /// The first attach wins; later calls are no-ops.
     pub fn attach_observer(&self, obs: Arc<obs::Observer>) {
+        self.retrier.attach_observer(Arc::clone(&obs));
         let _ = self.observer.set(obs);
     }
 
@@ -241,45 +259,136 @@ impl CloudStore {
 
 impl ObjectStore for CloudStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<()> {
-        self.failure.check("put")?;
-        let timer = self.obs_start();
-        self.pay(data.len());
-        self.cost.record_put();
-        self.stats.record_write(data.len() as u64);
-        self.shard_for(key).write().objects.insert(key.to_string(), Arc::new(data.to_vec()));
-        self.backing_write(key, data);
-        self.obs_finish(obs::Op::CloudPut, timer);
-        Ok(())
+        self.retrier.execute("put", || {
+            failpoint::fail_point("cloud_put")?;
+            self.failure.check("put")?;
+            let timer = self.obs_start();
+            self.pay(data.len());
+            self.cost.record_put();
+            self.stats.record_write(data.len() as u64);
+            self.shard_for(key).write().objects.insert(key.to_string(), Arc::new(data.to_vec()));
+            self.backing_write(key, data);
+            self.obs_finish(obs::Op::CloudPut, timer);
+            Ok(())
+        })
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
-        self.failure.check("get")?;
-        let timer = self.obs_start();
-        let obj = self.lookup(key)?;
-        self.pay(obj.len());
-        self.cost.record_get(obj.len() as u64);
-        self.stats.record_read(obj.len() as u64);
-        self.obs_finish(obs::Op::CloudGet, timer);
-        Ok(obj.as_ref().clone())
+        self.retrier.execute("get", || {
+            failpoint::fail_point("cloud_get")?;
+            self.failure.check("get")?;
+            let timer = self.obs_start();
+            let obj = self.lookup(key)?;
+            self.pay(obj.len());
+            self.cost.record_get(obj.len() as u64);
+            self.stats.record_read(obj.len() as u64);
+            self.obs_finish(obs::Op::CloudGet, timer);
+            Ok(obj.as_ref().clone())
+        })
     }
 
     fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
-        self.failure.check("get_range")?;
-        let timer = self.obs_start();
-        let obj = self.lookup(key)?;
-        let off = offset.min(obj.len() as u64) as usize;
-        let n = len.min(obj.len() - off);
-        self.pay(n);
-        self.cost.record_get(n as u64);
-        self.stats.record_read(n as u64);
-        self.obs_finish(obs::Op::CloudGet, timer);
-        Ok(obj[off..off + n].to_vec())
+        self.retrier.execute("get_range", || {
+            failpoint::fail_point("cloud_get")?;
+            self.failure.check("get_range")?;
+            let timer = self.obs_start();
+            let obj = self.lookup(key)?;
+            let off = offset.min(obj.len() as u64) as usize;
+            let n = len.min(obj.len() - off);
+            self.pay(n);
+            self.cost.record_get(n as u64);
+            self.stats.record_read(n as u64);
+            self.obs_finish(obs::Op::CloudGet, timer);
+            Ok(obj[off..off + n].to_vec())
+        })
     }
 
     fn get_ranges(&self, key: &str, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
         if ranges.is_empty() {
             return Ok(Vec::new());
         }
+        self.retrier.execute("get_ranges", || self.get_ranges_once(key, ranges))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.retrier.execute("delete", || {
+            failpoint::fail_point("cloud_delete")?;
+            self.failure.check("delete")?;
+            self.pay(0);
+            self.cost.record_put();
+            self.stats.record_delete();
+            self.shard_for(key)
+                .write()
+                .objects
+                .remove(key)
+                .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
+            self.backing_delete(key);
+            Ok(())
+        })
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.retrier.execute("head", || {
+            failpoint::fail_point("cloud_get")?;
+            self.failure.check("head")?;
+            self.pay(0);
+            self.cost.record_get(0);
+            Ok(self.shard_for(key).read().objects.contains_key(key))
+        })
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.retrier.execute("head", || {
+            failpoint::fail_point("cloud_get")?;
+            self.failure.check("head")?;
+            self.pay(0);
+            self.cost.record_get(0);
+            Ok(self.lookup(key)?.len() as u64)
+        })
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.retrier.execute("list", || {
+            failpoint::fail_point("cloud_get")?;
+            self.failure.check("list")?;
+            self.pay(0);
+            self.cost.record_get(0);
+            let mut out: Vec<String> = Vec::new();
+            for shard in self.shards.iter() {
+                out.extend(shard.read().objects.keys().filter(|k| k.starts_with(prefix)).cloned());
+            }
+            out.sort();
+            Ok(out)
+        })
+    }
+
+    fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        // HEAD-like validation; each subsequent read_at is a range GET.
+        let obj = self.retrier.execute("head", || {
+            failpoint::fail_point("cloud_get")?;
+            self.lookup(key)
+        })?;
+        Ok(Arc::new(CloudObjectFile {
+            store: self.clone(),
+            key: key.to_string(),
+            len: obj.len() as u64,
+        }))
+    }
+
+    fn total_bytes(&self) -> Result<u64> {
+        let mut sum = 0u64;
+        for shard in self.shards.iter() {
+            sum += shard.read().objects.values().map(|v| v.len() as u64).sum::<u64>();
+        }
+        Ok(sum)
+    }
+}
+
+impl CloudStore {
+    /// One un-retried attempt of the vectored GET (the body of
+    /// [`ObjectStore::get_ranges`]).
+    fn get_ranges_once(&self, key: &str, ranges: &[(u64, usize)]) -> Result<Vec<Vec<u8>>> {
+        failpoint::fail_point("cloud_get")?;
         self.failure.check("get_ranges")?;
         let obj = self.lookup(key)?;
         // Clamp each range to the object, as get_range does.
@@ -329,64 +438,6 @@ impl ObjectStore for CloudStore {
             run_start = run_end;
         }
         Ok(out)
-    }
-
-    fn delete(&self, key: &str) -> Result<()> {
-        self.failure.check("delete")?;
-        self.pay(0);
-        self.cost.record_put();
-        self.stats.record_delete();
-        self.shard_for(key)
-            .write()
-            .objects
-            .remove(key)
-            .ok_or_else(|| StorageError::NotFound(key.to_string()))?;
-        self.backing_delete(key);
-        Ok(())
-    }
-
-    fn exists(&self, key: &str) -> Result<bool> {
-        self.failure.check("head")?;
-        self.pay(0);
-        self.cost.record_get(0);
-        Ok(self.shard_for(key).read().objects.contains_key(key))
-    }
-
-    fn size(&self, key: &str) -> Result<u64> {
-        self.failure.check("head")?;
-        self.pay(0);
-        self.cost.record_get(0);
-        Ok(self.lookup(key)?.len() as u64)
-    }
-
-    fn list(&self, prefix: &str) -> Result<Vec<String>> {
-        self.failure.check("list")?;
-        self.pay(0);
-        self.cost.record_get(0);
-        let mut out: Vec<String> = Vec::new();
-        for shard in self.shards.iter() {
-            out.extend(shard.read().objects.keys().filter(|k| k.starts_with(prefix)).cloned());
-        }
-        out.sort();
-        Ok(out)
-    }
-
-    fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>> {
-        // HEAD-like validation; each subsequent read_at is a range GET.
-        let obj = self.lookup(key)?;
-        Ok(Arc::new(CloudObjectFile {
-            store: self.clone(),
-            key: key.to_string(),
-            len: obj.len() as u64,
-        }))
-    }
-
-    fn total_bytes(&self) -> Result<u64> {
-        let mut sum = 0u64;
-        for shard in self.shards.iter() {
-            sum += shard.read().objects.values().map(|v| v.len() as u64).sum::<u64>();
-        }
-        Ok(sum)
     }
 }
 
@@ -500,6 +551,36 @@ mod tests {
         });
         let err = s.put("k", b"x").unwrap_err();
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retries_absorb_transient_faults() {
+        let s = CloudStore::new(CloudConfig {
+            latency: LatencyModel::zero(),
+            failure_prob: 0.3,
+            seed: 42,
+            retry: crate::RetryPolicy { max_attempts: 10, ..crate::RetryPolicy::fast_for_tests() },
+            ..CloudConfig::instant()
+        });
+        for i in 0..100 {
+            s.put(&format!("k{i}"), b"v").unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(s.get(&format!("k{i}")).unwrap(), b"v");
+        }
+        let snap = s.retrier().snapshot();
+        assert!(snap.attempts > 0, "a 30% fault rate must have forced retries");
+        assert_eq!(snap.exhausted, 0);
+        assert!(s.failure_policy().injected_count() > 0);
+    }
+
+    #[test]
+    fn permanent_errors_bypass_retry() {
+        let s = CloudStore::instant();
+        s.put("k", b"v").unwrap();
+        // NotFound is permanent and must not consume retry attempts.
+        assert!(matches!(s.get("missing"), Err(StorageError::NotFound(_))));
+        assert_eq!(s.retrier().snapshot().attempts, 0, "NotFound must not retry");
     }
 
     #[test]

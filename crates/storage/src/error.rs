@@ -17,6 +17,15 @@ pub enum StorageError {
     /// A fault injected by a [`crate::FailurePolicy`] (used by reliability
     /// tests to emulate transient cloud request failures).
     Injected(String),
+    /// A deterministic fault injected by an armed
+    /// [`crate::failpoint`](crate::failpoint) site (the payload is the site
+    /// name). Classified permanent: a failpoint models "the process dies
+    /// here", which retrying must not paper over.
+    FailPoint(String),
+    /// An operation exceeded its [`crate::RetryPolicy`] deadline. Transient
+    /// by nature, but the retry layer that produced it has already given
+    /// up, so it surfaces to the caller.
+    Timeout(String),
     /// The operation is not supported by this backend (e.g. appending to a
     /// cloud object).
     Unsupported(&'static str),
@@ -26,8 +35,11 @@ pub enum StorageError {
 
 impl StorageError {
     /// True when retrying the same request may succeed (transient faults).
+    /// Everything else — missing objects, corruption, failpoints, caller
+    /// misuse — is permanent: retry loops on those can only waste the
+    /// retry budget or mask real damage.
     pub fn is_transient(&self) -> bool {
-        matches!(self, StorageError::Injected(_))
+        matches!(self, StorageError::Injected(_) | StorageError::Timeout(_))
     }
 
     /// Convenience constructor for corruption errors.
@@ -43,6 +55,8 @@ impl fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "io error: {e}"),
             StorageError::Corruption(msg) => write!(f, "corruption: {msg}"),
             StorageError::Injected(msg) => write!(f, "injected fault: {msg}"),
+            StorageError::FailPoint(site) => write!(f, "failpoint hit: {site}"),
+            StorageError::Timeout(msg) => write!(f, "timeout: {msg}"),
             StorageError::Unsupported(op) => write!(f, "unsupported operation: {op}"),
             StorageError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -89,8 +103,11 @@ mod tests {
     #[test]
     fn transient_classification() {
         assert!(StorageError::Injected("x".into()).is_transient());
+        assert!(StorageError::Timeout("slow".into()).is_transient());
         assert!(!StorageError::NotFound("x".into()).is_transient());
         assert!(!StorageError::corruption("bad crc").is_transient());
+        assert!(!StorageError::FailPoint("cloud_put".into()).is_transient());
+        assert!(!StorageError::InvalidArgument("x".into()).is_transient());
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Deterministic failpoint injection (sled/TiKV `fail-rs` style).
+//!
+//! Probabilistic injection ([`crate::FailurePolicy`]) answers "does the
+//! store survive a noisy cloud?"; failpoints answer the sharper question
+//! "what happens if we die *exactly here*?". Every critical transition in
+//! the store calls [`fail_point`] with a stable site name; tests arm a
+//! site with a [`FailAction`] and drive the workload until it fires.
+//!
+//! The registry is process-global on purpose: failpoints must be reachable
+//! from background flush/compaction threads that tests cannot thread state
+//! into. Tests that arm failpoints therefore serialize themselves (see
+//! `tests/tests/crash_torture.rs`) and call [`disarm_all`] when done.
+//!
+//! Unarmed cost: a single relaxed atomic load and a predictable branch —
+//! no locks, no map lookup, no allocation (verified by the
+//! `failpoint_overhead` criterion bench).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Registered but inert (counts hits only).
+    Off,
+    /// Fail every hit with [`StorageError::FailPoint`].
+    ReturnErr,
+    /// Panic the calling thread (exercises unwind paths).
+    Panic,
+    /// Delay the calling thread (races, timeout paths).
+    Sleep(Duration),
+    /// Pass the first `n-1` hits, then fail every hit from the `n`-th on.
+    /// This is the crash-matrix workhorse: it lets a workload make real
+    /// progress before the "crash".
+    CrashAfter(u64),
+}
+
+#[derive(Debug)]
+struct Entry {
+    action: FailAction,
+    hits: u64,
+    /// Set the first time this entry actually injects a failure (not by
+    /// passing hits of a `CrashAfter` that has not matured).
+    triggered: bool,
+}
+
+/// Number of registered entries whose action is not `Off`. The hot-path
+/// guard: when zero, [`fail_point`] returns without touching the registry.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn is_armed(action: &FailAction) -> bool {
+    !matches!(action, FailAction::Off)
+}
+
+/// Arm (or re-arm) the failpoint `name` with `action`, resetting its hit
+/// count and triggered flag.
+pub fn arm(name: &str, action: FailAction) {
+    let mut reg = registry().lock();
+    let was_armed = reg.get(name).map(|e| is_armed(&e.action)).unwrap_or(false);
+    reg.insert(name.to_string(), Entry { action, hits: 0, triggered: false });
+    match (was_armed, is_armed(&action)) {
+        (false, true) => {
+            ARMED.fetch_add(1, Ordering::Release);
+        }
+        (true, false) => {
+            ARMED.fetch_sub(1, Ordering::Release);
+        }
+        _ => {}
+    }
+}
+
+/// Disarm the failpoint `name` (keeps its hit statistics readable).
+pub fn disarm(name: &str) {
+    let mut reg = registry().lock();
+    if let Some(entry) = reg.get_mut(name) {
+        if is_armed(&entry.action) {
+            ARMED.fetch_sub(1, Ordering::Release);
+        }
+        entry.action = FailAction::Off;
+    }
+}
+
+/// Disarm every failpoint and clear the registry. Tests call this before
+/// handing the process to the next test.
+pub fn disarm_all() {
+    let mut reg = registry().lock();
+    let armed = reg.values().filter(|e| is_armed(&e.action)).count();
+    ARMED.fetch_sub(armed, Ordering::Release);
+    reg.clear();
+}
+
+/// Times execution reached `name` while it was registered.
+pub fn hits(name: &str) -> u64 {
+    registry().lock().get(name).map(|e| e.hits).unwrap_or(0)
+}
+
+/// Whether `name` has actually injected at least one failure since it was
+/// armed. Crash harnesses poll this to detect failures swallowed by
+/// best-effort paths (cache fills) or background threads.
+pub fn triggered(name: &str) -> bool {
+    registry().lock().get(name).map(|e| e.triggered).unwrap_or(false)
+}
+
+/// Evaluate the failpoint `name`. The no-op branch when nothing is armed
+/// anywhere in the process is a single atomic load.
+#[inline]
+pub fn fail_point(name: &str) -> Result<()> {
+    if ARMED.load(Ordering::Acquire) == 0 {
+        return Ok(());
+    }
+    fail_point_slow(name)
+}
+
+#[cold]
+fn fail_point_slow(name: &str) -> Result<()> {
+    let action = {
+        let mut reg = registry().lock();
+        let Some(entry) = reg.get_mut(name) else { return Ok(()) };
+        entry.hits += 1;
+        match entry.action {
+            FailAction::Off => return Ok(()),
+            FailAction::ReturnErr => {
+                entry.triggered = true;
+                return Err(StorageError::FailPoint(name.to_string()));
+            }
+            FailAction::CrashAfter(n) => {
+                if entry.hits >= n {
+                    entry.triggered = true;
+                    return Err(StorageError::FailPoint(name.to_string()));
+                }
+                return Ok(());
+            }
+            // Actions that run code outside the lock.
+            other => {
+                entry.triggered = true;
+                other
+            }
+        }
+    };
+    match action {
+        FailAction::Panic => panic!("failpoint '{name}' panic"),
+        FailAction::Sleep(d) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        _ => unreachable!("handled under the lock"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    /// Failpoints are process-global; these tests must not interleave.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_is_ok_and_uncounted() {
+        let _g = GUARD.lock();
+        disarm_all();
+        assert!(fail_point("nowhere").is_ok());
+        assert_eq!(hits("nowhere"), 0);
+    }
+
+    #[test]
+    fn return_err_fires_every_time_and_is_permanent() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_a", FailAction::ReturnErr);
+        for _ in 0..3 {
+            let err = fail_point("site_a").unwrap_err();
+            assert!(matches!(err, StorageError::FailPoint(_)));
+            assert!(!err.is_transient(), "failpoint errors must not be retried");
+        }
+        assert_eq!(hits("site_a"), 3);
+        assert!(triggered("site_a"));
+        disarm_all();
+    }
+
+    #[test]
+    fn crash_after_passes_early_hits() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_b", FailAction::CrashAfter(3));
+        assert!(fail_point("site_b").is_ok());
+        assert!(fail_point("site_b").is_ok());
+        assert!(!triggered("site_b"));
+        assert!(fail_point("site_b").is_err());
+        assert!(triggered("site_b"));
+        // Stays failed once matured.
+        assert!(fail_point("site_b").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn disarm_restores_passthrough() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_c", FailAction::ReturnErr);
+        assert!(fail_point("site_c").is_err());
+        disarm("site_c");
+        assert!(fail_point("site_c").is_ok());
+        disarm_all();
+    }
+
+    #[test]
+    fn sleep_delays_the_caller() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_d", FailAction::Sleep(Duration::from_millis(25)));
+        let start = std::time::Instant::now();
+        fail_point("site_d").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert!(triggered("site_d"));
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_e", FailAction::Panic);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = fail_point("site_e");
+        });
+        assert!(caught.is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        let _g = GUARD.lock();
+        disarm_all();
+        arm("site_f", FailAction::CrashAfter(2));
+        let _ = fail_point("site_f");
+        let _ = fail_point("site_f");
+        assert!(triggered("site_f"));
+        arm("site_f", FailAction::CrashAfter(2));
+        assert_eq!(hits("site_f"), 0);
+        assert!(!triggered("site_f"));
+        assert!(fail_point("site_f").is_ok());
+        disarm_all();
+    }
+}

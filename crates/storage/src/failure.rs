@@ -3,6 +3,12 @@
 //! Cloud object stores exhibit transient request failures; the paper claims
 //! RocksMash "delivers high reliability", which our integration tests
 //! validate by driving the store through injected faults and crash points.
+//! Transient faults surface as [`StorageError::Injected`] and are retried
+//! by [`crate::Retrier`]; permanent faults surface as
+//! [`StorageError::Corruption`] and must *not* be retried — the split
+//! exists so tests can prove the retry layer never loops on real damage.
+//! For deterministic "die exactly here" injection, see
+//! [`crate::failpoint`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -12,22 +18,36 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::{Result, StorageError};
 
-/// Injects transient errors into a configurable fraction of requests.
+/// Injects errors into a configurable fraction of requests.
 #[derive(Debug)]
 pub struct FailurePolicy {
     error_prob: f64,
+    permanent_prob: f64,
     rng: Mutex<StdRng>,
     injected: AtomicU64,
+    injected_permanent: AtomicU64,
 }
 
 impl FailurePolicy {
-    /// Policy that fails each request independently with `error_prob`.
+    /// Policy that fails each request independently with `error_prob`,
+    /// always transiently.
     pub fn with_probability(error_prob: f64, seed: u64) -> Self {
+        Self::with_probabilities(error_prob, 0.0, seed)
+    }
+
+    /// Policy with independent transient and permanent failure rates. A
+    /// permanent fault models unrecoverable damage (bit rot, a corrupted
+    /// object): it is classified non-transient, so retry layers surface it
+    /// immediately.
+    pub fn with_probabilities(error_prob: f64, permanent_prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&error_prob), "probability out of range");
+        assert!((0.0..=1.0).contains(&permanent_prob), "probability out of range");
         FailurePolicy {
             error_prob,
+            permanent_prob,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             injected: AtomicU64::new(0),
+            injected_permanent: AtomicU64::new(0),
         }
     }
 
@@ -38,16 +58,31 @@ impl FailurePolicy {
 
     /// Roll the dice for one request named `op`.
     pub fn check(&self, op: &str) -> Result<()> {
-        if self.error_prob > 0.0 && self.rng.lock().gen_bool(self.error_prob) {
+        if self.error_prob <= 0.0 && self.permanent_prob <= 0.0 {
+            return Ok(());
+        }
+        let mut rng = self.rng.lock();
+        if self.permanent_prob > 0.0 && rng.gen_bool(self.permanent_prob) {
+            drop(rng);
+            self.injected_permanent.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Corruption(format!("injected permanent fault during {op}")));
+        }
+        if self.error_prob > 0.0 && rng.gen_bool(self.error_prob) {
+            drop(rng);
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::Injected(format!("transient failure during {op}")));
         }
         Ok(())
     }
 
-    /// Number of faults injected so far.
+    /// Number of transient faults injected so far.
     pub fn injected_count(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of permanent faults injected so far.
+    pub fn injected_permanent_count(&self) -> u64 {
+        self.injected_permanent.load(Ordering::Relaxed)
     }
 }
 
@@ -55,22 +90,6 @@ impl Default for FailurePolicy {
     fn default() -> Self {
         Self::none()
     }
-}
-
-/// Retry `f` up to `attempts` times, retrying only transient errors.
-///
-/// This is the client-side policy real cloud SDKs apply; RocksMash's tiering
-/// layer wraps cloud requests with it.
-pub fn with_retries<T>(attempts: u32, mut f: impl FnMut() -> Result<T>) -> Result<T> {
-    let mut last = None;
-    for _ in 0..attempts.max(1) {
-        match f() {
-            Ok(v) => return Ok(v),
-            Err(e) if e.is_transient() => last = Some(e),
-            Err(e) => return Err(e),
-        }
-    }
-    Err(last.expect("at least one attempt"))
 }
 
 #[cfg(test)]
@@ -107,33 +126,37 @@ mod tests {
     }
 
     #[test]
-    fn retries_recover_from_transient_faults() {
-        let mut remaining_failures = 2;
-        let out = with_retries(5, || {
-            if remaining_failures > 0 {
-                remaining_failures -= 1;
-                Err(StorageError::Injected("boom".into()))
-            } else {
-                Ok(7)
+    fn transient_faults_are_transient() {
+        let p = FailurePolicy::with_probability(1.0, 7);
+        let err = p.check("get").unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn permanent_faults_are_not_transient() {
+        let p = FailurePolicy::with_probabilities(0.0, 1.0, 7);
+        let err = p.check("get").unwrap_err();
+        assert!(!err.is_transient(), "permanent faults must not be retryable");
+        assert!(matches!(err, StorageError::Corruption(_)));
+        assert_eq!(p.injected_permanent_count(), 1);
+        assert_eq!(p.injected_count(), 0);
+    }
+
+    #[test]
+    fn mixed_policy_injects_both_kinds() {
+        let p = FailurePolicy::with_probabilities(0.3, 0.3, 11);
+        let mut transient = 0u64;
+        let mut permanent = 0u64;
+        for _ in 0..2_000 {
+            match p.check("get") {
+                Ok(()) => {}
+                Err(e) if e.is_transient() => transient += 1,
+                Err(_) => permanent += 1,
             }
-        });
-        assert_eq!(out.unwrap(), 7);
-    }
-
-    #[test]
-    fn retries_do_not_mask_permanent_errors() {
-        let mut calls = 0;
-        let out: Result<()> = with_retries(5, || {
-            calls += 1;
-            Err(StorageError::NotFound("x".into()))
-        });
-        assert!(matches!(out, Err(StorageError::NotFound(_))));
-        assert_eq!(calls, 1, "permanent errors must not be retried");
-    }
-
-    #[test]
-    fn retries_exhausted_returns_last_error() {
-        let out: Result<()> = with_retries(3, || Err(StorageError::Injected("x".into())));
-        assert!(matches!(out, Err(StorageError::Injected(_))));
+        }
+        assert!(transient > 200, "transient {transient}");
+        assert!(permanent > 200, "permanent {permanent}");
+        assert_eq!(p.injected_count(), transient);
+        assert_eq!(p.injected_permanent_count(), permanent);
     }
 }

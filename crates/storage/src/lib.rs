@@ -18,20 +18,24 @@ pub mod backend;
 pub mod cloud;
 pub mod cost;
 pub mod error;
+pub mod failpoint;
 pub mod failure;
 pub mod latency;
 pub mod limiter;
 pub mod local;
 pub mod memory;
 pub mod metrics;
+pub mod retry;
 
 pub use backend::{Env, ObjectStore, RandomAccessFile, WritableFile};
 pub use cloud::{CloudConfig, CloudStore};
 pub use cost::{CostModel, CostReport, CostTracker};
 pub use error::{Result, StorageError};
+pub use failpoint::FailAction;
 pub use failure::FailurePolicy;
 pub use latency::LatencyModel;
 pub use limiter::RateLimiter;
 pub use local::LocalEnv;
 pub use memory::MemEnv;
 pub use metrics::{StatsSnapshot, StoreStats};
+pub use retry::{Retrier, RetryPolicy, RetrySnapshot};

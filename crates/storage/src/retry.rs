@@ -1,0 +1,455 @@
+//! Client-side retry policy for cloud requests.
+//!
+//! Real object-store SDKs never issue a bare request: they retry transient
+//! failures under capped exponential backoff with jitter, bound each
+//! logical operation by a deadline, and cap the *global* fraction of
+//! traffic that may be retries (a retry budget) so an outage cannot turn
+//! into a self-inflicted retry storm. [`RetryPolicy`] is the configuration
+//! and [`Retrier`] the shared runtime state; [`crate::CloudStore`] routes
+//! every GET/PUT/DELETE/HEAD/LIST through one.
+//!
+//! Only errors classified transient by [`StorageError::is_transient`] are
+//! retried — corruption, not-found, and failpoint errors surface
+//! immediately, so genuine damage can never loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Result, StorageError};
+
+/// Tunables for [`Retrier`]. All durations bound simulated cloud requests,
+/// so the defaults are modest; production S3 clients scale these up.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per operation (first attempt included). 1 disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Growth factor between consecutive backoffs.
+    pub multiplier: f64,
+    /// Each backoff is scaled by a factor drawn uniformly from
+    /// `[1 - jitter_frac, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+    /// Deadline for one logical operation across all of its attempts;
+    /// `None` disables. Checked between attempts (requests themselves are
+    /// synchronous), so an op gives up with [`StorageError::Timeout`]
+    /// rather than starting a retry it cannot finish in time.
+    pub op_timeout: Option<Duration>,
+    /// Retry-budget capacity in tokens: each retry spends one token, each
+    /// successful operation refunds [`RetryPolicy::budget_refill`]. When
+    /// the bucket is empty, transient failures surface instead of
+    /// retrying. `None` disables budgeting.
+    pub budget: Option<f64>,
+    /// Tokens refunded to the budget per successful operation.
+    pub budget_refill: f64,
+    /// Seed for the jitter RNG (keeps reliability tests reproducible).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            multiplier: 2.0,
+            jitter_frac: 0.2,
+            op_timeout: Some(Duration::from_secs(30)),
+            budget: Some(100.0),
+            budget_refill: 0.1,
+            seed: 0x5e77,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retries with zero backoff, for tests that inject failures but must
+    /// not spend wall-clock sleeping.
+    pub fn fast_for_tests() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            op_timeout: None,
+            budget: None,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that never retries (single attempt, no deadline).
+    pub fn disabled() -> Self {
+        RetryPolicy { max_attempts: 1, op_timeout: None, budget: None, ..RetryPolicy::default() }
+    }
+
+    /// Un-jittered backoff before retry number `retry` (1-based): capped
+    /// exponential growth from [`RetryPolicy::initial_backoff`].
+    pub fn base_backoff(&self, retry: u32) -> Duration {
+        let grown = self.initial_backoff.as_secs_f64()
+            * self.multiplier.powi(retry.saturating_sub(1) as i32);
+        Duration::from_secs_f64(grown.min(self.max_backoff.as_secs_f64()))
+    }
+
+    /// Inclusive `[min, max]` bounds the jittered backoff for retry number
+    /// `retry` must fall within (what the unit tests assert against).
+    pub fn backoff_bounds(&self, retry: u32) -> (Duration, Duration) {
+        let base = self.base_backoff(retry).as_secs_f64();
+        (
+            Duration::from_secs_f64(base * (1.0 - self.jitter_frac)),
+            Duration::from_secs_f64(base * (1.0 + self.jitter_frac)),
+        )
+    }
+}
+
+/// Counter snapshot of a [`Retrier`]'s lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrySnapshot {
+    /// Individual retry attempts issued (excludes first tries).
+    pub attempts: u64,
+    /// Operations that gave up: attempts exhausted, deadline hit, or
+    /// budget empty.
+    pub exhausted: u64,
+    /// Operations that ultimately succeeded after at least one retry.
+    pub recovered: u64,
+}
+
+/// Shared retry executor: one per [`crate::CloudStore`], cloned handles
+/// share counters, budget, and the jitter RNG.
+#[derive(Debug)]
+pub struct Retrier {
+    policy: RetryPolicy,
+    rng: Mutex<StdRng>,
+    /// Remaining budget tokens (unused when the policy disables budgeting).
+    tokens: Mutex<f64>,
+    attempts: AtomicU64,
+    exhausted: AtomicU64,
+    recovered: AtomicU64,
+    observer: OnceLock<Arc<obs::Observer>>,
+}
+
+impl Retrier {
+    /// Build an executor for `policy`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Retrier {
+            rng: Mutex::new(StdRng::seed_from_u64(policy.seed)),
+            tokens: Mutex::new(policy.budget.unwrap_or(0.0)),
+            policy,
+            attempts: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            observer: OnceLock::new(),
+        }
+    }
+
+    /// The policy this executor runs.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Surface `RetryAttempt`/`RetryExhausted` events through `obs`'s
+    /// journal. The first attach wins.
+    pub fn attach_observer(&self, obs: Arc<obs::Observer>) {
+        let _ = self.observer.set(obs);
+    }
+
+    /// Lifetime counters.
+    pub fn snapshot(&self) -> RetrySnapshot {
+        RetrySnapshot {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jittered backoff before retry number `retry` (1-based).
+    fn jittered_backoff(&self, retry: u32) -> Duration {
+        let base = self.policy.base_backoff(retry).as_secs_f64();
+        if base == 0.0 {
+            return Duration::ZERO;
+        }
+        let jitter = self.policy.jitter_frac;
+        let factor =
+            if jitter > 0.0 { self.rng.lock().gen_range(1.0 - jitter..=1.0 + jitter) } else { 1.0 };
+        Duration::from_secs_f64(base * factor)
+    }
+
+    /// Try to spend one budget token; `true` when retrying is allowed.
+    fn take_token(&self) -> bool {
+        match self.policy.budget {
+            None => true,
+            Some(_) => {
+                let mut tokens = self.tokens.lock();
+                if *tokens >= 1.0 {
+                    *tokens -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Refund the budget after a successful operation.
+    fn refund(&self) {
+        if let Some(cap) = self.policy.budget {
+            let mut tokens = self.tokens.lock();
+            *tokens = (*tokens + self.policy.budget_refill).min(cap);
+        }
+    }
+
+    fn give_up(&self, op: &str, attempts: u32) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = self.observer.get() {
+            o.event(obs::EventKind::RetryExhausted {
+                op: op.to_string(),
+                attempts: attempts as u64,
+            });
+        }
+    }
+
+    /// Run `f` under this policy: retry transient errors with capped
+    /// jittered backoff until success, a permanent error, attempt
+    /// exhaustion, deadline expiry, or an empty retry budget.
+    pub fn execute<T>(&self, op: &str, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let deadline = self.policy.op_timeout.map(|t| Instant::now() + t);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            match f() {
+                Ok(v) => {
+                    if attempt > 1 {
+                        self.recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.refund();
+                    return Ok(v);
+                }
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => {
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        self.give_up(op, attempt);
+                        return Err(e);
+                    }
+                    if !self.take_token() {
+                        self.give_up(op, attempt);
+                        return Err(e);
+                    }
+                    let backoff = self.jittered_backoff(attempt);
+                    if let Some(deadline) = deadline {
+                        if Instant::now() + backoff >= deadline {
+                            self.give_up(op, attempt);
+                            return Err(StorageError::Timeout(format!(
+                                "{op}: deadline exceeded after {attempt} attempts (last: {e})"
+                            )));
+                        }
+                    }
+                    self.attempts.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = self.observer.get() {
+                        o.event(obs::EventKind::RetryAttempt {
+                            op: op.to_string(),
+                            attempt: attempt as u64,
+                            backoff_us: backoff.as_micros() as u64,
+                        });
+                    }
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Retrier {
+    fn default() -> Self {
+        Retrier::new(RetryPolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient() -> StorageError {
+        StorageError::Injected("boom".into())
+    }
+
+    #[test]
+    fn recovers_from_transient_faults() {
+        let r = Retrier::new(RetryPolicy::fast_for_tests());
+        let mut remaining = 2;
+        let out = r.execute("get", || {
+            if remaining > 0 {
+                remaining -= 1;
+                Err(transient())
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.attempts, 2);
+        assert_eq!(snap.recovered, 1);
+        assert_eq!(snap.exhausted, 0);
+    }
+
+    #[test]
+    fn permanent_errors_never_retry() {
+        let r = Retrier::new(RetryPolicy::fast_for_tests());
+        let mut calls = 0;
+        let out: Result<()> = r.execute("get", || {
+            calls += 1;
+            Err(StorageError::corruption("bad crc"))
+        });
+        assert!(matches!(out, Err(StorageError::Corruption(_))));
+        assert_eq!(calls, 1);
+        assert_eq!(r.snapshot().attempts, 0);
+    }
+
+    #[test]
+    fn failpoint_errors_never_retry() {
+        let r = Retrier::new(RetryPolicy::fast_for_tests());
+        let mut calls = 0;
+        let out: Result<()> = r.execute("put", || {
+            calls += 1;
+            Err(StorageError::FailPoint("cloud_put".into()))
+        });
+        assert!(matches!(out, Err(StorageError::FailPoint(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let r = Retrier::new(RetryPolicy { max_attempts: 3, ..RetryPolicy::fast_for_tests() });
+        let mut calls = 0;
+        let out: Result<()> = r.execute("get", || {
+            calls += 1;
+            Err(StorageError::Injected(format!("fault #{calls}")))
+        });
+        match out {
+            Err(StorageError::Injected(msg)) => assert_eq!(msg, "fault #3"),
+            other => panic!("expected the last injected error, got {other:?}"),
+        }
+        assert_eq!(calls, 3);
+        assert_eq!(r.snapshot().exhausted, 1);
+    }
+
+    #[test]
+    fn backoff_grows_capped_and_jittered_within_bounds() {
+        let policy = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            multiplier: 2.0,
+            jitter_frac: 0.2,
+            ..RetryPolicy::default()
+        };
+        // Un-jittered sequence: 10, 20, 40, 40, 40 (capped).
+        assert_eq!(policy.base_backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.base_backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.base_backoff(3), Duration::from_millis(40));
+        assert_eq!(policy.base_backoff(7), Duration::from_millis(40));
+        let r = Retrier::new(policy.clone());
+        for retry in 1..=8 {
+            let (lo, hi) = policy.backoff_bounds(retry);
+            for _ in 0..50 {
+                let b = r.jittered_backoff(retry);
+                assert!(b >= lo && b <= hi, "retry {retry}: {b:?} outside [{lo:?}, {hi:?}]");
+            }
+            assert!(hi <= Duration::from_millis(49), "cap plus jitter exceeded");
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let r = Retrier::new(RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            jitter_frac: 0.5,
+            ..RetryPolicy::default()
+        });
+        let samples: Vec<Duration> = (0..20).map(|_| r.jittered_backoff(1)).collect();
+        assert!(samples.iter().any(|&s| s != samples[0]), "all jittered backoffs identical");
+    }
+
+    #[test]
+    fn deadline_fires_as_timeout() {
+        let r = Retrier::new(RetryPolicy {
+            max_attempts: 100,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(20),
+            jitter_frac: 0.0,
+            op_timeout: Some(Duration::from_millis(30)),
+            budget: None,
+            ..RetryPolicy::default()
+        });
+        let start = Instant::now();
+        let out: Result<()> = r.execute("get", || Err(transient()));
+        match out {
+            Err(StorageError::Timeout(msg)) => assert!(msg.contains("get")),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_millis(500), "gave up promptly");
+        assert_eq!(r.snapshot().exhausted, 1);
+    }
+
+    #[test]
+    fn empty_budget_stops_retrying() {
+        let r = Retrier::new(RetryPolicy {
+            max_attempts: 10,
+            budget: Some(3.0),
+            budget_refill: 0.0,
+            ..RetryPolicy::fast_for_tests()
+        });
+        // One op burns the whole budget (3 retries), then fails.
+        let out: Result<()> = r.execute("get", || Err(transient()));
+        assert!(out.is_err());
+        assert_eq!(r.snapshot().attempts, 3);
+        // The next transient failure cannot retry at all.
+        let mut calls = 0;
+        let out: Result<()> = r.execute("get", || {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "no tokens left, no retries");
+        assert_eq!(r.snapshot().exhausted, 2);
+    }
+
+    #[test]
+    fn successes_refill_the_budget() {
+        let r = Retrier::new(RetryPolicy {
+            max_attempts: 10,
+            budget: Some(1.0),
+            budget_refill: 1.0,
+            ..RetryPolicy::fast_for_tests()
+        });
+        let out: Result<()> = r.execute("get", || Err(transient()));
+        assert!(out.is_err());
+        assert_eq!(r.snapshot().attempts, 1, "budget of 1 allows one retry");
+        // A success refunds a token...
+        r.execute("get", || Ok(())).unwrap();
+        // ...so the next transient failure can retry again.
+        let mut calls = 0;
+        let _: Result<()> = r.execute("get", || {
+            calls += 1;
+            Err(transient())
+        });
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn disabled_policy_is_single_attempt() {
+        let r = Retrier::new(RetryPolicy::disabled());
+        let mut calls = 0;
+        let out: Result<()> = r.execute("get", || {
+            calls += 1;
+            Err(transient())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,397 @@
+//! Crash-recovery torture matrix.
+//!
+//! For every critical transition in the store (eWAL append/sync/rotation,
+//! memtable flush, MANIFEST edits, SSTable upload, cloud requests, cache
+//! fill/evict) a failpoint simulates dying exactly there: a seeded workload
+//! runs against a shadow in-memory model until the armed site fires, the
+//! store is dropped without shutdown, and a reopen over the same local env
+//! and cloud store must recover a state equivalent to the shadow —
+//!
+//! * **no lost acknowledged writes**: every op the store returned `Ok` for
+//!   is visible after recovery;
+//! * **no resurrected deletes**: an acknowledged delete stays deleted;
+//! * **single in-flight allowance**: the one op that returned `Err` (or
+//!   was cut off by the crash) may surface as either the old or the new
+//!   value — never anything else;
+//! * **idempotent double-recovery**: crashing again immediately after
+//!   recovery and recovering a second time yields the identical state.
+//!
+//! Failpoints are process-global, so every test here serializes on one
+//! mutex and disarms everything on entry and exit. The workload seed can
+//! be varied via `TORTURE_SEED` for nightly-style sweeps; the default is
+//! fixed so CI is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rocksmash::{migrate_placement, PlacementPolicy, TieredConfig, TieredDb};
+use storage::failpoint::{self, FailAction};
+use storage::{CloudConfig, CloudStore, Env, MemEnv, RetryPolicy};
+
+/// Serializes every test in this binary: failpoints are process-global.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = FAILPOINTS.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::disarm_all();
+    guard
+}
+
+fn torture_seed() -> u64 {
+    std::env::var("TORTURE_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xc4a5_4001)
+}
+
+const KEYS: usize = 512;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("t{i:05}").into_bytes()
+}
+
+fn value(step: u64) -> Vec<u8> {
+    format!("s{step:08}-{}", "x".repeat(80)).into_bytes()
+}
+
+/// Tiny buffers so the armed workload crosses flush/rotation/compaction
+/// boundaries every few dozen writes; synchronous eWAL so every ack is a
+/// durability promise the recovery check can hold the store to.
+fn torture_config(placement: PlacementPolicy, cache_bytes: u64) -> TieredConfig {
+    TieredConfig {
+        options: lsm::Options {
+            write_buffer_size: 8 << 10,
+            target_file_size: 8 << 10,
+            max_bytes_for_level_base: 16 << 10,
+            l0_compaction_trigger: 2,
+            sync_writes: true,
+            ..lsm::Options::small_for_tests()
+        },
+        placement,
+        cache_bytes,
+        cache_admission: false,
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+/// The per-key expectation after a crash: exactly the shadow value, except
+/// the single in-flight key which may hold old or attempted-new.
+type Shadow = BTreeMap<Vec<u8>, Vec<u8>>;
+type InFlight = Option<(Vec<u8>, Option<Vec<u8>>)>;
+
+/// Run the seeded workload with `site` armed until it injects a failure.
+/// Returns the shadow model and the in-flight op (if the failure surfaced
+/// through a foreground write).
+fn run_until_crash(
+    db: &TieredDb,
+    site: &str,
+    rng: &mut StdRng,
+    shadow: &mut Shadow,
+    step: &mut u64,
+) -> InFlight {
+    for _ in 0..6000 {
+        *step += 1;
+        let k = key(rng.gen_range(0..KEYS));
+        let roll: f64 = rng.gen();
+        if roll < 0.55 {
+            let v = value(*step);
+            match db.put(&k, &v) {
+                Ok(()) => {
+                    shadow.insert(k, v);
+                }
+                Err(_) => return Some((k, Some(v))),
+            }
+        } else if roll < 0.75 {
+            match db.delete(&k) {
+                Ok(()) => {
+                    shadow.remove(&k);
+                }
+                Err(_) => return Some((k, None)),
+            }
+        } else if db.get(&k).is_err() {
+            // Reads mutate nothing; a failed read just marks the crash.
+            return None;
+        }
+        if failpoint::triggered(site) {
+            // The failure landed on a background thread (flush/compaction)
+            // or a best-effort path; no foreground op is in flight.
+            return None;
+        }
+    }
+    panic!("site {site} never fired within the op budget");
+}
+
+/// Check the recovered store against the shadow model and return the full
+/// recovered view for the idempotence comparison.
+fn verify_against_shadow(
+    db: &TieredDb,
+    shadow: &Shadow,
+    in_flight: &InFlight,
+    site: &str,
+) -> BTreeMap<Vec<u8>, Option<Vec<u8>>> {
+    let mut view = BTreeMap::new();
+    for i in 0..KEYS {
+        let k = key(i);
+        let got = db.get(&k).unwrap_or_else(|e| panic!("site {site}: read after recovery: {e}"));
+        let expected = shadow.get(&k).cloned();
+        match in_flight {
+            Some((fk, attempted)) if *fk == k => {
+                assert!(
+                    got == expected || got == *attempted,
+                    "site {site}: in-flight key {} recovered to a third state:\n  got {:?}\n  \
+                     old {:?}\n  attempted {:?}",
+                    String::from_utf8_lossy(&k),
+                    got.as_deref().map(String::from_utf8_lossy),
+                    expected.as_deref().map(String::from_utf8_lossy),
+                    attempted.as_deref().map(String::from_utf8_lossy),
+                );
+            }
+            _ => assert_eq!(
+                got.as_deref().map(String::from_utf8_lossy),
+                expected.as_deref().map(String::from_utf8_lossy),
+                "site {site}: key {} diverged from the shadow model",
+                String::from_utf8_lossy(&k),
+            ),
+        }
+        view.insert(k, got);
+    }
+    view
+}
+
+/// The matrix body: warm up unarmed, arm `action` on `site`, run the
+/// workload until the site fires, crash (drop without shutdown), recover,
+/// verify against the shadow, crash again, recover again, and require the
+/// second recovery to reproduce the first bit-for-bit.
+fn torture_site(site: &str, action: FailAction, config: TieredConfig) {
+    let _g = lock();
+    let seed = torture_seed();
+    let env = Arc::new(MemEnv::new());
+    let cloud = CloudStore::instant();
+    let mut rng = StdRng::seed_from_u64(seed ^ fxhash(site));
+    let mut shadow: Shadow = BTreeMap::new();
+    let mut step = 0u64;
+
+    let in_flight = {
+        let db =
+            TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config.clone())
+                .unwrap();
+        // Unarmed warmup: build real multi-level state, push data through
+        // flush and compaction so the cold tier and cache are populated.
+        for _ in 0..900 {
+            step += 1;
+            let k = key(rng.gen_range(0..KEYS));
+            let v = value(step);
+            db.put(&k, &v).unwrap();
+            shadow.insert(k, v);
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+
+        failpoint::arm(site, action);
+        let in_flight = run_until_crash(&db, site, &mut rng, &mut shadow, &mut step);
+        assert!(failpoint::triggered(site), "site {site} armed but never injected");
+        failpoint::disarm_all();
+        // Crash: stop background threads, then drop without TieredDb::close
+        // (no final eWAL sync, no orderly shutdown). MemEnv keeps the
+        // "disk" alive through the shared Arc.
+        let _ = db.engine().close();
+        in_flight
+    };
+
+    // First recovery.
+    let first_view = {
+        let db =
+            TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config.clone())
+                .unwrap();
+        let view = verify_against_shadow(&db, &shadow, &in_flight, site);
+        // Crash again immediately: recovery itself must be crash-safe.
+        let _ = db.engine().close();
+        view
+    };
+
+    // Second recovery must reproduce the first exactly.
+    let db = TieredDb::open_with_cloud(env as Arc<dyn Env>, cloud, config).unwrap();
+    let second_view = verify_against_shadow(&db, &shadow, &in_flight, site);
+    assert_eq!(first_view, second_view, "site {site}: double recovery is not idempotent");
+    db.close().unwrap();
+}
+
+/// Stable per-site seed perturbation so every site explores a different
+/// op sequence under the same `TORTURE_SEED`.
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+fn local_split() -> TieredConfig {
+    torture_config(PlacementPolicy::rocksmash_default(), 4 << 20)
+}
+
+fn all_cloud() -> TieredConfig {
+    torture_config(PlacementPolicy::all_cloud(), 4 << 20)
+}
+
+// ---- the matrix: eWAL sites -------------------------------------------
+
+#[test]
+fn crash_at_ewal_append() {
+    torture_site("ewal_append", FailAction::CrashAfter(120), local_split());
+}
+
+#[test]
+fn crash_at_ewal_sync() {
+    torture_site("ewal_sync", FailAction::CrashAfter(150), local_split());
+}
+
+#[test]
+fn crash_at_ewal_rotation() {
+    torture_site("ewal_rotate", FailAction::CrashAfter(2), local_split());
+}
+
+// ---- flush + manifest sites -------------------------------------------
+
+#[test]
+fn crash_at_flush_start() {
+    torture_site("flush_begin", FailAction::CrashAfter(2), local_split());
+}
+
+#[test]
+fn crash_at_flush_manifest_commit() {
+    torture_site("flush_manifest", FailAction::CrashAfter(2), local_split());
+}
+
+#[test]
+fn crash_at_manifest_apply() {
+    torture_site("manifest_apply", FailAction::CrashAfter(3), local_split());
+}
+
+// ---- upload + cloud sites ---------------------------------------------
+
+#[test]
+fn crash_at_sst_upload() {
+    torture_site("sst_upload", FailAction::CrashAfter(2), all_cloud());
+}
+
+#[test]
+fn crash_at_cloud_put() {
+    torture_site("cloud_put", FailAction::CrashAfter(3), all_cloud());
+}
+
+#[test]
+fn crash_at_cloud_get() {
+    torture_site("cloud_get", FailAction::CrashAfter(5), all_cloud());
+}
+
+// ---- cache sites (best-effort: failures must stay invisible) ----------
+
+#[test]
+fn cache_fill_failures_are_invisible() {
+    torture_site("mashcache_fill", FailAction::ReturnErr, all_cloud());
+}
+
+#[test]
+fn cache_evict_refusal_is_invisible() {
+    // Cache small enough (≈2 extents) that fills need evictions, which the
+    // armed site refuses — fills are then skipped, reads must stay exact.
+    torture_site(
+        "mashcache_evict",
+        FailAction::ReturnErr,
+        torture_config(PlacementPolicy::all_cloud(), 24 << 10),
+    );
+}
+
+// ---- migration sites: a crashed migration is resumable ----------------
+
+#[test]
+fn crashed_migration_resumes_to_completion() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let cloud = CloudStore::instant();
+    let config = local_split();
+    let db = TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config).unwrap();
+    let mut step = 0u64;
+    for i in 0..KEYS {
+        step += 1;
+        db.put(&key(i), &value(step)).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+
+    // Die two files into the local→cloud sweep.
+    failpoint::arm("migrate_upload", FailAction::CrashAfter(2));
+    assert!(migrate_placement(&db, PlacementPolicy::all_cloud()).is_err());
+    failpoint::disarm_all();
+    // Every key still readable mid-migration (files sit on their old tier).
+    for i in (0..KEYS).step_by(31) {
+        assert!(db.get(&key(i)).unwrap().is_some(), "key {i} lost mid-migration");
+    }
+    // Re-running finishes the move.
+    migrate_placement(&db, PlacementPolicy::all_cloud()).unwrap();
+    let version = db.engine().current_version();
+    for files in &version.levels {
+        for meta in files {
+            assert!(
+                !db.local_env().exists(&lsm::version::sst_name(meta.number)).unwrap(),
+                "file {} still local after resumed migration",
+                meta.number
+            );
+        }
+    }
+
+    // Same for the cloud→local direction.
+    failpoint::arm("migrate_download", FailAction::CrashAfter(2));
+    assert!(migrate_placement(&db, PlacementPolicy::all_local()).is_err());
+    failpoint::disarm_all();
+    migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
+    for i in (0..KEYS).step_by(37) {
+        assert!(db.get(&key(i)).unwrap().is_some(), "key {i} lost after download resume");
+    }
+    db.close().unwrap();
+}
+
+// ---- retry integration: a flaky cloud is invisible to users -----------
+
+#[test]
+fn flaky_cloud_is_invisible_through_retries() {
+    let _g = lock();
+    let cloud = CloudStore::new(CloudConfig {
+        failure_prob: 0.3,
+        seed: torture_seed(),
+        retry: RetryPolicy { max_attempts: 10, ..RetryPolicy::fast_for_tests() },
+        ..CloudConfig::instant()
+    });
+    let env = Arc::new(MemEnv::new());
+    let db = TieredDb::open_with_cloud(
+        env as Arc<dyn Env>,
+        cloud,
+        torture_config(PlacementPolicy::all_cloud(), 0),
+    )
+    .unwrap();
+    // Full write→flush→upload→read cycle: with 30% of cloud requests
+    // failing transiently, not one error may reach the user.
+    let mut step = 0u64;
+    for i in 0..KEYS {
+        step += 1;
+        db.put(&key(i), &value(step)).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for i in 0..KEYS {
+        assert!(db.get(&key(i)).unwrap().is_some(), "key {i} unreadable under faults");
+    }
+
+    let report = db.report().unwrap();
+    assert!(report.retry_attempts > 0, "30% fault rate must force retries");
+    assert_eq!(report.retry_exhausted, 0, "no operation may exhaust its retry budget");
+    assert!(report.retry_recovered > 0, "recovered operations must be counted");
+    // The counters ride the `stats --json` surface...
+    let json = report.to_json();
+    for field in ["\"retry_attempts\":", "\"retry_exhausted\":", "\"retry_recovered\":"] {
+        assert!(json.contains(field), "stats JSON missing {field}: {json}");
+    }
+    // ...and individual retries land in the event journal.
+    let events = db.observer().journal().events();
+    assert!(
+        events.iter().any(|e| matches!(e.kind, obs::EventKind::RetryAttempt { .. })),
+        "journal must carry RetryAttempt events"
+    );
+    db.close().unwrap();
+}
