@@ -1,0 +1,80 @@
+//! Criterion check that per-operation perf contexts cost nothing when
+//! off and stay cheap when on: point reads against the same store with
+//! perf capture disabled, sampled (every 64th op), and always-on. The
+//! acceptance bar is < 3% regression with capture disabled.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lsm::ReadOptions;
+use rocksmash::{TieredConfig, TieredDb};
+use storage::{Env, MemEnv};
+
+const RECORDS: u64 = 10_000;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key{i:08}").into_bytes()
+}
+
+fn open_db(perf_sample_every: u64) -> TieredDb {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { perf_sample_every, ..TieredConfig::small_for_tests() };
+    let db = TieredDb::open(env, config).expect("open");
+    for i in 0..RECORDS {
+        db.put(&key(i), format!("value{i:08}").as_bytes()).expect("put");
+    }
+    db.flush().expect("flush");
+    db.wait_for_compactions().expect("settle");
+    db
+}
+
+fn bench_perf_context_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf_context_overhead");
+
+    // Capture disabled entirely: the baseline every other row is judged
+    // against. One branch per stage hook.
+    {
+        let db = open_db(0);
+        let mut i = 0u64;
+        g.bench_function("get_perf_off", |b| {
+            b.iter(|| {
+                i = (i + 7919) % RECORDS;
+                db.get(black_box(&key(i))).expect("get")
+            })
+        });
+        db.close().expect("close");
+    }
+
+    // Sampled: every 64th get pays for a full capture, the rest take the
+    // disabled path.
+    {
+        let db = open_db(64);
+        let mut i = 0u64;
+        g.bench_function("get_perf_sampled_64", |b| {
+            b.iter(|| {
+                i = (i + 7919) % RECORDS;
+                db.get(black_box(&key(i))).expect("get")
+            })
+        });
+        db.close().expect("close");
+    }
+
+    // Always-on: explicit per-call capture, the worst case.
+    {
+        let db = open_db(0);
+        let opts = ReadOptions::default().with_perf_context();
+        let mut i = 0u64;
+        g.bench_function("get_perf_always", |b| {
+            b.iter(|| {
+                i = (i + 7919) % RECORDS;
+                db.get_with(black_box(opts), black_box(&key(i))).expect("get")
+            })
+        });
+        db.close().expect("close");
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_perf_context_overhead);
+criterion_main!(benches);

@@ -10,7 +10,10 @@ use storage::LocalEnv;
 use workloads::microbench::readrandom;
 use workloads::{run_ops, KeyDistribution};
 
-use crate::{emit_table, kops, load_random, us, ExpDir, ExpParams, Row};
+use crate::{
+    emit_table, kops, load_random, perf_share_columns, us, ExpDir, ExpParams, Row,
+    PERF_SAMPLE_EVERY,
+};
 
 /// Run E3 and print its figure series.
 pub fn run(params: &ExpParams) {
@@ -24,14 +27,22 @@ pub fn run(params: &ExpParams) {
         for &cache_bytes in sizes {
             let dir = ExpDir::new("cache-size");
             let env = std::sync::Arc::new(LocalEnv::new(dir.path().clone()).expect("env"));
-            let config = TieredConfig { cache_bytes, ..params.base_config() };
+            let config = TieredConfig {
+                cache_bytes,
+                perf_sample_every: PERF_SAMPLE_EVERY,
+                ..params.base_config()
+            };
             let db = scheme.open(env, config).expect("open");
             load_random(&db, params);
-            // Warm, then measure.
+            // Warm, then measure. Sampled perf contexts scope the
+            // cloud/cache stage shares to the measured pass.
             let dist = KeyDistribution::zipfian_default();
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 5)).expect("warm");
+            let perf_before = db.observer().perf_totals();
             let result = run_ops(&db, readrandom(params.record_count, params.op_count, dist, 5))
                 .expect("measure");
+            let perf_measured = db.observer().perf_totals().delta_since(&perf_before);
+            let (cloud_share, cache_share) = perf_share_columns(&perf_measured);
             let report = db.report().expect("report");
             let hit_ratio = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
             let label = format!("{}/{}KiB", scheme.name(), cache_bytes >> 10);
@@ -43,6 +54,8 @@ pub fn run(params: &ExpParams) {
                     us(result.overall_latency().mean_ns()),
                     us(result.overall_latency().percentile_ns(99.0) as f64),
                     format!("{:.3}", hit_ratio),
+                    cloud_share,
+                    cache_share,
                 ],
             ));
             db.close().expect("close");
@@ -51,7 +64,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E3-cache-size",
         "zipfian reads vs persistent cache capacity",
-        &["read kops/s", "mean us", "p99 us", "hit ratio"],
+        &["read kops/s", "mean us", "p99 us", "hit ratio", "cloud %", "cache %"],
         &rows,
     );
 }

@@ -11,13 +11,16 @@ use rocksmash::Scheme;
 use workloads::microbench::{readrandom, readseq, seekrandom};
 use workloads::{run_ops, KeyDistribution};
 
-use crate::{emit_table, kops, open_scheme, us, ExpParams, Row};
+use crate::{
+    emit_table, kops, open_scheme_with, perf_share_columns, us, ExpParams, Row, PERF_SAMPLE_EVERY,
+};
 
 /// Run E1 and print its figure series.
 pub fn run(params: &ExpParams) {
     let mut rows = Vec::new();
     for scheme in Scheme::all() {
-        let (_dir, db) = open_scheme(scheme, params);
+        let (_dir, db) =
+            open_scheme_with(scheme, params, |c| c.perf_sample_every = PERF_SAMPLE_EVERY);
 
         let load = run_ops(
             &db,
@@ -33,12 +36,16 @@ pub fn run(params: &ExpParams) {
         )
         .expect("readrandom");
         // Second pass over the same key stream: the paper's warm-cache read
-        // numbers (caches populated by the first pass).
+        // numbers (caches populated by the first pass). Sampled perf
+        // contexts scope the cloud/cache stage shares to this phase.
+        let perf_before = db.observer().perf_totals();
         let warm = run_ops(
             &db,
             readrandom(params.record_count, params.op_count, KeyDistribution::zipfian_default(), 7),
         )
         .expect("readrandom warm");
+        let perf_warm = db.observer().perf_totals().delta_since(&perf_before);
+        let (cloud_share, cache_share) = perf_share_columns(&perf_warm);
 
         let seq = run_ops(&db, readseq(params.record_count, 100)).expect("readseq");
         let seeks = run_ops(
@@ -64,6 +71,8 @@ pub fn run(params: &ExpParams) {
                 kops(seeks.throughput()),
                 us(warm.overall_latency().mean_ns()),
                 us(warm.overall_latency().percentile_ns(99.0) as f64),
+                cloud_share,
+                cache_share,
             ],
         ));
         db.close().expect("close");
@@ -79,6 +88,8 @@ pub fn run(params: &ExpParams) {
             "seek kops/s",
             "warm mean us",
             "warm p99 us",
+            "cloud %",
+            "cache %",
         ],
         &rows,
     );

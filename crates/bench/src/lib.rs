@@ -261,6 +261,24 @@ pub fn emit_scheme_report(experiment: &str, label: &str, report: &rocksmash::Sch
     }
 }
 
+/// Sampling period experiments use for per-op perf contexts: frequent
+/// enough that a measured phase collects dozens of breakdowns, cheap
+/// enough not to move the throughput columns.
+pub const PERF_SAMPLE_EVERY: u64 = 32;
+
+/// Cloud-GET and cache (hit + fill) share of sampled-op stage time as two
+/// formatted percentage columns, `"-"` when nothing was sampled. Pass a
+/// [`obs::PerfContext::delta_since`] of the observer's totals to scope
+/// the shares to one measured phase.
+pub fn perf_share_columns(perf: &obs::PerfContext) -> (String, String) {
+    let sum = perf.stage_sum_ns();
+    if sum == 0 {
+        return ("-".to_string(), "-".to_string());
+    }
+    let pct = |ns: u64| format!("{:.1}", ns as f64 / sum as f64 * 100.0);
+    (pct(perf.cloud_get_ns), pct(perf.mashcache_hit_ns + perf.mashcache_fill_ns))
+}
+
 /// Format ops/sec as kops with two decimals.
 pub fn kops(ops: f64) -> String {
     format!("{:.2}", ops / 1000.0)

@@ -446,15 +446,21 @@ impl Db {
         }
         let shared = &self.shared;
         let timer = shared.obs.start();
+        let _perf = shared.obs.perf_guard(false);
+        let _span = shared.obs.span_if_perf("write");
         let mut state = shared.state.lock();
         self.make_room(&mut state)?;
         let seq = state.versions.last_sequence + 1;
         batch.set_sequence(seq);
         state.versions.last_sequence += batch.count() as u64;
         if let Some(wal) = state.wal.as_mut() {
+            let stage = obs::perf::start_stage();
             wal.add_record(batch.data())?;
+            obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
             if shared.options.sync_writes {
+                let stage = obs::perf::start_stage();
                 wal.sync()?;
+                obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
             }
         }
         let mem = Arc::clone(&state.mem);
@@ -471,19 +477,31 @@ impl Db {
 
     /// Read the newest visible value of `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let timer = self.shared.obs.start();
-        let snap = self.shared.read_snapshot(None);
-        let result = get_with_snapshot(&self.shared, &snap, key);
-        self.shared.obs.finish(obs::Op::Get, timer);
+        self.get_with(ReadOptions::default(), key)
+    }
+
+    /// Read `key` with per-read tuning ([`ReadOptions::perf_context`]
+    /// captures a stage-by-stage breakdown of this call).
+    pub fn get_with(&self, read_opts: ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let shared = &self.shared;
+        let _perf = shared.obs.perf_guard(read_opts.perf_context);
+        let _span = shared.obs.span_if_perf("get");
+        let timer = shared.obs.start();
+        let snap = shared.read_snapshot(None);
+        let result = get_with_snapshot(shared, &snap, key);
+        shared.obs.finish(obs::Op::Get, timer);
         result
     }
 
     /// Read `key` as of `snapshot`.
     pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
-        let timer = self.shared.obs.start();
-        let snap = self.shared.read_snapshot(Some(snapshot.sequence()));
-        let result = get_with_snapshot(&self.shared, &snap, key);
-        self.shared.obs.finish(obs::Op::Get, timer);
+        let shared = &self.shared;
+        let _perf = shared.obs.perf_guard(false);
+        let _span = shared.obs.span_if_perf("get");
+        let timer = shared.obs.start();
+        let snap = shared.read_snapshot(Some(snapshot.sequence()));
+        let result = get_with_snapshot(shared, &snap, key);
+        shared.obs.finish(obs::Op::Get, timer);
         result
     }
 
@@ -548,6 +566,7 @@ impl Db {
             value: Vec::new(),
             valid: false,
             obs: Arc::clone(&shared.obs),
+            perf: read_opts.perf_context,
             _version: snap.version,
         })
     }
@@ -628,14 +647,62 @@ impl Db {
     /// additionally fan out across a bounded thread pool so per-key cloud
     /// latencies overlap instead of adding up.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        self.multi_get_with(ReadOptions::default(), keys)
+    }
+
+    /// [`Db::multi_get`] with per-read tuning. When
+    /// [`ReadOptions::perf_context`] is set, pool workers capture into
+    /// their own thread-local contexts and the caller merges them, so the
+    /// breakdown covers the whole fan-out.
+    pub fn multi_get_with(
+        &self,
+        read_opts: ReadOptions,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
         let shared = &self.shared;
+        let _perf = shared.obs.perf_guard(read_opts.perf_context);
+        let _span = shared.obs.span_if_perf("multi_get");
         let timer = shared.obs.start();
         let snap = shared.read_snapshot(None);
         let result = if keys.len() < MULTI_GET_PARALLEL_THRESHOLD {
             keys.iter().map(|key| get_with_snapshot(shared, &snap, key)).collect()
         } else {
-            multi_get_pool().install(|| {
-                keys.par_iter().map(|key| get_with_snapshot(shared, &snap, key)).collect()
+            // Hand the perf context across the pool: each worker captures
+            // into its own thread-local context (inheriting the caller's
+            // span so cloud GETs stay in the trace) and returns it for the
+            // caller to merge. A task stolen onto the calling thread finds
+            // the context already active and records into it directly.
+            // One fan-out result: the value plus the worker's captured
+            // context (None when the worker recorded into the caller's).
+            type KeyResult = (Option<Vec<u8>>, Option<obs::PerfContext>);
+            let active = obs::perf::enabled();
+            let parent_span = obs::perf::current_span();
+            let pairs: Result<Vec<KeyResult>> = multi_get_pool().install(|| {
+                keys.par_iter()
+                    .map(|key| {
+                        let began = active && obs::perf::begin();
+                        let prev =
+                            if began { obs::perf::swap_current_span(parent_span) } else { None };
+                        let out = get_with_snapshot(shared, &snap, key);
+                        let ctx = if began {
+                            obs::perf::swap_current_span(prev);
+                            Some(obs::perf::end())
+                        } else {
+                            None
+                        };
+                        out.map(|v| (v, ctx))
+                    })
+                    .collect()
+            });
+            pairs.map(|pairs| {
+                let mut values = Vec::with_capacity(pairs.len());
+                for (v, ctx) in pairs {
+                    if let Some(ctx) = ctx {
+                        obs::perf::count(|c| c.add(&ctx));
+                    }
+                    values.push(v);
+                }
+                values
             })
         };
         shared.obs.finish(obs::Op::MultiGet, timer);
@@ -868,6 +935,9 @@ impl Db {
         let number = state.versions.new_file_number();
         let wal_floor = state.wal_number;
         let timer = shared.obs.start();
+        // Root span for the flush trace: the SST upload and cache fills it
+        // triggers open child spans under it.
+        let _span = shared.obs.span("flush");
         shared.obs.event(obs::EventKind::FlushStart);
         let meta = parking_lot::MutexGuard::unlocked(state, || -> Result<Option<FileMetaData>> {
             let name = sst_name(number);
@@ -999,17 +1069,18 @@ fn get_with_snapshot(
     key: &[u8],
 ) -> Result<Option<Vec<u8>>> {
     shared.stats.add(&shared.stats.gets, 1);
-    match snap.mem.get(key, snap.seq) {
+    let mem_probe = obs::perf::start_stage();
+    let mut probed = snap.mem.get(key, snap.seq);
+    if matches!(probed, LookupResult::NotFound) {
+        if let Some(imm) = &snap.imm {
+            probed = imm.get(key, snap.seq);
+        }
+    }
+    obs::perf::finish_stage(mem_probe, |c, ns| c.memtable_probe_ns += ns);
+    match probed {
         LookupResult::Value(v) => return Ok(Some(v)),
         LookupResult::Deleted => return Ok(None),
         LookupResult::NotFound => {}
-    }
-    if let Some(imm) = &snap.imm {
-        match imm.get(key, snap.seq) {
-            LookupResult::Value(v) => return Ok(Some(v)),
-            LookupResult::Deleted => return Ok(None),
-            LookupResult::NotFound => {}
-        }
     }
     let lookup = make_lookup_key(key, snap.seq);
     // L0 files may hold overlapping sequence ranges (recovery ingests
@@ -1017,25 +1088,35 @@ fn get_with_snapshot(
     // file must be consulted and the highest visible sequence wins.
     // Deeper levels are disjoint and strictly older, so the first hit
     // below L0 is final.
-    let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
-    for (level, meta) in snap.version.files_for_get(key) {
-        if level > 0 && best.is_some() {
-            break;
-        }
-        let table = shared.get_table(&meta)?;
-        if let Some((ikey, value)) = table.get(&lookup)? {
-            let parsed = parse_internal_key(&ikey)
-                .ok_or_else(|| Error::corruption("bad internal key in table"))?;
-            if parsed.user_key == key && best.as_ref().is_none_or(|(s, _, _)| parsed.sequence > *s)
-            {
-                best = Some((parsed.sequence, parsed.value_type, value));
-            }
+    //
+    // The SST stage is timed exclusively: cloud/cache/decompress time
+    // spent inside it is recorded by those layers and subtracted here, so
+    // the perf-context stages stay disjoint and sum to the op total.
+    let sst_stage = obs::perf::start_exclusive();
+    let best = (|| -> Result<Option<(SequenceNumber, ValueType, Vec<u8>)>> {
+        let mut best: Option<(SequenceNumber, ValueType, Vec<u8>)> = None;
+        for (level, meta) in snap.version.files_for_get(key) {
             if level > 0 && best.is_some() {
                 break;
             }
+            let table = shared.get_table(&meta)?;
+            if let Some((ikey, value)) = table.get(&lookup)? {
+                let parsed = parse_internal_key(&ikey)
+                    .ok_or_else(|| Error::corruption("bad internal key in table"))?;
+                if parsed.user_key == key
+                    && best.as_ref().is_none_or(|(s, _, _)| parsed.sequence > *s)
+                {
+                    best = Some((parsed.sequence, parsed.value_type, value));
+                }
+                if level > 0 && best.is_some() {
+                    break;
+                }
+            }
         }
-    }
-    match best {
+        Ok(best)
+    })();
+    obs::perf::finish_exclusive(sst_stage, |c, ns| c.sst_read_ns += ns);
+    match best? {
         Some((_, ValueType::Value, value)) => Ok(Some(value)),
         Some((_, ValueType::Deletion, _)) => Ok(None),
         None => Ok(None),
@@ -1128,6 +1209,7 @@ fn run_compaction_locked(
     compaction: Compaction,
 ) -> Result<()> {
     let timer = shared.obs.start();
+    let _span = shared.obs.span("compaction");
     shared.obs.event(obs::EventKind::CompactionStart { level: compaction.level as u32 });
     let smallest_snapshot = shared.smallest_snapshot(state.versions.last_sequence);
     // Output count is unknown up front, so reserve a window of file numbers
@@ -1312,6 +1394,9 @@ pub struct DbIterator {
     value: Vec<u8>,
     valid: bool,
     obs: Arc<obs::Observer>,
+    /// Capture a perf-context around each seek/next (from
+    /// [`ReadOptions::perf_context`]).
+    perf: bool,
     /// Pins the file layout this iterator walks: obsolete tables are not
     /// physically deleted while the pin is held.
     _version: Arc<Version>,
@@ -1320,12 +1405,16 @@ pub struct DbIterator {
 impl DbIterator {
     /// Position at the first visible key.
     pub fn seek_to_first(&mut self) -> Result<()> {
+        let obs = Arc::clone(&self.obs);
+        let _perf = obs.perf_guard(self.perf);
         self.inner.seek_to_first()?;
         self.find_next_visible(None)
     }
 
     /// Position at the first visible key >= `user_key`.
     pub fn seek(&mut self, user_key: &[u8]) -> Result<()> {
+        let obs = Arc::clone(&self.obs);
+        let _perf = obs.perf_guard(self.perf);
         self.inner.seek(&make_lookup_key(user_key, self.snapshot))?;
         self.find_next_visible(None)
     }
@@ -1334,6 +1423,8 @@ impl DbIterator {
     #[allow(clippy::should_implement_trait)] // cursor API, deliberately like LevelDB's
     pub fn next(&mut self) -> Result<()> {
         debug_assert!(self.valid);
+        let obs = Arc::clone(&self.obs);
+        let _perf = obs.perf_guard(self.perf);
         let timer = self.obs.start();
         let skip = std::mem::take(&mut self.key);
         let result = self.find_next_visible(Some(skip));

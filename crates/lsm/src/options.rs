@@ -9,12 +9,24 @@ pub struct ReadOptions {
     /// cache. 0 disables readahead. Only worthwhile for latency-bound
     /// (cloud-resident) tables; local scans gain nothing.
     pub readahead_blocks: usize,
+    /// Capture a per-operation [`obs::PerfContext`] for this call: stage
+    /// timers and counters (memtable probe, cache hit/miss, cloud GETs,
+    /// decompression, …) accumulate in thread-local storage and are folded
+    /// into the observer when the op finishes. Off by default; the
+    /// disabled path costs one branch per probe site.
+    pub perf_context: bool,
 }
 
 impl ReadOptions {
     /// Readahead of `n` blocks; `ReadOptions::default()` disables it.
     pub fn with_readahead(n: usize) -> Self {
-        ReadOptions { readahead_blocks: n }
+        ReadOptions { readahead_blocks: n, ..ReadOptions::default() }
+    }
+
+    /// Enable per-op perf-context capture for this call.
+    pub fn with_perf_context(mut self) -> Self {
+        self.perf_context = true;
+        self
     }
 }
 

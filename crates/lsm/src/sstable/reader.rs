@@ -109,8 +109,10 @@ impl Table {
     fn read_data_block(&self, handle: &BlockHandle) -> Result<Arc<Block>> {
         if let Some(cache) = &self.cache {
             if let Some(block) = cache.get(self.file_number, handle.offset) {
+                obs::perf::count(|c| c.block_cache_hits += 1);
                 return Ok(block);
             }
+            obs::perf::count(|c| c.block_cache_misses += 1);
             // An in-flight readahead job may already own this block; wait
             // for its coalesced read to land rather than duplicating the
             // GET, then fall through to a demand read if it never does.
@@ -164,7 +166,12 @@ pub fn decode_block_contents(raw: &[u8], handle: &BlockHandle, verify: bool) -> 
     }
     match type_byte {
         0 => Ok(contents.to_vec()),
-        _ => crate::compress::decompress(contents),
+        _ => {
+            let stage = obs::perf::start_stage();
+            let out = crate::compress::decompress(contents);
+            obs::perf::finish_stage(stage, |c, ns| c.decompress_ns += ns);
+            out
+        }
     }
 }
 

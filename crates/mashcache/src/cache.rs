@@ -324,6 +324,7 @@ impl MashCache {
 impl PersistentBlockCache for MashCache {
     fn get(&self, file: u64, offset: u64) -> Option<Vec<u8>> {
         let timer = self.obs_start();
+        let perf = obs::perf::start_stage();
         let key = block_key(file, offset);
         let (slot_offset, slot_size) = {
             let mut inner = self.inner.lock();
@@ -364,6 +365,10 @@ impl PersistentBlockCache for MashCache {
             return None;
         }
         self.obs_finish(obs::Op::CacheHit, timer);
+        obs::perf::finish_stage(perf, |c, ns| {
+            c.mashcache_hits += 1;
+            c.mashcache_hit_ns += ns;
+        });
         Some(data.to_vec())
     }
 
@@ -418,7 +423,9 @@ impl MashCache {
         if storage::failpoint::fail_point("mashcache_fill").is_err() {
             return;
         }
+        let _span = self.observer.get().and_then(|o| o.child_span("cache_fill"));
         let timer = self.obs_start();
+        let perf = obs::perf::start_stage();
         let key = block_key(file, offset);
         let payload_max = self.config.slot_size as usize - SLOT_HEADER;
         let mut evicted: Vec<(u64, u64)> = Vec::new();
@@ -479,6 +486,10 @@ impl MashCache {
             inner.alloc.slot_offset(slot)
         };
         let _ = self.storage.write_at(slot_offset, &buf);
+        obs::perf::finish_stage(perf, |c, ns| {
+            c.mashcache_fills += 1;
+            c.mashcache_fill_ns += ns;
+        });
         if let Some(o) = self.observer.get() {
             for (victim, slots) in evicted {
                 o.event(obs::EventKind::CacheEvict { file: victim, slots });

@@ -19,6 +19,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::json::{escape, Json};
+use crate::perf::PerfContext;
 
 /// Default ring capacity: enough to hold hours of background activity at
 /// realistic flush/compaction rates.
@@ -45,8 +46,22 @@ pub enum EventKind {
     CacheEvict { file: u64, slots: u64 },
     /// A readahead prefetch was dropped (queue full or fetch failed).
     PrefetchDrop { blocks: u64 },
-    /// A foreground operation exceeded the configured slow-op threshold.
-    SlowOp { op: String, dur_ns: u64 },
+    /// An operation exceeded its slow-op threshold (foreground ops use
+    /// the foreground threshold, flush/compaction the higher background
+    /// one). `trace_id` is 0 when the op carried no trace; `breakdown`
+    /// is the op's captured perf context, when one was active.
+    SlowOp {
+        op: String,
+        dur_ns: u64,
+        #[serde(default)]
+        trace_id: u64,
+        #[serde(default)]
+        breakdown: Option<Box<PerfContext>>,
+    },
+    /// A trace span opened. `parent_span_id` is 0 for root spans.
+    SpanStart { trace_id: u64, span_id: u64, parent_span_id: u64, name: String },
+    /// A trace span closed, `dur_ns` after its `SpanStart`.
+    SpanEnd { trace_id: u64, span_id: u64, name: String, dur_ns: u64 },
     /// A cloud request failed transiently and is about to be retried
     /// (`attempt` is the try that just failed, 1-based).
     RetryAttempt { op: String, attempt: u64, backoff_us: u64 },
@@ -68,6 +83,8 @@ impl EventKind {
             EventKind::CacheEvict { .. } => "CacheEvict",
             EventKind::PrefetchDrop { .. } => "PrefetchDrop",
             EventKind::SlowOp { .. } => "SlowOp",
+            EventKind::SpanStart { .. } => "SpanStart",
+            EventKind::SpanEnd { .. } => "SpanEnd",
             EventKind::RetryAttempt { .. } => "RetryAttempt",
             EventKind::RetryExhausted { .. } => "RetryExhausted",
         }
@@ -99,8 +116,28 @@ impl EventKind {
             EventKind::PrefetchDrop { blocks } => {
                 out.push_str(&format!(",\"blocks\":{blocks}"));
             }
-            EventKind::SlowOp { op, dur_ns } => {
-                out.push_str(&format!(",\"op\":\"{}\",\"dur_ns\":{dur_ns}", escape(op)));
+            EventKind::SlowOp { op, dur_ns, trace_id, breakdown } => {
+                out.push_str(&format!(
+                    ",\"op\":\"{}\",\"dur_ns\":{dur_ns},\"trace_id\":{trace_id}",
+                    escape(op)
+                ));
+                if let Some(b) = breakdown {
+                    out.push_str(&format!(",\"breakdown\":{}", b.to_json()));
+                }
+            }
+            EventKind::SpanStart { trace_id, span_id, parent_span_id, name } => {
+                out.push_str(&format!(
+                    ",\"trace_id\":{trace_id},\"span_id\":{span_id},\
+                     \"parent_span_id\":{parent_span_id},\"name\":\"{}\"",
+                    escape(name)
+                ));
+            }
+            EventKind::SpanEnd { trace_id, span_id, name, dur_ns } => {
+                out.push_str(&format!(
+                    ",\"trace_id\":{trace_id},\"span_id\":{span_id},\"name\":\"{}\",\
+                     \"dur_ns\":{dur_ns}",
+                    escape(name)
+                ));
             }
             EventKind::RetryAttempt { op, attempt, backoff_us } => {
                 out.push_str(&format!(
@@ -146,6 +183,33 @@ impl EventKind {
             "PrefetchDrop" => EventKind::PrefetchDrop { blocks: u64_field("blocks")? },
             "SlowOp" => EventKind::SlowOp {
                 op: v.get("op").and_then(Json::as_str).ok_or("SlowOp missing op")?.to_string(),
+                dur_ns: u64_field("dur_ns")?,
+                // Both fields are absent in journals written before perf
+                // contexts existed; default rather than reject.
+                trace_id: v.get("trace_id").and_then(Json::as_u64).unwrap_or(0),
+                breakdown: match v.get("breakdown") {
+                    None | Some(Json::Null) => None,
+                    Some(b) => Some(Box::new(PerfContext::from_json(b)?)),
+                },
+            },
+            "SpanStart" => EventKind::SpanStart {
+                trace_id: u64_field("trace_id")?,
+                span_id: u64_field("span_id")?,
+                parent_span_id: u64_field("parent_span_id")?,
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("SpanStart missing name")?
+                    .to_string(),
+            },
+            "SpanEnd" => EventKind::SpanEnd {
+                trace_id: u64_field("trace_id")?,
+                span_id: u64_field("span_id")?,
+                name: v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("SpanEnd missing name")?
+                    .to_string(),
                 dur_ns: u64_field("dur_ns")?,
             },
             "RetryAttempt" => EventKind::RetryAttempt {
@@ -354,7 +418,30 @@ mod tests {
             EventKind::WriterStall { dur_ns: 5 },
             EventKind::CacheEvict { file: 3, slots: 8 },
             EventKind::PrefetchDrop { blocks: 64 },
-            EventKind::SlowOp { op: "get \"quoted\"".into(), dur_ns: u64::MAX },
+            EventKind::SlowOp {
+                op: "get \"quoted\"".into(),
+                dur_ns: u64::MAX,
+                trace_id: 0,
+                breakdown: None,
+            },
+            EventKind::SlowOp {
+                op: "get".into(),
+                dur_ns: 40_000_000,
+                trace_id: 17,
+                breakdown: Some(Box::new(PerfContext {
+                    cloud_gets: 1,
+                    cloud_get_ns: 39_000_000,
+                    sst_read_ns: 900_000,
+                    ..PerfContext::default()
+                })),
+            },
+            EventKind::SpanStart {
+                trace_id: 17,
+                span_id: 17,
+                parent_span_id: 0,
+                name: "get".into(),
+            },
+            EventKind::SpanEnd { trace_id: 17, span_id: 18, name: "cloud_get".into(), dur_ns: 12 },
             EventKind::RetryAttempt { op: "put".into(), attempt: 2, backoff_us: 1500 },
             EventKind::RetryExhausted { op: "get".into(), attempts: 5 },
         ];
@@ -366,6 +453,19 @@ mod tests {
     }
 
     #[test]
+    fn slow_op_without_breakdown_parses_from_old_journals() {
+        // A journal line written before trace ids and breakdowns existed.
+        let old = "{\"seq\":4,\"ts_ns\":99,\"type\":\"SlowOp\",\"op\":\"get\",\"dur_ns\":123}";
+        let event = Event::from_json(old).expect("old encoding still parses");
+        assert_eq!(
+            event.kind,
+            EventKind::SlowOp { op: "get".into(), dur_ns: 123, trace_id: 0, breakdown: None }
+        );
+        // And the current encoding of that event parses back losslessly.
+        assert_eq!(Event::from_json(&event.to_json()).unwrap(), event);
+    }
+
+    #[test]
     fn json_lines_parse_back() {
         let j = EventJournal::with_capacity(8);
         j.publish(EventKind::CompactionEnd {
@@ -374,7 +474,12 @@ mod tests {
             bytes_out: 2048,
             dur_ns: 7_000,
         });
-        j.publish(EventKind::SlowOp { op: "get".into(), dur_ns: 2_000_000 });
+        j.publish(EventKind::SlowOp {
+            op: "get".into(),
+            dur_ns: 2_000_000,
+            trace_id: 0,
+            breakdown: None,
+        });
         let lines = j.to_json_lines();
         let parsed: Vec<Event> = lines.lines().map(|l| Event::from_json(l).unwrap()).collect();
         assert_eq!(parsed, j.events());

@@ -354,6 +354,61 @@ mod tests {
         }
     }
 
+    fn xorshift(x: &mut u64) -> u64 {
+        *x ^= *x << 13;
+        *x ^= *x >> 7;
+        *x ^= *x << 17;
+        *x
+    }
+
+    #[test]
+    fn percentile_error_bounded_on_random_samples() {
+        // Random samples spread across six decades, checked against the
+        // exact sorted-order percentiles: the documented ≤ ~6% relative
+        // error must hold away from bucket boundaries too.
+        let h = LatencyHistogram::new();
+        let mut samples = Vec::new();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..10_000 {
+            let magnitude = 10u64.pow((xorshift(&mut x) % 6) as u32 + 3);
+            let v = xorshift(&mut x) % magnitude + 1;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            // The same rank the histogram walk targets, as an exact
+            // order statistic.
+            let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+            let exact = samples[rank - 1] as f64;
+            let approx = h.percentile_ns(p) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(err < 0.07, "p{p}: exact {exact}, approx {approx}, err {err:.4}");
+        }
+    }
+
+    #[test]
+    fn absorb_round_trips_snapshots_losslessly() {
+        let a = LatencyHistogram::new();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..5000 {
+            a.record(xorshift(&mut x) % 1_000_000_000 + 1);
+        }
+        let snap = a.snapshot();
+        let b = LatencyHistogram::new();
+        b.absorb(&snap);
+        assert_eq!(b.snapshot(), snap, "absorb must reproduce the snapshot exactly");
+        // A second absorb doubles every count but keeps the extremes and
+        // percentile positions.
+        b.absorb(&snap);
+        let doubled = b.snapshot();
+        assert_eq!(doubled.count(), 2 * snap.count());
+        assert_eq!(doubled.max_ns(), snap.max_ns());
+        assert_eq!(doubled.min_ns(), snap.min_ns());
+        assert_eq!(doubled.percentile_ns(50.0), snap.percentile_ns(50.0));
+        assert_eq!(doubled.percentile_ns(99.0), snap.percentile_ns(99.0));
+    }
+
     #[test]
     fn mean_is_exact() {
         let h = LatencyHistogram::new();

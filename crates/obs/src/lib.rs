@@ -13,6 +13,10 @@
 //! * [`MetricsRegistry`] / [`MetricsSnapshot`] — one aggregated snapshot
 //!   rendered as a RocksDB-style human report, serde JSON, or Prometheus
 //!   text exposition (lintable with [`validate_prometheus`]).
+//! * [`PerfContext`] / [`perf`] — per-operation stage breakdowns and
+//!   causal trace spans, captured on demand (a `ReadOptions` flag, a
+//!   sampling rate, or `with_perf_context`) and attached to `SlowOp`
+//!   events so a slow call explains itself.
 //!
 //! The engine-facing handle is [`Observer`]; construct one per database
 //! ([`Observer::new`] or [`Observer::disabled`]) and share it as an
@@ -22,11 +26,13 @@
 mod events;
 mod hist;
 pub mod json;
+pub mod perf;
 mod registry;
 
 pub use events::{Event, EventJournal, EventKind, DEFAULT_JOURNAL_CAPACITY};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use perf::{PerfContext, SpanIds};
 pub use registry::{
-    validate_prometheus, MetricsRegistry, MetricsSnapshot, Observer, Op, OpStats, ALL_OPS,
-    DEFAULT_SLOW_OP,
+    validate_prometheus, MetricsRegistry, MetricsSnapshot, Observer, Op, OpStats, PerfGuard,
+    SpanGuard, ALL_OPS, DEFAULT_SLOW_BACKGROUND, DEFAULT_SLOW_OP,
 };

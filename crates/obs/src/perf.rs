@@ -1,0 +1,446 @@
+//! Per-operation performance contexts and causal trace spans.
+//!
+//! A [`PerfContext`] is a thread-local bundle of stage timers and counters
+//! that explains *where* one operation's latency went: memtable probe,
+//! local SST read, cloud GET, persistent-cache hit/fill, decompression,
+//! WAL append/sync, retries. Capture is off by default and costs a single
+//! `Cell<bool>` load per instrumentation site; it is switched on per call
+//! (`ReadOptions::perf_context`, `TieredDb::with_perf_context`) or by the
+//! observer's sampling rate.
+//!
+//! On top of the context sit **trace spans**: when capture is active, the
+//! foreground operation opens a root span and every piece of work it
+//! triggers on the same thread (cloud GETs, cache fills, SST uploads)
+//! opens a child span carrying the same trace id. Span start/end records
+//! flow into the [`crate::EventJournal`], so a `SlowOp` event's trace id
+//! links to the exact cloud requests that made it slow. Background jobs
+//! (flush, compaction, migration) always open root spans of their own.
+//!
+//! The design mirrors RocksDB's `PerfContext`/`IOStatsContext` pair:
+//! plain thread-local state, explicitly propagated across thread pools
+//! (see `lsm::Db::multi_get`), merged into process-wide totals when the
+//! capture guard drops.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Stage timers and counters for one operation. All fields are plain
+/// totals in nanoseconds (`*_ns`) or counts, so contexts can be added
+/// together and diffed.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PerfContext {
+    /// Time probing the active and immutable memtables.
+    pub memtable_probe_ns: u64,
+    /// Time in local SST lookup machinery (index/bloom/block reads),
+    /// *excluding* the nested cloud, persistent-cache, and decompress
+    /// stages below — the stages are disjoint and sum to ≈ the op total.
+    pub sst_read_ns: u64,
+    /// Block-cache (in-memory) hits.
+    pub block_cache_hits: u64,
+    /// Block-cache misses that had to read the table file.
+    pub block_cache_misses: u64,
+    /// Persistent-cache (mashcache) hits.
+    pub mashcache_hits: u64,
+    /// Time serving persistent-cache hits.
+    pub mashcache_hit_ns: u64,
+    /// Persistent-cache fills (insert after a cloud fetch).
+    pub mashcache_fills: u64,
+    /// Time writing persistent-cache fills.
+    pub mashcache_fill_ns: u64,
+    /// Logical cloud GET operations issued (one per `get`/`get_range`/
+    /// vectored `get_ranges` call, before coalescing).
+    pub cloud_gets: u64,
+    /// Billed single-range GETs.
+    pub cloud_billed_gets: u64,
+    /// Billed coalesced GETs (one request covering several block reads).
+    pub cloud_coalesced_gets: u64,
+    /// Bytes fetched from the cloud tier.
+    pub cloud_get_bytes: u64,
+    /// Wall-clock time inside cloud GETs, including simulated latency,
+    /// injected faults, and retry backoff.
+    pub cloud_get_ns: u64,
+    /// Time decompressing block contents.
+    pub decompress_ns: u64,
+    /// Time appending to the WAL / eWAL buffer.
+    pub wal_append_ns: u64,
+    /// Time in WAL / eWAL fsync.
+    pub wal_sync_ns: u64,
+    /// Cloud retry attempts performed on behalf of this operation.
+    pub retry_attempts: u64,
+    /// Backoff slept before those retries (a subset of `cloud_get_ns`
+    /// when the retried operation was a GET).
+    pub retry_backoff_ns: u64,
+}
+
+impl PerfContext {
+    /// Every field as `(name, value)`, in declaration order. The single
+    /// source of truth for JSON encoding and metrics export.
+    pub fn fields(&self) -> [(&'static str, u64); 18] {
+        [
+            ("memtable_probe_ns", self.memtable_probe_ns),
+            ("sst_read_ns", self.sst_read_ns),
+            ("block_cache_hits", self.block_cache_hits),
+            ("block_cache_misses", self.block_cache_misses),
+            ("mashcache_hits", self.mashcache_hits),
+            ("mashcache_hit_ns", self.mashcache_hit_ns),
+            ("mashcache_fills", self.mashcache_fills),
+            ("mashcache_fill_ns", self.mashcache_fill_ns),
+            ("cloud_gets", self.cloud_gets),
+            ("cloud_billed_gets", self.cloud_billed_gets),
+            ("cloud_coalesced_gets", self.cloud_coalesced_gets),
+            ("cloud_get_bytes", self.cloud_get_bytes),
+            ("cloud_get_ns", self.cloud_get_ns),
+            ("decompress_ns", self.decompress_ns),
+            ("wal_append_ns", self.wal_append_ns),
+            ("wal_sync_ns", self.wal_sync_ns),
+            ("retry_attempts", self.retry_attempts),
+            ("retry_backoff_ns", self.retry_backoff_ns),
+        ]
+    }
+
+    fn field_mut(&mut self, name: &str) -> Option<&mut u64> {
+        Some(match name {
+            "memtable_probe_ns" => &mut self.memtable_probe_ns,
+            "sst_read_ns" => &mut self.sst_read_ns,
+            "block_cache_hits" => &mut self.block_cache_hits,
+            "block_cache_misses" => &mut self.block_cache_misses,
+            "mashcache_hits" => &mut self.mashcache_hits,
+            "mashcache_hit_ns" => &mut self.mashcache_hit_ns,
+            "mashcache_fills" => &mut self.mashcache_fills,
+            "mashcache_fill_ns" => &mut self.mashcache_fill_ns,
+            "cloud_gets" => &mut self.cloud_gets,
+            "cloud_billed_gets" => &mut self.cloud_billed_gets,
+            "cloud_coalesced_gets" => &mut self.cloud_coalesced_gets,
+            "cloud_get_bytes" => &mut self.cloud_get_bytes,
+            "cloud_get_ns" => &mut self.cloud_get_ns,
+            "decompress_ns" => &mut self.decompress_ns,
+            "wal_append_ns" => &mut self.wal_append_ns,
+            "wal_sync_ns" => &mut self.wal_sync_ns,
+            "retry_attempts" => &mut self.retry_attempts,
+            "retry_backoff_ns" => &mut self.retry_backoff_ns,
+            _ => return None,
+        })
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.fields().iter().all(|&(_, v)| v == 0)
+    }
+
+    /// Add `other` into `self`, field by field (saturating).
+    pub fn add(&mut self, other: &PerfContext) {
+        for (name, v) in other.fields() {
+            let f = self.field_mut(name).expect("own field");
+            *f = f.saturating_add(v);
+        }
+    }
+
+    /// Field-wise `self − other` (saturating), for before/after deltas
+    /// against accumulated totals.
+    pub fn delta_since(&self, other: &PerfContext) -> PerfContext {
+        let mut out = self.clone();
+        for (name, v) in other.fields() {
+            let f = out.field_mut(name).expect("own field");
+            *f = f.saturating_sub(v);
+        }
+        out
+    }
+
+    /// Sum of the disjoint timed stages. For a captured operation this is
+    /// ≈ the operation's wall-clock total (instrumentation gaps aside):
+    /// `sst_read_ns` already excludes the nested cloud/cache/decompress
+    /// time, and `retry_backoff_ns` is informational (contained in
+    /// `cloud_get_ns`).
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.memtable_probe_ns
+            .saturating_add(self.sst_read_ns)
+            .saturating_add(self.cloud_get_ns)
+            .saturating_add(self.mashcache_hit_ns)
+            .saturating_add(self.mashcache_fill_ns)
+            .saturating_add(self.decompress_ns)
+            .saturating_add(self.wal_append_ns)
+            .saturating_add(self.wal_sync_ns)
+    }
+
+    /// Encode as one JSON object (every field, fixed order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode from [`PerfContext::to_json`] output. Missing fields read
+    /// as 0 and unknown fields are ignored, so old and new encodings
+    /// round-trip against each other.
+    pub fn from_json(v: &Json) -> Result<PerfContext, String> {
+        let mut out = PerfContext::default();
+        for (name, value) in v.entries().ok_or("perf context not an object")? {
+            if let Some(f) = out.field_mut(name) {
+                *f = value.as_u64().ok_or_else(|| format!("perf field {name} not a u64"))?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Identity of the innermost span active on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanIds {
+    /// Trace the span belongs to (the root span's id).
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static CTX: RefCell<PerfContext> = RefCell::new(PerfContext::default());
+    static CURRENT_SPAN: Cell<Option<SpanIds>> = const { Cell::new(None) };
+}
+
+/// Process-wide span/trace id allocator (ids are never 0; 0 means "no
+/// parent" in span events).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh span/trace id.
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Whether a perf context is being captured on this thread. The one
+/// branch every instrumentation site pays when capture is off.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Begin capture on this thread. Returns `false` (and changes nothing)
+/// when capture is already active, so nested scopes never reset or
+/// double-report the outer context.
+pub fn begin() -> bool {
+    ACTIVE.with(|a| {
+        if a.get() {
+            false
+        } else {
+            a.set(true);
+            true
+        }
+    })
+}
+
+/// End capture, returning (and clearing) the accumulated context.
+pub fn end() -> PerfContext {
+    ACTIVE.with(|a| a.set(false));
+    CTX.with(|c| std::mem::take(&mut *c.borrow_mut()))
+}
+
+/// Clone the context accumulated so far (None when capture is off).
+pub fn snapshot() -> Option<PerfContext> {
+    if enabled() {
+        Some(CTX.with(|c| c.borrow().clone()))
+    } else {
+        None
+    }
+}
+
+/// Apply `f` to the live context when capture is active; a single branch
+/// otherwise.
+#[inline]
+pub fn count(f: impl FnOnce(&mut PerfContext)) {
+    if enabled() {
+        CTX.with(|c| f(&mut c.borrow_mut()));
+    }
+}
+
+/// Start a stage timer (None when capture is off).
+#[inline]
+pub fn start_stage() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Finish a stage timer, handing `f` the live context and the elapsed
+/// nanoseconds.
+#[inline]
+pub fn finish_stage(started: Option<Instant>, f: impl FnOnce(&mut PerfContext, u64)) {
+    if let Some(t0) = started {
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        CTX.with(|c| f(&mut c.borrow_mut(), ns));
+    }
+}
+
+/// A stage timer that subtracts time already attributed to the nested
+/// cloud / persistent-cache / decompress stages, so wrapping a call tree
+/// cannot double-count its instrumented children.
+#[derive(Debug)]
+pub struct ExclusiveStage {
+    start: Instant,
+    nested_before: u64,
+}
+
+fn nested_ns(ctx: &PerfContext) -> u64 {
+    ctx.cloud_get_ns
+        .saturating_add(ctx.mashcache_hit_ns)
+        .saturating_add(ctx.mashcache_fill_ns)
+        .saturating_add(ctx.decompress_ns)
+}
+
+/// Start an exclusive stage timer (None when capture is off).
+#[inline]
+pub fn start_exclusive() -> Option<ExclusiveStage> {
+    if enabled() {
+        Some(ExclusiveStage {
+            start: Instant::now(),
+            nested_before: CTX.with(|c| nested_ns(&c.borrow())),
+        })
+    } else {
+        None
+    }
+}
+
+/// Finish an exclusive stage: `f` receives elapsed nanoseconds minus
+/// whatever the nested stages recorded inside the window.
+#[inline]
+pub fn finish_exclusive(stage: Option<ExclusiveStage>, f: impl FnOnce(&mut PerfContext, u64)) {
+    if let Some(stage) = stage {
+        let elapsed = stage.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            let nested = nested_ns(&ctx).saturating_sub(stage.nested_before);
+            f(&mut ctx, elapsed.saturating_sub(nested));
+        });
+    }
+}
+
+/// The innermost span active on this thread, if any.
+#[inline]
+pub fn current_span() -> Option<SpanIds> {
+    CURRENT_SPAN.with(|s| s.get())
+}
+
+/// Install `span` as this thread's innermost span, returning the previous
+/// value (restore it when the scope ends). Used by the observer's span
+/// guards and by explicit cross-thread handoff in `multi_get`.
+pub fn swap_current_span(span: Option<SpanIds>) -> Option<SpanIds> {
+    CURRENT_SPAN.with(|s| s.replace(span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_off_by_default_and_scoped() {
+        assert!(!enabled());
+        assert!(start_stage().is_none());
+        assert!(snapshot().is_none());
+        assert!(begin());
+        assert!(enabled());
+        assert!(!begin(), "nested begin must not re-arm");
+        count(|c| c.cloud_gets += 2);
+        let ctx = end();
+        assert!(!enabled());
+        assert_eq!(ctx.cloud_gets, 2);
+        // A second end() sees a cleared context.
+        assert!(end().is_empty());
+    }
+
+    #[test]
+    fn stage_timers_record_only_when_active() {
+        assert!(begin());
+        let t = start_stage();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        finish_stage(t, |c, ns| c.memtable_probe_ns += ns);
+        let ctx = end();
+        assert!(ctx.memtable_probe_ns >= 1_000_000, "{ctx:?}");
+        finish_stage(None, |c, ns| c.memtable_probe_ns += ns);
+    }
+
+    #[test]
+    fn exclusive_stage_subtracts_nested_time() {
+        assert!(begin());
+        let outer = start_exclusive();
+        count(|c| c.cloud_get_ns += 1_000_000_000); // pretend a nested cloud GET
+        finish_exclusive(outer, |c, ns| c.sst_read_ns += ns);
+        let ctx = end();
+        // The outer window is microseconds of real time; a full second of
+        // nested cloud time must not leak into the exclusive stage.
+        assert!(ctx.sst_read_ns < 1_000_000_000, "{ctx:?}");
+    }
+
+    #[test]
+    fn add_and_delta_are_inverse() {
+        let mut a = PerfContext { cloud_gets: 3, cloud_get_ns: 500, ..PerfContext::default() };
+        let b = PerfContext { cloud_gets: 1, wal_sync_ns: 9, ..PerfContext::default() };
+        let before = a.clone();
+        a.add(&b);
+        assert_eq!(a.cloud_gets, 4);
+        assert_eq!(a.wal_sync_ns, 9);
+        assert_eq!(a.delta_since(&b), before);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut ctx = PerfContext::default();
+        for (i, (name, _)) in ctx.clone().fields().iter().enumerate() {
+            *ctx.field_mut(name).unwrap() = (i as u64 + 1) * 17;
+        }
+        let v = Json::parse(&ctx.to_json()).unwrap();
+        assert_eq!(PerfContext::from_json(&v).unwrap(), ctx);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_and_unknown_fields() {
+        let v = Json::parse("{\"cloud_gets\":5,\"future_field\":1}").unwrap();
+        let ctx = PerfContext::from_json(&v).unwrap();
+        assert_eq!(ctx.cloud_gets, 5);
+        assert_eq!(ctx.cloud_get_ns, 0);
+    }
+
+    #[test]
+    fn stage_sum_counts_each_stage_once() {
+        let ctx = PerfContext {
+            memtable_probe_ns: 1,
+            sst_read_ns: 10,
+            cloud_get_ns: 100,
+            mashcache_hit_ns: 1_000,
+            mashcache_fill_ns: 10_000,
+            decompress_ns: 100_000,
+            wal_append_ns: 1_000_000,
+            wal_sync_ns: 10_000_000,
+            retry_backoff_ns: 7, // nested inside cloud_get_ns; not summed
+            ..PerfContext::default()
+        };
+        assert_eq!(ctx.stage_sum_ns(), 11_111_111);
+    }
+
+    #[test]
+    fn span_handoff_restores_previous() {
+        assert_eq!(current_span(), None);
+        let prev = swap_current_span(Some(SpanIds { trace_id: 7, span_id: 9 }));
+        assert_eq!(prev, None);
+        assert_eq!(current_span(), Some(SpanIds { trace_id: 7, span_id: 9 }));
+        swap_current_span(prev);
+        assert_eq!(current_span(), None);
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+}

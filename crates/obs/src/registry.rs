@@ -10,12 +10,16 @@
 //! string, JSON, and Prometheus text exposition.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use crate::events::{Event, EventJournal, EventKind};
 use crate::hist::LatencyHistogram;
 use crate::json::{escape, fmt_f64, Json};
+use crate::perf::{self, PerfContext, SpanIds};
 
 /// Instrumented operations, one histogram each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -93,6 +97,12 @@ impl Op {
 /// Default threshold above which a foreground op logs a `SlowOp` event.
 pub const DEFAULT_SLOW_OP: Duration = Duration::from_millis(100);
 
+/// Default threshold above which a *background* op (flush, compaction)
+/// logs a `SlowOp` event. Background work is expected to take long, so
+/// this sits well above the foreground threshold: only multi-second
+/// stalls are journal-worthy.
+pub const DEFAULT_SLOW_BACKGROUND: Duration = Duration::from_secs(2);
+
 /// Engine-wide observability handle: per-op latency histograms plus the
 /// event journal. Cheap to share (`Arc<Observer>`) and safe to call from
 /// any thread.
@@ -101,6 +111,16 @@ pub struct Observer {
     hists: [LatencyHistogram; ALL_OPS.len()],
     journal: EventJournal,
     slow_op_ns: u64,
+    slow_background_ns: u64,
+    /// Capture a perf context for every Nth op that asks via
+    /// [`Observer::perf_guard`] without requesting one (0 disables
+    /// sampling).
+    perf_sample_every: u64,
+    perf_sample_counter: AtomicU64,
+    /// Process-lifetime sum of every captured context, for stage-share
+    /// aggregation in metrics exports.
+    perf_totals: Mutex<PerfContext>,
+    perf_ops: AtomicU64,
 }
 
 impl Observer {
@@ -112,6 +132,11 @@ impl Observer {
             hists: std::array::from_fn(|_| LatencyHistogram::new()),
             journal: EventJournal::new(),
             slow_op_ns: DEFAULT_SLOW_OP.as_nanos() as u64,
+            slow_background_ns: DEFAULT_SLOW_BACKGROUND.as_nanos() as u64,
+            perf_sample_every: 0,
+            perf_sample_counter: AtomicU64::new(0),
+            perf_totals: Mutex::new(PerfContext::default()),
+            perf_ops: AtomicU64::new(0),
         }
     }
 
@@ -126,6 +151,21 @@ impl Observer {
     /// a [`EventKind::SlowOp`] journal event.
     pub fn with_slow_op_threshold(mut self, threshold: Duration) -> Self {
         self.slow_op_ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+        self
+    }
+
+    /// Set the background slow-op threshold; flushes and compactions
+    /// slower than this publish a [`EventKind::SlowOp`] journal event.
+    pub fn with_slow_background_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_background_ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+        self
+    }
+
+    /// Capture a perf context for every `every`-th operation that reaches
+    /// [`Observer::perf_guard`] without explicitly requesting one. 0 (the
+    /// default) disables sampling.
+    pub fn with_perf_sampling(mut self, every: u64) -> Self {
+        self.perf_sample_every = every;
         self
     }
 
@@ -152,8 +192,15 @@ impl Observer {
         if let Some(t0) = started {
             let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             self.hists[op.index()].record(ns);
-            if ns >= self.slow_op_ns && is_foreground(op) {
-                self.journal.publish(EventKind::SlowOp { op: op.name().to_string(), dur_ns: ns });
+            let threshold =
+                if is_foreground(op) { self.slow_op_ns } else { self.slow_background_ns };
+            if ns >= threshold {
+                self.journal.publish(EventKind::SlowOp {
+                    op: op.name().to_string(),
+                    dur_ns: ns,
+                    trace_id: perf::current_span().map(|s| s.trace_id).unwrap_or(0),
+                    breakdown: perf::snapshot().map(Box::new),
+                });
             }
         }
     }
@@ -205,6 +252,152 @@ impl Observer {
         }
         out
     }
+
+    /// Begin per-op perf capture on this thread, either because the
+    /// caller `requested` it (a `ReadOptions` flag) or because the
+    /// sampling rate selects this op. Returns `None` — one branch — when
+    /// capture stays off or is already active (the outer scope owns it).
+    /// Dropping the guard folds the captured context into this observer's
+    /// totals.
+    #[inline]
+    pub fn perf_guard(&self, requested: bool) -> Option<PerfGuard<'_>> {
+        if !requested && !self.perf_sample_hit() {
+            return None;
+        }
+        if !perf::begin() {
+            return None;
+        }
+        Some(PerfGuard { obs: self })
+    }
+
+    #[inline]
+    fn perf_sample_hit(&self) -> bool {
+        let every = self.perf_sample_every;
+        every != 0
+            && self.enabled
+            && self.perf_sample_counter.fetch_add(1, Ordering::Relaxed) % every == every - 1
+    }
+
+    /// Fold a finished capture into the process-lifetime totals.
+    pub fn absorb_perf(&self, ctx: &PerfContext) {
+        if ctx.is_empty() {
+            return;
+        }
+        self.perf_totals.lock().add(ctx);
+        self.perf_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of every perf context captured so far.
+    pub fn perf_totals(&self) -> PerfContext {
+        self.perf_totals.lock().clone()
+    }
+
+    /// Number of captured (non-empty) perf contexts folded into the
+    /// totals.
+    pub fn perf_ops(&self) -> u64 {
+        self.perf_ops.load(Ordering::Relaxed)
+    }
+
+    /// Open a trace span named `name`: a child of this thread's current
+    /// span, or the root of a fresh trace when there is none. Publishes
+    /// `SpanStart` now and `SpanEnd` when the guard drops; between the
+    /// two, work on this thread sees the span via `perf::current_span`.
+    /// Returns `None` (no events, no TLS write) when disabled.
+    pub fn span(&self, name: &'static str) -> Option<SpanGuard<'_>> {
+        if !self.enabled {
+            return None;
+        }
+        let parent = perf::current_span();
+        let span_id = perf::next_id();
+        let trace_id = parent.map(|p| p.trace_id).unwrap_or(span_id);
+        let parent_span_id = parent.map(|p| p.span_id).unwrap_or(0);
+        self.journal.publish(EventKind::SpanStart {
+            trace_id,
+            span_id,
+            parent_span_id,
+            name: name.to_string(),
+        });
+        let prev = perf::swap_current_span(Some(SpanIds { trace_id, span_id }));
+        Some(SpanGuard {
+            obs: self,
+            ids: SpanIds { trace_id, span_id },
+            name,
+            start: Instant::now(),
+            prev,
+        })
+    }
+
+    /// Open a span only when this thread is already inside a trace —
+    /// instrumentation points (cloud GET/PUT, cache fill, SST upload)
+    /// use this so they attach to whichever op triggered them without
+    /// flooding the journal with orphan spans.
+    pub fn child_span(&self, name: &'static str) -> Option<SpanGuard<'_>> {
+        perf::current_span()?;
+        self.span(name)
+    }
+
+    /// Open a span only when a perf context is being captured on this
+    /// thread — foreground ops use this so traced calls get a root span
+    /// while untraced hot-path calls pay one branch.
+    pub fn span_if_perf(&self, name: &'static str) -> Option<SpanGuard<'_>> {
+        if !perf::enabled() {
+            return None;
+        }
+        self.span(name)
+    }
+}
+
+/// Scope guard for one perf capture (see [`Observer::perf_guard`]).
+#[must_use = "capture ends when the guard drops"]
+pub struct PerfGuard<'a> {
+    obs: &'a Observer,
+}
+
+impl Drop for PerfGuard<'_> {
+    fn drop(&mut self) {
+        self.obs.absorb_perf(&perf::end());
+    }
+}
+
+impl std::fmt::Debug for PerfGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfGuard").finish()
+    }
+}
+
+/// Scope guard for one trace span (see [`Observer::span`]).
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard<'a> {
+    obs: &'a Observer,
+    ids: SpanIds,
+    name: &'static str,
+    start: Instant,
+    prev: Option<SpanIds>,
+}
+
+impl SpanGuard<'_> {
+    /// This span's trace/span ids.
+    pub fn ids(&self) -> SpanIds {
+        self.ids
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        perf::swap_current_span(self.prev);
+        self.obs.journal.publish(EventKind::SpanEnd {
+            trace_id: self.ids.trace_id,
+            span_id: self.ids.span_id,
+            name: self.name.to_string(),
+            dur_ns: self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        });
+    }
+}
+
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard").field("ids", &self.ids).field("name", &self.name).finish()
+    }
 }
 
 impl Default for Observer {
@@ -223,8 +416,9 @@ impl std::fmt::Debug for Observer {
     }
 }
 
-/// Background work never logs SlowOp — flushes and compactions are
-/// *expected* to take long; the journal already records them explicitly.
+/// Which threshold an op's SlowOp check uses: flushes and compactions
+/// are *expected* to take long, so they answer to the much higher
+/// background threshold instead of the foreground one.
 fn is_foreground(op: Op) -> bool {
     !matches!(op, Op::Flush | Op::Compaction)
 }
@@ -309,12 +503,40 @@ impl MetricsRegistry {
     }
 
     /// Build the snapshot: observer latency stats + journal events +
-    /// registered counters and gauges.
+    /// registered counters and gauges. Captured perf-context totals fold
+    /// in as `perf_*` counters plus per-stage share gauges
+    /// (`perf_share_*`, each stage's fraction of total attributed time),
+    /// so `stats --json` and Prometheus exports carry the breakdown.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = self.counters.clone();
+        let mut gauges = self.gauges.clone();
+        let totals = self.observer.perf_totals();
+        if !totals.is_empty() {
+            counters.insert("perf_sampled_ops".to_string(), self.observer.perf_ops());
+            for (name, v) in totals.fields() {
+                counters.insert(format!("perf_{name}"), v);
+            }
+            let sum = totals.stage_sum_ns();
+            if sum > 0 {
+                let share = |ns: u64| ns as f64 / sum as f64;
+                gauges.insert("perf_share_memtable".into(), share(totals.memtable_probe_ns));
+                gauges.insert("perf_share_local_sst".into(), share(totals.sst_read_ns));
+                gauges.insert("perf_share_cloud".into(), share(totals.cloud_get_ns));
+                gauges.insert(
+                    "perf_share_cache".into(),
+                    share(totals.mashcache_hit_ns + totals.mashcache_fill_ns),
+                );
+                gauges.insert("perf_share_decompress".into(), share(totals.decompress_ns));
+                gauges.insert(
+                    "perf_share_wal".into(),
+                    share(totals.wal_append_ns + totals.wal_sync_ns),
+                );
+            }
+        }
         MetricsSnapshot {
             latency: self.observer.latency_stats(),
-            counters: self.counters.clone(),
-            gauges: self.gauges.clone(),
+            counters,
+            gauges,
             events: self.observer.journal().events(),
         }
     }
@@ -598,6 +820,145 @@ mod tests {
         // Background ops never log SlowOp.
         o.finish(Op::Compaction, Some(Instant::now()));
         assert_eq!(o.journal().events().len(), 1);
+    }
+
+    #[test]
+    fn slow_background_ops_use_their_own_threshold() {
+        let o = Observer::new()
+            .with_slow_op_threshold(Duration::from_secs(3600))
+            .with_slow_background_threshold(Duration::from_nanos(1));
+        // A "stalled" compaction crosses the background threshold even
+        // though the foreground threshold is far away.
+        o.finish(Op::Compaction, Some(Instant::now()));
+        let events = o.journal().events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0].kind, EventKind::SlowOp { op, .. } if op == "compaction"));
+        // A fast foreground get logs nothing.
+        o.finish(Op::Get, Some(Instant::now()));
+        assert_eq!(o.journal().events().len(), 1);
+    }
+
+    #[test]
+    fn perf_guard_captures_and_absorbs_into_totals() {
+        let o = Observer::new();
+        {
+            let _g = o.perf_guard(true).expect("requested capture arms");
+            assert!(crate::perf::enabled());
+            // Nested guards defer to the outer scope.
+            assert!(o.perf_guard(true).is_none());
+            crate::perf::count(|c| {
+                c.cloud_gets += 1;
+                c.cloud_get_ns += 500;
+            });
+        }
+        assert!(!crate::perf::enabled());
+        let totals = o.perf_totals();
+        assert_eq!(totals.cloud_gets, 1);
+        assert_eq!(totals.cloud_get_ns, 500);
+        assert_eq!(o.perf_ops(), 1);
+        // Unrequested, unsampled: one branch, no capture.
+        assert!(o.perf_guard(false).is_none());
+    }
+
+    #[test]
+    fn sampling_selects_every_nth_op() {
+        let o = Observer::new().with_perf_sampling(3);
+        let mut captured = 0;
+        for _ in 0..9 {
+            if let Some(_g) = o.perf_guard(false) {
+                captured += 1;
+            }
+        }
+        assert_eq!(captured, 3);
+    }
+
+    #[test]
+    fn spans_nest_and_publish_start_end_pairs() {
+        let o = Observer::new();
+        let root_ids;
+        let child_ids;
+        {
+            let root = o.span("get").expect("enabled observer spans");
+            root_ids = root.ids();
+            assert_eq!(crate::perf::current_span(), Some(root_ids));
+            {
+                let child = o.child_span("cloud_get").expect("inside a trace");
+                child_ids = child.ids();
+                assert_eq!(child_ids.trace_id, root_ids.trace_id);
+                assert_ne!(child_ids.span_id, root_ids.span_id);
+            }
+            assert_eq!(crate::perf::current_span(), Some(root_ids));
+        }
+        assert_eq!(crate::perf::current_span(), None);
+        // Outside any trace, child_span declines.
+        assert!(o.child_span("cloud_get").is_none());
+        let events = o.journal().events();
+        let starts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SpanStart { trace_id, span_id, parent_span_id, name } => {
+                    Some((*trace_id, *span_id, *parent_span_id, name.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let ends = events.iter().filter(|e| matches!(&e.kind, EventKind::SpanEnd { .. })).count();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(ends, 2);
+        assert_eq!(starts[0], (root_ids.trace_id, root_ids.span_id, 0, "get".to_string()));
+        assert_eq!(
+            starts[1],
+            (root_ids.trace_id, child_ids.span_id, root_ids.span_id, "cloud_get".to_string())
+        );
+    }
+
+    #[test]
+    fn slow_op_embeds_trace_id_and_breakdown() {
+        let o = Observer::new().with_slow_op_threshold(Duration::from_nanos(1));
+        let trace_id;
+        {
+            let _g = o.perf_guard(true).expect("capture");
+            let span = o.span_if_perf("get").expect("perf active opens a span");
+            trace_id = span.ids().trace_id;
+            crate::perf::count(|c| c.cloud_get_ns += 42);
+            o.finish(Op::Get, Some(Instant::now()));
+        }
+        let slow: Vec<_> = o
+            .journal()
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SlowOp { op, trace_id, breakdown, .. } => {
+                    Some((op, trace_id, breakdown))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slow.len(), 1);
+        let (op, got_trace, breakdown) = &slow[0];
+        assert_eq!(op, "get");
+        assert_eq!(*got_trace, trace_id);
+        assert_eq!(breakdown.as_ref().expect("breakdown captured").cloud_get_ns, 42);
+    }
+
+    #[test]
+    fn snapshot_folds_perf_totals_into_counters_and_shares() {
+        let o = Arc::new(Observer::new());
+        o.absorb_perf(&PerfContext {
+            cloud_get_ns: 75,
+            sst_read_ns: 25,
+            cloud_gets: 2,
+            ..PerfContext::default()
+        });
+        let snap = MetricsRegistry::new(Arc::clone(&o)).snapshot();
+        assert_eq!(snap.counters["perf_cloud_get_ns"], 75);
+        assert_eq!(snap.counters["perf_cloud_gets"], 2);
+        assert_eq!(snap.counters["perf_sampled_ops"], 1);
+        assert!((snap.gauges["perf_share_cloud"] - 0.75).abs() < 1e-9);
+        assert!((snap.gauges["perf_share_local_sst"] - 0.25).abs() < 1e-9);
+        validate_prometheus(&snap.to_prometheus()).expect("exposition stays lintable");
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! rocksmash <dir> compact
 //! rocksmash <dir> stats [--json | --prometheus]
 //! rocksmash <dir> watch [--interval <secs>]
-//! rocksmash <dir> events          # drain journal as JSON lines
+//! rocksmash <dir> events [--kind <tag>] [--since-ns <n>] [--follow]
+//! rocksmash <dir> trace get <key>  # traced lookup + stage breakdown
+//! rocksmash <dir> trace [--id <n>] # dump span/slow-op events
 //! rocksmash <dir> recovery
 //! rocksmash <dir> repair          # rebuild metadata from table files
 //! ```
@@ -45,7 +47,9 @@ fn usage() -> ExitCode {
          <dir> <command> [args]\n\
          commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
          \u{20}         fill <n> [value-size] | compact | recovery | repair\n\
-         \u{20}         stats [--json | --prometheus] | watch [--interval <secs>] | events"
+         \u{20}         stats [--json | --prometheus] | watch [--interval <secs>]\n\
+         \u{20}         events [--kind <tag>] [--since-ns <n>] [--follow [--interval-ms <m>]]\n\
+         \u{20}         trace get <key> | trace [--id <n>]"
     );
     ExitCode::from(2)
 }
@@ -163,11 +167,8 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         ["stats", "--prometheus"] => print!("{}", db.metrics()?.snapshot().to_prometheus()),
         ["watch"] => watch(&db, 2)?,
         ["watch", "--interval", secs] => watch(&db, secs.parse()?)?,
-        ["events"] => {
-            for event in db.observer().journal().events() {
-                println!("{}", event.to_json());
-            }
-        }
+        ["events", rest @ ..] => events_cmd(&db, rest)?,
+        ["trace", rest @ ..] => trace_cmd(&db, rest)?,
         ["recovery"] => match db.recovery_report() {
             Some(r) => println!(
                 "recovered {} ops from {} partition files ({} KiB) in {:.1} ms \
@@ -189,6 +190,127 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     }
     db.close()?;
     Ok(())
+}
+
+/// `events` with optional filters: `--kind <tag>` keeps only one event
+/// type (`SlowOp`, `FlushEnd`, ...), `--since-ns <n>` drops events
+/// stamped before `n` journal-relative nanoseconds, and `--follow` keeps
+/// polling the in-process journal for new entries until interrupted.
+fn events_cmd(db: &TieredDb, args: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut kind: Option<String> = None;
+    let mut since_ns: Option<u64> = None;
+    let mut follow = false;
+    let mut interval_ms: u64 = 500;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--kind" => kind = Some(it.next().ok_or("--kind needs an event tag")?.to_string()),
+            "--since-ns" => {
+                since_ns = Some(it.next().ok_or("--since-ns needs a timestamp")?.parse()?);
+            }
+            "--follow" => follow = true,
+            "--interval-ms" => {
+                interval_ms = it.next().ok_or("--interval-ms needs a value")?.parse()?;
+            }
+            other => return Err(format!("unknown events flag: {other}").into()),
+        }
+    }
+    let mut last_seq = 0;
+    loop {
+        for event in db.observer().journal().events() {
+            if event.seq <= last_seq {
+                continue;
+            }
+            last_seq = event.seq;
+            if let Some(k) = kind.as_deref() {
+                if event.kind.tag() != k {
+                    continue;
+                }
+            }
+            if let Some(t) = since_ns {
+                if event.ts_ns < t {
+                    continue;
+                }
+            }
+            println!("{}", event.to_json());
+        }
+        if !follow {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
+    }
+    Ok(())
+}
+
+/// `trace get <key>` runs a traced point lookup and prints its value,
+/// stage breakdown, and the spans it produced; bare `trace` dumps every
+/// span/slow-op event in the journal, `--id <n>` restricts to one trace.
+fn trace_cmd(db: &TieredDb, args: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    match args {
+        ["get", key] => trace_get(db, key),
+        [] => {
+            dump_trace(db, None);
+            Ok(())
+        }
+        ["--id", id] => {
+            dump_trace(db, Some(id.parse()?));
+            Ok(())
+        }
+        _ => Err("usage: trace get <key> | trace [--id <n>]".into()),
+    }
+}
+
+fn trace_get(db: &TieredDb, key: &str) -> Result<(), Box<dyn std::error::Error>> {
+    // Journal seqs start at 0, so an empty journal (a freshly opened,
+    // quiet store — the common CLI case) must not exclude seq 0.
+    let after = db.observer().journal().events().last().map(|e| e.seq + 1).unwrap_or(0);
+    let (value, ctx) = db.with_perf_context(|db| db.get(key.as_bytes()));
+    match value? {
+        Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+        None => println!("(not found)"),
+    }
+    println!("breakdown: {}", ctx.to_json());
+    // The lookup's root span is the newest "get" SpanStart since `after`.
+    let mut trace_id = 0;
+    for event in db.observer().journal().events() {
+        if event.seq < after {
+            continue;
+        }
+        if let obs::EventKind::SpanStart { trace_id: t, name, .. } = &event.kind {
+            if name == "get" {
+                trace_id = *t;
+            }
+        }
+    }
+    if trace_id == 0 {
+        println!("(no trace recorded; is observability enabled?)");
+        return Ok(());
+    }
+    println!("trace {trace_id}:");
+    dump_trace(db, Some(trace_id));
+    Ok(())
+}
+
+fn event_trace_id(kind: &obs::EventKind) -> Option<u64> {
+    match kind {
+        obs::EventKind::SpanStart { trace_id, .. }
+        | obs::EventKind::SpanEnd { trace_id, .. }
+        | obs::EventKind::SlowOp { trace_id, .. } => Some(*trace_id),
+        _ => None,
+    }
+}
+
+fn dump_trace(db: &TieredDb, id: Option<u64>) {
+    for event in db.observer().journal().events() {
+        let keep = match (id, event_trace_id(&event.kind)) {
+            (None, Some(_)) => true,
+            (Some(want), Some(t)) => t == want,
+            _ => false,
+        };
+        if keep {
+            println!("{}", event.to_json());
+        }
+    }
 }
 
 fn scan(db: &TieredDb, from: &str, limit: usize) -> Result<(), Box<dyn std::error::Error>> {

@@ -59,6 +59,15 @@ pub struct TieredConfig {
     /// Foreground operations slower than this publish a `SlowOp` journal
     /// event (ignored unless `observability`).
     pub slow_op_threshold: std::time::Duration,
+    /// Background operations (flush, compaction, upload, migration) slower
+    /// than this publish a `SlowOp` too. Deliberately much higher than
+    /// `slow_op_threshold`: background work is routinely tens of
+    /// milliseconds, but a multi-second stall deserves a journal entry.
+    pub slow_background_threshold: std::time::Duration,
+    /// Capture a full perf-context for every Nth foreground operation and
+    /// fold it into the metrics snapshot (stage-share gauges). 0 disables
+    /// sampling; explicit per-call capture still works.
+    pub perf_sample_every: u64,
     /// Print [`crate::TieredDb::stats_string`] to stderr at this interval
     /// from a background thread (RocksDB's `stats_dump_period_sec`); None
     /// disables the dump.
@@ -84,6 +93,8 @@ impl TieredConfig {
             readahead_blocks: 0,
             observability: true,
             slow_op_threshold: obs::DEFAULT_SLOW_OP,
+            slow_background_threshold: obs::DEFAULT_SLOW_BACKGROUND,
+            perf_sample_every: 0,
             stats_dump_interval: None,
         }
     }

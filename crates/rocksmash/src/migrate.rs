@@ -46,6 +46,9 @@ pub struct MigrationReport {
 /// Future flushes/compactions follow the new policy immediately; this
 /// call additionally reorganizes everything already on disk.
 pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Result<MigrationReport> {
+    // Root span for the migration trace: the cloud PUT/GET round trips it
+    // issues open child spans under it.
+    let _span = db.observer().span("migrate");
     db.router().set_placement(new_placement);
     let env = db.local_env();
     let cloud = db.cloud();

@@ -131,6 +131,9 @@ impl FileRouter for TieredRouter {
         match self.placement.read().tier_for_level(level) {
             Tier::Local => Ok(()),
             Tier::Cloud => {
+                // Child of the flush/compaction span that produced the
+                // table; absent a trace this is a no-op.
+                let _span = self.observer.get().and_then(|o| o.child_span("sst_upload"));
                 let name = sst_name(number);
                 let data = env.read_all(&name)?;
                 let started = std::time::Instant::now();

@@ -59,6 +59,15 @@ pub struct SchemeReport {
     /// Cloud operations that failed at least once but ultimately succeeded
     /// within the policy.
     pub retry_recovered: u64,
+    /// Aggregated per-operation stage breakdown (sampled or explicitly
+    /// captured perf contexts), when any were recorded. Absent on reports
+    /// from stores that never captured one, and on result files written
+    /// before perf contexts existed.
+    #[serde(default)]
+    pub perf: Option<obs::PerfContext>,
+    /// Number of operations whose perf context was folded into `perf`.
+    #[serde(default)]
+    pub perf_ops: u64,
 }
 
 impl SchemeReport {
@@ -100,6 +109,11 @@ impl SchemeReport {
             retry_attempts: retry.attempts,
             retry_exhausted: retry.exhausted,
             retry_recovered: retry.recovered,
+            perf: {
+                let totals = db.observer().perf_totals();
+                (!totals.is_empty()).then_some(totals)
+            },
+            perf_ops: db.observer().perf_ops(),
         })
     }
 
@@ -192,7 +206,7 @@ impl SchemeReport {
             out,
             ",\"cache_metadata_bytes\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\
              \"coalesced_gets\":{},\"requests_saved\":{},\"retry_attempts\":{},\
-             \"retry_exhausted\":{},\"retry_recovered\":{}}}",
+             \"retry_exhausted\":{},\"retry_recovered\":{}",
             self.cache_metadata_bytes,
             self.prefetch_issued,
             self.prefetch_useful,
@@ -202,6 +216,13 @@ impl SchemeReport {
             self.retry_exhausted,
             self.retry_recovered,
         );
+        match &self.perf {
+            Some(perf) => {
+                let _ = write!(out, ",\"perf\":{},\"perf_ops\":{}", perf.to_json(), self.perf_ops);
+            }
+            None => out.push_str(",\"perf\":null,\"perf_ops\":0"),
+        }
+        out.push('}');
         out
     }
 

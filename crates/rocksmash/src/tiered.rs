@@ -65,7 +65,12 @@ impl TieredDb {
         config: TieredConfig,
     ) -> Result<TieredDb> {
         let observer = if config.observability {
-            Arc::new(obs::Observer::new().with_slow_op_threshold(config.slow_op_threshold))
+            Arc::new(
+                obs::Observer::new()
+                    .with_slow_op_threshold(config.slow_op_threshold)
+                    .with_slow_background_threshold(config.slow_background_threshold)
+                    .with_perf_sampling(config.perf_sample_every),
+            )
         } else {
             Arc::new(obs::Observer::disabled())
         };
@@ -239,6 +244,8 @@ impl TieredDb {
         if batch.is_empty() {
             return Ok(());
         }
+        let _perf = self.observer.perf_guard(false);
+        let _span = self.observer.span_if_perf("write");
         match &self.ewal {
             Some(ewal) => {
                 let mut need_flush = false;
@@ -250,11 +257,15 @@ impl TieredDb {
                     let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
                     batch.set_sequence(seq);
                     let timer = self.observer.start();
+                    let stage = obs::perf::start_stage();
                     state.writer.append(&batch)?;
+                    obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
                     self.observer.finish(obs::Op::EwalAppend, timer);
                     if self.config.options.sync_writes {
                         let timer = self.observer.start();
+                        let stage = obs::perf::start_stage();
                         state.writer.sync()?;
+                        obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
                         self.observer.finish(obs::Op::EwalSync, timer);
                     }
                     state.bytes_since_flush += batch.byte_size() as u64;
@@ -277,6 +288,12 @@ impl TieredDb {
         self.db.get(key)
     }
 
+    /// Read `key` with per-read tuning: [`ReadOptions::perf_context`]
+    /// captures a stage breakdown of this single call into the observer.
+    pub fn get_with(&self, read_opts: ReadOptions, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.db.get_with(read_opts, key)
+    }
+
     /// Read `key` as of `snapshot`.
     pub fn get_at(&self, key: &[u8], snapshot: &Snapshot) -> Result<Option<Vec<u8>>> {
         self.db.get_at(key, snapshot)
@@ -286,6 +303,35 @@ impl TieredDb {
     /// fan out across the engine's read pool so cloud latencies overlap.
     pub fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
         self.db.multi_get(keys)
+    }
+
+    /// [`TieredDb::multi_get`] with per-read tuning; perf-context capture
+    /// spans the whole fan-out (worker contexts merge into the caller's).
+    pub fn multi_get_with(
+        &self,
+        read_opts: ReadOptions,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        self.db.multi_get_with(read_opts, keys)
+    }
+
+    /// Run `f` with a perf context active on the calling thread and return
+    /// its result together with the captured stage breakdown. Every
+    /// operation `f` performs on this store (reads, writes, scans)
+    /// accumulates into one [`obs::PerfContext`], which is also folded
+    /// into the observer's totals. Nested calls keep capturing into the
+    /// outermost context; the inner call then returns an empty breakdown.
+    pub fn with_perf_context<T>(&self, f: impl FnOnce(&TieredDb) -> T) -> (T, obs::PerfContext) {
+        let began = obs::perf::begin();
+        let out = f(self);
+        let ctx = if began {
+            let ctx = obs::perf::end();
+            self.observer.absorb_perf(&ctx);
+            ctx
+        } else {
+            obs::PerfContext::default()
+        };
+        (out, ctx)
     }
 
     /// Take a consistent snapshot.

@@ -224,6 +224,21 @@ impl CloudStore {
         }
     }
 
+    /// Wrap one logical GET (retries, failpoints, and simulated latency
+    /// included) in the caller's perf context and trace: the whole wall
+    /// time is charged to `cloud_get_ns`, and a `cloud_get` child span is
+    /// opened when the calling op carries a trace.
+    fn perf_cloud_get<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let _span = self.observer.get().and_then(|o| o.child_span("cloud_get"));
+        let started = obs::perf::start_stage();
+        let out = f();
+        obs::perf::finish_stage(started, |c, ns| {
+            c.cloud_gets += 1;
+            c.cloud_get_ns += ns;
+        });
+        out
+    }
+
     fn shard_for(&self, key: &str) -> &RwLock<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
@@ -259,6 +274,7 @@ impl CloudStore {
 
 impl ObjectStore for CloudStore {
     fn put(&self, key: &str, data: &[u8]) -> Result<()> {
+        let _span = self.observer.get().and_then(|o| o.child_span("cloud_put"));
         self.retrier.execute("put", || {
             failpoint::fail_point("cloud_put")?;
             self.failure.check("put")?;
@@ -274,32 +290,44 @@ impl ObjectStore for CloudStore {
     }
 
     fn get(&self, key: &str) -> Result<Vec<u8>> {
-        self.retrier.execute("get", || {
-            failpoint::fail_point("cloud_get")?;
-            self.failure.check("get")?;
-            let timer = self.obs_start();
-            let obj = self.lookup(key)?;
-            self.pay(obj.len());
-            self.cost.record_get(obj.len() as u64);
-            self.stats.record_read(obj.len() as u64);
-            self.obs_finish(obs::Op::CloudGet, timer);
-            Ok(obj.as_ref().clone())
+        self.perf_cloud_get(|| {
+            self.retrier.execute("get", || {
+                failpoint::fail_point("cloud_get")?;
+                self.failure.check("get")?;
+                let timer = self.obs_start();
+                let obj = self.lookup(key)?;
+                self.pay(obj.len());
+                self.cost.record_get(obj.len() as u64);
+                self.stats.record_read(obj.len() as u64);
+                obs::perf::count(|c| {
+                    c.cloud_billed_gets += 1;
+                    c.cloud_get_bytes += obj.len() as u64;
+                });
+                self.obs_finish(obs::Op::CloudGet, timer);
+                Ok(obj.as_ref().clone())
+            })
         })
     }
 
     fn get_range(&self, key: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
-        self.retrier.execute("get_range", || {
-            failpoint::fail_point("cloud_get")?;
-            self.failure.check("get_range")?;
-            let timer = self.obs_start();
-            let obj = self.lookup(key)?;
-            let off = offset.min(obj.len() as u64) as usize;
-            let n = len.min(obj.len() - off);
-            self.pay(n);
-            self.cost.record_get(n as u64);
-            self.stats.record_read(n as u64);
-            self.obs_finish(obs::Op::CloudGet, timer);
-            Ok(obj[off..off + n].to_vec())
+        self.perf_cloud_get(|| {
+            self.retrier.execute("get_range", || {
+                failpoint::fail_point("cloud_get")?;
+                self.failure.check("get_range")?;
+                let timer = self.obs_start();
+                let obj = self.lookup(key)?;
+                let off = offset.min(obj.len() as u64) as usize;
+                let n = len.min(obj.len() - off);
+                self.pay(n);
+                self.cost.record_get(n as u64);
+                self.stats.record_read(n as u64);
+                obs::perf::count(|c| {
+                    c.cloud_billed_gets += 1;
+                    c.cloud_get_bytes += n as u64;
+                });
+                self.obs_finish(obs::Op::CloudGet, timer);
+                Ok(obj[off..off + n].to_vec())
+            })
         })
     }
 
@@ -307,7 +335,9 @@ impl ObjectStore for CloudStore {
         if ranges.is_empty() {
             return Ok(Vec::new());
         }
-        self.retrier.execute("get_ranges", || self.get_ranges_once(key, ranges))
+        self.perf_cloud_get(|| {
+            self.retrier.execute("get_ranges", || self.get_ranges_once(key, ranges))
+        })
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -364,9 +394,11 @@ impl ObjectStore for CloudStore {
 
     fn open_object(&self, key: &str) -> Result<Arc<dyn RandomAccessFile>> {
         // HEAD-like validation; each subsequent read_at is a range GET.
-        let obj = self.retrier.execute("head", || {
-            failpoint::fail_point("cloud_get")?;
-            self.lookup(key)
+        let obj = self.perf_cloud_get(|| {
+            self.retrier.execute("head", || {
+                failpoint::fail_point("cloud_get")?;
+                self.lookup(key)
+            })
         })?;
         Ok(Arc::new(CloudObjectFile {
             store: self.clone(),
@@ -428,6 +460,14 @@ impl CloudStore {
                 obs::Op::CloudGet
             };
             self.obs_finish(op, timer);
+            obs::perf::count(|c| {
+                if run_end - run_start > 1 {
+                    c.cloud_coalesced_gets += 1;
+                } else {
+                    c.cloud_billed_gets += 1;
+                }
+                c.cloud_get_bytes += span as u64;
+            });
             self.cost.record_get(span as u64);
             self.stats.record_read(span as u64);
             self.stats.record_coalesced_get((run_end - run_start) as u64);

@@ -249,6 +249,10 @@ impl Retrier {
                         }
                     }
                     self.attempts.fetch_add(1, Ordering::Relaxed);
+                    obs::perf::count(|c| {
+                        c.retry_attempts += 1;
+                        c.retry_backoff_ns += backoff.as_nanos() as u64;
+                    });
                     if let Some(o) = self.observer.get() {
                         o.event(obs::EventKind::RetryAttempt {
                             op: op.to_string(),

@@ -137,6 +137,48 @@ fn stats_snapshot_round_trips_all_export_surfaces() {
     db.close().unwrap();
 }
 
+/// Sampled perf contexts must flow all the way to the export surfaces:
+/// counters and stage-share gauges in the snapshot, a `perf` object in
+/// the scheme report JSON, and a Prometheus exposition that still lints.
+#[test]
+fn sampled_perf_contexts_reach_every_export_surface() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { perf_sample_every: 1, ..tiny_config() };
+    let db = TieredDb::open(env, config).unwrap();
+    for i in 0..2000 {
+        db.put(&key(i), format!("value{i:06}-{}", "x".repeat(64)).as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for i in (0..2000).step_by(7) {
+        assert!(db.get(&key(i)).unwrap().is_some());
+    }
+
+    let snapshot = db.metrics().unwrap().snapshot();
+    assert!(snapshot.counters.get("perf_sampled_ops").copied().unwrap_or(0) > 0);
+    assert!(snapshot.counters.contains_key("perf_sst_read_ns"));
+    let share_total: f64 = ["memtable", "local_sst", "cloud", "cache", "decompress", "wal"]
+        .iter()
+        .map(|s| snapshot.gauges.get(&format!("perf_share_{s}")).copied().unwrap_or(0.0))
+        .sum();
+    assert!(
+        (share_total - 1.0).abs() < 1e-6,
+        "stage shares must partition attributed time, got {share_total}"
+    );
+
+    let report = db.report().unwrap();
+    let totals = report.perf.as_ref().expect("report carries sampled perf totals");
+    assert!(totals.stage_sum_ns() > 0);
+    assert!(report.perf_ops > 0);
+    assert!(report.to_json().contains("\"perf\":{"));
+
+    let prom = snapshot.to_prometheus();
+    obs::validate_prometheus(&prom).expect("valid exposition with perf series");
+    assert!(prom.contains("rocksmash_perf_sampled_ops_total"));
+    assert!(prom.contains("rocksmash_perf_share_cloud"));
+    db.close().unwrap();
+}
+
 #[test]
 fn observability_off_records_nothing() {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());

@@ -1,0 +1,272 @@
+//! End-to-end perf-context and trace-span coverage across the tiered
+//! stack: a seeded slow cloud GET must emit a `SlowOp` whose stage
+//! breakdown accounts for the whole operation and whose trace id links
+//! to the cloud spans it caused; background work (flush → upload →
+//! cloud PUT) must share one trace; `multi_get` workers must merge
+//! their contexts back into the caller's.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use lsm::ReadOptions;
+use obs::EventKind;
+use rocksmash::{CacheKind, PlacementPolicy, TieredConfig, TieredDb};
+use storage::failpoint::{self, FailAction};
+use storage::{Env, MemEnv};
+
+/// Serializes every test in this binary: failpoints are process-global,
+/// and the armed test must not leak sleeps into its neighbours.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = FAILPOINTS.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::disarm_all();
+    guard
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("trace{i:05}").into_bytes()
+}
+
+/// Everything on the cloud tier with no persistent cache, so every data
+/// block read is a cloud GET the trace must attribute.
+fn cloud_config() -> TieredConfig {
+    TieredConfig {
+        options: lsm::Options {
+            write_buffer_size: 16 << 10,
+            target_file_size: 16 << 10,
+            max_bytes_for_level_base: 32 << 10,
+            l0_compaction_trigger: 2,
+            ..lsm::Options::small_for_tests()
+        },
+        placement: PlacementPolicy::all_cloud(),
+        cache: CacheKind::None,
+        slow_op_threshold: Duration::from_millis(10),
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+fn worked_db(config: TieredConfig) -> TieredDb {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = TieredDb::open(env, config).unwrap();
+    for i in 0..400usize {
+        db.put(&key(i), format!("v{i}-{}", "x".repeat(64)).as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    db
+}
+
+/// The seeded acceptance scenario: a cloud GET made slow via the
+/// `cloud_get` failpoint must surface as a `SlowOp` whose breakdown sums
+/// to within 10% of the measured duration and whose trace id links the
+/// root `get` span to the `cloud_get` child spans.
+#[test]
+fn slow_cloud_get_emits_slowop_with_breakdown_and_linked_spans() {
+    let _guard = lock();
+    let db = worked_db(cloud_config());
+
+    failpoint::arm("cloud_get", FailAction::Sleep(Duration::from_millis(30)));
+    let value = db.get_with(ReadOptions::default().with_perf_context(), &key(123)).unwrap();
+    failpoint::disarm_all();
+    assert!(value.is_some(), "seeded key must be readable through the slow path");
+
+    let events = db.observer().journal().events();
+    let (dur_ns, trace_id, breakdown) = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SlowOp { op, dur_ns, trace_id, breakdown } if op == "get" => {
+                Some((*dur_ns, *trace_id, breakdown.clone()))
+            }
+            _ => None,
+        })
+        .next_back()
+        .expect("slow get must reach the journal");
+    assert_ne!(trace_id, 0, "slow op must carry its trace id");
+    let breakdown = *breakdown.expect("SlowOp must embed the active perf breakdown");
+    assert!(breakdown.cloud_gets >= 1, "{breakdown:?}");
+    assert!(
+        breakdown.cloud_get_ns >= Duration::from_millis(30).as_nanos() as u64,
+        "seeded sleep must be attributed to the cloud stage: {breakdown:?}"
+    );
+    let sum = breakdown.stage_sum_ns();
+    assert!(sum <= dur_ns, "stages are sub-intervals of the op: {sum} > {dur_ns}");
+    assert!(
+        sum as f64 >= dur_ns as f64 * 0.9,
+        "stage sum {sum} accounts for less than 90% of the op's {dur_ns} ns"
+    );
+
+    // The trace links the root `get` span to the cloud GETs it caused.
+    let root = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SpanStart { trace_id: t, span_id, parent_span_id: 0, name }
+                if *t == trace_id && name == "get" =>
+            {
+                Some(*span_id)
+            }
+            _ => None,
+        })
+        .expect("root get span");
+    let cloud_child = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SpanStart { trace_id: t, span_id, parent_span_id, name }
+                if *t == trace_id && *parent_span_id == root && name == "cloud_get" =>
+            {
+                Some(*span_id)
+            }
+            _ => None,
+        })
+        .expect("cloud_get child span under the root get span");
+    for span in [root, cloud_child] {
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::SpanEnd { span_id, dur_ns, .. } if *span_id == span && *dur_ns > 0
+            )),
+            "span {span} never ended"
+        );
+    }
+    db.close().unwrap();
+}
+
+/// Background causality: the table a flush produces is uploaded under
+/// the flush's own trace, and the upload's cloud PUT nests beneath the
+/// upload span.
+#[test]
+fn flush_upload_and_cloud_put_share_one_trace() {
+    let _guard = lock();
+    let db = worked_db(cloud_config());
+    let events = db.observer().journal().events();
+
+    // (trace_id, span_id) of every root flush span.
+    let flush_roots: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SpanStart { trace_id, span_id, parent_span_id: 0, name }
+                if name == "flush" =>
+            {
+                Some((*trace_id, *span_id))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!flush_roots.is_empty(), "flushes must open root spans");
+
+    let upload = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SpanStart { trace_id, span_id, parent_span_id, name }
+                if name == "sst_upload" && flush_roots.contains(&(*trace_id, *parent_span_id)) =>
+            {
+                Some((*trace_id, *span_id))
+            }
+            _ => None,
+        })
+        .expect("an sst_upload span must nest under a flush root");
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.kind,
+            EventKind::SpanStart { trace_id, parent_span_id, name, .. }
+                if name == "cloud_put" && (*trace_id, *parent_span_id) == upload
+        )),
+        "the upload's cloud PUT must nest under the sst_upload span"
+    );
+    db.close().unwrap();
+}
+
+/// `with_perf_context` scopes a capture around arbitrary work: the eWAL
+/// append/sync stages of a write land in the returned context and fold
+/// into the observer's totals.
+#[test]
+fn with_perf_context_captures_wal_stages() {
+    let _guard = lock();
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = TieredDb::open(env, cloud_config()).unwrap();
+    let (result, ctx) = db.with_perf_context(|db| db.put(b"walkey", b"walvalue"));
+    result.unwrap();
+    assert!(ctx.wal_append_ns > 0, "eWAL append must be staged: {ctx:?}");
+    assert!(db.observer().perf_ops() >= 1);
+    assert!(db.observer().perf_totals().wal_append_ns >= ctx.wal_append_ns);
+    db.close().unwrap();
+}
+
+/// The parallel `multi_get` fan-out hands the caller's context to its
+/// pool workers and merges their stage counts back, so one breakdown
+/// covers the whole batch.
+#[test]
+fn multi_get_merges_worker_perf_into_caller_context() {
+    let _guard = lock();
+    let db = worked_db(cloud_config());
+    let keys: Vec<Vec<u8>> = (0..32).map(key).collect();
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let (result, ctx) = db.with_perf_context(|db| db.multi_get(&refs));
+    let values = result.unwrap();
+    assert!(values.iter().all(|v| v.is_some()));
+    // Every key crosses the block cache at least once, on whichever pool
+    // thread served it; the merged context must see all of them.
+    assert!(
+        ctx.block_cache_hits + ctx.block_cache_misses >= keys.len() as u64,
+        "worker stage counts missing from the merged context: {ctx:?}"
+    );
+    assert!(ctx.sst_read_ns > 0, "{ctx:?}");
+    db.close().unwrap();
+}
+
+/// Flushes and compactions answer to the (much higher) background
+/// threshold: a zero foreground threshold must not flood the journal
+/// with flush SlowOps, and a zero background threshold must.
+#[test]
+fn background_ops_answer_to_their_own_threshold() {
+    let _guard = lock();
+    let foreground_only = TieredConfig {
+        slow_op_threshold: Duration::ZERO,
+        slow_background_threshold: Duration::from_secs(600),
+        ..cloud_config()
+    };
+    let db = worked_db(foreground_only);
+    db.get(&key(7)).unwrap();
+    let slow_ops: Vec<String> = db
+        .observer()
+        .journal()
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::SlowOp { op, .. } => Some(op.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(slow_ops.iter().any(|op| op == "get"), "zero foreground threshold logs gets");
+    assert!(
+        !slow_ops.iter().any(|op| op == "flush" || op == "compaction"),
+        "background ops must not answer to the foreground threshold: {slow_ops:?}"
+    );
+    db.close().unwrap();
+
+    let background_only = TieredConfig {
+        slow_op_threshold: Duration::from_secs(600),
+        slow_background_threshold: Duration::ZERO,
+        ..cloud_config()
+    };
+    let db = worked_db(background_only);
+    let flush_slow = db
+        .observer()
+        .journal()
+        .events()
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::SlowOp { op, trace_id, .. } if op == "flush" => Some(*trace_id),
+            _ => None,
+        })
+        .expect("zero background threshold logs flushes");
+    assert_ne!(flush_slow, 0, "a flush SlowOp must link to the flush's own trace");
+    assert!(
+        !db.observer().journal().events().iter().any(|e| matches!(
+            &e.kind,
+            EventKind::SlowOp { op, .. } if op == "get" || op == "write"
+        )),
+        "foreground ops must not answer to the background threshold"
+    );
+    db.close().unwrap();
+}
