@@ -1,0 +1,75 @@
+//! Write throughput while the background pool is busy compacting.
+//!
+//! Tiny buffers and a low L0 trigger keep flushes and compactions running
+//! for the whole measurement, so the numbers capture the foreground cost
+//! of backpressure (memtable seals, queue-full waits, L0 stalls) rather
+//! than a quiet-tree fast path. Runs once with a single background job
+//! and once with a pool of four, so the delta shows what parallel
+//! flush/compaction scheduling buys the writer.
+//!
+//! Besides the criterion timings, each arm appends its full
+//! [`rocksmash::SchemeReport`] — including `stall_ns`, `flush_retries`,
+//! `imm_queue_peak`, and `compaction_parallelism_peak` — to
+//! `results/BENCH_write_stall.json` for the figure scripts.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lsm::Options;
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::MemEnv;
+
+/// Keys overwritten round-robin per measured batch: small enough that one
+/// iteration is quick, large enough to keep sealing memtables.
+const BATCH: usize = 400;
+/// Keyspace the batches cycle through; overwrites keep every level churning.
+const KEYSPACE: usize = 4_096;
+const VALUE: [u8; 256] = [0x5a; 256];
+
+/// A store tuned so the write stream continuously triggers flushes and
+/// compactions with the given background pool size.
+fn churn_db(jobs: usize) -> TieredDb {
+    let config = TieredConfig {
+        options: Options {
+            write_buffer_size: 16 << 10,
+            target_file_size: 8 << 10,
+            max_bytes_for_level_base: 32 << 10,
+            l0_compaction_trigger: 2,
+            max_background_jobs: jobs,
+            ..Options::small_for_tests()
+        },
+        ..TieredConfig::small_for_tests()
+    };
+    Scheme::LocalOnly.open(Arc::new(MemEnv::new()), config).expect("open")
+}
+
+fn bench_write_throughput_under_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_throughput_under_compaction");
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for jobs in [1usize, 4] {
+        let db = churn_db(jobs);
+        // Pre-churn so the tree is already deep and compacting when
+        // measurement starts.
+        for i in 0..KEYSPACE {
+            db.put(format!("key{i:06}").as_bytes(), &VALUE).expect("fill");
+        }
+        let mut next = 0usize;
+        g.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    next = (next + 1) % KEYSPACE;
+                    db.put(black_box(format!("key{next:06}").as_bytes()), &VALUE).expect("put");
+                }
+            })
+        });
+        db.flush().expect("flush");
+        db.wait_for_compactions().expect("settle");
+        let report = db.report().expect("report");
+        bench::emit_scheme_report("write_stall", &format!("jobs={jobs}"), &report);
+        db.close().expect("close");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_write_throughput_under_compaction);
+criterion_main!(benches);

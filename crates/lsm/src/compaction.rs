@@ -9,6 +9,7 @@
 //! rewrites its inputs, which keeps tier placement decisions (crate
 //! `rocksmash`) a pure function of the output level (see DESIGN.md).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use crate::error::Result;
@@ -67,60 +68,88 @@ pub fn level_scores(version: &Version, options: &Options) -> Vec<f64> {
     scores
 }
 
-/// Pick the most urgent compaction, or `None` when every level is within
-/// budget. `compact_pointer` rotates the victim file per level across calls
-/// so one hot level does not starve the key space.
+/// Pick the most urgent compaction that does not conflict with the
+/// in-flight jobs holding `busy` (their claimed input file numbers), or
+/// `None` when every level is within budget or every over-budget candidate
+/// conflicts. `compact_pointer` rotates the victim file per level across
+/// calls so one hot level does not starve the key space.
+///
+/// Conflict rule: a candidate is rejected when any of its would-be inputs
+/// is already claimed. Because inputs always include *every* next-level
+/// file overlapping the base range, disjoint claims imply disjoint output
+/// key ranges, so non-conflicting compactions can run concurrently and
+/// commit in any order.
 pub fn pick_compaction(
     version: &Version,
     options: &Options,
     compact_pointer: &mut [Vec<u8>],
+    busy: &BTreeSet<u64>,
 ) -> Option<Compaction> {
     let scores = level_scores(version, options);
-    let (level, score) = scores
-        .iter()
-        .copied()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
-    if score < 1.0 {
-        return None;
-    }
+    // Most urgent level first, but fall through to less urgent levels when
+    // the urgent one is fully claimed by in-flight work.
+    let mut over: Vec<(usize, f64)> =
+        scores.iter().copied().enumerate().filter(|&(_, s)| s >= 1.0).collect();
+    over.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    over.into_iter().find_map(|(level, _)| pick_at_level(version, level, compact_pointer, busy))
+}
 
-    let base: Vec<Arc<FileMetaData>> = if level == 0 {
+fn pick_at_level(
+    version: &Version,
+    level: usize,
+    compact_pointer: &mut [Vec<u8>],
+    busy: &BTreeSet<u64>,
+) -> Option<Compaction> {
+    if level == 0 {
         // Merge every L0 file: they overlap each other anyway, and taking
-        // all of them empties L0 in one shot.
-        version.levels[0].clone()
-    } else {
-        // Rotate through the level by key: first file starting after the
-        // pointer, wrapping to the first file.
-        let files = &version.levels[level];
-        let chosen = files
-            .iter()
-            .find(|f| {
-                compact_pointer[level].is_empty()
-                    || internal_compare(&f.smallest, &compact_pointer[level])
-                        == std::cmp::Ordering::Greater
-            })
-            .or_else(|| files.first())?;
-        vec![Arc::clone(chosen)]
-    };
-    if base.is_empty() {
+        // all of them empties L0 in one shot. That also means at most one
+        // L0→L1 compaction can be in flight: any L0 or overlapped-L1 claim
+        // blocks the next pick.
+        let base = version.levels[0].clone();
+        if base.is_empty() || version.range_claimed(0, None, None, busy) {
+            return None;
+        }
+        let begin =
+            base.iter().map(|f| extract_user_key(&f.smallest)).min().expect("non-empty").to_vec();
+        let end =
+            base.iter().map(|f| extract_user_key(&f.largest)).max().expect("non-empty").to_vec();
+        if version.range_claimed(1, Some(&begin), Some(&end), busy) {
+            return None;
+        }
+        let overlap = version.overlapping_files(1, Some(&begin), Some(&end));
+        return Some(Compaction { level: 0, inputs: [base, overlap] });
+    }
+    // Rotate through the level by key: first file starting after the
+    // pointer, wrapping to the first file. Conflicting candidates are
+    // skipped instead of picked, so a busy key range does not block
+    // compacting the rest of the level.
+    let files = &version.levels[level];
+    if files.is_empty() {
         return None;
     }
-
-    // Key range of the inputs at `level`.
-    let begin =
-        base.iter().map(|f| extract_user_key(&f.smallest)).min().expect("non-empty").to_vec();
-    let end = base.iter().map(|f| extract_user_key(&f.largest)).max().expect("non-empty").to_vec();
-
-    let overlap = version.overlapping_files(level + 1, Some(&begin), Some(&end));
-    if level > 0 {
-        compact_pointer[level] = base
-            .iter()
-            .map(|f| f.largest.clone())
-            .max_by(|a, b| internal_compare(a, b))
-            .expect("non-empty");
+    let start = files
+        .iter()
+        .position(|f| {
+            compact_pointer[level].is_empty()
+                || internal_compare(&f.smallest, &compact_pointer[level])
+                    == std::cmp::Ordering::Greater
+        })
+        .unwrap_or(0);
+    for step in 0..files.len() {
+        let f = &files[(start + step) % files.len()];
+        if busy.contains(&f.number) {
+            continue;
+        }
+        let begin = extract_user_key(&f.smallest).to_vec();
+        let end = extract_user_key(&f.largest).to_vec();
+        if version.range_claimed(level + 1, Some(&begin), Some(&end), busy) {
+            continue;
+        }
+        let overlap = version.overlapping_files(level + 1, Some(&begin), Some(&end));
+        compact_pointer[level] = f.largest.clone();
+        return Some(Compaction { level, inputs: [vec![Arc::clone(f)], overlap] });
     }
-    Some(Compaction { level, inputs: [base, overlap] })
+    None
 }
 
 /// Lazy iterator over the disjoint, sorted files of one level (> 0): opens
@@ -241,7 +270,7 @@ mod tests {
         let mut version = Version::empty(7);
         version.levels[0] = vec![meta(1, "a", "b", 100)];
         let mut ptrs = vec![Vec::new(); 7];
-        assert!(pick_compaction(&version, &options, &mut ptrs).is_none());
+        assert!(pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).is_none());
     }
 
     #[test]
@@ -251,7 +280,7 @@ mod tests {
         version.levels[0] = vec![meta(3, "d", "k", 100), meta(2, "a", "f", 100)];
         version.levels[1] = vec![meta(1, "a", "c", 100), meta(4, "m", "z", 100)];
         let mut ptrs = vec![Vec::new(); 7];
-        let c = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        let c = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
         assert_eq!(c.level, 0);
         assert_eq!(c.inputs[0].len(), 2);
         // Range a..k overlaps only the first L1 file.
@@ -272,7 +301,7 @@ mod tests {
         version.levels[1] = vec![meta(1, "a", "f", 900), meta(2, "g", "p", 900)];
         version.levels[2] = vec![meta(3, "a", "e", 100)];
         let mut ptrs = vec![Vec::new(); 7];
-        let c = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        let c = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
         assert_eq!(c.level, 1);
         assert_eq!(c.inputs[0].len(), 1);
         assert_eq!(c.inputs[0][0].number, 1);
@@ -289,12 +318,72 @@ mod tests {
         let mut version = Version::empty(7);
         version.levels[1] = vec![meta(1, "a", "c", 200), meta(2, "d", "f", 200)];
         let mut ptrs = vec![Vec::new(); 7];
-        let c1 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        let c1 = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
         assert_eq!(c1.inputs[0][0].number, 1);
-        let c2 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        let c2 = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
         assert_eq!(c2.inputs[0][0].number, 2, "pointer must advance past file 1");
-        let c3 = pick_compaction(&version, &options, &mut ptrs).unwrap();
+        let c3 = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
         assert_eq!(c3.inputs[0][0].number, 1, "pointer wraps");
+    }
+
+    #[test]
+    fn busy_inputs_are_never_picked_twice() {
+        let options = Options {
+            max_bytes_for_level_base: 100,
+            l0_compaction_trigger: 100,
+            ..Options::default()
+        };
+        let mut version = Version::empty(7);
+        version.levels[1] = vec![meta(1, "a", "c", 200), meta(2, "d", "f", 200)];
+        version.levels[2] = vec![meta(3, "a", "c", 10), meta(4, "d", "f", 10)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let c1 = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
+        assert_eq!(c1.inputs[0][0].number, 1);
+        let busy: BTreeSet<u64> = c1.all_inputs().map(|(_, f)| f.number).collect();
+        // With file 1 (and its L2 overlap, file 3) claimed, the pick lands
+        // on the disjoint candidate instead of conflicting or giving up.
+        let c2 = pick_compaction(&version, &options, &mut ptrs, &busy).unwrap();
+        assert_eq!(c2.inputs[0][0].number, 2);
+        assert!(c2.all_inputs().all(|(_, f)| !busy.contains(&f.number)));
+        // Everything claimed: nothing left to pick.
+        let all: BTreeSet<u64> =
+            busy.union(&c2.all_inputs().map(|(_, f)| f.number).collect()).copied().collect();
+        assert!(pick_compaction(&version, &options, &mut ptrs, &all).is_none());
+    }
+
+    #[test]
+    fn second_l0_compaction_is_blocked_while_one_runs() {
+        let options = Options { l0_compaction_trigger: 2, ..Options::default() };
+        let mut version = Version::empty(7);
+        version.levels[0] = vec![meta(3, "d", "k", 100), meta(2, "a", "f", 100)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let c = pick_compaction(&version, &options, &mut ptrs, &BTreeSet::new()).unwrap();
+        assert_eq!(c.level, 0);
+        let busy: BTreeSet<u64> = c.all_inputs().map(|(_, f)| f.number).collect();
+        // Even if another flush has landed a fresh L0 file meanwhile, a
+        // second L0 merge would take the claimed files too; it must wait.
+        version.levels[0].push(meta(9, "a", "z", 100));
+        assert!(pick_compaction(&version, &options, &mut ptrs, &busy).is_none());
+    }
+
+    #[test]
+    fn busy_urgent_level_falls_through_to_next_over_budget_level() {
+        let options = Options {
+            max_bytes_for_level_base: 100,
+            level_size_multiplier: 10,
+            l0_compaction_trigger: 100,
+            ..Options::default()
+        };
+        let mut version = Version::empty(7);
+        // L1 is the most over budget but fully claimed; L2 is also over
+        // budget and free.
+        version.levels[1] = vec![meta(1, "a", "c", 100_000)];
+        version.levels[2] = vec![meta(2, "p", "r", 100_000)];
+        let mut ptrs = vec![Vec::new(); 7];
+        let busy: BTreeSet<u64> = [1].into_iter().collect();
+        let c = pick_compaction(&version, &options, &mut ptrs, &busy).unwrap();
+        assert_eq!(c.level, 2);
+        assert_eq!(c.inputs[0][0].number, 2);
     }
 
     #[test]

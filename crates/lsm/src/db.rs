@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rayon::prelude::*;
@@ -28,7 +28,9 @@ use crate::memtable::{LookupResult, MemTable};
 use crate::options::{Options, ReadOptions};
 use crate::prefetch::Prefetcher;
 use crate::sstable::{Table, TableBuilder};
-use crate::types::{make_lookup_key, parse_internal_key, SequenceNumber, ValueType, MAX_SEQUENCE};
+use crate::types::{
+    extract_user_key, make_lookup_key, parse_internal_key, SequenceNumber, ValueType, MAX_SEQUENCE,
+};
 use crate::version::{log_name, sst_name, FileMetaData, Version, VersionEdit, VersionSet};
 use crate::wal::{LogReader, LogWriter};
 
@@ -47,6 +49,24 @@ pub trait FileRouter: Send + Sync {
 
     /// Table `number` is obsolete; remove it from every tier.
     fn delete_table(&self, env: &dyn Env, number: u64) -> storage::Result<()>;
+
+    /// Batch form of [`FileRouter::delete_table`] for tables that became
+    /// obsolete together (e.g. all inputs of one compaction). Routers with
+    /// per-file bookkeeping override this to amortize it; a failure on one
+    /// file does not stop the rest of the batch — the first error is
+    /// reported after every file has been attempted.
+    fn delete_tables(&self, env: &dyn Env, numbers: &[u64]) -> storage::Result<()> {
+        let mut first_err = None;
+        for &number in numbers {
+            if let Err(e) = self.delete_table(env, number) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Router that keeps every table on the local environment.
@@ -86,11 +106,24 @@ pub struct DbStats {
     pub compact_bytes_out: AtomicU64,
     /// Nanoseconds writers spent stalled waiting for room.
     pub stall_ns: AtomicU64,
+    /// Flush attempts that failed and were requeued for a backed-off retry.
+    pub flush_retries: AtomicU64,
+    /// Range-partitioned subcompaction workers run (counted only when a
+    /// picked compaction was actually split).
+    pub subcompactions: AtomicU64,
+    /// Most compactions ever observed executing at the same time.
+    pub compaction_parallelism_peak: AtomicU64,
+    /// Deepest the immutable-memtable flush queue has ever been.
+    pub imm_queue_peak: AtomicU64,
 }
 
 impl DbStats {
     fn add(&self, counter: &AtomicU64, v: u64) {
         counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn peak(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
     }
 }
 
@@ -120,19 +153,49 @@ impl Drop for Snapshot {
     }
 }
 
+/// One sealed memtable in the flush queue.
+struct ImmEntry {
+    /// Monotonic flush ticket. [`Db::seal_memtable`] hands it out; waiters
+    /// compare it against the queue front to tell when the flush landed.
+    id: u64,
+    mem: Arc<MemTable>,
+    /// WAL number that became active when this memtable was sealed — its
+    /// contents live entirely in logs older than this.
+    wal_floor: u64,
+    /// Taken by a background flush job. The entry stays in the queue (and
+    /// visible to readers) until its L0 table commits; a failed flush
+    /// unclaims it so a later retry preserves the data.
+    claimed: bool,
+}
+
 struct DbState {
     mem: Arc<MemTable>,
-    imm: Option<Arc<MemTable>>,
+    /// Sealed memtables awaiting flush, oldest first. Writers stall in
+    /// `make_room` only once this queue holds `max_imm_memtables` entries.
+    imm: VecDeque<ImmEntry>,
+    next_imm_id: u64,
+    /// Flush tickets that committed out of order (id → WAL floor), held
+    /// until every older queue entry commits: the manifest's log number
+    /// may only advance over a contiguous committed prefix, or a crash
+    /// would drop WALs still covering unflushed older memtables.
+    flush_done: BTreeMap<u64, u64>,
     wal: Option<LogWriter>,
     wal_number: u64,
     versions: VersionSet,
     compact_pointer: Vec<Vec<u8>>,
     bg_error: Option<String>,
-    /// True while a compaction is executing (the state lock is released
-    /// during the merge, so picking must be mutually exclusive with any
-    /// in-flight execution or two compactions could claim overlapping
-    /// inputs).
-    compacting: bool,
+    /// Exponential delay applied to background claims after a failed job;
+    /// zero while healthy (the failed-flush busy-loop fix).
+    bg_backoff: Duration,
+    bg_backoff_until: Option<Instant>,
+    /// File numbers claimed as inputs by in-flight compactions. The state
+    /// lock is released during each merge, so picking consults this set —
+    /// a candidate touching any claimed file is skipped, which keeps
+    /// concurrent compactions on disjoint inputs (and therefore disjoint
+    /// output key ranges).
+    compacting_inputs: BTreeSet<u64>,
+    /// Compactions currently executing on the pool.
+    compactions_inflight: usize,
     /// Superseded versions paired with the files their replacement
     /// obsoleted. A file is physically deleted only once every version
     /// that could reference it has been released by readers (the queue is
@@ -153,6 +216,26 @@ const PREFETCH_WORKERS: usize = 2;
 /// Below this many keys, `multi_get` stays serial: the rayon dispatch
 /// overhead exceeds what fan-out saves on local (sub-µs) reads.
 const MULTI_GET_PARALLEL_THRESHOLD: usize = 8;
+
+/// Hard cap on the background pool regardless of
+/// [`Options::max_background_jobs`], mirroring the `multi_get` pool bound.
+const MAX_BG_POOL: usize = 16;
+
+/// First retry delay after a background failure; doubles per consecutive
+/// failure up to [`BG_BACKOFF_MAX`].
+const BG_BACKOFF_BASE: Duration = Duration::from_millis(10);
+const BG_BACKOFF_MAX: Duration = Duration::from_secs(5);
+
+/// Bound on every background/writer park. Nothing waits on a condvar
+/// longer than this without re-checking shutdown and `bg_error`, so a dead
+/// worker or a surfaced error is noticed promptly instead of hanging a
+/// writer forever.
+const BG_WAIT: Duration = Duration::from_millis(100);
+
+/// Worker threads in the background flush/compaction pool.
+fn bg_pool_size(options: &Options) -> usize {
+    options.max_background_jobs.clamp(1, MAX_BG_POOL)
+}
 
 /// Shared fan-out pool for `multi_get`. One process-wide pool bounds the
 /// total thread count no matter how many `Db` instances exist (benchmarks
@@ -177,7 +260,10 @@ fn multi_get_pool() -> &'static rayon::ThreadPool {
 struct ReadSnapshot {
     seq: SequenceNumber,
     mem: Arc<MemTable>,
-    imm: Option<Arc<MemTable>>,
+    /// Sealed memtables newest-first (the probe order after `mem`),
+    /// including entries claimed by in-flight flushes — their data is not
+    /// in any committed table yet.
+    imm: Vec<Arc<MemTable>>,
     version: Arc<Version>,
 }
 
@@ -259,7 +345,7 @@ impl DbShared {
         ReadSnapshot {
             seq: seq_override.unwrap_or(state.versions.last_sequence),
             mem: Arc::clone(&state.mem),
-            imm: state.imm.clone(),
+            imm: state.imm.iter().rev().map(|e| Arc::clone(&e.mem)).collect(),
             version: state.versions.current(),
         }
     }
@@ -274,7 +360,7 @@ impl TableProvider for DbShared {
 /// An open LSM database.
 pub struct Db {
     shared: Arc<DbShared>,
-    bg_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    bg_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Db {
@@ -349,13 +435,18 @@ impl Db {
             prefetcher,
             state: Mutex::new(DbState {
                 mem,
-                imm: None,
+                imm: VecDeque::new(),
+                next_imm_id: 1,
+                flush_done: BTreeMap::new(),
                 wal: None,
                 wal_number: 0,
                 versions,
                 compact_pointer: vec![Vec::new(); options.num_levels],
                 bg_error: None,
-                compacting: false,
+                bg_backoff: Duration::ZERO,
+                bg_backoff_until: None,
+                compacting_inputs: BTreeSet::new(),
+                compactions_inflight: 0,
                 retired: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
@@ -374,7 +465,7 @@ impl Db {
             let mut state = shared.state.lock();
             if !state.mem.is_empty() {
                 let mem = Arc::clone(&state.mem);
-                Self::write_level0_table(&shared, &mut state, &mem)?;
+                Self::write_level0_table(&shared, &mut state, &mem, FlushCommit::Direct)?;
                 state.mem = Arc::new(MemTable::new());
             }
             if shared.options.wal_enabled {
@@ -388,13 +479,19 @@ impl Db {
             Self::gc_obsolete_files(&shared, &mut state)?;
         }
 
-        let db = Db { shared: Arc::clone(&shared), bg_thread: Mutex::new(None) };
-        let bg_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("lsm-bg".into())
-            .spawn(move || background_main(bg_shared))
-            .expect("spawn background thread");
-        *db.bg_thread.lock() = Some(handle);
+        let db = Db { shared: Arc::clone(&shared), bg_threads: Mutex::new(Vec::new()) };
+        let workers = bg_pool_size(&shared.options);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let bg_shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lsm-bg-{i}"))
+                    .spawn(move || background_worker(bg_shared))
+                    .expect("spawn background thread"),
+            );
+        }
+        *db.bg_threads.lock() = handles;
         Ok(db)
     }
 
@@ -542,7 +639,7 @@ impl Db {
         let snap = shared.read_snapshot(seq_override);
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
         children.push(Box::new(snap.mem.iter()));
-        if let Some(imm) = &snap.imm {
+        for imm in &snap.imm {
             children.push(Box::new(imm.iter()));
         }
         for meta in &snap.version.levels[0] {
@@ -587,32 +684,87 @@ impl Db {
         let shared = &self.shared;
         let mut state = shared.state.lock();
         state.versions.last_sequence = state.versions.last_sequence.max(max_sequence);
-        Self::write_level0_table(shared, &mut state, mem)?;
+        Self::write_level0_table(shared, &mut state, mem, FlushCommit::Direct)?;
         Ok(())
     }
 
-    /// Force the current memtable to disk and wait for it. A no-op on an
-    /// empty database.
+    /// Force the current memtable to disk and wait until the whole flush
+    /// queue (including it) has drained. A no-op on an empty database.
     pub fn flush(&self) -> Result<()> {
         let shared = &self.shared;
         let mut state = shared.state.lock();
-        if state.mem.is_empty() && state.imm.is_none() {
-            return Ok(());
-        }
-        // Wait until the previous immutable memtable drains.
-        while state.imm.is_some() {
-            Self::check_bg_error(&state)?;
-            shared.room_cv.wait(&mut state);
-        }
         if !state.mem.is_empty() {
             self.switch_memtable(&mut state)?;
-            shared.work_cv.notify_all();
         }
-        while state.imm.is_some() {
+        let ticket = match state.imm.back() {
+            Some(entry) => entry.id,
+            None => return Ok(()),
+        };
+        Self::wait_flush_locked(shared, &mut state, ticket)
+    }
+
+    /// Seal the current memtable into the flush queue without waiting for
+    /// the background flush. Returns a ticket to poll via
+    /// [`Db::flush_caught_up`] or block on via [`Db::wait_flush`], or
+    /// `None` when the memtable is empty and the queue has already
+    /// drained. Applies the same queue-full backpressure as writers.
+    pub fn seal_memtable(&self) -> Result<Option<u64>> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        if state.mem.is_empty() {
             Self::check_bg_error(&state)?;
-            shared.room_cv.wait(&mut state);
+            return Ok(state.imm.back().map(|e| e.id));
         }
-        Ok(())
+        let cap = shared.options.max_imm_memtables.max(1);
+        loop {
+            Self::check_bg_error(&state)?;
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Err(Error::Closed);
+            }
+            if state.imm.len() < cap {
+                break;
+            }
+            let stalled = Instant::now();
+            shared.work_cv.notify_all();
+            shared.room_cv.wait_for(&mut state, BG_WAIT);
+            Self::record_stall(shared, stalled);
+        }
+        let ticket = self.switch_memtable(&mut state)?;
+        shared.work_cv.notify_all();
+        Ok(Some(ticket))
+    }
+
+    /// Whether every memtable sealed up to `ticket` has been flushed.
+    /// Errors when the background scheduler has failed.
+    pub fn flush_caught_up(&self, ticket: u64) -> Result<bool> {
+        let state = self.shared.state.lock();
+        Self::check_bg_error(&state)?;
+        Ok(state.imm.front().is_none_or(|e| e.id > ticket))
+    }
+
+    /// Block until the memtable sealed as `ticket` has been flushed.
+    pub fn wait_flush(&self, ticket: u64) -> Result<()> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock();
+        Self::wait_flush_locked(shared, &mut state, ticket)
+    }
+
+    fn wait_flush_locked(
+        shared: &Arc<DbShared>,
+        state: &mut parking_lot::MutexGuard<'_, DbState>,
+        ticket: u64,
+    ) -> Result<()> {
+        loop {
+            Self::check_bg_error(state)?;
+            if state.imm.front().is_none_or(|e| e.id > ticket) {
+                return Ok(());
+            }
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Err(Error::Closed);
+            }
+            shared.work_cv.notify_all();
+            shared.room_cv.wait_for(state, BG_WAIT);
+        }
     }
 
     /// Wait until no compaction work is pending (levels within budget and
@@ -623,7 +775,8 @@ impl Db {
         loop {
             Self::check_bg_error(&state)?;
             let scores = level_scores(&state.versions.current(), &shared.options);
-            let busy = state.imm.is_some()
+            let busy = !state.imm.is_empty()
+                || state.compactions_inflight > 0
                 || (shared.options.auto_compaction && scores.iter().any(|&s| s >= 1.0));
             if !busy {
                 return Ok(());
@@ -720,10 +873,11 @@ impl Db {
             loop {
                 let mut state = shared.state.lock();
                 Self::check_bg_error(&state)?;
-                if state.compacting {
-                    // An automatic compaction is mid-flight; wait and
-                    // re-evaluate against the version it produces.
-                    shared.room_cv.wait_for(&mut state, std::time::Duration::from_millis(20));
+                if !state.compacting_inputs.is_empty() {
+                    // Automatic compactions are mid-flight; wait until all
+                    // claims drain and re-evaluate against the versions
+                    // they produce, so the manual pick cannot conflict.
+                    shared.room_cv.wait_for(&mut state, Duration::from_millis(20));
                     continue;
                 }
                 let version = state.versions.current();
@@ -747,7 +901,7 @@ impl Db {
                     .expect("non-empty");
                 let overlap = version.overlapping_files(level + 1, Some(&lo), Some(&hi));
                 let compaction = Compaction { level, inputs: [inputs0, overlap] };
-                run_compaction(shared, &mut state, version, compaction)?;
+                run_claimed_compaction(shared, &mut state, version, compaction)?;
             }
         }
         Ok(())
@@ -874,8 +1028,9 @@ impl Db {
         }
     }
 
-    fn switch_memtable(&self, state: &mut DbState) -> Result<()> {
-        debug_assert!(state.imm.is_none());
+    /// Seal the current memtable into the flush queue (rotating the WAL
+    /// first) and return its ticket id.
+    fn switch_memtable(&self, state: &mut DbState) -> Result<u64> {
         let shared = &self.shared;
         if shared.options.wal_enabled {
             if let Some(wal) = state.wal.take() {
@@ -886,8 +1041,17 @@ impl Db {
             state.wal = Some(LogWriter::new(file));
             state.wal_number = number;
         }
-        state.imm = Some(std::mem::replace(&mut state.mem, Arc::new(MemTable::new())));
-        Ok(())
+        let id = state.next_imm_id;
+        state.next_imm_id += 1;
+        let sealed = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+        state.imm.push_back(ImmEntry {
+            id,
+            mem: sealed,
+            wal_floor: state.wal_number,
+            claimed: false,
+        });
+        shared.stats.peak(&shared.stats.imm_queue_peak, state.imm.len() as u64);
+        Ok(id)
     }
 
     fn make_room(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
@@ -904,22 +1068,35 @@ impl Db {
                 // Caller drives flushes explicitly; admit the write.
                 return Ok(());
             }
-            let stalled = Instant::now();
-            if state.imm.is_some() {
+            if state.imm.len() >= shared.options.max_imm_memtables.max(1) {
+                // Flush queue is full: wait (bounded) for a flush to drain.
+                let stalled = Instant::now();
                 shared.work_cv.notify_all();
-                shared.room_cv.wait(state);
+                shared.room_cv.wait_for(state, BG_WAIT);
+                Self::record_stall(shared, stalled);
             } else if state.versions.current().levels[0].len() >= shared.options.l0_stall_trigger {
+                let stalled = Instant::now();
                 shared.work_cv.notify_all();
-                shared.room_cv.wait_for(state, std::time::Duration::from_millis(10));
+                shared.room_cv.wait_for(state, Duration::from_millis(10));
+                Self::record_stall(shared, stalled);
             } else {
+                // Seal into the queue and admit the write immediately: no
+                // wait happened, so no stall is recorded.
                 self.switch_memtable(state)?;
                 shared.work_cv.notify_all();
-                continue;
             }
-            let stall_ns = stalled.elapsed().as_nanos() as u64;
-            shared.stats.add(&shared.stats.stall_ns, stall_ns);
-            shared.obs.event(obs::EventKind::WriterStall { dur_ns: stall_ns });
         }
+    }
+
+    /// Record a writer stall that began at `stalled`. Zero-length waits
+    /// (e.g. a wait that returned immediately) are not reported.
+    fn record_stall(shared: &DbShared, stalled: Instant) {
+        let stall_ns = stalled.elapsed().as_nanos() as u64;
+        if stall_ns == 0 {
+            return;
+        }
+        shared.stats.add(&shared.stats.stall_ns, stall_ns);
+        shared.obs.event(obs::EventKind::WriterStall { dur_ns: stall_ns });
     }
 
     /// Build an L0 table from `mem` and install it. Called with the state
@@ -928,12 +1105,12 @@ impl Db {
         shared: &Arc<DbShared>,
         state: &mut parking_lot::MutexGuard<'_, DbState>,
         mem: &Arc<MemTable>,
+        commit: FlushCommit,
     ) -> Result<()> {
         // Crash site: dying at flush start must lose nothing — every
         // flushed-from record is still replayable from the WAL/eWAL.
         storage::failpoint::fail_point("flush_begin")?;
         let number = state.versions.new_file_number();
-        let wal_floor = state.wal_number;
         let timer = shared.obs.start();
         // Root span for the flush trace: the SST upload and cache fills it
         // triggers open child spans under it.
@@ -962,11 +1139,20 @@ impl Db {
         })?;
         let flushed_bytes = meta.as_ref().map_or(0, |m| m.file_size);
         if let Some(meta) = meta {
-            let edit = VersionEdit {
-                log_number: Some(wal_floor),
-                new_files: vec![(0, meta)],
-                ..Default::default()
+            // Flushes commit out of order, but log_number may only advance
+            // past WALs whose memtables have *all* been flushed: the floor
+            // is advanced only by the flush that completes the contiguous
+            // prefix of the seal order.
+            let log_number = match &commit {
+                FlushCommit::Direct => {
+                    debug_assert!(state.imm.is_empty(), "direct flush with queued memtables");
+                    Some(state.wal_number)
+                }
+                FlushCommit::Queued { id, wal_floor } => {
+                    Self::queued_log_floor(state, *id, *wal_floor)
+                }
             };
+            let edit = VersionEdit { log_number, new_files: vec![(0, meta)], ..Default::default() };
             let prev = state.versions.current();
             // Crash site: the L0 table is fully written but not yet
             // referenced by the manifest — recovery must treat it as an
@@ -978,6 +1164,9 @@ impl Db {
             // deletions queued by *later* transitions.
             state.retired.push_back((prev, Vec::new()));
         }
+        if let FlushCommit::Queued { id, wal_floor } = commit {
+            Self::settle_flush_ticket(state, id, wal_floor);
+        }
         shared.stats.add(&shared.stats.flushes, 1);
         shared.obs.finish(obs::Op::Flush, timer);
         shared.obs.event(obs::EventKind::FlushEnd {
@@ -986,6 +1175,48 @@ impl Db {
         });
         Self::gc_obsolete_files(shared, state)?;
         Ok(())
+    }
+
+    /// The `log_number` to stamp on a queued flush's version edit, or
+    /// `None` when older memtables are still unflushed (the floor may not
+    /// advance past their WALs yet).
+    ///
+    /// Flushes commit out of order, so the floor only moves when the
+    /// committing flush is the oldest still queued: it then covers its own
+    /// WAL plus every already-settled floor below the new front boundary.
+    fn queued_log_floor(state: &DbState, id: u64, wal_floor: u64) -> Option<u64> {
+        let oldest_other = state.imm.iter().filter(|e| e.id != id).map(|e| e.id).min();
+        if oldest_other.is_some_and(|o| o < id) {
+            return None;
+        }
+        let settled = state
+            .flush_done
+            .iter()
+            .filter(|(done, _)| oldest_other.is_none_or(|b| **done < b))
+            .map(|(_, floor)| *floor)
+            .max();
+        Some(wal_floor.max(settled.unwrap_or(0)))
+    }
+
+    /// Remove a committed flush's entry from the queue and fold its WAL
+    /// floor into the settled set consumed by [`Db::queued_log_floor`].
+    fn settle_flush_ticket(state: &mut DbState, id: u64, wal_floor: u64) {
+        state.imm.retain(|e| e.id != id);
+        match state.imm.front().map(|e| e.id) {
+            // Queue drained: every settled floor was folded into the edit
+            // this flush (or an earlier one) committed.
+            None => state.flush_done.clear(),
+            // This flush completed the contiguous prefix: floors below the
+            // new front boundary were consumed by `queued_log_floor`.
+            Some(oldest) if id < oldest => {
+                state.flush_done.retain(|done, _| *done >= oldest);
+            }
+            // Out-of-order completion: park the floor until the prefix
+            // catches up.
+            Some(_) => {
+                state.flush_done.insert(id, wal_floor);
+            }
+        }
     }
 
     /// Delete files no version references: old WALs, orphaned SSTs, stale
@@ -1039,7 +1270,7 @@ impl Db {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_cv.notify_all();
         self.shared.room_cv.notify_all();
-        if let Some(handle) = self.bg_thread.lock().take() {
+        for handle in self.bg_threads.lock().drain(..) {
             let _ = handle.join();
         }
         if let Some(prefetcher) = &self.shared.prefetcher {
@@ -1072,8 +1303,11 @@ fn get_with_snapshot(
     let mem_probe = obs::perf::start_stage();
     let mut probed = snap.mem.get(key, snap.seq);
     if matches!(probed, LookupResult::NotFound) {
-        if let Some(imm) = &snap.imm {
+        for imm in &snap.imm {
             probed = imm.get(key, snap.seq);
+            if !matches!(probed, LookupResult::NotFound) {
+                break;
+            }
         }
     }
     obs::perf::finish_stage(mem_probe, |c, ns| c.memtable_probe_ns += ns);
@@ -1123,103 +1357,231 @@ fn get_with_snapshot(
     }
 }
 
-/// Background thread: flush immutable memtables, then run compactions while
-/// any level is over budget.
-fn background_main(shared: Arc<DbShared>) {
+/// How a flush commit interacts with the immutable-memtable queue.
+enum FlushCommit {
+    /// The memtable is not in the queue (recovery, partition ingest): the
+    /// queue must be empty and `log_number` advances to the current WAL.
+    Direct,
+    /// The memtable was sealed into the queue as `id` with WAL floor
+    /// `wal_floor`; the commit removes the entry and advances the floor
+    /// only when it completes the contiguous prefix of the seal order.
+    Queued { id: u64, wal_floor: u64 },
+}
+
+/// One unit of background work claimed under the state lock.
+enum BgJob {
+    Flush { id: u64, mem: Arc<MemTable>, wal_floor: u64 },
+    Compaction { version: Arc<Version>, compaction: Compaction },
+}
+
+/// Background pool worker: claim flushes and non-conflicting compactions
+/// and run them until shutdown. Each worker holds the state lock while
+/// claiming (so claims are atomic) and releases it during I/O via
+/// `MutexGuard::unlocked` inside the job bodies.
+fn background_worker(shared: Arc<DbShared>) {
     loop {
         let mut state = shared.state.lock();
-        loop {
+        let job = loop {
             if shared.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            let scores = level_scores(&state.versions.current(), &shared.options);
-            let has_work = state.imm.is_some()
-                || (shared.options.auto_compaction
-                    && state.bg_error.is_none()
-                    && scores.iter().any(|&s| s >= 1.0));
-            if has_work {
-                break;
+            gc_retired_versions(&shared, &mut state);
+            if let Some(job) = claim_job(&shared, &mut state) {
+                break job;
             }
-            shared.work_cv.wait_for(&mut state, std::time::Duration::from_millis(100));
-        }
-        let result = step_background(&shared, &mut state);
-        if let Err(e) = result {
-            state.bg_error = Some(e.to_string());
+            let wait = claim_wait(&state);
+            shared.work_cv.wait_for(&mut state, wait);
+        };
+        match job {
+            BgJob::Flush { id, mem, wal_floor } => {
+                run_flush_job(&shared, &mut state, id, &mem, wal_floor);
+            }
+            BgJob::Compaction { version, compaction } => {
+                let result = run_claimed_compaction(&shared, &mut state, version, compaction);
+                note_bg_outcome(&shared, &mut state, "compaction", result);
+            }
         }
         shared.room_cv.notify_all();
     }
 }
 
-fn step_background(
-    shared: &Arc<DbShared>,
-    state: &mut parking_lot::MutexGuard<'_, DbState>,
-) -> Result<()> {
-    gc_retired_versions(shared, state);
-    if let Some(imm) = state.imm.clone() {
-        Db::write_level0_table(shared, state, &imm)?;
-        state.imm = None;
-        return Ok(());
+/// How long an idle worker sleeps before re-polling for work: the normal
+/// poll interval, shortened to wake exactly when an error backoff expires.
+fn claim_wait(state: &DbState) -> Duration {
+    match state.bg_backoff_until {
+        Some(until) => until
+            .saturating_duration_since(Instant::now())
+            .min(BG_WAIT)
+            .max(Duration::from_millis(1)),
+        None => BG_WAIT,
     }
-    if shared.options.auto_compaction {
-        run_one_compaction(shared, state)?;
-    }
-    Ok(())
 }
 
-/// Pick and execute a single compaction. Returns whether one ran. When a
-/// compaction is already executing on another thread, waits for it and
-/// reports false (the caller re-evaluates the tree shape).
+/// Whether background work may start: always when healthy, and only after
+/// the exponential backoff expires while a background error is standing.
+/// This is what stops a failing flush from busy-looping.
+fn bg_gate_open(state: &DbState) -> bool {
+    state.bg_error.is_none() || state.bg_backoff_until.is_none_or(|t| Instant::now() >= t)
+}
+
+/// Claim the next runnable background job under the state lock. Flushes
+/// take priority (they unblock writers); compactions are picked against the
+/// set of in-flight input files so concurrent claims never overlap, and one
+/// pool slot is reserved for flushes so compactions cannot starve them.
+fn claim_job(shared: &Arc<DbShared>, state: &mut DbState) -> Option<BgJob> {
+    if !bg_gate_open(state) {
+        return None;
+    }
+    if let Some(entry) = state.imm.iter_mut().find(|e| !e.claimed) {
+        entry.claimed = true;
+        return Some(BgJob::Flush {
+            id: entry.id,
+            mem: Arc::clone(&entry.mem),
+            wal_floor: entry.wal_floor,
+        });
+    }
+    if !shared.options.auto_compaction {
+        return None;
+    }
+    let slots = bg_pool_size(&shared.options).saturating_sub(1).max(1);
+    if state.compactions_inflight >= slots {
+        return None;
+    }
+    let version = state.versions.current();
+    let compaction = pick_compaction(
+        &version,
+        &shared.options,
+        &mut state.compact_pointer,
+        &state.compacting_inputs,
+    )?;
+    Some(BgJob::Compaction { version, compaction })
+}
+
+/// Run a claimed flush: build the L0 table and commit it, or unclaim the
+/// queue entry on failure so the next gate-open worker retries it.
+fn run_flush_job(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+    id: u64,
+    mem: &Arc<MemTable>,
+    wal_floor: u64,
+) {
+    let result = Db::write_level0_table(shared, state, mem, FlushCommit::Queued { id, wal_floor });
+    if result.is_err() {
+        if let Some(entry) = state.imm.iter_mut().find(|e| e.id == id) {
+            entry.claimed = false;
+        }
+        shared.stats.add(&shared.stats.flush_retries, 1);
+    }
+    note_bg_outcome(shared, state, "flush", result);
+}
+
+/// Fold a background job's outcome into the error/backoff state: success
+/// clears both, failure records the error and doubles the backoff.
+fn note_bg_outcome(
+    shared: &Arc<DbShared>,
+    state: &mut parking_lot::MutexGuard<'_, DbState>,
+    context: &str,
+    result: Result<()>,
+) {
+    match result {
+        Ok(()) => {
+            state.bg_error = None;
+            state.bg_backoff = Duration::ZERO;
+            state.bg_backoff_until = None;
+        }
+        Err(e) => {
+            state.bg_backoff = if state.bg_backoff.is_zero() {
+                BG_BACKOFF_BASE
+            } else {
+                (state.bg_backoff * 2).min(BG_BACKOFF_MAX)
+            };
+            state.bg_backoff_until = Some(Instant::now() + state.bg_backoff);
+            state.bg_error = Some(e.to_string());
+            shared.obs.event(obs::EventKind::BgError {
+                context: context.to_string(),
+                error: e.to_string(),
+                backoff_ms: state.bg_backoff.as_millis() as u64,
+            });
+        }
+    }
+}
+
+/// Pick and execute a single compaction. Returns whether one ran. When
+/// compactions are already executing on other threads and nothing
+/// non-conflicting is available, waits briefly and reports false (the
+/// caller re-evaluates the tree shape).
 fn run_one_compaction(
     shared: &Arc<DbShared>,
     state: &mut parking_lot::MutexGuard<'_, DbState>,
 ) -> Result<bool> {
-    if state.compacting {
-        shared.room_cv.wait_for(state, std::time::Duration::from_millis(20));
-        return Ok(false);
-    }
     let version = state.versions.current();
-    let compaction = match pick_compaction(&version, &shared.options, &mut state.compact_pointer) {
+    // Split the guard borrow so the pointer and claim-set fields can be
+    // borrowed disjointly.
+    let st: &mut DbState = state;
+    let compaction = match pick_compaction(
+        &version,
+        &shared.options,
+        &mut st.compact_pointer,
+        &st.compacting_inputs,
+    ) {
         Some(c) => c,
-        None => return Ok(false),
+        None => {
+            if state.compactions_inflight > 0 {
+                shared.room_cv.wait_for(state, Duration::from_millis(20));
+            }
+            return Ok(false);
+        }
     };
-    run_compaction(shared, state, version, compaction)?;
+    run_claimed_compaction(shared, state, version, compaction)?;
     Ok(true)
 }
 
 /// Execute `compaction` against `version` (which must be the current
-/// version, picked with `compacting == false`) and commit the result.
-fn run_compaction(
+/// version, picked against the current in-flight input set) and commit the
+/// result. Claims the compaction's input files for the duration so no
+/// concurrent pick can overlap them.
+fn run_claimed_compaction(
     shared: &Arc<DbShared>,
     state: &mut parking_lot::MutexGuard<'_, DbState>,
     version: Arc<Version>,
     compaction: Compaction,
 ) -> Result<()> {
-    debug_assert!(!state.compacting, "caller must hold the compaction slot");
-    state.compacting = true;
-    let result = run_compaction_locked(shared, state, version, compaction);
-    state.compacting = false;
+    for (_, f) in compaction.all_inputs() {
+        let fresh = state.compacting_inputs.insert(f.number);
+        debug_assert!(fresh, "compaction input {} already claimed", f.number);
+    }
+    state.compactions_inflight += 1;
+    shared.stats.peak(&shared.stats.compaction_parallelism_peak, state.compactions_inflight as u64);
+    let result = run_compaction_locked(shared, state, version, &compaction);
+    for (_, f) in compaction.all_inputs() {
+        state.compacting_inputs.remove(&f.number);
+    }
+    state.compactions_inflight -= 1;
     shared.room_cv.notify_all();
     result
 }
+
+/// Output count of one compaction is unknown up front, so a window of file
+/// numbers is reserved before dropping the lock; compactions never produce
+/// anywhere near this many outputs (inputs are bounded by level budgets).
+/// Subcompaction workers carve disjoint sub-windows out of it.
+const NUMBER_WINDOW: u64 = 4096;
 
 fn run_compaction_locked(
     shared: &Arc<DbShared>,
     state: &mut parking_lot::MutexGuard<'_, DbState>,
     version: Arc<Version>,
-    compaction: Compaction,
+    compaction: &Compaction,
 ) -> Result<()> {
     let timer = shared.obs.start();
     let _span = shared.obs.span("compaction");
     shared.obs.event(obs::EventKind::CompactionStart { level: compaction.level as u32 });
     let smallest_snapshot = shared.smallest_snapshot(state.versions.last_sequence);
-    // Output count is unknown up front, so reserve a window of file numbers
-    // before dropping the lock; compactions never produce anywhere near
-    // this many outputs (inputs are bounded by level budgets).
-    const NUMBER_WINDOW: u64 = 4096;
     let first_number = state.versions.next_file_number;
     state.versions.next_file_number += NUMBER_WINDOW;
     let outputs = parking_lot::MutexGuard::unlocked(state, || {
-        execute_compaction(shared, &version, &compaction, smallest_snapshot, first_number)
+        execute_compaction(shared, &version, compaction, smallest_snapshot, first_number)
     })?;
     debug_assert!((outputs.len() as u64) < NUMBER_WINDOW);
 
@@ -1257,31 +1619,172 @@ fn run_compaction_locked(
 /// released. The queue is in supersession order; the front entry's version
 /// is older than everything behind it, so it gates the whole queue.
 fn gc_retired_versions(shared: &Arc<DbShared>, state: &mut parking_lot::MutexGuard<'_, DbState>) {
+    let mut doomed: Vec<u64> = Vec::new();
     while let Some((version, _)) = state.retired.front() {
         // strong_count == 1 means only the queue itself holds the version:
         // no reader can reach the obsolete files any more.
         if Arc::strong_count(version) > 1 {
-            return;
+            break;
         }
         let (_, files) = state.retired.pop_front().expect("front exists");
-        for number in files {
-            shared.evict_table(number);
-            if let Some(cache) = &shared.block_cache {
-                cache.erase_file(number);
-            }
-            let _ = shared.router.delete_table(&*shared.env, number);
+        doomed.extend(files);
+    }
+    if doomed.is_empty() {
+        return;
+    }
+    for &number in &doomed {
+        shared.evict_table(number);
+        if let Some(cache) = &shared.block_cache {
+            cache.erase_file(number);
         }
     }
+    // One batched call so the cache invalidates all files under a single
+    // lock acquisition and tier removals stay grouped per GC round.
+    let _ = shared.router.delete_tables(&*shared.env, &doomed);
 }
 
 /// Merge compaction inputs into fresh tables at the output level. Runs
 /// without the state lock.
+///
+/// When the picked compaction spans several next-level input files and
+/// `max_subcompactions > 1`, the key space is partitioned at those file
+/// boundaries and merged by parallel workers writing non-overlapping
+/// outputs; all outputs are returned together so the caller commits them
+/// in a single version edit. Finished outputs stream to a publisher thread
+/// that runs the SST uploads, so cloud PUTs overlap the merge instead of
+/// serializing behind it.
 fn execute_compaction(
     shared: &Arc<DbShared>,
     version: &Arc<Version>,
     compaction: &Compaction,
     smallest_snapshot: SequenceNumber,
     first_number: u64,
+) -> Result<Vec<FileMetaData>> {
+    // Fault site: sits in the unlocked merge region, so a Sleep action here
+    // holds a compaction open without blocking claims of other compactions.
+    storage::failpoint::fail_point("compaction_begin")?;
+    let boundaries = subcompaction_boundaries(&shared.options, compaction);
+    let workers = boundaries.len() + 1;
+    let out_level = compaction.output_level();
+    let parent_span = obs::perf::current_span();
+    std::thread::scope(|scope| {
+        let (publish_tx, publish_rx) = std::sync::mpsc::channel::<u64>();
+        let publisher = scope.spawn(move || -> Result<()> {
+            let prev = obs::perf::swap_current_span(parent_span);
+            let result = (|| {
+                for number in publish_rx {
+                    shared.router.publish_table(&*shared.env, number, out_level)?;
+                }
+                Ok(())
+            })();
+            obs::perf::swap_current_span(prev);
+            result
+        });
+        let merged: Result<Vec<Vec<FileMetaData>>> = if workers == 1 {
+            merge_range(
+                shared,
+                version,
+                compaction,
+                smallest_snapshot,
+                MergeSlice { lo: None, hi: None, first_number, window: NUMBER_WINDOW },
+                &publish_tx,
+            )
+            .map(|outputs| vec![outputs])
+        } else {
+            shared.stats.add(&shared.stats.subcompactions, workers as u64);
+            let window = NUMBER_WINDOW / workers as u64;
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    let lo = (i > 0).then(|| boundaries[i - 1].clone());
+                    let hi = (i < workers - 1).then(|| boundaries[i].clone());
+                    let tx = publish_tx.clone();
+                    let sub_first = first_number + i as u64 * window;
+                    scope.spawn(move || {
+                        let prev = obs::perf::swap_current_span(parent_span);
+                        let _span = shared.obs.child_span("subcompaction");
+                        let result = merge_range(
+                            shared,
+                            version,
+                            compaction,
+                            smallest_snapshot,
+                            MergeSlice {
+                                lo: lo.as_deref(),
+                                hi: hi.as_deref(),
+                                first_number: sub_first,
+                                window,
+                            },
+                            &tx,
+                        );
+                        drop(_span);
+                        obs::perf::swap_current_span(prev);
+                        result
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            let mut first_err = None;
+            for handle in handles {
+                match handle.join().expect("subcompaction worker panicked") {
+                    Ok(outputs) => all.push(outputs),
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(all),
+            }
+        };
+        // Close the channel so the publisher drains and exits, then surface
+        // merge errors first (they are the root cause when both fail).
+        drop(publish_tx);
+        let published = publisher.join().expect("publisher thread panicked");
+        let merged = merged?;
+        published?;
+        // Workers are spawned in key order and outputs within a worker are
+        // produced in key order, so the concatenation is globally sorted.
+        Ok(merged.into_iter().flatten().collect())
+    })
+}
+
+/// User keys partitioning one compaction into subcompaction ranges: the
+/// smallest keys of the next-level input files (each already a natural
+/// output boundary), thinned evenly when they exceed `max_subcompactions`.
+fn subcompaction_boundaries(options: &Options, compaction: &Compaction) -> Vec<Vec<u8>> {
+    let max_workers = options.max_subcompactions.max(1);
+    if max_workers <= 1 || compaction.inputs[1].len() < 2 {
+        return Vec::new();
+    }
+    let cuts: Vec<Vec<u8>> =
+        compaction.inputs[1][1..].iter().map(|f| extract_user_key(&f.smallest).to_vec()).collect();
+    if cuts.len() < max_workers {
+        return cuts;
+    }
+    (1..max_workers).map(|i| cuts[i * cuts.len() / max_workers].clone()).collect()
+}
+
+/// The slice of the key space and file-number window one merge worker owns.
+struct MergeSlice<'a> {
+    /// Inclusive lower user-key bound; `None` = from the start.
+    lo: Option<&'a [u8]>,
+    /// Exclusive upper user-key bound; `None` = to the end.
+    hi: Option<&'a [u8]>,
+    /// First output file number this worker may allocate.
+    first_number: u64,
+    /// How many numbers from `first_number` the worker may use.
+    window: u64,
+}
+
+/// Merge the compaction inputs restricted to `slice` into fresh tables,
+/// streaming finished output numbers to `publish` for upload.
+fn merge_range(
+    shared: &Arc<DbShared>,
+    version: &Arc<Version>,
+    compaction: &Compaction,
+    smallest_snapshot: SequenceNumber,
+    slice: MergeSlice<'_>,
+    publish: &std::sync::mpsc::Sender<u64>,
 ) -> Result<Vec<FileMetaData>> {
     let provider: Arc<dyn TableProvider> = shared.clone();
     let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
@@ -1303,7 +1806,13 @@ fn execute_compaction(
         )));
     }
     let mut iter = MergingIterator::new(children);
-    iter.seek_to_first()?;
+    match slice.lo {
+        // MAX_SEQUENCE sorts before every entry of the boundary user key,
+        // so the seek lands on its first version and no key is shared with
+        // the neighbouring worker.
+        Some(lo) => iter.seek(&make_lookup_key(lo, MAX_SEQUENCE))?,
+        None => iter.seek_to_first()?,
+    }
 
     let out_level = compaction.output_level();
     let bottommost =
@@ -1311,7 +1820,7 @@ fn execute_compaction(
 
     let mut outputs: Vec<FileMetaData> = Vec::new();
     let mut builder: Option<(u64, TableBuilder)> = None;
-    let mut next_number = first_number;
+    let mut next_number = slice.first_number;
     let mut current_user_key: Option<Vec<u8>> = None;
     let mut last_seq_for_key = MAX_SEQUENCE;
 
@@ -1319,6 +1828,10 @@ fn execute_compaction(
         let ikey = iter.key();
         let parsed =
             parse_internal_key(ikey).ok_or_else(|| Error::corruption("bad key in compaction"))?;
+        if slice.hi.is_some_and(|hi| parsed.user_key >= hi) {
+            // The next worker's slice starts here.
+            break;
+        }
         let first_occurrence = current_user_key.as_deref() != Some(parsed.user_key);
         if first_occurrence {
             current_user_key = Some(parsed.user_key.to_vec());
@@ -1347,7 +1860,7 @@ fn execute_compaction(
                 if let Some((_, b)) = &builder {
                     if b.estimated_size() >= shared.options.target_file_size {
                         let (number, b) = builder.take().expect("builder present");
-                        outputs.push(finish_output(shared, number, b, out_level)?);
+                        outputs.push(finish_output(number, b, publish)?);
                     }
                 }
             }
@@ -1364,24 +1877,30 @@ fn execute_compaction(
     }
     if let Some((number, b)) = builder.take() {
         if b.num_entries() > 0 {
-            outputs.push(finish_output(shared, number, b, out_level)?);
+            outputs.push(finish_output(number, b, publish)?);
         } else {
             let _ = shared.env.delete(&sst_name(number));
         }
     }
+    debug_assert!(
+        next_number - slice.first_number <= slice.window,
+        "merge worker overran its file-number window"
+    );
     Ok(outputs)
 }
 
+/// Seal one finished output table and hand its number to the publisher
+/// thread for upload. A send after the publisher died is ignored here; the
+/// upload error surfaces when the caller joins the publisher.
 fn finish_output(
-    shared: &Arc<DbShared>,
     number: u64,
     builder: TableBuilder,
-    level: usize,
+    publish: &std::sync::mpsc::Sender<u64>,
 ) -> Result<FileMetaData> {
     let smallest = builder.smallest().expect("non-empty output").to_vec();
     let largest = builder.largest().expect("non-empty output").to_vec();
     let file_size = builder.finish()?;
-    shared.router.publish_table(&*shared.env, number, level)?;
+    let _ = publish.send(number);
     Ok(FileMetaData { number, file_size, smallest, largest })
 }
 

@@ -67,8 +67,25 @@ pub struct Options {
     /// RocksMash extended WAL) provides durability and drives
     /// [`crate::Db::flush`] itself.
     pub wal_enabled: bool,
-    /// Run flushes/compactions automatically on the background thread.
+    /// Run flushes/compactions automatically on the background pool.
     pub auto_compaction: bool,
+    /// How many sealed (immutable) memtables may queue up awaiting flush
+    /// before writers stall. With more than one slot, `make_room` seals a
+    /// full memtable and admits the write immediately; it only blocks once
+    /// the queue itself is full, so short flush hiccups no longer stall
+    /// ingest.
+    pub max_imm_memtables: usize,
+    /// Size of the background job pool running flushes and compactions.
+    /// Clamped to `1..=16` at open. With several workers, flushes drain the
+    /// immutable-memtable queue concurrently and compactions with disjoint
+    /// inputs run in parallel.
+    pub max_background_jobs: usize,
+    /// Upper bound on how many range-partitioned workers one picked
+    /// compaction may be split into (subcompactions). The partition points
+    /// are the next-level input file boundaries, so workers write
+    /// non-overlapping outputs that commit in a single version edit. 1
+    /// disables splitting.
+    pub max_subcompactions: usize,
     /// Observability handle recording per-op latency histograms and the
     /// event journal. `None` makes the engine create a disabled observer:
     /// hot paths then pay a single branch and record nothing. Outer layers
@@ -96,6 +113,9 @@ impl Default for Options {
             compression: false,
             wal_enabled: true,
             auto_compaction: true,
+            max_imm_memtables: 4,
+            max_background_jobs: 4,
+            max_subcompactions: 4,
             observer: None,
         }
     }
@@ -148,5 +168,8 @@ mod tests {
         assert!(o.l0_stall_trigger > o.l0_compaction_trigger);
         assert!(o.block_size < o.write_buffer_size);
         assert!(o.num_levels >= 2);
+        assert!(o.max_imm_memtables >= 1);
+        assert!(o.max_background_jobs >= 1);
+        assert!(o.max_subcompactions >= 1);
     }
 }

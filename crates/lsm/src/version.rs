@@ -205,6 +205,25 @@ impl Version {
         self.levels[level].iter().filter(|f| f.overlaps_user_range(begin, end)).cloned().collect()
     }
 
+    /// Whether any file at `level` overlapping `[begin, end]` is in `busy`
+    /// (the set of file numbers claimed by in-flight compactions). A new
+    /// compaction whose key hull touches a claimed file would race the job
+    /// holding the claim, so picking must skip such candidates.
+    pub fn range_claimed(
+        &self,
+        level: usize,
+        begin: Option<&[u8]>,
+        end: Option<&[u8]>,
+        busy: &BTreeSet<u64>,
+    ) -> bool {
+        if busy.is_empty() {
+            return false;
+        }
+        self.levels[level]
+            .iter()
+            .any(|f| busy.contains(&f.number) && f.overlaps_user_range(begin, end))
+    }
+
     /// Files that could contain `user_key`, in the order a read must probe
     /// them: all overlapping L0 files newest-first, then at most one file
     /// per deeper level.
@@ -447,6 +466,19 @@ mod tests {
             smallest: make_internal_key(small.as_bytes(), 100, ValueType::Value),
             largest: make_internal_key(large.as_bytes(), 1, ValueType::Value),
         }
+    }
+
+    #[test]
+    fn range_claimed_only_for_overlapping_busy_files() {
+        let mut version = Version::empty(7);
+        version.levels[1] = vec![Arc::new(meta(1, "a", "f")), Arc::new(meta(2, "g", "p"))];
+        let busy: BTreeSet<u64> = [2].into_iter().collect();
+        // File 2 is claimed, but range a..e only overlaps file 1.
+        assert!(!version.range_claimed(1, Some(b"a"), Some(b"e"), &busy));
+        assert!(version.range_claimed(1, Some(b"h"), Some(b"k"), &busy));
+        // Unbounded range touches everything, including the claim.
+        assert!(version.range_claimed(1, None, None, &busy));
+        assert!(!version.range_claimed(1, None, None, &BTreeSet::new()));
     }
 
     #[test]

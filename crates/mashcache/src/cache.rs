@@ -34,6 +34,16 @@ pub trait PersistentBlockCache: Send + Sync {
     /// Drop every cached block of `file` (compaction obsoleted it).
     fn invalidate_file(&self, file: u64);
 
+    /// Drop every cached block of each file in `files`. Equivalent to
+    /// calling [`invalidate_file`](Self::invalidate_file) per file;
+    /// implementations may batch the work under one lock acquisition
+    /// (compaction GC retires whole input sets at once).
+    fn invalidate_files(&self, files: &[u64]) {
+        for &file in files {
+            self.invalidate_file(file);
+        }
+    }
+
     /// Bytes of DRAM the cache's metadata currently costs.
     fn metadata_bytes(&self) -> usize;
 
@@ -381,13 +391,19 @@ impl PersistentBlockCache for MashCache {
     }
 
     fn invalidate_file(&self, file: u64) {
+        self.invalidate_files(std::slice::from_ref(&file));
+    }
+
+    fn invalidate_files(&self, files: &[u64]) {
         let mut inner = self.inner.lock();
-        if let Some(mut entry) = inner.files.remove(&file) {
-            let released = entry.extents.release_all(&mut inner.alloc);
-            inner.stats.invalidations += 1;
-            // One bookkeeping step per extent — the whole point of the
-            // compaction-aware layout.
-            inner.stats.invalidation_steps += released as u64;
+        for &file in files {
+            if let Some(mut entry) = inner.files.remove(&file) {
+                let released = entry.extents.release_all(&mut inner.alloc);
+                inner.stats.invalidations += 1;
+                // One bookkeeping step per extent — the whole point of the
+                // compaction-aware layout.
+                inner.stats.invalidation_steps += released as u64;
+            }
         }
     }
 
@@ -593,6 +609,29 @@ mod tests {
         assert_eq!(s.invalidations, 1);
         // 20 blocks over 4-slot extents = 5 extents → 5 steps, not 20.
         assert_eq!(s.invalidation_steps, 5);
+    }
+
+    #[test]
+    fn invalidate_files_batches_whole_input_sets() {
+        let c = cache(64 * 1024, false);
+        for file in [7u64, 8, 9] {
+            for i in 0..8u64 {
+                c.put(file, i * 4096, &[file as u8; 64], 3);
+            }
+        }
+        c.put(10, 0, b"survivor", 3);
+        c.invalidate_files(&[7, 8, 9, 99]);
+        for file in [7u64, 8, 9] {
+            for i in 0..8u64 {
+                assert_eq!(c.get(file, i * 4096), None, "file {file} block {i} survived");
+            }
+        }
+        assert_eq!(c.get(10, 0), Some(b"survivor".to_vec()));
+        let s = c.stats();
+        // One invalidation per present file; the absent one is a no-op.
+        assert_eq!(s.invalidations, 3);
+        // 8 blocks over 4-slot extents = 2 extents per file.
+        assert_eq!(s.invalidation_steps, 6);
     }
 
     #[test]

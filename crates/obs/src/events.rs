@@ -68,6 +68,10 @@ pub enum EventKind {
     /// A cloud request gave up after `attempts` tries (attempts, deadline,
     /// or retry budget exhausted).
     RetryExhausted { op: String, attempts: u64 },
+    /// A background job (flush or compaction) failed. `context` names the
+    /// job, `backoff_ms` is how long the scheduler will wait before
+    /// retrying background work.
+    BgError { context: String, error: String, backoff_ms: u64 },
 }
 
 impl EventKind {
@@ -87,6 +91,7 @@ impl EventKind {
             EventKind::SpanEnd { .. } => "SpanEnd",
             EventKind::RetryAttempt { .. } => "RetryAttempt",
             EventKind::RetryExhausted { .. } => "RetryExhausted",
+            EventKind::BgError { .. } => "BgError",
         }
     }
 
@@ -147,6 +152,13 @@ impl EventKind {
             }
             EventKind::RetryExhausted { op, attempts } => {
                 out.push_str(&format!(",\"op\":\"{}\",\"attempts\":{attempts}", escape(op)));
+            }
+            EventKind::BgError { context, error, backoff_ms } => {
+                out.push_str(&format!(
+                    ",\"context\":\"{}\",\"error\":\"{}\",\"backoff_ms\":{backoff_ms}",
+                    escape(context),
+                    escape(error)
+                ));
             }
         }
     }
@@ -228,6 +240,19 @@ impl EventKind {
                     .ok_or("RetryExhausted missing op")?
                     .to_string(),
                 attempts: u64_field("attempts")?,
+            },
+            "BgError" => EventKind::BgError {
+                context: v
+                    .get("context")
+                    .and_then(Json::as_str)
+                    .ok_or("BgError missing context")?
+                    .to_string(),
+                error: v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("BgError missing error")?
+                    .to_string(),
+                backoff_ms: u64_field("backoff_ms")?,
             },
             other => return Err(format!("unknown event type {other:?}")),
         })
@@ -444,6 +469,11 @@ mod tests {
             EventKind::SpanEnd { trace_id: 17, span_id: 18, name: "cloud_get".into(), dur_ns: 12 },
             EventKind::RetryAttempt { op: "put".into(), attempt: 2, backoff_us: 1500 },
             EventKind::RetryExhausted { op: "get".into(), attempts: 5 },
+            EventKind::BgError {
+                context: "flush".into(),
+                error: "io error: \"disk full\"".into(),
+                backoff_ms: 40,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let event = Event { seq: i as u64, ts_ns: 1000 + i as u64, kind };

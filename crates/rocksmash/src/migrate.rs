@@ -160,7 +160,15 @@ mod tests {
 
     #[test]
     fn migrate_everything_to_cloud() {
-        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        // Start all-local: the parallel scheduler settles the tree into a
+        // shape-dependent set of levels, and a split placement can leave
+        // every live file already on the cloud tier (nothing to upload).
+        // All-local guarantees the migration has work whatever the shape.
+        let config = TieredConfig {
+            placement: PlacementPolicy::all_local(),
+            ..Scheme::RocksMash.configure(tiny())
+        };
+        let db = TieredDb::open(Arc::new(MemEnv::new()), config).unwrap();
         fill(&db);
         let report = migrate_placement(&db, PlacementPolicy::all_cloud()).unwrap();
         assert!(report.uploaded > 0, "{report:?}");

@@ -181,18 +181,43 @@ impl FileRouter for TieredRouter {
     }
 
     fn delete_table(&self, env: &dyn Env, number: u64) -> Result<()> {
-        self.levels.lock().remove(&number);
-        if let Some(cache) = &self.cache {
-            cache.invalidate_file(number);
-        }
-        let name = sst_name(number);
-        if env.exists(&name)? {
-            env.delete(&name)
-        } else {
-            match self.cloud.delete(&cloud_sst_key(number)) {
-                Ok(()) | Err(StorageError::NotFound(_)) => Ok(()),
-                Err(e) => Err(e),
+        self.delete_tables(env, std::slice::from_ref(&number))
+    }
+
+    fn delete_tables(&self, env: &dyn Env, numbers: &[u64]) -> Result<()> {
+        {
+            let mut levels = self.levels.lock();
+            for number in numbers {
+                levels.remove(number);
             }
+        }
+        // One batched invalidation: the cache drops every file's extents
+        // under a single lock acquisition instead of one per file.
+        if let Some(cache) = &self.cache {
+            cache.invalidate_files(numbers);
+        }
+        let mut first_err = None;
+        for &number in numbers {
+            let result = (|| {
+                let name = sst_name(number);
+                if env.exists(&name)? {
+                    env.delete(&name)
+                } else {
+                    match self.cloud.delete(&cloud_sst_key(number)) {
+                        Ok(()) | Err(StorageError::NotFound(_)) => Ok(()),
+                        Err(e) => Err(e),
+                    }
+                }
+            })();
+            if let Err(e) = result {
+                // Keep going: every file gets a deletion attempt, the
+                // first failure is reported.
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 }

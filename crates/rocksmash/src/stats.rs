@@ -28,6 +28,18 @@ pub struct SchemeReport {
     pub compact_bytes_out: u64,
     /// Writer stall time, nanoseconds.
     pub stall_ns: u64,
+    /// Flush attempts retried after a background failure.
+    #[serde(default)]
+    pub flush_retries: u64,
+    /// Subcompaction workers spawned (range-partitioned compaction splits).
+    #[serde(default)]
+    pub subcompactions: u64,
+    /// Peak number of compactions running concurrently.
+    #[serde(default)]
+    pub compaction_parallelism_peak: u64,
+    /// Peak depth of the immutable-memtable flush queue.
+    #[serde(default)]
+    pub imm_queue_peak: u64,
     /// Cloud request statistics.
     pub cloud: StatsSnapshot,
     /// Billing summary.
@@ -95,6 +107,10 @@ impl SchemeReport {
             compact_bytes_in: stats.compact_bytes_in.load(Ordering::Relaxed),
             compact_bytes_out: stats.compact_bytes_out.load(Ordering::Relaxed),
             stall_ns: stats.stall_ns.load(Ordering::Relaxed),
+            flush_retries: stats.flush_retries.load(Ordering::Relaxed),
+            subcompactions: stats.subcompactions.load(Ordering::Relaxed),
+            compaction_parallelism_peak: stats.compaction_parallelism_peak.load(Ordering::Relaxed),
+            imm_queue_peak: stats.imm_queue_peak.load(Ordering::Relaxed),
             coalesced_gets: cloud_snapshot.coalesced_gets,
             requests_saved: cloud_snapshot.requests_saved,
             cloud: cloud_snapshot,
@@ -138,7 +154,8 @@ impl SchemeReport {
             out,
             "\"engine_writes\":{},\"engine_gets\":{},\"engine_flushes\":{},\
              \"engine_compactions\":{},\"compact_bytes_in\":{},\"compact_bytes_out\":{},\
-             \"stall_ns\":{}",
+             \"stall_ns\":{},\"flush_retries\":{},\"subcompactions\":{},\
+             \"compaction_parallelism_peak\":{},\"imm_queue_peak\":{}",
             self.engine_writes,
             self.engine_gets,
             self.engine_flushes,
@@ -146,6 +163,10 @@ impl SchemeReport {
             self.compact_bytes_in,
             self.compact_bytes_out,
             self.stall_ns,
+            self.flush_retries,
+            self.subcompactions,
+            self.compaction_parallelism_peak,
+            self.imm_queue_peak,
         );
         let _ = write!(
             out,
@@ -238,6 +259,10 @@ impl SchemeReport {
             .counter("compact_bytes_in", self.compact_bytes_in)
             .counter("compact_bytes_out", self.compact_bytes_out)
             .counter("stall_ns", self.stall_ns)
+            .counter("flush_retries", self.flush_retries)
+            .counter("subcompactions", self.subcompactions)
+            .counter("imm_queue_peak", self.imm_queue_peak)
+            .gauge("compaction_parallelism", self.compaction_parallelism_peak as f64)
             .counter("cloud_reads", self.cloud.reads)
             .counter("cloud_writes", self.cloud.writes)
             .counter("cloud_bytes_read", self.cloud.bytes_read)

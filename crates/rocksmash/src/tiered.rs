@@ -16,9 +16,23 @@ use crate::recovery::{recover_into, RecoveryReport};
 use crate::router::TieredRouter;
 use crate::stats::SchemeReport;
 
+/// Delete every eWAL generation numbered at or below `floor`.
+fn delete_generations_le(env: &Arc<dyn Env>, floor: u64) -> Result<()> {
+    for generation in list_generations(env)? {
+        if generation <= floor {
+            delete_generation(env, generation)?;
+        }
+    }
+    Ok(())
+}
+
 struct EWalState {
     writer: EWalWriter,
     bytes_since_flush: u64,
+    /// Log generations whose data sits in a sealed-but-unflushed memtable:
+    /// `(flush ticket, generation)` pairs, truncated once the engine
+    /// reports the ticket flushed. Ordered by ticket (seals are monotonic).
+    pending_truncations: Vec<(u64, u64)>,
 }
 
 /// Background thread periodically printing the stats dump
@@ -148,7 +162,14 @@ impl TieredDb {
                 delete_generation(&env, generation)?;
             }
             let writer = EWalWriter::create(&env, 1, config.ewal_partitions.max(1))?;
-            (Some(Mutex::new(EWalState { writer, bytes_since_flush: 0 })), Some(report))
+            (
+                Some(Mutex::new(EWalState {
+                    writer,
+                    bytes_since_flush: 0,
+                    pending_truncations: Vec::new(),
+                })),
+                Some(report),
+            )
         } else {
             (None, None)
         };
@@ -248,38 +269,65 @@ impl TieredDb {
         let _span = self.observer.span_if_perf("write");
         match &self.ewal {
             Some(ewal) => {
-                let mut need_flush = false;
-                {
-                    // Hold the eWAL lock across the engine apply so the
-                    // sequence stamps in the log match the true apply
-                    // order — replay depends on it.
-                    let mut state = ewal.lock();
-                    let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
-                    batch.set_sequence(seq);
+                // Hold the eWAL lock across the engine apply so the
+                // sequence stamps in the log match the true apply
+                // order — replay depends on it.
+                let mut state = ewal.lock();
+                let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
+                batch.set_sequence(seq);
+                let timer = self.observer.start();
+                let stage = obs::perf::start_stage();
+                state.writer.append(&batch)?;
+                obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
+                self.observer.finish(obs::Op::EwalAppend, timer);
+                if self.config.options.sync_writes {
                     let timer = self.observer.start();
                     let stage = obs::perf::start_stage();
-                    state.writer.append(&batch)?;
-                    obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
-                    self.observer.finish(obs::Op::EwalAppend, timer);
-                    if self.config.options.sync_writes {
-                        let timer = self.observer.start();
-                        let stage = obs::perf::start_stage();
-                        state.writer.sync()?;
-                        obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
-                        self.observer.finish(obs::Op::EwalSync, timer);
-                    }
-                    state.bytes_since_flush += batch.byte_size() as u64;
-                    self.db.write(batch)?;
-                    if state.bytes_since_flush >= self.config.options.write_buffer_size as u64 {
-                        need_flush = true;
+                    state.writer.sync()?;
+                    obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
+                    self.observer.finish(obs::Op::EwalSync, timer);
+                }
+                state.bytes_since_flush += batch.byte_size() as u64;
+                self.db.write(batch)?;
+                if state.bytes_since_flush >= self.config.options.write_buffer_size as u64 {
+                    // Rotate the log and seal the memtable without waiting
+                    // for the flush: the background pool drains the queue
+                    // while writers keep going. The retired generation is
+                    // truncated once the engine reports the seal flushed.
+                    let old = state.writer.generation();
+                    let fresh =
+                        EWalWriter::create(&self.env, old + 1, self.config.ewal_partitions.max(1))?;
+                    let retired = std::mem::replace(&mut state.writer, fresh);
+                    retired.finish()?;
+                    state.bytes_since_flush = 0;
+                    if let Some(ticket) = self.db.seal_memtable()? {
+                        state.pending_truncations.push((ticket, old));
+                    } else {
+                        // Nothing sealed and the queue is empty: the data
+                        // is already table-durable.
+                        delete_generations_le(&self.env, old)?;
                     }
                 }
-                if need_flush {
-                    self.flush()?;
-                }
-                Ok(())
+                self.drain_truncations(&mut state)
             }
             None => self.db.write(batch),
+        }
+    }
+
+    /// Truncate log generations whose sealed memtables have since been
+    /// flushed. Called with the eWAL lock held.
+    fn drain_truncations(&self, state: &mut EWalState) -> Result<()> {
+        let mut cleared: Option<u64> = None;
+        while let Some(&(ticket, generation)) = state.pending_truncations.first() {
+            if !self.db.flush_caught_up(ticket)? {
+                break;
+            }
+            cleared = Some(generation);
+            state.pending_truncations.remove(0);
+        }
+        match cleared {
+            Some(generation) => delete_generations_le(&self.env, generation),
+            None => Ok(()),
         }
     }
 
@@ -384,14 +432,14 @@ impl TieredDb {
                     old
                 };
                 self.db.flush()?;
-                // Everything in generations ≤ old_generation is now table-
-                // durable.
-                for generation in list_generations(&self.env)? {
-                    if generation <= old_generation {
-                        delete_generation(&self.env, generation)?;
-                    }
+                // The whole flush queue drained: everything in generations
+                // ≤ old_generation is table-durable, including any pending
+                // async seals (their generations are ≤ old_generation).
+                {
+                    let mut state = ewal.lock();
+                    state.pending_truncations.retain(|&(_, g)| g > old_generation);
                 }
-                Ok(())
+                delete_generations_le(&self.env, old_generation)
             }
             None => self.db.flush(),
         }

@@ -305,7 +305,10 @@ fn crashed_migration_resumes_to_completion() {
     let _g = lock();
     let env = Arc::new(MemEnv::new());
     let cloud = CloudStore::instant();
-    let config = local_split();
+    // Start all-local so the upload sweep has every settled file to move:
+    // the parallel scheduler's settled tree shape varies run to run, and a
+    // split placement can leave fewer local files than the crash budget.
+    let config = torture_config(PlacementPolicy::all_local(), 4 << 20);
     let db = TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config).unwrap();
     let mut step = 0u64;
     for i in 0..KEYS {

@@ -1,0 +1,279 @@
+//! Backpressure and background-scheduler tests.
+//!
+//! The background pool must (a) surface a failing flush to concurrent
+//! writers promptly instead of hiding it, (b) retry the flush under
+//! exponential backoff instead of busy-spinning on the failpoint, (c)
+//! recover on its own once the fault clears, and (d) run compactions with
+//! disjoint inputs in parallel — provably never claiming the same input
+//! file twice.
+//!
+//! Failpoints are process-global, so the failpoint-driven tests serialize
+//! on one mutex and disarm everything on entry and exit.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lsm::compaction::pick_compaction;
+use lsm::types::{make_internal_key, ValueType};
+use lsm::version::{FileMetaData, Version};
+use lsm::{Db, Options};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use storage::failpoint::{self, FailAction};
+use storage::{Env, MemEnv};
+
+/// Serializes every failpoint-armed test in this binary.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = FAILPOINTS.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::disarm_all();
+    guard
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("w{i:06}").into_bytes()
+}
+
+fn value(i: usize) -> Vec<u8> {
+    format!("v{i:06}-{}", "x".repeat(100)).into_bytes()
+}
+
+/// Options that flush after a few KiB but never compact: the only
+/// background work is the flush whose failure is under test.
+fn flush_only_options(observer: Arc<obs::Observer>) -> Options {
+    Options {
+        write_buffer_size: 8 << 10,
+        l0_compaction_trigger: 10_000,
+        l0_stall_trigger: 20_000,
+        max_bytes_for_level_base: u64::MAX / 4,
+        observer: Some(observer),
+        ..Options::small_for_tests()
+    }
+}
+
+#[test]
+fn failed_flush_backs_off_and_recovers() {
+    let _g = lock();
+    let observer = Arc::new(obs::Observer::new());
+    let env = Arc::new(MemEnv::new());
+    let db = Db::open(env.clone() as Arc<dyn Env>, flush_only_options(observer.clone())).unwrap();
+
+    failpoint::arm("flush_begin", FailAction::ReturnErr);
+
+    // Write until the armed flush fails; the writer must observe the
+    // background error within 500ms of the failpoint firing.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut first_hit: Option<Instant> = None;
+    let mut error_at: Option<Instant> = None;
+    let mut i = 0;
+    while Instant::now() < deadline {
+        if first_hit.is_none() && failpoint::hits("flush_begin") > 0 {
+            first_hit = Some(Instant::now());
+        }
+        match db.put(&key(i), &value(i)) {
+            Ok(()) => i += 1,
+            Err(_) => {
+                // The failpoint may fire and the error reach this writer
+                // within one loop iteration; note the hit now.
+                if first_hit.is_none() && failpoint::hits("flush_begin") > 0 {
+                    first_hit = Some(Instant::now());
+                }
+                error_at = Some(Instant::now());
+                break;
+            }
+        }
+    }
+    let first_hit = first_hit.expect("flush_begin never fired");
+    let error_at = error_at.expect("writer never observed the background error");
+    assert!(
+        error_at.duration_since(first_hit) < Duration::from_millis(500),
+        "bg error took {:?} to reach the writer",
+        error_at.duration_since(first_hit)
+    );
+
+    // No busy-loop: with the failpoint still armed, retries are gated by
+    // exponential backoff (10ms, 20ms, 40ms, ...), so a 300ms window can
+    // hold only a handful of further attempts — not thousands.
+    let hits_before = failpoint::hits("flush_begin");
+    std::thread::sleep(Duration::from_millis(300));
+    let retries = failpoint::hits("flush_begin") - hits_before;
+    assert!(retries <= 8, "flush busy-looped: {retries} attempts in 300ms");
+    assert!(db.stats().flush_retries.load(std::sync::atomic::Ordering::Relaxed) > 0);
+
+    // The failure is journaled with its backoff.
+    let events = observer.journal().events();
+    let bg_error = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            obs::EventKind::BgError { context, backoff_ms, .. } => Some((context, *backoff_ms)),
+            _ => None,
+        })
+        .next_back()
+        .expect("no BgError event in the journal");
+    assert_eq!(bg_error.0, "flush");
+    assert!(bg_error.1 >= 10, "backoff not recorded: {}ms", bg_error.1);
+
+    // Once the fault clears, the backed-off retry succeeds on its own and
+    // writers resume without any explicit intervention.
+    failpoint::disarm_all();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        if db.put(&key(i), &value(i)).is_ok() {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(recovered, "writes never resumed after the fault cleared");
+    db.flush().unwrap();
+    // Nothing sealed before the fault was lost.
+    for j in (0..i).step_by(13) {
+        assert_eq!(db.get(&key(j)).unwrap(), Some(value(j)), "key {j} lost across flush retries");
+    }
+}
+
+#[test]
+fn disjoint_compactions_run_concurrently() {
+    let _g = lock();
+    let observer = Arc::new(obs::Observer::new());
+    let env = Arc::new(MemEnv::new());
+    let options = Options {
+        write_buffer_size: 8 << 10,
+        target_file_size: 8 << 10,
+        max_bytes_for_level_base: 16 << 10,
+        l0_compaction_trigger: 2,
+        max_background_jobs: 4,
+        observer: Some(observer.clone()),
+        ..Options::small_for_tests()
+    };
+    let db = Db::open(env.clone() as Arc<dyn Env>, options).unwrap();
+
+    // Hold every compaction open briefly so claim windows overlap.
+    failpoint::arm("compaction_begin", FailAction::Sleep(Duration::from_millis(15)));
+
+    let mut rng = StdRng::seed_from_u64(0x5ca1_ab1e);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut shadow = std::collections::BTreeMap::new();
+    let mut i = 0usize;
+    let peak = loop {
+        let k: usize = rng.gen_range(0..4096);
+        db.put(&key(k), &value(i)).unwrap();
+        shadow.insert(k, i);
+        i += 1;
+        let peak =
+            db.stats().compaction_parallelism_peak.load(std::sync::atomic::Ordering::Relaxed);
+        if peak >= 2 || Instant::now() >= deadline {
+            break peak;
+        }
+    };
+    failpoint::disarm_all();
+    assert!(peak >= 2, "no two compactions ever ran concurrently (peak {peak})");
+
+    // The trace journal must show the overlap too: a second CompactionStart
+    // before the first one's CompactionEnd.
+    let events = observer.journal().events();
+    let mut depth = 0i64;
+    let mut max_depth = 0i64;
+    for e in &events {
+        match e.kind {
+            obs::EventKind::CompactionStart { .. } => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            obs::EventKind::CompactionEnd { .. } => depth -= 1,
+            _ => {}
+        }
+    }
+    assert!(max_depth >= 2, "journal never shows overlapping compaction spans");
+
+    // Parallel compactions must not have corrupted anything.
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    for (n, (&k, &v)) in shadow.iter().enumerate() {
+        if n % 17 == 0 {
+            assert_eq!(db.get(&key(k)).unwrap(), Some(value(v)), "key {k} wrong after overlap");
+        }
+    }
+}
+
+// ---- conflict-freedom of the picker, over random tree shapes ----------
+
+fn meta(number: u64, small: u32, large: u32) -> Arc<FileMetaData> {
+    Arc::new(FileMetaData {
+        number,
+        file_size: 1 << 20,
+        smallest: make_internal_key(format!("k{small:05}").as_bytes(), 100, ValueType::Value),
+        largest: make_internal_key(format!("k{large:05}").as_bytes(), 1, ValueType::Value),
+    })
+}
+
+/// Build a version from per-level interval descriptions; deep levels are
+/// made disjoint and sorted by construction.
+fn build_version(l0: &[(u32, u32)], deep: &[Vec<(u32, u32)>]) -> Version {
+    let mut version = Version::empty(7);
+    let mut number = 1u64;
+    for &(a, b) in l0 {
+        version.levels[0].push(meta(number, a.min(b), a.max(b)));
+        number += 1;
+    }
+    for (i, level) in deep.iter().enumerate() {
+        // Sort by start and drop overlaps so the level is a valid shape.
+        let mut spans: Vec<(u32, u32)> = level.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+        spans.sort_unstable();
+        let mut last_end: Option<u32> = None;
+        for (a, b) in spans {
+            if last_end.is_some_and(|e| a <= e) {
+                continue;
+            }
+            version.levels[i + 1].push(meta(number, a, b));
+            number += 1;
+            last_end = Some(b);
+        }
+    }
+    version
+}
+
+proptest! {
+    /// Repeatedly picking compactions while previous picks are still
+    /// "running" (their inputs claimed) must never yield two compactions
+    /// sharing an input file.
+    #[test]
+    fn concurrent_picks_claim_disjoint_inputs(
+        l0 in proptest::collection::vec((0u32..200, 0u32..200), 0..5),
+        deep in proptest::collection::vec(
+            proptest::collection::vec((0u32..200, 0u32..200), 0..8),
+            1..4,
+        ),
+    ) {
+        let version = build_version(&l0, &deep);
+        let options = Options {
+            // Tiny budgets so every non-empty level is over budget and
+            // eligible: the picker has maximum freedom to conflict.
+            max_bytes_for_level_base: 1,
+            level_size_multiplier: 2,
+            ..Options::default()
+        };
+        let mut pointer = vec![Vec::new(); 7];
+        let mut busy: BTreeSet<u64> = BTreeSet::new();
+        let mut claimed_sets: Vec<BTreeSet<u64>> = Vec::new();
+        for _ in 0..8 {
+            let Some(c) = pick_compaction(&version, &options, &mut pointer, &busy) else {
+                break;
+            };
+            let inputs: BTreeSet<u64> = c.all_inputs().map(|(_, f)| f.number).collect();
+            for prior in &claimed_sets {
+                prop_assert!(
+                    prior.is_disjoint(&inputs),
+                    "overlapping concurrent picks: {prior:?} vs {inputs:?}"
+                );
+            }
+            prop_assert!(busy.is_disjoint(&inputs));
+            busy.extend(inputs.iter().copied());
+            claimed_sets.push(inputs);
+        }
+    }
+}
