@@ -1,0 +1,85 @@
+//! fillrandom throughput as the number of writer threads grows.
+//!
+//! The sharded write path exists so concurrent writers stop serializing
+//! on one memtable mutex and one WAL stream: with `write_shards = 4`,
+//! four writers should land on (mostly) disjoint shard locks and
+//! group-commit queues. This bench measures aggregate put throughput at
+//! 1, 2, 4, and 8 writer threads over a sharded store — the scaling
+//! curve (4 threads vs 1) is the headline number for the refactor.
+//!
+//! Besides the criterion timings, each arm appends its full
+//! [`rocksmash::SchemeReport`] — including the new `group_commits`,
+//! `group_commit_batches`, and `writer_shard_conflicts` counters — to
+//! `results/BENCH_write_scaling.json` for the figure scripts.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lsm::Options;
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::MemEnv;
+
+/// Puts issued per thread per measured iteration.
+const PER_THREAD: usize = 250;
+/// Keyspace each thread scatters its writes over (disjoint per thread).
+const KEYSPACE: usize = 1 << 16;
+const VALUE: [u8; 128] = [0x3c; 128];
+
+/// A sharded store with buffers big enough that flushes stay rare: the
+/// measurement isolates foreground write-path scaling, not flush churn.
+fn sharded_db() -> TieredDb {
+    let config = TieredConfig {
+        options: Options {
+            write_shards: 4,
+            write_buffer_size: 8 << 20,
+            ..Options::small_for_tests()
+        },
+        ..TieredConfig::small_for_tests()
+    };
+    Scheme::LocalOnly.open(Arc::new(MemEnv::new()), config).expect("open")
+}
+
+/// Deterministic pseudo-random key for thread `t`, op `i`: fillrandom's
+/// scatter without an RNG in the hot loop.
+fn key(t: usize, i: usize) -> Vec<u8> {
+    let scrambled = (t * KEYSPACE + i).wrapping_mul(0x9e37_79b1) % KEYSPACE;
+    format!("t{t}-k{scrambled:08}").into_bytes()
+}
+
+fn bench_fillrandom_writer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fillrandom_writer_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        let db = sharded_db();
+        // Warm the tree so every arm starts from comparable state.
+        for i in 0..4_096 {
+            db.put(&key(0, i), &VALUE).expect("fill");
+        }
+        g.throughput(Throughput::Elements((threads * PER_THREAD) as u64));
+        let mut round = 0usize;
+        g.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                round += 1;
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let db = &db;
+                        scope.spawn(move || {
+                            let base = round * PER_THREAD;
+                            for i in 0..PER_THREAD {
+                                db.put(black_box(&key(t, base + i)), &VALUE).expect("put");
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        db.flush().expect("flush");
+        db.wait_for_compactions().expect("settle");
+        let report = db.report().expect("report");
+        bench::emit_scheme_report("write_scaling", &format!("threads={threads}"), &report);
+        db.close().expect("close");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fillrandom_writer_scaling);
+criterion_main!(benches);

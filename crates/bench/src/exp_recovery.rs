@@ -20,7 +20,7 @@ use workloads::keys::{user_key, value_for};
 use crate::{emit_table, ExpDir, ExpParams, Row};
 
 fn build_ewal(env: &Arc<dyn Env>, partitions: usize, target_bytes: u64, value_size: usize) -> u64 {
-    let mut writer = EWalWriter::create(env, 1, partitions).expect("create ewal");
+    let writer = EWalWriter::create(env, 1, partitions).expect("create ewal");
     let mut seq = 1u64;
     let mut i = 0u64;
     while writer.bytes() < target_bytes {

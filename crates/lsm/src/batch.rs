@@ -115,6 +115,24 @@ impl WriteBatch {
         self.write_count();
     }
 
+    /// Partition the batch's updates into `shards` sub-batches by routing
+    /// each op's key through `route`. Same key → same shard, so the
+    /// relative order of updates to any one key is preserved; only the
+    /// interleaving of *different* keys changes, which is unobservable once
+    /// a contiguous sequence range is stamped across the sub-batches.
+    /// Sub-batches carry no sequence stamp — the caller allocates one range
+    /// and stamps contiguous slices in shard order.
+    pub fn split_by_shard(&self, shards: usize, route: impl Fn(&[u8]) -> usize) -> Vec<WriteBatch> {
+        let mut out: Vec<WriteBatch> = (0..shards).map(|_| WriteBatch::new()).collect();
+        for op in self.iter() {
+            match op {
+                BatchOp::Put(key, value) => out[route(key)].put(key, value),
+                BatchOp::Delete(key) => out[route(key)].delete(key),
+            }
+        }
+        out
+    }
+
     fn write_count(&mut self) {
         let mut header = Vec::with_capacity(4);
         put_fixed32(&mut header, self.count);
@@ -223,6 +241,23 @@ mod tests {
         let ops: Vec<_> = a.iter().collect();
         assert_eq!(ops.len(), 3);
         assert_eq!(ops[1], BatchOp::Delete(b"y"));
+    }
+
+    #[test]
+    fn split_by_shard_preserves_per_key_order() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.put(b"b", b"2");
+        b.delete(b"a");
+        b.put(b"a", b"3");
+        let parts = b.split_by_shard(2, |k| usize::from(k == b"b"));
+        assert_eq!(parts[0].iter().count() + parts[1].iter().count(), 4);
+        let shard_a: Vec<_> = parts[0].iter().collect();
+        assert_eq!(
+            shard_a,
+            vec![BatchOp::Put(b"a", b"1"), BatchOp::Delete(b"a"), BatchOp::Put(b"a", b"3")]
+        );
+        assert_eq!(parts[1].iter().collect::<Vec<_>>(), vec![BatchOp::Put(b"b", b"2")]);
     }
 
     #[test]

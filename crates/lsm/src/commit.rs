@@ -1,0 +1,297 @@
+//! Group commit: a per-shard queue that batches concurrent writers into
+//! one WAL append + fsync round.
+//!
+//! Writers enqueue their batch as a [`Slot`] and then either become the
+//! shard's commit **leader** or wait as a **follower**. The leader drains a
+//! bounded group off the queue (capped by `group_commit_max_batches` /
+//! `group_commit_max_bytes`), runs the caller-supplied commit closure once
+//! for the whole group — appending every batch and issuing a single fsync —
+//! and then hands each follower its copy of the group's result. This turns
+//! K concurrent fsyncs into one, which is where the write-path win comes
+//! from once memtable contention is gone.
+//!
+//! The queue is deliberately generic over *what* committing means: the
+//! engine commits to a per-shard engine WAL plus memtable, while the tiered
+//! store commits to an eWAL partition. Both reuse this module so the
+//! leader/follower protocol and its counters exist exactly once.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::batch::WriteBatch;
+use crate::error::Result;
+
+/// Counters describing group-commit behaviour, shared across all shards of
+/// one store so a single instance summarizes the whole write path.
+#[derive(Debug, Default)]
+pub struct GroupCommitStats {
+    /// Commit rounds led (each is one WAL append pass + at most one fsync).
+    pub group_commits: AtomicU64,
+    /// Write batches committed through those rounds. `group_commit_batches /
+    /// group_commits` is the mean group size; values above 1 mean fsyncs
+    /// are being amortized across writers.
+    pub group_commit_batches: AtomicU64,
+    /// Times a writer arrived while another leader was mid-commit on the
+    /// same shard and had to wait — a direct measure of shard contention
+    /// (and of grouping opportunity).
+    pub writer_shard_conflicts: AtomicU64,
+}
+
+impl GroupCommitStats {
+    fn bump(&self, batches: usize) {
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.group_commit_batches.fetch_add(batches as u64, Ordering::Relaxed);
+    }
+}
+
+/// One writer's entry in a commit queue: its batch, and the cell the group
+/// leader deposits the commit result into.
+pub struct Slot {
+    batch: WriteBatch,
+    result: Mutex<Option<Result<()>>>,
+}
+
+impl Slot {
+    /// The batch this writer submitted (sequence already stamped).
+    pub fn batch(&self) -> &WriteBatch {
+        &self.batch
+    }
+
+    fn take_result(&self) -> Option<Result<()>> {
+        self.result.lock().take()
+    }
+
+    fn set_result(&self, r: Result<()>) {
+        *self.result.lock() = Some(r);
+    }
+}
+
+struct Inner {
+    pending: VecDeque<Arc<Slot>>,
+    leader_active: bool,
+}
+
+/// A single shard's commit queue. See the module docs for the protocol.
+pub struct GroupQueue {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    max_batches: usize,
+    max_bytes: usize,
+    stats: Arc<GroupCommitStats>,
+}
+
+impl GroupQueue {
+    /// A queue bounded to `max_batches` / `max_bytes` per commit round.
+    /// `stats` is shared: pass the same instance to every shard's queue.
+    pub fn new(max_batches: usize, max_bytes: usize, stats: Arc<GroupCommitStats>) -> Self {
+        GroupQueue {
+            inner: Mutex::new(Inner { pending: VecDeque::new(), leader_active: false }),
+            cv: Condvar::new(),
+            max_batches: max_batches.max(1),
+            max_bytes: max_bytes.max(1),
+            stats,
+        }
+    }
+
+    /// Submit `batch` and block until some leader (possibly this writer)
+    /// commits it. `commit` persists an entire group in one round: append
+    /// every slot's batch, then sync once. It may run more than once per
+    /// `submit` call when this writer leads a round that does not include
+    /// its own slot.
+    ///
+    /// On error the whole group fails together: every member receives a
+    /// duplicate of the leader's error, mirroring how a failed group WAL
+    /// write leaves all its batches unpersisted.
+    pub fn submit(
+        &self,
+        batch: WriteBatch,
+        mut commit: impl FnMut(&[Arc<Slot>]) -> Result<()>,
+    ) -> Result<()> {
+        let slot = Arc::new(Slot { batch, result: Mutex::new(None) });
+        let mut inner = self.inner.lock();
+        inner.pending.push_back(slot.clone());
+        let mut counted_conflict = false;
+        loop {
+            if let Some(result) = slot.take_result() {
+                return result;
+            }
+            if inner.leader_active {
+                if !counted_conflict {
+                    counted_conflict = true;
+                    self.stats.writer_shard_conflicts.fetch_add(1, Ordering::Relaxed);
+                }
+                self.cv.wait(&mut inner);
+                continue;
+            }
+
+            // No leader and our slot is uncommitted (hence still queued):
+            // lead a round. Drain a bounded group, always admitting at
+            // least the front slot so oversized batches still commit.
+            inner.leader_active = true;
+            let mut group: Vec<Arc<Slot>> = Vec::new();
+            let mut bytes = 0usize;
+            while let Some(front) = inner.pending.front() {
+                if !group.is_empty()
+                    && (group.len() >= self.max_batches
+                        || bytes + front.batch.byte_size() > self.max_bytes)
+                {
+                    break;
+                }
+                bytes += front.batch.byte_size();
+                group.push(inner.pending.pop_front().expect("front exists"));
+            }
+            debug_assert!(!group.is_empty());
+            drop(inner);
+
+            // Test hook: `Sleep` here widens the leader window so racing
+            // writers pile up and form larger groups deterministically.
+            let outcome = storage::failpoint::fail_point("group_commit_lead")
+                .map_err(crate::error::Error::from)
+                .and_then(|()| commit(&group));
+            self.stats.bump(group.len());
+            for member in &group {
+                member.set_result(match &outcome {
+                    Ok(()) => Ok(()),
+                    Err(e) => Err(e.duplicate()),
+                });
+            }
+
+            inner = self.inner.lock();
+            inner.leader_active = false;
+            self.cv.notify_all();
+            // Loop: our own slot either got a result above or is still
+            // queued behind the group we just led.
+        }
+    }
+}
+
+/// FNV-1a over the user key — the shard routing hash. Kept dependency-free
+/// and stable: recovery replays per-shard logs into one global-sequence
+/// merge, so the hash only affects load balance, never correctness.
+#[inline]
+pub fn shard_of(key: &[u8], shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use std::sync::atomic::AtomicUsize;
+
+    fn batch_with(n: usize) -> WriteBatch {
+        let mut b = WriteBatch::new();
+        for i in 0..n {
+            b.put(format!("k{i}").as_bytes(), b"v");
+        }
+        b
+    }
+
+    #[test]
+    fn single_writer_commits_immediately() {
+        let stats = Arc::new(GroupCommitStats::default());
+        let q = GroupQueue::new(8, 1 << 20, stats.clone());
+        let committed = AtomicUsize::new(0);
+        q.submit(batch_with(3), |group| {
+            committed.fetch_add(group.len(), Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(committed.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.group_commits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.group_commit_batches.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_form_groups() {
+        let stats = Arc::new(GroupCommitStats::default());
+        let q = Arc::new(GroupQueue::new(64, 1 << 20, stats.clone()));
+        let writers = 8;
+        let per = 50;
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for _ in 0..per {
+                        q.submit(batch_with(1), |_group| {
+                            // Simulate a slow fsync so groups can form.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let total = (writers * per) as u64;
+        assert_eq!(stats.group_commit_batches.load(Ordering::Relaxed), total);
+        // With 8 writers racing a slow commit, at least some rounds must
+        // have carried more than one batch.
+        assert!(
+            stats.group_commits.load(Ordering::Relaxed) < total,
+            "no grouping occurred: {} rounds for {} batches",
+            stats.group_commits.load(Ordering::Relaxed),
+            total
+        );
+    }
+
+    #[test]
+    fn leader_error_reaches_every_member() {
+        let stats = Arc::new(GroupCommitStats::default());
+        let q = Arc::new(GroupQueue::new(64, 1 << 20, stats));
+        let errs = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let q = Arc::clone(&q);
+                let errs = Arc::clone(&errs);
+                scope.spawn(move || {
+                    let r = q.submit(batch_with(1), |_group| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        Err(Error::corruption("injected"))
+                    });
+                    if r.is_err() {
+                        errs.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(errs.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn byte_budget_bounds_group_size() {
+        let stats = Arc::new(GroupCommitStats::default());
+        // Budget below one batch: every group must still admit one batch.
+        let q = GroupQueue::new(64, 1, stats.clone());
+        q.submit(batch_with(4), |group| {
+            assert_eq!(group.len(), 1);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stats.group_commits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in 1..=16usize {
+            for i in 0..256 {
+                let k = format!("key-{i}");
+                let s = shard_of(k.as_bytes(), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(k.as_bytes(), shards), "hash must be deterministic");
+            }
+        }
+        assert_eq!(shard_of(b"anything", 1), 0);
+    }
+}

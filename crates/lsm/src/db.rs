@@ -19,8 +19,9 @@ use parking_lot::{Condvar, Mutex};
 use rayon::prelude::*;
 use storage::{Env, RandomAccessFile};
 
-use crate::batch::{BatchOp, WriteBatch};
+use crate::batch::WriteBatch;
 use crate::cache::BlockCache;
+use crate::commit::{shard_of, GroupCommitStats, GroupQueue, Slot};
 use crate::compaction::{level_scores, pick_compaction, Compaction, LevelIterator, TableProvider};
 use crate::error::{Error, Result};
 use crate::iterator::{InternalIterator, MergingIterator};
@@ -158,9 +159,12 @@ struct ImmEntry {
     /// Monotonic flush ticket. [`Db::seal_memtable`] hands it out; waiters
     /// compare it against the queue front to tell when the flush landed.
     id: u64,
+    /// Write shard this memtable was sealed from. Point reads probe only
+    /// entries whose shard matches the key's hash route.
+    shard: usize,
     mem: Arc<MemTable>,
-    /// WAL number that became active when this memtable was sealed — its
-    /// contents live entirely in logs older than this.
+    /// WAL number that became active on the owning shard when this memtable
+    /// was sealed — its contents live entirely in logs older than this.
     wal_floor: u64,
     /// Taken by a background flush job. The entry stays in the queue (and
     /// visible to readers) until its L0 table commits; a failed flush
@@ -168,8 +172,96 @@ struct ImmEntry {
     claimed: bool,
 }
 
-struct DbState {
+/// One write shard's foreground state: its active memtable and WAL stream.
+/// Swapped together under the shard lock when the memtable is sealed, so a
+/// record appended to WAL `n` always lands in a memtable whose eventual
+/// floor is > `n`.
+struct ShardCore {
     mem: Arc<MemTable>,
+    wal: Option<LogWriter>,
+}
+
+/// A hash partition of the write path. Writers on different shards share
+/// nothing on the hot path: each shard has its own memtable, WAL stream,
+/// and group-commit queue. The db-wide state lock is only taken for
+/// version/metadata transitions (sealing, flush commits).
+struct WriteShard {
+    core: Mutex<ShardCore>,
+    /// The active WAL number, mirrored outside `core` because flush commits
+    /// hold the state lock and the lock order is shard core → db state:
+    /// they must read the min-active-WAL floor without touching core locks.
+    /// Updated only while BOTH locks are held (sealing), so reads under
+    /// either lock are exact.
+    wal_number: AtomicU64,
+    queue: GroupQueue,
+}
+
+/// Global sequence allocation and the visible-sequence watermark.
+///
+/// `next` hands out ranges with one atomic add — no db mutex on the write
+/// path. A committed range is parked in `ledger` and `visible` advances
+/// only over the contiguous committed prefix, so a reader never observes
+/// sequence `s` while some `s' < s` is still uncommitted. That is what
+/// makes a multi-shard `WriteBatch` atomic to snapshots: its whole range
+/// becomes visible in one watermark step or not at all.
+struct SeqState {
+    next: AtomicU64,
+    visible: AtomicU64,
+    /// Committed-but-not-yet-visible ranges: start → inclusive end.
+    ledger: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl SeqState {
+    fn new(last: SequenceNumber) -> Self {
+        SeqState {
+            next: AtomicU64::new(last + 1),
+            visible: AtomicU64::new(last),
+            ledger: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Reserve `n` consecutive sequence numbers; returns the first.
+    fn allocate(&self, n: u64) -> SequenceNumber {
+        self.next.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Highest sequence visible to new reads.
+    fn visible(&self) -> SequenceNumber {
+        self.visible.load(Ordering::Acquire)
+    }
+
+    /// Highest sequence ever allocated (committed or not). Flush commits
+    /// stamp this into the manifest: it may overshoot real data, and gaps
+    /// are harmless because replay re-derives sequences from the logs.
+    fn allocated_max(&self) -> SequenceNumber {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+
+    /// Mark `[start, end]` committed and advance the watermark over the
+    /// contiguous committed prefix. Serialized by the ledger lock so two
+    /// racing commits cannot publish the watermark out of order.
+    fn commit(&self, start: SequenceNumber, end: SequenceNumber) {
+        let mut ledger = self.ledger.lock();
+        ledger.insert(start, end);
+        let mut vis = self.visible.load(Ordering::Relaxed);
+        while let Some((&s, &e)) = ledger.first_key_value() {
+            if s > vis + 1 {
+                break;
+            }
+            vis = vis.max(e);
+            ledger.remove(&s);
+        }
+        self.visible.store(vis, Ordering::Release);
+    }
+
+    /// Raise both cursors to cover externally recovered data at `seq`.
+    fn install(&self, seq: SequenceNumber) {
+        self.next.fetch_max(seq + 1, Ordering::Relaxed);
+        self.visible.fetch_max(seq, Ordering::Release);
+    }
+}
+
+struct DbState {
     /// Sealed memtables awaiting flush, oldest first. Writers stall in
     /// `make_room` only once this queue holds `max_imm_memtables` entries.
     imm: VecDeque<ImmEntry>,
@@ -179,8 +271,6 @@ struct DbState {
     /// may only advance over a contiguous committed prefix, or a crash
     /// would drop WALs still covering unflushed older memtables.
     flush_done: BTreeMap<u64, u64>,
-    wal: Option<LogWriter>,
-    wal_number: u64,
     versions: VersionSet,
     compact_pointer: Vec<Vec<u8>>,
     bg_error: Option<String>,
@@ -196,6 +286,13 @@ struct DbState {
     compacting_inputs: BTreeSet<u64>,
     /// Compactions currently executing on the pool.
     compactions_inflight: usize,
+    /// Highest `smallest_snapshot` any compaction has dropped obsolete
+    /// versions against. A consistent read must capture a visible
+    /// watermark at or above this before trusting the current version:
+    /// the watermark is loaded before the state lock, and a compaction
+    /// committing in between may have discarded exactly the key versions
+    /// an older watermark still needs (`read_snapshot` retries then).
+    drop_horizon: SequenceNumber,
     /// Superseded versions paired with the files their replacement
     /// obsoleted. A file is physically deleted only once every version
     /// that could reference it has been released by readers (the queue is
@@ -220,6 +317,9 @@ const MULTI_GET_PARALLEL_THRESHOLD: usize = 8;
 /// Hard cap on the background pool regardless of
 /// [`Options::max_background_jobs`], mirroring the `multi_get` pool bound.
 const MAX_BG_POOL: usize = 16;
+
+/// Hard cap on [`Options::write_shards`].
+const MAX_WRITE_SHARDS: usize = 16;
 
 /// First retry delay after a background failure; doubles per consecutive
 /// failure up to [`BG_BACKOFF_MAX`].
@@ -254,16 +354,21 @@ fn multi_get_pool() -> &'static rayon::ThreadPool {
     })
 }
 
-/// Everything one consistent read needs, captured under a single state-lock
-/// acquisition: the sequence number and the memtable/version set that were
-/// current together at that instant.
+/// Everything one consistent read needs. The visible watermark is loaded
+/// FIRST, then the per-shard memtables, then (atomically under the state
+/// lock) the flush queue and version. Data only moves forward through
+/// those structures (mem → imm → L0), so anything committed at or below
+/// the captured watermark is present in at least one captured layer; a
+/// memtable appearing both as active and sealed is the same `Arc` and
+/// deduplicates by sequence.
 struct ReadSnapshot {
     seq: SequenceNumber,
-    mem: Arc<MemTable>,
-    /// Sealed memtables newest-first (the probe order after `mem`),
-    /// including entries claimed by in-flight flushes — their data is not
-    /// in any committed table yet.
-    imm: Vec<Arc<MemTable>>,
+    /// Active memtable of each shard, indexed by shard.
+    mems: Vec<Arc<MemTable>>,
+    /// Sealed memtables newest-first (the probe order after `mems`), each
+    /// tagged with its shard, including entries claimed by in-flight
+    /// flushes — their data is not in any committed table yet.
+    imm: Vec<(usize, Arc<MemTable>)>,
     version: Arc<Version>,
 }
 
@@ -282,6 +387,17 @@ struct DbShared {
     /// blocks are staged there, so without a cache there is nowhere to put
     /// them).
     prefetcher: Option<Arc<Prefetcher>>,
+    /// Hash-partitioned write shards (`Options::write_shards`, clamped to
+    /// `1..=16`). Lock order: a shard core lock is always taken BEFORE the
+    /// state lock, never while holding it.
+    shards: Vec<WriteShard>,
+    /// Sequence allocation + visible watermark (no lock on the hot path).
+    seq: SeqState,
+    /// Group-commit counters shared by every shard's queue.
+    group_stats: Arc<GroupCommitStats>,
+    /// Mirrors `DbState::bg_error.is_some()` so the sharded write path can
+    /// skip the state lock entirely while the scheduler is healthy.
+    bg_error_flag: AtomicBool,
     state: Mutex<DbState>,
     /// Signals the background thread that work may be available.
     work_cv: Condvar,
@@ -335,19 +451,49 @@ impl DbShared {
         self.snapshots.lock().keys().next().copied().unwrap_or(last_sequence)
     }
 
-    /// Capture a consistent read point: sequence number, memtables, and
-    /// version all under ONE lock acquisition. Reading the sequence and the
-    /// structures in separate acquisitions would let a write slip between
-    /// them, yielding a sequence that the captured memtable has already
-    /// superseded.
+    /// Capture a consistent read point. The watermark is loaded BEFORE any
+    /// structure: a write committing afterwards carries a higher sequence
+    /// and is invisible, and data at or below the watermark only migrates
+    /// forward (mem → imm → L0) into layers captured later, so nothing the
+    /// snapshot may read can be lost between the captures.
     fn read_snapshot(&self, seq_override: Option<SequenceNumber>) -> ReadSnapshot {
-        let state = self.state.lock();
-        ReadSnapshot {
-            seq: seq_override.unwrap_or(state.versions.last_sequence),
-            mem: Arc::clone(&state.mem),
-            imm: state.imm.iter().rev().map(|e| Arc::clone(&e.mem)).collect(),
-            version: state.versions.current(),
+        loop {
+            let seq = seq_override.unwrap_or_else(|| self.seq.visible());
+            let mems: Vec<Arc<MemTable>> =
+                self.shards.iter().map(|s| Arc::clone(&s.core.lock().mem)).collect();
+            let state = self.state.lock();
+            // A compaction that committed between the watermark load above
+            // and this lock may have dropped key versions an older
+            // watermark still resolves to; recapture with a fresh one.
+            // Registered snapshots (`seq_override`) hold the horizon back
+            // via `smallest_snapshot`, so they never trip this.
+            if seq_override.is_none() && seq < state.drop_horizon {
+                drop(state);
+                continue;
+            }
+            return ReadSnapshot {
+                seq,
+                mems,
+                imm: state.imm.iter().rev().map(|e| (e.shard, Arc::clone(&e.mem))).collect(),
+                version: state.versions.current(),
+            };
         }
+    }
+
+    /// Memtable byte budget of one shard: the configured write buffer is
+    /// split evenly so total memory stays `write_buffer_size` regardless of
+    /// the shard count.
+    fn shard_budget(&self) -> usize {
+        (self.options.write_buffer_size / self.shards.len().max(1)).max(1)
+    }
+
+    /// The oldest WAL still active on any shard. Every flush-commit floor
+    /// is clamped to this: a sealed memtable's own floor may exceed another
+    /// shard's active log, which still covers that shard's unflushed
+    /// writes. 0 when the engine WAL is disabled. Exact under the state
+    /// lock (shard numbers only change while it is held).
+    fn min_active_wal(&self) -> u64 {
+        self.shards.iter().map(|s| s.wal_number.load(Ordering::Relaxed)).min().unwrap_or(0)
     }
 }
 
@@ -405,26 +551,50 @@ impl Db {
         }
         recovered.sort();
 
+        // Replay every surviving log into ONE memtable at the stamped
+        // sequences. Sharded incarnations leave one log stream per shard;
+        // entries are sequence-stamped, so merging them is order-independent
+        // and reproduces the global commit order regardless of how (or with
+        // how many shards) the logs were written.
         let mem = Arc::new(MemTable::new());
         for (_, name) in &recovered {
             let mut reader = LogReader::new(env.open_random(name)?);
             while let Some(record) = reader.read_record()? {
                 let batch = WriteBatch::from_data(&record)?;
-                let base = batch.sequence();
-                let mut last = base;
-                for (seq, op) in (base..).zip(batch.iter()) {
-                    match op {
-                        BatchOp::Put(k, v) => mem.insert(seq, ValueType::Value, k, v),
-                        BatchOp::Delete(k) => mem.insert(seq, ValueType::Deletion, k, &[]),
-                    }
-                    last = seq;
+                if batch.count() == 0 {
+                    continue;
                 }
-                max_seq = max_seq.max(last);
+                mem.apply_batch(&batch);
+                max_seq = max_seq.max(batch.sequence() + batch.count() as u64 - 1);
             }
         }
         versions.last_sequence = max_seq;
         let recovered_live = versions.live_files();
         let recovered_next_file = versions.next_file_number;
+
+        // Build the write shards up front — each gets a fresh WAL stream
+        // numbered above every recovered log, so the recovery floor can
+        // advance past the replayed set in one step below.
+        let nshards = options.write_shards.clamp(1, MAX_WRITE_SHARDS);
+        let group_stats = Arc::new(GroupCommitStats::default());
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            let (wal, number) = if options.wal_enabled {
+                let number = versions.new_file_number();
+                (Some(LogWriter::new(env.new_writable(&log_name(number))?)), number)
+            } else {
+                (None, 0)
+            };
+            shards.push(WriteShard {
+                core: Mutex::new(ShardCore { mem: Arc::new(MemTable::new()), wal }),
+                wal_number: AtomicU64::new(number),
+                queue: GroupQueue::new(
+                    options.group_commit_max_batches,
+                    options.group_commit_max_bytes,
+                    Arc::clone(&group_stats),
+                ),
+            });
+        }
 
         let shared = Arc::new(DbShared {
             recovered_live,
@@ -433,13 +603,14 @@ impl Db {
             router,
             block_cache,
             prefetcher,
+            shards,
+            seq: SeqState::new(max_seq),
+            group_stats,
+            bg_error_flag: AtomicBool::new(false),
             state: Mutex::new(DbState {
-                mem,
                 imm: VecDeque::new(),
                 next_imm_id: 1,
                 flush_done: BTreeMap::new(),
-                wal: None,
-                wal_number: 0,
                 versions,
                 compact_pointer: vec![Vec::new(); options.num_levels],
                 bg_error: None,
@@ -447,6 +618,7 @@ impl Db {
                 bg_backoff_until: None,
                 compacting_inputs: BTreeSet::new(),
                 compactions_inflight: 0,
+                drop_horizon: 0,
                 retired: VecDeque::new(),
             }),
             work_cv: Condvar::new(),
@@ -463,17 +635,12 @@ impl Db {
         // log. Done synchronously so a crash loop cannot grow the WAL set.
         {
             let mut state = shared.state.lock();
-            if !state.mem.is_empty() {
-                let mem = Arc::clone(&state.mem);
+            if !mem.is_empty() {
                 Self::write_level0_table(&shared, &mut state, &mem, FlushCommit::Direct)?;
-                state.mem = Arc::new(MemTable::new());
             }
             if shared.options.wal_enabled {
-                let number = state.versions.new_file_number();
-                let file = shared.env.new_writable(&log_name(number))?;
-                state.wal = Some(LogWriter::new(file));
-                state.wal_number = number;
-                let edit = VersionEdit { log_number: Some(number), ..Default::default() };
+                let edit =
+                    VersionEdit { log_number: Some(shared.min_active_wal()), ..Default::default() };
                 state.versions.log_and_apply(edit)?;
             }
             Self::gc_obsolete_files(&shared, &mut state)?;
@@ -537,6 +704,13 @@ impl Db {
     }
 
     /// Apply a batch atomically.
+    ///
+    /// The batch is hash-partitioned across the write shards, a contiguous
+    /// sequence range is reserved with one atomic add, and each sub-batch
+    /// rides its shard's group-commit queue (one WAL append + at most one
+    /// fsync per group). The whole range becomes visible to readers in a
+    /// single watermark step once every shard has committed, so the batch
+    /// stays atomic to snapshots even when it spans shards.
     pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
@@ -545,31 +719,107 @@ impl Db {
         let timer = shared.obs.start();
         let _perf = shared.obs.perf_guard(false);
         let _span = shared.obs.span_if_perf("write");
-        let mut state = shared.state.lock();
-        self.make_room(&mut state)?;
-        let seq = state.versions.last_sequence + 1;
-        batch.set_sequence(seq);
-        state.versions.last_sequence += batch.count() as u64;
-        if let Some(wal) = state.wal.as_mut() {
-            let stage = obs::perf::start_stage();
-            wal.add_record(batch.data())?;
-            obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
-            if shared.options.sync_writes {
-                let stage = obs::perf::start_stage();
-                wal.sync()?;
-                obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
+        let count = batch.count() as u64;
+        let nshards = shared.shards.len();
+        let result = if nshards == 1 {
+            Self::make_room_shard(shared, 0)?;
+            let start = shared.seq.allocate(count);
+            batch.set_sequence(start);
+            let submitted =
+                shared.shards[0].queue.submit(batch, |group| commit_group(shared, 0, group));
+            // Publish even on failure: the range holds no data then, which
+            // replay tolerates, but a gap would wedge the watermark forever.
+            shared.seq.commit(start, start + count - 1);
+            submitted
+        } else {
+            let parts = batch.split_by_shard(nshards, |k| shard_of(k, nshards));
+            for (shard, part) in parts.iter().enumerate() {
+                if !part.is_empty() {
+                    Self::make_room_shard(shared, shard)?;
+                }
             }
-        }
-        let mem = Arc::clone(&state.mem);
-        for (op_seq, op) in (seq..).zip(batch.iter()) {
-            match op {
-                BatchOp::Put(k, v) => mem.insert(op_seq, ValueType::Value, k, v),
-                BatchOp::Delete(k) => mem.insert(op_seq, ValueType::Deletion, k, &[]),
+            let start = shared.seq.allocate(count);
+            let mut next = start;
+            let mut first_err: Option<Error> = None;
+            for (shard, mut part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let n = part.count() as u64;
+                part.set_sequence(next);
+                next += n;
+                let submitted = shared.shards[shard]
+                    .queue
+                    .submit(part, |group| commit_group(shared, shard, group));
+                if let Err(e) = submitted {
+                    first_err.get_or_insert(e);
+                }
+            }
+            shared.seq.commit(start, start + count - 1);
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        };
+        shared.stats.add(&shared.stats.writes, 1);
+        shared.obs.finish(obs::Op::Write, timer);
+        result
+    }
+
+    /// Reserve `count` consecutive sequence numbers (returns the first).
+    /// For outer layers that log writes themselves (the tiered store's
+    /// eWAL): reserve, stamp, persist externally, [`Db::apply_stamped`],
+    /// then [`Db::publish_sequences`].
+    pub fn reserve_sequences(&self, count: u64) -> SequenceNumber {
+        self.shared.seq.allocate(count)
+    }
+
+    /// Make the reserved range `[start, end]` visible to readers. Must be
+    /// called exactly once per reserved range — even when applying it
+    /// failed (an unpublished range wedges the watermark; an empty one is
+    /// harmless).
+    pub fn publish_sequences(&self, start: SequenceNumber, end: SequenceNumber) {
+        self.shared.seq.commit(start, end);
+    }
+
+    /// Apply an externally logged, sequence-stamped batch to the memtable
+    /// shards, bypassing the engine WAL and group commit (the caller's own
+    /// log already made it durable). Ops route through the same shard hash
+    /// as live writes; shard backpressure applies. Does NOT publish the
+    /// range — callers publish after every shard of the batch is applied.
+    pub fn apply_stamped(&self, batch: &WriteBatch) -> Result<()> {
+        let shared = &self.shared;
+        debug_assert!(batch.sequence() > 0, "apply_stamped needs a stamped batch");
+        let nshards = shared.shards.len();
+        if nshards == 1 {
+            Self::make_room_shard(shared, 0)?;
+            shared.shards[0].core.lock().mem.apply_batch(batch);
+        } else {
+            let parts = batch.split_by_shard(nshards, |k| shard_of(k, nshards));
+            let mut next = batch.sequence();
+            for (shard, mut part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                Self::make_room_shard(shared, shard)?;
+                part.set_sequence(next);
+                next += part.count() as u64;
+                shared.shards[shard].core.lock().mem.apply_batch(&part);
             }
         }
         shared.stats.add(&shared.stats.writes, 1);
-        shared.obs.finish(obs::Op::Write, timer);
         Ok(())
+    }
+
+    /// Group-commit counters (rounds, batches, shard conflicts), shared by
+    /// every shard's commit queue.
+    pub fn group_commit_stats(&self) -> &Arc<GroupCommitStats> {
+        &self.shared.group_stats
+    }
+
+    /// The number of write shards this instance runs with.
+    pub fn write_shards(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Read the newest visible value of `key`.
@@ -602,12 +852,24 @@ impl Db {
         result
     }
 
-    /// Take a consistent snapshot for repeatable reads.
+    /// Take a consistent snapshot for repeatable reads. Pinned to the
+    /// visible watermark, so a multi-shard batch is either entirely inside
+    /// the snapshot or entirely after it.
     pub fn snapshot(&self) -> Snapshot {
-        let seq = self.shared.state.lock().versions.last_sequence;
-        let registry = Arc::clone(&self.shared.snapshots);
-        *registry.lock().entry(seq).or_insert(0) += 1;
-        Snapshot { seq, registry }
+        loop {
+            let seq = self.shared.seq.visible();
+            let registry = Arc::clone(&self.shared.snapshots);
+            *registry.lock().entry(seq).or_insert(0) += 1;
+            // Same guard as `read_snapshot`: a compaction committing
+            // between the watermark load and the registration above may
+            // have dropped key versions this sequence still resolves to.
+            // Registration happened first, so once the horizon check
+            // passes no later compaction can outrun this snapshot.
+            if seq >= self.shared.state.lock().drop_horizon {
+                return Snapshot { seq, registry };
+            }
+            drop(Snapshot { seq, registry });
+        }
     }
 
     /// Iterator over the live keyspace at the current sequence.
@@ -638,8 +900,10 @@ impl Db {
         let shared = &self.shared;
         let snap = shared.read_snapshot(seq_override);
         let mut children: Vec<Box<dyn InternalIterator>> = Vec::new();
-        children.push(Box::new(snap.mem.iter()));
-        for imm in &snap.imm {
+        for mem in &snap.mems {
+            children.push(Box::new(mem.iter()));
+        }
+        for (_, imm) in &snap.imm {
             children.push(Box::new(imm.iter()));
         }
         for meta in &snap.version.levels[0] {
@@ -684,54 +948,74 @@ impl Db {
         let shared = &self.shared;
         let mut state = shared.state.lock();
         state.versions.last_sequence = state.versions.last_sequence.max(max_sequence);
+        shared.seq.install(max_sequence);
         Self::write_level0_table(shared, &mut state, mem, FlushCommit::Direct)?;
         Ok(())
     }
 
-    /// Force the current memtable to disk and wait until the whole flush
-    /// queue (including it) has drained. A no-op on an empty database.
+    /// Force every shard's memtable to disk and wait until the whole flush
+    /// queue (including them) has drained. A no-op on an empty database.
     pub fn flush(&self) -> Result<()> {
         let shared = &self.shared;
-        let mut state = shared.state.lock();
-        if !state.mem.is_empty() {
-            self.switch_memtable(&mut state)?;
+        let mut ticket = None;
+        for shard in 0..shared.shards.len() {
+            let mut core = shared.shards[shard].core.lock();
+            if core.mem.is_empty() {
+                continue;
+            }
+            let mut state = shared.state.lock();
+            ticket = Some(Self::seal_shard_locked(shared, shard, &mut core, &mut state)?);
         }
-        let ticket = match state.imm.back() {
-            Some(entry) => entry.id,
+        shared.work_cv.notify_all();
+        let mut state = shared.state.lock();
+        let ticket = match ticket.or_else(|| state.imm.back().map(|e| e.id)) {
+            Some(t) => t,
             None => return Ok(()),
         };
         Self::wait_flush_locked(shared, &mut state, ticket)
     }
 
-    /// Seal the current memtable into the flush queue without waiting for
-    /// the background flush. Returns a ticket to poll via
-    /// [`Db::flush_caught_up`] or block on via [`Db::wait_flush`], or
-    /// `None` when the memtable is empty and the queue has already
+    /// Seal every non-empty shard memtable into the flush queue without
+    /// waiting for the background flush. Returns the newest ticket to poll
+    /// via [`Db::flush_caught_up`] or block on via [`Db::wait_flush`], or
+    /// `None` when all memtables are empty and the queue has already
     /// drained. Applies the same queue-full backpressure as writers.
     pub fn seal_memtable(&self) -> Result<Option<u64>> {
         let shared = &self.shared;
-        let mut state = shared.state.lock();
-        if state.mem.is_empty() {
-            Self::check_bg_error(&state)?;
-            return Ok(state.imm.back().map(|e| e.id));
-        }
         let cap = shared.options.max_imm_memtables.max(1);
-        loop {
-            Self::check_bg_error(&state)?;
-            if shared.shutdown.load(Ordering::Relaxed) {
-                return Err(Error::Closed);
-            }
-            if state.imm.len() < cap {
+        let mut ticket = None;
+        for shard in 0..shared.shards.len() {
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return Err(Error::Closed);
+                }
+                let mut core = shared.shards[shard].core.lock();
+                if core.mem.is_empty() {
+                    break;
+                }
+                let mut state = shared.state.lock();
+                Self::check_bg_error(&state)?;
+                if state.imm.len() >= cap {
+                    drop(core);
+                    let stalled = Instant::now();
+                    shared.work_cv.notify_all();
+                    shared.room_cv.wait_for(&mut state, BG_WAIT);
+                    Self::record_stall(shared, stalled);
+                    continue;
+                }
+                ticket = Some(Self::seal_shard_locked(shared, shard, &mut core, &mut state)?);
                 break;
             }
-            let stalled = Instant::now();
-            shared.work_cv.notify_all();
-            shared.room_cv.wait_for(&mut state, BG_WAIT);
-            Self::record_stall(shared, stalled);
         }
-        let ticket = self.switch_memtable(&mut state)?;
         shared.work_cv.notify_all();
-        Ok(Some(ticket))
+        match ticket {
+            Some(t) => Ok(Some(t)),
+            None => {
+                let state = shared.state.lock();
+                Self::check_bg_error(&state)?;
+                Ok(state.imm.back().map(|e| e.id))
+            }
+        }
     }
 
     /// Whether every memtable sealed up to `ticket` has been flushed.
@@ -923,7 +1207,7 @@ impl Db {
         use std::fmt::Write as _;
         let (version, last_seq, retired) = {
             let state = self.shared.state.lock();
-            (state.versions.current(), state.versions.last_sequence, state.retired.len())
+            (state.versions.current(), self.shared.seq.visible(), state.retired.len())
         };
         let stats = self.stats();
         let mut out = String::new();
@@ -966,7 +1250,7 @@ impl Db {
         // Pin a version so compaction cannot delete files mid-copy.
         let (version, last_seq) = {
             let state = self.shared.state.lock();
-            (state.versions.current(), state.versions.last_sequence)
+            (state.versions.current(), self.shared.seq.visible())
         };
         let mut copied = 0u64;
         let mut edit = VersionEdit {
@@ -996,9 +1280,9 @@ impl Db {
         Ok(copied)
     }
 
-    /// The last committed sequence number.
+    /// The last committed (reader-visible) sequence number.
     pub fn last_sequence(&self) -> SequenceNumber {
-        self.shared.state.lock().versions.last_sequence
+        self.shared.seq.visible()
     }
 
     /// The current version (file layout snapshot).
@@ -1028,62 +1312,85 @@ impl Db {
         }
     }
 
-    /// Seal the current memtable into the flush queue (rotating the WAL
-    /// first) and return its ticket id.
-    fn switch_memtable(&self, state: &mut DbState) -> Result<u64> {
-        let shared = &self.shared;
+    /// Seal `shard`'s memtable into the flush queue, rotating its WAL
+    /// stream first, and return the ticket id. Requires BOTH the shard's
+    /// core lock and the state lock (in that order): the two-lock hold is
+    /// what makes the wal-number mirror exact for flush commits and keeps
+    /// imm ids monotone in seal order across shards.
+    fn seal_shard_locked(
+        shared: &Arc<DbShared>,
+        shard: usize,
+        core: &mut ShardCore,
+        state: &mut DbState,
+    ) -> Result<u64> {
+        let mut old_wal = None;
         if shared.options.wal_enabled {
-            if let Some(wal) = state.wal.take() {
-                wal.finish()?;
-            }
             let number = state.versions.new_file_number();
             let file = shared.env.new_writable(&log_name(number))?;
-            state.wal = Some(LogWriter::new(file));
-            state.wal_number = number;
+            old_wal = core.wal.replace(LogWriter::new(file));
+            shared.shards[shard].wal_number.store(number, Ordering::Relaxed);
         }
         let id = state.next_imm_id;
         state.next_imm_id += 1;
-        let sealed = std::mem::replace(&mut state.mem, Arc::new(MemTable::new()));
+        let sealed = std::mem::replace(&mut core.mem, Arc::new(MemTable::new()));
         state.imm.push_back(ImmEntry {
             id,
+            shard,
             mem: sealed,
-            wal_floor: state.wal_number,
+            wal_floor: shared.shards[shard].wal_number.load(Ordering::Relaxed),
             claimed: false,
         });
         shared.stats.peak(&shared.stats.imm_queue_peak, state.imm.len() as u64);
+        if let Some(wal) = old_wal {
+            wal.finish()?;
+        }
         Ok(id)
     }
 
-    fn make_room(&self, state: &mut parking_lot::MutexGuard<'_, DbState>) -> Result<()> {
-        let shared = &self.shared;
+    /// Admit a write on `shard`: seal its memtable once full, stalling only
+    /// when the flush queue or L0 is backed up. Healthy-path cost is one
+    /// shard-core lock — the db state lock is touched only to seal or stall,
+    /// and the background-error check rides a lock-free flag.
+    fn make_room_shard(shared: &Arc<DbShared>, shard: usize) -> Result<()> {
         loop {
-            Self::check_bg_error(state)?;
+            if shared.bg_error_flag.load(Ordering::Relaxed) {
+                let state = shared.state.lock();
+                Self::check_bg_error(&state)?;
+            }
             if shared.shutdown.load(Ordering::Relaxed) {
                 return Err(Error::Closed);
             }
-            if state.mem.approximate_bytes() < shared.options.write_buffer_size {
+            let mut core = shared.shards[shard].core.lock();
+            if core.mem.approximate_bytes() < shared.shard_budget() {
                 return Ok(());
             }
             if !shared.options.auto_compaction {
                 // Caller drives flushes explicitly; admit the write.
                 return Ok(());
             }
+            let mut state = shared.state.lock();
+            Self::check_bg_error(&state)?;
             if state.imm.len() >= shared.options.max_imm_memtables.max(1) {
                 // Flush queue is full: wait (bounded) for a flush to drain.
+                // Drop the core lock first so the shard's group commits and
+                // snapshots keep flowing while this writer stalls.
+                drop(core);
                 let stalled = Instant::now();
                 shared.work_cv.notify_all();
-                shared.room_cv.wait_for(state, BG_WAIT);
+                shared.room_cv.wait_for(&mut state, BG_WAIT);
                 Self::record_stall(shared, stalled);
             } else if state.versions.current().levels[0].len() >= shared.options.l0_stall_trigger {
+                drop(core);
                 let stalled = Instant::now();
                 shared.work_cv.notify_all();
-                shared.room_cv.wait_for(state, Duration::from_millis(10));
+                shared.room_cv.wait_for(&mut state, Duration::from_millis(10));
                 Self::record_stall(shared, stalled);
             } else {
                 // Seal into the queue and admit the write immediately: no
                 // wait happened, so no stall is recorded.
-                self.switch_memtable(state)?;
+                Self::seal_shard_locked(shared, shard, &mut core, &mut state)?;
                 shared.work_cv.notify_all();
+                return Ok(());
             }
         }
     }
@@ -1139,17 +1446,26 @@ impl Db {
         })?;
         let flushed_bytes = meta.as_ref().map_or(0, |m| m.file_size);
         if let Some(meta) = meta {
+            // The manifest's last_sequence covers everything that may be in
+            // this table: the allocation high-water mark bounds every
+            // stamped entry, and sequence gaps are harmless on replay.
+            state.versions.last_sequence =
+                state.versions.last_sequence.max(shared.seq.allocated_max());
             // Flushes commit out of order, but log_number may only advance
             // past WALs whose memtables have *all* been flushed: the floor
             // is advanced only by the flush that completes the contiguous
-            // prefix of the seal order.
+            // prefix of the seal order, and is additionally clamped to the
+            // oldest WAL still active on ANY shard — another shard's live
+            // log may be older than this flush's floor and still covers
+            // that shard's unflushed writes.
             let log_number = match &commit {
                 FlushCommit::Direct => {
                     debug_assert!(state.imm.is_empty(), "direct flush with queued memtables");
-                    Some(state.wal_number)
+                    Some(shared.min_active_wal())
                 }
                 FlushCommit::Queued { id, wal_floor } => {
                     Self::queued_log_floor(state, *id, *wal_floor)
+                        .map(|floor| floor.min(shared.min_active_wal()))
                 }
             };
             let edit = VersionEdit { log_number, new_files: vec![(0, meta)], ..Default::default() };
@@ -1276,10 +1592,15 @@ impl Db {
         if let Some(prefetcher) = &self.shared.prefetcher {
             prefetcher.shutdown();
         }
-        let mut state = self.shared.state.lock();
-        gc_retired_versions(&self.shared, &mut state);
-        if let Some(wal) = state.wal.as_mut() {
-            wal.sync()?;
+        {
+            let mut state = self.shared.state.lock();
+            gc_retired_versions(&self.shared, &mut state);
+        }
+        // Sync each shard's WAL stream (cores after state: lock order).
+        for shard in &self.shared.shards {
+            if let Some(wal) = shard.core.lock().wal.as_mut() {
+                wal.sync()?;
+            }
         }
         Ok(())
     }
@@ -1291,6 +1612,32 @@ impl Drop for Db {
     }
 }
 
+/// Commit one group on `shard`: append every member's batch to the shard's
+/// WAL stream, fsync once for the whole group (when `sync_writes`), then
+/// apply all members to the shard's memtable. Runs under the shard core
+/// lock, so the WAL/memtable pair cannot rotate mid-group and the skiplist's
+/// single-writer requirement is upheld by construction. The group fails as
+/// a unit: after an append error nothing is applied and no member is
+/// acknowledged (records already buffered may replay after a crash, which
+/// is the usual at-least-once contract for unacknowledged writes).
+fn commit_group(shared: &DbShared, shard: usize, group: &[Arc<Slot>]) -> Result<()> {
+    let mut core = shared.shards[shard].core.lock();
+    if let Some(wal) = core.wal.as_mut() {
+        let stage = obs::perf::start_stage();
+        wal.add_records(group.iter().map(|slot| slot.batch().data()))?;
+        obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
+        if shared.options.sync_writes {
+            let stage = obs::perf::start_stage();
+            wal.sync()?;
+            obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
+        }
+    }
+    for slot in group {
+        core.mem.apply_batch(slot.batch());
+    }
+    Ok(())
+}
+
 /// Point-read `key` against an already captured [`ReadSnapshot`]. Shared by
 /// `get`, `get_at`, and every `multi_get` worker: the snapshot is immutable,
 /// so any number of threads can read through it concurrently.
@@ -1300,10 +1647,16 @@ fn get_with_snapshot(
     key: &[u8],
 ) -> Result<Option<Vec<u8>>> {
     shared.stats.add(&shared.stats.gets, 1);
+    // Hash routing is stable, so the key can only live in one shard's
+    // active memtable and in sealed memtables from that same shard.
+    let shard = shard_of(key, snap.mems.len());
     let mem_probe = obs::perf::start_stage();
-    let mut probed = snap.mem.get(key, snap.seq);
+    let mut probed = snap.mems[shard].get(key, snap.seq);
     if matches!(probed, LookupResult::NotFound) {
-        for imm in &snap.imm {
+        for (imm_shard, imm) in &snap.imm {
+            if *imm_shard != shard {
+                continue;
+            }
             probed = imm.get(key, snap.seq);
             if !matches!(probed, LookupResult::NotFound) {
                 break;
@@ -1489,6 +1842,7 @@ fn note_bg_outcome(
             state.bg_error = None;
             state.bg_backoff = Duration::ZERO;
             state.bg_backoff_until = None;
+            shared.bg_error_flag.store(false, Ordering::Relaxed);
         }
         Err(e) => {
             state.bg_backoff = if state.bg_backoff.is_zero() {
@@ -1498,6 +1852,7 @@ fn note_bg_outcome(
             };
             state.bg_backoff_until = Some(Instant::now() + state.bg_backoff);
             state.bg_error = Some(e.to_string());
+            shared.bg_error_flag.store(true, Ordering::Relaxed);
             shared.obs.event(obs::EventKind::BgError {
                 context: context.to_string(),
                 error: e.to_string(),
@@ -1577,7 +1932,8 @@ fn run_compaction_locked(
     let timer = shared.obs.start();
     let _span = shared.obs.span("compaction");
     shared.obs.event(obs::EventKind::CompactionStart { level: compaction.level as u32 });
-    let smallest_snapshot = shared.smallest_snapshot(state.versions.last_sequence);
+    let smallest_snapshot = shared.smallest_snapshot(shared.seq.visible());
+    state.drop_horizon = state.drop_horizon.max(smallest_snapshot);
     let first_number = state.versions.next_file_number;
     state.versions.next_file_number += NUMBER_WINDOW;
     let outputs = parking_lot::MutexGuard::unlocked(state, || {

@@ -26,6 +26,18 @@ impl Error {
     pub fn corruption(msg: impl Into<String>) -> Self {
         Error::Corruption(msg.into())
     }
+
+    /// Clone-equivalent (the type cannot derive `Clone` because
+    /// `std::io::Error` is not `Clone`). Used by group commit to hand every
+    /// follower in a write group its own copy of the leader's result.
+    pub fn duplicate(&self) -> Error {
+        match self {
+            Error::Storage(e) => Error::Storage(e.duplicate()),
+            Error::Corruption(msg) => Error::Corruption(msg.clone()),
+            Error::Closed => Error::Closed,
+            Error::InvalidArgument(msg) => Error::InvalidArgument(msg.clone()),
+        }
+    }
 }
 
 impl fmt::Display for Error {

@@ -45,6 +45,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod commit;
 pub mod compaction;
 pub mod compress;
 pub mod db;
@@ -61,6 +62,7 @@ pub mod version;
 pub mod wal;
 
 pub use batch::WriteBatch;
+pub use commit::{GroupCommitStats, GroupQueue};
 pub use db::{Db, DbStats, FileRouter, LocalFileRouter, Snapshot};
 pub use error::{Error, Result};
 pub use options::{Options, ReadOptions};

@@ -123,6 +123,23 @@ impl MemTable {
         self.entries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Apply every op of a sequence-stamped batch: op `i` inserts at
+    /// `batch.sequence() + i`. This is the single definition of "batch →
+    /// memtable" used by the live write path and by WAL/eWAL replay, so
+    /// recovery reproduces exactly what the foreground path built.
+    pub fn apply_batch(&self, batch: &crate::batch::WriteBatch) {
+        for (seq, op) in (batch.sequence()..).zip(batch.iter()) {
+            match op {
+                crate::batch::BatchOp::Put(key, value) => {
+                    self.insert(seq, ValueType::Value, key, value)
+                }
+                crate::batch::BatchOp::Delete(key) => {
+                    self.insert(seq, ValueType::Deletion, key, &[])
+                }
+            }
+        }
+    }
+
     /// Look up the newest version of `user_key` visible at `snapshot`.
     pub fn get(&self, user_key: &[u8], snapshot: SequenceNumber) -> LookupResult {
         let lookup = make_lookup_key(user_key, snapshot);

@@ -86,6 +86,20 @@ pub struct Options {
     /// non-overlapping outputs that commit in a single version edit. 1
     /// disables splitting.
     pub max_subcompactions: usize,
+    /// Number of hash-partitioned write shards. Each shard owns an
+    /// independent memtable and WAL log stream, so concurrent writers on
+    /// disjoint shards never contend on one memtable mutex or one log
+    /// file. Clamped to `1..=16` at open. 1 reproduces the classic
+    /// single-memtable write path exactly.
+    pub write_shards: usize,
+    /// Upper bound on how many queued write batches one group-commit
+    /// leader drains into a single WAL append + fsync round. Larger groups
+    /// amortize the fsync further but add latency for the first batch in
+    /// the group.
+    pub group_commit_max_batches: usize,
+    /// Byte budget for one group-commit round: the leader stops draining
+    /// the queue once the accumulated payload reaches this size.
+    pub group_commit_max_bytes: usize,
     /// Observability handle recording per-op latency histograms and the
     /// event journal. `None` makes the engine create a disabled observer:
     /// hot paths then pay a single branch and record nothing. Outer layers
@@ -116,6 +130,9 @@ impl Default for Options {
             max_imm_memtables: 4,
             max_background_jobs: 4,
             max_subcompactions: 4,
+            write_shards: 1,
+            group_commit_max_batches: 32,
+            group_commit_max_bytes: 1 << 20,
             observer: None,
         }
     }
@@ -171,5 +188,8 @@ mod tests {
         assert!(o.max_imm_memtables >= 1);
         assert!(o.max_background_jobs >= 1);
         assert!(o.max_subcompactions >= 1);
+        assert!(o.write_shards >= 1);
+        assert!(o.group_commit_max_batches >= 1);
+        assert!(o.group_commit_max_bytes >= 4096);
     }
 }

@@ -357,7 +357,15 @@ impl VersionSet {
         edit.next_file_number = Some(self.next_file_number);
         edit.last_sequence = Some(self.last_sequence);
         match edit.log_number {
-            Some(n) => self.log_number = n,
+            // The recovery floor may only advance: with per-shard WAL
+            // streams a flush commit's floor is the min over shards of the
+            // active log numbers, and a stale read of that min must never
+            // roll the manifest's floor backwards (it would resurrect
+            // already-reclaimed logs as "needed").
+            Some(n) => {
+                self.log_number = self.log_number.max(n);
+                edit.log_number = Some(self.log_number);
+            }
             None => edit.log_number = Some(self.log_number),
         }
         let mut builder = Builder::new((*self.current).clone());

@@ -83,6 +83,17 @@ impl LogWriter {
         }
     }
 
+    /// Append several records back-to-back without an intervening sync —
+    /// the group-commit leader's append pass. Stops at the first failure;
+    /// earlier records may already be buffered, which is fine because the
+    /// whole group reports that failure and none of it is acknowledged.
+    pub fn add_records<'a>(&mut self, records: impl IntoIterator<Item = &'a [u8]>) -> Result<()> {
+        for record in records {
+            self.add_record(record)?;
+        }
+        Ok(())
+    }
+
     /// Durably sync all appended records.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync()?;

@@ -3,13 +3,20 @@
 //! The eWAL differs from the engine's single-stream WAL in two ways that
 //! together enable fast parallel recovery:
 //!
-//! * **Partitioned**: records are spread round-robin over `P` independent
-//!   log files, so recovery can read, checksum, and decode all partitions
-//!   concurrently.
+//! * **Partitioned**: records are spread over `P` independent log files —
+//!   keyed by the write path's shard hash, so each partition is one
+//!   shard's log stream — and recovery can read, checksum, and decode all
+//!   partitions concurrently.
 //! * **Sequence-stamped** (the "extended" metadata): every record is a
 //!   [`WriteBatch`] carrying its global sequence number, so the partitions
 //!   can be merged back into the exact original write order after parallel
 //!   decoding — ordering lives in the record, not in file position.
+//!
+//! Because ordering lives in the records, partitions never need a common
+//! lock: each one has its own mutex, and concurrent writers on different
+//! partitions append (and fsync) fully in parallel. A partition tracks
+//! whether it has unsynced appends, so a sync only fsyncs the partitions
+//! that are actually dirty instead of all `P` files.
 //!
 //! Generations bound replay work: the writer rotates to a new generation
 //! right before every memtable flush, and once the flush is durable all
@@ -17,10 +24,12 @@
 //! suffix of history in original order, which is idempotent over the
 //! already-flushed prefix.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lsm::wal::LogWriter;
 use lsm::{Error, Result, WriteBatch};
+use parking_lot::Mutex;
 use storage::Env;
 
 /// File name of one eWAL partition log.
@@ -36,12 +45,25 @@ pub fn parse_ewal_name(name: &str) -> Option<(u64, usize)> {
     Some((gen_str.parse().ok()?, part_str.parse().ok()?))
 }
 
+/// One partition's log stream plus its sync state.
+struct PartitionLog {
+    log: LogWriter,
+    /// Appends since the last fsync. Cleared by [`EWalWriter::sync`] and
+    /// [`EWalWriter::sync_partition`]; clean partitions are skipped.
+    dirty: bool,
+}
+
 /// Appends sequence-stamped batches across partition logs.
+///
+/// Shared (`&self`) by concurrent writers: every partition carries its own
+/// lock, so appends to different partitions proceed in parallel. Ordering
+/// across partitions is carried by the sequence stamps, not file position.
 pub struct EWalWriter {
-    partitions: Vec<LogWriter>,
+    partitions: Vec<Mutex<PartitionLog>>,
     generation: u64,
-    next: usize,
-    bytes: u64,
+    /// Round-robin cursor for callers with no shard affinity.
+    next: AtomicUsize,
+    bytes: AtomicU64,
 }
 
 impl EWalWriter {
@@ -53,9 +75,17 @@ impl EWalWriter {
         storage::failpoint::fail_point("ewal_rotate").map_err(Error::from)?;
         let mut logs = Vec::with_capacity(partitions);
         for p in 0..partitions {
-            logs.push(LogWriter::new(env.new_writable(&ewal_name(generation, p))?));
+            logs.push(Mutex::new(PartitionLog {
+                log: LogWriter::new(env.new_writable(&ewal_name(generation, p))?),
+                dirty: false,
+            }));
         }
-        Ok(EWalWriter { partitions: logs, generation, next: 0, bytes: 0 })
+        Ok(EWalWriter {
+            partitions: logs,
+            generation,
+            next: AtomicUsize::new(0),
+            bytes: AtomicU64::new(0),
+        })
     }
 
     /// Generation this writer appends to.
@@ -63,38 +93,72 @@ impl EWalWriter {
         self.generation
     }
 
-    /// Bytes appended across all partitions.
-    pub fn bytes(&self) -> u64 {
-        self.bytes
+    /// Number of partition log streams.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
     }
 
-    /// Append one batch; the caller must already have stamped its sequence.
-    pub fn append(&mut self, batch: &WriteBatch) -> Result<()> {
+    /// Bytes appended across all partitions.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Append one batch to `partition`'s log stream; the caller must
+    /// already have stamped its sequence. Concurrent appends to other
+    /// partitions do not contend.
+    pub fn append_to(&self, partition: usize, batch: &WriteBatch) -> Result<()> {
         debug_assert!(batch.sequence() > 0, "eWAL batches must be sequence-stamped");
         // Crash site: before any byte of the record lands, so a failed
         // append means the (unacknowledged) write is simply absent.
         storage::failpoint::fail_point("ewal_append").map_err(Error::from)?;
-        self.partitions[self.next].add_record(batch.data())?;
-        self.next = (self.next + 1) % self.partitions.len();
-        self.bytes += batch.byte_size() as u64;
+        let mut part = self.partitions[partition].lock();
+        part.log.add_record(batch.data())?;
+        part.dirty = true;
+        self.bytes.fetch_add(batch.byte_size() as u64, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Durably sync every partition.
-    pub fn sync(&mut self) -> Result<()> {
+    /// Append one batch on the round-robin cursor (no shard affinity).
+    pub fn append(&self, batch: &WriteBatch) -> Result<()> {
+        let p = self.next.fetch_add(1, Ordering::Relaxed) % self.partitions.len();
+        self.append_to(p, batch)
+    }
+
+    /// Durably sync one partition if it has unsynced appends. Returns
+    /// whether an fsync was actually issued.
+    pub fn sync_partition(&self, partition: usize) -> Result<bool> {
         // Crash site: the record is appended but not acknowledged; recovery
         // may legitimately surface either outcome for the in-flight write.
         storage::failpoint::fail_point("ewal_sync").map_err(Error::from)?;
-        for p in &mut self.partitions {
-            p.sync()?;
+        let mut part = self.partitions[partition].lock();
+        if !part.dirty {
+            return Ok(false);
         }
-        Ok(())
+        part.log.sync()?;
+        part.dirty = false;
+        Ok(true)
+    }
+
+    /// Durably sync every partition with unsynced appends, skipping clean
+    /// ones. Returns how many partitions were actually fsynced.
+    pub fn sync(&self) -> Result<usize> {
+        storage::failpoint::fail_point("ewal_sync").map_err(Error::from)?;
+        let mut synced = 0;
+        for partition in &self.partitions {
+            let mut part = partition.lock();
+            if part.dirty {
+                part.log.sync()?;
+                part.dirty = false;
+                synced += 1;
+            }
+        }
+        Ok(synced)
     }
 
     /// Sync and close all partitions.
     pub fn finish(self) -> Result<()> {
         for p in self.partitions {
-            p.finish()?;
+            p.into_inner().log.finish()?;
         }
         Ok(())
     }
@@ -166,7 +230,7 @@ mod tests {
     #[test]
     fn append_distributes_round_robin() {
         let env = env();
-        let mut w = EWalWriter::create(&env, 1, 3).unwrap();
+        let w = EWalWriter::create(&env, 1, 3).unwrap();
         for i in 0..9 {
             w.append(&stamped(i + 1, &format!("k{i}"), "v")).unwrap();
         }
@@ -174,6 +238,50 @@ mod tests {
         let files = list_partition_files(&env).unwrap();
         assert_eq!(files.len(), 3);
         // Every partition received writes.
+        for f in &files {
+            assert!(env.size(f).unwrap() > 0, "partition {f} empty");
+        }
+    }
+
+    #[test]
+    fn sync_touches_only_dirty_partitions() {
+        let env = env();
+        let w = EWalWriter::create(&env, 1, 4).unwrap();
+        // A fresh writer has nothing to sync.
+        assert_eq!(w.sync().unwrap(), 0);
+        // One partition dirty: exactly one fsync.
+        w.append_to(2, &stamped(1, "k", "v")).unwrap();
+        assert_eq!(w.sync().unwrap(), 1);
+        // Already synced: nothing left to do.
+        assert_eq!(w.sync().unwrap(), 0);
+        // Two dirty partitions, one synced individually first.
+        w.append_to(0, &stamped(2, "k2", "v")).unwrap();
+        w.append_to(3, &stamped(3, "k3", "v")).unwrap();
+        assert!(w.sync_partition(0).unwrap());
+        assert!(!w.sync_partition(0).unwrap(), "second partition sync is a no-op");
+        assert_eq!(w.sync().unwrap(), 1, "only the remaining dirty partition syncs");
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_partitions() {
+        let env = env();
+        let w = Arc::new(EWalWriter::create(&env, 1, 4).unwrap());
+        std::thread::scope(|scope| {
+            for p in 0..4usize {
+                let w = Arc::clone(&w);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let seq = (p as u64) * 50 + i + 1;
+                        w.append_to(p, &stamped(seq, &format!("k{p}-{i}"), "v")).unwrap();
+                    }
+                    w.sync_partition(p).unwrap();
+                });
+            }
+        });
+        assert!(w.bytes() > 0);
+        Arc::into_inner(w).unwrap().finish().unwrap();
+        let files = list_partition_files(&env).unwrap();
+        assert_eq!(files.len(), 4);
         for f in &files {
             assert!(env.size(f).unwrap() > 0, "partition {f} empty");
         }
@@ -204,7 +312,7 @@ mod tests {
     #[test]
     fn bytes_accumulate() {
         let env = env();
-        let mut w = EWalWriter::create(&env, 1, 2).unwrap();
+        let w = EWalWriter::create(&env, 1, 2).unwrap();
         assert_eq!(w.bytes(), 0);
         w.append(&stamped(1, "key", "value")).unwrap();
         assert!(w.bytes() > 0);

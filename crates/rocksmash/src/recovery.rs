@@ -166,7 +166,7 @@ mod tests {
     }
 
     fn write_ewal(env: &Arc<dyn Env>, partitions: usize, n: u64) {
-        let mut w = EWalWriter::create(env, 1, partitions).unwrap();
+        let w = EWalWriter::create(env, 1, partitions).unwrap();
         for i in 0..n {
             w.append(&stamped(i + 1, format!("key{i:05}"), format!("val{i}"))).unwrap();
         }
@@ -221,7 +221,7 @@ mod tests {
         // and therefore different L0 tables. The higher sequence must win
         // even though both tables overlap.
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut w = EWalWriter::create(&env, 1, 2).unwrap();
+        let w = EWalWriter::create(&env, 1, 2).unwrap();
         w.append(&stamped(1, "k".into(), "old".into())).unwrap();
         w.append(&stamped(2, "k".into(), "new".into())).unwrap();
         w.append(&stamped(3, "j".into(), "x".into())).unwrap();
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn deletions_recover_across_partitions() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut w = EWalWriter::create(&env, 2, 1).unwrap();
+        let w = EWalWriter::create(&env, 2, 1).unwrap();
         w.append(&stamped(1, "k".into(), "v".into())).unwrap();
         let mut del = WriteBatch::new();
         del.delete(b"k");
@@ -269,10 +269,10 @@ mod tests {
     #[test]
     fn multi_generation_recovery_merges_all() {
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut w1 = EWalWriter::create(&env, 1, 2).unwrap();
+        let w1 = EWalWriter::create(&env, 1, 2).unwrap();
         w1.append(&stamped(1, "a".into(), "1".into())).unwrap();
         w1.finish().unwrap();
-        let mut w2 = EWalWriter::create(&env, 2, 2).unwrap();
+        let w2 = EWalWriter::create(&env, 2, 2).unwrap();
         w2.append(&stamped(2, "b".into(), "2".into())).unwrap();
         w2.append(&stamped(3, "a".into(), "3".into())).unwrap();
         w2.finish().unwrap();

@@ -40,6 +40,18 @@ pub struct SchemeReport {
     /// Peak depth of the immutable-memtable flush queue.
     #[serde(default)]
     pub imm_queue_peak: u64,
+    /// Group-commit rounds led (engine WAL + eWAL queues). Each round is
+    /// one log append pass and at most one fsync.
+    #[serde(default)]
+    pub group_commits: u64,
+    /// Write batches committed through those rounds;
+    /// `group_commit_batches / group_commits` is the mean group size.
+    #[serde(default)]
+    pub group_commit_batches: u64,
+    /// Writers that arrived while another leader was mid-commit on their
+    /// shard and had to wait (shard contention / grouping opportunity).
+    #[serde(default)]
+    pub writer_shard_conflicts: u64,
     /// Cloud request statistics.
     pub cloud: StatsSnapshot,
     /// Billing summary.
@@ -99,6 +111,18 @@ impl SchemeReport {
         let retry = db.cloud().retrier().snapshot();
         let prefetch_issued = db.engine().prefetcher().map(|p| p.issued()).unwrap_or(0);
         let prefetch_useful = db.engine().block_cache().map(|c| c.prefetch_useful()).unwrap_or(0);
+        // The engine's WAL queues and the tiered eWAL queues each keep
+        // their own counters; exactly one side sees traffic per mode, and
+        // summing covers both without caring which.
+        let engine_gc = db.engine().group_commit_stats();
+        let mut group_commits = engine_gc.group_commits.load(Ordering::Relaxed);
+        let mut group_commit_batches = engine_gc.group_commit_batches.load(Ordering::Relaxed);
+        let mut writer_shard_conflicts = engine_gc.writer_shard_conflicts.load(Ordering::Relaxed);
+        if let Some(ewal_gc) = db.ewal_commit_stats() {
+            group_commits += ewal_gc.group_commits.load(Ordering::Relaxed);
+            group_commit_batches += ewal_gc.group_commit_batches.load(Ordering::Relaxed);
+            writer_shard_conflicts += ewal_gc.writer_shard_conflicts.load(Ordering::Relaxed);
+        }
         Ok(SchemeReport {
             engine_writes: stats.writes.load(Ordering::Relaxed),
             engine_gets: stats.gets.load(Ordering::Relaxed),
@@ -111,6 +135,9 @@ impl SchemeReport {
             subcompactions: stats.subcompactions.load(Ordering::Relaxed),
             compaction_parallelism_peak: stats.compaction_parallelism_peak.load(Ordering::Relaxed),
             imm_queue_peak: stats.imm_queue_peak.load(Ordering::Relaxed),
+            group_commits,
+            group_commit_batches,
+            writer_shard_conflicts,
             coalesced_gets: cloud_snapshot.coalesced_gets,
             requests_saved: cloud_snapshot.requests_saved,
             cloud: cloud_snapshot,
@@ -155,7 +182,8 @@ impl SchemeReport {
             "\"engine_writes\":{},\"engine_gets\":{},\"engine_flushes\":{},\
              \"engine_compactions\":{},\"compact_bytes_in\":{},\"compact_bytes_out\":{},\
              \"stall_ns\":{},\"flush_retries\":{},\"subcompactions\":{},\
-             \"compaction_parallelism_peak\":{},\"imm_queue_peak\":{}",
+             \"compaction_parallelism_peak\":{},\"imm_queue_peak\":{},\
+             \"group_commits\":{},\"group_commit_batches\":{},\"writer_shard_conflicts\":{}",
             self.engine_writes,
             self.engine_gets,
             self.engine_flushes,
@@ -167,6 +195,9 @@ impl SchemeReport {
             self.subcompactions,
             self.compaction_parallelism_peak,
             self.imm_queue_peak,
+            self.group_commits,
+            self.group_commit_batches,
+            self.writer_shard_conflicts,
         );
         let _ = write!(
             out,
@@ -262,6 +293,9 @@ impl SchemeReport {
             .counter("flush_retries", self.flush_retries)
             .counter("subcompactions", self.subcompactions)
             .counter("imm_queue_peak", self.imm_queue_peak)
+            .counter("group_commits", self.group_commits)
+            .counter("group_commit_batches", self.group_commit_batches)
+            .counter("writer_shard_conflicts", self.writer_shard_conflicts)
             .gauge("compaction_parallelism", self.compaction_parallelism_peak as f64)
             .counter("cloud_reads", self.cloud.reads)
             .counter("cloud_writes", self.cloud.writes)

@@ -3,11 +3,13 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use lsm::batch::BatchOp;
+use lsm::commit::shard_of;
 use lsm::db::DbIterator;
-use lsm::{Db, ReadOptions, Result, Snapshot, WriteBatch};
+use lsm::{Db, GroupCommitStats, GroupQueue, ReadOptions, Result, Snapshot, WriteBatch};
 use mashcache::cache::PersistentBlockCache;
 use mashcache::{BaselineCache, CacheConfig, MashCache, MemCacheStorage};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use storage::{CloudStore, Env, ObjectStore};
 
 use crate::config::{CacheKind, TieredConfig};
@@ -26,13 +28,39 @@ fn delete_generations_le(env: &Arc<dyn Env>, floor: u64) -> Result<()> {
     Ok(())
 }
 
-struct EWalState {
-    writer: EWalWriter,
-    bytes_since_flush: u64,
+/// Shared eWAL write-path state.
+///
+/// Appends take the `writer` read lock, so writers on different partitions
+/// run fully in parallel; generation rotation takes the write lock, which
+/// both quiesces in-flight appends and guarantees that everything in the
+/// retired generation has already been applied to the memtable shards.
+struct EWalShared {
+    writer: RwLock<EWalWriter>,
+    /// One group-commit queue per partition: concurrent writers on the
+    /// same partition batch into a single append pass + fsync.
+    queues: Vec<GroupQueue>,
+    /// Group-commit counters for the eWAL queues (the engine keeps its own
+    /// instance for its WAL; reports sum both).
+    stats: Arc<GroupCommitStats>,
+    bytes_since_flush: AtomicU64,
     /// Log generations whose data sits in a sealed-but-unflushed memtable:
     /// `(flush ticket, generation)` pairs, truncated once the engine
     /// reports the ticket flushed. Ordered by ticket (seals are monotonic).
-    pending_truncations: Vec<(u64, u64)>,
+    pending_truncations: Mutex<Vec<(u64, u64)>>,
+}
+
+/// Partition routing: the shard hash of the batch's first key. A batch is
+/// one log record, so it lands whole in one partition; replay order is
+/// carried by the sequence stamp, so routing only affects load balance.
+fn ewal_partition_of(batch: &WriteBatch, partitions: usize) -> usize {
+    batch
+        .iter()
+        .next()
+        .map(|op| match op {
+            BatchOp::Put(k, _) => shard_of(k, partitions),
+            BatchOp::Delete(k) => shard_of(k, partitions),
+        })
+        .unwrap_or(0)
 }
 
 /// Background thread periodically printing the stats dump
@@ -53,8 +81,7 @@ pub struct TieredDb {
     cloud: CloudStore,
     router: Arc<TieredRouter>,
     config: TieredConfig,
-    ewal: Option<Mutex<EWalState>>,
-    next_seq: AtomicU64,
+    ewal: Option<EWalShared>,
     /// Report of the eWAL recovery performed at open, if any.
     recovery: Option<RecoveryReport>,
     /// Latency histograms + event journal shared by every layer of this
@@ -161,13 +188,26 @@ impl TieredDb {
             for generation in list_generations(&env)? {
                 delete_generation(&env, generation)?;
             }
-            let writer = EWalWriter::create(&env, 1, config.ewal_partitions.max(1))?;
+            let partitions = config.ewal_partitions.max(1);
+            let writer = EWalWriter::create(&env, 1, partitions)?;
+            let stats = Arc::new(GroupCommitStats::default());
+            let queues = (0..partitions)
+                .map(|_| {
+                    GroupQueue::new(
+                        config.options.group_commit_max_batches,
+                        config.options.group_commit_max_bytes,
+                        Arc::clone(&stats),
+                    )
+                })
+                .collect();
             (
-                Some(Mutex::new(EWalState {
-                    writer,
-                    bytes_since_flush: 0,
-                    pending_truncations: Vec::new(),
-                })),
+                Some(EWalShared {
+                    writer: RwLock::new(writer),
+                    queues,
+                    stats,
+                    bytes_since_flush: AtomicU64::new(0),
+                    pending_truncations: Mutex::new(Vec::new()),
+                }),
                 Some(report),
             )
         } else {
@@ -225,19 +265,7 @@ impl TieredDb {
             StatsDump { stop, handle: Mutex::new(Some(handle)) }
         });
 
-        let next_seq = AtomicU64::new(db.last_sequence() + 1);
-        Ok(TieredDb {
-            db,
-            env,
-            cloud,
-            router,
-            config,
-            ewal,
-            next_seq,
-            recovery,
-            observer,
-            stats_dump,
-        })
+        Ok(TieredDb { db, env, cloud, router, config, ewal, recovery, observer, stats_dump })
     }
 
     /// The eWAL recovery report from this open, when the eWAL is enabled.
@@ -261,7 +289,14 @@ impl TieredDb {
 
     /// Apply a batch atomically; durability comes from the eWAL (RocksMash
     /// mode) or the engine WAL (baseline modes).
-    pub fn write(&self, mut batch: WriteBatch) -> Result<()> {
+    ///
+    /// In eWAL mode the batch reserves a contiguous sequence range from
+    /// the engine, is stamped, and rides its partition's group-commit
+    /// queue: one leader appends every queued batch to the partition log,
+    /// issues at most one fsync, and applies the group to the engine's
+    /// memtable shards. The range is published to readers afterwards, so a
+    /// batch becomes visible only once it is both durable and applied.
+    pub fn write(&self, batch: WriteBatch) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
         }
@@ -269,66 +304,122 @@ impl TieredDb {
         let _span = self.observer.span_if_perf("write");
         match &self.ewal {
             Some(ewal) => {
-                // Hold the eWAL lock across the engine apply so the
-                // sequence stamps in the log match the true apply
-                // order — replay depends on it.
-                let mut state = ewal.lock();
-                let seq = self.next_seq.fetch_add(batch.count() as u64, Ordering::Relaxed);
-                batch.set_sequence(seq);
+                // The engine WAL is bypassed here, so the store owns the
+                // foreground write sample the engine would have recorded.
                 let timer = self.observer.start();
-                let stage = obs::perf::start_stage();
-                state.writer.append(&batch)?;
-                obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
-                self.observer.finish(obs::Op::EwalAppend, timer);
-                if self.config.options.sync_writes {
-                    let timer = self.observer.start();
-                    let stage = obs::perf::start_stage();
-                    state.writer.sync()?;
-                    obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
-                    self.observer.finish(obs::Op::EwalSync, timer);
-                }
-                state.bytes_since_flush += batch.byte_size() as u64;
-                self.db.write(batch)?;
-                if state.bytes_since_flush >= self.config.options.write_buffer_size as u64 {
-                    // Rotate the log and seal the memtable without waiting
-                    // for the flush: the background pool drains the queue
-                    // while writers keep going. The retired generation is
-                    // truncated once the engine reports the seal flushed.
-                    let old = state.writer.generation();
-                    let fresh =
-                        EWalWriter::create(&self.env, old + 1, self.config.ewal_partitions.max(1))?;
-                    let retired = std::mem::replace(&mut state.writer, fresh);
-                    retired.finish()?;
-                    state.bytes_since_flush = 0;
-                    if let Some(ticket) = self.db.seal_memtable()? {
-                        state.pending_truncations.push((ticket, old));
-                    } else {
-                        // Nothing sealed and the queue is empty: the data
-                        // is already table-durable.
-                        delete_generations_le(&self.env, old)?;
-                    }
-                }
-                self.drain_truncations(&mut state)
+                let result = self.write_ewal(ewal, batch);
+                self.observer.finish(obs::Op::Write, timer);
+                result
             }
             None => self.db.write(batch),
         }
     }
 
-    /// Truncate log generations whose sealed memtables have since been
-    /// flushed. Called with the eWAL lock held.
-    fn drain_truncations(&self, state: &mut EWalState) -> Result<()> {
-        let mut cleared: Option<u64> = None;
-        while let Some(&(ticket, generation)) = state.pending_truncations.first() {
-            if !self.db.flush_caught_up(ticket)? {
-                break;
+    /// The eWAL-mode write path; see [`TieredDb::write`].
+    fn write_ewal(&self, ewal: &EWalShared, mut batch: WriteBatch) -> Result<()> {
+        let count = batch.count() as u64;
+        let bytes = batch.byte_size() as u64;
+        let start = self.db.reserve_sequences(count);
+        batch.set_sequence(start);
+        let partition = ewal_partition_of(&batch, ewal.queues.len());
+        let sync_writes = self.config.options.sync_writes;
+        // The read lock spans append + apply, so rotation (write lock) can
+        // only run when every logged batch is also in a memtable — the
+        // seal it triggers captures them all.
+        let writer = ewal.writer.read();
+        let result = ewal.queues[partition].submit(batch, |group| {
+            let timer = self.observer.start();
+            let stage = obs::perf::start_stage();
+            for slot in group {
+                writer.append_to(partition, slot.batch())?;
             }
-            cleared = Some(generation);
-            state.pending_truncations.remove(0);
+            obs::perf::finish_stage(stage, |c, ns| c.wal_append_ns += ns);
+            self.observer.finish(obs::Op::EwalAppend, timer);
+            if sync_writes {
+                let timer = self.observer.start();
+                let stage = obs::perf::start_stage();
+                writer.sync_partition(partition)?;
+                obs::perf::finish_stage(stage, |c, ns| c.wal_sync_ns += ns);
+                self.observer.finish(obs::Op::EwalSync, timer);
+            }
+            for slot in group {
+                self.db.apply_stamped(slot.batch())?;
+            }
+            Ok(())
+        });
+        drop(writer);
+        // Publish even on failure: the range holds no visible data then,
+        // but leaving it unpublished would wedge the watermark for every
+        // later write.
+        self.db.publish_sequences(start, start + count - 1);
+        result?;
+        ewal.bytes_since_flush.fetch_add(bytes, Ordering::Relaxed);
+        if ewal.bytes_since_flush.load(Ordering::Relaxed)
+            >= self.config.options.write_buffer_size as u64
+        {
+            // Rotate the log and seal the memtable without waiting for the
+            // flush: the background pool drains the queue while writers
+            // keep going. The retired generation is truncated once the
+            // engine reports the seal flushed.
+            self.rotate_ewal(ewal)?;
+        }
+        self.drain_truncations(ewal)
+    }
+
+    /// Swap in a fresh log generation, then seal the memtables so the
+    /// retired generation can be truncated once their flush lands.
+    fn rotate_ewal(&self, ewal: &EWalShared) -> Result<()> {
+        let old = {
+            let mut writer = ewal.writer.write();
+            // Another writer may have rotated while this one waited for
+            // the write lock; don't rotate again for the same spill.
+            if ewal.bytes_since_flush.load(Ordering::Relaxed)
+                < self.config.options.write_buffer_size as u64
+            {
+                return Ok(());
+            }
+            let old = writer.generation();
+            let fresh = EWalWriter::create(&self.env, old + 1, self.config.ewal_partitions.max(1))?;
+            let retired = std::mem::replace(&mut *writer, fresh);
+            retired.finish()?;
+            ewal.bytes_since_flush.store(0, Ordering::Relaxed);
+            old
+        };
+        if let Some(ticket) = self.db.seal_memtable()? {
+            ewal.pending_truncations.lock().push((ticket, old));
+        } else {
+            // Nothing sealed and the queue is empty: the data is already
+            // table-durable.
+            delete_generations_le(&self.env, old)?;
+        }
+        Ok(())
+    }
+
+    /// Truncate log generations whose sealed memtables have since been
+    /// flushed.
+    fn drain_truncations(&self, ewal: &EWalShared) -> Result<()> {
+        let mut cleared: Option<u64> = None;
+        {
+            let mut pending = ewal.pending_truncations.lock();
+            while let Some(&(ticket, generation)) = pending.first() {
+                if !self.db.flush_caught_up(ticket)? {
+                    break;
+                }
+                cleared = Some(generation);
+                pending.remove(0);
+            }
         }
         match cleared {
             Some(generation) => delete_generations_le(&self.env, generation),
             None => Ok(()),
         }
+    }
+
+    /// Group-commit counters of the eWAL partition queues, when the eWAL
+    /// is enabled. The engine's own WAL counters live at
+    /// [`lsm::Db::group_commit_stats`]; scheme reports sum the two.
+    pub fn ewal_commit_stats(&self) -> Option<&Arc<GroupCommitStats>> {
+        self.ewal.as_ref().map(|e| &e.stats)
     }
 
     /// Read the newest visible value of `key`.
@@ -422,23 +513,20 @@ impl TieredDb {
         match &self.ewal {
             Some(ewal) => {
                 let old_generation = {
-                    let mut state = ewal.lock();
-                    let old = state.writer.generation();
+                    let mut writer = ewal.writer.write();
+                    let old = writer.generation();
                     let fresh =
                         EWalWriter::create(&self.env, old + 1, self.config.ewal_partitions.max(1))?;
-                    let retired = std::mem::replace(&mut state.writer, fresh);
+                    let retired = std::mem::replace(&mut *writer, fresh);
                     retired.finish()?;
-                    state.bytes_since_flush = 0;
+                    ewal.bytes_since_flush.store(0, Ordering::Relaxed);
                     old
                 };
                 self.db.flush()?;
                 // The whole flush queue drained: everything in generations
                 // ≤ old_generation is table-durable, including any pending
                 // async seals (their generations are ≤ old_generation).
-                {
-                    let mut state = ewal.lock();
-                    state.pending_truncations.retain(|&(_, g)| g > old_generation);
-                }
+                ewal.pending_truncations.lock().retain(|&(_, g)| g > old_generation);
                 delete_generations_le(&self.env, old_generation)
             }
             None => self.db.flush(),
@@ -521,7 +609,7 @@ impl TieredDb {
             }
         }
         if let Some(ewal) = &self.ewal {
-            ewal.lock().writer.sync()?;
+            ewal.writer.read().sync()?;
         }
         self.db.close()
     }

@@ -46,6 +46,23 @@ impl StorageError {
     pub fn corruption(msg: impl Into<String>) -> Self {
         StorageError::Corruption(msg.into())
     }
+
+    /// Clone-equivalent for an error type that cannot derive `Clone`
+    /// (`std::io::Error` is not `Clone`). Group commit fans one leader
+    /// result out to every follower in the group, so each needs its own
+    /// copy; an `Io` variant is reconstructed from its kind and message.
+    pub fn duplicate(&self) -> StorageError {
+        match self {
+            StorageError::NotFound(s) => StorageError::NotFound(s.clone()),
+            StorageError::Io(e) => StorageError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            StorageError::Corruption(s) => StorageError::Corruption(s.clone()),
+            StorageError::Injected(s) => StorageError::Injected(s.clone()),
+            StorageError::FailPoint(s) => StorageError::FailPoint(s.clone()),
+            StorageError::Timeout(s) => StorageError::Timeout(s.clone()),
+            StorageError::Unsupported(op) => StorageError::Unsupported(op),
+            StorageError::InvalidArgument(s) => StorageError::InvalidArgument(s.clone()),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {

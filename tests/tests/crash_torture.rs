@@ -229,6 +229,13 @@ fn all_cloud() -> TieredConfig {
     torture_config(PlacementPolicy::all_cloud(), 4 << 20)
 }
 
+/// `config` with the foreground write path sharded four ways: four
+/// memtable shards, each appending to its own eWAL partition stream.
+fn sharded(mut config: TieredConfig) -> TieredConfig {
+    config.options.write_shards = 4;
+    config
+}
+
 // ---- the matrix: eWAL sites -------------------------------------------
 
 #[test]
@@ -261,6 +268,37 @@ fn crash_at_flush_manifest_commit() {
 #[test]
 fn crash_at_manifest_apply() {
     torture_site("manifest_apply", FailAction::CrashAfter(3), local_split());
+}
+
+// ---- the same critical sites with the write path sharded 4 ways -------
+//
+// Recovery must merge four per-shard log streams back into global commit
+// order; these rerun the sites where a sharded writer could diverge from
+// the single-stream story.
+
+#[test]
+fn crash_at_ewal_append_sharded() {
+    torture_site("ewal_append", FailAction::CrashAfter(120), sharded(local_split()));
+}
+
+#[test]
+fn crash_at_ewal_sync_sharded() {
+    torture_site("ewal_sync", FailAction::CrashAfter(150), sharded(local_split()));
+}
+
+#[test]
+fn crash_at_ewal_rotation_sharded() {
+    torture_site("ewal_rotate", FailAction::CrashAfter(2), sharded(local_split()));
+}
+
+#[test]
+fn crash_at_flush_start_sharded() {
+    torture_site("flush_begin", FailAction::CrashAfter(2), sharded(local_split()));
+}
+
+#[test]
+fn crash_at_sst_upload_sharded() {
+    torture_site("sst_upload", FailAction::CrashAfter(2), sharded(all_cloud()));
 }
 
 // ---- upload + cloud sites ---------------------------------------------

@@ -367,7 +367,7 @@ proptest! {
         use rocksmash::recovery::decode_all_sorted;
 
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut w = EWalWriter::create(&env, 1, partitions).unwrap();
+        let w = EWalWriter::create(&env, 1, partitions).unwrap();
         let mut seq = 1u64;
         let mut originals = Vec::new();
         for ops in &batches {
@@ -420,7 +420,7 @@ proptest! {
         use rocksmash::ewal::{decode_batch, list_partition_files, EWalWriter};
 
         let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-        let mut w = EWalWriter::create(&env, 1, partitions).unwrap();
+        let w = EWalWriter::create(&env, 1, partitions).unwrap();
         for i in 0..n {
             let mut b = WriteBatch::new();
             b.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes());

@@ -1,0 +1,328 @@
+//! Sharded write path: group-commit batching, leader failure, cross-shard
+//! read consistency, and replay equivalence.
+//!
+//! The write path shards batches by key hash across independent memtables
+//! and WAL streams, with one group-commit queue per shard. These tests pin
+//! the properties the refactor must preserve:
+//!
+//! * concurrent writers on one shard batch into shared commit rounds (one
+//!   fsync per round, not per batch);
+//! * a leader's failure reaches every member of its group, and the store
+//!   keeps working once the fault clears;
+//! * a multi-shard `WriteBatch` is never visible half-applied to readers
+//!   (the visible-sequence watermark only advances over contiguous
+//!   committed groups);
+//! * replay of per-shard log streams reproduces exactly the state an
+//!   unsharded shadow model predicts, for any shard count.
+//!
+//! Failpoints are process-global, so the failpoint-armed tests serialize
+//! on one mutex and disarm everything on entry and exit.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use lsm::{Db, Options, WriteBatch};
+use proptest::prelude::*;
+use rocksmash::{TieredConfig, TieredDb};
+use storage::failpoint::{self, FailAction};
+use storage::{Env, MemEnv};
+
+/// Serializes every failpoint-armed test in this binary.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = FAILPOINTS.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoint::disarm_all();
+    guard
+}
+
+fn sharded_options(shards: usize) -> Options {
+    Options { write_shards: shards, sync_writes: true, ..Options::small_for_tests() }
+}
+
+// ---- group-commit batching under concurrency --------------------------
+
+/// Eight writers racing on a sharded store must amortize fsyncs: the
+/// group-commit counters have to show fewer commit rounds (== fsync
+/// passes) than committed batches, i.e. fsyncs per batch < 1.
+#[test]
+fn concurrent_writers_amortize_fsyncs_into_group_commits() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let db = Arc::new(Db::open(env as Arc<dyn Env>, sharded_options(4)).unwrap());
+
+    // Hold every leader open briefly so racing writers pile up behind it
+    // and the next round drains them as one group, deterministically.
+    failpoint::arm("group_commit_lead", FailAction::Sleep(Duration::from_millis(2)));
+
+    let writers = 8usize;
+    let per = 60usize;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                for i in 0..per {
+                    let key = format!("w{w:02}-{i:04}");
+                    db.put(key.as_bytes(), b"v").unwrap();
+                }
+            });
+        }
+    });
+    failpoint::disarm_all();
+
+    for w in 0..writers {
+        for i in 0..per {
+            let key = format!("w{w:02}-{i:04}");
+            assert_eq!(db.get(key.as_bytes()).unwrap(), Some(b"v".to_vec()), "lost {key}");
+        }
+    }
+
+    let stats = db.group_commit_stats();
+    let rounds = stats.group_commits.load(Ordering::Relaxed);
+    let batches = stats.group_commit_batches.load(Ordering::Relaxed);
+    assert_eq!(batches, (writers * per) as u64, "every batch rides exactly one group");
+    assert!(
+        rounds < batches,
+        "no grouping occurred: {rounds} commit rounds for {batches} batches \
+         (fsyncs per batch must be < 1 under 8 concurrent writers)"
+    );
+    db.close().unwrap();
+}
+
+/// Same property through the tiered store's eWAL partition queues.
+#[test]
+fn ewal_writers_amortize_fsyncs_into_group_commits() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let config = TieredConfig {
+        options: Options { write_shards: 4, sync_writes: true, ..Options::small_for_tests() },
+        ..TieredConfig::small_for_tests()
+    };
+    let db = Arc::new(TieredDb::open(env as Arc<dyn Env>, config).unwrap());
+    failpoint::arm("group_commit_lead", FailAction::Sleep(Duration::from_millis(2)));
+
+    let writers = 8usize;
+    let per = 60usize;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                for i in 0..per {
+                    let key = format!("e{w:02}-{i:04}");
+                    db.put(key.as_bytes(), b"v").unwrap();
+                }
+            });
+        }
+    });
+    failpoint::disarm_all();
+
+    let stats = db.ewal_commit_stats().expect("eWAL enabled");
+    let rounds = stats.group_commits.load(Ordering::Relaxed);
+    let batches = stats.group_commit_batches.load(Ordering::Relaxed);
+    assert_eq!(batches, (writers * per) as u64);
+    assert!(rounds < batches, "eWAL grouping never formed: {rounds} rounds / {batches} batches");
+
+    // The counters ride the scheme report and its JSON surface.
+    let report = db.report().unwrap();
+    assert_eq!(report.group_commit_batches, batches);
+    assert!(report.group_commits >= rounds);
+    let json = report.to_json();
+    for field in ["\"group_commits\":", "\"group_commit_batches\":", "\"writer_shard_conflicts\":"]
+    {
+        assert!(json.contains(field), "stats JSON missing {field}");
+    }
+    db.close().unwrap();
+}
+
+// ---- leader failure ---------------------------------------------------
+
+/// When the group leader's eWAL append fails, every member of the group
+/// must see the error (their writes were not persisted), and the store
+/// must keep accepting writes once the fault clears.
+#[test]
+fn ewal_leader_failure_reaches_every_group_member() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let config = TieredConfig {
+        options: Options { write_shards: 4, sync_writes: true, ..Options::small_for_tests() },
+        ..TieredConfig::small_for_tests()
+    };
+    let db = Arc::new(TieredDb::open(env as Arc<dyn Env>, config).unwrap());
+    db.put(b"warm", b"up").unwrap();
+
+    // Widen the leader window so a real multi-writer group forms, and fail
+    // the append that commits it. The same key routes every writer to the
+    // same partition queue.
+    failpoint::arm("group_commit_lead", FailAction::Sleep(Duration::from_millis(5)));
+    failpoint::arm("ewal_append", FailAction::ReturnErr);
+    let failures = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let db = Arc::clone(&db);
+            let failures = Arc::clone(&failures);
+            scope.spawn(move || {
+                if db.put(b"contended", b"never-lands").is_err() {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    failpoint::disarm_all();
+    assert_eq!(
+        failures.load(Ordering::Relaxed),
+        6,
+        "a failed group append must surface to every member of the group"
+    );
+    // The failed writes were never acknowledged and must not be visible.
+    assert_eq!(db.get(b"contended").unwrap(), None);
+
+    // Fault cleared: the path works again and the sequence watermark was
+    // not wedged by the failed (published-empty) ranges.
+    db.put(b"contended", b"lands").unwrap();
+    assert_eq!(db.get(b"contended").unwrap(), Some(b"lands".to_vec()));
+    assert_eq!(db.get(b"warm").unwrap(), Some(b"up".to_vec()));
+    db.close().unwrap();
+}
+
+/// A failed group fsync must also fail the whole group and leave the
+/// store usable afterwards.
+#[test]
+fn ewal_sync_failure_fails_group_and_store_recovers() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let config = TieredConfig {
+        options: Options { write_shards: 4, sync_writes: true, ..Options::small_for_tests() },
+        ..TieredConfig::small_for_tests()
+    };
+    let db = Arc::new(TieredDb::open(env as Arc<dyn Env>, config).unwrap());
+    failpoint::arm("ewal_sync", FailAction::ReturnErr);
+    assert!(db.put(b"unsynced", b"x").is_err(), "sync failure must fail the write");
+    failpoint::disarm_all();
+    db.put(b"synced", b"y").unwrap();
+    assert_eq!(db.get(b"synced").unwrap(), Some(b"y".to_vec()));
+    db.close().unwrap();
+}
+
+// ---- cross-shard atomicity for readers --------------------------------
+
+/// A `WriteBatch` spanning every shard must be atomic to snapshots: a
+/// reader racing the writer sees either the whole batch or none of it,
+/// never a torn prefix. Regression test for the visible-sequence
+/// watermark (it may only advance over contiguous committed groups).
+#[test]
+fn multi_shard_batch_is_never_torn_for_readers() {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let db = Arc::new(Db::open(env as Arc<dyn Env>, sharded_options(4)).unwrap());
+    let keys: Vec<Vec<u8>> = (0..8).map(|i| format!("atomic{i}").into_bytes()).collect();
+
+    // Round 0 baseline so every key exists before the race starts.
+    let mut batch = WriteBatch::new();
+    for k in &keys {
+        batch.put(k, b"r00000000");
+    }
+    db.write(batch).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let value = format!("r{round:08}");
+                let mut batch = WriteBatch::new();
+                for k in &keys {
+                    batch.put(k, value.as_bytes());
+                }
+                db.write(batch).unwrap();
+                round += 1;
+            }
+            round
+        })
+    };
+
+    for _ in 0..600 {
+        let snap = db.snapshot();
+        let mut seen = Vec::with_capacity(keys.len());
+        for k in &keys {
+            let v = db.get_at(k, &snap).unwrap().expect("key always present after round 0");
+            seen.push(String::from_utf8(v).unwrap());
+        }
+        let first = &seen[0];
+        assert!(
+            seen.iter().all(|v| v == first),
+            "torn multi-shard batch visible at snapshot {}: {seen:?}",
+            snap.sequence(),
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    let rounds = writer.join().unwrap();
+    assert!(rounds > 1, "writer made no progress while readers were checking");
+    db.close().unwrap();
+}
+
+// ---- replay equivalence -----------------------------------------------
+
+/// Apply one op list to a sharded store (per-shard WAL streams), close,
+/// and reopen unsharded: the recovered state must match an unsharded
+/// in-memory shadow model exactly. Sequence stamps — not file order —
+/// carry the commit order, so the shard count must be invisible to
+/// replay.
+fn replay_round_trip(shards: usize, ops: &[(u16, bool, u32)]) {
+    let env = Arc::new(MemEnv::new());
+    let mut shadow: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    {
+        let options = Options { write_shards: shards, ..Options::small_for_tests() };
+        let db = Db::open(env.clone() as Arc<dyn Env>, options).unwrap();
+        for (i, &(k, is_put, v)) in ops.iter().enumerate() {
+            let key = format!("p{k:05}").into_bytes();
+            if is_put {
+                let value = format!("v{v:08}").into_bytes();
+                // Mix single-op writes with occasional multi-op batches so
+                // batches regularly span shards.
+                if i % 7 == 0 {
+                    let mut batch = WriteBatch::new();
+                    batch.put(&key, &value);
+                    let sibling = format!("p{:05}", k.wrapping_add(17) % 2048).into_bytes();
+                    batch.put(&sibling, &value);
+                    shadow.insert(sibling.clone(), value.clone());
+                    db.write(batch).unwrap();
+                } else {
+                    db.put(&key, &value).unwrap();
+                }
+                shadow.insert(key, value);
+            } else {
+                db.delete(&key).unwrap();
+                shadow.remove(&key);
+            }
+        }
+        // Close without flushing: recovery must come from the WAL streams.
+        db.close().unwrap();
+    }
+    let db = Db::open(env as Arc<dyn Env>, Options::small_for_tests()).unwrap();
+    for i in 0..2048u16 {
+        let key = format!("p{i:05}").into_bytes();
+        assert_eq!(
+            db.get(&key).unwrap(),
+            shadow.get(&key).cloned(),
+            "shards={shards} key p{i:05} diverged from shadow after replay"
+        );
+    }
+    db.close().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_replay_reproduces_unsharded_shadow(
+        ops in proptest::collection::vec((0u16..2048, any::<bool>(), 0u32..100_000), 1..160),
+        shards in 1usize..=4,
+    ) {
+        replay_round_trip(shards, &ops);
+    }
+}

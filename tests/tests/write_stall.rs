@@ -56,10 +56,23 @@ fn flush_only_options(observer: Arc<obs::Observer>) -> Options {
 
 #[test]
 fn failed_flush_backs_off_and_recovers() {
+    run_failed_flush_recovery(1);
+}
+
+/// The same backpressure contract must hold when the write path is
+/// sharded: a failing flush of any shard's sealed memtable surfaces to
+/// writers, backs off, and clears on its own.
+#[test]
+fn failed_flush_backs_off_and_recovers_sharded() {
+    run_failed_flush_recovery(4);
+}
+
+fn run_failed_flush_recovery(write_shards: usize) {
     let _g = lock();
     let observer = Arc::new(obs::Observer::new());
     let env = Arc::new(MemEnv::new());
-    let db = Db::open(env.clone() as Arc<dyn Env>, flush_only_options(observer.clone())).unwrap();
+    let options = Options { write_shards, ..flush_only_options(observer.clone()) };
+    let db = Db::open(env.clone() as Arc<dyn Env>, options).unwrap();
 
     failpoint::arm("flush_begin", FailAction::ReturnErr);
 
