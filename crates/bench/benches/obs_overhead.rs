@@ -1,6 +1,12 @@
 //! Criterion check that observability instrumentation is effectively
 //! free: point reads against the same store with the observer enabled
 //! vs disabled. The acceptance bar is < 5% regression with it on.
+//!
+//! The third arm opens the HTTP metrics exporter (ephemeral port, nobody
+//! scraping) on top of full observability: the exporter and its sampler
+//! live entirely on detached threads, so its marginal cost on the read
+//! path must be indistinguishable from `get_obs_on`. With the exporter
+//! off, its entire cost is one `Option` branch at open.
 
 use std::sync::Arc;
 
@@ -14,9 +20,13 @@ fn key(i: u64) -> Vec<u8> {
     format!("key{i:08}").into_bytes()
 }
 
-fn open_db(observability: bool) -> TieredDb {
+fn open_db(observability: bool, exporter: bool) -> TieredDb {
     let env: Arc<dyn Env> = Arc::new(MemEnv::new());
-    let config = TieredConfig { observability, ..TieredConfig::small_for_tests() };
+    let config = TieredConfig {
+        observability,
+        metrics_listen: exporter.then(|| "127.0.0.1:0".to_string()),
+        ..TieredConfig::small_for_tests()
+    };
     let db = TieredDb::open(env, config).expect("open");
     for i in 0..RECORDS {
         db.put(&key(i), format!("value{i:08}").as_bytes()).expect("put");
@@ -28,8 +38,12 @@ fn open_db(observability: bool) -> TieredDb {
 
 fn bench_get_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs_overhead");
-    for (name, observability) in [("get_obs_off", false), ("get_obs_on", true)] {
-        let db = open_db(observability);
+    for (name, observability, exporter) in [
+        ("get_obs_off", false, false),
+        ("get_obs_on", true, false),
+        ("get_obs_on_exporter", true, true),
+    ] {
+        let db = open_db(observability, exporter);
         let mut i = 0u64;
         g.bench_function(name, |b| {
             b.iter(|| {

@@ -27,14 +27,26 @@ pub fn run(params: &ExpParams) {
         let result =
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 10)).expect("run");
         let report = db.report().expect("report");
-        let cache = report.cache.expect("cache");
-        crate::emit_scheme_report("E4-skew", &label, &report);
+        let cache = report.cache.as_ref().expect("cache");
+        let read_p99_us = result.overall_latency().percentile_ns(0.99) as f64 / 1000.0;
+        // Hottest SST by decayed score, with its residency tier: under
+        // skew the head of the ranking should absorb most of the traffic.
+        let (hot_sst, hot_tier, hot_score) = report
+            .heat
+            .as_ref()
+            .and_then(|h| h.entries.first())
+            .map(|e| (e.file.to_string(), e.tier.clone().unwrap_or_else(|| "?".into()), e.score))
+            .unwrap_or_else(|| ("-".into(), "-".into(), 0.0));
+        crate::emit_scheme_report_with("E4-skew", &label, &report, &[("read_p99_us", read_p99_us)]);
         rows.push(Row::new(
             label,
             vec![
                 kops(result.throughput()),
                 format!("{:.3}", cache.hit_ratio()),
                 format!("{}", report.cloud.reads),
+                format!("{read_p99_us:.0}"),
+                format!("{hot_sst}@{hot_tier}"),
+                format!("{hot_score:.1}"),
             ],
         ));
         db.close().expect("close");
@@ -42,7 +54,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E4-skew",
         "RocksMash reads vs key-popularity skew",
-        &["read kops/s", "cache hit ratio", "cloud GETs"],
+        &["read kops/s", "cache hit ratio", "cloud GETs", "read p99 µs", "hot sst", "hot score"],
         &rows,
     );
 }

@@ -244,6 +244,17 @@ pub fn emit_table(experiment: &str, title: &str, headers: &[&str], rows: &[Row])
 /// a JSON line under `results/BENCH_<experiment>.json`, so figure scripts
 /// get every counter — not just the columns the printed table selects.
 pub fn emit_scheme_report(experiment: &str, label: &str, report: &rocksmash::SchemeReport) {
+    emit_scheme_report_with(experiment, label, report, &[]);
+}
+
+/// [`emit_scheme_report`] with extra top-level numeric fields (measured
+/// latencies and other values the report itself doesn't carry).
+pub fn emit_scheme_report_with(
+    experiment: &str,
+    label: &str,
+    report: &rocksmash::SchemeReport,
+    extras: &[(&str, f64)],
+) {
     let out_dir = std::env::var("RM_OUT").unwrap_or_else(|_| "results".to_string());
     if std::fs::create_dir_all(&out_dir).is_err() {
         return;
@@ -251,9 +262,17 @@ pub fn emit_scheme_report(experiment: &str, label: &str, report: &rocksmash::Sch
     let path = PathBuf::from(out_dir).join(format!("BENCH_{experiment}.json"));
     if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
         use std::io::Write;
+        let mut extra = String::new();
+        for (key, value) in extras {
+            extra.push_str(&format!(
+                ",\"{}\":{}",
+                obs::json::escape(key),
+                obs::json::fmt_f64(*value)
+            ));
+        }
         let _ = writeln!(
             file,
-            "{{\"experiment\":\"{}\",\"label\":\"{}\",\"report\":{}}}",
+            "{{\"experiment\":\"{}\",\"label\":\"{}\"{extra},\"report\":{}}}",
             obs::json::escape(experiment),
             obs::json::escape(label),
             report.to_json()

@@ -405,7 +405,9 @@ struct DbShared {
     room_cv: Condvar,
     tables: Mutex<TableCacheInner>,
     snapshots: Arc<Mutex<BTreeMap<SequenceNumber, usize>>>,
-    stats: DbStats,
+    /// `Arc` so detached samplers (stats-dump thread, metrics exporter)
+    /// can read counters without borrowing the `Db`.
+    stats: Arc<DbStats>,
     /// Latency histograms plus the structured event journal. Always
     /// present; when no observer was supplied via [`Options::observer`]
     /// this is a disabled one, so every hot-path hook costs one branch.
@@ -625,7 +627,7 @@ impl Db {
             room_cv: Condvar::new(),
             tables: Mutex::new(TableCacheInner { map: HashMap::new(), fifo: VecDeque::new() }),
             snapshots: Arc::new(Mutex::new(BTreeMap::new())),
-            stats: DbStats::default(),
+            stats: Arc::new(DbStats::default()),
             obs: observer,
             shutdown: AtomicBool::new(false),
             options,
@@ -665,6 +667,12 @@ impl Db {
     /// Engine statistics.
     pub fn stats(&self) -> &DbStats {
         &self.shared.stats
+    }
+
+    /// Cloneable handle to the engine statistics, for detached threads
+    /// (stats sampler, metrics exporter) that must outlive a borrow.
+    pub fn stats_handle(&self) -> Arc<DbStats> {
+        Arc::clone(&self.shared.stats)
     }
 
     /// The observability handle this engine records into: per-op latency
@@ -1647,6 +1655,7 @@ fn get_with_snapshot(
     key: &[u8],
 ) -> Result<Option<Vec<u8>>> {
     shared.stats.add(&shared.stats.gets, 1);
+    shared.obs.record_key_heat(key);
     // Hash routing is stable, so the key can only live in one shard's
     // active memtable and in sealed memtables from that same shard.
     let shard = shard_of(key, snap.mems.len());

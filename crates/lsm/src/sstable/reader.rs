@@ -107,6 +107,11 @@ impl Table {
 
     /// Read one data block, via the block cache when configured.
     fn read_data_block(&self, handle: &BlockHandle) -> Result<Arc<Block>> {
+        // Every logical block read feeds the decayed heat score, cached
+        // or not: placement wants access frequency, not device traffic.
+        if let Some(observer) = &self.options.observer {
+            observer.record_table_access(self.file_number, handle.size);
+        }
         if let Some(cache) = &self.cache {
             if let Some(block) = cache.get(self.file_number, handle.offset) {
                 obs::perf::count(|c| c.block_cache_hits += 1);

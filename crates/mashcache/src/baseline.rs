@@ -220,6 +220,10 @@ impl PersistentBlockCache for BaselineCache {
             + inner.entries.capacity() * std::mem::size_of::<Option<Entry>>()
     }
 
+    fn data_bytes(&self) -> u64 {
+        self.inner.lock().map.len() as u64 * self.slot_size as u64
+    }
+
     fn stats(&self) -> CacheStats {
         self.inner.lock().stats
     }

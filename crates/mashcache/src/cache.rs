@@ -47,6 +47,13 @@ pub trait PersistentBlockCache: Send + Sync {
     /// Bytes of DRAM the cache's metadata currently costs.
     fn metadata_bytes(&self) -> usize;
 
+    /// Bytes of SSTable data currently held in cache slots (slot-size
+    /// granularity — the residency accounting's "cache-backed" figure).
+    /// Defaults to 0 for implementations that don't track occupancy.
+    fn data_bytes(&self) -> u64 {
+        0
+    }
+
     /// Counter snapshot.
     fn stats(&self) -> CacheStats;
 }
@@ -419,6 +426,10 @@ impl PersistentBlockCache for MashCache {
             })
             .sum();
         per_file + inner.files.capacity() * (8 + std::mem::size_of::<usize>())
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.used_slots() * self.config.slot_size as u64
     }
 
     fn stats(&self) -> CacheStats {

@@ -1,0 +1,743 @@
+//! Heat & residency telemetry: decayed per-SST / per-key-range access
+//! frequency and per-tier byte/file accounting.
+//!
+//! [`HeatMap`] answers the question placement policies must ask — *which
+//! tables are hot right now?* — with exponentially decayed counters: every
+//! access adds one point to its table's score, and each clock tick halves
+//! every score. Decay is applied **lazily**: nothing walks the table on a
+//! tick; a slot's score is re-normalized the next time it is touched (or
+//! read), using the tick delta packed next to it. Scores therefore stay
+//! exact for a fixed tick sequence, which is what makes the decay
+//! deterministic under test.
+//!
+//! The hot path is lock-free: slots live in a fixed open-addressed array
+//! (bounded memory, no rehash), score updates are a CAS loop on one packed
+//! `AtomicU64`, and companion counters are plain `fetch_add`s. When the
+//! probe window is full of hotter tables, the access is counted in
+//! `dropped` rather than blocking or allocating.
+//!
+//! [`Residency`] is the placement-side complement: per-tier bytes and file
+//! counts, updated at every publish/upload/migration/delete transition, so
+//! exports can show *where the data lives* next to *how hot it is*.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::json::{fmt_f64, Json};
+
+/// Fixed-point fractional bits of a packed score.
+const SCORE_FRAC_BITS: u32 = 16;
+/// Bits of the packed state holding the score (low bits).
+const SCORE_BITS: u32 = 48;
+const SCORE_MASK: u64 = (1 << SCORE_BITS) - 1;
+/// One access worth of score.
+const SCORE_ONE: u64 = 1 << SCORE_FRAC_BITS;
+/// Slots inspected per file before giving up (open addressing).
+const PROBE_WINDOW: usize = 16;
+/// Key-range buckets (first key byte >> 2).
+pub const RANGE_BUCKETS: usize = 64;
+
+/// Which tier a file currently lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidencyTier {
+    /// Local tier (fast device).
+    Local,
+    /// Cloud tier (object store).
+    Cloud,
+}
+
+impl ResidencyTier {
+    /// Stable snake_case name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResidencyTier::Local => "local",
+            ResidencyTier::Cloud => "cloud",
+        }
+    }
+}
+
+/// Pack `(tick, score)` into one atomic word: tick in the high 16 bits,
+/// fixed-point score in the low 48.
+fn pack(tick: u64, score: u64) -> u64 {
+    (tick & 0xFFFF) << SCORE_BITS | (score & SCORE_MASK)
+}
+
+fn unpack(state: u64) -> (u64, u64) {
+    (state >> SCORE_BITS, state & SCORE_MASK)
+}
+
+/// Decay `score` from `slot_tick` to `now_tick`: one halving per elapsed
+/// tick. Ticks wrap at 2^16; a wrapped delta decays to zero, which is the
+/// right answer for anything untouched that long.
+fn decay(score: u64, slot_tick: u64, now_tick: u64) -> u64 {
+    let delta = now_tick.wrapping_sub(slot_tick) & 0xFFFF;
+    if delta >= SCORE_BITS as u64 {
+        0
+    } else {
+        score >> delta
+    }
+}
+
+/// One table's heat slot.
+#[derive(Debug, Default)]
+struct HeatSlot {
+    /// File number + 1 (0 = empty), so file number 0 stays representable.
+    key: AtomicU64,
+    /// Packed `(tick, decayed score)`.
+    state: AtomicU64,
+    /// Lifetime logical block reads against this table.
+    accesses: AtomicU64,
+    /// Lifetime bytes of those reads.
+    access_bytes: AtomicU64,
+    /// Billed cloud GETs that served this table.
+    cloud_gets: AtomicU64,
+    /// Bytes fetched from the cloud for this table.
+    cloud_get_bytes: AtomicU64,
+    /// Persistent-cache hits that served this table.
+    cache_hits: AtomicU64,
+}
+
+/// Lock-free decayed access-frequency tracker over a bounded slot table.
+#[derive(Debug)]
+pub struct HeatMap {
+    tick: AtomicU64,
+    slots: Box<[HeatSlot]>,
+    /// Coarse key-space heat: decayed score per `first_byte >> 2` bucket.
+    range: Box<[AtomicU64]>,
+    /// Accesses not recorded because the probe window was full of hotter
+    /// tables.
+    dropped: AtomicU64,
+    residency: Residency,
+}
+
+/// Default slot capacity: covers thousands of live SSTs in ~64 KiB.
+pub const DEFAULT_HEAT_SLOTS: usize = 1024;
+
+impl Default for HeatMap {
+    fn default() -> Self {
+        Self::new(DEFAULT_HEAT_SLOTS)
+    }
+}
+
+impl HeatMap {
+    /// Tracker with capacity for `slots` concurrently tracked tables
+    /// (rounded up to a power of two, minimum 16).
+    pub fn new(slots: usize) -> HeatMap {
+        let cap = slots.next_power_of_two().max(16);
+        HeatMap {
+            tick: AtomicU64::new(0),
+            slots: (0..cap).map(|_| HeatSlot::default()).collect(),
+            range: (0..RANGE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            dropped: AtomicU64::new(0),
+            residency: Residency::default(),
+        }
+    }
+
+    /// The current decay tick.
+    pub fn tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Advance the decay clock by `n` ticks (each halves every score,
+    /// lazily). The sampler calls this once per elapsed half-life; tests
+    /// call it directly for deterministic decay.
+    pub fn advance_ticks(&self, n: u64) {
+        if n > 0 {
+            self.tick.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Residency accounting (bytes/files per tier).
+    pub fn residency(&self) -> &Residency {
+        &self.residency
+    }
+
+    /// Accesses dropped because the slot table was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn slot_index(&self, file: u64) -> usize {
+        // Fibonacci hashing spreads sequential file numbers.
+        (file.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// Find `file`'s slot, claiming an empty one inside the probe window
+    /// if absent. `evict` additionally allows stealing the coldest slot in
+    /// the window when its decayed score has fallen below one access.
+    fn slot_for(&self, file: u64, evict: bool) -> Option<&HeatSlot> {
+        let key = file + 1;
+        let start = self.slot_index(file);
+        let mask = self.slots.len() - 1;
+        let now = self.tick.load(Ordering::Relaxed);
+        let mut coldest: Option<(&HeatSlot, u64)> = None;
+        for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+            let slot = &self.slots[(start + i) & mask];
+            match slot.key.load(Ordering::Relaxed) {
+                k if k == key => return Some(slot),
+                0 => {
+                    if slot
+                        .key
+                        .compare_exchange(0, key, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return Some(slot);
+                    }
+                    // Lost the race; whoever won may even be tracking the
+                    // same file now.
+                    if slot.key.load(Ordering::Relaxed) == key {
+                        return Some(slot);
+                    }
+                }
+                _ => {
+                    let (t, s) = unpack(slot.state.load(Ordering::Relaxed));
+                    let score = decay(s, t, now);
+                    if coldest.map(|(_, c)| score < c).unwrap_or(true) {
+                        coldest = Some((slot, score));
+                    }
+                }
+            }
+        }
+        if evict {
+            if let Some((slot, score)) = coldest {
+                if score < SCORE_ONE {
+                    // Steal the cold slot. Racing recorders may briefly
+                    // attribute a few counts to the wrong file — accepted:
+                    // this is telemetry, and the slot was cold anyway.
+                    slot.key.store(key, Ordering::Release);
+                    slot.state.store(pack(now, 0), Ordering::Relaxed);
+                    slot.accesses.store(0, Ordering::Relaxed);
+                    slot.access_bytes.store(0, Ordering::Relaxed);
+                    slot.cloud_gets.store(0, Ordering::Relaxed);
+                    slot.cloud_get_bytes.store(0, Ordering::Relaxed);
+                    slot.cache_hits.store(0, Ordering::Relaxed);
+                    return Some(slot);
+                }
+            }
+        }
+        None
+    }
+
+    /// Add `points` of decayed score to `state_cell`.
+    fn bump(&self, state_cell: &AtomicU64, points: u64) {
+        let now = self.tick.load(Ordering::Relaxed);
+        let mut cur = state_cell.load(Ordering::Relaxed);
+        loop {
+            let (t, s) = unpack(cur);
+            let fresh = pack(now, (decay(s, t, now) + points).min(SCORE_MASK));
+            match state_cell.compare_exchange_weak(cur, fresh, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Record one logical block read of `bytes` against `file` (the lsm
+    /// read path: table gets and iterator block loads). This is the only
+    /// access kind that feeds the decayed score, so local- and
+    /// cloud-resident tables rank on the same scale.
+    pub fn record_access(&self, file: u64, bytes: u64) {
+        match self.slot_for(file, true) {
+            Some(slot) => {
+                self.bump(&slot.state, SCORE_ONE);
+                slot.accesses.fetch_add(1, Ordering::Relaxed);
+                slot.access_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a billed cloud GET of `bytes` attributed to `file` (the
+    /// tiered router). Counts attribution only — the matching
+    /// [`HeatMap::record_access`] from the read path carries the score.
+    pub fn record_cloud_get(&self, file: u64, bytes: u64) {
+        if let Some(slot) = self.slot_for(file, false) {
+            slot.cloud_gets.fetch_add(1, Ordering::Relaxed);
+            slot.cloud_get_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a persistent-cache hit attributed to `file`.
+    pub fn record_cache_hit(&self, file: u64) {
+        if let Some(slot) = self.slot_for(file, false) {
+            slot.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one lookup of `key` into the coarse key-range heat buckets.
+    pub fn record_range(&self, key: &[u8]) {
+        let bucket = key.first().map(|&b| (b >> 2) as usize).unwrap_or(0) % RANGE_BUCKETS;
+        self.bump(&self.range[bucket], SCORE_ONE);
+    }
+
+    /// Stop tracking `files` (deleted tables): their slots free up and
+    /// their residency entries drop.
+    pub fn forget_files(&self, files: &[u64]) {
+        for &file in files {
+            let key = file + 1;
+            let start = self.slot_index(file);
+            let mask = self.slots.len() - 1;
+            for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+                let slot = &self.slots[(start + i) & mask];
+                if slot.key.load(Ordering::Relaxed) == key {
+                    slot.state.store(0, Ordering::Relaxed);
+                    slot.accesses.store(0, Ordering::Relaxed);
+                    slot.access_bytes.store(0, Ordering::Relaxed);
+                    slot.cloud_gets.store(0, Ordering::Relaxed);
+                    slot.cloud_get_bytes.store(0, Ordering::Relaxed);
+                    slot.cache_hits.store(0, Ordering::Relaxed);
+                    slot.key.store(0, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        self.residency.remove_files(files);
+    }
+
+    /// Decayed score of `file` as of the current tick (0 when untracked).
+    pub fn score_of(&self, file: u64) -> f64 {
+        let key = file + 1;
+        let start = self.slot_index(file);
+        let mask = self.slots.len() - 1;
+        let now = self.tick.load(Ordering::Relaxed);
+        for i in 0..PROBE_WINDOW.min(self.slots.len()) {
+            let slot = &self.slots[(start + i) & mask];
+            if slot.key.load(Ordering::Relaxed) == key {
+                let (t, s) = unpack(slot.state.load(Ordering::Relaxed));
+                return decay(s, t, now) as f64 / SCORE_ONE as f64;
+            }
+        }
+        0.0
+    }
+
+    /// Point-in-time view: every tracked table (scores decayed to the
+    /// current tick) sorted hottest-first and truncated to `top_n`, plus
+    /// the key-range buckets and residency totals. `cache_backed_bytes`
+    /// is supplied by the caller (the persistent cache knows its own
+    /// footprint).
+    pub fn snapshot(&self, top_n: usize, cache_backed_bytes: u64) -> HeatSnapshot {
+        let now = self.tick.load(Ordering::Relaxed);
+        let tiers = self.residency.tiers();
+        let mut entries: Vec<HeatEntry> = Vec::new();
+        for slot in self.slots.iter() {
+            let key = slot.key.load(Ordering::Relaxed);
+            if key == 0 {
+                continue;
+            }
+            let file = key - 1;
+            let (t, s) = unpack(slot.state.load(Ordering::Relaxed));
+            entries.push(HeatEntry {
+                file,
+                score: decay(s, t, now) as f64 / SCORE_ONE as f64,
+                accesses: slot.accesses.load(Ordering::Relaxed),
+                access_bytes: slot.access_bytes.load(Ordering::Relaxed),
+                cloud_gets: slot.cloud_gets.load(Ordering::Relaxed),
+                cloud_get_bytes: slot.cloud_get_bytes.load(Ordering::Relaxed),
+                cache_hits: slot.cache_hits.load(Ordering::Relaxed),
+                tier: tiers.get(&file).map(|t| t.name().to_string()),
+            });
+        }
+        entries.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        entries.truncate(top_n);
+        let range = self
+            .range
+            .iter()
+            .map(|cell| {
+                let (t, s) = unpack(cell.load(Ordering::Relaxed));
+                decay(s, t, now) as f64 / SCORE_ONE as f64
+            })
+            .collect();
+        HeatSnapshot {
+            tick: now,
+            entries,
+            range,
+            dropped: self.dropped.load(Ordering::Relaxed),
+            residency: self.residency.snapshot(cache_backed_bytes),
+        }
+    }
+}
+
+/// One table's row in a [`HeatSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeatEntry {
+    /// SST file number.
+    pub file: u64,
+    /// Decayed access score as of the snapshot's tick.
+    pub score: f64,
+    /// Lifetime logical block reads.
+    pub accesses: u64,
+    /// Lifetime bytes of those reads.
+    pub access_bytes: u64,
+    /// Billed cloud GETs that served this table.
+    pub cloud_gets: u64,
+    /// Bytes fetched from the cloud for this table.
+    pub cloud_get_bytes: u64,
+    /// Persistent-cache hits that served this table.
+    pub cache_hits: u64,
+    /// Residency tier name (`local`/`cloud`), when known.
+    #[serde(default)]
+    pub tier: Option<String>,
+}
+
+impl HeatEntry {
+    /// Fraction of this table's reads that went to the cloud.
+    pub fn cloud_share(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.cloud_gets as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Per-tier residency totals at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResidencySnapshot {
+    /// Live table files on the local tier.
+    pub local_files: u64,
+    /// Bytes of those files.
+    pub local_bytes: u64,
+    /// Live table files on the cloud tier.
+    pub cloud_files: u64,
+    /// Bytes of those files.
+    pub cloud_bytes: u64,
+    /// Bytes of cloud-resident data currently backed by the persistent
+    /// cache (0 when no cache is configured).
+    pub cache_backed_bytes: u64,
+}
+
+/// Point-in-time heat view: hottest tables, key-range buckets, residency.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeatSnapshot {
+    /// Decay tick the scores are normalized to.
+    pub tick: u64,
+    /// Tracked tables, hottest first.
+    pub entries: Vec<HeatEntry>,
+    /// Decayed score per key-range bucket (`first_byte >> 2`).
+    pub range: Vec<f64>,
+    /// Accesses dropped because the slot table was full.
+    pub dropped: u64,
+    /// Per-tier residency totals.
+    pub residency: ResidencySnapshot,
+}
+
+impl HeatSnapshot {
+    /// Hand-rolled JSON (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"tick\":{},\"dropped\":{},\"entries\":[", self.tick, self.dropped);
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":{},\"score\":{},\"accesses\":{},\"access_bytes\":{},\
+                 \"cloud_gets\":{},\"cloud_get_bytes\":{},\"cache_hits\":{},\"tier\":{}}}",
+                e.file,
+                fmt_f64(e.score),
+                e.accesses,
+                e.access_bytes,
+                e.cloud_gets,
+                e.cloud_get_bytes,
+                e.cache_hits,
+                match &e.tier {
+                    Some(t) => format!("\"{}\"", crate::json::escape(t)),
+                    None => "null".to_string(),
+                },
+            );
+        }
+        out.push_str("],\"range\":[");
+        for (i, v) in self.range.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_f64(*v));
+        }
+        let r = &self.residency;
+        let _ = write!(
+            out,
+            "],\"residency\":{{\"local_files\":{},\"local_bytes\":{},\"cloud_files\":{},\
+             \"cloud_bytes\":{},\"cache_backed_bytes\":{}}}}}",
+            r.local_files, r.local_bytes, r.cloud_files, r.cloud_bytes, r.cache_backed_bytes,
+        );
+        out
+    }
+
+    /// Decode [`HeatSnapshot::to_json`] output.
+    pub fn from_json_value(v: &Json) -> Result<HeatSnapshot, String> {
+        let u64_of = |v: &Json, name: &str| {
+            v.get(name).and_then(Json::as_u64).ok_or_else(|| format!("heat missing {name}"))
+        };
+        let mut entries = Vec::new();
+        for e in v.get("entries").and_then(Json::elements).ok_or("heat missing entries")? {
+            entries.push(HeatEntry {
+                file: u64_of(e, "file")?,
+                score: e.get("score").and_then(Json::as_f64).ok_or("heat entry missing score")?,
+                accesses: u64_of(e, "accesses")?,
+                access_bytes: u64_of(e, "access_bytes")?,
+                cloud_gets: u64_of(e, "cloud_gets")?,
+                cloud_get_bytes: u64_of(e, "cloud_get_bytes")?,
+                cache_hits: u64_of(e, "cache_hits")?,
+                tier: e.get("tier").and_then(Json::as_str).map(|s| s.to_string()),
+            });
+        }
+        let range = v
+            .get("range")
+            .and_then(Json::elements)
+            .ok_or("heat missing range")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("range bucket not a number".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let r = v.get("residency").ok_or("heat missing residency")?;
+        Ok(HeatSnapshot {
+            tick: u64_of(v, "tick")?,
+            dropped: u64_of(v, "dropped")?,
+            entries,
+            range,
+            residency: ResidencySnapshot {
+                local_files: u64_of(r, "local_files")?,
+                local_bytes: u64_of(r, "local_bytes")?,
+                cloud_files: u64_of(r, "cloud_files")?,
+                cloud_bytes: u64_of(r, "cloud_bytes")?,
+                cache_backed_bytes: u64_of(r, "cache_backed_bytes")?,
+            },
+        })
+    }
+
+    /// Parse a standalone JSON document.
+    pub fn from_json(text: &str) -> Result<HeatSnapshot, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+}
+
+/// Per-tier residency accounting: which tier each live table file sits on
+/// and how many bytes that adds up to. Updated on publish/migration/delete
+/// transitions — never on the read hot path — so a mutex-guarded map is
+/// the right tool.
+#[derive(Debug, Default)]
+pub struct Residency {
+    files: Mutex<HashMap<u64, (u64, ResidencyTier)>>,
+}
+
+impl Residency {
+    /// Place (or move) `file` of `bytes` on `tier`.
+    pub fn set_tier(&self, file: u64, bytes: u64, tier: ResidencyTier) {
+        self.files.lock().insert(file, (bytes, tier));
+    }
+
+    /// Forget `file` (deleted).
+    pub fn remove(&self, file: u64) {
+        self.files.lock().remove(&file);
+    }
+
+    /// Forget a batch of files.
+    pub fn remove_files(&self, files: &[u64]) {
+        let mut map = self.files.lock();
+        for file in files {
+            map.remove(file);
+        }
+    }
+
+    /// The tier of `file`, when tracked.
+    pub fn tier_of(&self, file: u64) -> Option<ResidencyTier> {
+        self.files.lock().get(&file).map(|&(_, t)| t)
+    }
+
+    /// Current file → tier map (for snapshot labeling).
+    fn tiers(&self) -> HashMap<u64, ResidencyTier> {
+        self.files.lock().iter().map(|(&f, &(_, t))| (f, t)).collect()
+    }
+
+    /// Aggregate totals.
+    pub fn snapshot(&self, cache_backed_bytes: u64) -> ResidencySnapshot {
+        let map = self.files.lock();
+        let mut snap = ResidencySnapshot { cache_backed_bytes, ..ResidencySnapshot::default() };
+        for &(bytes, tier) in map.values() {
+            match tier {
+                ResidencyTier::Local => {
+                    snap.local_files += 1;
+                    snap.local_bytes += bytes;
+                }
+                ResidencyTier::Cloud => {
+                    snap.cloud_files += 1;
+                    snap.cloud_bytes += bytes;
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_is_deterministic_under_a_fixed_clock() {
+        let heat = HeatMap::new(64);
+        for _ in 0..8 {
+            heat.record_access(7, 4096);
+        }
+        assert_eq!(heat.score_of(7), 8.0);
+        heat.advance_ticks(1);
+        assert_eq!(heat.score_of(7), 4.0);
+        heat.advance_ticks(2);
+        assert_eq!(heat.score_of(7), 1.0);
+        // Fresh accesses land on the decayed base, exactly.
+        heat.record_access(7, 4096);
+        assert_eq!(heat.score_of(7), 2.0);
+        heat.advance_ticks(60);
+        assert_eq!(heat.score_of(7), 0.0);
+        // Lifetime counters never decay.
+        let snap = heat.snapshot(10, 0);
+        assert_eq!(snap.entries[0].accesses, 9);
+    }
+
+    #[test]
+    fn hot_files_rank_above_cold_ones() {
+        let heat = HeatMap::new(64);
+        for _ in 0..100 {
+            heat.record_access(1, 1024);
+        }
+        for _ in 0..3 {
+            heat.record_access(2, 1024);
+        }
+        heat.record_access(3, 1024);
+        let snap = heat.snapshot(2, 0);
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].file, 1);
+        assert_eq!(snap.entries[1].file, 2);
+    }
+
+    #[test]
+    fn cloud_and_cache_attribution_tracks_per_file() {
+        let heat = HeatMap::new(64);
+        heat.record_access(5, 4096);
+        heat.record_access(5, 4096);
+        heat.record_cloud_get(5, 4096);
+        heat.record_cache_hit(5);
+        let snap = heat.snapshot(10, 0);
+        let e = snap.entries.iter().find(|e| e.file == 5).expect("tracked");
+        assert_eq!(e.accesses, 2);
+        assert_eq!(e.cloud_gets, 1);
+        assert_eq!(e.cloud_get_bytes, 4096);
+        assert_eq!(e.cache_hits, 1);
+        assert!((e.cloud_share() - 0.5).abs() < 1e-9);
+        // Attribution alone must not inflate the decayed score.
+        assert_eq!(e.score, 2.0);
+    }
+
+    #[test]
+    fn full_table_evicts_cold_slots_not_hot_ones() {
+        let heat = HeatMap::new(16);
+        // Saturate every slot with warm files.
+        for f in 0..16u64 {
+            for _ in 0..4 {
+                heat.record_access(f, 1);
+            }
+        }
+        // Everything decays below one access; a new file steals a slot.
+        heat.advance_ticks(8);
+        heat.record_access(999, 1);
+        assert_eq!(heat.score_of(999), 1.0);
+        // With every slot hot, excess accesses are counted as dropped.
+        let heat = HeatMap::new(16);
+        for f in 0..64u64 {
+            for _ in 0..4 {
+                heat.record_access(f, 1);
+            }
+        }
+        assert!(heat.dropped() > 0, "full hot table must drop, not evict");
+    }
+
+    #[test]
+    fn forget_files_frees_slots_and_residency() {
+        let heat = HeatMap::new(64);
+        heat.record_access(9, 100);
+        heat.residency().set_tier(9, 100, ResidencyTier::Cloud);
+        heat.forget_files(&[9]);
+        assert_eq!(heat.score_of(9), 0.0);
+        assert_eq!(heat.residency().tier_of(9), None);
+        assert!(heat.snapshot(10, 0).entries.is_empty());
+    }
+
+    #[test]
+    fn range_buckets_accumulate_and_decay() {
+        let heat = HeatMap::new(16);
+        heat.record_range(b"apple");
+        heat.record_range(b"apricot");
+        heat.record_range(b"zebra");
+        let snap = heat.snapshot(0, 0);
+        let a = (b'a' >> 2) as usize;
+        let z = (b'z' >> 2) as usize;
+        assert_eq!(snap.range[a], 2.0);
+        assert_eq!(snap.range[z], 1.0);
+        heat.advance_ticks(1);
+        let snap = heat.snapshot(0, 0);
+        assert_eq!(snap.range[a], 1.0);
+    }
+
+    #[test]
+    fn residency_transitions_move_bytes_between_tiers() {
+        let r = Residency::default();
+        r.set_tier(1, 1000, ResidencyTier::Local);
+        r.set_tier(2, 2000, ResidencyTier::Cloud);
+        let snap = r.snapshot(0);
+        assert_eq!((snap.local_files, snap.local_bytes), (1, 1000));
+        assert_eq!((snap.cloud_files, snap.cloud_bytes), (1, 2000));
+        // Migration: local → cloud.
+        r.set_tier(1, 1000, ResidencyTier::Cloud);
+        let snap = r.snapshot(500);
+        assert_eq!((snap.local_files, snap.local_bytes), (0, 0));
+        assert_eq!((snap.cloud_files, snap.cloud_bytes), (2, 3000));
+        assert_eq!(snap.cache_backed_bytes, 500);
+        r.remove(2);
+        assert_eq!(r.snapshot(0).cloud_bytes, 1000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let heat = HeatMap::new(64);
+        for _ in 0..5 {
+            heat.record_access(3, 4096);
+        }
+        heat.record_cloud_get(3, 4096);
+        heat.record_range(b"key");
+        heat.residency().set_tier(3, 1 << 20, ResidencyTier::Cloud);
+        heat.advance_ticks(1);
+        let snap = heat.snapshot(10, 77);
+        let back = HeatSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.entries[0].tier.as_deref(), Some("cloud"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_lossless_when_sparse() {
+        let heat = std::sync::Arc::new(HeatMap::new(256));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let heat = std::sync::Arc::clone(&heat);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        heat.record_access(t * 8 + (i % 8), 64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = heat.snapshot(64, 0);
+        let total: u64 = snap.entries.iter().map(|e| e.accesses).sum();
+        assert_eq!(total, 4000);
+        let score: f64 = snap.entries.iter().map(|e| e.score).sum();
+        assert_eq!(score, 4000.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dependency-free HTTP/1.1 metrics exporter.
+//!
+//! The build is offline/vendored, so there is no hyper here: a
+//! std-`TcpListener` accept loop on its own thread, one short-lived
+//! connection per scrape. That is exactly the shape Prometheus scraping
+//! needs — `GET <path>`, one response, close — and nothing more, so the
+//! whole server is a request-line parser and a response writer.
+//!
+//! The server owns no metrics: the caller passes a handler mapping a
+//! path to `(content-type, body)`. Handlers must materialize the body
+//! from pre-snapshotted state — never while holding engine locks — so a
+//! slow or stalled scraper can't wedge the database (and vice versa: a
+//! write stall can't wedge a scrape).
+//!
+//! Shutdown is synchronous on [`Drop`]: set the stop flag, self-connect
+//! to unblock the blocking `accept`, join the thread. No socket outlives
+//! the owner.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A route handler: path (without query string) → `(content-type, body)`,
+/// or `None` for 404.
+pub type Handler = Arc<dyn Fn(&str) -> Option<(&'static str, String)> + Send + Sync>;
+
+/// Per-connection socket timeout: a stalled peer can hold a connection
+/// (and the accept thread) at most this long.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Longest request head (request line + headers) we'll read.
+const MAX_HEAD_BYTES: u64 = 16 * 1024;
+
+/// A background HTTP/1.1 server bound to one address, serving scrapes
+/// until dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `listen` (e.g. `"127.0.0.1:9184"`; port 0 picks an ephemeral
+    /// port — read it back via [`MetricsServer::addr`]) and serve
+    /// `handler` on a background thread.
+    pub fn start(listen: &str, handler: Handler) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle =
+            std::thread::Builder::new().name("rocksmash-metrics-http".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serve inline: scrapes are small, rare, and bounded
+                    // by IO_TIMEOUT, so one connection at a time is fine
+                    // and keeps the server at exactly one thread.
+                    let _ = serve_one(stream, &handler);
+                }
+            })?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop; if the server is mid-connection the
+        // socket timeouts bound how long this join can take.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Read one request, write one response, close.
+fn serve_one(stream: TcpStream, handler: &Handler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_HEAD_BYTES);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(stream, 400, "Bad Request", "text/plain", "bad request\n"),
+    };
+    // Drain headers so the peer sees a clean close after our response.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    if method != "GET" {
+        return respond(stream, 405, "Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    match handler(path) {
+        Some((content_type, body)) => respond(stream, 200, "OK", content_type, &body),
+        None => respond(stream, 404, "Not Found", "text/plain", "no such endpoint\n"),
+    }
+}
+
+fn respond(
+    mut stream: TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal scrape client for tests and the CLI: `GET path` against
+/// `addr`, returning `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status =
+        raw.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> MetricsServer {
+        let handler: Handler = Arc::new(|path| match path {
+            "/metrics" => Some(("text/plain; version=0.0.4", "rocksmash_up 1\n".to_string())),
+            "/stats.json" => Some(("application/json", "{\"ok\":true}".to_string())),
+            _ => None,
+        });
+        MetricsServer::start("127.0.0.1:0", handler).expect("bind ephemeral")
+    }
+
+    #[test]
+    fn serves_routes_over_a_real_socket() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "rocksmash_up 1\n");
+        let (status, body) = http_get(&addr, "/stats.json").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn query_strings_are_ignored_for_routing() {
+        let server = test_server();
+        let (status, _) = http_get(&server.addr().to_string(), "/metrics?foo=bar").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_non_get_405() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        let (status, _) = http_get(&addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "got {raw:?}");
+    }
+
+    #[test]
+    fn consecutive_scrapes_reuse_the_single_thread() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        for _ in 0..10 {
+            let (status, _) = http_get(&addr, "/metrics").unwrap();
+            assert_eq!(status, 200);
+        }
+    }
+
+    #[test]
+    fn drop_shuts_down_and_releases_the_port() {
+        let server = test_server();
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone: rebinding the exact address succeeds.
+        let rebound = TcpListener::bind(addr).expect("port released after Drop");
+        drop(rebound);
+    }
+
+    #[test]
+    fn garbage_request_line_gets_400() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "got {raw:?}");
+    }
+}

@@ -24,15 +24,24 @@
 //! single branch on the hot path.
 
 mod events;
+pub mod heat;
 mod hist;
+pub mod http;
 pub mod json;
 pub mod perf;
 mod registry;
+pub mod timeseries;
 
 pub use events::{Event, EventJournal, EventKind, DEFAULT_JOURNAL_CAPACITY};
+pub use heat::{
+    HeatEntry, HeatMap, HeatSnapshot, Residency, ResidencySnapshot, ResidencyTier,
+    DEFAULT_HEAT_SLOTS,
+};
 pub use hist::{HistogramSnapshot, LatencyHistogram};
+pub use http::MetricsServer;
 pub use perf::{PerfContext, SpanIds};
 pub use registry::{
     validate_prometheus, MetricsRegistry, MetricsSnapshot, Observer, Op, OpStats, PerfGuard,
     SpanGuard, ALL_OPS, DEFAULT_SLOW_BACKGROUND, DEFAULT_SLOW_OP,
 };
+pub use timeseries::{RateWindow, TimeSeries, WindowRates, DEFAULT_RING_CAPACITY};

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::events::{Event, EventJournal, EventKind};
+use crate::heat::{HeatMap, HeatSnapshot, ResidencyTier};
 use crate::hist::LatencyHistogram;
 use crate::json::{escape, fmt_f64, Json};
 use crate::perf::{self, PerfContext, SpanIds};
@@ -121,6 +122,10 @@ pub struct Observer {
     /// aggregation in metrics exports.
     perf_totals: Mutex<PerfContext>,
     perf_ops: AtomicU64,
+    /// Decayed per-SST access heat + per-tier residency accounting.
+    /// Always allocated (bounded, ~tens of KB) so the handle is
+    /// unconditional; recording is gated on `enabled`, one branch.
+    heat: HeatMap,
 }
 
 impl Observer {
@@ -137,6 +142,7 @@ impl Observer {
             perf_sample_counter: AtomicU64::new(0),
             perf_totals: Mutex::new(PerfContext::default()),
             perf_ops: AtomicU64::new(0),
+            heat: HeatMap::default(),
         }
     }
 
@@ -216,6 +222,58 @@ impl Observer {
     pub fn event(&self, kind: EventKind) {
         if self.enabled {
             self.journal.publish(kind);
+        }
+    }
+
+    /// The heat/residency tracker (always present; empty when disabled).
+    pub fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    /// Record one logical block read of `bytes` against table `file`
+    /// (bumps the decayed heat score). One branch when disabled.
+    #[inline]
+    pub fn record_table_access(&self, file: u64, bytes: u64) {
+        if self.enabled {
+            self.heat.record_access(file, bytes);
+        }
+    }
+
+    /// Attribute a billed cloud GET of `bytes` to table `file`.
+    #[inline]
+    pub fn record_cloud_get_for(&self, file: u64, bytes: u64) {
+        if self.enabled {
+            self.heat.record_cloud_get(file, bytes);
+        }
+    }
+
+    /// Attribute a persistent-cache hit to table `file`.
+    #[inline]
+    pub fn record_cache_hit_for(&self, file: u64) {
+        if self.enabled {
+            self.heat.record_cache_hit(file);
+        }
+    }
+
+    /// Record one lookup of `key` into the coarse key-range heat buckets.
+    #[inline]
+    pub fn record_key_heat(&self, key: &[u8]) {
+        if self.enabled {
+            self.heat.record_range(key);
+        }
+    }
+
+    /// Record that table `file` of `bytes` now lives on `tier`.
+    pub fn set_residency(&self, file: u64, bytes: u64, tier: ResidencyTier) {
+        if self.enabled {
+            self.heat.residency().set_tier(file, bytes, tier);
+        }
+    }
+
+    /// Drop heat and residency state for deleted tables.
+    pub fn forget_tables(&self, files: &[u64]) {
+        if self.enabled {
+            self.heat.forget_files(files);
         }
     }
 
@@ -482,12 +540,20 @@ pub struct MetricsRegistry {
     observer: Arc<Observer>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    heat: Option<HeatSnapshot>,
 }
 
 impl MetricsRegistry {
     /// Registry over `observer` with no counters or gauges yet.
     pub fn new(observer: Arc<Observer>) -> Self {
-        MetricsRegistry { observer, counters: BTreeMap::new(), gauges: BTreeMap::new() }
+        MetricsRegistry { observer, counters: BTreeMap::new(), gauges: BTreeMap::new(), heat: None }
+    }
+
+    /// Attach a heat/residency snapshot; it rides along into every
+    /// export surface of the built [`MetricsSnapshot`].
+    pub fn attach_heat(&mut self, heat: HeatSnapshot) -> &mut Self {
+        self.heat = Some(heat);
+        self
     }
 
     /// Set a monotonically increasing counter (snake_case name).
@@ -538,6 +604,7 @@ impl MetricsRegistry {
             counters,
             gauges,
             events: self.observer.journal().events(),
+            heat: self.heat.clone(),
         }
     }
 }
@@ -555,7 +622,7 @@ impl std::fmt::Debug for MetricsRegistry {
 /// ([`MetricsSnapshot::stats_string`]), JSON ([`MetricsSnapshot::to_json`]
 /// / [`MetricsSnapshot::from_json`]), or Prometheus exposition
 /// ([`MetricsSnapshot::to_prometheus`]).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Per-op latency summaries, keyed by [`Op::name`].
     pub latency: BTreeMap<String, OpStats>,
@@ -565,6 +632,9 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Recent journal events.
     pub events: Vec<Event>,
+    /// Heat/residency snapshot, when one was attached.
+    #[serde(default)]
+    pub heat: Option<HeatSnapshot>,
 }
 
 fn us(ns: u64) -> f64 {
@@ -604,6 +674,33 @@ impl MetricsSnapshot {
             out.push_str("** Gauges **\n");
             for (name, v) in &self.gauges {
                 out.push_str(&format!("{name:<40} {v:.6}\n"));
+            }
+        }
+        if let Some(heat) = &self.heat {
+            let r = &heat.residency;
+            out.push_str("** Residency **\n");
+            out.push_str(&format!(
+                "local  {:>6} files {:>14} bytes\ncloud  {:>6} files {:>14} bytes \
+                 ({} cache-backed)\n",
+                r.local_files, r.local_bytes, r.cloud_files, r.cloud_bytes, r.cache_backed_bytes,
+            ));
+            if !heat.entries.is_empty() {
+                out.push_str(&format!("** Heat (tick {}, hottest first) **\n", heat.tick));
+                out.push_str(&format!(
+                    "{:<10} {:>12} {:>8} {:>12} {:>12} {:>10}\n",
+                    "file", "score", "tier", "accesses", "cloud_gets", "cache_hits"
+                ));
+                for e in heat.entries.iter().take(10) {
+                    out.push_str(&format!(
+                        "{:<10} {:>12.3} {:>8} {:>12} {:>12} {:>10}\n",
+                        e.file,
+                        e.score,
+                        e.tier.as_deref().unwrap_or("?"),
+                        e.accesses,
+                        e.cloud_gets,
+                        e.cache_hits,
+                    ));
+                }
             }
         }
         if !self.events.is_empty() {
@@ -646,7 +743,12 @@ impl MetricsSnapshot {
             }
             out.push_str(&e.to_json());
         }
-        out.push_str("]}");
+        out.push_str("],\"heat\":");
+        match &self.heat {
+            Some(h) => out.push_str(&h.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 
@@ -684,7 +786,13 @@ impl MetricsSnapshot {
             .iter()
             .map(Event::from_json_value)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(MetricsSnapshot { latency, counters, gauges, events })
+        // Absent or null heat both decode to None, so pre-heat snapshots
+        // keep parsing.
+        let heat = match v.get("heat") {
+            None | Some(Json::Null) => None,
+            Some(h) => Some(HeatSnapshot::from_json_value(h)?),
+        };
+        Ok(MetricsSnapshot { latency, counters, gauges, events, heat })
     }
 
     /// Prometheus text exposition (version 0.0.4). Latency renders as
@@ -720,6 +828,54 @@ impl MetricsSnapshot {
         for (name, v) in &self.gauges {
             out.push_str(&format!("# TYPE rocksmash_{name} gauge\n"));
             out.push_str(&format!("rocksmash_{name} {}\n", fmt_f64(*v)));
+        }
+        if let Some(heat) = &self.heat {
+            out.push_str("# HELP rocksmash_heat_sst_score Decayed per-SST access score.\n");
+            out.push_str("# TYPE rocksmash_heat_sst_score gauge\n");
+            for e in &heat.entries {
+                out.push_str(&format!(
+                    "rocksmash_heat_sst_score{{file=\"{}\",tier=\"{}\"}} {}\n",
+                    e.file,
+                    e.tier.as_deref().unwrap_or("unknown"),
+                    fmt_f64(e.score)
+                ));
+            }
+            out.push_str("# TYPE rocksmash_heat_sst_cloud_gets_total counter\n");
+            for e in &heat.entries {
+                out.push_str(&format!(
+                    "rocksmash_heat_sst_cloud_gets_total{{file=\"{}\"}} {}\n",
+                    e.file, e.cloud_gets
+                ));
+            }
+            out.push_str("# TYPE rocksmash_heat_dropped_total counter\n");
+            out.push_str(&format!("rocksmash_heat_dropped_total {}\n", heat.dropped));
+            out.push_str("# TYPE rocksmash_heat_tick gauge\n");
+            out.push_str(&format!("rocksmash_heat_tick {}\n", heat.tick));
+            let r = &heat.residency;
+            out.push_str("# HELP rocksmash_residency_bytes Live table bytes per tier.\n");
+            out.push_str("# TYPE rocksmash_residency_bytes gauge\n");
+            out.push_str(&format!(
+                "rocksmash_residency_bytes{{tier=\"local\"}} {}\n",
+                r.local_bytes
+            ));
+            out.push_str(&format!(
+                "rocksmash_residency_bytes{{tier=\"cloud\"}} {}\n",
+                r.cloud_bytes
+            ));
+            out.push_str("# TYPE rocksmash_residency_files gauge\n");
+            out.push_str(&format!(
+                "rocksmash_residency_files{{tier=\"local\"}} {}\n",
+                r.local_files
+            ));
+            out.push_str(&format!(
+                "rocksmash_residency_files{{tier=\"cloud\"}} {}\n",
+                r.cloud_files
+            ));
+            out.push_str("# TYPE rocksmash_residency_cache_backed_bytes gauge\n");
+            out.push_str(&format!(
+                "rocksmash_residency_cache_backed_bytes {}\n",
+                r.cache_backed_bytes
+            ));
         }
         out
     }
@@ -1023,6 +1179,63 @@ mod tests {
         assert!(body.contains("rocksmash_op_latency_seconds{op=\"get\",quantile=\"0.5\"}"));
         assert!(body.contains("rocksmash_cloud_reads_total 42"));
         assert!(body.contains("rocksmash_local_bytes 1048576"));
+    }
+
+    fn sample_snapshot_with_heat() -> MetricsSnapshot {
+        let observer = Arc::new(Observer::new());
+        observer.record_table_access(7, 4096);
+        observer.record_table_access(7, 4096);
+        observer.record_table_access(12, 4096);
+        observer.record_cloud_get_for(7, 4096);
+        observer.record_cache_hit_for(7);
+        observer.set_residency(7, 1 << 20, ResidencyTier::Cloud);
+        observer.set_residency(12, 2 << 20, ResidencyTier::Local);
+        let mut reg = MetricsRegistry::new(Arc::clone(&observer));
+        reg.counter("cloud_reads", 1);
+        reg.attach_heat(observer.heat().snapshot(10, 512));
+        reg.snapshot()
+    }
+
+    #[test]
+    fn heat_rides_every_export_surface() {
+        let snap = sample_snapshot_with_heat();
+        let text = snap.stats_string();
+        assert!(text.contains("** Heat"));
+        assert!(text.contains("** Residency **"));
+        let body = snap.to_prometheus();
+        validate_prometheus(&body).expect("heat exposition lints");
+        assert!(body.contains("rocksmash_heat_sst_score{file=\"7\",tier=\"cloud\"} 2"));
+        assert!(body.contains("rocksmash_heat_sst_cloud_gets_total{file=\"7\"} 1"));
+        assert!(body.contains("rocksmash_residency_bytes{tier=\"local\"} 2097152"));
+        assert!(body.contains("rocksmash_residency_files{tier=\"cloud\"} 1"));
+        assert!(body.contains("rocksmash_residency_cache_backed_bytes 512"));
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.heat.as_ref().unwrap().entries[0].file, 7);
+    }
+
+    #[test]
+    fn heatless_snapshot_emits_null_and_old_json_still_parses() {
+        let snap = sample_snapshot();
+        assert!(snap.heat.is_none());
+        assert!(snap.to_json().contains("\"heat\":null"));
+        // A document without the field at all (pre-heat writer) parses.
+        let legacy = snap.to_json().replace(",\"heat\":null", "");
+        assert!(MetricsSnapshot::from_json(&legacy).expect("parses").heat.is_none());
+        // And the Prometheus body simply omits the families.
+        assert!(!snap.to_prometheus().contains("rocksmash_heat_"));
+    }
+
+    #[test]
+    fn disabled_observer_skips_heat_recording() {
+        let o = Observer::disabled();
+        o.record_table_access(1, 100);
+        o.record_cloud_get_for(1, 100);
+        o.record_key_heat(b"k");
+        o.set_residency(1, 100, ResidencyTier::Local);
+        let snap = o.heat().snapshot(10, 0);
+        assert!(snap.entries.is_empty());
+        assert_eq!(snap.residency, crate::heat::ResidencySnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Bounded time-series over [`MetricsSnapshot`] samples, with windowed
+//! rate queries.
+//!
+//! Placement and admission policies (and a human running `watch`) need
+//! *rates* — ops/s right now, cloud GET bytes/s over the last minute —
+//! not lifetime totals. [`TimeSeries`] keeps a fixed-capacity ring of
+//! periodic counter samples (the stats-dump thread is the sampler) and
+//! answers `delta / elapsed` over a trailing window by comparing the
+//! newest sample against the oldest one still inside the window. Memory
+//! is bounded by construction: when the ring is full the oldest sample
+//! falls off, which simply shortens the longest answerable window.
+//!
+//! Timestamps are supplied by the caller (seconds since series start).
+//! The production sampler passes wall-clock-derived values; tests pass
+//! fixed ones, so window math is exact under test.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::registry::MetricsSnapshot;
+
+/// Default ring capacity: one sample per second for six minutes, enough
+/// to answer the longest standard window (5m) with headroom.
+pub const DEFAULT_RING_CAPACITY: usize = 360;
+
+/// The standard trailing windows exported as `rate_*` families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateWindow {
+    /// Last 10 seconds.
+    Short,
+    /// Last minute.
+    Medium,
+    /// Last five minutes.
+    Long,
+}
+
+impl RateWindow {
+    /// All standard windows, shortest first.
+    pub const ALL: [RateWindow; 3] = [RateWindow::Short, RateWindow::Medium, RateWindow::Long];
+
+    /// Window length in seconds.
+    pub fn secs(self) -> f64 {
+        match self {
+            RateWindow::Short => 10.0,
+            RateWindow::Medium => 60.0,
+            RateWindow::Long => 300.0,
+        }
+    }
+
+    /// Stable label for exports (`10s`/`1m`/`5m`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RateWindow::Short => "10s",
+            RateWindow::Medium => "1m",
+            RateWindow::Long => "5m",
+        }
+    }
+}
+
+/// One retained sample: counters (and the gauges, for completeness) at a
+/// caller-supplied instant.
+#[derive(Debug, Clone)]
+struct Sample {
+    at_secs: f64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+/// Windowed rates over the standard counter families, one value per
+/// [`RateWindow`]. `None` means the ring doesn't yet span that window
+/// (fewer than two samples inside it).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowRates {
+    /// Foreground operations per second (gets + writes).
+    pub ops_per_sec: Option<f64>,
+    /// Cloud GET bytes per second.
+    pub cloud_get_bytes_per_sec: Option<f64>,
+    /// Cache hit rate over the window's lookups (0..=1).
+    pub cache_hit_rate: Option<f64>,
+    /// Fraction of wall time writers spent stalled (0..=1).
+    pub stall_share: Option<f64>,
+}
+
+/// Fixed-capacity ring of periodic counter samples with rate queries.
+#[derive(Debug)]
+pub struct TimeSeries {
+    start: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<Sample>>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl TimeSeries {
+    /// Series retaining the most recent `capacity` samples (minimum 2 —
+    /// a rate needs two points).
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            start: Instant::now(),
+            capacity: capacity.max(2),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Seconds since the series was created (the production timestamp
+    /// for [`TimeSeries::push_at`]).
+    pub fn now_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Record `snapshot` at the current time.
+    pub fn push(&self, snapshot: &MetricsSnapshot) {
+        self.push_at(self.now_secs(), snapshot);
+    }
+
+    /// Record `snapshot` at `at_secs` (monotonic, caller-supplied).
+    /// Out-of-order samples are dropped — the ring stays sorted by
+    /// construction so window scans never need to.
+    pub fn push_at(&self, at_secs: f64, snapshot: &MetricsSnapshot) {
+        let mut ring = self.ring.lock();
+        if ring.back().map(|s| at_secs <= s.at_secs).unwrap_or(false) {
+            return;
+        }
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Sample {
+            at_secs,
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+        });
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Timestamp of the newest sample, if any.
+    pub fn newest_secs(&self) -> Option<f64> {
+        self.ring.lock().back().map(|s| s.at_secs)
+    }
+
+    /// The base sample for a trailing window: the oldest retained sample
+    /// no older than `window_secs` before the newest. Returns the pair
+    /// (base, newest) when at least two samples span a non-zero interval.
+    fn window_pair(&self, window_secs: f64) -> Option<(Sample, Sample)> {
+        let ring = self.ring.lock();
+        let newest = ring.back()?;
+        let cutoff = newest.at_secs - window_secs;
+        let base = ring.iter().find(|s| s.at_secs >= cutoff)?;
+        if base.at_secs >= newest.at_secs {
+            return None;
+        }
+        Some((base.clone(), newest.clone()))
+    }
+
+    /// Increase of counter `name` over the trailing window, with the
+    /// actual elapsed seconds between the two samples used. A decrease
+    /// (process restart behind the same series) is treated as a reset:
+    /// the newest value is the delta.
+    pub fn delta_since(&self, name: &str, window_secs: f64) -> Option<(u64, f64)> {
+        let (base, newest) = self.window_pair(window_secs)?;
+        let old = base.counters.get(name).copied().unwrap_or(0);
+        let new = newest.counters.get(name).copied().unwrap_or(0);
+        let delta = if new >= old { new - old } else { new };
+        Some((delta, newest.at_secs - base.at_secs))
+    }
+
+    /// Per-second rate of counter `name` over the trailing window.
+    pub fn rate(&self, name: &str, window_secs: f64) -> Option<f64> {
+        let (delta, elapsed) = self.delta_since(name, window_secs)?;
+        (elapsed > 0.0).then(|| delta as f64 / elapsed)
+    }
+
+    /// `delta(numerator) / delta(denominator)` over the trailing window
+    /// (e.g. cache hits over lookups). `None` when the denominator did
+    /// not move.
+    pub fn ratio(&self, numerator: &str, denominator: &str, window_secs: f64) -> Option<f64> {
+        let (num, _) = self.delta_since(numerator, window_secs)?;
+        let (den, _) = self.delta_since(denominator, window_secs)?;
+        (den > 0).then(|| num as f64 / den as f64)
+    }
+
+    /// Latest value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.ring.lock().back().and_then(|s| s.gauges.get(name).copied())
+    }
+
+    /// The standard rate families over `window`, computed from the
+    /// well-known engine counters.
+    pub fn window_rates(&self, window: RateWindow) -> WindowRates {
+        let w = window.secs();
+        let ops = match (self.delta_since("engine_gets", w), self.delta_since("engine_writes", w)) {
+            (Some((g, el)), Some((p, _))) if el > 0.0 => Some((g + p) as f64 / el),
+            (Some((g, el)), None) if el > 0.0 => Some(g as f64 / el),
+            (None, Some((p, el))) if el > 0.0 => Some(p as f64 / el),
+            _ => None,
+        };
+        let stall_share = self
+            .delta_since("stall_ns", w)
+            .and_then(|(ns, el)| (el > 0.0).then(|| (ns as f64 / 1e9 / el).min(1.0)));
+        let hits = self.delta_since("cache_hits", w);
+        let misses = self.delta_since("cache_misses", w);
+        let cache_hit_rate = match (hits, misses) {
+            (Some((h, _)), Some((m, _))) if h + m > 0 => Some(h as f64 / (h + m) as f64),
+            _ => None,
+        };
+        WindowRates {
+            ops_per_sec: ops,
+            cloud_get_bytes_per_sec: self.rate("cloud_bytes_read", w),
+            cache_hit_rate,
+            stall_share,
+        }
+    }
+
+    /// All standard windows as `(label, rates)` rows, for exports.
+    pub fn all_window_rates(&self) -> Vec<(&'static str, WindowRates)> {
+        RateWindow::ALL.iter().map(|&w| (w.label(), self.window_rates(w))).collect()
+    }
+
+    /// Prometheus exposition of the standard windowed rates, one
+    /// `rate_*` gauge family per quantity with a `window` label. Rates
+    /// whose window the ring can't answer yet are omitted (absence, not
+    /// a lying zero).
+    pub fn to_prometheus(&self) -> String {
+        type Family = (&'static str, &'static str, fn(&WindowRates) -> Option<f64>);
+        let mut out = String::new();
+        let families: [Family; 4] = [
+            ("rate_ops_per_sec", "Foreground operations per second.", |r| r.ops_per_sec),
+            ("rate_cloud_get_bytes_per_sec", "Cloud GET bytes per second.", |r| {
+                r.cloud_get_bytes_per_sec
+            }),
+            ("rate_cache_hit_ratio", "Cache hit rate over the window.", |r| r.cache_hit_rate),
+            ("rate_stall_share", "Fraction of wall time writers stalled.", |r| r.stall_share),
+        ];
+        let rows = self.all_window_rates();
+        for (name, help, pick) in families {
+            if !rows.iter().any(|(_, r)| pick(r).is_some()) {
+                continue;
+            }
+            out.push_str(&format!("# HELP rocksmash_{name} {help}\n"));
+            out.push_str(&format!("# TYPE rocksmash_{name} gauge\n"));
+            for (label, rates) in &rows {
+                if let Some(v) = pick(rates) {
+                    out.push_str(&format!(
+                        "rocksmash_{name}{{window=\"{label}\"}} {}\n",
+                        crate::json::fmt_f64(v)
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Hand-rolled JSON for the `/timeseries.json` endpoint: the ring's
+    /// retained samples (timestamps + counters) plus the standard rates.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let ring = self.ring.lock();
+        let mut out = String::from("{\"samples\":[");
+        for (i, s) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ =
+                write!(out, "{{\"at_secs\":{},\"counters\":{{", crate::json::fmt_f64(s.at_secs));
+            for (j, (k, v)) in s.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", crate::json::escape(k), v);
+            }
+            out.push_str("}}");
+        }
+        drop(ring);
+        out.push_str("],\"rates\":{");
+        for (i, (label, rates)) in self.all_window_rates().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let opt = |v: Option<f64>| match v {
+                Some(v) => crate::json::fmt_f64(v),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "\"{}\":{{\"ops_per_sec\":{},\"cloud_get_bytes_per_sec\":{},\
+                 \"cache_hit_rate\":{},\"stall_share\":{}}}",
+                label,
+                opt(rates.ops_per_sec),
+                opt(rates.cloud_get_bytes_per_sec),
+                opt(rates.cache_hit_rate),
+                opt(rates.stall_share),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, u64)]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for &(k, v) in pairs {
+            s.counters.insert(k.to_string(), v);
+        }
+        s
+    }
+
+    #[test]
+    fn rates_use_actual_elapsed_time_between_samples() {
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("engine_gets", 0)]));
+        ts.push_at(2.0, &snap(&[("engine_gets", 100)]));
+        assert_eq!(ts.rate("engine_gets", 10.0), Some(50.0));
+        assert_eq!(ts.delta_since("engine_gets", 10.0), Some((100, 2.0)));
+        // A narrower window that excludes the base sample has one point.
+        ts.push_at(20.0, &snap(&[("engine_gets", 100)]));
+        assert_eq!(ts.rate("engine_gets", 5.0), None);
+    }
+
+    #[test]
+    fn window_selects_oldest_sample_inside_the_window() {
+        let ts = TimeSeries::new(16);
+        for (t, v) in [(0.0, 0u64), (5.0, 50), (10.0, 100), (15.0, 150)] {
+            ts.push_at(t, &snap(&[("engine_gets", v)]));
+        }
+        // 10s window from t=15 reaches back to t=5: delta 100 over 10s.
+        assert_eq!(ts.rate("engine_gets", 10.0), Some(10.0));
+        // A huge window uses the very first sample.
+        assert_eq!(ts.rate("engine_gets", 1000.0), Some(10.0));
+    }
+
+    #[test]
+    fn ring_wraparound_shortens_the_answerable_window() {
+        let ts = TimeSeries::new(4);
+        for i in 0..10u64 {
+            ts.push_at(i as f64, &snap(&[("engine_gets", i * 10)]));
+        }
+        assert_eq!(ts.len(), 4);
+        // Only t=6..9 retained; a 1000s window can reach no further back.
+        assert_eq!(ts.delta_since("engine_gets", 1000.0), Some((30, 3.0)));
+        assert_eq!(ts.rate("engine_gets", 1000.0), Some(10.0));
+    }
+
+    #[test]
+    fn counter_reset_is_treated_as_restart() {
+        let ts = TimeSeries::new(8);
+        ts.push_at(0.0, &snap(&[("engine_gets", 500)]));
+        ts.push_at(10.0, &snap(&[("engine_gets", 40)]));
+        assert_eq!(ts.delta_since("engine_gets", 60.0), Some((40, 10.0)));
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let ts = TimeSeries::new(8);
+        ts.push_at(5.0, &snap(&[("engine_gets", 50)]));
+        ts.push_at(3.0, &snap(&[("engine_gets", 999)]));
+        ts.push_at(5.0, &snap(&[("engine_gets", 999)]));
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn standard_window_rates_cover_all_families() {
+        let ts = TimeSeries::new(16);
+        ts.push_at(
+            0.0,
+            &snap(&[
+                ("engine_gets", 0),
+                ("engine_writes", 0),
+                ("cloud_bytes_read", 0),
+                ("cache_hits", 0),
+                ("cache_misses", 0),
+                ("stall_ns", 0),
+            ]),
+        );
+        ts.push_at(
+            5.0,
+            &snap(&[
+                ("engine_gets", 600),
+                ("engine_writes", 400),
+                ("cloud_bytes_read", 5_000_000),
+                ("cache_hits", 75),
+                ("cache_misses", 25),
+                ("stall_ns", 1_000_000_000),
+            ]),
+        );
+        let r = ts.window_rates(RateWindow::Short);
+        assert_eq!(r.ops_per_sec, Some(200.0));
+        assert_eq!(r.cloud_get_bytes_per_sec, Some(1_000_000.0));
+        assert_eq!(r.cache_hit_rate, Some(0.75));
+        assert_eq!(r.stall_share, Some(0.2));
+    }
+
+    #[test]
+    fn ratio_handles_idle_denominator() {
+        let ts = TimeSeries::new(8);
+        ts.push_at(0.0, &snap(&[("cache_hits", 10), ("cache_misses", 10)]));
+        ts.push_at(1.0, &snap(&[("cache_hits", 10), ("cache_misses", 10)]));
+        assert_eq!(ts.ratio("cache_hits", "cache_misses", 60.0), None);
+        let r = ts.window_rates(RateWindow::Short);
+        assert_eq!(r.cache_hit_rate, None);
+    }
+
+    #[test]
+    fn json_export_parses_and_carries_rates() {
+        let ts = TimeSeries::new(8);
+        ts.push_at(0.0, &snap(&[("engine_gets", 0)]));
+        ts.push_at(2.0, &snap(&[("engine_gets", 100)]));
+        let doc = crate::json::Json::parse(&ts.to_json()).expect("valid json");
+        let samples = doc.get("samples").unwrap().elements().unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(
+            samples[1].get("counters").unwrap().get("engine_gets").unwrap().as_u64(),
+            Some(100)
+        );
+        let rates = doc.get("rates").unwrap().get("10s").unwrap();
+        assert_eq!(rates.get("ops_per_sec").unwrap().as_f64(), Some(50.0));
+    }
+}

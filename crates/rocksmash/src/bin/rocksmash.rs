@@ -13,6 +13,7 @@
 //! rocksmash <dir> fill <n> [value-size]
 //! rocksmash <dir> compact
 //! rocksmash <dir> stats [--json | --prometheus]
+//! rocksmash <dir> heat [--top <n>]   # hottest SSTs by decayed score
 //! rocksmash <dir> watch [--interval <secs>]
 //! rocksmash <dir> events [--kind <tag>] [--since-ns <n>] [--follow]
 //! rocksmash <dir> trace get <key>  # traced lookup + stage breakdown
@@ -23,7 +24,9 @@
 //!
 //! Flags (before the command): `--scheme <rocksmash|local-only|cloud-only|
 //! naive-hybrid>`, `--cloud-latency-us <n>`, `--readahead <blocks>`,
-//! `--sync`.
+//! `--sync`, `--metrics-listen <addr>` (serve `/metrics`, `/stats.json`,
+//! `/heat.json`, `/timeseries.json` while the command runs — pair with
+//! `watch` for a long-lived scrape target).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,16 +41,18 @@ struct Cli {
     cloud_latency_us: u64,
     readahead: usize,
     sync: bool,
+    metrics_listen: Option<String>,
     command: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rocksmash [--scheme S] [--cloud-latency-us N] [--readahead B] [--sync] \
-         <dir> <command> [args]\n\
+         [--metrics-listen ADDR] <dir> <command> [args]\n\
          commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
          \u{20}         fill <n> [value-size] | compact | recovery | repair\n\
-         \u{20}         stats [--json | --prometheus] | watch [--interval <secs>]\n\
+         \u{20}         stats [--json | --prometheus] | heat [--top <n>]\n\
+         \u{20}         watch [--interval <secs>]\n\
          \u{20}         events [--kind <tag>] [--since-ns <n>] [--follow [--interval-ms <m>]]\n\
          \u{20}         trace get <key> | trace [--id <n>]"
     );
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
     let mut cloud_latency_us = 1500;
     let mut readahead = 0;
     let mut sync = false;
+    let mut metrics_listen: Option<String> = None;
     let mut dir: Option<PathBuf> = None;
     let mut command = Vec::new();
     while let Some(arg) = args.next() {
@@ -84,6 +90,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
                 readahead = args.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?;
             }
             "--sync" => sync = true,
+            "--metrics-listen" => metrics_listen = Some(args.next().ok_or_else(usage)?),
             "--help" | "-h" => return Err(usage()),
             _ if dir.is_none() => dir = Some(PathBuf::from(arg)),
             _ => command.push(arg),
@@ -93,7 +100,7 @@ fn parse_args() -> Result<Cli, ExitCode> {
     if command.is_empty() {
         return Err(usage());
     }
-    Ok(Cli { dir, scheme, cloud_latency_us, readahead, sync, command })
+    Ok(Cli { dir, scheme, cloud_latency_us, readahead, sync, metrics_listen, command })
 }
 
 fn open(cli: &Cli) -> Result<TieredDb, Box<dyn std::error::Error>> {
@@ -112,6 +119,7 @@ fn open(cli: &Cli) -> Result<TieredDb, Box<dyn std::error::Error>> {
     });
     config.options.sync_writes = cli.sync;
     config.readahead_blocks = cli.readahead;
+    config.metrics_listen = cli.metrics_listen.clone();
     config.cache_file = Some(cli.dir.join("local/cache.dat"));
     // The cache file counts against the local tier footprint; keep the
     // CLI default modest (tune per deployment).
@@ -136,6 +144,9 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let db = open(cli)?;
+    if let Some(addr) = db.metrics_addr() {
+        eprintln!("metrics exporter listening on http://{addr}/metrics");
+    }
     let cmd: Vec<&str> = cli.command.iter().map(|s| s.as_str()).collect();
     match cmd.as_slice() {
         ["put", key, value] => {
@@ -165,6 +176,8 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         ["stats"] => stats(&db)?,
         ["stats", "--json"] => println!("{}", db.metrics()?.snapshot().to_json()),
         ["stats", "--prometheus"] => print!("{}", db.metrics()?.snapshot().to_prometheus()),
+        ["heat"] => heat_cmd(&db, 10)?,
+        ["heat", "--top", n] => heat_cmd(&db, n.parse()?)?,
         ["watch"] => watch(&db, 2)?,
         ["watch", "--interval", secs] => watch(&db, secs.parse()?)?,
         ["events", rest @ ..] => events_cmd(&db, rest)?,
@@ -350,12 +363,80 @@ fn fill(db: &TieredDb, n: u64, value_size: usize) -> Result<(), Box<dyn std::err
     Ok(())
 }
 
-/// Print the live stats dump every `interval_secs` until interrupted.
+/// `heat [--top N]`: hottest SSTs by decayed access score, with tier
+/// residency and per-table cloud-GET attribution.
+fn heat_cmd(db: &TieredDb, top: usize) -> Result<(), Box<dyn std::error::Error>> {
+    // Sampling first advances the heat decay clock to wall time, so the
+    // scores printed below are normalized to "now".
+    let _ = db.sample_metrics()?;
+    let report = db.report()?;
+    let heat = match report.heat {
+        Some(heat) => heat,
+        None => {
+            println!("(no heat data; is observability enabled?)");
+            return Ok(());
+        }
+    };
+    let r = &heat.residency;
+    println!(
+        "residency: {} local files ({:.2} MiB) / {} cloud files ({:.2} MiB), \
+         {:.2} MiB cache-backed",
+        r.local_files,
+        r.local_bytes as f64 / (1 << 20) as f64,
+        r.cloud_files,
+        r.cloud_bytes as f64 / (1 << 20) as f64,
+        r.cache_backed_bytes as f64 / (1 << 20) as f64,
+    );
+    if heat.dropped > 0 {
+        println!("({} accesses dropped: heat table full of hotter entries)", heat.dropped);
+    }
+    println!(
+        "{:>8}  {:>6}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "sst", "tier", "score", "accesses", "cloud GETs", "cache hits", "cloud%"
+    );
+    for e in heat.entries.iter().take(top.max(1)) {
+        println!(
+            "{:>8}  {:>6}  {:>10.2}  {:>10}  {:>10}  {:>10}  {:>5.1}%",
+            e.file,
+            e.tier.as_deref().unwrap_or("?"),
+            e.score,
+            e.accesses,
+            e.cloud_gets,
+            e.cache_hits,
+            e.cloud_share() * 100.0,
+        );
+    }
+    println!("(tick {}, {} tracked tables)", heat.tick, heat.entries.len());
+    Ok(())
+}
+
+/// Print the live stats dump plus windowed rates every `interval_secs`
+/// until interrupted. Each iteration pushes one sample into the
+/// time-series ring, so the rates work even without the background
+/// sampler's cadence.
 fn watch(db: &TieredDb, interval_secs: u64) -> Result<(), Box<dyn std::error::Error>> {
     let interval = std::time::Duration::from_secs(interval_secs.max(1));
     loop {
+        let _ = db.sample_metrics()?;
         println!("--- {} ---", chrono_less_timestamp(db));
         print!("{}", db.stats_string()?);
+        for (label, rates) in db.timeseries().all_window_rates() {
+            let fmt = |v: Option<f64>| match v {
+                Some(v) => format!("{v:.1}"),
+                None => "-".into(),
+            };
+            let pct = |v: Option<f64>| match v {
+                Some(v) => format!("{:.1}%", v * 100.0),
+                None => "-".into(),
+            };
+            println!(
+                "rates[{label}]: {} ops/s, {} cloud B/s, {} cache hit, {} stall share",
+                fmt(rates.ops_per_sec),
+                fmt(rates.cloud_get_bytes_per_sec),
+                pct(rates.cache_hit_rate),
+                pct(rates.stall_share),
+            );
+        }
         std::thread::sleep(interval);
     }
 }

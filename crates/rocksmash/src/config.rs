@@ -72,6 +72,22 @@ pub struct TieredConfig {
     /// from a background thread (RocksDB's `stats_dump_period_sec`); None
     /// disables the dump.
     pub stats_dump_interval: Option<std::time::Duration>,
+    /// Serve `/metrics` (Prometheus), `/stats.json`, `/heat.json`, and
+    /// `/timeseries.json` over HTTP on this address (e.g.
+    /// `"127.0.0.1:9184"`; port 0 picks an ephemeral port, readable via
+    /// `TieredDb::metrics_addr`). None disables the exporter entirely —
+    /// no socket, no thread.
+    pub metrics_listen: Option<String>,
+    /// Half-life of the decayed per-SST heat scores: every elapsed
+    /// half-life, every score halves (one decay tick). Shorter reacts
+    /// faster to workload shifts; longer smooths bursts.
+    pub heat_half_life: std::time::Duration,
+    /// Interval between metrics samples pushed into the time-series ring
+    /// by the background sampler (also the resolution of windowed rates).
+    pub timeseries_sample_interval: std::time::Duration,
+    /// Time-series ring capacity in samples; with the default 1s sample
+    /// interval, 360 spans the longest (5m) rate window with headroom.
+    pub timeseries_capacity: usize,
 }
 
 impl TieredConfig {
@@ -96,6 +112,10 @@ impl TieredConfig {
             slow_background_threshold: obs::DEFAULT_SLOW_BACKGROUND,
             perf_sample_every: 0,
             stats_dump_interval: None,
+            metrics_listen: None,
+            heat_half_life: std::time::Duration::from_secs(60),
+            timeseries_sample_interval: std::time::Duration::from_secs(1),
+            timeseries_capacity: obs::DEFAULT_RING_CAPACITY,
         }
     }
 

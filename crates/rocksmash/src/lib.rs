@@ -58,5 +58,5 @@ pub use baselines::Scheme;
 pub use config::{CacheKind, TieredConfig};
 pub use migrate::{migrate_placement, MigrationReport};
 pub use placement::PlacementPolicy;
-pub use stats::SchemeReport;
+pub use stats::{SchemeReport, StatsSource};
 pub use tiered::TieredDb;

@@ -75,6 +75,11 @@ pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Resul
                     env.delete(&name)?;
                     report.uploaded += 1;
                     report.bytes_moved += data.len() as u64;
+                    db.observer().set_residency(
+                        meta.number,
+                        data.len() as u64,
+                        obs::ResidencyTier::Cloud,
+                    );
                 }
                 (Tier::Local, false) => {
                     // Crash site: the cloud object stays authoritative until
@@ -87,6 +92,11 @@ pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Resul
                             env.write_all(&name, &data)?;
                             report.downloaded += 1;
                             report.bytes_moved += data.len() as u64;
+                            db.observer().set_residency(
+                                meta.number,
+                                data.len() as u64,
+                                obs::ResidencyTier::Local,
+                            );
                         }
                         Err(StorageError::NotFound(_)) => report.skipped += 1,
                         Err(e) => return Err(e.into()),

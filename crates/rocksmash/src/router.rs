@@ -129,7 +129,13 @@ impl FileRouter for TieredRouter {
     fn publish_table(&self, env: &dyn Env, number: u64, level: usize) -> Result<()> {
         self.levels.lock().insert(number, level);
         match self.placement.read().tier_for_level(level) {
-            Tier::Local => Ok(()),
+            Tier::Local => {
+                if let Some(o) = self.observer.get() {
+                    let bytes = env.size(&sst_name(number)).unwrap_or(0);
+                    o.set_residency(number, bytes, obs::ResidencyTier::Local);
+                }
+                Ok(())
+            }
             Tier::Cloud => {
                 // Child of the flush/compaction span that produced the
                 // table; absent a trace this is a no-op.
@@ -153,6 +159,7 @@ impl FileRouter for TieredRouter {
                         bytes: data.len() as u64,
                         dur_ns: started.elapsed().as_nanos() as u64,
                     });
+                    o.set_residency(number, data.len() as u64, obs::ResidencyTier::Cloud);
                 }
                 Ok(())
             }
@@ -177,6 +184,7 @@ impl FileRouter for TieredRouter {
             inner: object,
             cache: self.cache.clone(),
             stats: Arc::clone(&self.stats),
+            observer: self.observer.get().cloned(),
         }))
     }
 
@@ -190,6 +198,10 @@ impl FileRouter for TieredRouter {
             for number in numbers {
                 levels.remove(number);
             }
+        }
+        // Deleted tables stop occupying heat slots and residency rows.
+        if let Some(o) = self.observer.get() {
+            o.forget_tables(numbers);
         }
         // One batched invalidation: the cache drops every file's extents
         // under a single lock acquisition instead of one per file.
@@ -232,6 +244,9 @@ struct CachedCloudFile {
     inner: Arc<dyn RandomAccessFile>,
     cache: Option<Arc<dyn PersistentBlockCache>>,
     stats: Arc<RouterStats>,
+    /// Attributes cache hits and billed GETs to the serving SST in the
+    /// heat tracker (scores themselves come from the lsm read path).
+    observer: Option<Arc<obs::Observer>>,
 }
 
 impl CachedCloudFile {
@@ -249,6 +264,9 @@ impl CachedCloudFile {
                     Some(data) if data.len() >= len => {
                         out[i] = Some(data[..len].to_vec());
                         self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(o) = &self.observer {
+                            o.record_cache_hit_for(self.file);
+                        }
                     }
                     _ => miss_idx.push(i),
                 }
@@ -264,6 +282,16 @@ impl CachedCloudFile {
                 self.inner.read_ranges(&miss_ranges)?
             };
             self.stats.cloud_reads.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            if let Some(o) = &self.observer {
+                let bytes: u64 = miss_ranges.iter().map(|&(_, len)| len as u64).sum();
+                // One attribution per block read that touched the cloud,
+                // matching `RouterStats::cloud_reads`; bytes are the sum
+                // of the fetched ranges.
+                for _ in 1..miss_idx.len() {
+                    o.record_cloud_get_for(self.file, 0);
+                }
+                o.record_cloud_get_for(self.file, bytes);
+            }
             for (&i, data) in miss_idx.iter().zip(fetched) {
                 if let Some(cache) = &self.cache {
                     let offset = ranges[i].0;
@@ -287,6 +315,9 @@ impl RandomAccessFile for CachedCloudFile {
                 if data.len() >= buf.len() {
                     buf.copy_from_slice(&data[..buf.len()]);
                     self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &self.observer {
+                        o.record_cache_hit_for(self.file);
+                    }
                     return Ok(buf.len());
                 }
                 // Cached block shorter than the request (e.g. the caller
@@ -295,6 +326,9 @@ impl RandomAccessFile for CachedCloudFile {
         }
         let n = self.inner.read_at(offset, buf)?;
         self.stats.cloud_reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.observer {
+            o.record_cloud_get_for(self.file, n as u64);
+        }
         if let Some(cache) = &self.cache {
             cache.put(self.file, offset, &buf[..n], self.level);
         }

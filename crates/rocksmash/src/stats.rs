@@ -1,12 +1,19 @@
 //! Aggregate reporting across the engine, tiers, cache, and cost model.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use lsm::Result;
+use lsm::cache::BlockCache;
+use lsm::{DbStats, GroupCommitStats, Prefetcher, Result};
 use mashcache::CacheStats;
-use storage::{CostReport, StatsSnapshot};
+use storage::{CloudStore, CostReport, Env, ObjectStore, StatsSnapshot};
 
+use crate::router::TieredRouter;
 use crate::tiered::TieredDb;
+
+/// Hottest SSTs carried in a [`SchemeReport`]'s heat snapshot (and served
+/// by the exporter's `/heat.json`).
+pub(crate) const HEAT_TOP_N: usize = 32;
 
 /// One scheme's full measurement snapshot (a row in most experiment
 /// tables).
@@ -92,37 +99,88 @@ pub struct SchemeReport {
     /// Number of operations whose perf context was folded into `perf`.
     #[serde(default)]
     pub perf_ops: u64,
+    /// Decayed per-SST heat scores and per-tier residency accounting,
+    /// when the store records them (observability on). Absent on reports
+    /// from stores with observability off and on result files written
+    /// before heat tracking existed.
+    #[serde(default)]
+    pub heat: Option<obs::HeatSnapshot>,
+}
+
+/// `Arc`/`Clone` handles onto everything a [`SchemeReport`] samples.
+///
+/// Detached threads — the background metrics sampler and the HTTP
+/// exporter — must not borrow the `TieredDb` itself (it outlives neither
+/// of them by construction, not by lifetime), and must never hold an
+/// engine lock while serializing a response. Collecting through this
+/// bundle touches only atomics and short-lived internal locks, never the
+/// write path's mutexes.
+#[derive(Clone)]
+pub struct StatsSource {
+    pub(crate) env: Arc<dyn Env>,
+    pub(crate) cloud: CloudStore,
+    pub(crate) router: Arc<TieredRouter>,
+    pub(crate) engine_stats: Arc<DbStats>,
+    pub(crate) prefetcher: Option<Arc<Prefetcher>>,
+    pub(crate) block_cache: Option<Arc<BlockCache>>,
+    pub(crate) engine_gc: Arc<GroupCommitStats>,
+    pub(crate) ewal_gc: Option<Arc<GroupCommitStats>>,
+    pub(crate) observer: Arc<obs::Observer>,
+    pub(crate) timeseries: Arc<obs::TimeSeries>,
+}
+
+impl StatsSource {
+    /// The store-wide observer these handles were taken from.
+    pub fn observer(&self) -> &Arc<obs::Observer> {
+        &self.observer
+    }
+
+    /// The metrics time-series ring fed by the background sampler.
+    pub fn timeseries(&self) -> &Arc<obs::TimeSeries> {
+        &self.timeseries
+    }
 }
 
 impl SchemeReport {
     /// Gather a report from a live store.
     pub fn collect(db: &TieredDb) -> Result<SchemeReport> {
-        let stats = db.engine().stats();
-        let router = db.router();
-        let local_bytes = db.local_bytes()?;
-        let cloud_bytes = db.cloud_bytes()?;
+        Self::collect_from(&db.stats_source())
+    }
+
+    /// Gather a report through detached [`StatsSource`] handles — the
+    /// collection path shared by [`collect`](Self::collect), the
+    /// background sampler, and the HTTP exporter.
+    pub fn collect_from(source: &StatsSource) -> Result<SchemeReport> {
+        let stats = &source.engine_stats;
+        let router = &source.router;
+        let local_bytes = source.env.total_bytes()?;
+        let cloud_bytes = source.cloud.total_bytes()?;
         let cost =
-            db.cloud().cost_tracker().report(db.cloud().cost_model(), cloud_bytes, local_bytes);
-        let (cache, cache_metadata_bytes) = match router.cache() {
-            Some(cache) => (Some(cache.stats()), cache.metadata_bytes()),
-            None => (None, 0),
+            source.cloud.cost_tracker().report(source.cloud.cost_model(), cloud_bytes, local_bytes);
+        let (cache, cache_metadata_bytes, cache_backed_bytes) = match router.cache() {
+            Some(cache) => (Some(cache.stats()), cache.metadata_bytes(), cache.data_bytes()),
+            None => (None, 0, 0),
         };
-        let cloud_snapshot = db.cloud().stats().snapshot();
-        let retry = db.cloud().retrier().snapshot();
-        let prefetch_issued = db.engine().prefetcher().map(|p| p.issued()).unwrap_or(0);
-        let prefetch_useful = db.engine().block_cache().map(|c| c.prefetch_useful()).unwrap_or(0);
+        let cloud_snapshot = source.cloud.stats().snapshot();
+        let retry = source.cloud.retrier().snapshot();
+        let prefetch_issued = source.prefetcher.as_ref().map(|p| p.issued()).unwrap_or(0);
+        let prefetch_useful = source.block_cache.as_ref().map(|c| c.prefetch_useful()).unwrap_or(0);
         // The engine's WAL queues and the tiered eWAL queues each keep
         // their own counters; exactly one side sees traffic per mode, and
         // summing covers both without caring which.
-        let engine_gc = db.engine().group_commit_stats();
+        let engine_gc = &source.engine_gc;
         let mut group_commits = engine_gc.group_commits.load(Ordering::Relaxed);
         let mut group_commit_batches = engine_gc.group_commit_batches.load(Ordering::Relaxed);
         let mut writer_shard_conflicts = engine_gc.writer_shard_conflicts.load(Ordering::Relaxed);
-        if let Some(ewal_gc) = db.ewal_commit_stats() {
+        if let Some(ewal_gc) = &source.ewal_gc {
             group_commits += ewal_gc.group_commits.load(Ordering::Relaxed);
             group_commit_batches += ewal_gc.group_commit_batches.load(Ordering::Relaxed);
             writer_shard_conflicts += ewal_gc.writer_shard_conflicts.load(Ordering::Relaxed);
         }
+        let heat = source
+            .observer
+            .is_enabled()
+            .then(|| source.observer.heat().snapshot(HEAT_TOP_N, cache_backed_bytes));
         Ok(SchemeReport {
             engine_writes: stats.writes.load(Ordering::Relaxed),
             engine_gets: stats.gets.load(Ordering::Relaxed),
@@ -153,10 +211,11 @@ impl SchemeReport {
             retry_exhausted: retry.exhausted,
             retry_recovered: retry.recovered,
             perf: {
-                let totals = db.observer().perf_totals();
+                let totals = source.observer.perf_totals();
                 (!totals.is_empty()).then_some(totals)
             },
-            perf_ops: db.observer().perf_ops(),
+            perf_ops: source.observer.perf_ops(),
+            heat,
         })
     }
 
@@ -274,6 +333,12 @@ impl SchemeReport {
             }
             None => out.push_str(",\"perf\":null,\"perf_ops\":0"),
         }
+        match &self.heat {
+            Some(heat) => {
+                let _ = write!(out, ",\"heat\":{}", heat.to_json());
+            }
+            None => out.push_str(",\"heat\":null"),
+        }
         out.push('}');
         out
     }
@@ -326,6 +391,9 @@ impl SchemeReport {
                 "cache_hit_ratio",
                 if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 },
             );
+        }
+        if let Some(heat) = &self.heat {
+            registry.attach_heat(heat.clone());
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use lsm::batch::BatchOp;
 use lsm::commit::shard_of;
@@ -16,7 +17,7 @@ use crate::config::{CacheKind, TieredConfig};
 use crate::ewal::{delete_generation, list_generations, EWalWriter};
 use crate::recovery::{recover_into, RecoveryReport};
 use crate::router::TieredRouter;
-use crate::stats::SchemeReport;
+use crate::stats::{SchemeReport, StatsSource, HEAT_TOP_N};
 
 /// Delete every eWAL generation numbered at or below `floor`.
 fn delete_generations_le(env: &Arc<dyn Env>, floor: u64) -> Result<()> {
@@ -63,11 +64,45 @@ fn ewal_partition_of(batch: &WriteBatch, partitions: usize) -> usize {
         .unwrap_or(0)
 }
 
-/// Background thread periodically printing the stats dump
-/// ([`TieredConfig::stats_dump_interval`]).
-struct StatsDump {
+/// Background metrics sampler: pushes one [`obs::MetricsSnapshot`] into
+/// the time-series ring per [`TieredConfig::timeseries_sample_interval`],
+/// advances the heat clock to wall time, and — when
+/// [`TieredConfig::stats_dump_interval`] is set — periodically prints the
+/// stats dump to stderr.
+struct Sampler {
     stop: Arc<AtomicBool>,
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Advance the heat clock so `elapsed / half_life` decay ticks have
+/// passed, then collect a full snapshot through the detached handles and
+/// push it into the time-series ring.
+fn sample_metrics_from(
+    source: &StatsSource,
+    opened: Instant,
+    half_life: Duration,
+) -> Result<obs::MetricsSnapshot> {
+    let heat = source.observer().heat();
+    let desired = (opened.elapsed().as_secs_f64() / half_life.as_secs_f64().max(1e-9)) as u64;
+    let current = heat.tick();
+    if desired > current {
+        heat.advance_ticks(desired - current);
+    }
+    let snapshot = snapshot_from(source)?;
+    source.timeseries().push(&snapshot);
+    Ok(snapshot)
+}
+
+/// Full metrics snapshot — latency histograms, scheme counters/gauges,
+/// and the heat/residency attachment — collected entirely through
+/// [`StatsSource`] handles. Nothing here takes an engine lock, so callers
+/// (the sampler, the HTTP exporter) can serialize the result at leisure
+/// without stalling writers.
+fn snapshot_from(source: &StatsSource) -> Result<obs::MetricsSnapshot> {
+    let report = SchemeReport::collect_from(source)?;
+    let mut registry = obs::MetricsRegistry::new(Arc::clone(source.observer()));
+    report.fold_into(&mut registry);
+    Ok(registry.snapshot())
 }
 
 /// An LSM store spanning local and cloud storage.
@@ -88,7 +123,18 @@ pub struct TieredDb {
     /// store (engine, cloud store, persistent cache, eWAL). Disabled —
     /// one branch per hook — unless [`TieredConfig::observability`].
     observer: Arc<obs::Observer>,
-    stats_dump: Option<StatsDump>,
+    /// Detached handles onto everything the scheme report samples; cloned
+    /// into the sampler thread and the HTTP exporter so neither borrows
+    /// the store.
+    stats_source: StatsSource,
+    /// Ring of periodic metrics samples backing the windowed-rate queries.
+    timeseries: Arc<obs::TimeSeries>,
+    /// When this store was opened — the origin of the heat decay clock.
+    opened_at: Instant,
+    sampler: Option<Sampler>,
+    /// The `/metrics` HTTP exporter, when [`TieredConfig::metrics_listen`]
+    /// is set. Taken (and thereby shut down) on close.
+    metrics_server: Mutex<Option<obs::MetricsServer>>,
 }
 
 impl TieredDb {
@@ -242,30 +288,134 @@ impl TieredDb {
             mash.retain_files(&live);
         }
 
-        // The periodic dump covers what the observer alone knows — latency
-        // histograms and recent events; the full scheme report needs the
-        // store itself, which a detached thread must not borrow.
-        let stats_dump = config.stats_dump_interval.map(|interval| {
-            let stop = Arc::new(AtomicBool::new(false));
-            let flag = Arc::clone(&stop);
-            let obs = Arc::clone(&observer);
-            let handle = std::thread::Builder::new()
-                .name("rocksmash-stats-dump".into())
-                .spawn(move || {
-                    while !flag.load(Ordering::Relaxed) {
-                        std::thread::park_timeout(interval);
-                        if flag.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let snapshot = obs::MetricsRegistry::new(Arc::clone(&obs)).snapshot();
-                        eprintln!("{}", snapshot.stats_string());
-                    }
-                })
-                .expect("spawn stats-dump thread");
-            StatsDump { stop, handle: Mutex::new(Some(handle)) }
-        });
+        // Seed the residency ledger from the recovered version: residency
+        // is otherwise only fed by flush/upload/migration events, and a
+        // reopened store (every CLI invocation) would report empty tiers
+        // and tier-less heat rankings until files happen to move.
+        if observer.is_enabled() {
+            let version = db.current_version();
+            for files in version.levels.iter() {
+                for meta in files {
+                    let tier = if env.exists(&lsm::version::sst_name(meta.number))? {
+                        obs::ResidencyTier::Local
+                    } else {
+                        obs::ResidencyTier::Cloud
+                    };
+                    observer.set_residency(meta.number, meta.file_size, tier);
+                }
+            }
+        }
 
-        Ok(TieredDb { db, env, cloud, router, config, ewal, recovery, observer, stats_dump })
+        let timeseries = Arc::new(obs::TimeSeries::new(config.timeseries_capacity));
+        let opened_at = Instant::now();
+        let stats_source = StatsSource {
+            env: Arc::clone(&env),
+            cloud: cloud.clone(),
+            router: Arc::clone(&router),
+            engine_stats: db.stats_handle(),
+            prefetcher: db.prefetcher().cloned(),
+            block_cache: db.block_cache().cloned(),
+            engine_gc: Arc::clone(db.group_commit_stats()),
+            ewal_gc: ewal.as_ref().map(|e| Arc::clone(&e.stats)),
+            observer: Arc::clone(&observer),
+            timeseries: Arc::clone(&timeseries),
+        };
+
+        // Background sampler: needed by both the stats dump and the
+        // exporter's rate windows (an unfed ring answers no rate query).
+        // It collects through the detached StatsSource handles — never a
+        // borrow of the store, never an engine lock held across a print.
+        let sampler = (config.stats_dump_interval.is_some() || config.metrics_listen.is_some())
+            .then(|| {
+                let stop = Arc::new(AtomicBool::new(false));
+                let flag = Arc::clone(&stop);
+                let source = stats_source.clone();
+                let sample_interval =
+                    config.timeseries_sample_interval.max(Duration::from_millis(10));
+                let dump_interval = config.stats_dump_interval;
+                let half_life = config.heat_half_life;
+                let handle = std::thread::Builder::new()
+                    .name("rocksmash-sampler".into())
+                    .spawn(move || {
+                        let mut since_dump = Duration::ZERO;
+                        while !flag.load(Ordering::Relaxed) {
+                            std::thread::park_timeout(sample_interval);
+                            if flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // Sampling failures (transient env errors) skip
+                            // one sample rather than killing the thread.
+                            let sampled = sample_metrics_from(&source, opened_at, half_life);
+                            since_dump += sample_interval;
+                            if let Some(dump) = dump_interval {
+                                if since_dump >= dump {
+                                    since_dump = Duration::ZERO;
+                                    if let Ok(snapshot) = sampled {
+                                        eprintln!("{}", snapshot.stats_string());
+                                    }
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn sampler thread");
+                Sampler { stop, handle: Mutex::new(Some(handle)) }
+            });
+
+        let metrics_server = match &config.metrics_listen {
+            Some(listen) => {
+                let source = stats_source.clone();
+                let handler: obs::http::Handler = Arc::new(move |path: &str| match path {
+                    "/metrics" => {
+                        let mut body = match snapshot_from(&source) {
+                            Ok(snapshot) => snapshot.to_prometheus(),
+                            Err(e) => {
+                                return Some((
+                                    "text/plain; charset=utf-8",
+                                    format!("# collect error: {e}\n"),
+                                ))
+                            }
+                        };
+                        body.push_str(&source.timeseries().to_prometheus());
+                        Some(("text/plain; version=0.0.4; charset=utf-8", body))
+                    }
+                    "/stats.json" => Some(match snapshot_from(&source) {
+                        Ok(snapshot) => ("application/json", snapshot.to_json()),
+                        Err(e) => (
+                            "application/json",
+                            format!("{{\"error\":\"{}\"}}", obs::json::escape(&e.to_string())),
+                        ),
+                    }),
+                    "/heat.json" => {
+                        let cache_backed =
+                            source.router.cache().map(|c| c.data_bytes()).unwrap_or(0);
+                        let heat = source.observer().heat().snapshot(HEAT_TOP_N, cache_backed);
+                        Some(("application/json", heat.to_json()))
+                    }
+                    "/timeseries.json" => Some(("application/json", source.timeseries().to_json())),
+                    _ => None,
+                });
+                let server = obs::MetricsServer::start(listen, handler)
+                    .map_err(storage::StorageError::Io)?;
+                Some(server)
+            }
+            None => None,
+        };
+
+        Ok(TieredDb {
+            db,
+            env,
+            cloud,
+            router,
+            config,
+            ewal,
+            recovery,
+            observer,
+            stats_source,
+            timeseries,
+            opened_at,
+            sampler,
+            metrics_server: Mutex::new(metrics_server),
+        })
     }
 
     /// The eWAL recovery report from this open, when the eWAL is enabled.
@@ -579,6 +729,34 @@ impl TieredDb {
         SchemeReport::collect(self)
     }
 
+    /// Detached stats-collection handles — the sampler/exporter's view of
+    /// this store. Cheap to clone; collecting through it never borrows
+    /// the store or holds an engine lock.
+    pub fn stats_source(&self) -> StatsSource {
+        self.stats_source.clone()
+    }
+
+    /// The metrics time-series ring fed by the background sampler (and by
+    /// explicit [`TieredDb::sample_metrics`] calls).
+    pub fn timeseries(&self) -> &Arc<obs::TimeSeries> {
+        &self.timeseries
+    }
+
+    /// Advance the heat decay clock to wall time, push one metrics sample
+    /// into the time-series ring, and return the snapshot — exactly what
+    /// the background sampler does each interval. For callers driving
+    /// their own cadence (the CLI's `watch` loop).
+    pub fn sample_metrics(&self) -> Result<obs::MetricsSnapshot> {
+        sample_metrics_from(&self.stats_source, self.opened_at, self.config.heat_half_life)
+    }
+
+    /// Address the HTTP metrics exporter is listening on, when
+    /// [`TieredConfig::metrics_listen`] enabled it. With port 0 in the
+    /// config this reveals the ephemeral port actually bound.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_server.lock().as_ref().map(|s| s.addr())
+    }
+
     /// The store-wide latency/event observer (disabled unless
     /// [`TieredConfig::observability`]).
     pub fn observer(&self) -> &Arc<obs::Observer> {
@@ -601,9 +779,12 @@ impl TieredDb {
 
     /// Shut down background work and sync logs.
     pub fn close(&self) -> Result<()> {
-        if let Some(dump) = &self.stats_dump {
-            dump.stop.store(true, Ordering::Relaxed);
-            if let Some(handle) = dump.handle.lock().take() {
+        // Dropping the server stops the accept loop and joins its thread,
+        // so no scrape can race the engine teardown below.
+        drop(self.metrics_server.lock().take());
+        if let Some(sampler) = &self.sampler {
+            sampler.stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = sampler.handle.lock().take() {
                 handle.thread().unpark();
                 let _ = handle.join();
             }

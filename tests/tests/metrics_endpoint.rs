@@ -1,0 +1,202 @@
+//! End-to-end telemetry tests: the HTTP scrape endpoint over a real TCP
+//! socket, heat attribution under a skewed read workload, residency
+//! accounting across flush → upload → migration, and the no-deadlock
+//! guarantee for scrapes racing a stalled write path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obs::http::http_get;
+use rocksmash::{migrate_placement, PlacementPolicy, Scheme, TieredConfig, TieredDb};
+use storage::failpoint::{self, FailAction};
+use storage::{Env, MemEnv};
+use workloads::microbench::{fillrandom, readrandom};
+use workloads::{run_ops, KeyDistribution};
+
+fn tiny() -> TieredConfig {
+    TieredConfig {
+        options: lsm::Options {
+            write_buffer_size: 16 << 10,
+            target_file_size: 16 << 10,
+            max_bytes_for_level_base: 32 << 10,
+            l0_compaction_trigger: 2,
+            ..lsm::Options::small_for_tests()
+        },
+        cache_admission: false,
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("met{i:06}").into_bytes()
+}
+
+fn fill(db: &TieredDb, n: usize) {
+    for i in 0..n {
+        db.put(&key(i), format!("v{i}-{}", "m".repeat(64)).as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+}
+
+#[test]
+fn metrics_scrape_over_tcp_is_valid_prometheus() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { metrics_listen: Some("127.0.0.1:0".into()), ..tiny() };
+    let db = TieredDb::open(env, Scheme::RocksMash.configure(config)).unwrap();
+    fill(&db, 1000);
+    // Two ring samples with traffic in between, so every rate window —
+    // including the cache hit ratio, which needs lookups inside the
+    // window — can answer.
+    db.sample_metrics().unwrap();
+    for i in (0..1000).step_by(7) {
+        let _ = db.get(&key(i)).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    db.sample_metrics().unwrap();
+
+    let addr = db.metrics_addr().expect("exporter enabled").to_string();
+    let (status, body) = http_get(&addr, "/metrics").unwrap();
+    assert_eq!(status, 200, "scrape failed: {body}");
+    let families = obs::validate_prometheus(&body).unwrap_or_else(|e| panic!("lint: {e}"));
+    assert!(families > 10, "suspiciously few families: {families}");
+
+    // Tentpole families: heat, residency, windowed rates.
+    for family in [
+        "rocksmash_heat_sst_score",
+        "rocksmash_heat_tick",
+        "rocksmash_residency_bytes",
+        "rocksmash_residency_files",
+        "rocksmash_rate_ops_per_sec",
+        "rocksmash_rate_cloud_get_bytes_per_sec",
+        "rocksmash_rate_cache_hit_ratio",
+    ] {
+        assert!(body.contains(family), "family {family} missing from scrape:\n{body}");
+    }
+    // Write-path and scheduler counters must reach the exposition too.
+    for family in [
+        "rocksmash_group_commits_total",
+        "rocksmash_group_commit_batches_total",
+        "rocksmash_writer_shard_conflicts_total",
+        "rocksmash_flush_retries_total",
+        "rocksmash_subcompactions_total",
+        "rocksmash_compaction_parallelism",
+    ] {
+        assert!(body.contains(family), "family {family} missing from scrape");
+    }
+
+    // The JSON endpoints parse and carry the same shape.
+    let (status, stats) = http_get(&addr, "/stats.json").unwrap();
+    assert_eq!(status, 200);
+    let stats = obs::json::Json::parse(&stats).expect("stats.json parses");
+    assert!(stats.get("heat").is_some(), "stats.json missing heat");
+    let (status, heat) = http_get(&addr, "/heat.json").unwrap();
+    assert_eq!(status, 200);
+    let heat = obs::json::Json::parse(&heat).expect("heat.json parses");
+    assert!(heat.get("entries").is_some());
+    let (status, ts) = http_get(&addr, "/timeseries.json").unwrap();
+    assert_eq!(status, 200);
+    assert!(obs::json::Json::parse(&ts).is_ok(), "timeseries.json parses");
+    let (status, _) = http_get(&addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+
+    db.close().unwrap();
+    // Closing must release the port and kill the accept loop.
+    assert!(http_get(&addr, "/metrics").is_err(), "exporter survived close");
+}
+
+#[test]
+fn zipf_reads_concentrate_heat_on_hot_ssts() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = TieredDb::open(env, Scheme::RocksMash.configure(tiny())).unwrap();
+    const N: u64 = 2000;
+    run_ops(&db, fillrandom(N, 96, 3)).unwrap();
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+    run_ops(&db, readrandom(N, 6000, KeyDistribution::Zipfian { theta: 0.99 }, 11)).unwrap();
+
+    let heat = db.report().unwrap().heat.expect("observability on");
+    assert!(heat.entries.len() >= 3, "expected several tracked SSTs, got {}", heat.entries.len());
+    // Ranking is hottest-first and every ranked table knows its tier.
+    for pair in heat.entries.windows(2) {
+        assert!(pair[0].score >= pair[1].score, "entries not sorted by score");
+    }
+    for e in &heat.entries {
+        assert!(e.tier.is_some(), "table {} has no residency tier", e.file);
+    }
+    // Zipf skew concentrates score mass: the hottest table must clearly
+    // dominate the median-ranked one.
+    let median = heat.entries[heat.entries.len() / 2].score;
+    assert!(
+        heat.entries[0].score > 1.5 * median,
+        "no skew visible: top {} vs median {median}",
+        heat.entries[0].score
+    );
+
+    // One decay window halves every score but preserves the ranking.
+    let top_before = heat.entries[0].score;
+    let top_file = heat.entries[0].file;
+    db.observer().heat().advance_ticks(1);
+    let decayed = db.report().unwrap().heat.expect("heat");
+    assert_eq!(decayed.entries[0].file, top_file, "decay reordered the ranking");
+    let ratio = decayed.entries[0].score / top_before;
+    assert!((0.49..=0.51).contains(&ratio), "one tick should halve the score, got {ratio}");
+    db.close().unwrap();
+}
+
+#[test]
+fn residency_tracks_flush_upload_and_migration() {
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let db = TieredDb::open(env, Scheme::RocksMash.configure(tiny())).unwrap();
+    fill(&db, 1500);
+    let heat = db.report().unwrap().heat.expect("observability on");
+    let r = heat.residency;
+    assert!(r.local_files > 0, "flushed tables must register local residency: {r:?}");
+    assert!(r.cloud_files > 0, "uploaded tables must register cloud residency: {r:?}");
+    assert!(r.local_bytes > 0 && r.cloud_bytes > 0, "{r:?}");
+
+    // Migrating everything local must drain the cloud side of the ledger.
+    migrate_placement(&db, PlacementPolicy::all_local()).unwrap();
+    let r = db.report().unwrap().heat.expect("heat").residency;
+    assert_eq!(r.cloud_files, 0, "cloud residency must drain after migration: {r:?}");
+    assert!(r.local_files > 0);
+    db.close().unwrap();
+}
+
+#[test]
+fn scrape_during_write_stall_does_not_deadlock() {
+    failpoint::disarm_all();
+    let env: Arc<dyn Env> = Arc::new(MemEnv::new());
+    let config = TieredConfig { metrics_listen: Some("127.0.0.1:0".into()), ..tiny() };
+    let db = Arc::new(TieredDb::open(env, Scheme::RocksMash.configure(config)).unwrap());
+    fill(&db, 200);
+    let addr = db.metrics_addr().expect("exporter enabled").to_string();
+
+    // Every flush now sleeps, so sustained writes pile up sealed
+    // memtables and stall the write path while scrapes keep coming.
+    failpoint::arm("flush_begin", FailAction::Sleep(Duration::from_millis(200)));
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            for i in 0..4000usize {
+                db.put(&key(i), format!("stall{i}-{}", "y".repeat(128)).as_bytes()).unwrap();
+            }
+        })
+    };
+    let mut slowest = Duration::ZERO;
+    for _ in 0..5 {
+        let started = Instant::now();
+        let (status, body) = http_get(&addr, "/metrics").unwrap();
+        let took = started.elapsed();
+        slowest = slowest.max(took);
+        assert_eq!(status, 200, "scrape failed mid-stall: {body}");
+        assert!(obs::validate_prometheus(&body).is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    failpoint::disarm_all();
+    writer.join().unwrap();
+    // A scrape that waited on the stalled engine would take flush-scale
+    // time; off-lock collection stays far under the failpoint sleep.
+    assert!(slowest < Duration::from_secs(4), "scrape blocked {slowest:?} during stall");
+    db.close().unwrap();
+}
