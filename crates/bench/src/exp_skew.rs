@@ -1,14 +1,20 @@
-//! **E4** — cache hit ratio and throughput vs workload skew.
+//! **E4** — cache hit ratio and throughput vs workload skew, plus a
+//! moving-hotspot phase for heat-driven promotion.
 //!
 //! Expected shape: the LSM-aware cache thrives on skew (hit ratio → 1 as
 //! theta grows); under uniform access the cache barely helps and RocksMash
-//! converges towards the uncached hybrid.
+//! converges towards the uncached hybrid. In the hotspot-shift phase the
+//! static split never recovers the read p99 after the hot key range moves,
+//! while heat-driven promotion pulls the new hot tables local and returns
+//! the p99 to its pre-shift level.
 
-use rocksmash::Scheme;
+use std::time::Duration;
+
+use rocksmash::{CacheKind, PromotionConfig, Scheme, TieredConfig, TieredDb};
 use workloads::microbench::readrandom;
 use workloads::{run_ops, KeyDistribution};
 
-use crate::{emit_table, kops, load_random, open_scheme, ExpParams, Row};
+use crate::{emit_table, kops, load_random, open_config, open_scheme, ExpParams, Row};
 
 /// Run E4 and print its figure series.
 pub fn run(params: &ExpParams) {
@@ -55,6 +61,112 @@ pub fn run(params: &ExpParams) {
         "E4-skew",
         "RocksMash reads vs key-popularity skew",
         &["read kops/s", "cache hit ratio", "cloud GETs", "read p99 µs", "hot sst", "hot score"],
+        &rows,
+    );
+
+    run_hotspot_shift(params);
+}
+
+/// Fraction of the keyspace each hotspot covers. A quarter keeps the two
+/// phases' hot ranges disjoint while leaving most of the tree cold.
+const SHIFT_SPAN: f64 = 0.25;
+
+/// The shift phase's configuration: RocksMash with the persistent cache
+/// disabled — recovery after the shift must be attributable to tier
+/// placement, not to mashcache refill — and promotion driven explicitly
+/// (the background interval never fires within a run).
+fn shift_config(params: &ExpParams) -> TieredConfig {
+    let mut config = TieredConfig {
+        cache: CacheKind::None,
+        promotion: Some(PromotionConfig {
+            local_budget_bytes: params.data_bytes() / 2,
+            interval: Duration::from_secs(3600),
+            min_score: 1.0,
+            max_files_per_pass: 4,
+            max_bytes_per_pass: 0,
+        }),
+        ..Scheme::RocksMash.configure(params.base_config())
+    };
+    // A block cache sized to the hotspot would absorb the post-shift reads
+    // and hide the tier difference the phase exists to measure; keep it far
+    // smaller than one hot window so p99 tracks residency, not the cache.
+    config.options.block_cache_bytes = 64 << 10;
+    config
+}
+
+/// Drive promotion passes until a pass moves nothing; returns total
+/// (promoted, demoted) table counts.
+fn settle_promotion(db: &TieredDb) -> (u64, u64) {
+    let (mut promoted, mut demoted) = (0u64, 0u64);
+    for _ in 0..64 {
+        let report = db.run_promotion_pass().expect("promotion pass");
+        promoted += report.promoted as u64;
+        demoted += report.demoted as u64;
+        if report.promoted == 0 && report.demoted == 0 {
+            break;
+        }
+    }
+    (promoted, demoted)
+}
+
+/// Moving-hotspot phase: a clustered Zipf hotspot heats one contiguous
+/// quarter of the keyspace; both rows settle into the same placed state
+/// (hot quarter local). Then the hotspot jumps to a disjoint quarter: the
+/// `static` row freezes placement and keeps paying cloud latency, the
+/// `promotion` row lets the heat-driven pass pull the new hot tables back.
+fn run_hotspot_shift(params: &ExpParams) {
+    let theta = 0.9;
+    let before = KeyDistribution::ZipfCluster { theta, start: 0.0, span: SHIFT_SPAN };
+    let after = KeyDistribution::ZipfCluster { theta, start: 0.5, span: SHIFT_SPAN };
+    let mut rows = Vec::new();
+    for (label, promote_after_shift) in [("static", false), ("promotion", true)] {
+        let (_dir, db) = open_config("rocksmash-shift", shift_config(params));
+        load_random(&db, params);
+        // Warm the first hotspot and settle promotion so both rows start
+        // identically: hot quarter local, everything else cloud.
+        run_ops(&db, readrandom(params.record_count, params.op_count, before, 9)).expect("warm");
+        settle_promotion(&db);
+        let pre = run_ops(&db, readrandom(params.record_count, params.op_count, before, 10))
+            .expect("pre-shift");
+        let pre_p99_us = pre.overall_latency().percentile_ns(0.99) as f64 / 1000.0;
+        if !promote_after_shift {
+            // Freeze placement at the static split: later passes plan
+            // nothing, so the post-shift hotspot stays where it is.
+            db.router().set_placement(db.config().placement);
+        }
+        // The hotspot jumps. Age out the old heat, re-warm the new range
+        // (slow for both rows — it is cloud-resident), then let the pass
+        // react; under the frozen static policy it is a no-op.
+        db.observer().heat().advance_ticks(8);
+        run_ops(&db, readrandom(params.record_count, params.op_count, after, 11)).expect("rewarm");
+        let (promoted, demoted) = settle_promotion(&db);
+        let post = run_ops(&db, readrandom(params.record_count, params.op_count, after, 12))
+            .expect("post-shift");
+        let post_p99_us = post.overall_latency().percentile_ns(0.99) as f64 / 1000.0;
+        let report = db.report().expect("report");
+        crate::emit_scheme_report_with(
+            "E4-skew",
+            &format!("shift-{label}"),
+            &report,
+            &[("pre_shift_p99_us", pre_p99_us), ("post_shift_p99_us", post_p99_us)],
+        );
+        rows.push(Row::new(
+            label,
+            vec![
+                format!("{pre_p99_us:.0}"),
+                format!("{post_p99_us:.0}"),
+                format!("{:.2}", post_p99_us / pre_p99_us.max(1e-9)),
+                format!("{promoted}"),
+                format!("{demoted}"),
+                kops(post.throughput()),
+            ],
+        ));
+        db.close().expect("close");
+    }
+    emit_table(
+        "E4-shift",
+        "moving hotspot: read p99 before/after the shift",
+        &["pre p99 µs", "post p99 µs", "post/pre", "promoted", "demoted", "post kops/s"],
         &rows,
     );
 }

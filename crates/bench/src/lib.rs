@@ -171,6 +171,17 @@ pub fn open_scheme_with(
     (dir, db)
 }
 
+/// Open a store from a fully-specified config on a fresh directory,
+/// bypassing [`Scheme::configure`] — for experiments that override knobs
+/// the scheme preset would otherwise pin (e.g. disabling the persistent
+/// cache so tier placement alone explains the read latency).
+pub fn open_config(tag: &str, config: TieredConfig) -> (ExpDir, TieredDb) {
+    let dir = ExpDir::new(tag);
+    let env = Arc::new(LocalEnv::new(dir.path().clone()).expect("local env"));
+    let db = TieredDb::open(env, config).expect("open config");
+    (dir, db)
+}
+
 /// Load `record_count` records in random order, flush, and let compaction
 /// settle so every scheme starts from the same shape.
 pub fn load_random(db: &TieredDb, params: &ExpParams) {

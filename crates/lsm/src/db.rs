@@ -70,6 +70,45 @@ pub trait FileRouter: Send + Sync {
     }
 }
 
+/// A periodic background job an outer layer installs on the engine's
+/// worker pool via [`Db::set_external_job`] (e.g. the tier-promotion pass
+/// in `rocksmash`). The pool claims it at the LOWEST priority — only when
+/// no flush is queued and no compaction is runnable — at most one instance
+/// at a time, and re-arms it `interval` after each completion.
+///
+/// A failing run is journaled as a `BgError` event but deliberately does
+/// NOT set the engine's sticky background error: promotion is advisory
+/// work, and a flaky cloud must never stall writers.
+pub trait ExternalJob: Send + Sync {
+    /// Short name used as the `BgError` context on failure.
+    fn name(&self) -> &str;
+
+    /// Execute one pass. Runs with no engine locks held; use the view for
+    /// anything that needs engine state.
+    fn run(&self, view: &BgView<'_>) -> Result<()>;
+}
+
+/// Engine facilities exposed to an [`ExternalJob`] while it runs. Holds no
+/// locks itself; each method acquires and releases what it needs, so jobs
+/// may call them freely mid-pass.
+pub struct BgView<'a> {
+    shared: &'a Arc<DbShared>,
+}
+
+impl BgView<'_> {
+    /// The current version (live file layout snapshot).
+    pub fn current_version(&self) -> Arc<Version> {
+        self.shared.state.lock().versions.current()
+    }
+
+    /// Drop any cached open handle for table `number`, forcing the next
+    /// read to re-open it through the router. Required after a file
+    /// changes tier, or reads keep going to the old location.
+    pub fn evict_table(&self, number: u64) {
+        self.shared.evict_table(number);
+    }
+}
+
 /// Router that keeps every table on the local environment.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LocalFileRouter;
@@ -298,6 +337,17 @@ struct DbState {
     /// that could reference it has been released by readers (the queue is
     /// age-ordered, so the front gates everything behind it).
     retired: VecDeque<(Arc<Version>, Vec<u64>)>,
+    /// Periodic job installed by an outer layer (tier promotion); claimed
+    /// by the worker pool at the lowest priority when due.
+    external: Option<ExternalJobState>,
+}
+
+struct ExternalJobState {
+    job: Arc<dyn ExternalJob>,
+    interval: Duration,
+    next_run: Instant,
+    /// At most one instance runs at a time across the pool.
+    running: bool,
 }
 
 struct TableCacheInner {
@@ -622,6 +672,7 @@ impl Db {
                 compactions_inflight: 0,
                 drop_horizon: 0,
                 retired: VecDeque::new(),
+                external: None,
             }),
             work_cv: Condvar::new(),
             room_cv: Condvar::new(),
@@ -1313,6 +1364,30 @@ impl Db {
         self.shared.recovered_next_file
     }
 
+    /// Install (or replace) the periodic [`ExternalJob`] the worker pool
+    /// runs at the lowest priority. The first run happens once `interval`
+    /// has elapsed; each completion re-arms the timer. See the trait docs
+    /// for the failure contract.
+    pub fn set_external_job(&self, interval: Duration, job: Arc<dyn ExternalJob>) {
+        {
+            let mut state = self.shared.state.lock();
+            state.external = Some(ExternalJobState {
+                job,
+                interval,
+                next_run: Instant::now() + interval,
+                running: false,
+            });
+        }
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Engine view for running an [`ExternalJob`] synchronously from the
+    /// caller's thread (tests and on-demand passes use this; the scheduled
+    /// path gets the same view from the pool).
+    pub fn bg_view(&self) -> BgView<'_> {
+        BgView { shared: &self.shared }
+    }
+
     fn check_bg_error(state: &DbState) -> Result<()> {
         match &state.bg_error {
             Some(msg) => Err(Error::corruption(format!("background error: {msg}"))),
@@ -1734,6 +1809,7 @@ enum FlushCommit {
 enum BgJob {
     Flush { id: u64, mem: Arc<MemTable>, wal_floor: u64 },
     Compaction { version: Arc<Version>, compaction: Compaction },
+    External { job: Arc<dyn ExternalJob> },
 }
 
 /// Background pool worker: claim flushes and non-conflicting compactions
@@ -1761,6 +1837,24 @@ fn background_worker(shared: Arc<DbShared>) {
             BgJob::Compaction { version, compaction } => {
                 let result = run_claimed_compaction(&shared, &mut state, version, compaction);
                 note_bg_outcome(&shared, &mut state, "compaction", result);
+            }
+            BgJob::External { job } => {
+                let result = parking_lot::MutexGuard::unlocked(&mut state, || {
+                    job.run(&BgView { shared: &shared })
+                });
+                if let Some(ext) = state.external.as_mut() {
+                    ext.running = false;
+                    ext.next_run = Instant::now() + ext.interval;
+                }
+                // Journal failures but do NOT touch the sticky bg_error:
+                // external work is advisory and must not stall writers.
+                if let Err(e) = result {
+                    shared.obs.event(obs::EventKind::BgError {
+                        context: format!("external:{}", job.name()),
+                        error: e.to_string(),
+                        backoff_ms: 0,
+                    });
+                }
             }
         }
         shared.room_cv.notify_all();
@@ -1802,21 +1896,27 @@ fn claim_job(shared: &Arc<DbShared>, state: &mut DbState) -> Option<BgJob> {
             wal_floor: entry.wal_floor,
         });
     }
-    if !shared.options.auto_compaction {
+    if shared.options.auto_compaction {
+        let slots = bg_pool_size(&shared.options).saturating_sub(1).max(1);
+        if state.compactions_inflight < slots {
+            let version = state.versions.current();
+            if let Some(compaction) = pick_compaction(
+                &version,
+                &shared.options,
+                &mut state.compact_pointer,
+                &state.compacting_inputs,
+            ) {
+                return Some(BgJob::Compaction { version, compaction });
+            }
+        }
+    }
+    // Lowest priority: a due external job, one instance at a time.
+    let ext = state.external.as_mut()?;
+    if ext.running || Instant::now() < ext.next_run {
         return None;
     }
-    let slots = bg_pool_size(&shared.options).saturating_sub(1).max(1);
-    if state.compactions_inflight >= slots {
-        return None;
-    }
-    let version = state.versions.current();
-    let compaction = pick_compaction(
-        &version,
-        &shared.options,
-        &mut state.compact_pointer,
-        &state.compacting_inputs,
-    )?;
-    Some(BgJob::Compaction { version, compaction })
+    ext.running = true;
+    Some(BgJob::External { job: Arc::clone(&ext.job) })
 }
 
 /// Run a claimed flush: build the L0 table and commit it, or unclaim the

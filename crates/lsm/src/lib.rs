@@ -63,7 +63,7 @@ pub mod wal;
 
 pub use batch::WriteBatch;
 pub use commit::{GroupCommitStats, GroupQueue};
-pub use db::{Db, DbStats, FileRouter, LocalFileRouter, Snapshot};
+pub use db::{BgView, Db, DbStats, ExternalJob, FileRouter, LocalFileRouter, Snapshot};
 pub use error::{Error, Result};
 pub use options::{Options, ReadOptions};
 pub use prefetch::Prefetcher;

@@ -72,6 +72,14 @@ pub enum EventKind {
     /// job, `backoff_ms` is how long the scheduler will wait before
     /// retrying background work.
     BgError { context: String, error: String, backoff_ms: u64 },
+    /// A tier-promotion pass began: the heat-aware policy decided to move
+    /// `promote` cloud SSTs local and `demote` local SSTs to the cloud
+    /// (counts after the per-pass caps were applied).
+    PromotionStart { promote: u64, demote: u64 },
+    /// A tier-promotion pass finished, having moved `promoted`+`demoted`
+    /// files totalling `bytes` across tiers (`skipped` files vanished
+    /// mid-pass, e.g. compacted away).
+    PromotionDone { promoted: u64, demoted: u64, skipped: u64, bytes: u64, dur_ns: u64 },
 }
 
 impl EventKind {
@@ -92,6 +100,8 @@ impl EventKind {
             EventKind::RetryAttempt { .. } => "RetryAttempt",
             EventKind::RetryExhausted { .. } => "RetryExhausted",
             EventKind::BgError { .. } => "BgError",
+            EventKind::PromotionStart { .. } => "PromotionStart",
+            EventKind::PromotionDone { .. } => "PromotionDone",
         }
     }
 
@@ -158,6 +168,15 @@ impl EventKind {
                     ",\"context\":\"{}\",\"error\":\"{}\",\"backoff_ms\":{backoff_ms}",
                     escape(context),
                     escape(error)
+                ));
+            }
+            EventKind::PromotionStart { promote, demote } => {
+                out.push_str(&format!(",\"promote\":{promote},\"demote\":{demote}"));
+            }
+            EventKind::PromotionDone { promoted, demoted, skipped, bytes, dur_ns } => {
+                out.push_str(&format!(
+                    ",\"promoted\":{promoted},\"demoted\":{demoted},\"skipped\":{skipped},\
+                     \"bytes\":{bytes},\"dur_ns\":{dur_ns}"
                 ));
             }
         }
@@ -253,6 +272,17 @@ impl EventKind {
                     .ok_or("BgError missing error")?
                     .to_string(),
                 backoff_ms: u64_field("backoff_ms")?,
+            },
+            "PromotionStart" => EventKind::PromotionStart {
+                promote: u64_field("promote")?,
+                demote: u64_field("demote")?,
+            },
+            "PromotionDone" => EventKind::PromotionDone {
+                promoted: u64_field("promoted")?,
+                demoted: u64_field("demoted")?,
+                skipped: u64_field("skipped")?,
+                bytes: u64_field("bytes")?,
+                dur_ns: u64_field("dur_ns")?,
             },
             other => return Err(format!("unknown event type {other:?}")),
         })
@@ -473,6 +503,14 @@ mod tests {
                 context: "flush".into(),
                 error: "io error: \"disk full\"".into(),
                 backoff_ms: 40,
+            },
+            EventKind::PromotionStart { promote: 3, demote: 2 },
+            EventKind::PromotionDone {
+                promoted: 3,
+                demoted: 2,
+                skipped: 1,
+                bytes: 5 << 20,
+                dur_ns: 9_000_000,
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -555,6 +555,18 @@ impl Residency {
         self.files.lock().iter().map(|(&f, &(_, t))| (f, t)).collect()
     }
 
+    /// Every tracked file as `(file, bytes, tier)`, sorted by file number.
+    /// This is the inventory the tier-promotion pass plans against:
+    /// residency is seeded from the recovered version at open and updated
+    /// on every publish/migration/delete, so it enumerates the live SSTs
+    /// without taking any engine lock.
+    pub fn files(&self) -> Vec<(u64, u64, ResidencyTier)> {
+        let mut out: Vec<(u64, u64, ResidencyTier)> =
+            self.files.lock().iter().map(|(&f, &(b, t))| (f, b, t)).collect();
+        out.sort_by_key(|&(f, _, _)| f);
+        out
+    }
+
     /// Aggregate totals.
     pub fn snapshot(&self, cache_backed_bytes: u64) -> ResidencySnapshot {
         let map = self.files.lock();

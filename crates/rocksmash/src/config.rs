@@ -18,6 +18,40 @@ pub enum CacheKind {
     Baseline,
 }
 
+/// Heat-driven tier promotion: a background pass that pulls the hottest
+/// cloud-resident SSTs back to local storage (and demotes the coldest
+/// local ones when over budget). Requires `observability` — the pass plans
+/// against the heat scores and residency ledger.
+#[derive(Debug, Clone)]
+pub struct PromotionConfig {
+    /// Maximum bytes of SST data the local tier may hold; the heat-aware
+    /// policy keeps the hottest prefix of the score ranking under this.
+    pub local_budget_bytes: u64,
+    /// How often the background promotion pass runs.
+    pub interval: std::time::Duration,
+    /// Minimum decayed heat score a cloud SST needs before a promotion
+    /// download is considered worth it.
+    pub min_score: f64,
+    /// At most this many files move (promotions + demotions) per pass;
+    /// keeps each pass short so it never monopolizes a worker. 0 means
+    /// unlimited.
+    pub max_files_per_pass: usize,
+    /// At most this many bytes move per pass. 0 means unlimited.
+    pub max_bytes_per_pass: u64,
+}
+
+impl Default for PromotionConfig {
+    fn default() -> Self {
+        PromotionConfig {
+            local_budget_bytes: 256 << 20,
+            interval: std::time::Duration::from_secs(10),
+            min_score: 1.0,
+            max_files_per_pass: 8,
+            max_bytes_per_pass: 64 << 20,
+        }
+    }
+}
+
 /// Everything needed to open a [`crate::TieredDb`].
 #[derive(Debug, Clone)]
 pub struct TieredConfig {
@@ -88,6 +122,10 @@ pub struct TieredConfig {
     /// Time-series ring capacity in samples; with the default 1s sample
     /// interval, 360 spans the longest (5m) rate window with headroom.
     pub timeseries_capacity: usize,
+    /// Heat-driven tier promotion. None keeps the static level split with
+    /// no background movement (every baseline scheme); Some installs the
+    /// [`crate::HeatAware`] policy and schedules the promotion pass.
+    pub promotion: Option<PromotionConfig>,
 }
 
 impl TieredConfig {
@@ -116,6 +154,7 @@ impl TieredConfig {
             heat_half_life: std::time::Duration::from_secs(60),
             timeseries_sample_interval: std::time::Duration::from_secs(1),
             timeseries_capacity: obs::DEFAULT_RING_CAPACITY,
+            promotion: None,
         }
     }
 

@@ -15,6 +15,10 @@
 //! 3. **Extended WAL** ([`ewal`], [`recovery`]): writes are logged to a
 //!    partitioned, sequence-stamped eWAL on local storage; recovery decodes
 //!    all partitions in parallel and replays in sequence order.
+//! 4. **Heat-driven promotion** ([`promote`], [`placement`]): decayed
+//!    per-SST heat scores feed a pluggable [`TierPolicy`]; a background
+//!    pass pulls hot cloud-resident tables back to local storage under a
+//!    byte budget, demoting the coldest local tables when over it.
 //!
 //! [`TieredDb`] is the user-facing store; [`baselines`] builds the
 //! comparison schemes (local-only, cloud-only, naive hybrid) on the same
@@ -49,14 +53,16 @@ pub mod config;
 pub mod ewal;
 pub mod migrate;
 pub mod placement;
+pub mod promote;
 pub mod recovery;
 pub mod router;
 pub mod stats;
 pub mod tiered;
 
 pub use baselines::Scheme;
-pub use config::{CacheKind, TieredConfig};
+pub use config::{CacheKind, PromotionConfig, TieredConfig};
 pub use migrate::{migrate_placement, MigrationReport};
-pub use placement::PlacementPolicy;
+pub use placement::{FileState, HeatAware, PlacementPlan, PlacementPolicy, TierPolicy};
+pub use promote::{PromotionPass, PromotionReport};
 pub use stats::{SchemeReport, StatsSource};
 pub use tiered::TieredDb;

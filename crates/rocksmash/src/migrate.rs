@@ -98,7 +98,30 @@ pub fn migrate_placement(db: &TieredDb, new_placement: PlacementPolicy) -> Resul
                                 obs::ResidencyTier::Local,
                             );
                         }
-                        Err(StorageError::NotFound(_)) => report.skipped += 1,
+                        // Transient faults never reach this arm — the
+                        // store's RetryPolicy absorbs them inside `get` —
+                        // so NotFound here is definitive. It is only
+                        // skippable when the file really vanished
+                        // mid-migration (compaction rewrote it); a live
+                        // file whose object is missing is data loss and
+                        // must surface, not count as `skipped`.
+                        Err(StorageError::NotFound(_)) => {
+                            let still_live = db
+                                .engine()
+                                .current_version()
+                                .levels
+                                .iter()
+                                .flatten()
+                                .any(|f| f.number == meta.number);
+                            if still_live {
+                                return Err(StorageError::NotFound(format!(
+                                    "migration: cloud object for live table {} is missing",
+                                    meta.number
+                                ))
+                                .into());
+                            }
+                            report.skipped += 1;
+                        }
                         Err(e) => return Err(e.into()),
                     }
                 }
@@ -227,6 +250,27 @@ mod tests {
         assert_eq!(second.uploaded, 0);
         assert_eq!(second.downloaded, 0);
         assert!(second.already_placed > 0);
+        db.close().unwrap();
+    }
+
+    #[test]
+    fn missing_object_for_live_file_errors_instead_of_skipping() {
+        let db = Scheme::RocksMash.open(Arc::new(MemEnv::new()), tiny()).unwrap();
+        fill(&db);
+        // Pick a live cloud-resident file and delete its object behind the
+        // store's back: the download migration must surface the loss, not
+        // classify the file as harmlessly `skipped`.
+        let version = db.engine().current_version();
+        let victim = version
+            .levels
+            .iter()
+            .flatten()
+            .map(|f| f.number)
+            .find(|&n| !db.local_env().exists(&sst_name(n)).unwrap())
+            .expect("precondition: a cloud-resident live file");
+        db.cloud().delete(&cloud_sst_key(victim)).unwrap();
+        let err = migrate_placement(&db, PlacementPolicy::all_local()).unwrap_err();
+        assert!(err.to_string().contains("missing"), "unexpected error: {err}");
         db.close().unwrap();
     }
 

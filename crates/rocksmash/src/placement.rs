@@ -1,4 +1,18 @@
 //! Tier placement policy: which LSM levels live on which storage tier.
+//!
+//! Two layers:
+//!
+//! - [`PlacementPolicy`] is the static, level-based split (levels
+//!   `0..cloud_from_level` local, deeper levels cloud). It is cheap,
+//!   deterministic, and what every baseline scheme uses.
+//! - [`TierPolicy`] is the pluggable interface on top: given the current
+//!   set of live SSTs with their sizes, tiers, and decayed heat scores, a
+//!   policy decides where fresh flush/compaction outputs land
+//!   ([`TierPolicy::place_new`]) and which already-placed files should be
+//!   promoted or demoted ([`TierPolicy::plan`]). The static policy
+//!   implements it with an empty plan; [`HeatAware`] layers a local-tier
+//!   byte budget and a greedy hottest-first keep set on top of the static
+//!   split, which is what the background promotion pass executes.
 
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +70,162 @@ impl PlacementPolicy {
     }
 }
 
+/// One live SST as seen by a placement policy: identity, size, current
+/// tier, and its decayed heat score (see `obs::heat`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileState {
+    /// Table file number.
+    pub file: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Tier the file currently lives on.
+    pub tier: Tier,
+    /// Decayed access score; 0.0 means never accessed (or fully cooled).
+    pub score: f64,
+}
+
+/// What a policy wants moved. Files appear in execution-priority order:
+/// `promote` hottest-first, `demote` coldest-first, so an incremental
+/// executor that processes a prefix of each list still does the most
+/// valuable work first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Cloud-resident files to pull back to local storage, hottest first.
+    pub promote: Vec<u64>,
+    /// Local files to push to the cloud, coldest first.
+    pub demote: Vec<u64>,
+}
+
+impl PlacementPlan {
+    /// True when the plan moves nothing.
+    pub fn is_empty(&self) -> bool {
+        self.promote.is_empty() && self.demote.is_empty()
+    }
+}
+
+/// Pluggable tier-placement policy.
+///
+/// Implementations must be cheap and pure: `plan` in particular is called
+/// with a snapshot and must not touch storage, so it can be property-tested
+/// deterministically.
+pub trait TierPolicy: Send + Sync {
+    /// Tier for a freshly written table (flush or compaction output) at
+    /// `level` with the given size. `local_bytes` is the current
+    /// local-tier data footprint, for budget-aware policies.
+    fn place_new(&self, level: usize, bytes: u64, local_bytes: u64) -> Tier;
+
+    /// Given the live files, decide which should move. The default policy
+    /// never moves anything after initial placement.
+    fn plan(&self, files: &[FileState]) -> PlacementPlan;
+
+    /// The static level split this policy degrades to (used by migration
+    /// and by code that needs a `PlacementPolicy` for compatibility).
+    fn static_split(&self) -> PlacementPolicy;
+
+    /// Whether this policy can ever place a file on the cloud tier.
+    fn uses_cloud(&self) -> bool {
+        self.static_split().uses_cloud()
+    }
+}
+
+impl TierPolicy for PlacementPolicy {
+    fn place_new(&self, level: usize, _bytes: u64, _local_bytes: u64) -> Tier {
+        self.tier_for_level(level)
+    }
+
+    fn plan(&self, _files: &[FileState]) -> PlacementPlan {
+        PlacementPlan::default()
+    }
+
+    fn static_split(&self) -> PlacementPolicy {
+        *self
+    }
+}
+
+/// Heat-aware placement: keep the hottest SSTs local, subject to a byte
+/// budget; everything else lives on the cloud.
+///
+/// The plan is a greedy prefix-keep over the files sorted by decayed score
+/// (descending, ties broken by file number for determinism): walk the
+/// ranking accumulating bytes, keep every file that still fits the budget,
+/// and stop at the first file that would overflow it. Kept cloud-resident
+/// files whose score clears `min_score` are promoted; local files outside
+/// the kept prefix are demoted. Because the kept set is a prefix of the
+/// score ranking, no demoted file is ever hotter than a kept one — the
+/// greedy-optimality invariant the proptest checks.
+#[derive(Debug, Clone, Copy)]
+pub struct HeatAware {
+    /// Static split used for fresh outputs (heat has no opinion on a file
+    /// that has never been read).
+    pub base: PlacementPolicy,
+    /// Maximum bytes of SST data the local tier may hold.
+    pub local_budget_bytes: u64,
+    /// Minimum decayed score a cloud file needs before promotion is worth
+    /// a whole-SST download.
+    pub min_score: f64,
+}
+
+impl HeatAware {
+    /// Heat-aware policy over the RocksMash default split.
+    pub fn new(local_budget_bytes: u64, min_score: f64) -> Self {
+        HeatAware { base: PlacementPolicy::rocksmash_default(), local_budget_bytes, min_score }
+    }
+}
+
+impl TierPolicy for HeatAware {
+    fn place_new(&self, level: usize, bytes: u64, local_bytes: u64) -> Tier {
+        // Start from the level split, but never let a fresh output blow
+        // the local budget: when local is already full, spill to cloud and
+        // let the next promotion pass sort the ranking out.
+        match self.base.tier_for_level(level) {
+            Tier::Local if local_bytes.saturating_add(bytes) > self.local_budget_bytes => {
+                Tier::Cloud
+            }
+            tier => tier,
+        }
+    }
+
+    fn plan(&self, files: &[FileState]) -> PlacementPlan {
+        let mut ranked: Vec<&FileState> = files.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.file.cmp(&b.file))
+        });
+        let mut plan = PlacementPlan::default();
+        let mut kept_bytes = 0u64;
+        let mut keeping = true;
+        // `demote` collects in hottest-first order while we walk the
+        // ranking; reversed at the end so execution is coldest-first.
+        for f in &ranked {
+            if keeping && kept_bytes.saturating_add(f.bytes) <= self.local_budget_bytes {
+                kept_bytes += f.bytes;
+                if f.tier == Tier::Cloud && f.score >= self.min_score {
+                    plan.promote.push(f.file);
+                }
+            } else {
+                // First overflow ends the kept prefix: a strict prefix of
+                // the ranking is what guarantees greedy optimality.
+                keeping = false;
+                if f.tier == Tier::Local {
+                    plan.demote.push(f.file);
+                }
+            }
+        }
+        plan.demote.reverse();
+        plan
+    }
+
+    fn static_split(&self) -> PlacementPolicy {
+        self.base
+    }
+
+    fn uses_cloud(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +254,73 @@ mod tests {
         let p = PlacementPolicy::all_cloud();
         assert_eq!(p.tier_for_level(0), Tier::Cloud);
         assert!(p.uses_cloud());
+    }
+
+    fn fs(file: u64, bytes: u64, tier: Tier, score: f64) -> FileState {
+        FileState { file, bytes, tier, score }
+    }
+
+    #[test]
+    fn static_policy_plans_nothing() {
+        let p = PlacementPolicy::rocksmash_default();
+        let files = [fs(1, 100, Tier::Cloud, 50.0), fs(2, 100, Tier::Local, 0.0)];
+        assert!(TierPolicy::plan(&p, &files).is_empty());
+        assert_eq!(p.place_new(0, 1 << 30, u64::MAX), Tier::Local);
+    }
+
+    #[test]
+    fn heat_aware_promotes_hot_cloud_files_within_budget() {
+        let p = HeatAware::new(250, 1.0);
+        let files = [
+            fs(1, 100, Tier::Cloud, 90.0),
+            fs(2, 100, Tier::Local, 50.0),
+            fs(3, 100, Tier::Cloud, 10.0),
+            fs(4, 100, Tier::Local, 1.0),
+        ];
+        let plan = p.plan(&files);
+        // Budget fits files 1 and 2 (200 bytes); file 3 would overflow.
+        assert_eq!(plan.promote, vec![1]);
+        // Local files outside the kept prefix, coldest first.
+        assert_eq!(plan.demote, vec![4]);
+    }
+
+    #[test]
+    fn heat_aware_skips_promotions_below_min_score() {
+        let p = HeatAware::new(1000, 5.0);
+        let files = [fs(1, 100, Tier::Cloud, 4.9), fs(2, 100, Tier::Cloud, 5.0)];
+        let plan = p.plan(&files);
+        assert_eq!(plan.promote, vec![2]);
+        assert!(plan.demote.is_empty());
+    }
+
+    #[test]
+    fn heat_aware_never_demotes_hotter_than_kept() {
+        let p = HeatAware::new(300, 0.0);
+        let files = [
+            fs(1, 200, Tier::Local, 10.0),
+            fs(2, 200, Tier::Local, 9.0),
+            fs(3, 200, Tier::Local, 8.0),
+        ];
+        let plan = p.plan(&files);
+        // Only file 1 fits; 2 and 3 are demoted coldest-first.
+        assert_eq!(plan.demote, vec![3, 2]);
+        assert!(plan.promote.is_empty());
+    }
+
+    #[test]
+    fn heat_aware_place_new_respects_budget() {
+        let p = HeatAware::new(1000, 0.0);
+        assert_eq!(p.place_new(0, 100, 0), Tier::Local);
+        assert_eq!(p.place_new(0, 100, 950), Tier::Cloud);
+        assert_eq!(p.place_new(3, 100, 0), Tier::Cloud);
+    }
+
+    #[test]
+    fn ties_break_by_file_number() {
+        let p = HeatAware::new(100, 0.0);
+        let files = [fs(9, 100, Tier::Cloud, 1.0), fs(3, 100, Tier::Cloud, 1.0)];
+        let plan = p.plan(&files);
+        // Equal scores: the lower file number wins the budget slot.
+        assert_eq!(plan.promote, vec![3]);
     }
 }

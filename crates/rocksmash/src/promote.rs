@@ -1,0 +1,228 @@
+//! Background tier promotion: pull hot cloud-resident SSTs back to local
+//! storage, demoting the coldest local SSTs when over the byte budget.
+//!
+//! This is the feedback loop the static level split lacks: a hotspot that
+//! lands on cloud-resident tables pays cloud GET latency on every miss
+//! until compaction happens to rewrite them. The promotion pass closes the
+//! loop using the signals PR 7 built — decayed per-SST heat scores and the
+//! residency ledger in `obs::heat` — and the policy trait in
+//! [`crate::placement`]:
+//!
+//! 1. snapshot the live files (number, bytes, tier, score) from the
+//!    residency ledger intersected with the current version (the ledger
+//!    can transiently carry retired tables awaiting deferred deletion);
+//! 2. ask the router's [`TierPolicy`](crate::TierPolicy) for a
+//!    [`PlacementPlan`](crate::PlacementPlan);
+//! 3. cap the plan to `max_files_per_pass`/`max_bytes_per_pass` (each pass
+//!    stays short; the next pass continues where this one stopped);
+//! 4. execute demotions first (freeing budget), then promotions.
+//!
+//! Move semantics match `migrate.rs`: a demotion uploads then deletes the
+//! local copy; a promotion downloads and installs the local copy but
+//! leaves the cloud object in place for in-flight readers (a local copy is
+//! authoritative; the duplicate is swept on the next open). That makes a
+//! crash anywhere mid-pass safe — reopen re-seeds residency from what
+//! actually exists and sweeps duplicates, so re-running converges. The
+//! `promotion_download` and `promotion_commit` failpoints pin the two
+//! interesting crash windows for the torture suite.
+//!
+//! The pass runs on the engine's background worker pool as the
+//! lowest-priority [`ExternalJob`] (never ahead of a flush or compaction),
+//! or synchronously via [`crate::TieredDb::run_promotion_pass`].
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lsm::version::sst_name;
+use lsm::{BgView, ExternalJob, Result};
+use storage::{Env, ObjectStore, StorageError};
+
+use crate::config::PromotionConfig;
+use crate::placement::{FileState, Tier};
+use crate::router::{cloud_sst_key, TieredRouter};
+
+/// Outcome of one promotion pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PromotionReport {
+    /// Files pulled back from the cloud to local storage.
+    pub promoted: usize,
+    /// Files pushed from local storage to the cloud.
+    pub demoted: usize,
+    /// Planned moves whose file vanished mid-pass (compaction deleted it).
+    pub skipped: usize,
+    /// Total bytes moved across tiers (both directions).
+    pub bytes_moved: u64,
+}
+
+/// The background promotion job: executes the router policy's plan against
+/// the store's tiers. Holds only detached handles (env, router, observer)
+/// — no reference back into the engine — so installing it on the worker
+/// pool cannot create a reference cycle.
+pub struct PromotionPass {
+    env: Arc<dyn Env>,
+    router: Arc<TieredRouter>,
+    observer: Arc<obs::Observer>,
+    config: PromotionConfig,
+}
+
+impl PromotionPass {
+    /// Build a pass over the store's detached handles.
+    pub fn new(
+        env: Arc<dyn Env>,
+        router: Arc<TieredRouter>,
+        observer: Arc<obs::Observer>,
+        config: PromotionConfig,
+    ) -> Self {
+        PromotionPass { env, router, observer, config }
+    }
+
+    /// Execute one bounded pass; returns what moved.
+    pub fn run_pass(&self, view: &BgView<'_>) -> Result<PromotionReport> {
+        let heat = self.observer.heat();
+        // Plan over live tables only: the residency ledger can transiently
+        // carry retired tables whose deferred deletion (and ledger forget)
+        // has not run yet — moving those would resurrect dead files.
+        let live: std::collections::HashSet<u64> =
+            view.current_version().levels.iter().flatten().map(|f| f.number).collect();
+        let files: Vec<FileState> = heat
+            .residency()
+            .files()
+            .into_iter()
+            .filter(|(file, _, _)| live.contains(file))
+            .map(|(file, bytes, tier)| FileState {
+                file,
+                bytes,
+                tier: match tier {
+                    obs::ResidencyTier::Local => Tier::Local,
+                    obs::ResidencyTier::Cloud => Tier::Cloud,
+                },
+                score: heat.score_of(file),
+            })
+            .collect();
+        let plan = self.router.policy().plan(&files);
+        let mut report = PromotionReport::default();
+        if plan.is_empty() {
+            return Ok(report);
+        }
+
+        // Cap the pass. Demotions run first: they free the budget the
+        // promotions are about to consume, so a partially executed pass
+        // never overshoots the local budget.
+        let bytes_of: std::collections::HashMap<u64, u64> =
+            files.iter().map(|f| (f.file, f.bytes)).collect();
+        let mut demote = Vec::new();
+        let mut promote = Vec::new();
+        let mut planned_files = 0usize;
+        let mut planned_bytes = 0u64;
+        let file_cap = self.config.max_files_per_pass;
+        let byte_cap = self.config.max_bytes_per_pass;
+        for (list, out) in [(&plan.demote, &mut demote), (&plan.promote, &mut promote)] {
+            for &file in list {
+                let bytes = bytes_of.get(&file).copied().unwrap_or(0);
+                if file_cap != 0 && planned_files >= file_cap {
+                    break;
+                }
+                if byte_cap != 0 && planned_files > 0 && planned_bytes + bytes > byte_cap {
+                    break;
+                }
+                planned_files += 1;
+                planned_bytes += bytes;
+                out.push(file);
+            }
+        }
+        if demote.is_empty() && promote.is_empty() {
+            return Ok(report);
+        }
+
+        let _span = self.observer.span("promotion");
+        self.observer.event(obs::EventKind::PromotionStart {
+            promote: promote.len() as u64,
+            demote: demote.len() as u64,
+        });
+        let started = Instant::now();
+        let stats = self.router.stats();
+        let cloud = self.router.cloud();
+
+        for file in demote {
+            let name = sst_name(file);
+            let data = match self.env.read_all(&name) {
+                Ok(data) => data,
+                // The file vanished (or already moved) since planning:
+                // compaction owns it now, nothing to demote.
+                Err(StorageError::NotFound(_)) => {
+                    report.skipped += 1;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            cloud.put(&cloud_sst_key(file), &data)?;
+            self.env.delete(&name)?;
+            self.observer.set_residency(file, data.len() as u64, obs::ResidencyTier::Cloud);
+            // Cached open handles still point at the deleted local file;
+            // the next read must re-open through the cloud path.
+            view.evict_table(file);
+            stats.demotions.fetch_add(1, Ordering::Relaxed);
+            stats.promotion_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+            report.demoted += 1;
+            report.bytes_moved += data.len() as u64;
+        }
+
+        for file in promote {
+            let name = sst_name(file);
+            // Crash site: before the download — dying here changes nothing
+            // on either tier.
+            storage::failpoint::fail_point("promotion_download")?;
+            let data = match cloud.get(&cloud_sst_key(file)) {
+                Ok(data) => data,
+                Err(StorageError::NotFound(_)) => {
+                    // Distinguish "compacted away mid-pass" (fine, skip)
+                    // from "live file's object is missing" (data loss —
+                    // surface it, never silently under-promote).
+                    if heat.residency().tier_of(file).is_none() {
+                        report.skipped += 1;
+                        continue;
+                    }
+                    return Err(StorageError::NotFound(format!(
+                        "promotion: cloud object for live table {file} is missing"
+                    ))
+                    .into());
+                }
+                Err(e) => return Err(e.into()),
+            };
+            self.env.write_all(&name, &data)?;
+            // Crash site: the local copy is installed but residency and
+            // the table cache still say cloud. Reopen re-seeds residency
+            // from the local copy and sweeps the cloud duplicate, so
+            // recovery sees exactly one live copy either way.
+            storage::failpoint::fail_point("promotion_commit")?;
+            self.observer.set_residency(file, data.len() as u64, obs::ResidencyTier::Local);
+            // Drop the cached cloud-backed handle: the local copy now
+            // takes priority on the next open.
+            view.evict_table(file);
+            stats.promotions.fetch_add(1, Ordering::Relaxed);
+            stats.promotion_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+            report.promoted += 1;
+            report.bytes_moved += data.len() as u64;
+        }
+
+        self.observer.event(obs::EventKind::PromotionDone {
+            promoted: report.promoted as u64,
+            demoted: report.demoted as u64,
+            skipped: report.skipped as u64,
+            bytes: report.bytes_moved,
+            dur_ns: started.elapsed().as_nanos() as u64,
+        });
+        Ok(report)
+    }
+}
+
+impl ExternalJob for PromotionPass {
+    fn name(&self) -> &str {
+        "promotion"
+    }
+
+    fn run(&self, view: &BgView<'_>) -> Result<()> {
+        self.run_pass(view).map(|_| ())
+    }
+}

@@ -18,7 +18,7 @@ use mashcache::cache::PersistentBlockCache;
 use parking_lot::Mutex;
 use storage::{CloudStore, Env, ObjectStore, RandomAccessFile, Result, StorageError};
 
-use crate::placement::{PlacementPolicy, Tier};
+use crate::placement::{PlacementPolicy, Tier, TierPolicy};
 
 /// Object-store key for a table file.
 pub fn cloud_sst_key(number: u64) -> String {
@@ -36,13 +36,21 @@ pub struct RouterStats {
     pub cache_hits: AtomicU64,
     /// Block reads that had to touch the cloud.
     pub cloud_reads: AtomicU64,
+    /// Hot SSTs pulled back from the cloud to local storage.
+    pub promotions: AtomicU64,
+    /// Cold local SSTs pushed to the cloud by the promotion budget.
+    pub demotions: AtomicU64,
+    /// Bytes moved across tiers by promotion passes (both directions).
+    pub promotion_bytes: AtomicU64,
 }
 
 /// Router implementing level-based tier placement with a persistent cache
 /// in front of the cloud tier.
 pub struct TieredRouter {
     cloud: CloudStore,
-    placement: parking_lot::RwLock<PlacementPolicy>,
+    /// The tier policy in force: a bare [`PlacementPolicy`] for the static
+    /// level split, or [`crate::HeatAware`] when promotion is enabled.
+    policy: parking_lot::RwLock<Arc<dyn TierPolicy>>,
     cache: Option<Arc<dyn PersistentBlockCache>>,
     /// Level each file was placed at (for cache eviction priority).
     levels: Mutex<HashMap<u64, usize>>,
@@ -61,7 +69,7 @@ impl TieredRouter {
     ) -> Self {
         TieredRouter {
             cloud,
-            placement: parking_lot::RwLock::new(placement),
+            policy: parking_lot::RwLock::new(Arc::new(placement)),
             cache,
             levels: Mutex::new(HashMap::new()),
             stats: Arc::new(RouterStats::default()),
@@ -90,14 +98,33 @@ impl TieredRouter {
         &self.cloud
     }
 
-    /// The placement policy currently in force.
+    /// The static level split of the policy currently in force.
     pub fn placement(&self) -> PlacementPolicy {
-        *self.placement.read()
+        self.policy.read().static_split()
     }
 
-    /// Swap the placement policy; governs every future publish/open.
+    /// Swap in a static placement policy; governs every future
+    /// publish/open.
     pub fn set_placement(&self, placement: PlacementPolicy) {
-        *self.placement.write() = placement;
+        self.set_policy(Arc::new(placement));
+    }
+
+    /// The tier policy currently in force.
+    pub fn policy(&self) -> Arc<dyn TierPolicy> {
+        Arc::clone(&self.policy.read())
+    }
+
+    /// Swap the tier policy; governs every future publish/open and the
+    /// plans computed by promotion passes.
+    pub fn set_policy(&self, policy: Arc<dyn TierPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Local-tier SST bytes as tracked by the residency ledger; 0 until an
+    /// enabled observer is attached (budget-aware placement then degrades
+    /// to the static split).
+    pub fn local_resident_bytes(&self) -> u64 {
+        self.observer.get().map(|o| o.heat().residency().snapshot(0).local_bytes).unwrap_or(0)
     }
 
     /// Delete cloud objects left behind by a previous incarnation: objects
@@ -128,10 +155,11 @@ impl TieredRouter {
 impl FileRouter for TieredRouter {
     fn publish_table(&self, env: &dyn Env, number: u64, level: usize) -> Result<()> {
         self.levels.lock().insert(number, level);
-        match self.placement.read().tier_for_level(level) {
+        let bytes = env.size(&sst_name(number)).unwrap_or(0);
+        let tier = self.policy.read().place_new(level, bytes, self.local_resident_bytes());
+        match tier {
             Tier::Local => {
                 if let Some(o) = self.observer.get() {
-                    let bytes = env.size(&sst_name(number)).unwrap_or(0);
                     o.set_residency(number, bytes, obs::ResidencyTier::Local);
                 }
                 Ok(())
@@ -177,7 +205,7 @@ impl FileRouter for TieredRouter {
             .lock()
             .get(&number)
             .copied()
-            .unwrap_or(self.placement.read().cloud_from_level);
+            .unwrap_or(self.policy.read().static_split().cloud_from_level);
         Ok(Arc::new(CachedCloudFile {
             file: number,
             level,

@@ -69,6 +69,15 @@ pub struct SchemeReport {
     pub cloud_bytes: u64,
     /// SSTables uploaded to the cloud.
     pub uploads: u64,
+    /// Hot SSTs pulled back from the cloud tier by promotion passes.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Cold local SSTs pushed to the cloud by the promotion budget.
+    #[serde(default)]
+    pub demotions: u64,
+    /// Bytes moved across tiers by promotion passes (both directions).
+    #[serde(default)]
+    pub promotion_bytes: u64,
     /// Persistent cache counters, when a cache is configured.
     pub cache: Option<CacheStats>,
     /// Persistent cache metadata footprint in bytes.
@@ -203,6 +212,9 @@ impl SchemeReport {
             local_bytes,
             cloud_bytes,
             uploads: router.stats().uploads.load(Ordering::Relaxed),
+            promotions: router.stats().promotions.load(Ordering::Relaxed),
+            demotions: router.stats().demotions.load(Ordering::Relaxed),
+            promotion_bytes: router.stats().promotion_bytes.load(Ordering::Relaxed),
             cache,
             cache_metadata_bytes,
             prefetch_issued,
@@ -288,11 +300,15 @@ impl SchemeReport {
         );
         let _ = write!(
             out,
-            ",\"local_bytes\":{},\"cloud_bytes\":{},\"local_fraction\":{},\"uploads\":{}",
+            ",\"local_bytes\":{},\"cloud_bytes\":{},\"local_fraction\":{},\"uploads\":{},\
+             \"promotions\":{},\"demotions\":{},\"promotion_bytes\":{}",
             self.local_bytes,
             self.cloud_bytes,
             fmt_f64(self.local_fraction()),
             self.uploads,
+            self.promotions,
+            self.demotions,
+            self.promotion_bytes,
         );
         match &self.cache {
             Some(c) => {
@@ -369,6 +385,9 @@ impl SchemeReport {
             .counter("cloud_coalesced_gets", self.coalesced_gets)
             .counter("cloud_requests_saved", self.requests_saved)
             .counter("uploads", self.uploads)
+            .counter("promotions", self.promotions)
+            .counter("demotions", self.demotions)
+            .counter("promotion_bytes", self.promotion_bytes)
             .counter("prefetch_issued", self.prefetch_issued)
             .counter("prefetch_useful", self.prefetch_useful)
             .counter("retry_attempts", self.retry_attempts)

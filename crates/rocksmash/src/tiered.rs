@@ -132,6 +132,10 @@ pub struct TieredDb {
     /// When this store was opened — the origin of the heat decay clock.
     opened_at: Instant,
     sampler: Option<Sampler>,
+    /// The promotion pass, when [`TieredConfig::promotion`] is set. Also
+    /// registered on the engine's worker pool; this handle serves
+    /// [`TieredDb::run_promotion_pass`].
+    promotion: Option<Arc<crate::promote::PromotionPass>>,
     /// The `/metrics` HTTP exporter, when [`TieredConfig::metrics_listen`]
     /// is set. Taken (and thereby shut down) on close.
     metrics_server: Mutex<Option<obs::MetricsServer>>,
@@ -218,6 +222,22 @@ impl TieredDb {
         }
         let router = Arc::new(TieredRouter::new(cloud.clone(), config.placement, cache));
         router.attach_observer(Arc::clone(&observer));
+        if let Some(promotion) = &config.promotion {
+            if !config.observability {
+                return Err(lsm::Error::InvalidArgument(
+                    "promotion requires observability: the pass plans against heat scores \
+                     and the residency ledger"
+                        .into(),
+                ));
+            }
+            // Installed before the engine opens so recovery-time flushes
+            // and compaction outputs already ask the heat-aware policy.
+            router.set_policy(Arc::new(crate::placement::HeatAware {
+                base: config.placement,
+                local_budget_bytes: promotion.local_budget_bytes,
+                min_score: promotion.min_score,
+            }));
+        }
         let mut engine_options = config.engine_options();
         engine_options.observer = Some(Arc::clone(&observer));
         let db = Db::open_with_router(
@@ -401,6 +421,21 @@ impl TieredDb {
             None => None,
         };
 
+        // Schedule the promotion pass on the engine's worker pool (lowest
+        // priority: never ahead of a flush or compaction). The job holds
+        // only detached handles, so this creates no reference cycle.
+        let promotion = config.promotion.as_ref().map(|p| {
+            Arc::new(crate::promote::PromotionPass::new(
+                Arc::clone(&env),
+                Arc::clone(&router),
+                Arc::clone(&observer),
+                p.clone(),
+            ))
+        });
+        if let (Some(pass), Some(p)) = (&promotion, &config.promotion) {
+            db.set_external_job(p.interval, Arc::clone(pass) as Arc<dyn lsm::ExternalJob>);
+        }
+
         Ok(TieredDb {
             db,
             env,
@@ -414,6 +449,7 @@ impl TieredDb {
             timeseries,
             opened_at,
             sampler,
+            promotion,
             metrics_server: Mutex::new(metrics_server),
         })
     }
@@ -727,6 +763,17 @@ impl TieredDb {
     /// Aggregate scheme report: engine, tiers, cache, cost.
     pub fn report(&self) -> Result<SchemeReport> {
         SchemeReport::collect(self)
+    }
+
+    /// Run one tier-promotion pass synchronously on the caller's thread
+    /// and return what moved. The same pass also runs periodically on the
+    /// engine's background pool at [`crate::PromotionConfig::interval`].
+    /// Errors unless [`TieredConfig::promotion`] is configured.
+    pub fn run_promotion_pass(&self) -> Result<crate::promote::PromotionReport> {
+        match &self.promotion {
+            Some(pass) => pass.run_pass(&self.db.bg_view()),
+            None => Err(lsm::Error::InvalidArgument("promotion is not configured".into())),
+        }
     }
 
     /// Detached stats-collection handles — the sampler/exporter's view of

@@ -19,6 +19,25 @@ pub enum KeyDistribution {
         /// Skew of the recency preference.
         theta: f64,
     },
+    /// Zipfian WITHOUT scrambling, offset so the hot ranks form one
+    /// contiguous run starting at `start * n` (wrapping). Unlike
+    /// [`KeyDistribution::Zipfian`], whose scrambling spreads the popular
+    /// keys across every SSTable, this concentrates the hot set in a few
+    /// adjacent tables — the shape that exercises SST-granular tiering
+    /// (heat-driven promotion), and whose `start` can be moved between
+    /// phases to model a hotspot shift.
+    ZipfCluster {
+        /// Skew parameter; higher is more skewed. Must be in (0, 1).
+        theta: f64,
+        /// Hotspot position as a fraction of the keyspace, in [0, 1).
+        start: f64,
+        /// Fraction of the keyspace the cluster covers, in (0, 1]. Every
+        /// draw lands within `span * n` keys of the origin, so a tiered
+        /// store can serve the whole phase locally once that window is
+        /// resident — the unbounded Zipf tail would otherwise drag the
+        /// p99 read across the entire keyspace.
+        span: f64,
+    },
     /// 0, 1, 2, ... in order, wrapping.
     Sequential,
 }
@@ -34,6 +53,11 @@ impl KeyDistribution {
         let zipf = match self {
             KeyDistribution::Zipfian { theta } | KeyDistribution::Latest { theta } => {
                 Some(ZipfianGenerator::new(n, theta))
+            }
+            // Ranks are drawn over the window, not the full keyspace, so
+            // the cluster's probability mass is entirely inside it.
+            KeyDistribution::ZipfCluster { theta, span, .. } => {
+                Some(ZipfianGenerator::new(cluster_window(n, span), theta))
             }
             _ => None,
         };
@@ -66,6 +90,16 @@ impl KeySampler {
                 // Rank 0 = newest record.
                 self.n.saturating_sub(1).saturating_sub(rank % self.n.max(1))
             }
+            KeyDistribution::ZipfCluster { start, .. } => {
+                // The generator was built over the window, so rank < span*n.
+                let rank = self.zipf.as_mut().expect("zipf").next(&mut self.rng);
+                let n = self.n.max(1);
+                // No scramble: rank r maps to the key r slots past the
+                // hotspot origin, so popularity decays with key distance
+                // and the hot run sits wherever `start` points.
+                let origin = ((start.clamp(0.0, 1.0) * n as f64) as u64).min(n - 1);
+                (origin + rank) % n
+            }
             KeyDistribution::Sequential => {
                 let k = self.next_seq % self.n.max(1);
                 self.next_seq += 1;
@@ -88,6 +122,11 @@ impl KeySampler {
     pub fn n(&self) -> u64 {
         self.n
     }
+}
+
+/// Size of a [`KeyDistribution::ZipfCluster`] window over `n` keys.
+fn cluster_window(n: u64, span: f64) -> u64 {
+    ((span.clamp(0.0, 1.0) * n.max(1) as f64).ceil() as u64).clamp(1, n.max(1))
 }
 
 fn fnv_scramble(v: u64) -> u64 {
@@ -243,6 +282,49 @@ mod tests {
         let hottest = by_count[0].1;
         let second = by_count[1].1;
         assert!(hottest.abs_diff(second) > 1, "hot keys clustered: {hottest} {second}");
+    }
+
+    #[test]
+    fn zipf_cluster_concentrates_around_its_origin() {
+        let n = 10_000u64;
+        let mut s =
+            KeyDistribution::ZipfCluster { theta: 0.9, start: 0.5, span: 1.0 }.sampler(n, rng());
+        let mut in_run = 0;
+        for _ in 0..20_000 {
+            let k = s.next_key();
+            // Hot run: the 5% of the keyspace just past the origin.
+            if (5_000..5_500).contains(&k) {
+                in_run += 1;
+            }
+        }
+        assert!(in_run as f64 / 20_000.0 > 0.5, "hot run share too small: {in_run}");
+    }
+
+    #[test]
+    fn moving_the_cluster_moves_the_hot_keys() {
+        let n = 10_000u64;
+        let hottest = |start: f64| {
+            let mut s =
+                KeyDistribution::ZipfCluster { theta: 0.99, start, span: 1.0 }.sampler(n, rng());
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..20_000 {
+                *counts.entry(s.next_key()).or_insert(0u64) += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_eq!(hottest(0.0), 0);
+        assert_eq!(hottest(0.5), 5_000);
+    }
+
+    #[test]
+    fn span_confines_the_cluster() {
+        let n = 10_000u64;
+        let mut s =
+            KeyDistribution::ZipfCluster { theta: 0.9, start: 0.1, span: 0.25 }.sampler(n, rng());
+        for _ in 0..20_000 {
+            let k = s.next_key();
+            assert!((1_000..3_500).contains(&k), "key {k} escaped the [1000, 3500) window");
+        }
     }
 
     #[test]

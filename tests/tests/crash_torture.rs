@@ -28,7 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rocksmash::{migrate_placement, PlacementPolicy, TieredConfig, TieredDb};
 use storage::failpoint::{self, FailAction};
-use storage::{CloudConfig, CloudStore, Env, MemEnv, RetryPolicy};
+use storage::{CloudConfig, CloudStore, Env, MemEnv, ObjectStore, RetryPolicy};
 
 /// Serializes every test in this binary: failpoints are process-global.
 static FAILPOINTS: Mutex<()> = Mutex::new(());
@@ -386,6 +386,113 @@ fn crashed_migration_resumes_to_completion() {
         assert!(db.get(&key(i)).unwrap().is_some(), "key {i} lost after download resume");
     }
     db.close().unwrap();
+}
+
+// ---- promotion sites: a crashed promotion pass is harmless ------------
+
+/// Kill a heat-driven promotion pass mid-flight at `site`, crash the
+/// store, and require recovery to (a) preserve every acknowledged write,
+/// (b) leave exactly one live copy per SST after the reopen sweep, and
+/// (c) let a re-run of the pass converge to full promotion.
+fn promotion_site(site: &str) {
+    let _g = lock();
+    let env = Arc::new(MemEnv::new());
+    let cloud = CloudStore::instant();
+    // All-cloud base placement: every settled table is a promotion
+    // candidate once heated, so the crash budget always has files to hit.
+    let config = TieredConfig {
+        promotion: Some(rocksmash::PromotionConfig {
+            local_budget_bytes: 4 << 20,
+            interval: std::time::Duration::from_secs(3600),
+            // Zero threshold: this harness tests crash safety of the move,
+            // not heat selection, and must not flake when wall-clock decay
+            // cools the tables under a loaded test runner.
+            min_score: 0.0,
+            max_files_per_pass: 0,
+            max_bytes_per_pass: 0,
+        }),
+        ..torture_config(PlacementPolicy::all_cloud(), 4 << 20)
+    };
+    let mut rng = StdRng::seed_from_u64(torture_seed() ^ fxhash(site));
+    let mut shadow: Shadow = BTreeMap::new();
+    let mut step = 0u64;
+    {
+        let db =
+            TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config.clone())
+                .unwrap();
+        for _ in 0..900 {
+            step += 1;
+            let k = key(rng.gen_range(0..KEYS));
+            let v = value(step);
+            db.put(&k, &v).unwrap();
+            shadow.insert(k, v);
+        }
+        db.flush().unwrap();
+        db.wait_for_compactions().unwrap();
+        // Touch every table so reads exercise the cloud path pre-crash.
+        for i in 0..KEYS {
+            let _ = db.get(&key(i)).unwrap();
+        }
+        // Die two files into the promotion sweep, then crash the store.
+        failpoint::arm(site, FailAction::CrashAfter(2));
+        assert!(db.run_promotion_pass().is_err(), "site {site} must surface the failure");
+        assert!(failpoint::triggered(site), "site {site} armed but never injected");
+        failpoint::disarm_all();
+        let _ = db.engine().close();
+    }
+
+    let db = TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), config).unwrap();
+    // No acknowledged write may be lost to a crashed promotion.
+    verify_against_shadow(&db, &shadow, &None, site);
+    // The reopen sweep leaves exactly one live copy per SST: either the
+    // installed local file (cloud duplicate swept) or the cloud object.
+    let objects: std::collections::BTreeSet<u64> = cloud
+        .list("sst/")
+        .unwrap()
+        .into_iter()
+        .filter_map(|k| k.strip_prefix("sst/")?.strip_suffix(".sst")?.parse().ok())
+        .collect();
+    let version = db.engine().current_version();
+    for meta in version.levels.iter().flatten() {
+        let local = db.local_env().exists(&lsm::version::sst_name(meta.number)).unwrap();
+        assert!(
+            local != objects.contains(&meta.number),
+            "site {site}: file {} has {} live copies after recovery",
+            meta.number,
+            if local { 2 } else { 0 },
+        );
+    }
+    // Re-running the pass converges: with a zero score threshold every
+    // cloud-resident table qualifies, so settling must end all-local.
+    for i in 0..KEYS {
+        let _ = db.get(&key(i)).unwrap();
+    }
+    for _ in 0..32 {
+        let report = db.run_promotion_pass().unwrap();
+        if report.promoted == 0 && report.demoted == 0 {
+            break;
+        }
+    }
+    let version = db.engine().current_version();
+    for meta in version.levels.iter().flatten() {
+        assert!(
+            db.local_env().exists(&lsm::version::sst_name(meta.number)).unwrap(),
+            "site {site}: file {} not local after resumed promotion",
+            meta.number
+        );
+    }
+    verify_against_shadow(&db, &shadow, &None, site);
+    db.close().unwrap();
+}
+
+#[test]
+fn crash_at_promotion_download() {
+    promotion_site("promotion_download");
+}
+
+#[test]
+fn crash_at_promotion_commit() {
+    promotion_site("promotion_commit");
 }
 
 // ---- retry integration: a flaky cloud is invisible to users -----------

@@ -1,0 +1,295 @@
+//! Heat-driven tier promotion: deterministic placement harness.
+//!
+//! A seeded clustered-Zipf workload heats one contiguous quarter of the
+//! keyspace; the promotion pass must pull exactly that hot SST range back
+//! to local storage (within the byte budget) and leave the cold bulk on
+//! the cloud tier. The suite checks:
+//!
+//! * the residency ledger ends with hot bytes local / cold bytes cloud,
+//!   never exceeding the budget, and hot-window reads stop paying cloud
+//!   GETs entirely;
+//! * promotion counters and journal events surface through `SchemeReport`;
+//! * promotions are idempotent across a clean reopen — re-warming the same
+//!   hotspot plans zero moves;
+//! * (property) for random heat tables and budgets, the [`HeatAware`]
+//!   plan never exceeds the local budget and never demotes an SST hotter
+//!   than one it keeps.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rocksmash::placement::Tier;
+use rocksmash::{
+    CacheKind, FileState, HeatAware, PlacementPolicy, PromotionConfig, TierPolicy, TieredConfig,
+    TieredDb,
+};
+use storage::{CloudStore, Env, MemEnv};
+use workloads::keys::user_key;
+use workloads::microbench::{fillrandom, readrandom};
+use workloads::{run_ops, KeyDistribution};
+
+const N: u64 = 2_000;
+const VALUE: usize = 64;
+/// Hot window: the first quarter of the keyspace.
+const HOT: KeyDistribution = KeyDistribution::ZipfCluster { theta: 0.9, start: 0.0, span: 0.25 };
+
+/// Small files so the tree settles into ~20 SSTs; budget sized to hold the
+/// hot quarter (plus the static-local upper levels) but not the whole set.
+const BUDGET: u64 = 96 << 10;
+
+fn promo_config() -> TieredConfig {
+    TieredConfig {
+        options: lsm::Options {
+            write_buffer_size: 8 << 10,
+            target_file_size: 8 << 10,
+            max_bytes_for_level_base: 16 << 10,
+            l0_compaction_trigger: 2,
+            ..lsm::Options::small_for_tests()
+        },
+        // No persistent cache: residency alone must explain where reads go.
+        cache: CacheKind::None,
+        promotion: Some(PromotionConfig {
+            local_budget_bytes: BUDGET,
+            // Passes are driven explicitly; the background interval never
+            // fires within a test run.
+            interval: Duration::from_secs(3600),
+            min_score: 1.0,
+            max_files_per_pass: 0,
+            max_bytes_per_pass: 0,
+        }),
+        ..TieredConfig::small_for_tests()
+    }
+}
+
+fn open(env: &Arc<MemEnv>, cloud: &CloudStore) -> TieredDb {
+    TieredDb::open_with_cloud(env.clone() as Arc<dyn Env>, cloud.clone(), promo_config()).unwrap()
+}
+
+fn load(db: &TieredDb) {
+    run_ops(db, fillrandom(N, VALUE, 0x5eed)).unwrap();
+    db.flush().unwrap();
+    db.wait_for_compactions().unwrap();
+}
+
+fn warm(db: &TieredDb, seed: u64) {
+    run_ops(db, readrandom(N, 4_000, HOT, seed)).unwrap();
+}
+
+/// Drive promotion passes until one moves nothing; returns total
+/// (promoted, demoted).
+fn settle(db: &TieredDb) -> (usize, usize) {
+    let (mut promoted, mut demoted) = (0, 0);
+    for _ in 0..32 {
+        let report = db.run_promotion_pass().unwrap();
+        promoted += report.promoted;
+        demoted += report.demoted;
+        if report.promoted == 0 && report.demoted == 0 {
+            return (promoted, demoted);
+        }
+    }
+    panic!("promotion never settled within 32 passes");
+}
+
+/// Live files from the residency ledger as (file, bytes, tier, score).
+/// Intersected with the current version: the ledger may transiently hold
+/// retired tables whose deferred deletion has not run yet.
+fn ledger(db: &TieredDb) -> Vec<(u64, u64, obs::ResidencyTier, f64)> {
+    let live: BTreeSet<u64> =
+        db.engine().current_version().levels.iter().flatten().map(|m| m.number).collect();
+    let heat = db.observer().heat();
+    heat.residency()
+        .files()
+        .into_iter()
+        .filter(|(file, _, _)| live.contains(file))
+        .map(|(file, bytes, tier)| (file, bytes, tier, heat.score_of(file)))
+        .collect()
+}
+
+#[test]
+fn zipf_hotspot_is_pulled_local_within_budget() {
+    let env = Arc::new(MemEnv::new());
+    let cloud = CloudStore::instant();
+    let db = open(&env, &cloud);
+    load(&db);
+    warm(&db, 7);
+
+    let (promoted, demoted) = settle(&db);
+    assert!(promoted > 0, "a heated cloud range must trigger promotions");
+
+    // The ledger respects the budget and keeps cold bytes on the cloud.
+    let files = ledger(&db);
+    let local_bytes: u64 =
+        files.iter().filter(|f| f.2 == obs::ResidencyTier::Local).map(|f| f.1).sum();
+    assert!(local_bytes <= BUDGET, "local {local_bytes} bytes exceed the {BUDGET} budget");
+    assert!(
+        files.iter().any(|f| f.2 == obs::ResidencyTier::Cloud),
+        "the cold bulk must stay cloud-resident"
+    );
+    // Greedy fixpoint: no promotable cloud file is hotter than any local
+    // file (else the settled plan would still have work to do).
+    let min_local = files
+        .iter()
+        .filter(|f| f.2 == obs::ResidencyTier::Local)
+        .map(|f| f.3)
+        .fold(f64::MAX, f64::min);
+    for (file, _, tier, score) in &files {
+        if *tier == obs::ResidencyTier::Cloud && *score >= 1.0 {
+            assert!(
+                *score <= min_local,
+                "cloud file {file} (score {score}) hotter than the coldest local ({min_local})"
+            );
+        }
+    }
+
+    // Hot-window reads are now served entirely from the local tier.
+    let gets_before = db.cloud().cost_tracker().gets();
+    run_ops(&db, readrandom(N, 1_000, HOT, 21)).unwrap();
+    assert_eq!(
+        db.cloud().cost_tracker().gets(),
+        gets_before,
+        "promoted hot range must not pay cloud GETs"
+    );
+
+    // Counters and journal events ride the report surface.
+    let report = db.report().unwrap();
+    assert_eq!(report.promotions as usize, promoted);
+    assert_eq!(report.demotions as usize, demoted);
+    assert!(report.promotion_bytes > 0);
+    let json = report.to_json();
+    for field in ["\"promotions\":", "\"demotions\":", "\"promotion_bytes\":"] {
+        assert!(json.contains(field), "stats JSON missing {field}: {json}");
+    }
+    let events = db.observer().journal().events();
+    assert!(events.iter().any(|e| matches!(e.kind, obs::EventKind::PromotionStart { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, obs::EventKind::PromotionDone { promoted, .. } if promoted > 0)));
+
+    // All data still readable through the re-placed tree.
+    for i in (0..N).step_by(41) {
+        assert!(db.get(&user_key(i)).unwrap().is_some(), "key {i} lost after promotion");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn promotions_are_idempotent_across_reopen() {
+    let env = Arc::new(MemEnv::new());
+    let cloud = CloudStore::instant();
+    let before: BTreeSet<u64> = {
+        let db = open(&env, &cloud);
+        load(&db);
+        warm(&db, 7);
+        settle(&db);
+        // A settled store plans nothing more.
+        assert_eq!(db.run_promotion_pass().unwrap(), Default::default());
+        let local = ledger(&db)
+            .into_iter()
+            .filter(|f| f.2 == obs::ResidencyTier::Local)
+            .map(|f| f.0)
+            .collect();
+        db.close().unwrap();
+        local
+    };
+
+    // Reopen re-seeds residency from what exists on disk; re-warming the
+    // same hotspot must find the hot set already placed and move nothing.
+    let db = open(&env, &cloud);
+    warm(&db, 7);
+    let first = db.run_promotion_pass().unwrap();
+    assert_eq!(first.promoted, 0, "reopen re-promoted an already-local file: {first:?}");
+    assert_eq!(first.demoted, 0, "reopen churned placements: {first:?}");
+    let after: BTreeSet<u64> =
+        ledger(&db).into_iter().filter(|f| f.2 == obs::ResidencyTier::Local).map(|f| f.0).collect();
+    assert_eq!(before, after, "local file set changed across reopen");
+    for i in (0..N).step_by(37) {
+        assert!(db.get(&user_key(i)).unwrap().is_some(), "key {i} lost across reopen");
+    }
+    db.close().unwrap();
+}
+
+#[test]
+fn promotion_requires_observability() {
+    let config = TieredConfig { observability: false, ..promo_config() };
+    match TieredDb::open_with_cloud(
+        Arc::new(MemEnv::new()) as Arc<dyn Env>,
+        CloudStore::instant(),
+        config,
+    ) {
+        Ok(_) => panic!("promotion without observability must be rejected"),
+        Err(err) => {
+            assert!(err.to_string().contains("observability"), "unexpected error: {err}")
+        }
+    }
+}
+
+// ---- property: the HeatAware plan is budget-safe and greedy-optimal ----
+
+proptest! {
+    #[test]
+    fn heat_aware_plan_respects_budget_and_never_demotes_hotter(
+        raw in proptest::collection::vec((1u64..4096, any::<bool>(), 0u32..10_000), 0..32),
+        budget in 0u64..65_536,
+        min_score_tenths in 0u32..50,
+    ) {
+        // Distinct file numbers; scores in tenths so ties occur too.
+        let files: Vec<FileState> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bytes, local, score))| FileState {
+                file: i as u64 + 1,
+                bytes,
+                tier: if local { Tier::Local } else { Tier::Cloud },
+                score: score as f64 / 10.0,
+            })
+            .collect();
+        let policy = HeatAware {
+            base: PlacementPolicy::rocksmash_default(),
+            local_budget_bytes: budget,
+            min_score: min_score_tenths as f64 / 10.0,
+        };
+        let plan = policy.plan(&files);
+        let by_file: HashMap<u64, &FileState> = files.iter().map(|f| (f.file, f)).collect();
+
+        // Structural sanity: promote only hot-enough cloud files, demote
+        // only local files, and never both for the same file.
+        for file in &plan.promote {
+            let f = by_file[file];
+            prop_assert_eq!(f.tier, Tier::Cloud);
+            prop_assert!(f.score >= policy.min_score);
+        }
+        for file in &plan.demote {
+            prop_assert_eq!(by_file[file].tier, Tier::Local);
+        }
+        let demoted: BTreeSet<u64> = plan.demote.iter().copied().collect();
+        prop_assert!(plan.promote.iter().all(|f| !demoted.contains(f)));
+
+        // Executing the plan never leaves the local tier over budget.
+        let promoted: BTreeSet<u64> = plan.promote.iter().copied().collect();
+        let final_local: Vec<&FileState> = files
+            .iter()
+            .filter(|f| {
+                (f.tier == Tier::Local && !demoted.contains(&f.file)) || promoted.contains(&f.file)
+            })
+            .collect();
+        let local_bytes: u64 = final_local.iter().map(|f| f.bytes).sum();
+        prop_assert!(
+            local_bytes <= budget,
+            "plan leaves {} local bytes over the {} budget", local_bytes, budget
+        );
+
+        // Greedy optimality: no demoted file is hotter than any kept one.
+        for file in &plan.demote {
+            let d = by_file[file];
+            for k in &final_local {
+                prop_assert!(
+                    d.score <= k.score,
+                    "demoted {} (score {}) is hotter than kept {} (score {})",
+                    d.file, d.score, k.file, k.score
+                );
+            }
+        }
+    }
+}
