@@ -75,7 +75,7 @@ fn bench_fillrandom_writer_scaling(c: &mut Criterion) {
         db.flush().expect("flush");
         db.wait_for_compactions().expect("settle");
         let report = db.report().expect("report");
-        bench::emit_scheme_report("write_scaling", &format!("threads={threads}"), &report);
+        bench::emit_scheme_report("write_scaling", &format!("threads={threads}"), &report, &[]);
         db.close().expect("close");
     }
     g.finish();

@@ -65,7 +65,7 @@ fn bench_write_throughput_under_compaction(c: &mut Criterion) {
         db.flush().expect("flush");
         db.wait_for_compactions().expect("settle");
         let report = db.report().expect("report");
-        bench::emit_scheme_report("write_stall", &format!("jobs={jobs}"), &report);
+        bench::emit_scheme_report("write_stall", &format!("jobs={jobs}"), &report, &[]);
         db.close().expect("close");
     }
     g.finish();

@@ -67,7 +67,7 @@ pub fn run(params: &ExpParams) {
         let result = run_ops(&db, spec.run_ops(params.op_count, 42)).expect("run");
         let report = db.report().expect("report");
         let hit = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
-        crate::emit_scheme_report("E9-ablation", label, &report);
+        crate::emit_scheme_report("E9-ablation", label, &report, &[]);
         rows.push(Row::new(
             label,
             vec![

@@ -46,7 +46,7 @@ pub fn run(params: &ExpParams) {
             let report = db.report().expect("report");
             let hit_ratio = report.cache.map(|c| c.hit_ratio()).unwrap_or(0.0);
             let label = format!("{}/{}KiB", scheme.name(), cache_bytes >> 10);
-            crate::emit_scheme_report("E3-cache-size", &label, &report);
+            crate::emit_scheme_report("E3-cache-size", &label, &report, &[]);
             rows.push(Row::new(
                 label,
                 vec![

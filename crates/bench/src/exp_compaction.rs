@@ -56,7 +56,7 @@ pub fn run(params: &ExpParams) {
             CacheKind::Baseline => "conventional",
             CacheKind::None => unreachable!(),
         };
-        crate::emit_scheme_report("E8-compaction", label, &report);
+        crate::emit_scheme_report("E8-compaction", label, &report, &[]);
         rows.push(Row::new(
             label,
             vec![

@@ -68,6 +68,7 @@ pub fn run(params: &ExpParams) {
             "E12-compression",
             if compression { "compressed" } else { "raw" },
             &report,
+            &[],
         );
         rows.push(Row::new(
             if compression { "compressed" } else { "raw" },

@@ -25,7 +25,7 @@ pub fn run(params: &ExpParams) {
         let result =
             run_ops(&db, readrandom(params.record_count, params.op_count, dist, 22)).expect("run");
         let report = db.report().expect("report");
-        crate::emit_scheme_report("E7-cost", scheme.name(), &report);
+        crate::emit_scheme_report("E7-cost", scheme.name(), &report, &[]);
         // The two independent cost dimensions of the paper's argument,
         // normalized so they are scale-free:
         //  * capacity price per GiB-month, blending the tiers by where the
@@ -38,12 +38,18 @@ pub fn run(params: &ExpParams) {
         // Both warm + measured phases issued cloud requests; bill per op.
         let billed_ops = 2 * params.op_count;
         let request_per_mops = request_cost / billed_ops as f64 * 1e6;
+        // Amplification multiplies the dollar columns: every extra write
+        // byte is a PUT, every extra sorted run a GET probe.
+        let (w_amp, space_amp) =
+            report.levels.as_ref().map(|l| (l.write_amp(), l.space_amp())).unwrap_or((0.0, 0.0));
         rows.push(Row::new(
             scheme.name(),
             vec![
                 format!("{:.1}", report.local_bytes as f64 / (1 << 20) as f64),
                 format!("{:.1}", report.cloud_bytes as f64 / (1 << 20) as f64),
                 format!("{:.2}", report.local_fraction() * 100.0),
+                format!("{:.2}", w_amp),
+                format!("{:.2}", space_amp),
                 format!("{:.4}", capacity_per_gib),
                 format!("{:.3}", request_per_mops),
                 kops(result.throughput()),
@@ -54,7 +60,16 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E7-cost",
         "storage cost dimensions and read performance by scheme",
-        &["local MiB", "cloud MiB", "local %", "capacity $/GiB-mo", "req $/Mops", "read kops/s"],
+        &[
+            "local MiB",
+            "cloud MiB",
+            "local %",
+            "w-amp",
+            "space-amp",
+            "capacity $/GiB-mo",
+            "req $/Mops",
+            "read kops/s",
+        ],
         &rows,
     );
 }

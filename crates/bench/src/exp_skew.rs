@@ -43,7 +43,7 @@ pub fn run(params: &ExpParams) {
             .and_then(|h| h.entries.first())
             .map(|e| (e.file.to_string(), e.tier.clone().unwrap_or_else(|| "?".into()), e.score))
             .unwrap_or_else(|| ("-".into(), "-".into(), 0.0));
-        crate::emit_scheme_report_with("E4-skew", &label, &report, &[("read_p99_us", read_p99_us)]);
+        crate::emit_scheme_report("E4-skew", &label, &report, &[("read_p99_us", read_p99_us)]);
         rows.push(Row::new(
             label,
             vec![
@@ -144,7 +144,7 @@ fn run_hotspot_shift(params: &ExpParams) {
             .expect("post-shift");
         let post_p99_us = post.overall_latency().percentile_ns(0.99) as f64 / 1000.0;
         let report = db.report().expect("report");
-        crate::emit_scheme_report_with(
+        crate::emit_scheme_report(
             "E4-skew",
             &format!("shift-{label}"),
             &report,

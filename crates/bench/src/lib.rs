@@ -254,13 +254,14 @@ pub fn emit_table(experiment: &str, title: &str, headers: &[&str], rows: &[Row])
 /// Persist a full [`rocksmash::SchemeReport`] for one experiment point as
 /// a JSON line under `results/BENCH_<experiment>.json`, so figure scripts
 /// get every counter — not just the columns the printed table selects.
-pub fn emit_scheme_report(experiment: &str, label: &str, report: &rocksmash::SchemeReport) {
-    emit_scheme_report_with(experiment, label, report, &[]);
-}
-
-/// [`emit_scheme_report`] with extra top-level numeric fields (measured
-/// latencies and other values the report itself doesn't carry).
-pub fn emit_scheme_report_with(
+///
+/// `extras` adds top-level numeric fields (measured latencies and other
+/// values the report itself doesn't carry). The amplification summary —
+/// `w_amp`, `r_amp`, `space_amp`, `compaction_debt_bytes`, `flush_bytes`
+/// — is appended automatically from the report's level table, so every
+/// experiment's result line carries the self-diagnosis numbers without
+/// each caller threading them through.
+pub fn emit_scheme_report(
     experiment: &str,
     label: &str,
     report: &rocksmash::SchemeReport,
@@ -274,12 +275,22 @@ pub fn emit_scheme_report_with(
     if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
         use std::io::Write;
         let mut extra = String::new();
-        for (key, value) in extras {
+        let mut push = |key: &str, value: f64| {
             extra.push_str(&format!(
                 ",\"{}\":{}",
                 obs::json::escape(key),
-                obs::json::fmt_f64(*value)
+                obs::json::fmt_f64(value)
             ));
+        };
+        for (key, value) in extras {
+            push(key, *value);
+        }
+        if let Some(levels) = &report.levels {
+            push("w_amp", levels.write_amp());
+            push("r_amp", levels.read_amp() as f64);
+            push("space_amp", levels.space_amp());
+            push("compaction_debt_bytes", levels.compaction_debt_bytes as f64);
+            push("flush_bytes", report.flush_bytes as f64);
         }
         let _ = writeln!(
             file,

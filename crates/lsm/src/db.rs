@@ -138,6 +138,8 @@ pub struct DbStats {
     pub gets: AtomicU64,
     /// Memtable flushes completed.
     pub flushes: AtomicU64,
+    /// Bytes written to L0 by memtable flushes.
+    pub flush_bytes: AtomicU64,
     /// Compactions completed.
     pub compactions: AtomicU64,
     /// Bytes read by compaction inputs.
@@ -155,6 +157,9 @@ pub struct DbStats {
     pub compaction_parallelism_peak: AtomicU64,
     /// Deepest the immutable-memtable flush queue has ever been.
     pub imm_queue_peak: AtomicU64,
+    /// Per-level amplification accounting, maintained at version-edit
+    /// apply time (flush and compaction commits).
+    pub levels: crate::levels::LevelAccounting,
 }
 
 impl DbStats {
@@ -697,6 +702,9 @@ impl Db {
                 state.versions.log_and_apply(edit)?;
             }
             Self::gc_obsolete_files(&shared, &mut state)?;
+            // Seed the per-level shape from the recovered tree; the byte
+            // flows start at zero (recovery bypasses the flow hooks).
+            shared.stats.levels.refresh_shape(&state.versions.current(), &shared.options);
         }
 
         let db = Db { shared: Arc::clone(&shared), bg_threads: Mutex::new(Vec::new()) };
@@ -724,6 +732,14 @@ impl Db {
     /// (stats sampler, metrics exporter) that must outlive a borrow.
     pub fn stats_handle(&self) -> Arc<DbStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Handle to the published current version: observers clone this once
+    /// and later list the live tree (per-level files and sizes) without
+    /// taking the engine state lock — a stalled write path can never
+    /// block a stats scrape through it.
+    pub fn version_handle(&self) -> Arc<parking_lot::RwLock<Arc<Version>>> {
+        self.shared.state.lock().versions.published()
     }
 
     /// The observability handle this engine records into: per-op latency
@@ -1264,17 +1280,15 @@ impl Db {
     /// in the spirit of RocksDB's `GetProperty("rocksdb.stats")`.
     pub fn debug_string(&self) -> String {
         use std::fmt::Write as _;
-        let (version, last_seq, retired) = {
+        let (last_seq, retired) = {
             let state = self.shared.state.lock();
-            (state.versions.current(), self.shared.seq.visible(), state.retired.len())
+            (self.shared.seq.visible(), state.retired.len())
         };
         let stats = self.stats();
         let mut out = String::new();
-        let _ = writeln!(out, "level  files        bytes");
-        for (level, files) in version.levels.iter().enumerate() {
-            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
-            let _ = writeln!(out, "L{level:<5} {:>5} {:>12}", files.len(), bytes);
-        }
+        // The accounting table carries both the tree shape and the
+        // per-level amplification columns.
+        out.push_str(&stats.levels.snapshot().render());
         let _ = writeln!(out, "last sequence      {last_seq}");
         let _ = writeln!(out, "pending deletions  {retired} version(s)");
         let _ = writeln!(
@@ -1567,6 +1581,11 @@ impl Db {
             Self::settle_flush_ticket(state, id, wal_floor);
         }
         shared.stats.add(&shared.stats.flushes, 1);
+        if flushed_bytes > 0 {
+            shared.stats.add(&shared.stats.flush_bytes, flushed_bytes);
+            shared.stats.levels.record_flush(flushed_bytes);
+            shared.stats.levels.refresh_shape(&state.versions.current(), &shared.options);
+        }
         shared.obs.finish(obs::Op::Flush, timer);
         shared.obs.event(obs::EventKind::FlushEnd {
             bytes: flushed_bytes,
@@ -2064,6 +2083,18 @@ fn run_compaction_locked(
     shared.stats.add(&shared.stats.compactions, 1);
     shared.stats.add(&shared.stats.compact_bytes_in, compaction.input_bytes());
     shared.stats.add(&shared.stats.compact_bytes_out, out_bytes);
+    // A non-empty boundary set is exactly the condition under which the
+    // merge ran split into parallel subcompaction workers.
+    let split = !subcompaction_boundaries(&shared.options, compaction).is_empty();
+    let upper_bytes: u64 = compaction.inputs[0].iter().map(|f| f.file_size).sum();
+    shared.stats.levels.record_compaction(
+        out_level,
+        upper_bytes,
+        compaction.input_bytes(),
+        out_bytes,
+        if split { out_bytes } else { 0 },
+    );
+    shared.stats.levels.refresh_shape(&state.versions.current(), &shared.options);
     shared.obs.finish(obs::Op::Compaction, timer);
     shared.obs.event(obs::EventKind::CompactionEnd {
         level: compaction.level as u32,

@@ -1,0 +1,234 @@
+//! Live per-level amplification accounting.
+//!
+//! [`LevelAccounting`] is the engine-side, lock-free counterpart of
+//! [`obs::LevelTable`]: a fixed table of atomic counters updated at the
+//! two places a version edit commits new bytes — memtable flush and
+//! compaction install — plus a shape refresh (files, bytes, score,
+//! compaction debt) recomputed from the freshly installed version. It
+//! hangs off [`crate::db::DbStats`], so any holder of a stats handle can
+//! snapshot the table without touching the engine state lock.
+//!
+//! Byte-flow counters are cumulative since open (recovery replays the
+//! manifest without passing through these hooks, so a reopened database
+//! starts its amplification clock at zero while the shape columns still
+//! describe the recovered tree).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::compaction::level_scores;
+use crate::options::Options;
+use crate::version::Version;
+
+/// Upper bound on tracked levels. [`Options::num_levels`] defaults to 7;
+/// deeper configurations fold their tail levels into the last slot's
+/// shape refresh being skipped (scores and flows beyond this are not
+/// tracked).
+pub const MAX_ACCOUNTED_LEVELS: usize = 16;
+
+/// One level's atomic counters.
+#[derive(Debug, Default)]
+struct LevelSlot {
+    files: AtomicU64,
+    bytes: AtomicU64,
+    /// Compaction score in milli-units (score 1.25 stored as 1250) so it
+    /// fits an atomic without bit-casting floats.
+    score_milli: AtomicU64,
+    flush_bytes: AtomicU64,
+    ingest_bytes: AtomicU64,
+    compact_bytes_read: AtomicU64,
+    compact_bytes_written: AtomicU64,
+    subcompact_bytes_written: AtomicU64,
+    compactions: AtomicU64,
+}
+
+/// Lock-free per-level accounting table. See the module docs.
+#[derive(Debug)]
+pub struct LevelAccounting {
+    slots: Vec<LevelSlot>,
+    /// Levels the shape refresh last observed (== the tree's configured
+    /// depth, clamped to [`MAX_ACCOUNTED_LEVELS`]).
+    active_levels: AtomicUsize,
+    debt_bytes: AtomicU64,
+}
+
+impl Default for LevelAccounting {
+    fn default() -> Self {
+        LevelAccounting {
+            slots: (0..MAX_ACCOUNTED_LEVELS).map(|_| LevelSlot::default()).collect(),
+            active_levels: AtomicUsize::new(0),
+            debt_bytes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LevelAccounting {
+    /// Record a memtable flush that installed `bytes` at L0.
+    pub fn record_flush(&self, bytes: u64) {
+        self.slots[0].flush_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a committed compaction writing into `out_level`.
+    ///
+    /// * `ingest_bytes` — input bytes that came from the level above (the
+    ///   denominator of the output level's W-amp).
+    /// * `read_bytes` — total input bytes (both levels).
+    /// * `written_bytes` — output bytes installed at `out_level`.
+    /// * `subcompact_bytes` — the subset of `written_bytes` produced by a
+    ///   split (parallel subcompaction) job; 0 for single-worker merges.
+    pub fn record_compaction(
+        &self,
+        out_level: usize,
+        ingest_bytes: u64,
+        read_bytes: u64,
+        written_bytes: u64,
+        subcompact_bytes: u64,
+    ) {
+        let Some(slot) = self.slots.get(out_level) else { return };
+        slot.ingest_bytes.fetch_add(ingest_bytes, Ordering::Relaxed);
+        slot.compact_bytes_read.fetch_add(read_bytes, Ordering::Relaxed);
+        slot.compact_bytes_written.fetch_add(written_bytes, Ordering::Relaxed);
+        slot.subcompact_bytes_written.fetch_add(subcompact_bytes, Ordering::Relaxed);
+        slot.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recompute the shape columns (files, bytes, score) and compaction
+    /// debt from a freshly installed version. Called after every version
+    /// transition and once at open to seed the recovered tree.
+    pub fn refresh_shape(&self, version: &Version, options: &Options) {
+        let scores = level_scores(version, options);
+        let n = version.levels.len().min(MAX_ACCOUNTED_LEVELS);
+        self.active_levels.store(n, Ordering::Relaxed);
+        let mut debt = 0u64;
+        for (level, slot) in self.slots.iter().enumerate().take(n) {
+            let files = version.levels[level].len() as u64;
+            let bytes: u64 = version.levels[level].iter().map(|f| f.file_size).sum();
+            slot.files.store(files, Ordering::Relaxed);
+            slot.bytes.store(bytes, Ordering::Relaxed);
+            let score = scores.get(level).copied().unwrap_or(0.0);
+            slot.score_milli.store((score.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+            if level == 0 {
+                // L0 debt is everything in it once the trigger is hit:
+                // every L0 byte must be rewritten to restore read shape.
+                if files >= options.l0_compaction_trigger as u64 {
+                    debt += bytes;
+                }
+            } else if level < n - 1 {
+                // Deeper levels owe their overage beyond the byte budget
+                // (the last level has no budget: data rests there).
+                debt += bytes.saturating_sub(options.max_bytes_for_level(level));
+            }
+        }
+        self.debt_bytes.store(debt, Ordering::Relaxed);
+    }
+
+    /// Bytes of compaction work outstanding as of the last shape refresh.
+    pub fn compaction_debt_bytes(&self) -> u64 {
+        self.debt_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the table for export. Rows cover every configured level
+    /// (the per-tier byte split is left zero; the tiered layer fills it
+    /// from residency).
+    pub fn snapshot(&self) -> obs::LevelTable {
+        let n = self.active_levels.load(Ordering::Relaxed);
+        let levels = self
+            .slots
+            .iter()
+            .enumerate()
+            .take(n)
+            .map(|(level, slot)| obs::LevelStats {
+                level,
+                files: slot.files.load(Ordering::Relaxed),
+                bytes: slot.bytes.load(Ordering::Relaxed),
+                score: slot.score_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+                flush_bytes: slot.flush_bytes.load(Ordering::Relaxed),
+                ingest_bytes: slot.ingest_bytes.load(Ordering::Relaxed),
+                compact_bytes_read: slot.compact_bytes_read.load(Ordering::Relaxed),
+                compact_bytes_written: slot.compact_bytes_written.load(Ordering::Relaxed),
+                subcompact_bytes_written: slot.subcompact_bytes_written.load(Ordering::Relaxed),
+                moved_bytes: 0,
+                compactions: slot.compactions.load(Ordering::Relaxed),
+                local_bytes: 0,
+                cloud_bytes: 0,
+            })
+            .collect();
+        obs::LevelTable { levels, compaction_debt_bytes: self.compaction_debt_bytes() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::FileMetaData;
+    use std::sync::Arc;
+
+    fn version_with(sizes: &[&[u64]]) -> Version {
+        let mut v = Version::empty(Options::default().num_levels);
+        let mut number = 1;
+        for (level, files) in sizes.iter().enumerate() {
+            for &size in *files {
+                v.levels[level].push(Arc::new(FileMetaData {
+                    number,
+                    file_size: size,
+                    smallest: format!("k{number:04}a").into_bytes(),
+                    largest: format!("k{number:04}z").into_bytes(),
+                }));
+                number += 1;
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn flows_accumulate_and_snapshot() {
+        let acc = LevelAccounting::default();
+        acc.record_flush(100);
+        acc.record_flush(50);
+        acc.record_compaction(1, 150, 400, 300, 0);
+        acc.record_compaction(1, 10, 30, 20, 20);
+        let opts = Options::default();
+        acc.refresh_shape(&version_with(&[&[10, 10], &[100]]), &opts);
+        let table = acc.snapshot();
+        assert_eq!(table.levels.len(), Options::default().num_levels);
+        let l0 = &table.levels[0];
+        assert_eq!(l0.flush_bytes, 150);
+        assert_eq!(l0.files, 2);
+        assert_eq!(l0.bytes, 20);
+        let l1 = &table.levels[1];
+        assert_eq!(l1.ingest_bytes, 160);
+        assert_eq!(l1.compact_bytes_read, 430);
+        assert_eq!(l1.compact_bytes_written, 320);
+        assert_eq!(l1.subcompact_bytes_written, 20);
+        assert_eq!(l1.compactions, 2);
+        assert_eq!(l1.bytes, 100);
+    }
+
+    #[test]
+    fn debt_counts_l0_at_trigger_and_deep_overage() {
+        let acc = LevelAccounting::default();
+        let opts = Options::default(); // trigger 4, base 10 MiB
+                                       // Below trigger: no L0 debt, L1 within budget: no debt.
+        acc.refresh_shape(&version_with(&[&[1 << 20; 3], &[1 << 20]]), &opts);
+        assert_eq!(acc.compaction_debt_bytes(), 0);
+        // At trigger: all L0 bytes owed.
+        acc.refresh_shape(&version_with(&[&[1 << 20; 4], &[1 << 20]]), &opts);
+        assert_eq!(acc.compaction_debt_bytes(), 4 << 20);
+        // L1 over its 10 MiB budget by 2 MiB.
+        acc.refresh_shape(&version_with(&[&[], &[12 << 20], &[1]]), &opts);
+        assert_eq!(acc.compaction_debt_bytes(), 2 << 20);
+    }
+
+    #[test]
+    fn scores_track_pressure() {
+        let acc = LevelAccounting::default();
+        let opts = Options::default();
+        acc.refresh_shape(&version_with(&[&[1, 1], &[5 << 20]]), &opts);
+        let table = acc.snapshot();
+        // L0: 2 files / trigger 4 = 0.5.
+        assert!((table.levels[0].score - 0.5).abs() < 1e-9);
+        // L1: 5 MiB / 10 MiB budget = 0.5.
+        assert!((table.levels[1].score - 0.5).abs() < 1e-9);
+        // The last level is never scored.
+        assert_eq!(table.levels.last().unwrap().score, 0.0);
+    }
+}

@@ -51,6 +51,7 @@ pub mod compress;
 pub mod db;
 pub mod error;
 pub mod iterator;
+pub mod levels;
 pub mod memtable;
 pub mod options;
 pub mod prefetch;

@@ -10,6 +10,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use storage::Env;
 
 use crate::error::{Error, Result};
@@ -252,6 +253,10 @@ impl Version {
 pub struct VersionSet {
     env: Arc<dyn Env>,
     current: Arc<Version>,
+    /// The current version mirrored behind its own lock, so observers
+    /// (stats collectors, the metrics endpoint) can list the tree without
+    /// taking whatever outer lock guards the `VersionSet` itself.
+    published: Arc<RwLock<Arc<Version>>>,
     manifest: Option<LogWriter>,
     manifest_number: u64,
     /// Next file number to hand out (SSTs, WALs, MANIFESTs share the space).
@@ -269,9 +274,11 @@ impl VersionSet {
         if env.exists(CURRENT)? {
             Self::recover(env, num_levels)
         } else {
+            let current = Arc::new(Version::empty(num_levels));
             let mut vs = VersionSet {
                 env,
-                current: Arc::new(Version::empty(num_levels)),
+                published: Arc::new(RwLock::new(Arc::clone(&current))),
+                current,
                 manifest: None,
                 manifest_number: 0,
                 next_file_number: 2,
@@ -318,10 +325,11 @@ impl VersionSet {
         if !saw_any {
             return Err(Error::corruption("manifest holds no edits"));
         }
-        let version = builder.finish()?;
+        let version = Arc::new(builder.finish()?);
         let mut vs = VersionSet {
             env,
-            current: Arc::new(version),
+            published: Arc::new(RwLock::new(Arc::clone(&version))),
+            current: version,
             manifest: None,
             manifest_number,
             next_file_number: next_file_number.max(manifest_number + 1),
@@ -337,6 +345,13 @@ impl VersionSet {
     /// The current version.
     pub fn current(&self) -> Arc<Version> {
         Arc::clone(&self.current)
+    }
+
+    /// A handle to the published current version. Cloning the handle once
+    /// lets a detached observer read the live tree shape later without
+    /// ever touching the lock that guards this `VersionSet`.
+    pub fn published(&self) -> Arc<RwLock<Arc<Version>>> {
+        Arc::clone(&self.published)
     }
 
     /// Allocate a fresh file number.
@@ -378,6 +393,7 @@ impl VersionSet {
         manifest.add_record(&edit.encode())?;
         manifest.sync()?;
         self.current = Arc::new(next);
+        *self.published.write() = Arc::clone(&self.current);
         Ok(())
     }
 

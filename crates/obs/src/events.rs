@@ -80,6 +80,10 @@ pub enum EventKind {
     /// files totalling `bytes` across tiers (`skipped` files vanished
     /// mid-pass, e.g. compacted away).
     PromotionDone { promoted: u64, demoted: u64, skipped: u64, bytes: u64, dur_ns: u64 },
+    /// The health doctor raised a finding that was not active on the
+    /// previous check (`severity` is its stable lowercase label). Cleared
+    /// findings do not publish; the journal records onsets, not state.
+    HealthFinding { rule: String, severity: String, summary: String },
 }
 
 impl EventKind {
@@ -102,6 +106,7 @@ impl EventKind {
             EventKind::BgError { .. } => "BgError",
             EventKind::PromotionStart { .. } => "PromotionStart",
             EventKind::PromotionDone { .. } => "PromotionDone",
+            EventKind::HealthFinding { .. } => "HealthFinding",
         }
     }
 
@@ -177,6 +182,14 @@ impl EventKind {
                 out.push_str(&format!(
                     ",\"promoted\":{promoted},\"demoted\":{demoted},\"skipped\":{skipped},\
                      \"bytes\":{bytes},\"dur_ns\":{dur_ns}"
+                ));
+            }
+            EventKind::HealthFinding { rule, severity, summary } => {
+                out.push_str(&format!(
+                    ",\"rule\":\"{}\",\"severity\":\"{}\",\"summary\":\"{}\"",
+                    escape(rule),
+                    escape(severity),
+                    escape(summary)
                 ));
             }
         }
@@ -284,6 +297,19 @@ impl EventKind {
                 bytes: u64_field("bytes")?,
                 dur_ns: u64_field("dur_ns")?,
             },
+            "HealthFinding" => {
+                let s = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("HealthFinding missing {name}"))
+                };
+                EventKind::HealthFinding {
+                    rule: s("rule")?,
+                    severity: s("severity")?,
+                    summary: s("summary")?,
+                }
+            }
             other => return Err(format!("unknown event type {other:?}")),
         })
     }
@@ -511,6 +537,11 @@ mod tests {
                 skipped: 1,
                 bytes: 5 << 20,
                 dur_ns: 9_000_000,
+            },
+            EventKind::HealthFinding {
+                rule: "stall_spike".into(),
+                severity: "critical".into(),
+                summary: "writers stalled 41% of the last 10s (\"burst\")".into(),
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

@@ -1,0 +1,671 @@
+//! Rule-based health doctor: automated interpretation of the trailing
+//! telemetry the rest of the `obs` stack already collects.
+//!
+//! Raw metrics answer "what is the value"; an operator at 3 a.m. needs
+//! "is this bad and what do I do". The [`Doctor`] evaluates a fixed rule
+//! set against trailing-window signals from a [`TimeSeries`] plus the
+//! per-level amplification table, and produces a severity-ranked
+//! [`HealthReport`] whose findings carry the evidence (the numbers that
+//! tripped the rule) and a remediation hint. Rules fire on *windowed*
+//! signals, never lifetime totals, so an old incident does not page
+//! forever; absent signals (ring not yet spanning a window, counter never
+//! registered) never fire — absence of evidence is not a finding.
+//!
+//! [`HealthMonitor`] wraps a doctor with onset tracking: a finding
+//! publishes one [`EventKind::HealthFinding`] journal event when it first
+//! appears and nothing while it stays active, so the journal records
+//! state *changes*, not a heartbeat of the same alarm.
+
+use std::collections::BTreeSet;
+
+use parking_lot::Mutex;
+
+use crate::events::EventKind;
+use crate::json::{escape, fmt_f64, Json};
+use crate::levels::LevelTable;
+use crate::registry::Observer;
+use crate::timeseries::{RateWindow, TimeSeries};
+
+/// How bad a finding is. Ordering is by severity (`Critical` greatest).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Severity {
+    /// Worth knowing, no action needed.
+    Info,
+    /// Degraded; investigate soon.
+    Warning,
+    /// Actively hurting foreground traffic or durability.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase label used in JSON and journal events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One tripped rule with its evidence and a remediation hint.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Finding {
+    /// Stable rule name (`stall_spike`, `retry_storm`, ...).
+    pub rule: String,
+    pub severity: Severity,
+    /// One-line human statement of what is wrong.
+    pub summary: String,
+    /// The numbers that tripped the rule.
+    pub evidence: String,
+    /// What an operator should look at or change.
+    pub remediation: String,
+}
+
+/// The doctor's verdict: findings ranked worst-first.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthReport {
+    /// Tripped rules, most severe first (stable rule-name order within a
+    /// severity).
+    pub findings: Vec<Finding>,
+    /// How many rules were evaluated (tripped or not).
+    pub rules_evaluated: usize,
+    /// Timestamp of the newest telemetry sample the diagnosis saw
+    /// (series-relative seconds; 0.0 when the ring was empty).
+    pub newest_sample_secs: f64,
+}
+
+impl HealthReport {
+    /// True when no rule tripped.
+    pub fn healthy(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The worst severity present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Whether `rule` tripped.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+
+    /// Hand-rolled JSON document for `/health.json` and debug bundles.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"healthy\":{},\"rules_evaluated\":{},\"newest_sample_secs\":{},\"findings\":[",
+            self.healthy(),
+            self.rules_evaluated,
+            fmt_f64(self.newest_sample_secs)
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"summary\":\"{}\",\
+                 \"evidence\":\"{}\",\"remediation\":\"{}\"}}",
+                escape(&f.rule),
+                f.severity.label(),
+                escape(&f.summary),
+                escape(&f.evidence),
+                escape(&f.remediation),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a document produced by [`HealthReport::to_json`].
+    pub fn from_json(text: &str) -> Result<HealthReport, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Decode from a parsed JSON value.
+    pub fn from_json_value(v: &Json) -> Result<HealthReport, String> {
+        let mut findings = Vec::new();
+        for f in v.get("findings").and_then(Json::elements).ok_or("health missing findings")? {
+            let s = |name: &str| {
+                f.get(name)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("finding missing {name}"))
+            };
+            let severity = match f.get("severity").and_then(Json::as_str) {
+                Some("info") => Severity::Info,
+                Some("warning") => Severity::Warning,
+                Some("critical") => Severity::Critical,
+                other => return Err(format!("bad severity {other:?}")),
+            };
+            findings.push(Finding {
+                rule: s("rule")?,
+                severity,
+                summary: s("summary")?,
+                evidence: s("evidence")?,
+                remediation: s("remediation")?,
+            });
+        }
+        Ok(HealthReport {
+            findings,
+            rules_evaluated: v.get("rules_evaluated").and_then(Json::as_u64).unwrap_or(0) as usize,
+            newest_sample_secs: v.get("newest_sample_secs").and_then(Json::as_f64).unwrap_or(0.0),
+        })
+    }
+}
+
+/// Tunable trip points for every rule. The defaults are deliberately
+/// conservative — a healthy steady-state store must report nothing.
+#[derive(Debug, Clone)]
+pub struct DoctorThresholds {
+    /// Stall share over the short window that warrants a warning.
+    pub stall_share_warn: f64,
+    /// Stall share over the short window that is critical.
+    pub stall_share_critical: f64,
+    /// Compaction debt below this never fires, whatever the growth.
+    pub debt_floor_bytes: u64,
+    /// Debt must have grown by at least this factor over the medium
+    /// window (or appeared from nothing above the floor).
+    pub debt_growth_factor: f64,
+    /// Debt above this absolute level escalates to critical.
+    pub debt_critical_bytes: u64,
+    /// Long-window hit rate must be at least this for the collapse rule
+    /// to have a baseline worth comparing against.
+    pub cache_baseline_min: f64,
+    /// Short-window hit rate this far below the long-window baseline
+    /// trips the collapse rule.
+    pub cache_drop: f64,
+    /// Cloud retry attempts per second (short window) that indicate a
+    /// storm.
+    pub retry_rate_warn: f64,
+    /// Any retry exhaustion over the medium window is critical.
+    pub retry_exhausted_critical: u64,
+    /// Cost accrual (short window) must exceed this many micro-dollars
+    /// per second before the spike rule can fire.
+    pub cost_rate_floor_microdollars: f64,
+    /// Short-window cost rate this many times the long-window rate is a
+    /// spike.
+    pub cost_spike_factor: f64,
+    /// Promotion + demotion file moves per second (medium window, both
+    /// directions active) that indicate thrash.
+    pub promotion_thrash_rate: f64,
+}
+
+impl Default for DoctorThresholds {
+    fn default() -> Self {
+        DoctorThresholds {
+            stall_share_warn: 0.10,
+            stall_share_critical: 0.40,
+            debt_floor_bytes: 64 << 20,
+            debt_growth_factor: 1.5,
+            debt_critical_bytes: 512 << 20,
+            cache_baseline_min: 0.5,
+            cache_drop: 0.3,
+            retry_rate_warn: 2.0,
+            retry_exhausted_critical: 1,
+            cost_rate_floor_microdollars: 1000.0,
+            cost_spike_factor: 3.0,
+            promotion_thrash_rate: 0.5,
+        }
+    }
+}
+
+/// The rule engine. Stateless: every [`Doctor::diagnose`] call evaluates
+/// the full rule set against the telemetry it is handed.
+#[derive(Debug, Clone, Default)]
+pub struct Doctor {
+    thresholds: DoctorThresholds,
+}
+
+/// Names of every rule, in evaluation order.
+pub const ALL_RULES: [&str; 6] = [
+    "stall_spike",
+    "compaction_debt_growth",
+    "cache_hit_collapse",
+    "retry_storm",
+    "cloud_cost_spike",
+    "promotion_thrash",
+];
+
+impl Doctor {
+    /// Doctor with the default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Doctor with custom trip points (tests, aggressive CI probes).
+    pub fn with_thresholds(thresholds: DoctorThresholds) -> Self {
+        Doctor { thresholds }
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> &DoctorThresholds {
+        &self.thresholds
+    }
+
+    /// Evaluate every rule against the trailing telemetry. `levels` is
+    /// the current amplification table when the caller has one (its debt
+    /// figure also arrives via the `compaction_debt_bytes` gauge history
+    /// inside `series`; the table itself supplies the evidence).
+    pub fn diagnose(&self, series: &TimeSeries, levels: Option<&LevelTable>) -> HealthReport {
+        let t = &self.thresholds;
+        let mut findings = Vec::new();
+        let short = series.window_rates(RateWindow::Short);
+        let medium = RateWindow::Medium.secs();
+        let long = RateWindow::Long.secs();
+        let mb = |b: f64| b / 1048576.0;
+
+        // stall_spike — writers losing wall time to make_room.
+        if let Some(share) = short.stall_share {
+            if share >= t.stall_share_warn {
+                let severity = if share >= t.stall_share_critical {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                findings.push(Finding {
+                    rule: "stall_spike".into(),
+                    severity,
+                    summary: format!("writers spent {:.0}% of the last 10s stalled", share * 100.0),
+                    evidence: format!(
+                        "stall_share(10s)={share:.3}, warn at {:.2}, critical at {:.2}",
+                        t.stall_share_warn, t.stall_share_critical
+                    ),
+                    remediation: "flush/compaction cannot keep up: check cloud PUT latency \
+                                  and retries, raise max_background_jobs or \
+                                  max_imm_memtables, or slow ingest"
+                        .into(),
+                });
+            }
+        }
+
+        // compaction_debt_growth — outstanding work trending up.
+        if let Some((then, now)) = series.gauge_window("compaction_debt_bytes", medium) {
+            let grew = now >= then.max(1.0) * t.debt_growth_factor;
+            if now >= t.debt_floor_bytes as f64 && grew {
+                let severity = if now >= t.debt_critical_bytes as f64 {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                let debt_levels = levels
+                    .map(|l| {
+                        l.levels
+                            .iter()
+                            .filter(|s| s.score >= 1.0)
+                            .map(|s| format!("L{}", s.level))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .filter(|s| !s.is_empty());
+                findings.push(Finding {
+                    rule: "compaction_debt_growth".into(),
+                    severity,
+                    summary: format!(
+                        "compaction debt grew from {:.1} MB to {:.1} MB over the last minute",
+                        mb(then),
+                        mb(now)
+                    ),
+                    evidence: format!(
+                        "debt {:.0}B -> {:.0}B (factor {:.2}, floor {}B){}",
+                        then,
+                        now,
+                        if then > 0.0 { now / then } else { f64::INFINITY },
+                        t.debt_floor_bytes,
+                        debt_levels
+                            .map(|l| format!(", over-budget levels: {l}"))
+                            .unwrap_or_default()
+                    ),
+                    remediation: "compactions are falling behind ingest: raise \
+                                  max_background_jobs/max_subcompactions, check for a slow \
+                                  cloud tier on deep-level writes, or reduce write rate"
+                        .into(),
+                });
+            }
+        }
+
+        // cache_hit_collapse — short-window hit rate fell off its baseline.
+        if let (Some(now), Some(baseline)) =
+            (short.cache_hit_rate, series.window_rates(RateWindow::Long).cache_hit_rate)
+        {
+            if baseline >= t.cache_baseline_min && now <= baseline - t.cache_drop {
+                findings.push(Finding {
+                    rule: "cache_hit_collapse".into(),
+                    severity: Severity::Warning,
+                    summary: format!(
+                        "cache hit rate fell to {:.0}% (baseline {:.0}%)",
+                        now * 100.0,
+                        baseline * 100.0
+                    ),
+                    evidence: format!(
+                        "hit_rate(10s)={now:.3}, hit_rate(5m)={baseline:.3}, drop \
+                         threshold {:.2}",
+                        t.cache_drop
+                    ),
+                    remediation: "a compaction wave invalidated the cache or the working set \
+                                  shifted: expect elevated cloud GETs until re-warm; if \
+                                  chronic, grow cache_bytes or promote the hot files"
+                        .into(),
+                });
+            }
+        }
+
+        // retry_storm — cloud requests failing and being retried.
+        let exhausted = series.delta_since("retry_exhausted", medium).map(|(d, _)| d).unwrap_or(0);
+        let attempts_rate = series.rate("retry_attempts", RateWindow::Short.secs());
+        if exhausted >= t.retry_exhausted_critical {
+            findings.push(Finding {
+                rule: "retry_storm".into(),
+                severity: Severity::Critical,
+                summary: format!(
+                    "{exhausted} cloud request(s) exhausted retries in the last minute"
+                ),
+                evidence: format!(
+                    "retry_exhausted delta(1m)={exhausted}, retry_attempts/s(10s)={}",
+                    attempts_rate.map(|r| format!("{r:.2}")).unwrap_or_else(|| "n/a".into())
+                ),
+                remediation: "the cloud tier is failing requests past the retry budget: check \
+                              provider availability and the failure injection config; reads \
+                              of cloud-resident data are returning errors"
+                    .into(),
+            });
+        } else if let Some(rate) = attempts_rate {
+            if rate >= t.retry_rate_warn {
+                findings.push(Finding {
+                    rule: "retry_storm".into(),
+                    severity: Severity::Warning,
+                    summary: format!("cloud retries running at {rate:.1}/s over the last 10s"),
+                    evidence: format!(
+                        "retry_attempts/s(10s)={rate:.2}, warn at {:.2}",
+                        t.retry_rate_warn
+                    ),
+                    remediation: "transient cloud failures are elevated: latency on \
+                                  cloud-resident reads/uploads will spike; check provider \
+                                  health before it escalates to exhaustion"
+                        .into(),
+                });
+            }
+        }
+
+        // cloud_cost_spike — dollars accruing much faster than baseline.
+        if let (Some(now), Some(baseline)) = (
+            series.rate("cost_microdollars", RateWindow::Short.secs()),
+            series.rate("cost_microdollars", long),
+        ) {
+            if now >= t.cost_rate_floor_microdollars && now >= baseline * t.cost_spike_factor {
+                findings.push(Finding {
+                    rule: "cloud_cost_spike".into(),
+                    severity: Severity::Warning,
+                    summary: format!(
+                        "cloud spend rate is {:.1}x its 5m baseline",
+                        if baseline > 0.0 { now / baseline } else { f64::INFINITY }
+                    ),
+                    evidence: format!(
+                        "cost rate {now:.0} microdollar/s (10s) vs {baseline:.0} (5m), \
+                         spike factor {:.1}",
+                        t.cost_spike_factor
+                    ),
+                    remediation: "something started hammering billed requests or egress: \
+                                  look for a cache collapse, a compaction wave rewriting \
+                                  cloud levels, or an unthrottled scan"
+                        .into(),
+                });
+            }
+        }
+
+        // promotion_thrash — files ping-ponging between tiers.
+        let promo = series.rate("promotions", medium);
+        let demo = series.rate("demotions", medium);
+        if let (Some(p), Some(d)) = (promo, demo) {
+            if p > 0.0 && d > 0.0 && p + d >= t.promotion_thrash_rate {
+                findings.push(Finding {
+                    rule: "promotion_thrash".into(),
+                    severity: Severity::Warning,
+                    summary: format!(
+                        "tiers are churning: {:.2} promotions/s and {:.2} demotions/s",
+                        p, d
+                    ),
+                    evidence: format!(
+                        "promotions/s(1m)={p:.2}, demotions/s(1m)={d:.2}, thrash at \
+                         combined {:.2}",
+                        t.promotion_thrash_rate
+                    ),
+                    remediation: "the local budget is too tight or the heat half-life too \
+                                  short for this working set: every round trip is a \
+                                  download + upload; raise local_budget_bytes or \
+                                  heat_half_life, or lower max_files_per_pass"
+                        .into(),
+                });
+            }
+        }
+
+        findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.rule.cmp(&b.rule)));
+        HealthReport {
+            findings,
+            rules_evaluated: ALL_RULES.len(),
+            newest_sample_secs: series.newest_secs().unwrap_or(0.0),
+        }
+    }
+}
+
+/// A [`Doctor`] plus onset tracking: repeated checks publish a journal
+/// event only when a rule *newly* trips.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    doctor: Doctor,
+    active: Mutex<BTreeSet<String>>,
+}
+
+impl HealthMonitor {
+    /// Monitor around `doctor`.
+    pub fn new(doctor: Doctor) -> Self {
+        HealthMonitor { doctor, active: Mutex::new(BTreeSet::new()) }
+    }
+
+    /// The wrapped doctor (for on-demand `diagnose` without onset
+    /// bookkeeping).
+    pub fn doctor(&self) -> &Doctor {
+        &self.doctor
+    }
+
+    /// Diagnose, publish an [`EventKind::HealthFinding`] for every rule
+    /// that was not active on the previous check, and remember the new
+    /// active set.
+    pub fn check(
+        &self,
+        series: &TimeSeries,
+        levels: Option<&LevelTable>,
+        observer: &Observer,
+    ) -> HealthReport {
+        let report = self.doctor.diagnose(series, levels);
+        let mut active = self.active.lock();
+        for f in &report.findings {
+            if !active.contains(&f.rule) {
+                observer.event(EventKind::HealthFinding {
+                    rule: f.rule.clone(),
+                    severity: f.severity.label().to_string(),
+                    summary: f.summary.clone(),
+                });
+            }
+        }
+        *active = report.findings.iter().map(|f| f.rule.clone()).collect();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsSnapshot;
+
+    fn snap(counters: &[(&str, u64)], gauges: &[(&str, f64)]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        for &(k, v) in counters {
+            s.counters.insert(k.to_string(), v);
+        }
+        for &(k, v) in gauges {
+            s.gauges.insert(k.to_string(), v);
+        }
+        s
+    }
+
+    fn quiet_series() -> TimeSeries {
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("engine_gets", 0), ("stall_ns", 0)], &[]));
+        ts.push_at(5.0, &snap(&[("engine_gets", 100), ("stall_ns", 0)], &[]));
+        ts
+    }
+
+    #[test]
+    fn healthy_series_reports_nothing() {
+        let report = Doctor::new().diagnose(&quiet_series(), None);
+        assert!(report.healthy(), "unexpected findings: {:?}", report.findings);
+        assert_eq!(report.rules_evaluated, ALL_RULES.len());
+    }
+
+    #[test]
+    fn empty_series_reports_nothing() {
+        let report = Doctor::new().diagnose(&TimeSeries::new(4), None);
+        assert!(report.healthy());
+        assert_eq!(report.newest_sample_secs, 0.0);
+    }
+
+    #[test]
+    fn stall_spike_warns_then_escalates() {
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("stall_ns", 0)], &[]));
+        // 2s of stall over 10s of wall time: 20% share.
+        ts.push_at(10.0, &snap(&[("stall_ns", 2_000_000_000)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert!(report.has_rule("stall_spike"));
+        assert_eq!(report.worst(), Some(Severity::Warning));
+        // 6s of stall over the next 10s: critical.
+        ts.push_at(20.0, &snap(&[("stall_ns", 8_000_000_000)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert_eq!(report.worst(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn debt_growth_needs_floor_and_factor() {
+        let doctor = Doctor::new();
+        let grow = |from: f64, to: f64| {
+            let ts = TimeSeries::new(16);
+            ts.push_at(0.0, &snap(&[], &[("compaction_debt_bytes", from)]));
+            ts.push_at(30.0, &snap(&[], &[("compaction_debt_bytes", to)]));
+            doctor.diagnose(&ts, None)
+        };
+        // Small debt: quiet even when growing fast.
+        assert!(grow(1048576.0, 8388608.0).healthy());
+        // Large but flat debt: quiet.
+        assert!(grow(100_000_000.0, 110_000_000.0).healthy());
+        // Large and doubling: fires.
+        let report = grow(100_000_000.0, 200_000_000.0);
+        assert!(report.has_rule("compaction_debt_growth"));
+        // Past the critical line: escalates.
+        let report = grow(300_000_000.0, 600_000_000.0);
+        assert_eq!(report.worst(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn cache_collapse_needs_a_baseline() {
+        let doctor = Doctor::new();
+        let ts = TimeSeries::new(64);
+        // 5 minutes of 90% hits...
+        for i in 0..30u64 {
+            let t = i as f64 * 10.0;
+            ts.push_at(t, &snap(&[("cache_hits", i * 90), ("cache_misses", i * 10)], &[]));
+        }
+        assert!(doctor.diagnose(&ts, None).healthy());
+        // ...then the last 10s misses everything.
+        ts.push_at(300.0, &snap(&[("cache_hits", 30 * 90), ("cache_misses", 30 * 10 + 100)], &[]));
+        let report = doctor.diagnose(&ts, None);
+        assert!(report.has_rule("cache_hit_collapse"), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn retry_storm_warns_on_rate_and_escalates_on_exhaustion() {
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("retry_attempts", 0), ("retry_exhausted", 0)], &[]));
+        ts.push_at(10.0, &snap(&[("retry_attempts", 50), ("retry_exhausted", 0)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert!(report.has_rule("retry_storm"));
+        assert_eq!(report.worst(), Some(Severity::Warning));
+        ts.push_at(20.0, &snap(&[("retry_attempts", 60), ("retry_exhausted", 2)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert_eq!(report.worst(), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn cost_spike_compares_short_against_long() {
+        let ts = TimeSeries::new(64);
+        // Flat accrual for 5 minutes, then 10x in the last 10 seconds.
+        for i in 0..30u64 {
+            ts.push_at(i as f64 * 10.0, &snap(&[("cost_microdollars", i * 1000)], &[]));
+        }
+        assert!(Doctor::new().diagnose(&ts, None).healthy());
+        ts.push_at(300.0, &snap(&[("cost_microdollars", 30 * 1000 + 100_000)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert!(report.has_rule("cloud_cost_spike"), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn promotion_thrash_requires_both_directions() {
+        let one_way = TimeSeries::new(16);
+        one_way.push_at(0.0, &snap(&[("promotions", 0), ("demotions", 0)], &[]));
+        one_way.push_at(30.0, &snap(&[("promotions", 60), ("demotions", 0)], &[]));
+        assert!(Doctor::new().diagnose(&one_way, None).healthy());
+        let churn = TimeSeries::new(16);
+        churn.push_at(0.0, &snap(&[("promotions", 0), ("demotions", 0)], &[]));
+        churn.push_at(30.0, &snap(&[("promotions", 30), ("demotions", 30)], &[]));
+        let report = Doctor::new().diagnose(&churn, None);
+        assert!(report.has_rule("promotion_thrash"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("stall_ns", 0)], &[]));
+        ts.push_at(10.0, &snap(&[("stall_ns", 9_000_000_000)], &[]));
+        let report = Doctor::new().diagnose(&ts, None);
+        assert!(!report.healthy());
+        let back = HealthReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+        assert!(report.to_json().contains("\"healthy\":false"));
+    }
+
+    #[test]
+    fn monitor_publishes_only_on_onset() {
+        let observer = Observer::new();
+        let monitor = HealthMonitor::new(Doctor::new());
+        let ts = TimeSeries::new(16);
+        ts.push_at(0.0, &snap(&[("stall_ns", 0)], &[]));
+        ts.push_at(10.0, &snap(&[("stall_ns", 9_000_000_000)], &[]));
+        let r1 = monitor.check(&ts, None, &observer);
+        assert!(r1.has_rule("stall_spike"));
+        let r2 = monitor.check(&ts, None, &observer);
+        assert!(r2.has_rule("stall_spike"));
+        let health_events = observer
+            .journal()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HealthFinding { .. }))
+            .count();
+        assert_eq!(health_events, 1, "still-active finding republished");
+        // Recovery clears the active set; a relapse publishes again.
+        ts.push_at(20.0, &snap(&[("stall_ns", 9_000_000_000)], &[]));
+        assert!(monitor.check(&ts, None, &observer).healthy());
+        ts.push_at(30.0, &snap(&[("stall_ns", 18_000_000_000)], &[]));
+        assert!(!monitor.check(&ts, None, &observer).healthy());
+        let health_events = observer
+            .journal()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::HealthFinding { .. }))
+            .count();
+        assert_eq!(health_events, 2);
+    }
+}

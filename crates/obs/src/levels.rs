@@ -1,0 +1,476 @@
+//! Per-level amplification accounting: the snapshot types shared by the
+//! engine (which maintains the live counters at version-edit-apply time)
+//! and every export surface (stats string, JSON, Prometheus, CLI).
+//!
+//! The questions this table answers are the paper's own: every byte of
+//! write amplification becomes a cloud PUT dollar, every extra sorted run
+//! a GET probe. [`LevelStats`] is one level's row — shape (files, bytes,
+//! score), byte flows (flush / compaction / subcompaction writes, reads,
+//! moves), and the per-tier residency split filled in by the tiered
+//! layer. [`LevelTable`] aggregates rows into the derived amplification
+//! factors and the compaction debt the health doctor watches.
+
+use crate::json::{escape, fmt_f64, Json};
+
+/// Accounting row for one LSM level.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LevelStats {
+    /// Level index (0 = memtable flush target).
+    pub level: usize,
+    /// Live file count.
+    pub files: u64,
+    /// Live bytes.
+    pub bytes: u64,
+    /// Compaction pressure score (≥ 1.0 means the level wants compaction;
+    /// the last level is never scored).
+    pub score: f64,
+    /// Bytes written into this level by memtable flushes (L0 only).
+    pub flush_bytes: u64,
+    /// Bytes that arrived from the level above as compaction input (the
+    /// denominator of this level's W-amp).
+    pub ingest_bytes: u64,
+    /// Total bytes read by compactions writing into this level (inputs
+    /// from both the upper and this level).
+    pub compact_bytes_read: u64,
+    /// Bytes written into this level by compactions.
+    pub compact_bytes_written: u64,
+    /// Subset of `compact_bytes_written` produced by parallel
+    /// subcompaction workers (split jobs).
+    pub subcompact_bytes_written: u64,
+    /// Bytes moved into this level without a rewrite (trivial moves; this
+    /// engine rewrites every compaction input, so currently always 0).
+    pub moved_bytes: u64,
+    /// Compactions that wrote into this level.
+    pub compactions: u64,
+    /// Live bytes resident on the local tier (filled by the tiered layer;
+    /// 0 for a plain engine).
+    #[serde(default)]
+    pub local_bytes: u64,
+    /// Live bytes resident on the cloud tier (filled by the tiered layer).
+    #[serde(default)]
+    pub cloud_bytes: u64,
+}
+
+impl LevelStats {
+    /// Total bytes ever written into this level (flush + compaction +
+    /// moves).
+    pub fn written_bytes(&self) -> u64 {
+        self.flush_bytes + self.compact_bytes_written + self.moved_bytes
+    }
+
+    /// Per-level write amplification: bytes written into the level per
+    /// byte arriving from the level above (flush bytes for L0). 0.0 when
+    /// nothing has arrived yet.
+    pub fn write_amp(&self) -> f64 {
+        let ingest = if self.level == 0 { self.flush_bytes } else { self.ingest_bytes };
+        if ingest == 0 {
+            0.0
+        } else {
+            self.written_bytes() as f64 / ingest as f64
+        }
+    }
+}
+
+/// The whole per-level accounting table plus the derived aggregates.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LevelTable {
+    /// One row per level, L0 first.
+    pub levels: Vec<LevelStats>,
+    /// Bytes of compaction work outstanding: L0 bytes once the level is
+    /// at/over its trigger, plus each deeper level's overage beyond its
+    /// byte budget. The doctor watches this for unbounded growth.
+    pub compaction_debt_bytes: u64,
+}
+
+impl LevelTable {
+    /// Total flush bytes (user bytes entering the tree).
+    pub fn total_flush_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.flush_bytes).sum()
+    }
+
+    /// Total bytes written by compactions across all levels.
+    pub fn total_compact_bytes_written(&self) -> u64 {
+        self.levels.iter().map(|l| l.compact_bytes_written).sum()
+    }
+
+    /// Total bytes read by compactions across all levels.
+    pub fn total_compact_bytes_read(&self) -> u64 {
+        self.levels.iter().map(|l| l.compact_bytes_read).sum()
+    }
+
+    /// Total live bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.levels.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Total bytes ever written to storage (flush + compaction + moves).
+    pub fn total_written_bytes(&self) -> u64 {
+        self.levels.iter().map(LevelStats::written_bytes).sum()
+    }
+
+    /// Overall write amplification: storage bytes written per user byte
+    /// flushed. 0.0 before the first flush.
+    pub fn write_amp(&self) -> f64 {
+        let flush = self.total_flush_bytes();
+        if flush == 0 {
+            0.0
+        } else {
+            self.total_written_bytes() as f64 / flush as f64
+        }
+    }
+
+    /// Read amplification as the number of sorted runs a point lookup may
+    /// probe: every L0 file is its own run, each non-empty deeper level
+    /// is one.
+    pub fn read_amp(&self) -> u64 {
+        let l0 = self.levels.first().map(|l| l.files).unwrap_or(0);
+        let deeper = self.levels.iter().skip(1).filter(|l| l.bytes > 0).count() as u64;
+        l0 + deeper
+    }
+
+    /// Space amplification: total live bytes over the bottom-most
+    /// non-empty level's bytes (the logical dataset lower bound). 1.0
+    /// when empty.
+    pub fn space_amp(&self) -> f64 {
+        let last = self.levels.iter().rev().find(|l| l.bytes > 0).map(|l| l.bytes).unwrap_or(0);
+        if last == 0 {
+            1.0
+        } else {
+            self.total_bytes() as f64 / last as f64
+        }
+    }
+
+    /// True once any per-tier residency split has been filled in (the
+    /// tiered layer did; a plain engine leaves both columns 0).
+    pub fn has_tier_split(&self) -> bool {
+        self.levels.iter().any(|l| l.local_bytes > 0 || l.cloud_bytes > 0)
+    }
+
+    /// RocksDB-style human table: one row per level, a Sum row, and the
+    /// derived amplification line.
+    pub fn render(&self) -> String {
+        const MB: f64 = 1048576.0;
+        let tiered = self.has_tier_split();
+        let mut out = String::from("** Level stats **\n");
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>10} {:>6} {:>10} {:>10} {:>10} {:>6} {:>4}",
+            "level",
+            "files",
+            "size(MB)",
+            "score",
+            "write(MB)",
+            "read(MB)",
+            "sub(MB)",
+            "w-amp",
+            "cmp"
+        ));
+        if tiered {
+            out.push_str(&format!(" {:>10} {:>10}", "local(MB)", "cloud(MB)"));
+        }
+        out.push('\n');
+        let mut row = |label: String, l: &LevelStats, score: Option<f64>| {
+            out.push_str(&format!(
+                "{:<6} {:>6} {:>10.1} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>6.1} {:>4}",
+                label,
+                l.files,
+                l.bytes as f64 / MB,
+                score.map(|s| format!("{s:.2}")).unwrap_or_else(|| "-".to_string()),
+                l.written_bytes() as f64 / MB,
+                l.compact_bytes_read as f64 / MB,
+                l.subcompact_bytes_written as f64 / MB,
+                l.write_amp(),
+                l.compactions,
+            ));
+            if tiered {
+                out.push_str(&format!(
+                    " {:>10.1} {:>10.1}",
+                    l.local_bytes as f64 / MB,
+                    l.cloud_bytes as f64 / MB
+                ));
+            }
+            out.push('\n');
+        };
+        let mut sum = LevelStats::default();
+        for l in &self.levels {
+            sum.files += l.files;
+            sum.bytes += l.bytes;
+            sum.flush_bytes += l.flush_bytes;
+            sum.ingest_bytes += l.ingest_bytes;
+            sum.compact_bytes_read += l.compact_bytes_read;
+            sum.compact_bytes_written += l.compact_bytes_written;
+            sum.subcompact_bytes_written += l.subcompact_bytes_written;
+            sum.moved_bytes += l.moved_bytes;
+            sum.compactions += l.compactions;
+            sum.local_bytes += l.local_bytes;
+            sum.cloud_bytes += l.cloud_bytes;
+            row(format!("L{}", l.level), l, Some(l.score));
+        }
+        // The Sum row's W-amp is the overall figure, not the per-level
+        // formula (sum.level == 0 would divide by flush bytes anyway).
+        row("sum".to_string(), &sum, None);
+        out.push_str(&format!(
+            "w-amp {:.2}  r-amp {}  space-amp {:.2}  compaction-debt(MB) {:.1}\n",
+            self.write_amp(),
+            self.read_amp(),
+            self.space_amp(),
+            self.compaction_debt_bytes as f64 / MB,
+        ));
+        out
+    }
+
+    /// Hand-rolled JSON document (object with `levels` + aggregates).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"level\":{},\"files\":{},\"bytes\":{},\"score\":{},\"flush_bytes\":{},\
+                 \"ingest_bytes\":{},\"compact_bytes_read\":{},\"compact_bytes_written\":{},\
+                 \"subcompact_bytes_written\":{},\"moved_bytes\":{},\"compactions\":{},\
+                 \"local_bytes\":{},\"cloud_bytes\":{},\"write_amp\":{}}}",
+                l.level,
+                l.files,
+                l.bytes,
+                fmt_f64(l.score),
+                l.flush_bytes,
+                l.ingest_bytes,
+                l.compact_bytes_read,
+                l.compact_bytes_written,
+                l.subcompact_bytes_written,
+                l.moved_bytes,
+                l.compactions,
+                l.local_bytes,
+                l.cloud_bytes,
+                fmt_f64(l.write_amp()),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"compaction_debt_bytes\":{},\"write_amp\":{},\"read_amp\":{},\"space_amp\":{}}}",
+            self.compaction_debt_bytes,
+            fmt_f64(self.write_amp()),
+            self.read_amp(),
+            fmt_f64(self.space_amp()),
+        );
+        out
+    }
+
+    /// Decode a table from a parsed JSON value (the inverse of
+    /// [`LevelTable::to_json`]; derived aggregate fields are recomputed,
+    /// not trusted).
+    pub fn from_json_value(v: &Json) -> Result<LevelTable, String> {
+        let rows = v.get("levels").and_then(Json::elements).ok_or("level table missing levels")?;
+        let mut levels = Vec::with_capacity(rows.len());
+        for row in rows {
+            let u = |name: &str| {
+                row.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("level row missing {name}"))
+            };
+            levels.push(LevelStats {
+                level: u("level")? as usize,
+                files: u("files")?,
+                bytes: u("bytes")?,
+                score: row.get("score").and_then(Json::as_f64).unwrap_or(0.0),
+                flush_bytes: u("flush_bytes")?,
+                ingest_bytes: u("ingest_bytes")?,
+                compact_bytes_read: u("compact_bytes_read")?,
+                compact_bytes_written: u("compact_bytes_written")?,
+                subcompact_bytes_written: u("subcompact_bytes_written")?,
+                moved_bytes: u("moved_bytes")?,
+                compactions: u("compactions")?,
+                local_bytes: row.get("local_bytes").and_then(Json::as_u64).unwrap_or(0),
+                cloud_bytes: row.get("cloud_bytes").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        let compaction_debt_bytes =
+            v.get("compaction_debt_bytes").and_then(Json::as_u64).unwrap_or(0);
+        Ok(LevelTable { levels, compaction_debt_bytes })
+    }
+
+    /// Parse a document produced by [`LevelTable::to_json`].
+    pub fn from_json(text: &str) -> Result<LevelTable, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Prometheus exposition: `level_*` families with a `level` label and
+    /// the derived `amp_*` gauges. Empty table emits nothing.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        if self.levels.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        type Family = (&'static str, &'static str, &'static str, fn(&LevelStats) -> f64);
+        let families: [Family; 8] = [
+            ("level_files", "gauge", "Live files per level.", |l| l.files as f64),
+            ("level_bytes", "gauge", "Live bytes per level.", |l| l.bytes as f64),
+            ("level_score", "gauge", "Compaction pressure score per level.", |l| l.score),
+            ("level_flush_bytes_total", "counter", "Bytes flushed into the level.", |l| {
+                l.flush_bytes as f64
+            }),
+            (
+                "level_compact_read_bytes_total",
+                "counter",
+                "Bytes read by compactions writing into the level.",
+                |l| l.compact_bytes_read as f64,
+            ),
+            (
+                "level_compact_write_bytes_total",
+                "counter",
+                "Bytes written into the level by compactions.",
+                |l| l.compact_bytes_written as f64,
+            ),
+            (
+                "level_subcompact_write_bytes_total",
+                "counter",
+                "Bytes written into the level by parallel subcompaction workers.",
+                |l| l.subcompact_bytes_written as f64,
+            ),
+            ("level_compactions_total", "counter", "Compactions that wrote into the level.", |l| {
+                l.compactions as f64
+            }),
+        ];
+        for (name, kind, help, pick) in families {
+            let _ = write!(out, "# HELP rocksmash_{name} {help}\n# TYPE rocksmash_{name} {kind}\n");
+            for l in &self.levels {
+                let _ =
+                    writeln!(out, "rocksmash_{name}{{level=\"{}\"}} {}", l.level, fmt_f64(pick(l)));
+            }
+        }
+        if self.has_tier_split() {
+            out.push_str(
+                "# HELP rocksmash_level_tier_bytes Live bytes per level split by tier.\n\
+                 # TYPE rocksmash_level_tier_bytes gauge\n",
+            );
+            for l in &self.levels {
+                let _ = writeln!(
+                    out,
+                    "rocksmash_level_tier_bytes{{level=\"{}\",tier=\"local\"}} {}",
+                    l.level, l.local_bytes
+                );
+                let _ = writeln!(
+                    out,
+                    "rocksmash_level_tier_bytes{{level=\"{}\",tier=\"cloud\"}} {}",
+                    l.level, l.cloud_bytes
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            "# HELP rocksmash_amp_write Overall write amplification (storage bytes per flushed byte).\n\
+             # TYPE rocksmash_amp_write gauge\n\
+             rocksmash_amp_write {}\n\
+             # HELP rocksmash_amp_read Sorted runs a point lookup may probe.\n\
+             # TYPE rocksmash_amp_read gauge\n\
+             rocksmash_amp_read {}\n\
+             # HELP rocksmash_amp_space Live bytes over the bottom-most level's bytes.\n\
+             # TYPE rocksmash_amp_space gauge\n\
+             rocksmash_amp_space {}\n\
+             # HELP rocksmash_amp_compaction_debt_bytes Outstanding compaction work in bytes.\n\
+             # TYPE rocksmash_amp_compaction_debt_bytes gauge\n\
+             rocksmash_amp_compaction_debt_bytes {}\n",
+            fmt_f64(self.write_amp()),
+            self.read_amp(),
+            fmt_f64(self.space_amp()),
+            self.compaction_debt_bytes,
+        );
+        let _ = escape; // keep the shared import surface consistent
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> LevelTable {
+        LevelTable {
+            levels: vec![
+                LevelStats {
+                    level: 0,
+                    files: 2,
+                    bytes: 2 << 20,
+                    score: 0.5,
+                    flush_bytes: 8 << 20,
+                    compact_bytes_read: 6 << 20,
+                    ..LevelStats::default()
+                },
+                LevelStats {
+                    level: 1,
+                    files: 4,
+                    bytes: 6 << 20,
+                    score: 0.6,
+                    ingest_bytes: 6 << 20,
+                    compact_bytes_read: 9 << 20,
+                    compact_bytes_written: 9 << 20,
+                    subcompact_bytes_written: 3 << 20,
+                    compactions: 3,
+                    local_bytes: 2 << 20,
+                    cloud_bytes: 4 << 20,
+                    ..LevelStats::default()
+                },
+            ],
+            compaction_debt_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn aggregates_follow_their_definitions() {
+        let t = sample_table();
+        assert_eq!(t.total_flush_bytes(), 8 << 20);
+        assert_eq!(t.total_compact_bytes_written(), 9 << 20);
+        // W-amp = (flush + compact written) / flush = 17/8.
+        assert!((t.write_amp() - 17.0 / 8.0).abs() < 1e-9);
+        // R-amp = 2 L0 files + 1 non-empty deeper level.
+        assert_eq!(t.read_amp(), 3);
+        // Space-amp = 8 MiB live / 6 MiB bottom level.
+        assert!((t.space_amp() - 8.0 / 6.0).abs() < 1e-9);
+        // Per-level W-amp at L1 = written / ingested = 9/6.
+        assert!((t.levels[1].write_amp() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_is_benign() {
+        let t = LevelTable::default();
+        assert_eq!(t.write_amp(), 0.0);
+        assert_eq!(t.read_amp(), 0);
+        assert_eq!(t.space_amp(), 1.0);
+        assert!(t.to_prometheus().is_empty());
+        let back = LevelTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample_table();
+        let back = LevelTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn render_has_rows_sum_and_amp_line() {
+        let t = sample_table();
+        let s = t.render();
+        assert!(s.contains("L0"));
+        assert!(s.contains("L1"));
+        assert!(s.contains("sum"));
+        assert!(s.contains("w-amp 2.12"));
+        assert!(s.contains("local(MB)"), "tier split columns render: {s}");
+    }
+
+    #[test]
+    fn prometheus_exposition_lints_and_names_families() {
+        let t = sample_table();
+        let body = t.to_prometheus();
+        crate::registry::validate_prometheus(&body).expect("level families lint");
+        assert!(body.contains("rocksmash_level_bytes{level=\"1\"}"));
+        assert!(body.contains("rocksmash_level_tier_bytes{level=\"1\",tier=\"cloud\"} 4194304"));
+        assert!(body.contains("rocksmash_amp_write "));
+        assert!(body.contains("rocksmash_amp_compaction_debt_bytes 1048576"));
+    }
+}

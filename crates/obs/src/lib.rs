@@ -24,21 +24,27 @@
 //! single branch on the hot path.
 
 mod events;
+pub mod health;
 pub mod heat;
 mod hist;
 pub mod http;
 pub mod json;
+pub mod levels;
 pub mod perf;
 mod registry;
 pub mod timeseries;
 
 pub use events::{Event, EventJournal, EventKind, DEFAULT_JOURNAL_CAPACITY};
+pub use health::{
+    Doctor, DoctorThresholds, Finding, HealthMonitor, HealthReport, Severity, ALL_RULES,
+};
 pub use heat::{
     HeatEntry, HeatMap, HeatSnapshot, Residency, ResidencySnapshot, ResidencyTier,
     DEFAULT_HEAT_SLOTS,
 };
 pub use hist::{HistogramSnapshot, LatencyHistogram};
 pub use http::MetricsServer;
+pub use levels::{LevelStats, LevelTable};
 pub use perf::{PerfContext, SpanIds};
 pub use registry::{
     validate_prometheus, MetricsRegistry, MetricsSnapshot, Observer, Op, OpStats, PerfGuard,

@@ -20,6 +20,7 @@ use crate::events::{Event, EventJournal, EventKind};
 use crate::heat::{HeatMap, HeatSnapshot, ResidencyTier};
 use crate::hist::LatencyHistogram;
 use crate::json::{escape, fmt_f64, Json};
+use crate::levels::LevelTable;
 use crate::perf::{self, PerfContext, SpanIds};
 
 /// Instrumented operations, one histogram each.
@@ -541,18 +542,32 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     heat: Option<HeatSnapshot>,
+    levels: Option<LevelTable>,
 }
 
 impl MetricsRegistry {
     /// Registry over `observer` with no counters or gauges yet.
     pub fn new(observer: Arc<Observer>) -> Self {
-        MetricsRegistry { observer, counters: BTreeMap::new(), gauges: BTreeMap::new(), heat: None }
+        MetricsRegistry {
+            observer,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            heat: None,
+            levels: None,
+        }
     }
 
     /// Attach a heat/residency snapshot; it rides along into every
     /// export surface of the built [`MetricsSnapshot`].
     pub fn attach_heat(&mut self, heat: HeatSnapshot) -> &mut Self {
         self.heat = Some(heat);
+        self
+    }
+
+    /// Attach a per-level amplification table; like heat, it rides into
+    /// every export surface.
+    pub fn attach_levels(&mut self, levels: LevelTable) -> &mut Self {
+        self.levels = Some(levels);
         self
     }
 
@@ -605,6 +620,7 @@ impl MetricsRegistry {
             gauges,
             events: self.observer.journal().events(),
             heat: self.heat.clone(),
+            levels: self.levels.clone(),
         }
     }
 }
@@ -635,6 +651,9 @@ pub struct MetricsSnapshot {
     /// Heat/residency snapshot, when one was attached.
     #[serde(default)]
     pub heat: Option<HeatSnapshot>,
+    /// Per-level amplification table, when one was attached.
+    #[serde(default)]
+    pub levels: Option<LevelTable>,
 }
 
 fn us(ns: u64) -> f64 {
@@ -675,6 +694,9 @@ impl MetricsSnapshot {
             for (name, v) in &self.gauges {
                 out.push_str(&format!("{name:<40} {v:.6}\n"));
             }
+        }
+        if let Some(levels) = &self.levels {
+            out.push_str(&levels.render());
         }
         if let Some(heat) = &self.heat {
             let r = &heat.residency;
@@ -748,6 +770,11 @@ impl MetricsSnapshot {
             Some(h) => out.push_str(&h.to_json()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"levels\":");
+        match &self.levels {
+            Some(l) => out.push_str(&l.to_json()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -792,7 +819,13 @@ impl MetricsSnapshot {
             None | Some(Json::Null) => None,
             Some(h) => Some(HeatSnapshot::from_json_value(h)?),
         };
-        Ok(MetricsSnapshot { latency, counters, gauges, events, heat })
+        // Same pattern for levels: absent or null keep pre-level
+        // snapshots parsing.
+        let levels = match v.get("levels") {
+            None | Some(Json::Null) => None,
+            Some(l) => Some(LevelTable::from_json_value(l)?),
+        };
+        Ok(MetricsSnapshot { latency, counters, gauges, events, heat, levels })
     }
 
     /// Prometheus text exposition (version 0.0.4). Latency renders as
@@ -822,10 +855,12 @@ impl MetricsSnapshot {
             }
         }
         for (name, v) in &self.counters {
+            out.push_str(&format!("# HELP rocksmash_{name}_total Monotonic total of {name}.\n"));
             out.push_str(&format!("# TYPE rocksmash_{name}_total counter\n"));
             out.push_str(&format!("rocksmash_{name}_total {v}\n"));
         }
         for (name, v) in &self.gauges {
+            out.push_str(&format!("# HELP rocksmash_{name} Point-in-time value of {name}.\n"));
             out.push_str(&format!("# TYPE rocksmash_{name} gauge\n"));
             out.push_str(&format!("rocksmash_{name} {}\n", fmt_f64(*v)));
         }
@@ -840,6 +875,9 @@ impl MetricsSnapshot {
                     fmt_f64(e.score)
                 ));
             }
+            out.push_str(
+                "# HELP rocksmash_heat_sst_cloud_gets_total Billed cloud GETs per tracked SST.\n",
+            );
             out.push_str("# TYPE rocksmash_heat_sst_cloud_gets_total counter\n");
             for e in &heat.entries {
                 out.push_str(&format!(
@@ -847,8 +885,12 @@ impl MetricsSnapshot {
                     e.file, e.cloud_gets
                 ));
             }
+            out.push_str(
+                "# HELP rocksmash_heat_dropped_total Accesses dropped by the bounded heat map.\n",
+            );
             out.push_str("# TYPE rocksmash_heat_dropped_total counter\n");
             out.push_str(&format!("rocksmash_heat_dropped_total {}\n", heat.dropped));
+            out.push_str("# HELP rocksmash_heat_tick Decay ticks applied to the heat scores.\n");
             out.push_str("# TYPE rocksmash_heat_tick gauge\n");
             out.push_str(&format!("rocksmash_heat_tick {}\n", heat.tick));
             let r = &heat.residency;
@@ -862,6 +904,7 @@ impl MetricsSnapshot {
                 "rocksmash_residency_bytes{{tier=\"cloud\"}} {}\n",
                 r.cloud_bytes
             ));
+            out.push_str("# HELP rocksmash_residency_files Live table files per tier.\n");
             out.push_str("# TYPE rocksmash_residency_files gauge\n");
             out.push_str(&format!(
                 "rocksmash_residency_files{{tier=\"local\"}} {}\n",
@@ -871,11 +914,18 @@ impl MetricsSnapshot {
                 "rocksmash_residency_files{{tier=\"cloud\"}} {}\n",
                 r.cloud_files
             ));
+            out.push_str(
+                "# HELP rocksmash_residency_cache_backed_bytes Cloud-resident bytes with cached \
+                 blocks on local storage.\n",
+            );
             out.push_str("# TYPE rocksmash_residency_cache_backed_bytes gauge\n");
             out.push_str(&format!(
                 "rocksmash_residency_cache_backed_bytes {}\n",
                 r.cache_backed_bytes
             ));
+        }
+        if let Some(levels) = &self.levels {
+            out.push_str(&levels.to_prometheus());
         }
         out
     }
@@ -883,8 +933,11 @@ impl MetricsSnapshot {
 
 /// Lint a Prometheus text exposition body. Checks every non-comment line
 /// is `name{labels} value` with a valid metric name, parseable value, and
-/// balanced quoted labels. Returns the number of samples, or a
-/// description of the first malformed line.
+/// balanced quoted labels, and that every sample belongs to a family with
+/// both a `# HELP` and a `# TYPE` declaration earlier in the body (summary
+/// `_count`/`_sum` and histogram `_bucket` samples resolve to their base
+/// family). Returns the number of samples, or a description of the first
+/// malformed line.
 pub fn validate_prometheus(body: &str) -> Result<usize, String> {
     fn valid_name(s: &str) -> bool {
         !s.is_empty()
@@ -892,9 +945,30 @@ pub fn validate_prometheus(body: &str) -> Result<usize, String> {
             && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     }
     let mut samples = 0;
+    let mut helped: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
     for (no, line) in body.lines().enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            match it.next() {
+                Some("HELP") => {
+                    let name = it.next().ok_or_else(|| {
+                        format!("line {}: HELP without a metric name: {line:?}", no + 1)
+                    })?;
+                    helped.insert(name);
+                }
+                Some("TYPE") => {
+                    let name = it.next().ok_or_else(|| {
+                        format!("line {}: TYPE without a metric name: {line:?}", no + 1)
+                    })?;
+                    typed.insert(name);
+                }
+                _ => {}
+            }
             continue;
         }
         let err = |what: &str| format!("line {}: {what}: {line:?}", no + 1);
@@ -921,8 +995,19 @@ pub fn validate_prometheus(body: &str) -> Result<usize, String> {
             let value = it.next().ok_or_else(|| err("missing value"))?;
             (name, value)
         };
-        if !valid_name(name_part.trim()) {
+        let name = name_part.trim();
+        if !valid_name(name) {
             return Err(err("bad metric name"));
+        }
+        // The sample's family: its own name, or the base name of a
+        // summary/histogram series sample.
+        let declared = |n: &str| helped.contains(n) && typed.contains(n);
+        let family_ok = declared(name)
+            || ["_count", "_sum", "_bucket"]
+                .iter()
+                .any(|suffix| name.strip_suffix(suffix).is_some_and(declared));
+        if !family_ok {
+            return Err(err("sample family lacks a # HELP/# TYPE declaration"));
         }
         // Value may be followed by an optional timestamp.
         let value = value_part.split_whitespace().next().ok_or_else(|| err("missing value"))?;
@@ -1242,10 +1327,26 @@ mod tests {
     fn prometheus_lint_rejects_garbage() {
         assert!(validate_prometheus("9metric 1\n").is_err());
         assert!(validate_prometheus("metric{a=b} 1\n").is_err());
-        assert!(validate_prometheus("metric nope\n").is_err());
+        assert!(validate_prometheus("# HELP metric x\n# TYPE metric gauge\nmetric nope\n").is_err());
         assert!(validate_prometheus("metric{a=\"b\" 1\n").is_err());
         assert_eq!(validate_prometheus("# just a comment\n").unwrap(), 0);
-        assert_eq!(validate_prometheus("m{l=\"x\"} 1.5 1234\n").unwrap(), 1);
+        let declared = "# HELP m a metric\n# TYPE m gauge\nm{l=\"x\"} 1.5 1234\n";
+        assert_eq!(validate_prometheus(declared).unwrap(), 1);
+    }
+
+    #[test]
+    fn prometheus_lint_requires_help_and_type_per_family() {
+        // Bare sample: no declarations at all.
+        assert!(validate_prometheus("m 1\n").is_err());
+        // TYPE alone or HELP alone is not enough.
+        assert!(validate_prometheus("# TYPE m gauge\nm 1\n").is_err());
+        assert!(validate_prometheus("# HELP m a metric\nm 1\n").is_err());
+        // Summary series samples resolve to their base family.
+        let summary = "# HELP lat latency\n# TYPE lat summary\n\
+                       lat{quantile=\"0.5\"} 1\nlat_count 2\nlat_sum 3\n";
+        assert_eq!(validate_prometheus(summary).unwrap(), 3);
+        // A _count sample whose base family is undeclared still fails.
+        assert!(validate_prometheus("# HELP x y\n# TYPE x counter\nlat_count 2\n").is_err());
     }
 
     #[test]

@@ -198,6 +198,15 @@ impl TimeSeries {
         self.ring.lock().back().and_then(|s| s.gauges.get(name).copied())
     }
 
+    /// Gauge `name` at the base and newest samples of the trailing window
+    /// (the health doctor's trend queries: debt then vs. debt now). `None`
+    /// unless both samples carry the gauge — a gauge that appeared
+    /// mid-window has no trend yet.
+    pub fn gauge_window(&self, name: &str, window_secs: f64) -> Option<(f64, f64)> {
+        let (base, newest) = self.window_pair(window_secs)?;
+        Some((*base.gauges.get(name)?, *newest.gauges.get(name)?))
+    }
+
     /// The standard rate families over `window`, computed from the
     /// well-known engine counters.
     pub fn window_rates(&self, window: RateWindow) -> WindowRates {
@@ -415,6 +424,81 @@ mod tests {
         assert_eq!(ts.ratio("cache_hits", "cache_misses", 60.0), None);
         let r = ts.window_rates(RateWindow::Short);
         assert_eq!(r.cache_hit_rate, None);
+    }
+
+    fn snap_g(counters: &[(&str, u64)], gauges: &[(&str, f64)]) -> MetricsSnapshot {
+        let mut s = snap(counters);
+        for &(k, v) in gauges {
+            s.gauges.insert(k.to_string(), v);
+        }
+        s
+    }
+
+    #[test]
+    fn gauge_window_returns_base_and_newest() {
+        let ts = TimeSeries::new(8);
+        ts.push_at(0.0, &snap_g(&[], &[("debt", 10.0)]));
+        ts.push_at(5.0, &snap_g(&[], &[("debt", 20.0)]));
+        ts.push_at(10.0, &snap_g(&[], &[("debt", 40.0)]));
+        assert_eq!(ts.gauge_window("debt", 10.0), Some((10.0, 40.0)));
+        assert_eq!(ts.gauge_window("debt", 5.0), Some((20.0, 40.0)));
+        // Gauge absent from either endpoint: no trend.
+        ts.push_at(15.0, &snap_g(&[], &[]));
+        assert_eq!(ts.gauge_window("debt", 5.0), None);
+        assert_eq!(ts.gauge("debt"), None);
+    }
+
+    #[test]
+    fn exactly_full_ring_still_answers_its_longest_window() {
+        // Capacity 4, exactly 4 samples pushed: no wrap has happened yet,
+        // and the window spanning precisely the retained range answers.
+        let ts = TimeSeries::new(4);
+        for i in 0..4u64 {
+            ts.push_at(i as f64, &snap(&[("engine_gets", i * 10)]));
+        }
+        assert_eq!(ts.len(), 4);
+        // Window of exactly the retained span (3s) reaches the oldest
+        // sample: cutoff is inclusive.
+        assert_eq!(ts.delta_since("engine_gets", 3.0), Some((30, 3.0)));
+        // One more push wraps: the oldest falls off, the answer shortens.
+        ts.push_at(4.0, &snap(&[("engine_gets", 40)]));
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.delta_since("engine_gets", 1000.0), Some((30, 3.0)));
+    }
+
+    #[test]
+    fn wrapped_ring_keeps_rates_continuous() {
+        // Push far past capacity: every post-wrap query must keep using
+        // the sliding retained window, with no seam at the wrap point.
+        let ts = TimeSeries::new(8);
+        for i in 0..100u64 {
+            ts.push_at(i as f64, &snap(&[("engine_gets", i * 10)]));
+            if i >= 8 {
+                // Steady 10/s whatever the wrap position.
+                assert_eq!(ts.rate("engine_gets", 7.0), Some(10.0));
+                assert_eq!(ts.len(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn gap_in_samples_yields_absent_not_zero() {
+        // Sampler paused for longer than the ring retains: a short window
+        // holds a single sample, and every rate answers None — never a
+        // fabricated zero.
+        let ts = TimeSeries::new(8);
+        ts.push_at(0.0, &snap(&[("engine_gets", 0), ("stall_ns", 0)]));
+        ts.push_at(1.0, &snap(&[("engine_gets", 10), ("stall_ns", 0)]));
+        // 10-minute gap, then one sample.
+        ts.push_at(601.0, &snap(&[("engine_gets", 20), ("stall_ns", 0)]));
+        let r = ts.window_rates(RateWindow::Short);
+        assert_eq!(r.ops_per_sec, None);
+        assert_eq!(r.stall_share, None);
+        assert_eq!(ts.rate("engine_gets", 10.0), None);
+        assert_eq!(ts.gauge_window("anything", 10.0), None);
+        // The long window still spans the gap and answers with the real
+        // elapsed time, not the window length.
+        assert_eq!(ts.delta_since("engine_gets", 3600.0), Some((20, 601.0)));
     }
 
     #[test]

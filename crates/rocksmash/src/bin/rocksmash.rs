@@ -15,6 +15,8 @@
 //! rocksmash <dir> stats [--json | --prometheus]
 //! rocksmash <dir> heat [--top <n>]   # hottest SSTs by decayed score
 //! rocksmash <dir> watch [--interval <secs>]
+//! rocksmash <dir> doctor           # rule-based health diagnosis
+//! rocksmash <dir> debug-bundle <out-dir>  # one-command support bundle
 //! rocksmash <dir> events [--kind <tag>] [--since-ns <n>] [--follow]
 //! rocksmash <dir> trace get <key>  # traced lookup + stage breakdown
 //! rocksmash <dir> trace [--id <n>] # dump span/slow-op events
@@ -25,8 +27,8 @@
 //! Flags (before the command): `--scheme <rocksmash|local-only|cloud-only|
 //! naive-hybrid>`, `--cloud-latency-us <n>`, `--readahead <blocks>`,
 //! `--sync`, `--metrics-listen <addr>` (serve `/metrics`, `/stats.json`,
-//! `/heat.json`, `/timeseries.json` while the command runs — pair with
-//! `watch` for a long-lived scrape target).
+//! `/heat.json`, `/timeseries.json`, `/health.json` while the command
+//! runs — pair with `watch` for a long-lived scrape target).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,7 +54,7 @@ fn usage() -> ExitCode {
          commands: put <k> <v> | get <k> | del <k> | scan <from> [limit]\n\
          \u{20}         fill <n> [value-size] | compact | recovery | repair\n\
          \u{20}         stats [--json | --prometheus] | heat [--top <n>]\n\
-         \u{20}         watch [--interval <secs>]\n\
+         \u{20}         watch [--interval <secs>] | doctor | debug-bundle <out-dir>\n\
          \u{20}         events [--kind <tag>] [--since-ns <n>] [--follow [--interval-ms <m>]]\n\
          \u{20}         trace get <key> | trace [--id <n>]"
     );
@@ -180,6 +182,14 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         ["heat", "--top", n] => heat_cmd(&db, n.parse()?)?,
         ["watch"] => watch(&db, 2)?,
         ["watch", "--interval", secs] => watch(&db, secs.parse()?)?,
+        ["doctor"] => doctor_cmd(&db)?,
+        ["debug-bundle", out] => {
+            let files = db.dump_debug_bundle(std::path::Path::new(out))?;
+            println!("wrote {} files to {out}:", files.len());
+            for f in &files {
+                println!("  {f}");
+            }
+        }
         ["events", rest @ ..] => events_cmd(&db, rest)?,
         ["trace", rest @ ..] => trace_cmd(&db, rest)?,
         ["recovery"] => match db.recovery_report() {
@@ -410,6 +420,27 @@ fn heat_cmd(db: &TieredDb, top: usize) -> Result<(), Box<dyn std::error::Error>>
     Ok(())
 }
 
+/// `doctor`: push two metrics samples a second apart (rate windows need a
+/// base and a newest point), run every health rule, and print the
+/// severity-ranked findings with their evidence and remediation.
+fn doctor_cmd(db: &TieredDb) -> Result<(), Box<dyn std::error::Error>> {
+    let _ = db.sample_metrics()?;
+    std::thread::sleep(std::time::Duration::from_secs(1));
+    let _ = db.sample_metrics()?;
+    let report = db.health_report();
+    println!("doctor: {} rules evaluated", report.rules_evaluated);
+    if report.healthy() {
+        println!("healthy: no findings");
+        return Ok(());
+    }
+    for f in &report.findings {
+        println!("[{}] {}: {}", f.severity.label(), f.rule, f.summary);
+        println!("    evidence: {}", f.evidence);
+        println!("    remedy:   {}", f.remediation);
+    }
+    Ok(())
+}
+
 /// Print the live stats dump plus windowed rates every `interval_secs`
 /// until interrupted. Each iteration pushes one sample into the
 /// time-series ring, so the rates work even without the background
@@ -417,7 +448,7 @@ fn heat_cmd(db: &TieredDb, top: usize) -> Result<(), Box<dyn std::error::Error>>
 fn watch(db: &TieredDb, interval_secs: u64) -> Result<(), Box<dyn std::error::Error>> {
     let interval = std::time::Duration::from_secs(interval_secs.max(1));
     loop {
-        let _ = db.sample_metrics()?;
+        let snapshot = db.sample_metrics()?;
         println!("--- {} ---", chrono_less_timestamp(db));
         print!("{}", db.stats_string()?);
         for (label, rates) in db.timeseries().all_window_rates() {
@@ -437,6 +468,24 @@ fn watch(db: &TieredDb, interval_secs: u64) -> Result<(), Box<dyn std::error::Er
                 pct(rates.stall_share),
             );
         }
+        let debt = snapshot.gauges.get("compaction_debt_bytes").copied().unwrap_or(0.0);
+        let w_amp = snapshot.gauges.get("write_amp").copied().unwrap_or(0.0);
+        let health = db.health_report();
+        let doctor_line = match health.findings.first() {
+            Some(f) => {
+                format!(
+                    "{} finding(s), worst [{}] {}",
+                    health.findings.len(),
+                    f.severity.label(),
+                    f.rule
+                )
+            }
+            None => "healthy".to_string(),
+        };
+        println!(
+            "health: w-amp {w_amp:.2}, compaction debt {:.1} MiB, doctor {doctor_line}",
+            debt / (1 << 20) as f64,
+        );
         std::thread::sleep(interval);
     }
 }

@@ -106,8 +106,8 @@ pub struct TieredConfig {
     /// from a background thread (RocksDB's `stats_dump_period_sec`); None
     /// disables the dump.
     pub stats_dump_interval: Option<std::time::Duration>,
-    /// Serve `/metrics` (Prometheus), `/stats.json`, `/heat.json`, and
-    /// `/timeseries.json` over HTTP on this address (e.g.
+    /// Serve `/metrics` (Prometheus), `/stats.json`, `/heat.json`,
+    /// `/timeseries.json`, and `/health.json` over HTTP on this address (e.g.
     /// `"127.0.0.1:9184"`; port 0 picks an ephemeral port, readable via
     /// `TieredDb::metrics_addr`). None disables the exporter entirely —
     /// no socket, no thread.

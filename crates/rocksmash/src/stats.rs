@@ -27,6 +27,10 @@ pub struct SchemeReport {
     pub engine_gets: u64,
     /// Memtable flushes.
     pub engine_flushes: u64,
+    /// Bytes written to L0 by memtable flushes (the denominator of the
+    /// store-wide write amplification).
+    #[serde(default)]
+    pub flush_bytes: u64,
     /// Compactions run.
     pub engine_compactions: u64,
     /// Compaction bytes read.
@@ -114,6 +118,12 @@ pub struct SchemeReport {
     /// before heat tracking existed.
     #[serde(default)]
     pub heat: Option<obs::HeatSnapshot>,
+    /// Per-level amplification accounting (shape, byte flows, derived
+    /// W/R/space-amp, compaction debt), with the per-tier byte split
+    /// filled from the residency ledger when observability is on. Absent
+    /// on result files written before level accounting existed.
+    #[serde(default)]
+    pub levels: Option<obs::LevelTable>,
 }
 
 /// `Arc`/`Clone` handles onto everything a [`SchemeReport`] samples.
@@ -136,6 +146,12 @@ pub struct StatsSource {
     pub(crate) ewal_gc: Option<Arc<GroupCommitStats>>,
     pub(crate) observer: Arc<obs::Observer>,
     pub(crate) timeseries: Arc<obs::TimeSeries>,
+    /// Published current version: lists the live tree without taking the
+    /// engine state lock (a stalled write path cannot block a scrape).
+    pub(crate) version: Arc<parking_lot::RwLock<Arc<lsm::version::Version>>>,
+    /// Health doctor with onset tracking, shared by the sampler, the
+    /// `/health.json` endpoint, and the CLI.
+    pub(crate) health: Arc<obs::HealthMonitor>,
 }
 
 impl StatsSource {
@@ -147,6 +163,34 @@ impl StatsSource {
     /// The metrics time-series ring fed by the background sampler.
     pub fn timeseries(&self) -> &Arc<obs::TimeSeries> {
         &self.timeseries
+    }
+
+    /// Snapshot the per-level accounting table, with the per-tier byte
+    /// split joined in from the residency ledger (observability on).
+    pub fn level_table(&self) -> obs::LevelTable {
+        let mut table = self.engine_stats.levels.snapshot();
+        if self.observer.is_enabled() {
+            let version = Arc::clone(&self.version.read());
+            let residency = self.observer.heat().residency();
+            for (level, files) in version.levels.iter().enumerate() {
+                let Some(row) = table.levels.get_mut(level) else { break };
+                for meta in files {
+                    match residency.tier_of(meta.number) {
+                        Some(obs::ResidencyTier::Local) => row.local_bytes += meta.file_size,
+                        Some(obs::ResidencyTier::Cloud) => row.cloud_bytes += meta.file_size,
+                        None => {}
+                    }
+                }
+            }
+        }
+        table
+    }
+
+    /// Run the health doctor over the trailing metrics window and the
+    /// current level table. Publishes a journal event per newly-tripped
+    /// rule (onset only, via the shared [`obs::HealthMonitor`]).
+    pub fn check_health(&self) -> obs::HealthReport {
+        self.health.check(&self.timeseries, Some(&self.level_table()), &self.observer)
     }
 }
 
@@ -194,6 +238,7 @@ impl SchemeReport {
             engine_writes: stats.writes.load(Ordering::Relaxed),
             engine_gets: stats.gets.load(Ordering::Relaxed),
             engine_flushes: stats.flushes.load(Ordering::Relaxed),
+            flush_bytes: stats.flush_bytes.load(Ordering::Relaxed),
             engine_compactions: stats.compactions.load(Ordering::Relaxed),
             compact_bytes_in: stats.compact_bytes_in.load(Ordering::Relaxed),
             compact_bytes_out: stats.compact_bytes_out.load(Ordering::Relaxed),
@@ -228,6 +273,7 @@ impl SchemeReport {
             },
             perf_ops: source.observer.perf_ops(),
             heat,
+            levels: Some(source.level_table()),
         })
     }
 
@@ -250,7 +296,7 @@ impl SchemeReport {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"engine_writes\":{},\"engine_gets\":{},\"engine_flushes\":{},\
+            "\"engine_writes\":{},\"engine_gets\":{},\"engine_flushes\":{},\"flush_bytes\":{},\
              \"engine_compactions\":{},\"compact_bytes_in\":{},\"compact_bytes_out\":{},\
              \"stall_ns\":{},\"flush_retries\":{},\"subcompactions\":{},\
              \"compaction_parallelism_peak\":{},\"imm_queue_peak\":{},\
@@ -258,6 +304,7 @@ impl SchemeReport {
             self.engine_writes,
             self.engine_gets,
             self.engine_flushes,
+            self.flush_bytes,
             self.engine_compactions,
             self.compact_bytes_in,
             self.compact_bytes_out,
@@ -355,6 +402,12 @@ impl SchemeReport {
             }
             None => out.push_str(",\"heat\":null"),
         }
+        match &self.levels {
+            Some(levels) => {
+                let _ = write!(out, ",\"levels\":{}", levels.to_json());
+            }
+            None => out.push_str(",\"levels\":null"),
+        }
         out.push('}');
         out
     }
@@ -367,6 +420,7 @@ impl SchemeReport {
             .counter("engine_writes", self.engine_writes)
             .counter("engine_gets", self.engine_gets)
             .counter("engine_flushes", self.engine_flushes)
+            .counter("flush_bytes", self.flush_bytes)
             .counter("engine_compactions", self.engine_compactions)
             .counter("compact_bytes_in", self.compact_bytes_in)
             .counter("compact_bytes_out", self.compact_bytes_out)
@@ -397,7 +451,13 @@ impl SchemeReport {
             .gauge("cloud_bytes", self.cloud_bytes as f64)
             .gauge("local_fraction", self.local_fraction())
             .gauge("cache_metadata_bytes", self.cache_metadata_bytes as f64)
-            .gauge("monthly_cost_dollars", self.cost.monthly_total());
+            .gauge("monthly_cost_dollars", self.cost.monthly_total())
+            // Cumulative per-request spend (PUT/GET charges + egress) in
+            // micro-dollars: a counter, so the doctor can rate it.
+            .counter(
+                "cost_microdollars",
+                ((self.cost.request_cost + self.cost.egress_cost) * 1e6) as u64,
+            );
         if let Some(cache) = &self.cache {
             registry
                 .counter("cache_hits", cache.hits)
@@ -413,6 +473,12 @@ impl SchemeReport {
         }
         if let Some(heat) = &self.heat {
             registry.attach_heat(heat.clone());
+        }
+        if let Some(levels) = &self.levels {
+            registry
+                .gauge("compaction_debt_bytes", levels.compaction_debt_bytes as f64)
+                .gauge("write_amp", levels.write_amp())
+                .attach_levels(levels.clone());
         }
     }
 }

@@ -90,6 +90,9 @@ fn sample_metrics_from(
     }
     let snapshot = snapshot_from(source)?;
     source.timeseries().push(&snapshot);
+    // Diagnose on every sample: the monitor publishes a journal event only
+    // when a rule newly trips, so a quiet store stays quiet.
+    source.check_health();
     Ok(snapshot)
 }
 
@@ -339,6 +342,8 @@ impl TieredDb {
             ewal_gc: ewal.as_ref().map(|e| Arc::clone(&e.stats)),
             observer: Arc::clone(&observer),
             timeseries: Arc::clone(&timeseries),
+            version: db.version_handle(),
+            health: Arc::new(obs::HealthMonitor::new(obs::Doctor::new())),
         };
 
         // Background sampler: needed by both the stats dump and the
@@ -412,6 +417,7 @@ impl TieredDb {
                         Some(("application/json", heat.to_json()))
                     }
                     "/timeseries.json" => Some(("application/json", source.timeseries().to_json())),
+                    "/health.json" => Some(("application/json", source.check_health().to_json())),
                     _ => None,
                 });
                 let server = obs::MetricsServer::start(listen, handler)
@@ -822,6 +828,85 @@ impl TieredDb {
     /// RocksDB-style human-readable statistics dump.
     pub fn stats_string(&self) -> Result<String> {
         Ok(self.metrics()?.snapshot().stats_string())
+    }
+
+    /// The per-level amplification table (shape, byte flows, derived
+    /// amplification factors, compaction debt), with the per-tier byte
+    /// split joined from the residency ledger.
+    pub fn level_table(&self) -> obs::LevelTable {
+        self.stats_source.level_table()
+    }
+
+    /// Run the health doctor now: evaluate every rule over the trailing
+    /// metrics window and the current level table. Journal events are
+    /// published for newly-tripped rules only.
+    pub fn health_report(&self) -> obs::HealthReport {
+        self.stats_source.check_health()
+    }
+
+    /// Write a one-command debug bundle into `dir` (created if absent):
+    /// the stats dump and JSON snapshot, the full scheme report, recent
+    /// events, heat/residency, the metrics time-series ring, the health
+    /// report, the level table, and a manifest-style listing of every
+    /// live table with its tier. Returns the file names written.
+    ///
+    /// A fresh metrics sample is pushed first so the bundle's time-series
+    /// and health report include the present moment.
+    pub fn dump_debug_bundle(&self, dir: &std::path::Path) -> Result<Vec<String>> {
+        use std::fmt::Write as _;
+        std::fs::create_dir_all(dir).map_err(storage::StorageError::Io)?;
+        let mut written: Vec<String> = Vec::new();
+        let mut emit = |name: &str, contents: &str| -> Result<()> {
+            std::fs::write(dir.join(name), contents).map_err(storage::StorageError::Io)?;
+            written.push(name.to_string());
+            Ok(())
+        };
+        let snapshot = self.sample_metrics()?;
+        emit("stats.txt", &snapshot.stats_string())?;
+        emit("stats.json", &snapshot.to_json())?;
+        emit("report.json", &self.report()?.to_json())?;
+        emit("events.jsonl", &self.observer.journal().to_json_lines())?;
+        let cache_backed = self.router.cache().map(|c| c.data_bytes()).unwrap_or(0);
+        emit("heat.json", &self.observer.heat().snapshot(HEAT_TOP_N, cache_backed).to_json())?;
+        emit("timeseries.json", &self.timeseries.to_json())?;
+        emit("health.json", &self.stats_source.check_health().to_json())?;
+        let table = self.stats_source.level_table();
+        emit("level_table.txt", &table.render())?;
+        // Manifest-style listing: every live table, its level, size, and
+        // tier — read through the published version, never an engine lock.
+        let mut listing = String::from("level  file          bytes  tier\n");
+        {
+            let version = Arc::clone(&self.stats_source.version.read());
+            let residency = self.observer.heat().residency();
+            for (level, files) in version.levels.iter().enumerate() {
+                for meta in files {
+                    let tier = match residency.tier_of(meta.number) {
+                        Some(obs::ResidencyTier::Local) => "local",
+                        Some(obs::ResidencyTier::Cloud) => "cloud",
+                        None => "-",
+                    };
+                    let _ = writeln!(
+                        listing,
+                        "L{level:<5} {:>6} {:>14} {tier}",
+                        meta.number, meta.file_size
+                    );
+                }
+            }
+        }
+        emit("manifest.txt", &listing)?;
+        let created = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let files: Vec<String> = written.iter().map(|f| format!("\"{f}\"")).collect();
+        let meta = format!(
+            "{{\"created_unix_secs\":{created},\"files\":[{}],\"compaction_debt_bytes\":{}}}",
+            files.join(","),
+            table.compaction_debt_bytes,
+        );
+        std::fs::write(dir.join("bundle.json"), meta).map_err(storage::StorageError::Io)?;
+        written.push("bundle.json".to_string());
+        Ok(written)
     }
 
     /// Shut down background work and sync logs.
