@@ -67,7 +67,7 @@ fn bench_perf_context_overhead(c: &mut Criterion) {
         g.bench_function("get_perf_always", |b| {
             b.iter(|| {
                 i = (i + 7919) % RECORDS;
-                db.get_with(black_box(opts), black_box(&key(i))).expect("get")
+                db.get_with(black_box(opts.clone()), black_box(&key(i))).expect("get")
             })
         });
         db.close().expect("close");

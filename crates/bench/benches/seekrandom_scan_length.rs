@@ -1,0 +1,102 @@
+//! seekrandom throughput vs scan length over a cloud-resident store, with
+//! the scan's end key pushed down as an iterator upper bound.
+//!
+//! The bounded-scan path exists so finite scans stop paying for blocks
+//! they will never read: the upper bound clamps both iteration and the
+//! readahead watermark, so the last prefetch batch ends at the scan's
+//! final block instead of overshooting into pure-egress territory. This
+//! bench measures records/sec at scan lengths 10 / 100 / 1000 with
+//! readahead on, bounded vs unbounded arms side by side — long bounded
+//! scans should match or beat unbounded while issuing strictly fewer
+//! cloud blocks.
+//!
+//! Besides the criterion timings, each arm appends its full
+//! [`rocksmash::SchemeReport`] — including the new
+//! `prefetch_wasted_blocks` counter, which should stay ~0 on the bounded
+//! arms — to `results/BENCH_E10-scan.json` for the figure scripts.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lsm::Options;
+use rocksmash::{Scheme, TieredConfig, TieredDb};
+use storage::{CloudConfig, LatencyModel, MemEnv};
+use workloads::keys::user_key;
+
+/// Records loaded before the measured scans.
+const RECORDS: u64 = 20_000;
+/// Value payload bytes.
+const VALUE_SIZE: usize = 100;
+/// Readahead depth for every arm (the sweep varies bounds, not depth).
+const READAHEAD_BLOCKS: usize = 8;
+
+/// A cloud-resident store with small blocks/files so scans cross many
+/// block and SST boundaries, and a mild simulated per-request latency so
+/// saved cloud requests show up in the timings.
+fn cloud_db() -> TieredDb {
+    let config = TieredConfig {
+        options: Options {
+            write_buffer_size: 256 << 10,
+            target_file_size: 256 << 10,
+            block_size: 4096,
+            ..Options::small_for_tests()
+        },
+        cloud: CloudConfig {
+            latency: LatencyModel { base_us: 50, bandwidth_mib_s: 10_000.0, jitter_frac: 0.0 },
+            ..CloudConfig::instant()
+        },
+        readahead_blocks: READAHEAD_BLOCKS,
+        ..TieredConfig::small_for_tests()
+    };
+    let db = Scheme::CloudOnly.open(Arc::new(MemEnv::new()), config).expect("open");
+    let value = vec![0x42u8; VALUE_SIZE];
+    for i in 0..RECORDS {
+        db.put(&user_key(i), &value).expect("fill");
+    }
+    db.flush().expect("flush");
+    db.wait_for_compactions().expect("settle");
+    db
+}
+
+/// Deterministic scan start for round `i`: strided so consecutive rounds
+/// touch different regions and the block cache cannot serve everything.
+fn start_for(i: u64, len: usize) -> u64 {
+    (i.wrapping_mul(7919)) % (RECORDS - len as u64)
+}
+
+fn bench_seekrandom_scan_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seekrandom_scan_length");
+    g.sample_size(10);
+    for &len in &[10usize, 100, 1000] {
+        for bounded in [false, true] {
+            let db = cloud_db();
+            let arm = if bounded { "bounded" } else { "unbounded" };
+            g.throughput(Throughput::Elements(len as u64));
+            let mut i = 0u64;
+            g.bench_function(format!("len{len}/{arm}"), |b| {
+                b.iter(|| {
+                    i += 1;
+                    let start = start_for(i, len);
+                    let rows = if bounded {
+                        db.scan_bounded(
+                            black_box(&user_key(start)),
+                            &user_key(start + len as u64),
+                            len,
+                        )
+                    } else {
+                        db.scan(black_box(&user_key(start)), len)
+                    }
+                    .expect("scan");
+                    assert_eq!(rows.len(), len);
+                })
+            });
+            let report = db.report().expect("report");
+            bench::emit_scheme_report("E10-scan", &format!("len={len} {arm}"), &report, &[]);
+            db.close().expect("close");
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seekrandom_scan_length);
+criterion_main!(benches);

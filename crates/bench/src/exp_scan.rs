@@ -9,10 +9,13 @@
 //! as one coalesced ranged GET on the prefetch pool, so sequential scans
 //! pay ~1/N of the per-request latency and request count; the companion
 //! counter table shows the mechanism (blocks prefetched, prefetch hits,
-//! coalesced GETs, billed requests saved).
+//! prefetched-but-never-read blocks, coalesced GETs, billed requests
+//! saved). Scans push their end key down as an iterator upper bound, so
+//! the "wasted" column should stay ~0: readahead is clamped at the last
+//! block each scan can touch.
 
 use rocksmash::{Scheme, SchemeReport};
-use workloads::microbench::seekrandom;
+use workloads::microbench::seekrandom_bounded;
 use workloads::{run_ops, KeyDistribution};
 
 use crate::{emit_table, load_random, open_scheme_with, ExpParams, Row};
@@ -43,14 +46,23 @@ pub fn run(params: &ExpParams) {
             let mut values = Vec::new();
             for &len in lengths {
                 let ops = (params.op_count / 8).max(50).min(2_000_000 / len as u64);
+                // Bounded scans: the end key is pushed down as an iterator
+                // upper bound, so readahead stops at the last block of each
+                // scan instead of overshooting into never-read cloud blocks.
                 run_ops(
                     &db,
-                    seekrandom(params.record_count, ops / 2, len, KeyDistribution::Uniform, 51),
+                    seekrandom_bounded(
+                        params.record_count,
+                        ops / 2,
+                        len,
+                        KeyDistribution::Uniform,
+                        51,
+                    ),
                 )
                 .expect("warm");
                 let result = run_ops(
                     &db,
-                    seekrandom(params.record_count, ops, len, KeyDistribution::Uniform, 52),
+                    seekrandom_bounded(params.record_count, ops, len, KeyDistribution::Uniform, 52),
                 )
                 .expect("run");
                 let records_per_sec = result.scanned_records as f64 / result.elapsed_secs;
@@ -63,6 +75,7 @@ pub fn run(params: &ExpParams) {
                 vec![
                     (after.prefetch_issued - before.prefetch_issued).to_string(),
                     (after.prefetch_useful - before.prefetch_useful).to_string(),
+                    (after.prefetch_wasted_blocks - before.prefetch_wasted_blocks).to_string(),
                     (after.coalesced_gets - before.coalesced_gets).to_string(),
                     (after.requests_saved - before.requests_saved).to_string(),
                 ],
@@ -76,7 +89,7 @@ pub fn run(params: &ExpParams) {
     emit_table(
         "E10-scan-readahead",
         "readahead & coalescing counters over the scan phases",
-        &["prefetched", "useful", "coalesced GETs", "reqs saved"],
+        &["prefetched", "useful", "wasted", "coalesced GETs", "reqs saved"],
         &counter_rows,
     );
 }

@@ -47,6 +47,10 @@ struct Shard {
     /// block has since been demanded (flag cleared) or evicted are stale
     /// and skipped on pop.
     prefetch_fifo: VecDeque<(usize, BlockKey)>,
+    /// Prefetched blocks evicted without ever serving a demand read: each
+    /// one was a cloud GET (often billed egress) the scan never used.
+    /// Bounded-scan readahead clamping exists to keep this at ~0.
+    wasted: u64,
 }
 
 impl Shard {
@@ -61,6 +65,7 @@ impl Shard {
             capacity,
             prefetched_bytes: 0,
             prefetch_fifo: VecDeque::new(),
+            wasted: 0,
         }
     }
 
@@ -111,7 +116,11 @@ impl Shard {
         let entry = &mut self.slab[idx];
         self.used -= entry.charge;
         if entry.prefetched {
+            // Evicted while still flagged: fetched by readahead, never
+            // demanded. This is the single eviction path, so counting here
+            // covers LRU pressure, the footprint cap, and erase_file alike.
             self.prefetched_bytes -= entry.charge;
+            self.wasted += 1;
         }
         self.map.remove(&entry.key);
         // Drop the Arc eagerly; slot is recycled via the free list.
@@ -269,6 +278,14 @@ impl BlockCache {
         self.prefetch_useful.load(Ordering::Relaxed)
     }
 
+    /// Prefetched blocks evicted without ever serving a demand read —
+    /// readahead overshoot, i.e. cloud GETs (billed egress on cloud-backed
+    /// schemes) the scan never consumed. Bounded scans clamp the prefetch
+    /// watermark precisely to keep this at ~0.
+    pub fn prefetch_wasted(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().wasted).sum()
+    }
+
     /// Drop every cached block belonging to `file_number` (called when a
     /// compaction obsoletes the file).
     pub fn erase_file(&self, file_number: u64) {
@@ -391,6 +408,29 @@ mod tests {
         // Flag cleared: a second hit is an ordinary hit.
         assert!(cache.get(1, 0).is_some());
         assert_eq!(cache.prefetch_useful(), 1);
+    }
+
+    #[test]
+    fn unconsumed_prefetched_evictions_count_as_wasted() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert_prefetched(1, 0, block_of_size(1, 100));
+        cache.insert_prefetched(1, 1, block_of_size(2, 100));
+        assert_eq!(cache.prefetch_wasted(), 0);
+        // Consume one, drop the file: only the unconsumed block is waste.
+        assert!(cache.get(1, 0).is_some());
+        cache.erase_file(1);
+        assert_eq!(cache.prefetch_wasted(), 1);
+        assert_eq!(cache.prefetch_useful(), 1);
+    }
+
+    #[test]
+    fn demand_evictions_are_not_wasted() {
+        let cache = BlockCache::new(1 << 20);
+        for off in 0..10u64 {
+            cache.insert(3, off, block_of_size(1, 64));
+        }
+        cache.erase_file(3);
+        assert_eq!(cache.prefetch_wasted(), 0);
     }
 
     #[test]

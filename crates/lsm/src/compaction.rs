@@ -184,9 +184,18 @@ impl LevelIterator {
 
     fn open_index(&mut self, index: usize) -> Result<()> {
         self.index = index;
-        self.current = if index < self.files.len() {
+        // A file whose smallest key is at or past the upper bound holds
+        // nothing the scan can return; stopping here means bounded scans
+        // never open (or prefetch from) tables beyond the bound.
+        let in_bounds = index < self.files.len()
+            && self
+                .read_opts
+                .iterate_upper_bound
+                .as_deref()
+                .is_none_or(|upper| extract_user_key(&self.files[index].smallest) < upper);
+        self.current = if in_bounds {
             let table = self.provider.table(&self.files[index])?;
-            Some(table.iter_with(self.read_opts))
+            Some(table.iter_with(self.read_opts.clone()))
         } else {
             None
         };
@@ -231,7 +240,10 @@ impl InternalIterator for LevelIterator {
     }
 
     fn next(&mut self) -> Result<()> {
-        self.current.as_mut().expect("next on invalid iterator").next()?;
+        let Some(it) = self.current.as_mut() else {
+            return Err(crate::error::Error::corruption("next on invalid level iterator"));
+        };
+        it.next()?;
         self.skip_exhausted()
     }
 

@@ -982,8 +982,11 @@ impl Db {
             children.push(Box::new(imm.iter()));
         }
         for meta in &snap.version.levels[0] {
+            // L0 files overlap, so none can be skipped outright, but a file
+            // wholly past the upper bound will never yield a key: its table
+            // iterator goes straight to out-of-bounds on the first seek.
             let table = shared.get_table(meta)?;
-            children.push(Box::new(table.iter_with(read_opts)));
+            children.push(Box::new(table.iter_with(read_opts.clone())));
         }
         let provider: Arc<dyn TableProvider> = shared.clone();
         for files in snap.version.levels.iter().skip(1) {
@@ -991,13 +994,14 @@ impl Db {
                 children.push(Box::new(LevelIterator::with_options(
                     files.clone(),
                     Arc::clone(&provider),
-                    read_opts,
+                    read_opts.clone(),
                 )));
             }
         }
         Ok(DbIterator {
-            inner: MergingIterator::new(children),
+            inner: MergingIterator::new_bounded(children, read_opts.iterate_upper_bound.clone()),
             snapshot: snap.seq,
+            lower_bound: read_opts.iterate_lower_bound.clone(),
             key: Vec::new(),
             value: Vec::new(),
             valid: false,
@@ -2405,6 +2409,10 @@ fn finish_output(
 pub struct DbIterator {
     inner: MergingIterator,
     snapshot: SequenceNumber,
+    /// Inclusive lower bound (user-key space) from
+    /// [`ReadOptions::iterate_lower_bound`]: every seek target is clamped
+    /// up to it, so keys below are never yielded.
+    lower_bound: Option<Vec<u8>>,
     key: Vec<u8>,
     value: Vec<u8>,
     valid: bool,
@@ -2418,19 +2426,28 @@ pub struct DbIterator {
 }
 
 impl DbIterator {
-    /// Position at the first visible key.
+    /// Position at the first visible key (at or after the lower bound,
+    /// when one is set).
     pub fn seek_to_first(&mut self) -> Result<()> {
         let obs = Arc::clone(&self.obs);
         let _perf = obs.perf_guard(self.perf);
-        self.inner.seek_to_first()?;
+        match self.lower_bound.clone() {
+            Some(lower) => self.inner.seek(&make_lookup_key(&lower, self.snapshot))?,
+            None => self.inner.seek_to_first()?,
+        }
         self.find_next_visible(None)
     }
 
-    /// Position at the first visible key >= `user_key`.
+    /// Position at the first visible key >= `user_key` (clamped up to the
+    /// lower bound, when one is set).
     pub fn seek(&mut self, user_key: &[u8]) -> Result<()> {
         let obs = Arc::clone(&self.obs);
         let _perf = obs.perf_guard(self.perf);
-        self.inner.seek(&make_lookup_key(user_key, self.snapshot))?;
+        let target = match self.lower_bound.as_deref() {
+            Some(lower) if user_key < lower => lower,
+            _ => user_key,
+        };
+        self.inner.seek(&make_lookup_key(target, self.snapshot))?;
         self.find_next_visible(None)
     }
 

@@ -6,8 +6,8 @@
 
 use std::cmp::Ordering;
 
-use crate::error::Result;
-use crate::types::internal_compare;
+use crate::error::{Error, Result};
+use crate::types::{extract_user_key, internal_compare};
 
 /// A sorted cursor over internal keys.
 ///
@@ -35,36 +35,95 @@ pub trait InternalIterator {
 
 /// Merges N sorted child iterators into one sorted stream.
 ///
-/// A linear scan over children picks the minimum at each step; for the
-/// fan-ins the engine produces (≤ ~12 children: one per level plus L0
-/// files), linear beats a binary heap on constant factors.
+/// A binary min-heap of child indices picks the head in O(log N). With
+/// sharded memtables and parallel-compaction L0 shapes the fan-in easily
+/// exceeds a dozen children, so the old linear min-scan paid O(N) per
+/// step. The common case — the head child still beats the runner-up after
+/// advancing — costs just the one comparison at which [`Self::sift_down`]
+/// terminates without swapping.
+///
+/// An optional exclusive upper bound (user-key space) truncates the merged
+/// stream: once the head reaches the bound the heap is cleared, because
+/// every remaining entry in a sorted stream is also past the bound.
 pub struct MergingIterator {
     children: Vec<Box<dyn InternalIterator>>,
-    current: Option<usize>,
+    /// Indices of currently-valid children, heap-ordered by `less`.
+    heap: Vec<usize>,
+    /// Exclusive upper bound on yielded user keys.
+    upper_bound: Option<Vec<u8>>,
 }
 
 impl MergingIterator {
     /// Merge the given children.
     pub fn new(children: Vec<Box<dyn InternalIterator>>) -> Self {
-        MergingIterator { children, current: None }
+        Self::new_bounded(children, None)
     }
 
-    fn find_smallest(&mut self) {
-        let mut smallest: Option<usize> = None;
-        for (i, child) in self.children.iter().enumerate() {
-            if !child.valid() {
-                continue;
+    /// Merge with an exclusive upper bound in user-key space; `None`
+    /// merges unbounded.
+    pub fn new_bounded(
+        children: Vec<Box<dyn InternalIterator>>,
+        upper_bound: Option<Vec<u8>>,
+    ) -> Self {
+        let heap = Vec::with_capacity(children.len());
+        MergingIterator { children, heap, upper_bound }
+    }
+
+    /// Heap order: smaller internal key wins; on an exact tie the lower
+    /// child index wins, preserving the old linear scan's first-child
+    /// semantics.
+    fn less(&self, a: usize, b: usize) -> bool {
+        match internal_compare(self.children[a].key(), self.children[b].key()) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                return;
             }
-            match smallest {
-                None => smallest = Some(i),
-                Some(s) => {
-                    if internal_compare(child.key(), self.children[s].key()) == Ordering::Less {
-                        smallest = Some(i);
-                    }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < self.heap.len() && self.less(self.heap[right], self.heap[left]) {
+                smallest = right;
+            }
+            if self.less(self.heap[smallest], self.heap[i]) {
+                self.heap.swap(i, smallest);
+                i = smallest;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Rebuild the heap from every currently-valid child (after a seek).
+    fn rebuild(&mut self) {
+        self.heap.clear();
+        for i in 0..self.children.len() {
+            if self.children[i].valid() {
+                self.heap.push(i);
+            }
+        }
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
+        self.enforce_bound();
+    }
+
+    /// Clear the heap once the head crosses the upper bound: the merged
+    /// stream is sorted, so everything after the head is past it too.
+    fn enforce_bound(&mut self) {
+        if let Some(upper) = &self.upper_bound {
+            if let Some(&head) = self.heap.first() {
+                if extract_user_key(self.children[head].key()) >= upper.as_slice() {
+                    self.heap.clear();
                 }
             }
         }
-        self.current = smallest;
     }
 }
 
@@ -73,7 +132,7 @@ impl InternalIterator for MergingIterator {
         for child in &mut self.children {
             child.seek_to_first()?;
         }
-        self.find_smallest();
+        self.rebuild();
         Ok(())
     }
 
@@ -81,27 +140,39 @@ impl InternalIterator for MergingIterator {
         for child in &mut self.children {
             child.seek(target)?;
         }
-        self.find_smallest();
+        self.rebuild();
         Ok(())
     }
 
     fn next(&mut self) -> Result<()> {
-        let cur = self.current.expect("next on invalid iterator");
-        self.children[cur].next()?;
-        self.find_smallest();
+        let Some(&head) = self.heap.first() else {
+            return Err(Error::corruption("next on exhausted merging iterator"));
+        };
+        self.children[head].next()?;
+        if self.children[head].valid() {
+            // Fast path lives inside sift_down: while the head still beats
+            // the runner-up it terminates after one comparison, no swaps.
+            self.sift_down(0);
+        } else {
+            self.heap.swap_remove(0);
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+        }
+        self.enforce_bound();
         Ok(())
     }
 
     fn valid(&self) -> bool {
-        self.current.is_some()
+        !self.heap.is_empty()
     }
 
     fn key(&self) -> &[u8] {
-        self.children[self.current.expect("valid")].key()
+        self.children[*self.heap.first().expect("valid")].key()
     }
 
     fn value(&self) -> &[u8] {
-        self.children[self.current.expect("valid")].value()
+        self.children[*self.heap.first().expect("valid")].value()
     }
 }
 
@@ -138,7 +209,9 @@ impl InternalIterator for VecIterator {
     }
 
     fn next(&mut self) -> Result<()> {
-        debug_assert!(self.valid());
+        if !self.valid() {
+            return Err(Error::corruption("next on invalid vec iterator"));
+        }
         self.pos += 1;
         Ok(())
     }
@@ -228,5 +301,60 @@ mod tests {
         assert!(it.valid());
         it.seek(&ik("e", u64::MAX >> 9)).unwrap();
         assert!(!it.valid());
+    }
+
+    #[test]
+    fn merge_many_children_stays_sorted() {
+        // Wide fan-in exercises the heap across rebuilds and advances.
+        let children: Vec<Box<dyn InternalIterator>> = (0..24)
+            .map(|c| {
+                let keys: Vec<(String, u64)> =
+                    (0..8).map(|i| (format!("k{:03}", i * 24 + c), 1u64)).collect();
+                let refs: Vec<(&str, u64)> = keys.iter().map(|(k, s)| (k.as_str(), *s)).collect();
+                vec_iter(&refs)
+            })
+            .collect();
+        let mut m = MergingIterator::new(children);
+        m.seek_to_first().unwrap();
+        let got = drain(&mut m);
+        assert_eq!(got.len(), 24 * 8);
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn merge_upper_bound_truncates() {
+        let a = vec_iter(&[("a", 1), ("c", 1), ("e", 1)]);
+        let b = vec_iter(&[("b", 1), ("d", 1)]);
+        let mut m = MergingIterator::new_bounded(vec![a, b], Some(b"d".to_vec()));
+        m.seek_to_first().unwrap();
+        // Exclusive bound: "d" itself is not yielded.
+        assert_eq!(drain(&mut m), vec!["a@1", "b@1", "c@1"]);
+
+        // A seek landing past the bound is immediately invalid.
+        let a = vec_iter(&[("a", 1), ("e", 1)]);
+        let mut m = MergingIterator::new_bounded(vec![a], Some(b"d".to_vec()));
+        m.seek(&ik("b", u64::MAX >> 9)).unwrap();
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn merge_next_on_exhausted_is_error_not_panic() {
+        let mut m = MergingIterator::new(vec![vec_iter(&[("a", 1)])]);
+        m.seek_to_first().unwrap();
+        m.next().unwrap();
+        assert!(!m.valid());
+        assert!(m.next().is_err());
+    }
+
+    #[test]
+    fn vec_iterator_next_past_end_is_error() {
+        let mut it = vec_iter(&[("a", 1)]);
+        assert!(it.next().is_err()); // not positioned yet
+        it.seek_to_first().unwrap();
+        it.next().unwrap();
+        assert!(!it.valid());
+        assert!(it.next().is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! Engine tuning knobs.
 
 /// Per-read tuning knobs for iterators and scans.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReadOptions {
     /// When > 0, a table iterator that advances sequentially schedules up
     /// to this many upcoming data blocks on the background prefetch pool,
@@ -15,6 +15,15 @@ pub struct ReadOptions {
     /// into the observer when the op finishes. Off by default; the
     /// disabled path costs one branch per probe site.
     pub perf_context: bool,
+    /// Exclusive upper bound on iteration, in user-key space. An iterator
+    /// with this set never yields a key `>= iterate_upper_bound`, stops
+    /// opening table files/partitions past the bound, and clamps readahead
+    /// so no cloud block beyond the bound is ever prefetched.
+    pub iterate_upper_bound: Option<Vec<u8>>,
+    /// Inclusive lower bound on iteration, in user-key space. Seeks (and
+    /// `seek_to_first`) are clamped so the iterator never yields a key
+    /// `< iterate_lower_bound`.
+    pub iterate_lower_bound: Option<Vec<u8>>,
 }
 
 impl ReadOptions {
@@ -26,6 +35,18 @@ impl ReadOptions {
     /// Enable per-op perf-context capture for this call.
     pub fn with_perf_context(mut self) -> Self {
         self.perf_context = true;
+        self
+    }
+
+    /// Set an exclusive upper bound (user-key space) on iteration.
+    pub fn with_upper_bound(mut self, upper: impl Into<Vec<u8>>) -> Self {
+        self.iterate_upper_bound = Some(upper.into());
+        self
+    }
+
+    /// Set an inclusive lower bound (user-key space) on iteration.
+    pub fn with_lower_bound(mut self, lower: impl Into<Vec<u8>>) -> Self {
+        self.iterate_lower_bound = Some(lower.into());
         self
     }
 }
@@ -100,6 +121,14 @@ pub struct Options {
     /// Byte budget for one group-commit round: the leader stops draining
     /// the queue once the accumulated payload reaches this size.
     pub group_commit_max_bytes: usize,
+    /// When > 0, SSTables are written with a two-level (partitioned)
+    /// index: the index and bloom filter are cut into partitions of this
+    /// many data blocks each, with a small top-level index over the
+    /// partitions. Opening such a table pins only the top-level index and
+    /// the filter index — O(1) instead of O(total blocks) — and index
+    /// partitions load lazily through the block cache as reads touch
+    /// them. 0 (the default) writes the legacy monolithic format.
+    pub partitioned_index_granularity: usize,
     /// Observability handle recording per-op latency histograms and the
     /// event journal. `None` makes the engine create a disabled observer:
     /// hot paths then pay a single branch and record nothing. Outer layers
@@ -133,6 +162,7 @@ impl Default for Options {
             write_shards: 1,
             group_commit_max_batches: 32,
             group_commit_max_bytes: 1 << 20,
+            partitioned_index_granularity: 0,
             observer: None,
         }
     }

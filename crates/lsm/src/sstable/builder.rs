@@ -6,9 +6,22 @@ use crate::error::Result;
 use crate::options::Options;
 use crate::sstable::block::BlockBuilder;
 use crate::sstable::bloom::BloomFilter;
-use crate::sstable::{BlockHandle, Footer};
+use crate::sstable::{BlockHandle, Footer, FORMAT_MONOLITHIC, FORMAT_PARTITIONED};
 use crate::types::extract_user_key;
 use crate::util::{crc32c_extend, mask_crc};
+
+/// One completed index/filter partition, buffered until `finish` lays the
+/// blocks out on disk. A partition covers `partitioned_index_granularity`
+/// consecutive data blocks (the final partition may cover fewer).
+struct FinishedPartition {
+    /// Internal key of the partition's last entry; the top-level index and
+    /// filter index both key on it.
+    last_key: Vec<u8>,
+    /// Finished index-block contents for this partition's data blocks.
+    index_contents: Vec<u8>,
+    /// Encoded bloom filter over this partition's user keys, if enabled.
+    filter: Option<Vec<u8>>,
+}
 
 /// Builds one table file from entries added in internal-key order.
 pub struct TableBuilder {
@@ -19,12 +32,17 @@ pub struct TableBuilder {
     /// Last key added (full internal key); becomes the index entry key when
     /// the data block is cut.
     last_key: Vec<u8>,
-    /// User keys for the file's bloom filter.
+    /// User keys for the bloom filter (whole file in monolithic mode, the
+    /// current partition in partitioned mode).
     filter_keys: Vec<Vec<u8>>,
     offset: u64,
     pending_index: Option<(Vec<u8>, BlockHandle)>,
     num_entries: u64,
     smallest: Option<Vec<u8>>,
+    /// Data blocks indexed into the current partition (partitioned mode).
+    blocks_in_partition: usize,
+    /// Partitions completed so far (partitioned mode).
+    partitions: Vec<FinishedPartition>,
 }
 
 impl TableBuilder {
@@ -42,6 +60,8 @@ impl TableBuilder {
             pending_index: None,
             num_entries: 0,
             smallest: None,
+            blocks_in_partition: 0,
+            partitions: Vec::new(),
         }
     }
 
@@ -106,6 +126,14 @@ impl TableBuilder {
         self.flush_pending_index();
 
         let compress = self.options.compression;
+        if self.options.partitioned_index_granularity > 0 {
+            if !self.index_block.is_empty() {
+                let last = self.last_key.clone();
+                self.finalize_partition(last);
+            }
+            return self.finish_partitioned(compress);
+        }
+
         let filter_handle = if self.options.bloom_bits_per_key > 0 && !self.filter_keys.is_empty() {
             let filter = BloomFilter::build(
                 self.filter_keys.iter().map(|k| k.as_slice()),
@@ -121,11 +149,80 @@ impl TableBuilder {
         let index_handle =
             write_raw_block(&mut self.file, &mut self.offset, &index_contents, compress)?;
 
-        let footer = Footer { filter_handle, index_handle };
+        let footer = Footer { filter_handle, index_handle, version: FORMAT_MONOLITHIC };
         self.file.append(&footer.encode())?;
         self.offset += super::FOOTER_SIZE as u64;
         self.file.finish()?;
         Ok(self.offset)
+    }
+
+    /// Write the partitioned (v1) tail: per-partition filters, per-partition
+    /// index blocks, the filter index, the top-level index, and the footer.
+    fn finish_partitioned(mut self, compress: bool) -> Result<u64> {
+        let partitions = std::mem::take(&mut self.partitions);
+
+        let mut filter_handles = Vec::with_capacity(partitions.len());
+        for p in &partitions {
+            filter_handles.push(match &p.filter {
+                Some(enc) => write_raw_block(&mut self.file, &mut self.offset, enc, compress)?,
+                None => BlockHandle::default(),
+            });
+        }
+        let mut index_handles = Vec::with_capacity(partitions.len());
+        for p in &partitions {
+            index_handles.push(write_raw_block(
+                &mut self.file,
+                &mut self.offset,
+                &p.index_contents,
+                compress,
+            )?);
+        }
+
+        let filter_index_handle = if filter_handles.iter().any(|h| h.size > 0) {
+            let mut b = BlockBuilder::new(1);
+            for (p, h) in partitions.iter().zip(&filter_handles) {
+                b.add(&p.last_key, &h.encode());
+            }
+            write_raw_block(&mut self.file, &mut self.offset, &b.finish(), compress)?
+        } else {
+            BlockHandle::default()
+        };
+
+        let mut top = BlockBuilder::new(1);
+        for (p, h) in partitions.iter().zip(&index_handles) {
+            top.add(&p.last_key, &h.encode());
+        }
+        let top_handle =
+            write_raw_block(&mut self.file, &mut self.offset, &top.finish(), compress)?;
+
+        let footer = Footer {
+            filter_handle: filter_index_handle,
+            index_handle: top_handle,
+            version: FORMAT_PARTITIONED,
+        };
+        self.file.append(&footer.encode())?;
+        self.offset += super::FOOTER_SIZE as u64;
+        self.file.finish()?;
+        Ok(self.offset)
+    }
+
+    /// Seal the current partition: its index block contents and bloom
+    /// filter are buffered in memory until `finish` writes the file tail.
+    fn finalize_partition(&mut self, last_key: Vec<u8>) {
+        let index_contents =
+            std::mem::replace(&mut self.index_block, BlockBuilder::new(1)).finish();
+        let filter = if self.options.bloom_bits_per_key > 0 && !self.filter_keys.is_empty() {
+            let f = BloomFilter::build(
+                self.filter_keys.iter().map(|k| k.as_slice()),
+                self.options.bloom_bits_per_key,
+            );
+            Some(f.encode())
+        } else {
+            None
+        };
+        self.filter_keys.clear();
+        self.blocks_in_partition = 0;
+        self.partitions.push(FinishedPartition { last_key, index_contents, filter });
     }
 
     fn cut_data_block(&mut self) -> Result<()> {
@@ -146,6 +243,16 @@ impl TableBuilder {
     fn flush_pending_index(&mut self) {
         if let Some((key, handle)) = self.pending_index.take() {
             self.index_block.add(&key, &handle.encode());
+            let granularity = self.options.partitioned_index_granularity;
+            if granularity > 0 {
+                // `filter_keys` holds exactly the completed blocks' user
+                // keys here: the entry that will start the next block has
+                // not been added yet.
+                self.blocks_in_partition += 1;
+                if self.blocks_in_partition >= granularity {
+                    self.finalize_partition(key);
+                }
+            }
         }
     }
 }
@@ -237,5 +344,60 @@ mod tests {
         let size = b.finish().unwrap();
         // Index (possibly empty block) + footer.
         assert!(size >= super::super::FOOTER_SIZE as u64);
+    }
+
+    #[test]
+    fn partitioned_build_writes_v1_footer() {
+        let env = MemEnv::new();
+        let opts = Options {
+            block_size: 256,
+            partitioned_index_granularity: 4,
+            ..Options::small_for_tests()
+        };
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), opts);
+        for i in 0..200 {
+            let k = make_internal_key(format!("key{i:05}").as_bytes(), i + 1, ValueType::Value);
+            b.add(&k, &[b'x'; 32]).unwrap();
+        }
+        b.finish().unwrap();
+        let data = env.read_all("t").unwrap();
+        let footer = Footer::decode(&data[data.len() - super::super::FOOTER_SIZE..]).unwrap();
+        assert_eq!(footer.version, super::super::FORMAT_PARTITIONED);
+        assert!(footer.index_handle.size > 0);
+        assert!(footer.filter_handle.size > 0);
+    }
+
+    #[test]
+    fn granularity_zero_stays_bit_identical_to_legacy() {
+        // The default knob must not perturb the on-disk format at all.
+        let build = |granularity| {
+            let env = MemEnv::new();
+            let opts = Options {
+                block_size: 256,
+                partitioned_index_granularity: granularity,
+                ..Options::small_for_tests()
+            };
+            let mut b = TableBuilder::new(env.new_writable("t").unwrap(), opts);
+            for i in 0..50 {
+                let k = make_internal_key(format!("key{i:05}").as_bytes(), i + 1, ValueType::Value);
+                b.add(&k, b"value").unwrap();
+            }
+            b.finish().unwrap();
+            env.read_all("t").unwrap()
+        };
+        assert_eq!(build(0), build(0));
+        assert_ne!(build(0), build(4));
+    }
+
+    #[test]
+    fn empty_partitioned_table_still_finishes() {
+        let env = MemEnv::new();
+        let opts = Options { partitioned_index_granularity: 2, ..Options::small_for_tests() };
+        let b = TableBuilder::new(env.new_writable("t").unwrap(), opts);
+        let size = b.finish().unwrap();
+        assert!(size >= super::super::FOOTER_SIZE as u64);
+        let data = env.read_all("t").unwrap();
+        let footer = Footer::decode(&data[data.len() - super::super::FOOTER_SIZE..]).unwrap();
+        assert_eq!(footer.version, super::super::FORMAT_PARTITIONED);
     }
 }

@@ -1,19 +1,35 @@
 //! Block-based immutable sorted tables (SSTables).
 //!
-//! File layout (LevelDB-compatible in spirit):
+//! Version 0 file layout (LevelDB-compatible in spirit):
 //!
 //! ```text
 //! [data block 0][trailer] [data block 1][trailer] ...
 //! [filter block][trailer]
 //! [index block][trailer]
-//! [footer: filter handle | index handle | padding | magic]
+//! [footer: filter handle | index handle | padding | version=0 | magic]
+//! ```
+//!
+//! Version 1 (partitioned index, written when
+//! `Options::partitioned_index_granularity > 0`) cuts the index and the
+//! bloom filter into partitions of N data blocks each, with a small
+//! two-level structure on top:
+//!
+//! ```text
+//! [data block 0][trailer] ... [data block M][trailer]
+//! [filter partition 0][trailer] ... [filter partition P][trailer]
+//! [index partition 0][trailer] ... [index partition P][trailer]
+//! [filter index block][trailer]   (partition last key -> filter handle)
+//! [top index block][trailer]      (partition last key -> index partition handle)
+//! [footer: filter index handle | top index handle | padding | version=1 | magic]
 //! ```
 //!
 //! Every block is followed by a 5-byte trailer: a compression byte (0 =
 //! none) and a masked CRC32C over the block contents plus the compression
-//! byte. The index block maps each data block's last key to its
-//! [`BlockHandle`]; the filter block holds one bloom filter over all user
-//! keys in the file.
+//! byte. An index block (or partition) maps each data block's last key to
+//! its [`BlockHandle`]; a filter block holds one bloom filter over the
+//! user keys it covers (the whole file in v0, one partition in v1).
+//! Opening a v1 table pins only the two small top-level blocks; index
+//! partitions load lazily through the block cache.
 
 pub mod block;
 pub mod bloom;
@@ -69,13 +85,29 @@ impl BlockHandle {
     }
 }
 
-/// Footer: filter handle, index handle, zero padding, magic.
+/// Table format version written into the footer. Version 0 is the legacy
+/// monolithic layout; version 1 is the partitioned-index layout. Legacy
+/// files wrote zero padding where the version byte now lives, so they
+/// decode as version 0 unchanged.
+pub const FORMAT_MONOLITHIC: u8 = 0;
+/// Partitioned-index format: the footer handles point at the filter index
+/// and the top-level index instead of the filter and index blocks.
+pub const FORMAT_PARTITIONED: u8 = 1;
+
+/// Footer: filter handle, index handle, zero padding, version, magic.
+///
+/// In version 0, `filter_handle` locates the single bloom filter and
+/// `index_handle` the monolithic index block. In version 1 the same two
+/// slots locate the filter index block and the top-level index block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Footer {
-    /// Handle of the filter block; `size == 0` means no filter.
+    /// Handle of the filter block (v0) or filter index block (v1);
+    /// `size == 0` means no filter.
     pub filter_handle: BlockHandle,
-    /// Handle of the index block.
+    /// Handle of the index block (v0) or top-level index block (v1).
     pub index_handle: BlockHandle,
+    /// Format version: [`FORMAT_MONOLITHIC`] or [`FORMAT_PARTITIONED`].
+    pub version: u8,
 }
 
 impl Footer {
@@ -84,12 +116,14 @@ impl Footer {
         let mut out = Vec::with_capacity(FOOTER_SIZE);
         self.filter_handle.encode_to(&mut out);
         self.index_handle.encode_to(&mut out);
-        out.resize(FOOTER_SIZE - 8, 0);
+        debug_assert!(out.len() <= FOOTER_SIZE - 9, "footer handles overflow padding");
+        out.resize(FOOTER_SIZE - 9, 0);
+        out.push(self.version);
         out.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
         out
     }
 
-    /// Parse a footer, validating length and magic.
+    /// Parse a footer, validating length, magic, and format version.
     pub fn decode(src: &[u8]) -> Result<Footer> {
         if src.len() != FOOTER_SIZE {
             return Err(Error::corruption("footer size mismatch"));
@@ -98,9 +132,13 @@ impl Footer {
         if magic != TABLE_MAGIC {
             return Err(Error::corruption("bad table magic"));
         }
+        let version = src[FOOTER_SIZE - 9];
+        if version > FORMAT_PARTITIONED {
+            return Err(Error::corruption("unsupported table format version"));
+        }
         let (filter_handle, n) = BlockHandle::decode_from(src)?;
         let (index_handle, _) = BlockHandle::decode_from(&src[n..])?;
-        Ok(Footer { filter_handle, index_handle })
+        Ok(Footer { filter_handle, index_handle, version })
     }
 }
 
@@ -124,19 +162,25 @@ mod tests {
 
     #[test]
     fn footer_roundtrip() {
-        let f = Footer {
-            filter_handle: BlockHandle { offset: 100, size: 200 },
-            index_handle: BlockHandle { offset: 300, size: 400 },
-        };
-        let enc = f.encode();
-        assert_eq!(enc.len(), FOOTER_SIZE);
-        assert_eq!(Footer::decode(&enc).unwrap(), f);
+        for version in [FORMAT_MONOLITHIC, FORMAT_PARTITIONED] {
+            let f = Footer {
+                filter_handle: BlockHandle { offset: 100, size: 200 },
+                index_handle: BlockHandle { offset: 300, size: 400 },
+                version,
+            };
+            let enc = f.encode();
+            assert_eq!(enc.len(), FOOTER_SIZE);
+            assert_eq!(Footer::decode(&enc).unwrap(), f);
+        }
     }
 
     #[test]
     fn footer_rejects_bad_magic() {
-        let f =
-            Footer { filter_handle: BlockHandle::default(), index_handle: BlockHandle::default() };
+        let f = Footer {
+            filter_handle: BlockHandle::default(),
+            index_handle: BlockHandle::default(),
+            version: FORMAT_MONOLITHIC,
+        };
         let mut enc = f.encode();
         enc[FOOTER_SIZE - 1] ^= 0xff;
         assert!(Footer::decode(&enc).is_err());
@@ -145,5 +189,34 @@ mod tests {
     #[test]
     fn footer_rejects_bad_length() {
         assert!(Footer::decode(&[0u8; FOOTER_SIZE - 1]).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_unknown_version() {
+        let f = Footer {
+            filter_handle: BlockHandle::default(),
+            index_handle: BlockHandle::default(),
+            version: FORMAT_MONOLITHIC,
+        };
+        let mut enc = f.encode();
+        enc[FOOTER_SIZE - 9] = 0x7f;
+        assert!(Footer::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn legacy_zero_padding_decodes_as_monolithic() {
+        // Pre-version files zero-padded the byte the version now occupies;
+        // they must keep decoding as format 0.
+        let f = Footer {
+            filter_handle: BlockHandle { offset: 1, size: 2 },
+            index_handle: BlockHandle { offset: 3, size: 4 },
+            version: FORMAT_MONOLITHIC,
+        };
+        let mut legacy = Vec::with_capacity(FOOTER_SIZE);
+        f.filter_handle.encode_to(&mut legacy);
+        f.index_handle.encode_to(&mut legacy);
+        legacy.resize(FOOTER_SIZE - 8, 0);
+        legacy.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        assert_eq!(Footer::decode(&legacy).unwrap(), f);
     }
 }

@@ -1,6 +1,7 @@
 //! SSTable reading.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use storage::RandomAccessFile;
 
@@ -11,7 +12,7 @@ use crate::options::{Options, ReadOptions};
 use crate::prefetch::{PrefetchJob, Prefetcher};
 use crate::sstable::block::{Block, BlockIter};
 use crate::sstable::bloom::BloomFilter;
-use crate::sstable::{BlockHandle, Footer, BLOCK_TRAILER_SIZE, FOOTER_SIZE};
+use crate::sstable::{BlockHandle, Footer, BLOCK_TRAILER_SIZE, FOOTER_SIZE, FORMAT_PARTITIONED};
 use crate::types::{extract_user_key, internal_compare};
 use crate::util::{crc32c, crc32c_extend, unmask_crc};
 
@@ -20,8 +21,20 @@ pub struct Table {
     file: Arc<dyn RandomAccessFile>,
     file_number: u64,
     options: Options,
+    /// Monolithic index (v0) or top-level index over partitions (v1).
+    /// Either way this is the only index structure pinned for the table's
+    /// whole lifetime; v1 index partitions load lazily via the block cache.
     index: Arc<Block>,
+    /// Whole-file bloom filter (v0 only).
     filter: Option<BloomFilter>,
+    /// Filter index block mapping partition last key -> filter handle
+    /// (v1 only).
+    filter_index: Option<Arc<Block>>,
+    /// Whether the file uses the partitioned (v1) format.
+    partitioned: bool,
+    /// Decoded per-partition bloom filters, keyed by filter-block offset.
+    /// `None` pins a decode failure so corruption is read and counted once.
+    partition_filters: Mutex<HashMap<u64, Option<Arc<BloomFilter>>>>,
     cache: Option<Arc<BlockCache>>,
     prefetcher: Option<Arc<Prefetcher>>,
 }
@@ -40,16 +53,39 @@ impl Table {
         }
         let footer_bytes = file.read_exact_at(len - FOOTER_SIZE as u64, FOOTER_SIZE)?;
         let footer = Footer::decode(&footer_bytes)?;
+        let partitioned = footer.version == FORMAT_PARTITIONED;
         let index_contents =
             read_block_contents(&*file, &footer.index_handle, options.verify_checksums)?;
         let index = Arc::new(Block::new(index_contents)?);
-        let filter = if footer.filter_handle.size > 0 {
+        let mut filter = None;
+        let mut filter_index = None;
+        if footer.filter_handle.size > 0 {
             let raw = read_block_contents(&*file, &footer.filter_handle, options.verify_checksums)?;
-            BloomFilter::decode(&raw)
-        } else {
-            None
-        };
-        Ok(Table { file, file_number, options, index, filter, cache, prefetcher: None })
+            if partitioned {
+                filter_index = Some(Arc::new(Block::new(raw)?));
+            } else {
+                filter = BloomFilter::decode(&raw);
+                if filter.is_none() {
+                    // A present-but-undecodable filter is corruption, not
+                    // "no filter": every lookup silently degrading to a
+                    // data-block read would mask it. Count and journal it;
+                    // the table stays usable (reads fall back to the index).
+                    record_filter_decode_failure(&options, file_number);
+                }
+            }
+        }
+        Ok(Table {
+            file,
+            file_number,
+            options,
+            index,
+            filter,
+            filter_index,
+            partitioned,
+            partition_filters: Mutex::new(HashMap::new()),
+            cache,
+            prefetcher: None,
+        })
     }
 
     /// The file number this table was opened under.
@@ -69,16 +105,35 @@ impl Table {
     /// `lookup_key` and return it, or `None` when the table has no such
     /// entry. The bloom filter short-circuits definite misses.
     pub fn get(&self, lookup_key: &[u8]) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
-        if let Some(filter) = &self.filter {
-            if !filter.may_contain(extract_user_key(lookup_key)) {
-                return Ok(None);
-            }
-        }
         let mut index_iter = self.index.iter();
         index_iter.seek(lookup_key)?;
         if !index_iter.valid() {
             return Ok(None);
         }
+        let index_iter = if self.partitioned {
+            // Two-level descent: `index` here is the top-level index; check
+            // this partition's filter, then search inside the partition.
+            if let Some(filter) = self.partition_filter(lookup_key)? {
+                if !filter.may_contain(extract_user_key(lookup_key)) {
+                    return Ok(None);
+                }
+            }
+            let (part_handle, _) = BlockHandle::decode_from(index_iter.value())?;
+            let partition = self.read_index_partition(&part_handle)?;
+            let mut it = partition.iter();
+            it.seek(lookup_key)?;
+            if !it.valid() {
+                return Ok(None);
+            }
+            it
+        } else {
+            if let Some(filter) = &self.filter {
+                if !filter.may_contain(extract_user_key(lookup_key)) {
+                    return Ok(None);
+                }
+            }
+            index_iter
+        };
         let (handle, _) = BlockHandle::decode_from(index_iter.value())?;
         let block = self.read_data_block(&handle)?;
         let mut iter = block.iter();
@@ -96,13 +151,82 @@ impl Table {
 
     /// Iterator over the whole table with per-read tuning.
     pub fn iter_with(self: &Arc<Self>, read_opts: ReadOptions) -> TableIter {
+        let (top_iter, index_iter) = if self.partitioned {
+            (Some(self.index.iter()), None)
+        } else {
+            (None, Some(self.index.iter()))
+        };
         TableIter {
             table: Arc::clone(self),
-            index_iter: self.index.iter(),
+            top_iter,
+            index_iter,
             data_iter: None,
             read_opts,
             prefetch_watermark: 0,
+            out_of_bounds: false,
         }
+    }
+
+    /// Bytes of table metadata pinned in memory for the table's lifetime:
+    /// the index (v0) or top-level index (v1), plus the decoded whole-file
+    /// filter (v0) or the filter index block (v1). Lazily cached v1
+    /// partitions live in the block cache and are accounted there, which
+    /// is exactly the point of the partitioned format.
+    pub fn metadata_pinned_bytes(&self) -> usize {
+        let mut bytes = self.index.size();
+        if let Some(filter) = &self.filter {
+            bytes += filter.encoded_len();
+        }
+        if let Some(filter_index) = &self.filter_index {
+            bytes += filter_index.size();
+        }
+        bytes
+    }
+
+    /// Look up the bloom filter covering `lookup_key`'s partition (v1),
+    /// decoding and memoizing it on first touch. `None` means no filter or
+    /// a corrupt one (counted and journaled once per partition).
+    fn partition_filter(&self, lookup_key: &[u8]) -> Result<Option<Arc<BloomFilter>>> {
+        let Some(filter_index) = &self.filter_index else {
+            return Ok(None);
+        };
+        let mut it = filter_index.iter();
+        it.seek(lookup_key)?;
+        if !it.valid() {
+            return Ok(None);
+        }
+        let (handle, _) = BlockHandle::decode_from(it.value())?;
+        if handle.size == 0 {
+            return Ok(None);
+        }
+        if let Some(cached) = self.partition_filters.lock().expect("filter map").get(&handle.offset)
+        {
+            return Ok(cached.clone());
+        }
+        let raw = read_block_contents(&*self.file, &handle, self.options.verify_checksums)?;
+        let decoded = BloomFilter::decode(&raw).map(Arc::new);
+        if decoded.is_none() {
+            record_filter_decode_failure(&self.options, self.file_number);
+        }
+        self.partition_filters.lock().expect("filter map").insert(handle.offset, decoded.clone());
+        Ok(decoded)
+    }
+
+    /// Read one index partition (v1), via the block cache when configured.
+    /// Unlike data blocks this does not feed the heat score: placement
+    /// wants user-data access frequency, not metadata traffic.
+    fn read_index_partition(&self, handle: &BlockHandle) -> Result<Arc<Block>> {
+        if let Some(cache) = &self.cache {
+            if let Some(block) = cache.get(self.file_number, handle.offset) {
+                return Ok(block);
+            }
+        }
+        let contents = read_block_contents(&*self.file, handle, self.options.verify_checksums)?;
+        let block = Arc::new(Block::new(contents)?);
+        if let Some(cache) = &self.cache {
+            cache.insert(self.file_number, handle.offset, Arc::clone(&block));
+        }
+        Ok(block)
     }
 
     /// Read one data block, via the block cache when configured.
@@ -135,6 +259,14 @@ impl Table {
             cache.insert(self.file_number, handle.offset, Arc::clone(&block));
         }
         Ok(block)
+    }
+}
+
+/// Count and journal a bloom filter that was present on disk but failed to
+/// decode. One branch when no observer is configured.
+fn record_filter_decode_failure(options: &Options, file_number: u64) {
+    if let Some(observer) = &options.observer {
+        observer.record_filter_decode_failure(file_number);
     }
 }
 
@@ -180,26 +312,82 @@ pub fn decode_block_contents(raw: &[u8], handle: &BlockHandle, verify: bool) -> 
     }
 }
 
-/// Two-level iterator: index block entries point at data blocks.
+/// Two-level iterator: index block entries point at data blocks. Over a
+/// partitioned (v1) table it is three-level — a top-level iterator walks
+/// partitions while `index_iter` walks the current partition — but the
+/// shape below the index level is identical.
+///
+/// With [`ReadOptions::iterate_upper_bound`] set, the iterator goes
+/// permanently invalid at the first key `>=` the bound, stops loading data
+/// blocks, and clamps readahead so no block past the bound is prefetched.
 pub struct TableIter {
     table: Arc<Table>,
-    index_iter: BlockIter,
+    /// Top-level index iterator (partition last key -> index partition
+    /// handle). `None` for monolithic (v0) tables.
+    top_iter: Option<BlockIter>,
+    /// Monolithic index (v0) or current index partition (v1). `None` when
+    /// a v1 iterator is unpositioned or exhausted.
+    index_iter: Option<BlockIter>,
     data_iter: Option<BlockIter>,
     read_opts: ReadOptions,
     /// File offset below which readahead has already been scheduled; keeps
     /// the steady-state cost at ~one newly scheduled block per block
     /// consumed instead of re-submitting the whole window.
     prefetch_watermark: u64,
+    /// Latched once the iterator crosses the upper bound: no further data
+    /// block loads or readahead.
+    out_of_bounds: bool,
 }
 
 impl TableIter {
+    /// (Re)load `index_iter` from the top-level iterator's current
+    /// partition. No-op for v0 tables.
+    fn load_index_partition(&mut self) -> Result<()> {
+        let Some(top) = self.top_iter.as_ref() else {
+            return Ok(());
+        };
+        if !top.valid() {
+            self.index_iter = None;
+            return Ok(());
+        }
+        let (handle, _) = BlockHandle::decode_from(top.value())?;
+        let partition = self.table.read_index_partition(&handle)?;
+        self.index_iter = Some(partition.iter());
+        Ok(())
+    }
+
+    /// Advance to the next index entry, crossing into the next partition
+    /// of a v1 table when the current one is exhausted.
+    fn advance_index(&mut self) -> Result<()> {
+        let exhausted = match self.index_iter.as_mut() {
+            Some(ix) if ix.valid() => {
+                ix.next()?;
+                !ix.valid()
+            }
+            _ => true,
+        };
+        if !exhausted || self.top_iter.is_none() {
+            return Ok(());
+        }
+        let top = self.top_iter.as_mut().expect("checked above");
+        if top.valid() {
+            top.next()?;
+        }
+        self.load_index_partition()?;
+        if let Some(ix) = self.index_iter.as_mut() {
+            ix.seek_to_first()?;
+        }
+        Ok(())
+    }
+
     fn load_data_block(&mut self) -> Result<()> {
-        if !self.index_iter.valid() {
+        if self.out_of_bounds || !self.index_iter.as_ref().is_some_and(|ix| ix.valid()) {
             self.data_iter = None;
             return Ok(());
         }
         self.maybe_schedule_readahead();
-        let (handle, _) = BlockHandle::decode_from(self.index_iter.value())?;
+        let (handle, _) =
+            BlockHandle::decode_from(self.index_iter.as_ref().expect("valid").value())?;
         let block = self.table.read_data_block(&handle)?;
         self.data_iter = Some(block.iter());
         Ok(())
@@ -209,6 +397,14 @@ impl TableIter {
     /// prefetch pool, skipping any already covered by a previous window.
     /// Runs before the demand read of the current block so the background
     /// fetch overlaps with it.
+    ///
+    /// The peek window is clamped twice: it never crosses the current
+    /// partition boundary (the peek walks one index block, so it cannot
+    /// run into filter/metadata blocks past the data area), and with an
+    /// upper bound it stops at the first block whose last key reaches the
+    /// bound — later blocks provably hold only out-of-bound keys, and
+    /// prefetching them would be billed cloud egress for bytes the scan
+    /// can never return.
     fn maybe_schedule_readahead(&mut self) {
         let n = self.read_opts.readahead_blocks;
         if n == 0 {
@@ -217,8 +413,20 @@ impl TableIter {
         let (Some(prefetcher), Some(cache)) = (&self.table.prefetcher, &self.table.cache) else {
             return;
         };
-        let mut peek = self.index_iter.clone();
+        let Some(index_iter) = self.index_iter.as_ref() else {
+            return;
+        };
+        let upper = self.read_opts.iterate_upper_bound.as_deref();
+        // The index key is a block's last key: the first block whose last
+        // key reaches the bound may still hold in-bound keys, but
+        // everything after it cannot. If the current block is already that
+        // boundary block, nothing past it will ever be read.
+        if upper.is_some_and(|ub| index_iter.valid() && extract_user_key(index_iter.key()) >= ub) {
+            return;
+        }
+        let mut peek = index_iter.clone();
         let mut handles = Vec::new();
+        let mut bound_truncated = false;
         for _ in 0..n {
             if peek.next().is_err() || !peek.valid() {
                 break;
@@ -226,16 +434,24 @@ impl TableIter {
             let Ok((handle, _)) = BlockHandle::decode_from(peek.value()) else {
                 break;
             };
+            let last_in_bounds = upper.is_some_and(|ub| extract_user_key(peek.key()) >= ub);
             if handle.offset >= self.prefetch_watermark {
                 handles.push(handle);
+            }
+            if last_in_bounds {
+                bound_truncated = true;
+                break;
             }
         }
         // Refill hysteresis: only dispatch once at least half the window is
         // unscheduled. Scheduling on every block would degenerate to
         // one-block jobs past the initial batch, and a one-range job cannot
         // coalesce; waiting for n/2 keeps each ranged GET at least n/2
-        // blocks wide while the pipeline stays at least half full.
-        if handles.len() < (n / 2).max(1) {
+        // blocks wide while the pipeline stays at least half full. A batch
+        // the upper bound cut short is the scan's final one — dispatch it
+        // whatever its size, it cannot recur (the watermark then covers
+        // every block up to the bound).
+        if !bound_truncated && handles.len() < (n / 2).max(1) {
             return;
         }
         if let Some(last) = handles.last() {
@@ -250,7 +466,8 @@ impl TableIter {
         }
     }
 
-    /// Move forward until the data iterator is valid or the table ends.
+    /// Move forward until the data iterator is valid, the table ends, or
+    /// the upper bound is reached.
     fn skip_empty_blocks_forward(&mut self) -> Result<()> {
         loop {
             let exhausted = match &self.data_iter {
@@ -260,10 +477,31 @@ impl TableIter {
             if !exhausted {
                 return Ok(());
             }
-            self.index_iter.next()?;
+            // The consumed block's index key is its last key: if that
+            // already reached the bound, every later block starts past it.
+            if let (Some(upper), Some(ix)) =
+                (&self.read_opts.iterate_upper_bound, self.index_iter.as_ref())
+            {
+                if ix.valid() && extract_user_key(ix.key()) >= upper.as_slice() {
+                    self.out_of_bounds = true;
+                    self.data_iter = None;
+                    return Ok(());
+                }
+            }
+            self.advance_index()?;
             self.load_data_block()?;
             if let Some(it) = self.data_iter.as_mut() {
                 it.seek_to_first()?;
+            }
+        }
+    }
+
+    /// Invalidate the iterator if the current entry crossed the bound.
+    fn check_bound(&mut self) {
+        if let (Some(upper), Some(it)) = (&self.read_opts.iterate_upper_bound, &self.data_iter) {
+            if it.valid() && extract_user_key(it.key()) >= upper.as_slice() {
+                self.out_of_bounds = true;
+                self.data_iter = None;
             }
         }
     }
@@ -271,29 +509,51 @@ impl TableIter {
 
 impl InternalIterator for TableIter {
     fn seek_to_first(&mut self) -> Result<()> {
-        self.index_iter.seek_to_first()?;
         self.prefetch_watermark = 0;
+        self.out_of_bounds = false;
+        if let Some(top) = self.top_iter.as_mut() {
+            top.seek_to_first()?;
+            self.load_index_partition()?;
+        }
+        if let Some(ix) = self.index_iter.as_mut() {
+            ix.seek_to_first()?;
+        }
         self.load_data_block()?;
         if let Some(it) = self.data_iter.as_mut() {
             it.seek_to_first()?;
         }
-        self.skip_empty_blocks_forward()
+        self.skip_empty_blocks_forward()?;
+        self.check_bound();
+        Ok(())
     }
 
     fn seek(&mut self, target: &[u8]) -> Result<()> {
-        self.index_iter.seek(target)?;
         self.prefetch_watermark = 0;
+        self.out_of_bounds = false;
+        if let Some(top) = self.top_iter.as_mut() {
+            top.seek(target)?;
+            self.load_index_partition()?;
+        }
+        if let Some(ix) = self.index_iter.as_mut() {
+            ix.seek(target)?;
+        }
         self.load_data_block()?;
         if let Some(it) = self.data_iter.as_mut() {
             it.seek(target)?;
         }
-        self.skip_empty_blocks_forward()
+        self.skip_empty_blocks_forward()?;
+        self.check_bound();
+        Ok(())
     }
 
     fn next(&mut self) -> Result<()> {
-        let it = self.data_iter.as_mut().expect("next on invalid iterator");
+        let Some(it) = self.data_iter.as_mut() else {
+            return Err(Error::corruption("next on invalid table iterator"));
+        };
         it.next()?;
-        self.skip_empty_blocks_forward()
+        self.skip_empty_blocks_forward()?;
+        self.check_bound();
+        Ok(())
     }
 
     fn valid(&self) -> bool {
@@ -448,6 +708,126 @@ mod tests {
         assert_eq!(env.stats().snapshot().reads, reads_after_first);
         let (hits, _) = cache.hit_stats();
         assert!(hits >= 1);
+    }
+
+    #[test]
+    fn partitioned_get_every_key_and_full_scan() {
+        for granularity in [1usize, 2, 3, 7] {
+            let opts = Options {
+                block_size: 256,
+                partitioned_index_granularity: granularity,
+                ..Options::small_for_tests()
+            };
+            let (_env, table) = build_table(500, &opts);
+            for i in 0..500 {
+                let lk = make_lookup_key(format!("key{i:05}").as_bytes(), SNAP);
+                let (k, v) = table.get(&lk).unwrap().expect("found");
+                assert_eq!(extract_user_key(&k), format!("key{i:05}").as_bytes());
+                assert_eq!(v, format!("value{i}").into_bytes());
+            }
+            assert_eq!(validate_table(&table).unwrap(), 500, "granularity {granularity}");
+            assert!(table.get(&make_lookup_key(b"zzz", SNAP)).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn partitioned_seek_crosses_partitions() {
+        let opts = Options {
+            block_size: 128,
+            partitioned_index_granularity: 2,
+            ..Options::small_for_tests()
+        };
+        let (_env, table) = build_table(300, &opts);
+        let mut it = table.iter();
+        it.seek(&make_lookup_key(b"key00142", SNAP)).unwrap();
+        let mut seen = 0;
+        while it.valid() {
+            assert_eq!(extract_user_key(it.key()), format!("key{:05}", 142 + seen).as_bytes());
+            seen += 1;
+            it.next().unwrap();
+        }
+        assert_eq!(seen, 300 - 142);
+    }
+
+    #[test]
+    fn partitioned_metadata_pinned_is_smaller() {
+        let base = Options { block_size: 128, ..Options::small_for_tests() };
+        let (_env, mono) = build_table(2_000, &base);
+        let part_opts = Options { partitioned_index_granularity: 8, ..base };
+        let (_env2, part) = build_table(2_000, &part_opts);
+        // The partitioned table pins only the top-level index + filter
+        // index, well under the monolithic index + filter.
+        assert!(
+            part.metadata_pinned_bytes() * 2 < mono.metadata_pinned_bytes(),
+            "partitioned {} vs monolithic {}",
+            part.metadata_pinned_bytes(),
+            mono.metadata_pinned_bytes()
+        );
+    }
+
+    #[test]
+    fn bounded_iter_stops_at_upper_bound() {
+        for granularity in [0usize, 2] {
+            let opts = Options {
+                block_size: 128,
+                partitioned_index_granularity: granularity,
+                ..Options::small_for_tests()
+            };
+            let (_env, table) = build_table(200, &opts);
+            let ro = ReadOptions::default().with_upper_bound(&b"key00050"[..]);
+            let mut it = table.iter_with(ro);
+            it.seek_to_first().unwrap();
+            let mut seen = 0;
+            while it.valid() {
+                assert!(extract_user_key(it.key()) < b"key00050".as_slice());
+                seen += 1;
+                it.next().unwrap();
+            }
+            assert_eq!(seen, 50);
+            // Exhausted-by-bound iterators report misuse on next(), same
+            // as exhausted-by-end ones.
+            assert!(it.next().is_err());
+        }
+    }
+
+    #[test]
+    fn bounded_seek_past_bound_is_invalid() {
+        let opts = Options { block_size: 128, ..Options::small_for_tests() };
+        let (_env, table) = build_table(100, &opts);
+        let ro = ReadOptions::default().with_upper_bound(&b"key00010"[..]);
+        let mut it = table.iter_with(ro);
+        it.seek(&make_lookup_key(b"key00050", SNAP)).unwrap();
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn corrupt_bloom_is_counted_not_swallowed() {
+        let opts = Options { verify_checksums: false, ..Options::small_for_tests() };
+        let env = MemEnv::new();
+        let mut b = TableBuilder::new(env.new_writable("t").unwrap(), opts.clone());
+        for i in 0..100 {
+            let k = make_internal_key(format!("key{i:05}").as_bytes(), i + 1, ValueType::Value);
+            b.add(&k, b"v").unwrap();
+        }
+        b.finish().unwrap();
+        // Zero the filter's trailing `k` byte: BloomFilter::decode returns
+        // None for k == 0, the exact shape of the old silent-swallow bug.
+        let mut data = env.read_all("t").unwrap();
+        let footer = Footer::decode(&data[data.len() - FOOTER_SIZE..]).unwrap();
+        let k_byte = (footer.filter_handle.offset + footer.filter_handle.size - 1) as usize;
+        data[k_byte] = 0;
+        env.write_all("t", &data).unwrap();
+
+        let observer = Arc::new(obs::Observer::new());
+        let opts = Options { observer: Some(Arc::clone(&observer)), ..opts };
+        let table = Arc::new(Table::open(env.open_random("t").unwrap(), 9, opts, None).unwrap());
+        assert_eq!(observer.filter_decode_failures(), 1);
+        // Reads still work without the filter.
+        let lk = make_lookup_key(b"key00042", SNAP);
+        assert!(table.get(&lk).unwrap().is_some());
+        // The corruption landed in the journal.
+        let events = observer.journal().events();
+        assert!(events.iter().any(|e| matches!(&e.kind, obs::EventKind::Corruption { .. })));
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub enum EventKind {
     /// previous check (`severity` is its stable lowercase label). Cleared
     /// findings do not publish; the journal records onsets, not state.
     HealthFinding { rule: String, severity: String, summary: String },
+    /// On-disk corruption was detected but tolerated (e.g. a bloom filter
+    /// that failed to decode: reads continue without it). `context` names
+    /// the corrupt structure, `detail` describes the instance.
+    Corruption { context: String, detail: String },
 }
 
 impl EventKind {
@@ -107,6 +111,7 @@ impl EventKind {
             EventKind::PromotionStart { .. } => "PromotionStart",
             EventKind::PromotionDone { .. } => "PromotionDone",
             EventKind::HealthFinding { .. } => "HealthFinding",
+            EventKind::Corruption { .. } => "Corruption",
         }
     }
 
@@ -190,6 +195,13 @@ impl EventKind {
                     escape(rule),
                     escape(severity),
                     escape(summary)
+                ));
+            }
+            EventKind::Corruption { context, detail } => {
+                out.push_str(&format!(
+                    ",\"context\":\"{}\",\"detail\":\"{}\"",
+                    escape(context),
+                    escape(detail)
                 ));
             }
         }
@@ -309,6 +321,15 @@ impl EventKind {
                     severity: s("severity")?,
                     summary: s("summary")?,
                 }
+            }
+            "Corruption" => {
+                let s = |name: &str| {
+                    v.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("Corruption missing {name}"))
+                };
+                EventKind::Corruption { context: s("context")?, detail: s("detail")? }
             }
             other => return Err(format!("unknown event type {other:?}")),
         })
@@ -542,6 +563,10 @@ mod tests {
                 rule: "stall_spike".into(),
                 severity: "critical".into(),
                 summary: "writers stalled 41% of the last 10s (\"burst\")".into(),
+            },
+            EventKind::Corruption {
+                context: "bloom-filter".into(),
+                detail: "table 9: filter block failed to decode (\"k=0\")".into(),
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {

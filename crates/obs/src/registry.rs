@@ -127,6 +127,11 @@ pub struct Observer {
     /// Always allocated (bounded, ~tens of KB) so the handle is
     /// unconditional; recording is gated on `enabled`, one branch.
     heat: HeatMap,
+    /// Bloom filters present on disk that failed to decode. Counted even
+    /// when the observer is disabled: this is a corruption signal, not a
+    /// latency sample, and losing it would recreate the silent-swallow bug
+    /// it exists to surface. Only the journal event is gated on `enabled`.
+    filter_decode_failures: AtomicU64,
 }
 
 impl Observer {
@@ -144,6 +149,7 @@ impl Observer {
             perf_totals: Mutex::new(PerfContext::default()),
             perf_ops: AtomicU64::new(0),
             heat: HeatMap::default(),
+            filter_decode_failures: AtomicU64::new(0),
         }
     }
 
@@ -229,6 +235,23 @@ impl Observer {
     /// The heat/residency tracker (always present; empty when disabled).
     pub fn heat(&self) -> &HeatMap {
         &self.heat
+    }
+
+    /// Record a bloom filter that was present on disk but failed to
+    /// decode for table `file`: bump the corruption counter (always, even
+    /// disabled — see the field doc) and journal a
+    /// [`EventKind::Corruption`] event.
+    pub fn record_filter_decode_failure(&self, file: u64) {
+        self.filter_decode_failures.fetch_add(1, Ordering::Relaxed);
+        self.event(EventKind::Corruption {
+            context: "bloom-filter".to_string(),
+            detail: format!("table {file}: filter block present but failed to decode"),
+        });
+    }
+
+    /// Total bloom filter decode failures observed since creation.
+    pub fn filter_decode_failures(&self) -> u64 {
+        self.filter_decode_failures.load(Ordering::Relaxed)
     }
 
     /// Record one logical block read of `bytes` against table `file`

@@ -91,6 +91,15 @@ pub struct SchemeReport {
     /// Prefetched blocks later served to a demand read (block cache hits
     /// on readahead-staged entries).
     pub prefetch_useful: u64,
+    /// Prefetched blocks evicted from the block cache before any demand
+    /// read touched them — pure wasted egress. Bounded scans should keep
+    /// this near zero.
+    #[serde(default)]
+    pub prefetch_wasted_blocks: u64,
+    /// Filter blocks that were present on disk but failed to decode
+    /// (corruption surfaced instead of silently dropping the filter).
+    #[serde(default)]
+    pub filter_decode_failures: u64,
     /// Coalesced vectored GETs issued against the cloud tier.
     pub coalesced_gets: u64,
     /// Cloud requests avoided by coalescing (caller ranges − billed GETs).
@@ -218,6 +227,8 @@ impl SchemeReport {
         let retry = source.cloud.retrier().snapshot();
         let prefetch_issued = source.prefetcher.as_ref().map(|p| p.issued()).unwrap_or(0);
         let prefetch_useful = source.block_cache.as_ref().map(|c| c.prefetch_useful()).unwrap_or(0);
+        let prefetch_wasted_blocks =
+            source.block_cache.as_ref().map(|c| c.prefetch_wasted()).unwrap_or(0);
         // The engine's WAL queues and the tiered eWAL queues each keep
         // their own counters; exactly one side sees traffic per mode, and
         // summing covers both without caring which.
@@ -264,6 +275,8 @@ impl SchemeReport {
             cache_metadata_bytes,
             prefetch_issued,
             prefetch_useful,
+            prefetch_wasted_blocks,
+            filter_decode_failures: source.observer.filter_decode_failures(),
             retry_attempts: retry.attempts,
             retry_exhausted: retry.exhausted,
             retry_recovered: retry.recovered,
@@ -379,11 +392,14 @@ impl SchemeReport {
         let _ = write!(
             out,
             ",\"cache_metadata_bytes\":{},\"prefetch_issued\":{},\"prefetch_useful\":{},\
+             \"prefetch_wasted_blocks\":{},\"filter_decode_failures\":{},\
              \"coalesced_gets\":{},\"requests_saved\":{},\"retry_attempts\":{},\
              \"retry_exhausted\":{},\"retry_recovered\":{}",
             self.cache_metadata_bytes,
             self.prefetch_issued,
             self.prefetch_useful,
+            self.prefetch_wasted_blocks,
+            self.filter_decode_failures,
             self.coalesced_gets,
             self.requests_saved,
             self.retry_attempts,
@@ -444,6 +460,8 @@ impl SchemeReport {
             .counter("promotion_bytes", self.promotion_bytes)
             .counter("prefetch_issued", self.prefetch_issued)
             .counter("prefetch_useful", self.prefetch_useful)
+            .counter("prefetch_wasted_blocks", self.prefetch_wasted_blocks)
+            .counter("filter_decode_failures", self.filter_decode_failures)
             .counter("retry_attempts", self.retry_attempts)
             .counter("retry_exhausted", self.retry_exhausted)
             .counter("retry_recovered", self.retry_recovered)

@@ -686,6 +686,21 @@ impl TieredDb {
         self.scan_with(from, limit, ReadOptions::with_readahead(self.config.readahead_blocks))
     }
 
+    /// Scan up to `limit` pairs in `[from, to)`, with the configured
+    /// readahead. The exclusive upper bound is pushed down into the
+    /// iterator stack, so tables past `to` are never opened and readahead
+    /// never schedules a cloud block beyond the bound.
+    pub fn scan_bounded(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let read_opts =
+            ReadOptions::with_readahead(self.config.readahead_blocks).with_upper_bound(to);
+        self.scan_with(from, limit, read_opts)
+    }
+
     /// Scan with explicit per-read tuning, overriding the configured
     /// readahead.
     pub fn scan_with(

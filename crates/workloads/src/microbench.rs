@@ -44,6 +44,26 @@ pub fn seekrandom(n: u64, ops: u64, scan_len: usize, dist: KeyDistribution, seed
     (0..ops).map(|_| Op::Scan(user_key(sampler.next_key()), scan_len)).collect()
 }
 
+/// Random seeks each followed by a short scan with a pushed-down upper
+/// bound: the end key of each scan is known in advance (`start + len`), so
+/// the iterator stops — and stops prefetching — exactly at the bound.
+pub fn seekrandom_bounded(
+    n: u64,
+    ops: u64,
+    scan_len: usize,
+    dist: KeyDistribution,
+    seed: u64,
+) -> Vec<Op> {
+    let mut sampler = dist.sampler(n, StdRng::seed_from_u64(seed));
+    (0..ops)
+        .map(|_| {
+            let start = sampler.next_key();
+            let end = (start + scan_len as u64).min(n);
+            Op::ScanBounded(user_key(start), user_key(end), scan_len)
+        })
+        .collect()
+}
+
 /// Overwrites of existing keys (update-in-place pattern).
 pub fn overwrite(n: u64, ops: u64, value_size: usize, dist: KeyDistribution, seed: u64) -> Vec<Op> {
     let mut sampler = dist.sampler(n, StdRng::seed_from_u64(seed));

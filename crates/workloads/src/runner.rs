@@ -19,6 +19,19 @@ pub trait KvStore {
     fn kv_delete(&self, key: &[u8]) -> Result<()>;
     /// Range scan of up to `limit` records from `from`.
     fn kv_scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>>;
+    /// Range scan over `[from, to)` of up to `limit` records. Stores that
+    /// support bound pushdown stop reading (and prefetching) at `to`;
+    /// the default falls back to an unbounded scan plus a post-filter.
+    fn kv_scan_bounded(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut rows = self.kv_scan(from, limit)?;
+        rows.retain(|(k, _)| k.as_slice() < to);
+        Ok(rows)
+    }
 }
 
 impl KvStore for TieredDb {
@@ -36,6 +49,15 @@ impl KvStore for TieredDb {
 
     fn kv_scan(&self, from: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         self.scan(from, limit)
+    }
+
+    fn kv_scan_bounded(
+        &self,
+        from: &[u8],
+        to: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.scan_bounded(from, to, limit)
     }
 }
 
@@ -95,6 +117,9 @@ pub fn run_ops(store: &impl KvStore, ops: impl IntoIterator<Item = Op>) -> Resul
             }
             Op::Scan(from, limit) => {
                 scanned += store.kv_scan(&from, limit)?.len() as u64;
+            }
+            Op::ScanBounded(from, to, limit) => {
+                scanned += store.kv_scan_bounded(&from, &to, limit)?.len() as u64;
             }
             Op::ReadModifyWrite(key, new_value) => {
                 let _ = store.kv_get(&key)?;

@@ -118,6 +118,12 @@ pub fn record(path: &Path, ops: impl IntoIterator<Item = Op>) -> Result<u64, Tra
                 write_bytes(&mut w, k)?;
                 write_bytes(&mut w, v)?;
             }
+            Op::ScanBounded(from, to, limit) => {
+                w.write_all(&[5])?;
+                write_bytes(&mut w, from)?;
+                write_bytes(&mut w, to)?;
+                write_varint(&mut w, *limit as u64)?;
+            }
         }
         count += 1;
     }
@@ -152,6 +158,12 @@ pub fn replay(path: &Path) -> Result<Vec<Op>, TraceError> {
                 Op::Scan(key, limit)
             }
             4 => Op::ReadModifyWrite(read_bytes(&mut r)?, read_bytes(&mut r)?),
+            5 => {
+                let from = read_bytes(&mut r)?;
+                let to = read_bytes(&mut r)?;
+                let limit = read_varint(&mut r)? as usize;
+                Op::ScanBounded(from, to, limit)
+            }
             other => return Err(TraceError::Malformed(format!("unknown tag {other}"))),
         };
         ops.push(op);

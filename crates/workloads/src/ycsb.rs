@@ -17,6 +17,9 @@ pub enum Op {
     Insert(Vec<u8>, Vec<u8>),
     /// Range scan of up to `usize` records.
     Scan(Vec<u8>, usize),
+    /// Range scan over `[start, end)` of up to `usize` records, with the
+    /// end key pushed down as an iterator upper bound.
+    ScanBounded(Vec<u8>, Vec<u8>, usize),
     /// Read, then write back a modified value.
     ReadModifyWrite(Vec<u8>, Vec<u8>),
 }
@@ -29,6 +32,7 @@ impl Op {
             Op::Update(..) => "update",
             Op::Insert(..) => "insert",
             Op::Scan(..) => "scan",
+            Op::ScanBounded(..) => "scan",
             Op::ReadModifyWrite(..) => "rmw",
         }
     }
